@@ -1,0 +1,65 @@
+//! Benchmarks the Fig. 16 particle classifier: training and per-peak
+//! prediction throughput (the server classifies every peak of an
+//! authentication run).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use medsen_dsp::classify::Classifier;
+use medsen_dsp::features::FeatureVector;
+use std::hint::black_box;
+
+fn cluster(center: &[f64], spread: f64, n: usize) -> Vec<FeatureVector> {
+    (0..n)
+        .map(|i| FeatureVector {
+            index: i,
+            amplitudes: center
+                .iter()
+                .enumerate()
+                .map(|(d, &c)| {
+                    let wiggle = ((i * 31 + d * 17) % 13) as f64 / 13.0 - 0.5;
+                    c * (1.0 + spread * wiggle)
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+fn training_data() -> Vec<(&'static str, Vec<FeatureVector>)> {
+    vec![
+        ("3.58um bead", cluster(&[0.004; 8], 0.1, 200)),
+        ("7.8um bead", cluster(&[0.016; 8], 0.1, 200)),
+        (
+            "red blood cell",
+            cluster(&[0.008, 0.007, 0.006, 0.005, 0.005, 0.004, 0.003, 0.0025], 0.2, 200),
+        ),
+    ]
+}
+
+fn train(c: &mut Criterion) {
+    let data = training_data();
+    c.bench_function("classifier_train_600", |b| {
+        b.iter(|| Classifier::train(black_box(&data)).expect("valid data"));
+    });
+}
+
+fn predict(c: &mut Criterion) {
+    let data = training_data();
+    let clf = Classifier::train(&data).expect("valid data");
+    let queries = cluster(&[0.005; 8], 0.3, 1000);
+    let mut group = c.benchmark_group("classifier_predict");
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    group.bench_function("predict_1000_peaks", |b| {
+        b.iter(|| {
+            let mut bead_count = 0usize;
+            for q in &queries {
+                if clf.predict(black_box(q)).expect("dims match").contains("bead") {
+                    bead_count += 1;
+                }
+            }
+            bead_count
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, train, predict);
+criterion_main!(benches);

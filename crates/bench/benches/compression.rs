@@ -1,0 +1,44 @@
+//! Benchmarks the phone-side LZW stage that stands in for the paper's zip
+//! step (600 MB → 240 MB on a 3-hour acquisition).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use medsen_impedance::{PulseSpec, TraceSynthesizer};
+use medsen_phone::{compress, decompress, trace_to_csv};
+use medsen_units::Seconds;
+use std::hint::black_box;
+
+fn make_csv() -> String {
+    let mut synth = TraceSynthesizer::paper_default(1);
+    let pulses: Vec<PulseSpec> = (0..20)
+        .map(|i| {
+            PulseSpec::unipolar(
+                Seconds::new(0.5 + i as f64),
+                Seconds::new(0.02),
+                0.01,
+            )
+        })
+        .collect();
+    let trace = synth.render(&pulses, Seconds::new(25.0));
+    trace_to_csv(&trace)
+}
+
+fn compress_csv(c: &mut Criterion) {
+    let csv = make_csv();
+    let mut group = c.benchmark_group("compression");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(csv.len() as u64));
+    group.bench_function("lzw_compress_trace_csv", |b| {
+        b.iter(|| compress(black_box(csv.as_bytes())));
+    });
+    let compressed = compress(csv.as_bytes());
+    group.throughput(Throughput::Bytes(compressed.len() as u64));
+    group.bench_function("lzw_decompress_trace_csv", |b| {
+        b.iter(|| decompress(black_box(&compressed)).expect("valid stream"));
+    });
+    group.finish();
+    let ratio = csv.len() as f64 / compressed.len() as f64;
+    println!("compression ratio on trace CSV: {ratio:.2}x (paper zip: 2.5x)");
+}
+
+criterion_group!(benches, compress_csv);
+criterion_main!(benches);

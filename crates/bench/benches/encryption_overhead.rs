@@ -1,0 +1,68 @@
+//! Supports the Sec. IV-A claim that the in-sensor cipher "does not infer
+//! any noticeable encryption computation overhead or delay": rendering an
+//! acquisition under the full cipher costs essentially the same as a
+//! plaintext acquisition, and key generation + decryption are trivial.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use medsen_microfluidics::{ChannelGeometry, ParticleKind, PeristalticPump, TransportSimulator};
+use medsen_sensor::{Controller, ControllerConfig, EncryptedAcquisition, ReportedPeak};
+use medsen_units::Seconds;
+use std::hint::black_box;
+
+fn acquisition(encrypted: bool, c: &mut Criterion, name: &str) {
+    let duration = Seconds::new(10.0);
+    let mut sim = TransportSimulator::new(
+        ChannelGeometry::paper_default(),
+        PeristalticPump::paper_default(),
+        1,
+    );
+    let events = sim.run_exact_count(ParticleKind::Bead78, 20, duration);
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            let mut acq = EncryptedAcquisition::paper_default(2);
+            let mut controller =
+                Controller::new(*acq.array(), ControllerConfig::paper_default(), 2);
+            let schedule = if encrypted {
+                controller.generate_schedule(duration).clone()
+            } else {
+                controller.plaintext_schedule().clone()
+            };
+            acq.run(black_box(&events), &schedule, duration)
+        });
+    });
+}
+
+fn encrypted_acquisition(c: &mut Criterion) {
+    acquisition(true, c, "acquisition_full_cipher_10s");
+}
+
+fn plaintext_acquisition(c: &mut Criterion) {
+    acquisition(false, c, "acquisition_plaintext_10s");
+}
+
+fn decryption(c: &mut Criterion) {
+    let mut controller = Controller::new(
+        *EncryptedAcquisition::paper_default(3).array(),
+        ControllerConfig::paper_default(),
+        3,
+    );
+    controller.generate_schedule(Seconds::new(60.0));
+    let peaks: Vec<ReportedPeak> = (0..1000)
+        .map(|i| ReportedPeak {
+            time_s: i as f64 * 0.06,
+            amplitude: 0.005,
+            width_s: 0.01,
+        })
+        .collect();
+    c.bench_function("decrypt_1000_peaks", |b| {
+        b.iter(|| {
+            controller
+                .decryptor()
+                .decrypt(black_box(&peaks))
+                .rounded()
+        });
+    });
+}
+
+criterion_group!(benches, plaintext_acquisition, encrypted_acquisition, decryption);
+criterion_main!(benches);

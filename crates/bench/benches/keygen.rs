@@ -1,0 +1,38 @@
+//! Benchmarks controller key generation: the CSPRNG key schedule for runs
+//! up to 3 hours (the paper's stress test), plus Eq. 2 accounting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medsen_sensor::{ideal_key_length_bits, Controller, ControllerConfig, ElectrodeArray};
+use medsen_units::Seconds;
+use std::hint::black_box;
+
+fn keygen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("keygen");
+    for minutes in [1u64, 10, 180] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{minutes}min")),
+            &minutes,
+            |b, &minutes| {
+                b.iter(|| {
+                    let mut controller = Controller::new(
+                        ElectrodeArray::paper_prototype(),
+                        ControllerConfig::paper_default(),
+                        black_box(7),
+                    );
+                    controller.generate_schedule(Seconds::new(minutes as f64 * 60.0));
+                    controller.key_bits()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn eq2(c: &mut Criterion) {
+    c.bench_function("eq2_key_length", |b| {
+        b.iter(|| ideal_key_length_bits(black_box(20_000), 16, 4, 4));
+    });
+}
+
+criterion_group!(benches, keygen, eq2);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench regenerating Fig. 14's computer line by direct
+//! measurement: the detrend + threshold-detection pipeline at the paper's
+//! three sample sizes (240 607 / 481 214 / 962 428).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use medsen_bench::experiments::fig14::benchmark_signal;
+use medsen_dsp::detrend::{detrend_segmented, DetrendConfig};
+use medsen_dsp::peaks::ThresholdDetector;
+use medsen_phone::profile::PAPER_FIG14_SAMPLE_SIZES;
+use std::hint::black_box;
+
+fn peak_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("peak_pipeline");
+    group.sample_size(10);
+    let detector = ThresholdDetector::paper_default();
+    let config = DetrendConfig::paper_default();
+    for &n in &PAPER_FIG14_SAMPLE_SIZES {
+        let signal = benchmark_signal(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &signal, |b, signal| {
+            b.iter(|| {
+                let depth = detrend_segmented(black_box(signal), &config);
+                detector.count(&depth, 450.0)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn detrend_only(c: &mut Criterion) {
+    let signal = benchmark_signal(PAPER_FIG14_SAMPLE_SIZES[0]);
+    let config = DetrendConfig::paper_default();
+    c.bench_function("detrend_only_240k", |b| {
+        b.iter(|| detrend_segmented(black_box(&signal), &config));
+    });
+}
+
+fn detect_only(c: &mut Criterion) {
+    let signal = benchmark_signal(PAPER_FIG14_SAMPLE_SIZES[0]);
+    let depth = detrend_segmented(&signal, &DetrendConfig::paper_default());
+    let detector = ThresholdDetector::paper_default();
+    c.bench_function("detect_only_240k", |b| {
+        b.iter(|| detector.count(black_box(&depth), 450.0));
+    });
+}
+
+criterion_group!(benches, peak_pipeline, detrend_only, detect_only);
+criterion_main!(benches);

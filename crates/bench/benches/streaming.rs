@@ -1,0 +1,46 @@
+//! Benchmarks the constant-memory streaming analyzer against the batch
+//! pipeline on the Fig. 14 sample sizes — the path the 3-hour stress test
+//! (Sec. VII-B) uses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use medsen_bench::experiments::fig14::benchmark_signal;
+use medsen_dsp::detrend::{detrend_segmented, DetrendConfig};
+use medsen_dsp::peaks::ThresholdDetector;
+use medsen_dsp::StreamingAnalyzer;
+use std::hint::black_box;
+
+fn streaming_vs_batch(c: &mut Criterion) {
+    let n = 240_607;
+    let signal = benchmark_signal(n);
+    let mut group = c.benchmark_group("streaming_vs_batch_240k");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64));
+
+    group.bench_function("batch", |b| {
+        b.iter(|| {
+            let depth = detrend_segmented(black_box(&signal), &DetrendConfig::paper_default());
+            ThresholdDetector::paper_default().count(&depth, 450.0)
+        });
+    });
+
+    for chunk in [1_024usize, 16_384] {
+        group.bench_with_input(
+            BenchmarkId::new("streaming", chunk),
+            &chunk,
+            |b, &chunk| {
+                b.iter(|| {
+                    let mut analyzer = StreamingAnalyzer::paper_default();
+                    let mut peaks = 0usize;
+                    for c in signal.chunks(chunk) {
+                        peaks += analyzer.push(black_box(c)).len();
+                    }
+                    peaks + analyzer.finish().len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, streaming_vs_batch);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Harness: detrending order/segmentation ablation (design choice, Sec. VI-C).
+
+use medsen_bench::experiments::ablation_detrend;
+use medsen_bench::table::{fmt, print_table};
+
+fn main() {
+    let scores = ablation_detrend::run(120_000, 60);
+    println!("Detrend ablation on a drifting trace with 60 planted 0.8% dips:\n");
+    let rows: Vec<Vec<String>> = scores
+        .iter()
+        .map(|s| {
+            vec![
+                s.label.clone(),
+                fmt(s.recovery, 3),
+                format!("{:.2e}", s.baseline_residual),
+                format!("{:.2e}", s.mean_depth),
+            ]
+        })
+        .collect();
+    print_table(&["configuration", "recovery", "baseline residual", "mean depth"], &rows);
+    println!("\nPaper: order 2 segmented is optimal; low orders under-fit the drift,");
+    println!("high orders deform peaks, whole-trace fits under-fit long acquisitions.");
+}

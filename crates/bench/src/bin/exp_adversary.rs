@@ -1,0 +1,29 @@
+//! Harness: the Sec. IV-A adversary sweep.
+use medsen_bench::experiments::adversary;
+use medsen_bench::table::{fmt, print_table};
+use medsen_units::Seconds;
+
+fn main() {
+    let outcomes = adversary::run(8, Seconds::new(30.0), 41);
+    println!("Adversarial count-recovery error by cipher variant (mean relative error, 8 runs):\n");
+    let rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|o| {
+            vec![
+                o.variant.label.to_owned(),
+                fmt(o.amplitude_attack_err, 3),
+                fmt(o.width_attack_err, 3),
+                fmt(o.burst_attack_err, 3),
+                fmt(o.decryptor_err, 3),
+                fmt(o.leakage.r_squared, 3),
+            ]
+        })
+        .collect();
+    print_table(
+        &["variant", "amp attack", "width attack", "burst attack", "decryptor", "leak R²"],
+        &rows,
+    );
+    println!("\nPaper expectation: attacks succeed without the cipher; gains defeat the");
+    println!("amplitude signature, flow defeats the width signature, and only the");
+    println!("key-holding decryptor recovers the count under the full cipher.");
+}

@@ -1,0 +1,26 @@
+//! Harness: Sec. VII-C — cyto-coded authentication accuracy + resolution.
+
+use medsen_bench::experiments::auth_accuracy;
+use medsen_bench::table::{fmt, print_table};
+use medsen_units::Seconds;
+
+fn main() {
+    let stats = auth_accuracy::run(&auth_accuracy::default_roster(), 5, Seconds::new(30.0), 31);
+    println!("Cyto-coded authentication over {} sessions:\n", stats.total);
+    let rows = vec![vec![
+        stats.correct.to_string(),
+        stats.rejected.to_string(),
+        stats.impersonated.to_string(),
+        stats.ambiguous.to_string(),
+        fmt(stats.accuracy(), 3),
+    ]];
+    print_table(&["correct", "rejected", "impersonated", "ambiguous", "accuracy"], &rows);
+    println!("\nConcentration resolution (mean |rel. count error| per level):");
+    for level in [1u8, 2, 4, 8] {
+        let err = auth_accuracy::level_resolution(level, 3, Seconds::new(30.0), 32);
+        println!("  level {level}: {}", fmt(err, 3));
+    }
+    println!("\nPaper: \"reliably classify different users ... with high accuracy\"; lower");
+    println!("concentrations resolve better (less relative variance in our coincidence-");
+    println!("loss regime, Poisson-dominated at the very lowest levels).");
+}

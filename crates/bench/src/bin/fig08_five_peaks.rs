@@ -1,0 +1,13 @@
+//! Harness: Fig. 8 — one cell, electrodes 1–3 on, five peaks.
+
+use medsen_bench::experiments::fig08;
+
+fn main() {
+    let result = fig08::run(11);
+    println!("Fig. 8 — representative encrypted cytometry data, one blood cell,");
+    println!("output electrodes 1-3 active (device with lead = electrode 1):\n");
+    println!("  scheduled dips: {}", result.scheduled);
+    println!("  detected peaks: {}", result.detected);
+    println!("\nPaper: \"five peaks due to one cell passing by the sensor\".");
+    assert_eq!(result.detected, 5, "harness must reproduce the figure");
+}

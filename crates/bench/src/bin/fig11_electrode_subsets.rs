@@ -1,0 +1,23 @@
+//! Harness: Fig. 11 — encrypted signatures of the 9-output prototype.
+
+use medsen_bench::experiments::fig11;
+use medsen_bench::table::print_table;
+
+fn main() {
+    let results = fig11::run(3);
+    println!("Fig. 11 — peak signatures per electrode subset (one 7.8 µm bead):\n");
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.panel.to_owned(),
+                format!("{:?}", r.electrodes),
+                r.expected.to_string(),
+                r.scheduled.to_string(),
+                r.detected.to_string(),
+            ]
+        })
+        .collect();
+    print_table(&["panel", "active electrodes", "expected", "scheduled", "detected"], &rows);
+    println!("\nPaper: 11a→1 peak, 11b→3, 11c→5, 11d→17 (\"flat periodic train\").");
+}

@@ -1,0 +1,31 @@
+//! Harness: Fig. 12 — measured vs estimated 7.8 µm bead counts.
+
+use medsen_bench::experiments::bead_counts;
+use medsen_bench::table::{fmt, print_table};
+use medsen_units::Seconds;
+
+fn main() {
+    // Paper protocol: four samples per concentration, counts from the first
+    // five minutes of each run.
+    let sweep = bead_counts::fig12(Seconds::new(300.0), 4, 12);
+    println!("Fig. 12 — empirical vs estimated bead counts (7.8 µm):\n");
+    let rows: Vec<Vec<String>> = sweep
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                fmt(r.estimated, 0),
+                format!("{:?}", r.empirical),
+                fmt(r.mean_empirical(), 1),
+            ]
+        })
+        .collect();
+    print_table(&["estimated", "empirical (4 samples)", "mean"], &rows);
+    println!(
+        "\nlinear fit: slope {} intercept {} R² {}",
+        fmt(sweep.fit.slope, 3),
+        fmt(sweep.fit.intercept, 1),
+        fmt(sweep.fit.r_squared, 4)
+    );
+    println!("Paper shape: linear, slope < 1 (sedimentation + adsorption losses).");
+}

@@ -1,0 +1,29 @@
+//! Harness: Fig. 13 — measured vs estimated 3.58 µm bead counts.
+
+use medsen_bench::experiments::bead_counts;
+use medsen_bench::table::{fmt, print_table};
+use medsen_units::Seconds;
+
+fn main() {
+    let sweep = bead_counts::fig13(Seconds::new(300.0), 4, 13);
+    println!("Fig. 13 — empirical vs estimated bead counts (3.58 µm):\n");
+    let rows: Vec<Vec<String>> = sweep
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                fmt(r.estimated, 0),
+                format!("{:?}", r.empirical),
+                fmt(r.mean_empirical(), 1),
+            ]
+        })
+        .collect();
+    print_table(&["estimated", "empirical (4 samples)", "mean"], &rows);
+    println!(
+        "\nlinear fit: slope {} intercept {} R² {}",
+        fmt(sweep.fit.slope, 3),
+        fmt(sweep.fit.intercept, 1),
+        fmt(sweep.fit.r_squared, 4)
+    );
+    println!("Paper shape: linear; smaller deficit than the 7.8 µm beads of Fig. 12.");
+}

@@ -1,0 +1,38 @@
+//! Harness: Fig. 14 — peak-analysis time, computer vs smartphone.
+
+use medsen_bench::experiments::fig14;
+use medsen_bench::table::{fmt, print_table};
+
+fn main() {
+    let rows = fig14::run();
+    println!("Fig. 14 — peak-analysis performance by sample size:\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n_samples.to_string(),
+                fmt(r.paper_computer_s, 3),
+                fmt(r.paper_phone_s, 3),
+                fmt(r.model_computer_s, 3),
+                fmt(r.model_phone_s, 3),
+                fmt(r.measured_local_s, 3),
+                r.peaks_found.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "samples",
+            "paper PC (s)",
+            "paper phone (s)",
+            "model PC (s)",
+            "model phone (s)",
+            "this repo (s)",
+            "peaks",
+        ],
+        &table,
+    );
+    println!("\nPaper shape: both devices scale linearly; the computer is ~4x faster —");
+    println!("the argument for cloud offloading of large samples. (Run with --release");
+    println!("for a meaningful local measurement.)");
+}

@@ -1,0 +1,24 @@
+//! Harness: Fig. 15 — normalized impedance response vs frequency.
+
+use medsen_bench::experiments::fig15;
+use medsen_bench::table::{fmt, print_table};
+
+fn main() {
+    let responses = fig15::run(5);
+    println!("Fig. 15 — normalized minimum amplitude per carrier (dip bottom):\n");
+    let carriers: Vec<f64> = responses[0].minima.iter().map(|&(f, _)| f).collect();
+    let mut headers: Vec<String> = vec!["particle".into()];
+    headers.extend(carriers.iter().map(|f| format!("{:.0} kHz", f / 1e3)));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = responses
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.kind.to_string()];
+            row.extend(r.minima.iter().map(|&(_, m)| fmt(m, 4)));
+            row
+        })
+        .collect();
+    print_table(&header_refs, &rows);
+    println!("\nPaper shape: 7.8 µm beads dip deepest (~0.985); blood-cell dips shrink");
+    println!("at ≥2 MHz (membrane dispersion) while bead dips stay flat.");
+}

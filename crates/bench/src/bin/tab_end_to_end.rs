@@ -1,0 +1,45 @@
+//! Harness: end-to-end timing + compression (abstract, Sec. VII-B).
+
+use medsen_bench::experiments::end_to_end;
+use medsen_bench::table::{fmt, print_table};
+use medsen_units::Seconds;
+
+fn main() {
+    let stats = end_to_end::run(5, Seconds::new(60.0), 21);
+    println!("End-to-end encrypted diagnostic sessions (60 s acquisitions):\n");
+    let rows: Vec<Vec<String>> = stats
+        .sessions
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            vec![
+                (i + 1).to_string(),
+                (s.true_cells + s.true_beads).to_string(),
+                s.peak_count.to_string(),
+                s.decoded_total.map_or("-".into(), |d| d.to_string()),
+                fmt(s.compression.ratio(), 2),
+                fmt(s.timing.compression_s, 3),
+                fmt(s.timing.upload_s, 3),
+                fmt(s.timing.analysis_s, 3),
+                fmt(s.timing.decryption_s, 4),
+                fmt(s.timing.post_acquisition_s(), 3),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "run", "truth", "peaks", "decoded", "zip x", "compress s", "upload s",
+            "cloud s", "decrypt s", "post-acq s",
+        ],
+        &rows,
+    );
+    println!(
+        "\nmeans: post-acquisition {} s, compression {}x, decode error {}",
+        fmt(stats.mean_post_acquisition_s, 3),
+        fmt(stats.mean_compression_ratio, 2),
+        fmt(stats.mean_decode_error, 3)
+    );
+    println!("\nPaper: ~0.2 s end-to-end signal path (excl. networking); 600->240 MB (2.5x)");
+    println!("zip; full procedure within 1 minute. Our modeled 4G upload dominates the");
+    println!("difference; the compute path itself is sub-second.");
+}

@@ -1,0 +1,34 @@
+//! Harness: the Eq. 2 key-length table (Sec. VI-B).
+
+use medsen_bench::experiments::key_length;
+use medsen_bench::table::{fmt, print_table};
+use medsen_units::Seconds;
+
+fn main() {
+    let rows = key_length::run();
+    println!("Eq. 2 — ideal per-cell key length L = N_cells (N_elec + N_elec/2 R_gain + R_flow):\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n_cells.to_string(),
+                r.n_electrodes.to_string(),
+                r.r_gain.to_string(),
+                r.r_flow.to_string(),
+                r.bits.to_string(),
+                fmt(r.megabytes, 3),
+            ]
+        })
+        .collect();
+    print_table(&["cells", "electrodes", "gain bits", "flow bits", "key bits", "MB"], &table);
+    println!(
+        "\nPaper headline: 20K cells, 16 electrodes, 4-bit gains/flow -> {} bits ({} MB);",
+        rows[0].bits,
+        fmt(rows[0].megabytes, 2)
+    );
+    println!("the paper reports \"1M-bits key (0.12MB)\".");
+    let deployed = key_length::deployed_key_bits(Seconds::new(3.0 * 3600.0), 1);
+    println!(
+        "\nDeployed periodic scheme (9-output prototype, 5 s keys, 3 h run): {deployed} bits."
+    );
+}

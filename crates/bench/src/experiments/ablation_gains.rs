@@ -1,0 +1,108 @@
+//! Ablation: gain granularity vs amplitude-attack resistance and key size.
+//!
+//! Sec. VI-B: 16 gain levels (4-bit) were "empirical choices and can be
+//! adjusted based on the security and sensor precision requirements ...
+//! higher granularity would help to improve the homogeneity of the signals
+//! in the ciphertext and thus provide better protection at the cost of
+//! larger key size". This sweep quantifies that trade-off: with 1-bit gains
+//! the amplitude alphabet is tiny, so the amplitude-grouping attack regains
+//! traction; each extra bit shatters it further.
+
+use medsen_cloud::{AmplitudeGroupingAttack, AnalysisServer};
+use medsen_microfluidics::{
+    ChannelGeometry, ParticleKind, PeristalticPump, SampleSpec, TransportSimulator,
+};
+use medsen_sensor::{Controller, ControllerConfig};
+use medsen_units::{Concentration, Microliters, Seconds};
+
+/// One granularity's score.
+#[derive(Debug, Clone, Copy)]
+pub struct GainBitsScore {
+    /// Gain resolution in bits.
+    pub gain_bits: u8,
+    /// Distinct amplitude groups per true particle the attack formed (higher
+    /// = more shattered = better concealment).
+    pub groups_per_particle: f64,
+    /// Mean relative counting error of the amplitude attack.
+    pub attack_error: f64,
+    /// Eq. 2 per-cell key bits at this granularity (9-output device).
+    pub key_bits_per_cell: u64,
+}
+
+/// Sweeps gain granularities.
+pub fn run(bits: &[u8], runs: usize, duration: Seconds, seed: u64) -> Vec<GainBitsScore> {
+    let server = AnalysisServer::paper_default();
+    let attack = AmplitudeGroupingAttack::paper_default();
+    bits.iter()
+        .map(|&gain_bits| {
+            let mut err = 0.0;
+            let mut groups = 0.0;
+            let mut particles = 0.0;
+            for r in 0..runs {
+                let run_seed = seed.wrapping_add(53 * r as u64);
+                let sample = SampleSpec::bead_calibration(
+                    Microliters::new(1.0),
+                    ParticleKind::Bead78,
+                    Concentration::new(20.0 / (0.08 / 60.0 * duration.value())),
+                );
+                let mut sim = TransportSimulator::new(
+                    ChannelGeometry::paper_default(),
+                    PeristalticPump::paper_default(),
+                    run_seed,
+                );
+                let events = sim.run(&sample, duration);
+                let truth = events.len().max(1);
+                let mut acq = super::counting_acquisition(run_seed);
+                let mut controller = Controller::new(
+                    *acq.array(),
+                    ControllerConfig {
+                        gain_bits,
+                        randomize_flow: false, // isolate the gain channel
+                        ..ControllerConfig::paper_default()
+                    },
+                    run_seed,
+                );
+                let schedule = controller.generate_schedule(duration).clone();
+                let out = acq.run(&events, &schedule, duration);
+                let report = server.analyze(&out.trace);
+                let outcome = attack.estimate(&report);
+                err += (outcome.estimated_cells as f64 - truth as f64).abs() / truth as f64;
+                groups += outcome.groups as f64;
+                particles += truth as f64;
+            }
+            GainBitsScore {
+                gain_bits,
+                groups_per_particle: groups / particles,
+                attack_error: err / runs as f64,
+                key_bits_per_cell: medsen_sensor::ideal_key_length_bits(
+                    1,
+                    9,
+                    u64::from(gain_bits),
+                    4,
+                ),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finer_gains_cost_more_key_bits() {
+        let scores = run(&[1, 4], 2, Seconds::new(15.0), 61);
+        assert!(scores[1].key_bits_per_cell > scores[0].key_bits_per_cell);
+    }
+
+    #[test]
+    fn finer_gains_shatter_amplitude_groups_harder() {
+        let scores = run(&[1, 4], 3, Seconds::new(20.0), 62);
+        assert!(
+            scores[1].groups_per_particle >= scores[0].groups_per_particle,
+            "4-bit groups/particle {} vs 1-bit {}",
+            scores[1].groups_per_particle,
+            scores[0].groups_per_particle
+        );
+    }
+}

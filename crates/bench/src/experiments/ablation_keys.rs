@@ -1,0 +1,123 @@
+//! Ablation: key schedule period vs decryption accuracy and key size.
+//!
+//! The ideal per-cell scheme (Eq. 2) is perfectly decodable but needs a key
+//! that grows linearly with cell count; the deployed periodic scheme trades
+//! a bounded key for boundary-straddle decoding error. This ablation sweeps
+//! the rotation period to expose the trade-off the paper describes in
+//! Sec. IV-A.
+
+use medsen_cloud::AnalysisServer;
+use medsen_microfluidics::{
+    ChannelGeometry, ParticleKind, PeristalticPump, SampleSpec, TransportSimulator,
+};
+use medsen_units::{Concentration, Microliters};
+use medsen_sensor::{ideal_key_length_bits, Controller, ControllerConfig};
+use medsen_units::Seconds;
+
+/// One key-period row.
+#[derive(Debug, Clone)]
+pub struct KeyScheduleScore {
+    /// Rotation period (seconds).
+    pub period_s: f64,
+    /// Mean decode relative error across runs.
+    pub decode_error: f64,
+    /// Key material for the run (bits).
+    pub key_bits: usize,
+}
+
+/// Sweeps rotation periods; also returns the Eq. 2 ideal-key size for the
+/// same mean particle count as context.
+pub fn run(
+    periods_s: &[f64],
+    runs: usize,
+    duration: Seconds,
+    seed: u64,
+) -> (Vec<KeyScheduleScore>, u64) {
+    let server = AnalysisServer::paper_default();
+    let mut scores = Vec::with_capacity(periods_s.len());
+    let mut mean_particles = 0.0;
+
+    for &period in periods_s {
+        let mut err = 0.0;
+        let mut bits = 0usize;
+        for r in 0..runs {
+            let run_seed = seed.wrapping_add(17 * r as u64);
+            let sample = SampleSpec::bead_calibration(
+                Microliters::new(1.0),
+                ParticleKind::Bead78,
+                Concentration::new(25.0 / (0.08 / 60.0 * duration.value())),
+            );
+            let mut sim = TransportSimulator::new(
+                ChannelGeometry::paper_default(),
+                PeristalticPump::paper_default(),
+                run_seed,
+            );
+            let events = sim.run(&sample, duration);
+            let truth = events.len().max(1);
+            mean_particles += truth as f64 / (runs * periods_s.len()) as f64;
+
+            let mut acq = super::counting_acquisition(run_seed);
+            let mut controller = Controller::new(
+                *acq.array(),
+                ControllerConfig {
+                    key_period: Seconds::new(period),
+                    ..ControllerConfig::paper_default()
+                },
+                run_seed,
+            );
+            let schedule = controller.generate_schedule(duration).clone();
+            let out = acq.run(&events, &schedule, duration);
+            let report = server.analyze(&out.trace);
+            let geometry = ChannelGeometry::paper_default();
+            let nominal_v = PeristalticPump::paper_default().velocity_at(
+                Seconds::ZERO,
+                geometry.pore_width,
+                geometry.pore_height,
+            );
+            let delay =
+                Seconds::new(acq.array().span(&geometry).value() / (2.0 * nominal_v));
+            let decoded = controller
+                .decryptor_with_delay(delay)
+                .decrypt(&report.reported_peaks())
+                .rounded() as f64;
+            err += (decoded - truth as f64).abs() / truth as f64;
+            bits = controller.key_bits();
+        }
+        scores.push(KeyScheduleScore {
+            period_s: period,
+            decode_error: err / runs as f64,
+            key_bits: bits,
+        });
+    }
+
+    let ideal_bits = ideal_key_length_bits(mean_particles.round() as u64, 9, 4, 4);
+    (scores, ideal_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longer_periods_shrink_keys() {
+        let (scores, _) = run(&[2.0, 10.0], 2, Seconds::new(20.0), 51);
+        assert!(
+            scores[0].key_bits > scores[1].key_bits,
+            "2 s period must hold more key material than 10 s"
+        );
+    }
+
+    #[test]
+    fn decode_error_stays_bounded_across_periods() {
+        let (scores, ideal) = run(&[2.0, 5.0, 10.0], 2, Seconds::new(20.0), 52);
+        for s in &scores {
+            assert!(
+                s.decode_error < 0.4,
+                "period {} error {}",
+                s.period_s,
+                s.decode_error
+            );
+        }
+        assert!(ideal > 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Figures 12–13: empirical vs estimated bead counts across concentrations.
+//!
+//! Paper shape: "the empirical peak detection varies linearly to the
+//! estimated peaks at different concentrations" with a deficit (slope < 1)
+//! explained by beads sinking in the inlet well and adsorbing to channel
+//! walls; four samples per concentration; 7.8 µm beads (Fig. 12) show a
+//! larger deficit than 3.58 µm (Fig. 13).
+
+use medsen_dsp::stats::{linear_regression, LinearFit};
+use medsen_microfluidics::stochastic::sample_poisson;
+use medsen_microfluidics::{
+    ChannelGeometry, LossModel, ParticleKind, PeristalticPump, TransportSimulator,
+};
+use medsen_sensor::{Controller, ControllerConfig};
+use medsen_units::Seconds;
+use medsen_cloud::AnalysisServer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One concentration's results.
+#[derive(Debug, Clone)]
+pub struct BeadCountRow {
+    /// Estimated bead count from the manufacturer concentration.
+    pub estimated: f64,
+    /// Empirically detected counts (one per replicate sample).
+    pub empirical: Vec<usize>,
+}
+
+impl BeadCountRow {
+    /// Mean empirical count.
+    pub fn mean_empirical(&self) -> f64 {
+        self.empirical.iter().sum::<usize>() as f64 / self.empirical.len().max(1) as f64
+    }
+}
+
+/// Full sweep output.
+#[derive(Debug, Clone)]
+pub struct BeadCountSweep {
+    /// The bead type swept.
+    pub kind: ParticleKind,
+    /// Per-concentration rows.
+    pub rows: Vec<BeadCountRow>,
+    /// Linear fit of mean empirical vs estimated.
+    pub fit: LinearFit,
+}
+
+/// Runs the sweep: for each target estimated count, run `replicates`
+/// acquisitions of `duration` each and count peaks.
+pub fn run(
+    kind: ParticleKind,
+    estimated_targets: &[f64],
+    replicates: usize,
+    duration: Seconds,
+    seed: u64,
+) -> BeadCountSweep {
+    let losses = LossModel::paper_default();
+    let server = AnalysisServer::paper_default();
+
+    let mut rows = Vec::with_capacity(estimated_targets.len());
+    for (ci, &estimated) in estimated_targets.iter().enumerate() {
+        let mut empirical = Vec::with_capacity(replicates);
+        for rep in 0..replicates {
+            let run_seed = seed
+                .wrapping_add(1000 * ci as u64)
+                .wrapping_add(rep as u64);
+            let mut rng = StdRng::seed_from_u64(run_seed);
+            // Expected delivery after sedimentation + adsorption, then the
+            // Poisson draw of how many actually arrive this run.
+            let delivery = losses.delivery(kind, estimated, duration);
+            let arrived = sample_poisson(&mut rng, delivery.delivered) as usize;
+
+            let mut sim = TransportSimulator::new(
+                ChannelGeometry::paper_default(),
+                PeristalticPump::paper_default(),
+                run_seed,
+            );
+            let events = sim.run_exact_count(kind, arrived, duration);
+
+            let mut acq = super::counting_acquisition(run_seed);
+            let mut controller =
+                Controller::new(*acq.array(), ControllerConfig::paper_default(), run_seed);
+            let schedule = controller.plaintext_schedule().clone();
+            let out = acq.run(&events, &schedule, duration);
+            let report = server.analyze(&out.trace);
+            empirical.push(report.peak_count());
+        }
+        rows.push(BeadCountRow {
+            estimated,
+            empirical,
+        });
+    }
+
+    let xs: Vec<f64> = rows.iter().map(|r| r.estimated).collect();
+    let ys: Vec<f64> = rows.iter().map(BeadCountRow::mean_empirical).collect();
+    let fit = linear_regression(&xs, &ys);
+    BeadCountSweep { kind, rows, fit }
+}
+
+/// The Fig. 12 sweep (7.8 µm beads, estimated counts up to ≈ 350).
+pub fn fig12(duration: Seconds, replicates: usize, seed: u64) -> BeadCountSweep {
+    run(
+        ParticleKind::Bead78,
+        &[50.0, 100.0, 150.0, 250.0, 350.0],
+        replicates,
+        duration,
+        seed,
+    )
+}
+
+/// The Fig. 13 sweep (3.58 µm beads, estimated counts up to ≈ 1100).
+pub fn fig13(duration: Seconds, replicates: usize, seed: u64) -> BeadCountSweep {
+    run(
+        ParticleKind::Bead358,
+        &[100.0, 300.0, 500.0, 800.0, 1100.0],
+        replicates,
+        duration,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_are_linear_with_sub_unity_slope() {
+        // A reduced sweep for test speed: shape only.
+        let sweep = run(
+            ParticleKind::Bead78,
+            &[40.0, 120.0, 240.0],
+            2,
+            Seconds::new(60.0),
+            5,
+        );
+        assert!(sweep.fit.r_squared > 0.95, "r² {}", sweep.fit.r_squared);
+        assert!(
+            sweep.fit.slope > 0.5 && sweep.fit.slope < 1.0,
+            "slope {}",
+            sweep.fit.slope
+        );
+    }
+
+    #[test]
+    fn large_beads_lose_more_than_small_beads() {
+        let big = run(
+            ParticleKind::Bead78,
+            &[60.0, 180.0],
+            2,
+            Seconds::new(60.0),
+            6,
+        );
+        let small = run(
+            ParticleKind::Bead358,
+            &[60.0, 180.0],
+            2,
+            Seconds::new(60.0),
+            6,
+        );
+        assert!(
+            big.fit.slope < small.fit.slope,
+            "7.8 µm slope {} vs 3.58 µm slope {}",
+            big.fit.slope,
+            small.fit.slope
+        );
+    }
+}

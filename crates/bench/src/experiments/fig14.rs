@@ -1,0 +1,99 @@
+//! Figure 14: peak-analysis performance, computer vs smartphone, at sample
+//! sizes 240 607 / 481 214 / 962 428.
+//!
+//! Paper numbers: computer 0.11 / 0.215 / 0.343 s; Nexus 5 0.452 / 0.81 /
+//! 1.554 s. Both lines are ≈ linear; the computer is ≈ 4× faster at the
+//! margin — the case for cloud offloading. We report the paper's points, the
+//! fitted device-profile predictions, and a real wall-clock measurement of
+//! this repository's detrend + peak-detection pipeline at each size.
+
+use medsen_dsp::detrend::{detrend_segmented, DetrendConfig};
+use medsen_dsp::peaks::ThresholdDetector;
+use medsen_phone::profile::{
+    DeviceProfile, PAPER_FIG14_COMPUTER_S, PAPER_FIG14_PHONE_S, PAPER_FIG14_SAMPLE_SIZES,
+};
+use std::time::Instant;
+
+/// One sample-size row.
+#[derive(Debug, Clone, Copy)]
+pub struct PerfRow {
+    /// Sample count analyzed.
+    pub n_samples: usize,
+    /// Paper's computer measurement (s).
+    pub paper_computer_s: f64,
+    /// Paper's smartphone measurement (s).
+    pub paper_phone_s: f64,
+    /// Our fitted computer-profile prediction (s).
+    pub model_computer_s: f64,
+    /// Our fitted phone-profile prediction (s).
+    pub model_phone_s: f64,
+    /// Measured wall-clock of this repo's pipeline on this machine (s).
+    pub measured_local_s: f64,
+    /// Peaks found in the synthetic benchmark trace.
+    pub peaks_found: usize,
+}
+
+/// Builds the synthetic benchmark signal: a drifting baseline with one dip
+/// every ~1000 samples.
+pub fn benchmark_signal(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let x = i as f64;
+            let baseline = 1.0 + 3e-8 * x - 1e-14 * x * x + 1e-3 * (x / 9_000.0).sin();
+            let phase = i % 1_000;
+            let dip = if (498..=502).contains(&phase) { 8e-3 } else { 0.0 };
+            baseline * (1.0 - dip)
+        })
+        .collect()
+}
+
+/// Runs the Fig. 14 comparison.
+pub fn run() -> Vec<PerfRow> {
+    let computer = DeviceProfile::paper_computer();
+    let phone = DeviceProfile::paper_phone();
+    let detector = ThresholdDetector::paper_default();
+    PAPER_FIG14_SAMPLE_SIZES
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            let signal = benchmark_signal(n);
+            let t0 = Instant::now();
+            let depth = detrend_segmented(&signal, &DetrendConfig::paper_default());
+            let peaks = detector.count(&depth, 450.0);
+            let measured = t0.elapsed().as_secs_f64();
+            PerfRow {
+                n_samples: n,
+                paper_computer_s: PAPER_FIG14_COMPUTER_S[i],
+                paper_phone_s: PAPER_FIG14_PHONE_S[i],
+                model_computer_s: computer.predict(n).value(),
+                model_phone_s: phone.predict(n).value(),
+                measured_local_s: measured,
+                peaks_found: peaks,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_cover_the_paper_sizes_and_scale_linearly() {
+        let rows = run();
+        assert_eq!(rows.len(), 3);
+        // Measured time grows with size (allowing generous noise).
+        assert!(rows[2].measured_local_s > rows[0].measured_local_s * 1.5);
+        // Phone model is consistently slower than computer model.
+        for r in &rows {
+            assert!(r.model_phone_s > 2.0 * r.model_computer_s);
+        }
+        // The synthetic trace has ~1 peak per 1000 samples.
+        assert!((rows[0].peaks_found as f64 - 240.0).abs() < 20.0);
+    }
+
+    #[test]
+    fn benchmark_signal_is_reproducible() {
+        assert_eq!(benchmark_signal(10_000), benchmark_signal(10_000));
+    }
+}

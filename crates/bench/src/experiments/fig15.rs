@@ -1,0 +1,136 @@
+//! Figure 15: normalized impedance response of (a) a blood cell, (b) a
+//! 3.58 µm bead, (c) a 7.8 µm bead at 500/1000/2000/2500/3000 kHz.
+//!
+//! Paper shapes: the 7.8 µm bead dips deepest (to ≈ 0.985), the blood cell
+//! intermediate, the 3.58 µm bead shallowest; and "at the frequency of 2 MHz
+//! and higher, the blood cell has lower electrical impedance response
+//! comparing to the impedance response of synthetic beads" — i.e. the cell's
+//! dips shrink with frequency while the beads' do not.
+
+use medsen_impedance::ElectrodeCircuit;
+use medsen_microfluidics::{ChannelGeometry, Particle, ParticleKind, TransitEvent};
+use medsen_sensor::{
+    CipherKey, ElectrodeArray, ElectrodeSelection, EncryptedAcquisition, FlowLevel,
+    GainLevel, KeySchedule,
+};
+use medsen_units::Seconds;
+
+/// One particle's per-carrier dip depths.
+#[derive(Debug, Clone)]
+pub struct FrequencyResponse {
+    /// The particle measured.
+    pub kind: ParticleKind,
+    /// `(carrier Hz, normalized minimum amplitude)` per carrier — the
+    /// quantity Fig. 15 plots (baseline 1.0, dips below).
+    pub minima: Vec<(f64, f64)>,
+}
+
+impl FrequencyResponse {
+    /// Dip depth (1 − minimum) at the carrier nearest `hz`.
+    pub fn dip_at(&self, hz: f64) -> f64 {
+        let (_, min) = self
+            .minima
+            .iter()
+            .min_by(|(a, _), (b, _)| {
+                (a - hz)
+                    .abs()
+                    .partial_cmp(&(b - hz).abs())
+                    .expect("finite carriers")
+            })
+            .expect("non-empty response");
+        1.0 - min
+    }
+}
+
+/// Measures all three Fig. 15 particles.
+pub fn run(seed: u64) -> Vec<FrequencyResponse> {
+    [
+        ParticleKind::RedBloodCell,
+        ParticleKind::Bead358,
+        ParticleKind::Bead78,
+    ]
+    .into_iter()
+    .map(|kind| {
+        let array = ElectrodeArray::paper_prototype();
+        let mut acq = EncryptedAcquisition::new(
+            array,
+            ChannelGeometry::paper_default(),
+            ElectrodeCircuit::paper_default(),
+            super::figure15_synth(seed),
+        );
+        let schedule = KeySchedule::Static(CipherKey {
+            selection: ElectrodeSelection::new(&array, &[array.lead()])
+                .expect("lead selection"),
+            gains: vec![GainLevel::unity(); 9],
+            flow: FlowLevel::nominal(),
+        });
+        let event = TransitEvent {
+            time: Seconds::new(0.5),
+            particle: Particle::nominal(kind),
+            velocity: 2250.0,
+        };
+        let out = acq.run(&[event], &schedule, Seconds::new(1.0));
+        let minima = out
+            .trace
+            .channels()
+            .iter()
+            .map(|c| (c.carrier.value(), c.min().expect("non-empty channel")))
+            .collect();
+        FrequencyResponse { kind, minima }
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amplitude_ordering_at_low_frequency() {
+        let rs = run(5);
+        let dip = |kind: ParticleKind, hz: f64| {
+            rs.iter()
+                .find(|r| r.kind == kind)
+                .expect("kind measured")
+                .dip_at(hz)
+        };
+        // 7.8 µm > blood cell > 3.58 µm at 500 kHz.
+        assert!(dip(ParticleKind::Bead78, 5e5) > dip(ParticleKind::RedBloodCell, 5e5));
+        assert!(dip(ParticleKind::RedBloodCell, 5e5) > dip(ParticleKind::Bead358, 5e5));
+    }
+
+    #[test]
+    fn cell_response_shrinks_above_2mhz_but_beads_do_not() {
+        let rs = run(5);
+        let cell = rs
+            .iter()
+            .find(|r| r.kind == ParticleKind::RedBloodCell)
+            .expect("cell measured");
+        let bead = rs
+            .iter()
+            .find(|r| r.kind == ParticleKind::Bead78)
+            .expect("bead measured");
+        assert!(
+            cell.dip_at(3.0e6) < 0.7 * cell.dip_at(5e5),
+            "cell 3 MHz {} vs 500 kHz {}",
+            cell.dip_at(3.0e6),
+            cell.dip_at(5e5)
+        );
+        assert!(
+            bead.dip_at(3.0e6) > 0.85 * bead.dip_at(5e5),
+            "bead must stay flat"
+        );
+    }
+
+    #[test]
+    fn depth_scale_matches_figure() {
+        // Fig. 15c: the 7.8 µm bead dips to ≈ 0.985 (1.5 %).
+        let rs = run(5);
+        let bead = rs
+            .iter()
+            .find(|r| r.kind == ParticleKind::Bead78)
+            .expect("bead measured");
+        let dip = bead.dip_at(5e5);
+        assert!((0.008..0.03).contains(&dip), "dip {dip}");
+    }
+}

@@ -1,0 +1,99 @@
+//! The key-length accounting of Sec. VI-B (Eq. 2).
+//!
+//! Headline row: "Considering a 20K-cell sample, with a 16 output electrode
+//! bio-sensor, with 16 different choices of gains (4-bit representation) and
+//! 16 different flow speeds, that would lead us to a
+//! 20K ∗ (16 + 8 ∗ 4 + 4) = 1M-bits key (0.12MB)."
+
+use medsen_sensor::{ideal_key_length_bits, Controller, ControllerConfig, ElectrodeArray};
+use medsen_units::Seconds;
+
+/// One parameterization's key size.
+#[derive(Debug, Clone, Copy)]
+pub struct KeyLengthRow {
+    /// Cells in the sample.
+    pub n_cells: u64,
+    /// Output electrodes.
+    pub n_electrodes: u64,
+    /// Gain resolution (bits).
+    pub r_gain: u64,
+    /// Flow resolution (bits).
+    pub r_flow: u64,
+    /// Ideal per-cell key length (bits).
+    pub bits: u64,
+    /// Same, in megabytes.
+    pub megabytes: f64,
+}
+
+/// Builds the Eq. 2 table (the paper's row plus sweeps of each parameter).
+pub fn run() -> Vec<KeyLengthRow> {
+    let params: [(u64, u64, u64, u64); 6] = [
+        (20_000, 16, 4, 4), // the paper's headline configuration
+        (20_000, 9, 4, 4),  // the fabricated 9-output prototype
+        (20_000, 16, 2, 4), // coarser gains
+        (20_000, 16, 6, 4), // finer gains
+        (5_000, 16, 4, 4),  // smaller sample
+        (80_000, 16, 4, 4), // larger sample
+    ];
+    params
+        .into_iter()
+        .map(|(n_cells, n_electrodes, r_gain, r_flow)| {
+            let bits = ideal_key_length_bits(n_cells, n_electrodes, r_gain, r_flow);
+            KeyLengthRow {
+                n_cells,
+                n_electrodes,
+                r_gain,
+                r_flow,
+                bits,
+                megabytes: bits as f64 / 8.0 / 1.0e6,
+            }
+        })
+        .collect()
+}
+
+/// The deployed periodic scheme's key size for a run of `duration` — the
+/// practical alternative Sec. IV-A describes.
+pub fn deployed_key_bits(duration: Seconds, seed: u64) -> usize {
+    let mut controller = Controller::new(
+        ElectrodeArray::paper_prototype(),
+        ControllerConfig::paper_default(),
+        seed,
+    );
+    controller.generate_schedule(duration);
+    controller.key_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_row_matches_the_paper() {
+        let rows = run();
+        let headline = rows[0];
+        assert_eq!(headline.bits, 1_040_000);
+        assert!(
+            (headline.megabytes - 0.13).abs() < 0.011,
+            "MB {}",
+            headline.megabytes
+        );
+    }
+
+    #[test]
+    fn key_grows_with_each_parameter() {
+        let rows = run();
+        let headline = rows[0].bits;
+        assert!(rows[1].bits < headline, "fewer electrodes → smaller key");
+        assert!(rows[2].bits < headline, "coarser gains → smaller key");
+        assert!(rows[3].bits > headline, "finer gains → larger key");
+        assert!(rows[4].bits < headline && rows[5].bits > headline);
+    }
+
+    #[test]
+    fn deployed_schedule_is_vastly_smaller_than_ideal() {
+        // A 3-hour run at one key per 5 s vs keying each of 20 K cells.
+        let deployed = deployed_key_bits(Seconds::new(3.0 * 3600.0), 1);
+        let ideal = ideal_key_length_bits(20_000, 9, 4, 4) as usize;
+        assert!(deployed * 5 < ideal, "deployed {deployed} vs ideal {ideal}");
+    }
+}

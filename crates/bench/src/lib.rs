@@ -1,0 +1,20 @@
+//! Experiment harness: regenerates every table and figure of the MedSen
+//! evaluation (DSN 2016, Sec. VII).
+//!
+//! Each `experiments::*` module implements one figure/table as a pure
+//! function returning structured rows, so the `src/bin/*` harness binaries
+//! can print them and the integration tests can assert their shape. Absolute
+//! numbers differ from the paper (our substrate is a simulator, theirs a
+//! fabricated device), but each module documents — and the repo's
+//! EXPERIMENTS.md records — the paper-vs-measured comparison.
+//!
+//! Run a single figure with, e.g.:
+//!
+//! ```text
+//! cargo run --release -p medsen-bench --bin fig11_electrode_subsets
+//! ```
+
+pub mod experiments;
+pub mod table;
+
+pub use table::print_table;

@@ -1,0 +1,62 @@
+//! Plain-text table rendering for the harness binaries.
+
+/// Prints an aligned table with a header row and a separator line.
+///
+/// # Panics
+///
+/// Panics if any row's width differs from the header's.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    for row in rows {
+        assert_eq!(
+            row.len(),
+            headers.len(),
+            "row width must match header width"
+        );
+    }
+    let widths: Vec<usize> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r[i].len())
+                .chain(std::iter::once(h.len()))
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let fmt_row = |cells: Vec<&str>| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(headers.to_vec()));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    for row in rows {
+        println!("{}", fmt_row(row.iter().map(String::as_str).collect()));
+    }
+}
+
+/// Formats a float with the given number of decimals.
+pub fn fmt(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_rounds() {
+        assert_eq!(fmt(0.123456, 3), "0.123");
+        assert_eq!(fmt(2.0, 1), "2.0");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width must match")]
+    fn mismatched_rows_panic() {
+        print_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+}

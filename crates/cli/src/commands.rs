@@ -1,0 +1,260 @@
+//! The `medsen-cli` subcommands.
+
+use crate::{parse, split_options};
+use medsen_cloud::{
+    AmplitudeGroupingAttack, AnalysisServer, BurstClusteringAttack, WidthGroupingAttack,
+};
+use medsen_core::{CytoPassword, DiagnosticRule, PasswordAlphabet, Pipeline, PipelineConfig};
+use medsen_microfluidics::{
+    ChannelGeometry, ParticleKind, PeristalticPump, TransportSimulator,
+};
+use medsen_phone::{trace_from_csv, trace_to_csv};
+use medsen_sensor::{ideal_key_length_bits, Controller, ControllerConfig, EncryptedAcquisition};
+use medsen_units::{Concentration, Seconds};
+use std::io::Write;
+
+type Out<'a> = &'a mut dyn Write;
+
+fn wl(out: Out, text: impl AsRef<str>) {
+    let _ = writeln!(out, "{}", text.as_ref());
+}
+
+/// `session`: run one full diagnostic session.
+pub fn session(args: &[String], out: Out) -> Result<(), String> {
+    let (positional, options) = split_options(args)?;
+    if !positional.is_empty() {
+        return Err(format!("unexpected argument `{}`", positional[0]));
+    }
+    let seed: u64 = parse(&options, "seed", 2024)?;
+    let duration: f64 = parse(&options, "duration", 30.0)?;
+    if !(1.0..=600.0).contains(&duration) {
+        return Err("--duration must be in 1..=600 seconds".into());
+    }
+    let auth = options.contains_key("auth");
+
+    if auth {
+        let alphabet = PasswordAlphabet::paper_default();
+        let config = PipelineConfig {
+            duration: Seconds::new(duration),
+            ..PipelineConfig::auth_default(seed)
+        };
+        let mut pipeline =
+            Pipeline::new(config, alphabet.clone(), DiagnosticRule::cd4_staging());
+        wl(out, "calibrating classifier...");
+        pipeline.calibrate_classifier();
+        let volume = pipeline.processed_volume();
+        let password = CytoPassword::new(&alphabet, vec![2, 6]).expect("valid levels");
+        pipeline
+            .auth_mut()
+            .enroll("cli-user", password.expected_signature(&alphabet, volume));
+        let report = pipeline.run_session("cli-user", &password);
+        wl(out, format!("measured signature : {:?}", report.measured_signature));
+        wl(out, format!("auth decision      : {:?}", report.auth));
+    } else {
+        let alphabet = PasswordAlphabet::new(
+            vec![ParticleKind::Bead358, ParticleKind::Bead78],
+            Concentration::new(100.0),
+            8,
+        )
+        .expect("valid alphabet");
+        let password = CytoPassword::new(&alphabet, vec![1, 1]).expect("valid levels");
+        let config = PipelineConfig {
+            duration: Seconds::new(duration),
+            ..PipelineConfig::paper_default(seed)
+        };
+        let mut pipeline = Pipeline::new(config, alphabet, DiagnosticRule::cd4_staging());
+        let report = pipeline.run_session("cli-user", &password);
+        wl(out, format!("true particles     : {} cells + {} beads",
+            report.true_cells, report.true_beads));
+        wl(out, format!("cloud saw          : {} peaks", report.peak_count));
+        wl(out, format!("decoded            : {:?} total, {:?} cells",
+            report.decoded_total, report.decoded_cells));
+        wl(out, format!("verdict            : {:?}", report.verdict));
+        wl(out, format!("compression        : {:.2}x", report.compression.ratio()));
+        wl(out, format!("post-acquisition   : {:.3} s",
+            report.timing.post_acquisition_s()));
+    }
+    Ok(())
+}
+
+/// `enroll`: assign collision-free passwords to users.
+pub fn enroll(args: &[String], out: Out) -> Result<(), String> {
+    let (users, _) = split_options(args)?;
+    if users.is_empty() {
+        return Err("enroll needs at least one user name".into());
+    }
+    let alphabet = PasswordAlphabet::paper_default();
+    let mut registry = medsen_core::UserRegistry::new(alphabet.clone(), 2);
+    wl(out, format!(
+        "password space: {} identifiers, {:.1} bits",
+        alphabet.password_space(),
+        alphabet.entropy_bits()
+    ));
+    for user in &users {
+        let pw = registry.enroll(user.clone()).map_err(|e| e.to_string())?;
+        wl(out, format!("enrolled {user}: levels {:?}", pw.levels()));
+    }
+    wl(out, format!("capacity left: {}", registry.capacity_left()));
+    Ok(())
+}
+
+/// `synth`: write a demo encrypted trace CSV.
+pub fn synth(args: &[String], out: Out) -> Result<(), String> {
+    let (positional, options) = split_options(args)?;
+    let [path] = positional.as_slice() else {
+        return Err("synth needs exactly one output path".into());
+    };
+    let seed: u64 = parse(&options, "seed", 7)?;
+    let particles: usize = parse(&options, "particles", 12)?;
+    if particles == 0 || particles > 200 {
+        return Err("--particles must be in 1..=200".into());
+    }
+    let duration = Seconds::new(2.0 + particles as f64 * 1.5);
+    let mut sim = TransportSimulator::new(
+        ChannelGeometry::paper_default(),
+        PeristalticPump::paper_default(),
+        seed,
+    );
+    let events = sim.run_exact_count(ParticleKind::Bead78, particles, duration);
+    let mut acq = EncryptedAcquisition::paper_default(seed);
+    let mut controller = Controller::new(*acq.array(), ControllerConfig::paper_default(), seed);
+    let schedule = controller.generate_schedule(duration).clone();
+    let acquired = acq.run(&events, &schedule, duration);
+    let csv = trace_to_csv(&acquired.trace);
+    std::fs::write(path, &csv).map_err(|e| format!("cannot write {path}: {e}"))?;
+    wl(out, format!(
+        "wrote {} ({} samples/channel, {} true particles, {} scheduled dips)",
+        path,
+        acquired.trace.len(),
+        particles,
+        acquired.scheduled_dips
+    ));
+    Ok(())
+}
+
+fn load_trace(path: &str) -> Result<medsen_impedance::SignalTrace, String> {
+    let csv =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    trace_from_csv(&csv).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `analyze`: run the cloud pipeline on a trace CSV.
+pub fn analyze(args: &[String], out: Out) -> Result<(), String> {
+    let (positional, _) = split_options(args)?;
+    let [path] = positional.as_slice() else {
+        return Err("analyze needs exactly one CSV path".into());
+    };
+    let trace = load_trace(path)?;
+    let report = AnalysisServer::paper_default().analyze(&trace);
+    wl(out, format!(
+        "trace: {} channels x {} samples, {:.1} s",
+        trace.channels().len(),
+        trace.len(),
+        report.duration_s
+    ));
+    wl(out, format!("noise floor (sigma): {:.2e}", report.noise_sigma));
+    wl(out, format!("peaks: {}", report.peak_count()));
+    for p in report.peaks.iter().take(20) {
+        wl(out, format!(
+            "  t={:.3}s amp={:.4} width={:.1}ms",
+            p.time_s,
+            p.amplitude,
+            p.width_s * 1e3
+        ));
+    }
+    if report.peak_count() > 20 {
+        wl(out, format!("  ... {} more", report.peak_count() - 20));
+    }
+    Ok(())
+}
+
+/// `attack`: run the three Sec. IV-A attacks on a trace CSV.
+pub fn attack(args: &[String], out: Out) -> Result<(), String> {
+    let (positional, _) = split_options(args)?;
+    let [path] = positional.as_slice() else {
+        return Err("attack needs exactly one CSV path".into());
+    };
+    let trace = load_trace(path)?;
+    let report = AnalysisServer::paper_default().analyze(&trace);
+    wl(out, format!("observed peaks: {}", report.peak_count()));
+    let amp = AmplitudeGroupingAttack::paper_default().estimate(&report);
+    let width = WidthGroupingAttack::paper_default().estimate(&report);
+    let burst = BurstClusteringAttack::paper_default().estimate(&report);
+    wl(out, format!("amplitude-grouping estimate : {} cells", amp.estimated_cells));
+    wl(out, format!("width-grouping estimate     : {} cells", width.estimated_cells));
+    wl(out, format!("burst-clustering estimate   : {} cells", burst.estimated_cells));
+    wl(out, "(only the key-holding controller can decrypt the true count)");
+    Ok(())
+}
+
+/// `capability`: demonstrate practitioner key sharing — derive, seal,
+/// unseal, and decrypt with a shared secret.
+pub fn capability(args: &[String], out: Out) -> Result<(), String> {
+    let (positional, options) = split_options(args)?;
+    if !positional.is_empty() {
+        return Err(format!("unexpected argument `{}`", positional[0]));
+    }
+    let seed: u64 = parse(&options, "seed", 99)?;
+    let secret: u64 = parse(&options, "secret", 0x5EC2E7)?;
+    let duration = Seconds::new(parse(&options, "duration", 20.0)?);
+
+    let mut sim = TransportSimulator::new(
+        ChannelGeometry::paper_default(),
+        PeristalticPump::paper_default(),
+        seed,
+    );
+    let events = sim.run_exact_count(ParticleKind::Bead78, 12, duration);
+    let mut acq = EncryptedAcquisition::paper_default(seed);
+    let mut controller = Controller::new(*acq.array(), ControllerConfig::paper_default(), seed);
+    let schedule = controller.generate_schedule(duration).clone();
+    let acquired = acq.run(&events, &schedule, duration);
+    let report =
+        medsen_cloud::AnalysisServer::paper_default().analyze(&acquired.trace);
+
+    let geometry = ChannelGeometry::paper_default();
+    let v = PeristalticPump::paper_default().velocity_at(
+        Seconds::ZERO,
+        geometry.pore_width,
+        geometry.pore_height,
+    );
+    let delay = Seconds::new(acq.array().span(&geometry).value() / (2.0 * v));
+    let cap = medsen_core::sharing::DecryptionCapability::derive(&controller, delay);
+    let sealed = medsen_core::sharing::SealedCapability::seal(&cap, secret, 1);
+    wl(out, format!(
+        "sealed capability: {} bytes (per-period multiplicities {:?})",
+        sealed.len(),
+        cap.multiplicities
+    ));
+    let opened = sealed
+        .unseal(secret)
+        .map_err(|e| format!("unseal failed: {e}"))?;
+    let decoded = opened.decrypt(&report.reported_peaks());
+    wl(out, format!(
+        "practitioner decrypts: {} particles (ground truth {})",
+        decoded.rounded(),
+        acquired.true_total()
+    ));
+    match sealed.unseal(secret.wrapping_add(1)) {
+        Err(e) => wl(out, format!("wrong secret: {e}")),
+        Ok(_) => return Err("wrong secret must not unseal".into()),
+    }
+    Ok(())
+}
+
+/// `keylen`: Eq. 2.
+pub fn keylen(args: &[String], out: Out) -> Result<(), String> {
+    let (positional, _) = split_options(args)?;
+    let values: Vec<u64> = positional
+        .iter()
+        .map(|a| a.parse().map_err(|_| format!("`{a}` is not a number")))
+        .collect::<Result<_, _>>()?;
+    let [cells, electrodes, gain_bits, flow_bits] = values.as_slice() else {
+        return Err("keylen needs: <cells> <electrodes> <gainbits> <flowbits>".into());
+    };
+    let bits = ideal_key_length_bits(*cells, *electrodes, *gain_bits, *flow_bits);
+    wl(out, format!(
+        "L = {cells} x ({electrodes} + {electrodes}/2 x {gain_bits} + {flow_bits}) = {bits} bits ({:.3} MB)",
+        bits as f64 / 8.0 / 1e6
+    ));
+    Ok(())
+}

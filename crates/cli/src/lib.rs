@@ -1,0 +1,155 @@
+//! Implementation of the `medsen-cli` command set.
+//!
+//! Each subcommand is a pure function from parsed arguments to an exit
+//! status plus output written to the supplied writer, so the integration
+//! tests can drive commands without spawning processes and the binary stays
+//! a thin shim.
+
+pub mod commands;
+
+use std::io::Write;
+
+/// Command outcome: process exit code.
+pub type ExitCode = i32;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+medsen-cli — secure point-of-care diagnostics (MedSen, DSN 2016 reproduction)
+
+USAGE:
+    medsen-cli <COMMAND> [ARGS]
+
+COMMANDS:
+    session   [--auth] [--seed N] [--duration SECS]   run one diagnostic session
+    enroll    <user>...                                enroll users, print assignments
+    synth     <out.csv> [--seed N] [--particles N]     synthesize a demo trace CSV
+    analyze   <trace.csv>                              cloud-side peak analysis of a CSV
+    attack    <trace.csv>                              run the Sec. IV-A attacks on a CSV
+    keylen    <cells> <electrodes> <gainbits> <flowbits>   Eq. 2 key length
+    capability [--seed N] [--secret N] [--duration S]  practitioner key-sharing demo
+    help                                               show this text
+";
+
+/// Dispatches a full argument vector (excluding `argv[0]`).
+pub fn run(args: &[String], out: &mut dyn Write) -> ExitCode {
+    let Some((command, rest)) = args.split_first() else {
+        let _ = writeln!(out, "{USAGE}");
+        return 2;
+    };
+    let result = match command.as_str() {
+        "session" => commands::session(rest, out),
+        "enroll" => commands::enroll(rest, out),
+        "synth" => commands::synth(rest, out),
+        "analyze" => commands::analyze(rest, out),
+        "attack" => commands::attack(rest, out),
+        "keylen" => commands::keylen(rest, out),
+        "capability" => commands::capability(rest, out),
+        "help" | "--help" | "-h" => {
+            let _ = writeln!(out, "{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => 0,
+        Err(message) => {
+            let _ = writeln!(out, "error: {message}");
+            1
+        }
+    }
+}
+
+/// Parses `--flag value` style options out of an argument list, returning
+/// `(positional, lookup)` where `lookup(name)` yields the last value given.
+pub(crate) fn split_options(
+    args: &[String],
+) -> Result<(Vec<String>, std::collections::BTreeMap<String, String>), String> {
+    let mut positional = Vec::new();
+    let mut options = std::collections::BTreeMap::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            if name == "auth" || name == "full" {
+                options.insert(name.to_owned(), "true".to_owned());
+            } else {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("option --{name} needs a value"))?;
+                options.insert(name.to_owned(), value.clone());
+            }
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    Ok((positional, options))
+}
+
+pub(crate) fn parse<T: std::str::FromStr>(
+    options: &std::collections::BTreeMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match options.get(name) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("option --{name} got unparsable value `{raw}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_string(args: &[&str]) -> (ExitCode, String) {
+        let args: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+        let mut buf = Vec::new();
+        let code = run(&args, &mut buf);
+        (code, String::from_utf8(buf).expect("utf8 output"))
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        let (code, text) = run_to_string(&[]);
+        assert_eq!(code, 2);
+        assert!(text.contains("USAGE"));
+    }
+
+    #[test]
+    fn help_succeeds() {
+        let (code, text) = run_to_string(&["help"]);
+        assert_eq!(code, 0);
+        assert!(text.contains("session"));
+    }
+
+    #[test]
+    fn unknown_command_fails_with_usage() {
+        let (code, text) = run_to_string(&["frobnicate"]);
+        assert_eq!(code, 1);
+        assert!(text.contains("unknown command"));
+    }
+
+    #[test]
+    fn option_splitting() {
+        let args: Vec<String> = ["a", "--seed", "7", "b", "--auth"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let (positional, options) = split_options(&args).unwrap();
+        assert_eq!(positional, vec!["a", "b"]);
+        assert_eq!(options.get("seed").map(String::as_str), Some("7"));
+        assert_eq!(options.get("auth").map(String::as_str), Some("true"));
+    }
+
+    #[test]
+    fn option_missing_value_errors() {
+        let args: Vec<String> = vec!["--seed".to_owned()];
+        assert!(split_options(&args).is_err());
+    }
+
+    #[test]
+    fn parse_falls_back_to_default() {
+        let options = std::collections::BTreeMap::new();
+        assert_eq!(parse(&options, "seed", 42u64).unwrap(), 42);
+    }
+}

@@ -1,0 +1,7 @@
+//! Thin binary shim over [`medsen_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    std::process::exit(medsen_cli::run(&args, &mut stdout));
+}

@@ -1,0 +1,108 @@
+//! End-to-end CLI tests: drive the actual binary through its subcommands.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_medsen-cli"))
+}
+
+fn run(args: &[&str]) -> (i32, String) {
+    let output = bin().args(args).output().expect("binary runs");
+    let text = String::from_utf8_lossy(&output.stdout).into_owned()
+        + &String::from_utf8_lossy(&output.stderr);
+    (output.status.code().unwrap_or(-1), text)
+}
+
+#[test]
+fn help_and_errors() {
+    let (code, text) = run(&["help"]);
+    assert_eq!(code, 0);
+    assert!(text.contains("medsen-cli"));
+
+    let (code, text) = run(&["nonsense"]);
+    assert_eq!(code, 1);
+    assert!(text.contains("unknown command"));
+
+    let (code, _) = run(&[]);
+    assert_eq!(code, 2);
+}
+
+#[test]
+fn keylen_reproduces_the_paper_headline() {
+    let (code, text) = run(&["keylen", "20000", "16", "4", "4"]);
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("1040000 bits"), "{text}");
+}
+
+#[test]
+fn enroll_assigns_passwords() {
+    let (code, text) = run(&["enroll", "alice", "bob"]);
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("enrolled alice"));
+    assert!(text.contains("enrolled bob"));
+    assert!(text.contains("password space"));
+}
+
+#[test]
+fn synth_analyze_attack_round_trip() {
+    let dir = std::env::temp_dir().join(format!("medsen-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let csv = dir.join("trace.csv");
+    let csv_str = csv.to_str().expect("utf8 path");
+
+    let (code, text) = run(&["synth", csv_str, "--seed", "9", "--particles", "6"]);
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("wrote"), "{text}");
+    assert!(csv.exists());
+
+    let (code, text) = run(&["analyze", csv_str]);
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("peaks:"), "{text}");
+    assert!(text.contains("noise floor"), "{text}");
+
+    let (code, text) = run(&["attack", csv_str]);
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("amplitude-grouping estimate"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn session_runs_encrypted_mode() {
+    let (code, text) = run(&["session", "--seed", "3", "--duration", "10"]);
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("decoded"), "{text}");
+    assert!(text.contains("verdict"), "{text}");
+}
+
+#[test]
+fn session_validates_duration() {
+    let (code, text) = run(&["session", "--duration", "100000"]);
+    assert_eq!(code, 1);
+    assert!(text.contains("--duration"), "{text}");
+}
+
+#[test]
+fn analyze_rejects_missing_and_malformed_files() {
+    let (code, text) = run(&["analyze", "/nonexistent/trace.csv"]);
+    assert_eq!(code, 1);
+    assert!(text.contains("cannot read"), "{text}");
+
+    let dir = std::env::temp_dir().join(format!("medsen-cli-bad-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let bad = dir.join("bad.csv");
+    std::fs::write(&bad, "this is not a trace").expect("write");
+    let (code, text) = run(&["analyze", bad.to_str().expect("utf8")]);
+    assert_eq!(code, 1);
+    assert!(text.contains("error"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn capability_demo_round_trips() {
+    let (code, text) = run(&["capability", "--seed", "5", "--duration", "15"]);
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("sealed capability"), "{text}");
+    assert!(text.contains("practitioner decrypts"), "{text}");
+    assert!(text.contains("wrong secret"), "{text}");
+}

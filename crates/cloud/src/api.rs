@@ -1,0 +1,128 @@
+//! Wire types between the phone/cloud and the sensor.
+//!
+//! These types are the *entire* vocabulary the untrusted side speaks: note
+//! the absence of any key material, electrode identity, or plaintext count —
+//! the server can only ever hand back peak statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// One peak as analyzed by the server: timing, shape, and per-carrier
+/// amplitudes (the classification features of Fig. 16).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalyzedPeak {
+    /// Peak timestamp, seconds from acquisition start.
+    pub time_s: f64,
+    /// Depth on the reference (lowest) carrier.
+    pub amplitude: f64,
+    /// Width in seconds.
+    pub width_s: f64,
+    /// Depth on every carrier channel, in channel order.
+    pub features: Vec<f64>,
+}
+
+impl AnalyzedPeak {
+    /// Converts to the minimal peak form the sensor-side decryptor consumes.
+    pub fn to_reported(&self) -> medsen_sensor::ReportedPeak {
+        medsen_sensor::ReportedPeak {
+            time_s: self.time_s,
+            amplitude: self.amplitude,
+            width_s: self.width_s,
+        }
+    }
+}
+
+/// The server's full analysis result for one acquisition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeakReport {
+    /// All detected peaks, in time order.
+    pub peaks: Vec<AnalyzedPeak>,
+    /// Carrier frequencies (Hz) the features are indexed by.
+    pub carriers_hz: Vec<f64>,
+    /// Output sampling rate of the analyzed trace.
+    pub sample_rate_hz: f64,
+    /// Analyzed duration in seconds.
+    pub duration_s: f64,
+    /// Robust noise-floor estimate (σ) of the reference channel's depth
+    /// signal. A deployment alarms when this leaves the sensor's normal
+    /// band — the explicit failure signature for a degraded sensor.
+    #[serde(default)]
+    pub noise_sigma: f64,
+}
+
+impl PeakReport {
+    /// Number of detected peaks — the only "count" the cloud ever knows.
+    pub fn peak_count(&self) -> usize {
+        self.peaks.len()
+    }
+
+    /// Peaks converted for the sensor-side decryptor.
+    pub fn reported_peaks(&self) -> Vec<medsen_sensor::ReportedPeak> {
+        self.peaks.iter().map(AnalyzedPeak::to_reported).collect()
+    }
+
+    /// Index of the carrier nearest `hz`, if any.
+    pub fn carrier_index(&self, hz: f64) -> Option<usize> {
+        self.carriers_hz
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                (*a - hz)
+                    .abs()
+                    .partial_cmp(&(*b - hz).abs())
+                    .expect("finite carriers")
+            })
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peak(t: f64) -> AnalyzedPeak {
+        AnalyzedPeak {
+            time_s: t,
+            amplitude: 0.004,
+            width_s: 0.02,
+            features: vec![0.004, 0.003],
+        }
+    }
+
+    #[test]
+    fn report_counts_and_converts() {
+        let report = PeakReport {
+            peaks: vec![peak(0.1), peak(0.2)],
+            carriers_hz: vec![5e5, 2.5e6],
+            sample_rate_hz: 450.0,
+            duration_s: 1.0,
+            noise_sigma: 3.0e-4,
+        };
+        assert_eq!(report.peak_count(), 2);
+        let reported = report.reported_peaks();
+        assert_eq!(reported.len(), 2);
+        assert_eq!(reported[0].time_s, 0.1);
+    }
+
+    #[test]
+    fn carrier_lookup() {
+        let report = PeakReport {
+            peaks: vec![],
+            carriers_hz: vec![5e5, 2.5e6],
+            sample_rate_hz: 450.0,
+            duration_s: 1.0,
+            noise_sigma: 3.0e-4,
+        };
+        assert_eq!(report.carrier_index(2.4e6), Some(1));
+        assert_eq!(report.carrier_index(1e3), Some(0));
+    }
+
+    #[test]
+    fn report_is_wire_safe() {
+        // The report crosses the network: it must be serializable in both
+        // directions and carry no key material by type (checked at compile
+        // time — `PeakReport` cannot even name `CipherKey`).
+        fn assert_wire<T: Serialize + for<'de> Deserialize<'de> + Send + Sync>() {}
+        assert_wire::<PeakReport>();
+        assert_wire::<AnalyzedPeak>();
+    }
+}

@@ -1,0 +1,319 @@
+//! Cyto-coded authentication (Sec. V).
+//!
+//! The server authenticates a user from the statistics of the synthetic
+//! beads mixed into the sample: it classifies each peak's multi-frequency
+//! feature vector as a bead type (or a blood cell, which is ignored), counts
+//! beads per type, and matches the measured signature against the enrolled
+//! identifiers within a tolerance band. The signature also doubles as the
+//! ciphertext integrity check: a stored record whose recovered identifier no
+//! longer matches was swapped or corrupted.
+
+use crate::api::PeakReport;
+use medsen_dsp::classify::Classifier;
+use medsen_dsp::features::FeatureVector;
+use medsen_microfluidics::ParticleKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A measured or enrolled bead signature: counts per bead type.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BeadSignature {
+    counts: BTreeMap<ParticleKind, u64>,
+}
+
+impl BeadSignature {
+    /// An empty signature.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a signature from `(bead type, count)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a non-bead species is used.
+    pub fn from_counts(counts: &[(ParticleKind, u64)]) -> Self {
+        let mut sig = Self::new();
+        for &(kind, n) in counts {
+            sig.set(kind, n);
+        }
+        sig
+    }
+
+    /// Sets the count of one bead type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is not a synthetic password bead.
+    pub fn set(&mut self, kind: ParticleKind, count: u64) {
+        assert!(
+            kind.is_password_bead(),
+            "`{kind}` cannot appear in a bead signature"
+        );
+        self.counts.insert(kind, count);
+    }
+
+    /// Increments one bead type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is not a synthetic password bead.
+    pub fn increment(&mut self, kind: ParticleKind) {
+        assert!(
+            kind.is_password_bead(),
+            "`{kind}` cannot appear in a bead signature"
+        );
+        *self.counts.entry(kind).or_insert(0) += 1;
+    }
+
+    /// The count for one bead type (0 if absent).
+    pub fn count(&self, kind: ParticleKind) -> u64 {
+        self.counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total beads across all types.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// All `(kind, count)` pairs in stable order.
+    pub fn entries(&self) -> impl Iterator<Item = (ParticleKind, u64)> + '_ {
+        self.counts.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Whether `measured` matches this enrolled signature within a relative
+    /// tolerance per bead type. Bead types enrolled at zero must measure at
+    /// most the absolute slack (`max(2, tolerance × 10)` beads of
+    /// contamination).
+    pub fn matches(&self, measured: &BeadSignature, rel_tolerance: f64) -> bool {
+        let kinds: Vec<ParticleKind> = ParticleKind::ALL
+            .into_iter()
+            .filter(|k| k.is_password_bead())
+            .collect();
+        for kind in kinds {
+            let enrolled = self.count(kind) as f64;
+            let got = measured.count(kind) as f64;
+            if enrolled == 0.0 {
+                let slack = (rel_tolerance * 10.0).max(2.0);
+                if got > slack {
+                    return false;
+                }
+            } else if (got - enrolled).abs() > rel_tolerance * enrolled {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// The server's authentication verdict.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AuthDecision {
+    /// The measured signature matched exactly one enrolled user.
+    Accepted {
+        /// The authenticated user.
+        user_id: String,
+    },
+    /// No enrolled signature matched.
+    Rejected,
+    /// More than one enrolled signature matched — an enrollment collision
+    /// (the dictionary was built with too-close concentration levels).
+    Ambiguous {
+        /// All matching users.
+        candidates: Vec<String>,
+    },
+}
+
+/// Server-side enrollment database + authentication logic.
+#[derive(Debug, Clone, Default)]
+pub struct AuthService {
+    enrolled: BTreeMap<String, BeadSignature>,
+    /// Relative per-type count tolerance (default 30 %: Poisson arrival
+    /// noise, coincidence losses, and classification slips on a few dozen
+    /// beads per type stay inside this band).
+    pub tolerance: f64,
+}
+
+impl AuthService {
+    /// An empty service with the default tolerance.
+    pub fn new() -> Self {
+        Self {
+            enrolled: BTreeMap::new(),
+            tolerance: 0.30,
+        }
+    }
+
+    /// Enrolls (or replaces) a user's expected signature.
+    pub fn enroll(&mut self, user_id: impl Into<String>, signature: BeadSignature) {
+        self.enrolled.insert(user_id.into(), signature);
+    }
+
+    /// Number of enrolled users.
+    pub fn enrolled_count(&self) -> usize {
+        self.enrolled.len()
+    }
+
+    /// Extracts the measured bead signature from a peak report using the
+    /// given particle classifier. Peaks classified as blood cells are
+    /// ignored; peaks classified as a bead type count toward that type.
+    pub fn measure_signature(
+        &self,
+        report: &PeakReport,
+        classifier: &Classifier,
+    ) -> BeadSignature {
+        let mut sig = BeadSignature::new();
+        for peak in &report.peaks {
+            let fv = FeatureVector {
+                index: 0,
+                amplitudes: peak.features.clone(),
+            };
+            if let Ok(label) = classifier.predict(&fv) {
+                if let Some(kind) = Self::kind_for_label(label) {
+                    sig.increment(kind);
+                }
+            }
+        }
+        sig
+    }
+
+    /// Maps classifier labels to bead kinds. The conventional labels are the
+    /// particle [`label`]s ("3.58um bead", "7.8um bead").
+    ///
+    /// [`label`]: ParticleKind::label
+    fn kind_for_label(label: &str) -> Option<ParticleKind> {
+        ParticleKind::ALL
+            .into_iter()
+            .filter(|k| k.is_password_bead())
+            .find(|k| k.label() == label)
+    }
+
+    /// Authenticates a measured signature against the enrollment database.
+    pub fn authenticate(&self, measured: &BeadSignature) -> AuthDecision {
+        let matches: Vec<&String> = self
+            .enrolled
+            .iter()
+            .filter(|(_, sig)| sig.matches(measured, self.tolerance))
+            .map(|(id, _)| id)
+            .collect();
+        match matches.as_slice() {
+            [] => AuthDecision::Rejected,
+            [one] => AuthDecision::Accepted {
+                user_id: (*one).clone(),
+            },
+            many => AuthDecision::Ambiguous {
+                candidates: many.iter().map(|s| (*s).clone()).collect(),
+            },
+        }
+    }
+
+    /// The Sec. V integrity check: a stored ciphertext is intact iff the
+    /// signature recovered from it still matches the identifier it was
+    /// filed under.
+    pub fn verify_integrity(&self, user_id: &str, recovered: &BeadSignature) -> bool {
+        self.enrolled
+            .get(user_id)
+            .is_some_and(|sig| sig.matches(recovered, self.tolerance))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(b358: u64, b78: u64) -> BeadSignature {
+        BeadSignature::from_counts(&[
+            (ParticleKind::Bead358, b358),
+            (ParticleKind::Bead78, b78),
+        ])
+    }
+
+    #[test]
+    fn exact_signature_matches() {
+        assert!(sig(100, 50).matches(&sig(100, 50), 0.2));
+    }
+
+    #[test]
+    fn within_tolerance_matches_outside_rejects() {
+        let enrolled = sig(100, 50);
+        assert!(enrolled.matches(&sig(115, 45), 0.2));
+        assert!(!enrolled.matches(&sig(150, 50), 0.2));
+        assert!(!enrolled.matches(&sig(100, 10), 0.2));
+    }
+
+    #[test]
+    fn zero_enrolled_type_rejects_large_contamination() {
+        let enrolled = BeadSignature::from_counts(&[(ParticleKind::Bead358, 100)]);
+        let mut clean = BeadSignature::from_counts(&[(ParticleKind::Bead358, 100)]);
+        clean.set(ParticleKind::Bead78, 1); // trace contamination: ok
+        assert!(enrolled.matches(&clean, 0.2));
+        let mut dirty = BeadSignature::from_counts(&[(ParticleKind::Bead358, 100)]);
+        dirty.set(ParticleKind::Bead78, 40); // someone else's beads: reject
+        assert!(!enrolled.matches(&dirty, 0.2));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot appear in a bead signature")]
+    fn blood_cells_cannot_be_signature_symbols() {
+        let mut s = BeadSignature::new();
+        s.set(ParticleKind::RedBloodCell, 10);
+    }
+
+    #[test]
+    fn authentication_accepts_the_right_user() {
+        let mut svc = AuthService::new();
+        svc.enroll("alice", sig(100, 20));
+        svc.enroll("bob", sig(20, 100));
+        assert_eq!(
+            svc.authenticate(&sig(95, 22)),
+            AuthDecision::Accepted {
+                user_id: "alice".into()
+            }
+        );
+        assert_eq!(
+            svc.authenticate(&sig(18, 110)),
+            AuthDecision::Accepted {
+                user_id: "bob".into()
+            }
+        );
+    }
+
+    #[test]
+    fn authentication_rejects_unknown_signatures() {
+        let mut svc = AuthService::new();
+        svc.enroll("alice", sig(100, 20));
+        assert_eq!(svc.authenticate(&sig(300, 300)), AuthDecision::Rejected);
+    }
+
+    #[test]
+    fn too_close_enrollments_are_flagged_ambiguous() {
+        // "Keeping concentration levels of two patients too close to each
+        // other may confuse MedSen" — the service surfaces this rather than
+        // guessing.
+        let mut svc = AuthService::new();
+        svc.enroll("alice", sig(100, 20));
+        svc.enroll("mallory", sig(105, 21));
+        match svc.authenticate(&sig(102, 20)) {
+            AuthDecision::Ambiguous { candidates } => {
+                assert_eq!(candidates.len(), 2);
+            }
+            other => panic!("expected ambiguity, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn integrity_check_detects_swapped_records() {
+        let mut svc = AuthService::new();
+        svc.enroll("alice", sig(100, 20));
+        assert!(svc.verify_integrity("alice", &sig(98, 21)));
+        assert!(!svc.verify_integrity("alice", &sig(20, 100)));
+        assert!(!svc.verify_integrity("nobody", &sig(98, 21)));
+    }
+
+    #[test]
+    fn signature_totals_and_entries() {
+        let s = sig(30, 12);
+        assert_eq!(s.total(), 42);
+        assert_eq!(s.count(ParticleKind::Bead78), 12);
+        assert_eq!(s.entries().count(), 2);
+    }
+}

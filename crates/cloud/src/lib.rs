@@ -1,0 +1,36 @@
+//! The untrusted cloud side of MedSen: encrypted-signal analysis, cyto-coded
+//! authentication, record storage — and the adversary models the cipher is
+//! designed to defeat.
+//!
+//! The cloud is *curious but honest*: it faithfully runs peak analysis on
+//! whatever trace it receives and returns peak statistics, but it may also
+//! try to learn the true cell count (the diagnostic secret) from what it
+//! sees. This crate implements both roles:
+//!
+//! * [`AnalysisServer`] — detrend → threshold peak detection → per-carrier
+//!   feature extraction (the paper's Matlab pipeline, Sec. VI-C);
+//! * [`AuthService`] — bead-statistics authentication of cyto-coded
+//!   identifiers (Sec. V) plus the ciphertext integrity check;
+//! * [`RecordStore`] — diagnosis records keyed by identifier, "stored in
+//!   cloud for a later access by the patient's practitioner";
+//! * [`CloudService`] — the deployable request/response façade over the
+//!   JSON wire the phone relays;
+//! * [`adversary`] — the Sec. IV-A attacks: amplitude-signature grouping,
+//!   width-signature grouping, and temporal burst clustering, with the
+//!   divide-by-multiplication-factor count recovery they enable.
+
+pub mod adversary;
+pub mod api;
+pub mod auth;
+pub mod server;
+pub mod service;
+pub mod storage;
+
+pub use adversary::{
+    AmplitudeGroupingAttack, AttackOutcome, BurstClusteringAttack, WidthGroupingAttack,
+};
+pub use api::{AnalyzedPeak, PeakReport};
+pub use auth::{AuthDecision, AuthService, BeadSignature};
+pub use server::AnalysisServer;
+pub use service::{CloudService, Request, Response};
+pub use storage::{RecordId, RecordStore, StoredRecord};

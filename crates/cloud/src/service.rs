@@ -1,0 +1,331 @@
+//! The cloud service façade: one request/response endpoint tying together
+//! analysis, authentication, and record storage.
+//!
+//! The prototype's cloud is "a powerful server that runs Matlab"; a
+//! deployable service needs an actual protocol. [`CloudService`] dispatches
+//! JSON-encoded [`Request`]s (as carried by the phone's accessory/network
+//! frames) to the analysis server, the auth service, and the record store,
+//! and returns JSON-encoded [`Response`]s. Everything stays inside the
+//! curious-but-honest boundary: requests carry ciphertext traces and bead
+//! statistics, never key material.
+
+use crate::api::PeakReport;
+use crate::auth::{AuthDecision, AuthService, BeadSignature};
+use crate::server::AnalysisServer;
+use crate::storage::{RecordId, RecordStore, StoredRecord};
+use medsen_dsp::classify::Classifier;
+use medsen_impedance::SignalTrace;
+use serde::{Deserialize, Serialize};
+
+/// A client request to the cloud service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Analyze an encrypted trace; optionally authenticate and store the
+    /// result under the recovered identifier.
+    Analyze {
+        /// The encrypted multi-channel trace.
+        trace: SignalTrace,
+        /// Whether to classify beads and authenticate (plaintext sessions).
+        authenticate: bool,
+    },
+    /// Enroll an identifier's expected bead signature.
+    Enroll {
+        /// Cloud-side identifier (an anonymous pipette alias or a user id).
+        identifier: String,
+        /// Expected bead counts.
+        signature: BeadSignature,
+    },
+    /// Fetch a stored record by id.
+    Fetch {
+        /// The record to fetch.
+        record_id: RecordId,
+    },
+    /// Verify a stored record's identifier binding (Sec. V integrity check).
+    VerifyIntegrity {
+        /// The record to verify.
+        record_id: RecordId,
+    },
+    /// Service liveness probe.
+    Ping,
+}
+
+/// The service's reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Analysis outcome (and, when requested, the auth decision and the id
+    /// of the stored record).
+    Analyzed {
+        /// The peak statistics (the only thing the cloud ever "knows").
+        report: PeakReport,
+        /// Authentication outcome when `authenticate` was set.
+        auth: Option<AuthDecision>,
+        /// Record id when the result was stored (accepted auth only).
+        stored_as: Option<RecordId>,
+    },
+    /// Enrollment acknowledged.
+    Enrolled,
+    /// A fetched record.
+    Record(StoredRecord),
+    /// Integrity verdict for a stored record.
+    Integrity {
+        /// Whether the record still matches its identifier.
+        intact: bool,
+    },
+    /// Liveness reply.
+    Pong,
+    /// The request could not be served.
+    Error {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+/// The assembled cloud service.
+#[derive(Debug)]
+pub struct CloudService {
+    analysis: AnalysisServer,
+    auth: AuthService,
+    store: RecordStore,
+    classifier: Option<Classifier>,
+}
+
+impl CloudService {
+    /// Creates a service with the paper-default analysis pipeline.
+    pub fn new() -> Self {
+        Self {
+            analysis: AnalysisServer::paper_default(),
+            auth: AuthService::new(),
+            store: RecordStore::new(),
+            classifier: None,
+        }
+    }
+
+    /// Installs the bead/cell classifier (required for authentication).
+    pub fn install_classifier(&mut self, classifier: Classifier) {
+        self.classifier = Some(classifier);
+    }
+
+    /// Direct access to the record store (for operational tooling).
+    pub fn store(&self) -> &RecordStore {
+        &self.store
+    }
+
+    /// Handles one request.
+    pub fn handle(&mut self, request: Request) -> Response {
+        match request {
+            Request::Ping => Response::Pong,
+            Request::Enroll {
+                identifier,
+                signature,
+            } => {
+                self.auth.enroll(identifier, signature);
+                Response::Enrolled
+            }
+            Request::Fetch { record_id } => match self.store.fetch(record_id) {
+                Some(record) => Response::Record(record),
+                None => Response::Error {
+                    reason: format!("no record {record_id:?}"),
+                },
+            },
+            Request::VerifyIntegrity { record_id } => match self.store.fetch(record_id) {
+                Some(record) => Response::Integrity {
+                    intact: self.auth.verify_integrity(&record.user_id, &record.signature),
+                },
+                None => Response::Error {
+                    reason: format!("no record {record_id:?}"),
+                },
+            },
+            Request::Analyze {
+                trace,
+                authenticate,
+            } => {
+                if trace.channels().is_empty() {
+                    return Response::Error {
+                        reason: "trace has no channels".into(),
+                    };
+                }
+                let report = self.analysis.analyze(&trace);
+                if !authenticate {
+                    return Response::Analyzed {
+                        report,
+                        auth: None,
+                        stored_as: None,
+                    };
+                }
+                let Some(classifier) = &self.classifier else {
+                    return Response::Error {
+                        reason: "no classifier installed for authentication".into(),
+                    };
+                };
+                let signature = self.auth.measure_signature(&report, classifier);
+                let decision = self.auth.authenticate(&signature);
+                let stored_as = if let AuthDecision::Accepted { user_id } = &decision {
+                    Some(self.store.store(StoredRecord {
+                        user_id: user_id.clone(),
+                        report: report.clone(),
+                        signature,
+                    }))
+                } else {
+                    None
+                };
+                Response::Analyzed {
+                    report,
+                    auth: Some(decision),
+                    stored_as,
+                }
+            }
+        }
+    }
+
+    /// Handles a JSON-encoded request, returning a JSON-encoded response —
+    /// the exact byte-level interface behind the phone's network frames.
+    pub fn handle_json(&mut self, request_json: &str) -> String {
+        let response = match medsen_phone_json::from_json::<Request>(request_json) {
+            Ok(request) => self.handle(request),
+            Err(e) => Response::Error {
+                reason: format!("malformed request: {e}"),
+            },
+        };
+        medsen_phone_json::to_json(&response)
+            .unwrap_or_else(|e| format!("{{\"Error\":{{\"reason\":\"encode failure: {e}\"}}}}"))
+    }
+}
+
+impl Default for CloudService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// The JSON codec lives in medsen-phone (the relay owns the wire format);
+// alias it locally to keep call sites readable.
+use medsen_phone as medsen_phone_json;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medsen_impedance::{PulseSpec, TraceSynthesizer};
+    use medsen_microfluidics::ParticleKind;
+    use medsen_units::Seconds;
+
+    fn trace(n_pulses: usize) -> SignalTrace {
+        let mut synth = TraceSynthesizer::clean(1);
+        let pulses: Vec<PulseSpec> = (0..n_pulses)
+            .map(|i| {
+                PulseSpec::unipolar(Seconds::new(0.5 + i as f64), Seconds::new(0.02), 0.01)
+            })
+            .collect();
+        synth.render(&pulses, Seconds::new(n_pulses as f64 + 1.0))
+    }
+
+    #[test]
+    fn ping_pongs() {
+        let mut svc = CloudService::new();
+        assert_eq!(svc.handle(Request::Ping), Response::Pong);
+    }
+
+    #[test]
+    fn analyze_without_auth_reports_peaks() {
+        let mut svc = CloudService::new();
+        let response = svc.handle(Request::Analyze {
+            trace: trace(4),
+            authenticate: false,
+        });
+        match response {
+            Response::Analyzed {
+                report,
+                auth,
+                stored_as,
+            } => {
+                assert_eq!(report.peak_count(), 4);
+                assert!(auth.is_none());
+                assert!(stored_as.is_none());
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn auth_without_classifier_errors() {
+        let mut svc = CloudService::new();
+        let response = svc.handle(Request::Analyze {
+            trace: trace(1),
+            authenticate: true,
+        });
+        assert!(matches!(response, Response::Error { .. }));
+    }
+
+    #[test]
+    fn fetch_unknown_record_errors() {
+        let mut svc = CloudService::new();
+        assert!(matches!(
+            svc.handle(Request::Fetch {
+                record_id: RecordId(99)
+            }),
+            Response::Error { .. }
+        ));
+    }
+
+    #[test]
+    fn enroll_then_integrity_flow() {
+        let mut svc = CloudService::new();
+        let signature =
+            BeadSignature::from_counts(&[(ParticleKind::Bead358, 40), (ParticleKind::Bead78, 10)]);
+        assert_eq!(
+            svc.handle(Request::Enroll {
+                identifier: "pipette-7".into(),
+                signature: signature.clone(),
+            }),
+            Response::Enrolled
+        );
+        // Store a record manually and verify it.
+        let id = svc.store().store(StoredRecord {
+            user_id: "pipette-7".into(),
+            report: PeakReport {
+                peaks: vec![],
+                carriers_hz: vec![5e5],
+                sample_rate_hz: 450.0,
+                duration_s: 1.0,
+                noise_sigma: 3.0e-4,
+            },
+            signature,
+        });
+        assert_eq!(
+            svc.handle(Request::VerifyIntegrity { record_id: id }),
+            Response::Integrity { intact: true }
+        );
+    }
+
+    #[test]
+    fn json_interface_round_trips() {
+        let mut svc = CloudService::new();
+        let request = medsen_phone::to_json(&Request::Ping).expect("encodes");
+        let response = svc.handle_json(&request);
+        let parsed: Response = medsen_phone::from_json(&response).expect("decodes");
+        assert_eq!(parsed, Response::Pong);
+    }
+
+    #[test]
+    fn json_interface_rejects_garbage_gracefully() {
+        let mut svc = CloudService::new();
+        let response = svc.handle_json("not json at all");
+        let parsed: Response = medsen_phone::from_json(&response).expect("decodes");
+        assert!(matches!(parsed, Response::Error { .. }));
+    }
+
+    #[test]
+    fn analyze_request_survives_the_json_wire() {
+        let mut svc = CloudService::new();
+        let request = Request::Analyze {
+            trace: trace(3),
+            authenticate: false,
+        };
+        let encoded = medsen_phone::to_json(&request).expect("encodes");
+        let response = svc.handle_json(&encoded);
+        let parsed: Response = medsen_phone::from_json(&response).expect("decodes");
+        match parsed {
+            Response::Analyzed { report, .. } => assert_eq!(report.peak_count(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

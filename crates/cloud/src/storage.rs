@@ -1,0 +1,176 @@
+//! Cloud record storage.
+//!
+//! "The diagnostic information can be returned to a patient or stored in
+//! cloud for a later access by the patient's practitioner" (Sec. II).
+//! Records are keyed by the cyto-coded identifier's owner and store only
+//! ciphertext-side artifacts: the peak report and the signature that binds it
+//! to an identity. Thread-safe via `parking_lot::RwLock`, since the analysis
+//! service and practitioner fetches run concurrently.
+
+use crate::api::PeakReport;
+use crate::auth::BeadSignature;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An opaque record identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RecordId(pub u64);
+
+/// One stored (still encrypted) diagnostic record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoredRecord {
+    /// The user the record was filed under.
+    pub user_id: String,
+    /// The analysis result (encrypted-domain peak statistics).
+    pub report: PeakReport,
+    /// The bead signature recovered at submission time (integrity anchor).
+    pub signature: BeadSignature,
+}
+
+/// A concurrent record store.
+#[derive(Debug, Default)]
+pub struct RecordStore {
+    records: RwLock<HashMap<RecordId, StoredRecord>>,
+    next_id: RwLock<u64>,
+}
+
+impl RecordStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a record, returning its id.
+    pub fn store(&self, record: StoredRecord) -> RecordId {
+        let mut next = self.next_id.write();
+        let id = RecordId(*next);
+        *next += 1;
+        self.records.write().insert(id, record);
+        id
+    }
+
+    /// Fetches a record by id.
+    pub fn fetch(&self, id: RecordId) -> Option<StoredRecord> {
+        self.records.read().get(&id).cloned()
+    }
+
+    /// All record ids filed under a user, in id order.
+    pub fn records_of(&self, user_id: &str) -> Vec<RecordId> {
+        let mut ids: Vec<RecordId> = self
+            .records
+            .read()
+            .iter()
+            .filter(|(_, r)| r.user_id == user_id)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.records.read().len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.read().is_empty()
+    }
+
+    /// Overwrites a record in place (models a tampering cloud insider for
+    /// the integrity-check experiments). Returns `false` if the id is
+    /// unknown.
+    pub fn tamper(&self, id: RecordId, record: StoredRecord) -> bool {
+        let mut records = self.records.write();
+        if let std::collections::hash_map::Entry::Occupied(mut e) = records.entry(id) {
+            e.insert(record);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medsen_microfluidics::ParticleKind;
+
+    fn record(user: &str) -> StoredRecord {
+        StoredRecord {
+            user_id: user.into(),
+            report: PeakReport {
+                peaks: vec![],
+                carriers_hz: vec![5e5],
+                sample_rate_hz: 450.0,
+                duration_s: 1.0,
+                noise_sigma: 3.0e-4,
+            },
+            signature: BeadSignature::from_counts(&[(ParticleKind::Bead358, 100)]),
+        }
+    }
+
+    #[test]
+    fn store_and_fetch_round_trip() {
+        let store = RecordStore::new();
+        let id = store.store(record("alice"));
+        let fetched = store.fetch(id).expect("stored record");
+        assert_eq!(fetched.user_id, "alice");
+        assert_eq!(store.len(), 1);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn unknown_id_fetches_none() {
+        let store = RecordStore::new();
+        assert!(store.fetch(RecordId(42)).is_none());
+    }
+
+    #[test]
+    fn ids_are_unique_and_monotonic() {
+        let store = RecordStore::new();
+        let a = store.store(record("alice"));
+        let b = store.store(record("bob"));
+        assert_ne!(a, b);
+        assert!(b.0 > a.0);
+    }
+
+    #[test]
+    fn per_user_listing() {
+        let store = RecordStore::new();
+        let a1 = store.store(record("alice"));
+        let _b = store.store(record("bob"));
+        let a2 = store.store(record("alice"));
+        assert_eq!(store.records_of("alice"), vec![a1, a2]);
+        assert!(store.records_of("carol").is_empty());
+    }
+
+    #[test]
+    fn tampering_replaces_known_records_only() {
+        let store = RecordStore::new();
+        let id = store.store(record("alice"));
+        assert!(store.tamper(id, record("mallory")));
+        assert_eq!(store.fetch(id).unwrap().user_id, "mallory");
+        assert!(!store.tamper(RecordId(999), record("mallory")));
+    }
+
+    #[test]
+    fn store_is_usable_across_threads() {
+        let store = std::sync::Arc::new(RecordStore::new());
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let store = store.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        store.store(record(&format!("user{i}")));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("no panics");
+        }
+        assert_eq!(store.len(), 400);
+    }
+}

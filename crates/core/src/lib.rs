@@ -1,0 +1,30 @@
+//! MedSen's application layer: cyto-coded passwords, user enrollment,
+//! diagnostic rules, and the end-to-end secure diagnostic pipeline.
+//!
+//! The lower crates provide the physics (`medsen-microfluidics`,
+//! `medsen-impedance`), the trusted device (`medsen-sensor`), the untrusted
+//! relay and analysis (`medsen-phone`, `medsen-cloud`), and the DSP
+//! (`medsen-dsp`). This crate composes them into the system of Fig. 2:
+//!
+//! * [`CytoPassword`] — the bead-mixture credential alphabet (Sec. V),
+//!   its password-space accounting and collision analysis;
+//! * [`UserRegistry`]/[`PipetteBatch`] — provisioning pipettes that embed a
+//!   user's identifier;
+//! * [`DiagnosticRule`] — threshold-based verdicts (e.g. CD4-style staging);
+//! * [`Pipeline`]/[`SessionReport`] — one full diagnostic session: mix →
+//!   transport → encrypted acquisition → phone relay → cloud analysis →
+//!   controller decryption → verdict, with the paper's timing breakdown;
+//! * [`threat`] — leakage metrics for the security experiments.
+
+pub mod diagnostics;
+pub mod enrollment;
+pub mod password;
+pub mod pipeline;
+pub mod sharing;
+pub mod threat;
+
+pub use diagnostics::{DiagnosticRule, Verdict};
+pub use enrollment::{IdentifierScope, PipetteBatch, ScopedProvision, UserRegistry};
+pub use password::{CytoPassword, PasswordAlphabet, PasswordError};
+pub use pipeline::{Pipeline, PipelineConfig, SessionMode, SessionReport, TimingBreakdown};
+pub use sharing::{DecryptionCapability, SealedCapability};

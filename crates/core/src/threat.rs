@@ -1,0 +1,114 @@
+//! Leakage metrics for the security experiments.
+//!
+//! The cipher's goal is that the peak count the cloud observes carries no
+//! usable information about the true particle count. These helpers quantify
+//! that: across many runs with fresh keys, regress observed peaks against
+//! the truth — plaintext acquisitions correlate almost perfectly, encrypted
+//! ones should not.
+
+use medsen_dsp::stats::linear_regression;
+
+/// The correlation (R²) between observed peak counts and true particle
+/// counts across runs, plus the fitted slope.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeakageEstimate {
+    /// Coefficient of determination of peaks vs truth.
+    pub r_squared: f64,
+    /// Fitted peaks-per-particle slope.
+    pub slope: f64,
+    /// Number of runs analyzed.
+    pub runs: usize,
+}
+
+/// Regresses `(true_count, observed_peaks)` pairs across runs.
+///
+/// # Panics
+///
+/// Panics with fewer than three runs (a two-point regression is always
+/// perfect and therefore meaningless here).
+pub fn estimate_leakage(pairs: &[(usize, usize)]) -> LeakageEstimate {
+    assert!(pairs.len() >= 3, "need at least three runs");
+    let xs: Vec<f64> = pairs.iter().map(|&(t, _)| t as f64).collect();
+    let ys: Vec<f64> = pairs.iter().map(|&(_, p)| p as f64).collect();
+    let fit = linear_regression(&xs, &ys);
+    LeakageEstimate {
+        r_squared: fit.r_squared,
+        slope: fit.slope,
+        runs: pairs.len(),
+    }
+}
+
+/// Normalized count-guess advantage of an adversary who estimates the true
+/// count as `observed / guessed_multiplicity`: returns the mean relative
+/// error of the best fixed multiplicity guess in `1..=max_multiplicity`.
+/// A cipher with per-period random multiplicities forces this above zero
+/// even for the *best* fixed guess.
+pub fn best_fixed_divisor_error(pairs: &[(usize, usize)], max_multiplicity: usize) -> f64 {
+    assert!(!pairs.is_empty(), "need at least one run");
+    (1..=max_multiplicity.max(1))
+        .map(|m| {
+            pairs
+                .iter()
+                .map(|&(truth, peaks)| {
+                    if truth == 0 {
+                        return 0.0;
+                    }
+                    let est = peaks as f64 / m as f64;
+                    (est - truth as f64).abs() / truth as f64
+                })
+                .sum::<f64>()
+                / pairs.len() as f64
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plaintext_like_pairs_correlate_perfectly() {
+        let pairs: Vec<(usize, usize)> = (1..20).map(|n| (n, n)).collect();
+        let leak = estimate_leakage(&pairs);
+        assert!((leak.r_squared - 1.0).abs() < 1e-12);
+        assert!((leak.slope - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_multiplicity_pairs_correlate_weakly() {
+        // Truth ~ constant but peaks scattered by the key: R² collapses.
+        let pairs: Vec<(usize, usize)> = vec![
+            (10, 30),
+            (11, 110),
+            (10, 170),
+            (12, 24),
+            (11, 90),
+            (10, 60),
+            (12, 200),
+            (11, 40),
+        ];
+        let leak = estimate_leakage(&pairs);
+        assert!(leak.r_squared < 0.3, "r² = {}", leak.r_squared);
+    }
+
+    #[test]
+    fn fixed_divisor_recovers_constant_multiplicity() {
+        let pairs: Vec<(usize, usize)> = (1..20).map(|n| (n, 3 * n)).collect();
+        let err = best_fixed_divisor_error(&pairs, 17);
+        assert!(err < 1e-12, "err = {err}");
+    }
+
+    #[test]
+    fn fixed_divisor_fails_on_varying_multiplicity() {
+        let pairs: Vec<(usize, usize)> =
+            vec![(10, 10), (10, 170), (10, 50), (10, 90), (10, 130)];
+        let err = best_fixed_divisor_error(&pairs, 17);
+        assert!(err > 0.3, "err = {err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three runs")]
+    fn leakage_needs_enough_runs() {
+        let _ = estimate_leakage(&[(1, 1), (2, 2)]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Electrical substrate for the MedSen reproduction: the impedance-cytometry
+//! signal chain.
+//!
+//! The paper measures the electrical impedance across a microfluidic channel
+//! with co-planar electrode pairs excited by multi-frequency AC carriers and
+//! demodulated by a Zurich Instruments HF2IS lock-in amplifier. This crate
+//! models that chain end to end:
+//!
+//! * [`ElectrodeCircuit`] — the Fig. 3 equivalent circuit (double-layer
+//!   capacitance in series with solution resistance) and its
+//!   capacitive/resistive regimes;
+//! * [`ExcitationConfig`] — the 8-carrier excitation
+//!   (500–4000 kHz, 1 V) from Sec. VI-D;
+//! * [`PulseSpec`]/[`pulse`] — the voltage-dip transients particles produce;
+//! * [`LockInAmplifier`] — demodulation, 120 Hz low-pass, 450 Hz sampling;
+//! * [`NoiseModel`]/[`BaselineDrift`] — measurement noise and the slow
+//!   baseline wander the cloud-side detrending must remove;
+//! * [`SignalTrace`] — the multi-channel sampled output;
+//! * [`TraceSynthesizer`] — renders a pulse plan into a noisy, drifting trace.
+//!
+//! # Examples
+//!
+//! ```
+//! use medsen_impedance::{ExcitationConfig, TraceSynthesizer, PulseSpec};
+//! use medsen_units::Seconds;
+//!
+//! let mut synth = TraceSynthesizer::paper_default(7);
+//! let pulses = vec![PulseSpec::unipolar(Seconds::new(0.5), Seconds::new(0.02), 0.004)];
+//! let trace = synth.render(&pulses, Seconds::new(1.0));
+//! assert_eq!(trace.channels().len(), ExcitationConfig::paper_default().carriers().len());
+//! ```
+
+pub mod circuit;
+pub mod excitation;
+pub mod lockin;
+pub mod noise;
+pub mod pulse;
+pub mod synth;
+pub mod trace;
+
+pub use circuit::{ElectrodeCircuit, Regime};
+pub use excitation::ExcitationConfig;
+pub use lockin::LockInAmplifier;
+pub use noise::{BaselineDrift, NoiseModel};
+pub use pulse::{Polarity, PulseSpec};
+pub use synth::TraceSynthesizer;
+pub use trace::{Channel, SignalTrace};

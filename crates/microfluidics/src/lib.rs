@@ -1,0 +1,49 @@
+//! Microfluidic substrate for the MedSen reproduction.
+//!
+//! The paper fabricates a PDMS microfluidic channel (30 µm × 20 µm
+//! measurement pore, 500 µm long) that singulates blood cells and synthetic
+//! beads so they cross the sensing electrodes one at a time. This crate
+//! replaces the physical device with a stochastic transport model:
+//!
+//! * [`ChannelGeometry`] — the channel dimensions from Fig. 6 and Sec. VI-A;
+//! * [`ParticleKind`]/[`Particle`] — blood cells and the 7.8 µm / 3.58 µm
+//!   MicroChem synthetic beads the evaluation uses;
+//! * [`SampleSpec`] — a pipette's contents: blood diluted in PBS plus a
+//!   cyto-coded bead mixture;
+//! * [`PeristalticPump`]/[`FlowProfile`] — the Harvard Apparatus pump, with
+//!   the programmable speed schedule the cipher's `S(t)` parameter drives;
+//! * [`TransportSimulator`] — Poisson arrivals, transit kinematics,
+//!   coincidence events;
+//! * [`LossModel`] — sedimentation and wall-adsorption count losses that
+//!   explain the sub-unity slope of Figs. 12–13.
+//!
+//! # Examples
+//!
+//! ```
+//! use medsen_microfluidics::{ChannelGeometry, SampleSpec, TransportSimulator, PeristalticPump};
+//! use medsen_units::{Microliters, Seconds};
+//!
+//! let channel = ChannelGeometry::paper_default();
+//! let sample = SampleSpec::whole_blood_dilution(Microliters::new(0.01), 200.0);
+//! let pump = PeristalticPump::paper_default();
+//! let mut sim = TransportSimulator::new(channel, pump, 42);
+//! let events = sim.run(&sample, Seconds::new(5.0));
+//! assert!(events.iter().all(|e| e.time.value() <= 5.0));
+//! ```
+
+pub mod geometry;
+pub mod losses;
+pub mod mixing;
+pub mod particle;
+pub mod pump;
+pub mod sample;
+pub mod stochastic;
+pub mod transport;
+
+pub use geometry::ChannelGeometry;
+pub use losses::{DeliveryReport, LossModel};
+pub use mixing::{mix_password_beads, BeadDose};
+pub use particle::{Particle, ParticleClass, ParticleKind};
+pub use pump::{FlowProfile, FlowSegment, PeristalticPump};
+pub use sample::{SampleComponent, SampleSpec};
+pub use transport::{CoincidenceStats, TransitEvent, TransportSimulator};

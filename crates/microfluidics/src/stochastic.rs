@@ -1,0 +1,145 @@
+//! Minimal random-sampling helpers.
+//!
+//! Only `rand` is in the approved dependency set (no `rand_distr`), so the
+//! exponential, Gaussian, and Poisson draws the transport model needs are
+//! implemented here from first principles.
+
+use rand::{Rng, RngExt};
+
+/// Samples an exponential inter-arrival time with rate `lambda` (events/s)
+/// via inverse-transform sampling.
+///
+/// # Panics
+///
+/// Panics if `lambda` is not strictly positive.
+pub fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> f64 {
+    assert!(lambda > 0.0, "exponential rate must be positive");
+    let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    -u.ln() / lambda
+}
+
+/// Samples a standard normal deviate using the Box–Muller transform.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos()
+}
+
+/// Samples a normal deviate with the given mean and standard deviation.
+pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * sample_standard_normal(rng)
+}
+
+/// Samples a Poisson count with mean `lambda`.
+///
+/// Uses Knuth's product-of-uniforms method for small means and a Gaussian
+/// approximation (with continuity correction, clamped at zero) for large
+/// means, which is plenty for count statistics at the 10²–10⁶ scale used in
+/// the bead-count experiments.
+pub fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0, "poisson mean must be non-negative");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.random::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let g = sample_normal(rng, lambda, lambda.sqrt());
+        g.round().max(0.0) as u64
+    }
+}
+
+/// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+pub fn sample_bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    rng.random::<f64>() < p.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn exponential_mean_is_inverse_rate() {
+        let mut r = rng();
+        let lambda = 4.0;
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| sample_exponential(&mut r, lambda)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| sample_normal(&mut r, 3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn poisson_small_mean() {
+        let mut r = rng();
+        let n = 20_000;
+        let mean: f64 =
+            (0..n).map(|_| sample_poisson(&mut r, 3.5) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 3.5).abs() < 0.08, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_mean_uses_gaussian_branch() {
+        let mut r = rng();
+        let n = 5_000;
+        let mean: f64 =
+            (0..n).map(|_| sample_poisson(&mut r, 500.0) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 500.0).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_mean_is_zero() {
+        let mut r = rng();
+        assert_eq!(sample_poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut r = rng();
+        assert!(!(0..100).any(|_| sample_bernoulli(&mut r, 0.0)));
+        assert!((0..100).all(|_| sample_bernoulli(&mut r, 1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential rate must be positive")]
+    fn exponential_rejects_zero_rate() {
+        let _ = sample_exponential(&mut rng(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..10).map(|_| sample_poisson(&mut r, 10.0)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..10).map(|_| sample_poisson(&mut r, 10.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

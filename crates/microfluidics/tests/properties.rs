@@ -1,0 +1,110 @@
+//! Property tests on the microfluidic substrate's invariants.
+
+use medsen_microfluidics::*;
+use medsen_units::{Concentration, FlowRate, Microliters, Seconds};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Delivery never exceeds the estimate, and loss fractions are
+    /// probabilities, for arbitrary estimates and run times.
+    #[test]
+    fn losses_are_bounded(
+        estimated in 0.0f64..1.0e6,
+        duration_s in 0.0f64..1.0e5,
+        sed_factor in 0.0f64..3.0,
+        ads_factor in 0.0f64..3.0,
+    ) {
+        let model = LossModel {
+            sedimentation_factor: sed_factor,
+            adsorption_factor: ads_factor,
+            ..LossModel::paper_default()
+        };
+        for kind in ParticleKind::ALL {
+            let report = model.delivery(kind, estimated, Seconds::new(duration_s));
+            prop_assert!(report.delivered >= 0.0);
+            prop_assert!(report.delivered <= report.estimated + 1e-9);
+            prop_assert!((0.0..=1.0).contains(&report.sedimentation_loss));
+            prop_assert!((0.0..=1.0).contains(&report.adsorption_loss));
+            prop_assert!((0.0..=1.0).contains(&report.yield_fraction()) || estimated == 0.0);
+        }
+    }
+
+    /// Flow profiles always report the rate of the last segment whose start
+    /// precedes the query time.
+    #[test]
+    fn flow_profile_lookup_is_consistent(
+        rates in proptest::collection::vec(0.01f64..1.0, 1..8),
+        query in 0.0f64..100.0,
+    ) {
+        let segments: Vec<FlowSegment> = rates
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| FlowSegment {
+                start: Seconds::new(i as f64 * 10.0),
+                rate: FlowRate::new(r),
+            })
+            .collect();
+        let profile = FlowProfile::from_segments(segments).expect("valid segments");
+        let got = profile.rate_at(Seconds::new(query)).value();
+        let expected_idx = ((query / 10.0).floor() as usize).min(rates.len() - 1);
+        prop_assert!((got - rates[expected_idx]).abs() < 1e-12);
+    }
+
+    /// Transit events are always sorted and inside the window, with positive
+    /// velocities and diameters, for arbitrary concentrations.
+    #[test]
+    fn transport_invariants(
+        concentration in 1.0f64..50_000.0,
+        duration_s in 0.5f64..20.0,
+        seed in 0u64..1000,
+    ) {
+        let sample = SampleSpec::bead_calibration(
+            Microliters::new(1.0),
+            ParticleKind::Bead358,
+            Concentration::new(concentration),
+        );
+        let mut sim = TransportSimulator::new(
+            ChannelGeometry::paper_default(),
+            PeristalticPump::paper_default(),
+            seed,
+        );
+        let events = sim.run(&sample, Seconds::new(duration_s));
+        prop_assert!(events
+            .windows(2)
+            .all(|w| w[0].time.value() <= w[1].time.value()));
+        for e in &events {
+            prop_assert!(e.time.value() >= 0.0 && e.time.value() < duration_s);
+            prop_assert!(e.velocity > 0.0);
+            prop_assert!(e.particle.diameter.value() > 0.0);
+        }
+    }
+
+    /// Password-bead mixing preserves blood composition exactly and adds
+    /// precisely the dosed concentrations.
+    #[test]
+    fn mixing_is_additive(
+        dose358 in 1.0f64..5_000.0,
+        dose78 in 1.0f64..5_000.0,
+        dilution in 1.0f64..100_000.0,
+    ) {
+        let blood = SampleSpec::whole_blood_dilution(Microliters::new(10.0), dilution);
+        let mixed = mix_password_beads(
+            &blood,
+            &[
+                BeadDose { kind: ParticleKind::Bead358, concentration: Concentration::new(dose358) },
+                BeadDose { kind: ParticleKind::Bead78, concentration: Concentration::new(dose78) },
+            ],
+        )
+        .expect("valid doses");
+        prop_assert!((mixed.concentration_of(ParticleKind::Bead358).value() - dose358).abs() < 1e-9);
+        prop_assert!((mixed.concentration_of(ParticleKind::Bead78).value() - dose78).abs() < 1e-9);
+        for kind in [ParticleKind::RedBloodCell, ParticleKind::WhiteBloodCell, ParticleKind::Platelet] {
+            prop_assert_eq!(
+                mixed.concentration_of(kind).value(),
+                blood.concentration_of(kind).value()
+            );
+        }
+    }
+}

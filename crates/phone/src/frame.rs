@@ -1,0 +1,239 @@
+//! Android Open Accessory-style message framing.
+//!
+//! "The Raspberry Pi runs a daemon listening for events on the USB port.
+//! When the phone is connected, the daemon exchanges information with the
+//! device using the Android Open Accessory Protocol" (Sec. VI-D). Frames are
+//! length-prefixed with a Fletcher-16 checksum so the relay notices USB
+//! corruption; the message-type byte carries the AOAP handshake plus the
+//! MedSen data channel.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// Message types on the accessory link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum MessageType {
+    /// AOAP: protocol-version query.
+    GetProtocol = 0x01,
+    /// AOAP: identification string (manufacturer/model/version/URI).
+    SendString = 0x02,
+    /// AOAP: switch the device into accessory mode.
+    StartAccessory = 0x03,
+    /// MedSen: user pressed "start blood test".
+    StartTest = 0x10,
+    /// MedSen: a chunk of (compressed, encrypted) measurement data.
+    DataChunk = 0x11,
+    /// MedSen: test progression update for the UI.
+    Progress = 0x12,
+    /// MedSen: analysis outcome returning to the sensor for decryption.
+    AnalysisResult = 0x13,
+}
+
+impl MessageType {
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0x01 => Some(Self::GetProtocol),
+            0x02 => Some(Self::SendString),
+            0x03 => Some(Self::StartAccessory),
+            0x10 => Some(Self::StartTest),
+            0x11 => Some(Self::DataChunk),
+            0x12 => Some(Self::Progress),
+            0x13 => Some(Self::AnalysisResult),
+            _ => None,
+        }
+    }
+}
+
+/// Framing/deframing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes than a minimal frame.
+    Truncated,
+    /// The length prefix disagrees with the available bytes.
+    LengthMismatch {
+        /// Declared payload length.
+        declared: usize,
+        /// Actually available payload bytes.
+        available: usize,
+    },
+    /// Unknown message-type byte.
+    UnknownType(u8),
+    /// Checksum verification failed (corrupted frame).
+    ChecksumMismatch,
+}
+
+impl core::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame shorter than header"),
+            FrameError::LengthMismatch {
+                declared,
+                available,
+            } => write!(f, "declared {declared} payload bytes, {available} available"),
+            FrameError::UnknownType(t) => write!(f, "unknown message type 0x{t:02x}"),
+            FrameError::ChecksumMismatch => write!(f, "frame checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// One framed message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Message type.
+    pub msg_type: MessageType,
+    /// Opaque payload.
+    pub payload: Bytes,
+}
+
+/// Fletcher-16 checksum over type + payload.
+fn fletcher16(msg_type: u8, payload: &[u8]) -> u16 {
+    let mut a: u16 = 0;
+    let mut b: u16 = 0;
+    let mut step = |byte: u8| {
+        a = (a + u16::from(byte)) % 255;
+        b = (b + a) % 255;
+    };
+    step(msg_type);
+    for &byte in payload {
+        step(byte);
+    }
+    (b << 8) | a
+}
+
+impl Frame {
+    /// Creates a frame.
+    pub fn new(msg_type: MessageType, payload: impl Into<Bytes>) -> Self {
+        Self {
+            msg_type,
+            payload: payload.into(),
+        }
+    }
+
+    /// Wire layout: `[type: u8][len: u32 BE][payload][checksum: u16 BE]`.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(1 + 4 + self.payload.len() + 2);
+        buf.put_u8(self.msg_type as u8);
+        buf.put_u32(self.payload.len() as u32);
+        buf.put_slice(&self.payload);
+        buf.put_u16(fletcher16(self.msg_type as u8, &self.payload));
+        buf.freeze()
+    }
+
+    /// Decodes a frame from the front of `bytes`, returning it plus the
+    /// number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FrameError`] on truncation, bad type, or checksum failure.
+    pub fn decode(mut bytes: &[u8]) -> Result<(Self, usize), FrameError> {
+        if bytes.len() < 7 {
+            return Err(FrameError::Truncated);
+        }
+        let type_byte = bytes.get_u8();
+        let msg_type = MessageType::from_u8(type_byte).ok_or(FrameError::UnknownType(type_byte))?;
+        let declared = bytes.get_u32() as usize;
+        if bytes.len() < declared + 2 {
+            return Err(FrameError::LengthMismatch {
+                declared,
+                available: bytes.len().saturating_sub(2),
+            });
+        }
+        let payload = Bytes::copy_from_slice(&bytes[..declared]);
+        bytes.advance(declared);
+        let checksum = bytes.get_u16();
+        if checksum != fletcher16(type_byte, &payload) {
+            return Err(FrameError::ChecksumMismatch);
+        }
+        Ok((Self { msg_type, payload }, 1 + 4 + declared + 2))
+    }
+}
+
+/// Splits a data buffer into `DataChunk` frames of at most `chunk_size`
+/// payload bytes (USB bulk transfers are size-limited).
+///
+/// # Panics
+///
+/// Panics if `chunk_size` is zero.
+pub fn chunk_data(data: &[u8], chunk_size: usize) -> Vec<Frame> {
+    assert!(chunk_size > 0, "chunk size must be positive");
+    data.chunks(chunk_size)
+        .map(|c| Frame::new(MessageType::DataChunk, Bytes::copy_from_slice(c)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let frame = Frame::new(MessageType::StartTest, Bytes::from_static(b"go"));
+        let wire = frame.encode();
+        let (decoded, used) = Frame::decode(&wire).unwrap();
+        assert_eq!(decoded, frame);
+        assert_eq!(used, wire.len());
+    }
+
+    #[test]
+    fn empty_payload_round_trip() {
+        let frame = Frame::new(MessageType::GetProtocol, Bytes::new());
+        let (decoded, _) = Frame::decode(&frame.encode()).unwrap();
+        assert_eq!(decoded.payload.len(), 0);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let frame = Frame::new(MessageType::DataChunk, Bytes::from_static(b"abcdef"));
+        let mut wire = frame.encode().to_vec();
+        wire[7] ^= 0x40; // flip a payload bit
+        assert_eq!(Frame::decode(&wire).unwrap_err(), FrameError::ChecksumMismatch);
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        assert_eq!(Frame::decode(&[0x10, 0, 0]).unwrap_err(), FrameError::Truncated);
+        let frame = Frame::new(MessageType::DataChunk, Bytes::from_static(b"abcdef"));
+        let wire = frame.encode();
+        let err = Frame::decode(&wire[..wire.len() - 4]).unwrap_err();
+        assert!(matches!(err, FrameError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn unknown_type_is_rejected() {
+        let mut wire = Frame::new(MessageType::Progress, Bytes::new()).encode().to_vec();
+        wire[0] = 0x7f;
+        assert_eq!(Frame::decode(&wire).unwrap_err(), FrameError::UnknownType(0x7f));
+    }
+
+    #[test]
+    fn chunking_partitions_data_exactly() {
+        let data: Vec<u8> = (0..1000u32).map(|i| i as u8).collect();
+        let frames = chunk_data(&data, 256);
+        assert_eq!(frames.len(), 4);
+        let reassembled: Vec<u8> = frames.iter().flat_map(|f| f.payload.to_vec()).collect();
+        assert_eq!(reassembled, data);
+        assert_eq!(frames[3].payload.len(), 1000 - 3 * 256);
+    }
+
+    #[test]
+    fn frames_decode_from_a_stream_sequentially() {
+        let a = Frame::new(MessageType::Progress, Bytes::from_static(b"50%")).encode();
+        let b = Frame::new(MessageType::Progress, Bytes::from_static(b"99%")).encode();
+        let stream: Vec<u8> = a.iter().chain(b.iter()).copied().collect();
+        let (first, used) = Frame::decode(&stream).unwrap();
+        let (second, _) = Frame::decode(&stream[used..]).unwrap();
+        assert_eq!(first.payload.as_ref(), b"50%");
+        assert_eq!(second.payload.as_ref(), b"99%");
+    }
+
+    #[test]
+    fn checksum_differs_across_types() {
+        // Same payload, different type byte → different checksum.
+        let a = fletcher16(MessageType::DataChunk as u8, b"xyz");
+        let b = fletcher16(MessageType::Progress as u8, b"xyz");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,923 @@
+//! A from-scratch JSON codec over serde.
+//!
+//! The prototype ships analysis requests and results between the phone and
+//! the cloud; the approved dependency set has no `serde_json`, so this
+//! module implements the subset of JSON the MedSen wire types need —
+//! objects, arrays, strings, numbers, booleans, null — as a serde
+//! `Serializer`/`Deserializer` pair. Floats are emitted with enough digits
+//! to round-trip exactly (via Rust's shortest-round-trip formatting).
+//!
+//! Not supported (and not used by any wire type): non-string map keys,
+//! byte strings, and `i128`/`u128`.
+
+use serde::de::{self, DeserializeOwned, Visitor};
+use serde::ser::{self, Serialize};
+use std::fmt::Write as _;
+
+/// Codec errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    message: String,
+}
+
+impl JsonError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl core::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "json: {}", self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl ser::Error for JsonError {
+    fn custom<T: core::fmt::Display>(msg: T) -> Self {
+        Self::new(msg.to_string())
+    }
+}
+
+impl de::Error for JsonError {
+    fn custom<T: core::fmt::Display>(msg: T) -> Self {
+        Self::new(msg.to_string())
+    }
+}
+
+/// Serializes a value to a JSON string.
+///
+/// # Errors
+///
+/// Fails on unsupported shapes (non-string map keys, bytes).
+pub fn to_json<T: Serialize>(value: &T) -> Result<String, JsonError> {
+    let mut out = String::new();
+    value.serialize(&mut JsonSer { out: &mut out })?;
+    Ok(out)
+}
+
+/// Deserializes a value from a JSON string.
+///
+/// # Errors
+///
+/// Fails on malformed JSON or shape mismatches.
+pub fn from_json<T: DeserializeOwned>(text: &str) -> Result<T, JsonError> {
+    let mut parser = Parser::new(text);
+    let value = T::deserialize(&mut parser)?;
+    parser.skip_ws();
+    if !parser.at_end() {
+        return Err(JsonError::new("trailing characters after value"));
+    }
+    Ok(value)
+}
+
+// ───────────────────────── serialization ─────────────────────────
+
+struct JsonSer<'o> {
+    out: &'o mut String,
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(out: &mut String, v: f64) -> Result<(), JsonError> {
+    if !v.is_finite() {
+        return Err(JsonError::new("non-finite float"));
+    }
+    // Rust's Display for f64 is shortest-round-trip.
+    let _ = write!(out, "{v}");
+    if !out.ends_with(|c: char| c.is_ascii_digit()) || !out.contains(['.', 'e', 'E']) {
+        // Ensure floats keep a float shape only when needed — integers parse
+        // back fine either way, so no action required.
+    }
+    Ok(())
+}
+
+struct SeqSer<'a, 'o> {
+    ser: &'a mut JsonSer<'o>,
+    first: bool,
+    close: char,
+}
+
+impl<'a, 'o> ser::Serializer for &'a mut JsonSer<'o> {
+    type Ok = ();
+    type Error = JsonError;
+    type SerializeSeq = SeqSer<'a, 'o>;
+    type SerializeTuple = SeqSer<'a, 'o>;
+    type SerializeTupleStruct = SeqSer<'a, 'o>;
+    type SerializeTupleVariant = SeqSer<'a, 'o>;
+    type SerializeMap = SeqSer<'a, 'o>;
+    type SerializeStruct = SeqSer<'a, 'o>;
+    type SerializeStructVariant = SeqSer<'a, 'o>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), JsonError> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+    fn serialize_i8(self, v: i8) -> Result<(), JsonError> {
+        self.serialize_i64(v.into())
+    }
+    fn serialize_i16(self, v: i16) -> Result<(), JsonError> {
+        self.serialize_i64(v.into())
+    }
+    fn serialize_i32(self, v: i32) -> Result<(), JsonError> {
+        self.serialize_i64(v.into())
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), JsonError> {
+        let _ = write!(self.out, "{v}");
+        Ok(())
+    }
+    fn serialize_u8(self, v: u8) -> Result<(), JsonError> {
+        self.serialize_u64(v.into())
+    }
+    fn serialize_u16(self, v: u16) -> Result<(), JsonError> {
+        self.serialize_u64(v.into())
+    }
+    fn serialize_u32(self, v: u32) -> Result<(), JsonError> {
+        self.serialize_u64(v.into())
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), JsonError> {
+        let _ = write!(self.out, "{v}");
+        Ok(())
+    }
+    fn serialize_f32(self, v: f32) -> Result<(), JsonError> {
+        write_f64(self.out, v.into())
+    }
+    fn serialize_f64(self, v: f64) -> Result<(), JsonError> {
+        write_f64(self.out, v)
+    }
+    fn serialize_char(self, v: char) -> Result<(), JsonError> {
+        write_escaped(self.out, &v.to_string());
+        Ok(())
+    }
+    fn serialize_str(self, v: &str) -> Result<(), JsonError> {
+        write_escaped(self.out, v);
+        Ok(())
+    }
+    fn serialize_bytes(self, _v: &[u8]) -> Result<(), JsonError> {
+        Err(JsonError::new("byte strings are not supported"))
+    }
+    fn serialize_none(self) -> Result<(), JsonError> {
+        self.out.push_str("null");
+        Ok(())
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), JsonError> {
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<(), JsonError> {
+        self.out.push_str("null");
+        Ok(())
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), JsonError> {
+        self.serialize_unit()
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+    ) -> Result<(), JsonError> {
+        write_escaped(self.out, variant);
+        Ok(())
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        self.out.push('{');
+        write_escaped(self.out, variant);
+        self.out.push(':');
+        value.serialize(&mut *self)?;
+        self.out.push('}');
+        Ok(())
+    }
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Self::SerializeSeq, JsonError> {
+        self.out.push('[');
+        Ok(SeqSer {
+            ser: self,
+            first: true,
+            close: ']',
+        })
+    }
+    fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, JsonError> {
+        self.serialize_seq(Some(len))
+    }
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleStruct, JsonError> {
+        self.serialize_seq(Some(len))
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleVariant, JsonError> {
+        self.out.push('{');
+        write_escaped(self.out, variant);
+        self.out.push_str(":[");
+        Ok(SeqSer {
+            ser: self,
+            first: true,
+            close: '!', // closes both ] and } — handled in end()
+        })
+    }
+    fn serialize_map(self, _len: Option<usize>) -> Result<Self::SerializeMap, JsonError> {
+        self.out.push('{');
+        Ok(SeqSer {
+            ser: self,
+            first: true,
+            close: '}',
+        })
+    }
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, JsonError> {
+        self.serialize_map(Some(len))
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStructVariant, JsonError> {
+        self.out.push('{');
+        write_escaped(self.out, variant);
+        self.out.push_str(":{");
+        Ok(SeqSer {
+            ser: self,
+            first: true,
+            close: '?', // closes both } and } — handled in end()
+        })
+    }
+}
+
+impl SeqSer<'_, '_> {
+    fn comma(&mut self) {
+        if self.first {
+            self.first = false;
+        } else {
+            self.ser.out.push(',');
+        }
+    }
+    fn finish(self) -> Result<(), JsonError> {
+        match self.close {
+            ']' | '}' => self.ser.out.push(self.close),
+            '!' => self.ser.out.push_str("]}"),
+            '?' => self.ser.out.push_str("}}"),
+            _ => unreachable!("close tokens are fixed"),
+        }
+        Ok(())
+    }
+}
+
+impl ser::SerializeSeq for SeqSer<'_, '_> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        self.comma();
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        self.finish()
+    }
+}
+
+impl ser::SerializeTuple for SeqSer<'_, '_> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        self.finish()
+    }
+}
+
+impl ser::SerializeTupleStruct for SeqSer<'_, '_> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        self.finish()
+    }
+}
+
+impl ser::SerializeTupleVariant for SeqSer<'_, '_> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        self.finish()
+    }
+}
+
+impl ser::SerializeMap for SeqSer<'_, '_> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), JsonError> {
+        self.comma();
+        // Keys must serialize as strings; detect by serializing to a probe.
+        let mut probe = String::new();
+        key.serialize(&mut JsonSer { out: &mut probe })?;
+        if !probe.starts_with('"') {
+            return Err(JsonError::new("map keys must be strings"));
+        }
+        self.ser.out.push_str(&probe);
+        self.ser.out.push(':');
+        Ok(())
+    }
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        self.finish()
+    }
+}
+
+impl ser::SerializeStruct for SeqSer<'_, '_> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        self.comma();
+        write_escaped(self.ser.out, key);
+        self.ser.out.push(':');
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        self.finish()
+    }
+}
+
+impl ser::SerializeStructVariant for SeqSer<'_, '_> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        ser::SerializeStruct::serialize_field(self, key, value)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        self.finish()
+    }
+}
+
+// ───────────────────────── deserialization ─────────────────────────
+
+struct Parser<'de> {
+    input: &'de str,
+    pos: usize,
+}
+
+impl<'de> Parser<'de> {
+    fn new(input: &'de str) -> Self {
+        Self { input, pos: 0 }
+    }
+
+    fn rest(&self) -> &'de str {
+        &self.input[self.pos..]
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.rest().chars().next() {
+            if c.is_ascii_whitespace() {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<char, JsonError> {
+        self.skip_ws();
+        self.rest()
+            .chars()
+            .next()
+            .ok_or_else(|| JsonError::new("unexpected end of input"))
+    }
+
+    fn bump(&mut self) -> Result<char, JsonError> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Ok(c)
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), JsonError> {
+        let got = self.bump()?;
+        if got != c {
+            return Err(JsonError::new(format!("expected `{c}`, found `{got}`")));
+        }
+        Ok(())
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), JsonError> {
+        self.skip_ws();
+        if self.rest().starts_with(kw) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(JsonError::new(format!("expected `{kw}`")))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            let c = self
+                .rest()
+                .chars()
+                .next()
+                .ok_or_else(|| JsonError::new("unterminated string"))?;
+            self.pos += c.len_utf8();
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let esc = self
+                        .rest()
+                        .chars()
+                        .next()
+                        .ok_or_else(|| JsonError::new("unterminated escape"))?;
+                    self.pos += esc.len_utf8();
+                    match esc {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'b' => out.push('\u{8}'),
+                        'f' => out.push('\u{c}'),
+                        'u' => {
+                            let hex = self
+                                .rest()
+                                .get(..4)
+                                .ok_or_else(|| JsonError::new("short \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| JsonError::new("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| JsonError::new("invalid codepoint"))?,
+                            );
+                        }
+                        other => {
+                            return Err(JsonError::new(format!("bad escape `\\{other}`")))
+                        }
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<f64, JsonError> {
+        self.skip_ws();
+        let start = self.pos;
+        let bytes = self.input.as_bytes();
+        if self.pos < bytes.len() && (bytes[self.pos] == b'-' || bytes[self.pos] == b'+') {
+            self.pos += 1;
+        }
+        while self.pos < bytes.len()
+            && (bytes[self.pos].is_ascii_digit()
+                || matches!(bytes[self.pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            // Only allow +/- after an exponent marker.
+            if matches!(bytes[self.pos], b'+' | b'-')
+                && !matches!(bytes[self.pos - 1], b'e' | b'E')
+            {
+                break;
+            }
+            self.pos += 1;
+        }
+        self.input[start..self.pos]
+            .parse()
+            .map_err(|_| JsonError::new(format!("bad number `{}`", &self.input[start..self.pos])))
+    }
+}
+
+impl<'de> de::Deserializer<'de> for &mut Parser<'de> {
+    type Error = JsonError;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, JsonError> {
+        match self.peek()? {
+            'n' => {
+                self.expect_keyword("null")?;
+                visitor.visit_unit()
+            }
+            't' => {
+                self.expect_keyword("true")?;
+                visitor.visit_bool(true)
+            }
+            'f' => {
+                self.expect_keyword("false")?;
+                visitor.visit_bool(false)
+            }
+            '"' => visitor.visit_string(self.parse_string()?),
+            '[' => self.deserialize_seq(visitor),
+            '{' => self.deserialize_map(visitor),
+            _ => {
+                let n = self.parse_number()?;
+                if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                    if n >= 0.0 {
+                        visitor.visit_u64(n as u64)
+                    } else {
+                        visitor.visit_i64(n as i64)
+                    }
+                } else {
+                    visitor.visit_f64(n)
+                }
+            }
+        }
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, JsonError> {
+        if self.peek()? == 'n' {
+            self.expect_keyword("null")?;
+            visitor.visit_none()
+        } else {
+            visitor.visit_some(self)
+        }
+    }
+
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, JsonError> {
+        self.expect_keyword("null")?;
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, JsonError> {
+        self.deserialize_unit(visitor)
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, JsonError> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, JsonError> {
+        self.expect('[')?;
+        let value = visitor.visit_seq(SeqAccess {
+            parser: self,
+            first: true,
+        })?;
+        self.expect(']')?;
+        Ok(value)
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        _len: usize,
+        visitor: V,
+    ) -> Result<V::Value, JsonError> {
+        self.deserialize_seq(visitor)
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _len: usize,
+        visitor: V,
+    ) -> Result<V::Value, JsonError> {
+        self.deserialize_seq(visitor)
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, JsonError> {
+        self.expect('{')?;
+        let value = visitor.visit_map(SeqAccess {
+            parser: self,
+            first: true,
+        })?;
+        self.expect('}')?;
+        Ok(value)
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, JsonError> {
+        self.deserialize_map(visitor)
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, JsonError> {
+        visitor.visit_enum(EnumAccess { parser: self })
+    }
+
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, JsonError> {
+        visitor.visit_string(self.parse_string()?)
+    }
+
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, JsonError> {
+        self.deserialize_any(visitor)
+    }
+
+    serde::forward_to_deserialize_any! {
+        bool i8 i16 i32 i64 u8 u16 u32 u64 f32 f64 char str string bytes byte_buf
+    }
+}
+
+struct SeqAccess<'p, 'de> {
+    parser: &'p mut Parser<'de>,
+    first: bool,
+}
+
+impl<'de> de::SeqAccess<'de> for SeqAccess<'_, 'de> {
+    type Error = JsonError;
+    fn next_element_seed<T: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, JsonError> {
+        if self.parser.peek()? == ']' {
+            return Ok(None);
+        }
+        if !self.first {
+            self.parser.expect(',')?;
+        }
+        self.first = false;
+        seed.deserialize(&mut *self.parser).map(Some)
+    }
+}
+
+impl<'de> de::MapAccess<'de> for SeqAccess<'_, 'de> {
+    type Error = JsonError;
+    fn next_key_seed<K: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, JsonError> {
+        if self.parser.peek()? == '}' {
+            return Ok(None);
+        }
+        if !self.first {
+            self.parser.expect(',')?;
+        }
+        self.first = false;
+        seed.deserialize(&mut *self.parser).map(Some)
+    }
+    fn next_value_seed<V: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, JsonError> {
+        self.parser.expect(':')?;
+        seed.deserialize(&mut *self.parser)
+    }
+}
+
+struct EnumAccess<'p, 'de> {
+    parser: &'p mut Parser<'de>,
+}
+
+impl<'de, 'p> de::EnumAccess<'de> for EnumAccess<'p, 'de> {
+    type Error = JsonError;
+    type Variant = VariantAccess<'p, 'de>;
+    fn variant_seed<V: de::DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), JsonError> {
+        if self.parser.peek()? == '"' {
+            // Unit variant: a bare string.
+            let value = seed.deserialize(&mut *self.parser)?;
+            Ok((
+                value,
+                VariantAccess {
+                    parser: None,
+                },
+            ))
+        } else {
+            // Data-carrying variant: {"Variant": payload}.
+            self.parser.expect('{')?;
+            let value = seed.deserialize(&mut *self.parser)?;
+            self.parser.expect(':')?;
+            Ok((
+                value,
+                VariantAccess {
+                    parser: Some(self.parser),
+                },
+            ))
+        }
+    }
+}
+
+struct VariantAccess<'p, 'de> {
+    /// `Some` when a `{"Variant": ...}` wrapper remains open.
+    parser: Option<&'p mut Parser<'de>>,
+}
+
+impl<'de> de::VariantAccess<'de> for VariantAccess<'_, 'de> {
+    type Error = JsonError;
+
+    fn unit_variant(self) -> Result<(), JsonError> {
+        match self.parser {
+            None => Ok(()),
+            Some(_) => Err(JsonError::new("expected a bare string for a unit variant")),
+        }
+    }
+
+    fn newtype_variant_seed<T: de::DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, JsonError> {
+        let parser = self
+            .parser
+            .ok_or_else(|| JsonError::new("newtype variant needs a payload"))?;
+        let value = seed.deserialize(&mut *parser)?;
+        parser.expect('}')?;
+        Ok(value)
+    }
+
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        _len: usize,
+        visitor: V,
+    ) -> Result<V::Value, JsonError> {
+        let parser = self
+            .parser
+            .ok_or_else(|| JsonError::new("tuple variant needs a payload"))?;
+        let value = de::Deserializer::deserialize_seq(&mut *parser, visitor)?;
+        parser.expect('}')?;
+        Ok(value)
+    }
+
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        _fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, JsonError> {
+        let parser = self
+            .parser
+            .ok_or_else(|| JsonError::new("struct variant needs a payload"))?;
+        let value = de::Deserializer::deserialize_map(&mut *parser, visitor)?;
+        parser.expect('}')?;
+        Ok(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    fn roundtrip<T>(value: &T) -> T
+    where
+        T: Serialize + DeserializeOwned + PartialEq + core::fmt::Debug,
+    {
+        let text = to_json(value).expect("serializes");
+        let back: T = from_json(&text).expect("parses back");
+        assert_eq!(&back, value, "json was: {text}");
+        back
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    enum Kind {
+        Unit,
+        Newtype(u32),
+        Tuple(u8, String),
+        Struct { a: f64, b: Option<bool> },
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Nested {
+        name: String,
+        values: Vec<f64>,
+        kind: Kind,
+        table: BTreeMap<String, i64>,
+        opt: Option<String>,
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        roundtrip(&true);
+        roundtrip(&42u64);
+        roundtrip(&-17i32);
+        roundtrip(&1.5e-3f64);
+        roundtrip(&f64::MAX);
+        roundtrip(&"hello \"quoted\" \n line".to_owned());
+        roundtrip(&Option::<u8>::None);
+        roundtrip(&Some(9u8));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        roundtrip(&vec![1.0f64, -2.5, 3.25e8]);
+        roundtrip(&(1u8, "two".to_owned(), 3.0f32));
+        let mut table = BTreeMap::new();
+        table.insert("alpha".to_owned(), -1i64);
+        table.insert("beta".to_owned(), 2);
+        roundtrip(&table);
+    }
+
+    #[test]
+    fn enums_round_trip() {
+        roundtrip(&Kind::Unit);
+        roundtrip(&Kind::Newtype(7));
+        roundtrip(&Kind::Tuple(1, "x".into()));
+        roundtrip(&Kind::Struct { a: 2.5, b: Some(false) });
+        roundtrip(&Kind::Struct { a: -0.0, b: None });
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let mut table = BTreeMap::new();
+        table.insert("k".to_owned(), 5i64);
+        roundtrip(&Nested {
+            name: "trace-θ".into(),
+            values: vec![0.1, 0.2, f64::MIN_POSITIVE],
+            kind: Kind::Struct { a: 1.0, b: None },
+            table,
+            opt: Some("present".into()),
+        });
+    }
+
+    #[test]
+    fn whitespace_and_escapes_parse() {
+        let parsed: Vec<u32> = from_json(" [ 1 ,\n\t2 , 3 ] ").expect("parses");
+        assert_eq!(parsed, vec![1, 2, 3]);
+        let s: String = from_json(r#""a\u0041b""#).expect("parses");
+        assert_eq!(s, "aAb");
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(from_json::<u32>("").is_err());
+        assert!(from_json::<u32>("12 34").is_err());
+        assert!(from_json::<Vec<u32>>("[1, 2").is_err());
+        assert!(from_json::<String>("\"unterminated").is_err());
+        assert!(from_json::<bool>("maybe").is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_are_rejected() {
+        assert!(to_json(&f64::NAN).is_err());
+        assert!(to_json(&f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for &v in &[0.1, 1.0 / 3.0, 2.5e-3, 9.96e-4, 1e300, -1e-300] {
+            let text = to_json(&v).expect("serializes");
+            let back: f64 = from_json(&text).expect("parses");
+            assert_eq!(back, v, "text {text}");
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! The smartphone relay (Sec. VI-D).
+//!
+//! The Nexus 5 in the prototype is *not* trusted: it detects the sensor over
+//! the Android Open Accessory protocol, shows test progression, compresses
+//! the encrypted measurements ("MedSen implements zip data compression on the
+//! smartphone. This reduced the sample size [from 600 MB] to 240 MB"), and
+//! relays them to the cloud over 4G. This crate models that whole path:
+//!
+//! * [`frame`] — AOAP-style message framing with checksums;
+//! * [`app`] — the Android app's state machine (detect → test → upload →
+//!   results);
+//! * [`csv`] — the CSV serialization the prototype captures traces in;
+//! * [`mod@compress`] — a from-scratch LZW codec standing in for zip;
+//! * [`json`] — a from-scratch JSON codec (serde backend) for the
+//!   phone↔cloud request/response bodies;
+//! * [`network`] — 4G/USB link timing models;
+//! * [`profile`] — the Fig. 14 computer-vs-smartphone performance model.
+
+pub mod app;
+pub mod compress;
+pub mod csv;
+pub mod frame;
+pub mod json;
+pub mod network;
+pub mod profile;
+
+pub use app::{AppEvent, AppState, PhoneApp};
+pub use compress::{compress, decompress, CompressionStats};
+pub use csv::{trace_from_csv, trace_to_csv};
+pub use frame::{Frame, FrameError, MessageType};
+pub use json::{from_json, to_json, JsonError};
+pub use network::NetworkLink;
+pub use profile::{DeviceProfile, PAPER_FIG14_SAMPLE_SIZES};

@@ -1,0 +1,93 @@
+//! Link timing models for the USB accessory hop and the 4G uplink.
+
+use medsen_units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// A simple bandwidth + latency link model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkLink {
+    /// Sustained throughput in megabits per second.
+    pub bandwidth_mbps: f64,
+    /// One-way latency.
+    pub latency: Seconds,
+}
+
+impl NetworkLink {
+    /// A 2015-era LTE uplink (the Nexus 5's 4G connection): ~10 Mbit/s up,
+    /// 50 ms latency.
+    pub fn lte_uplink() -> Self {
+        Self {
+            bandwidth_mbps: 10.0,
+            latency: Seconds::from_millis(50.0),
+        }
+    }
+
+    /// USB 2.0 full-speed bulk transfer between the Pi and the phone.
+    pub fn usb_accessory() -> Self {
+        Self {
+            bandwidth_mbps: 200.0,
+            latency: Seconds::from_millis(1.0),
+        }
+    }
+
+    /// Time to move `bytes` across the link (one latency + serialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is not positive.
+    pub fn transfer_time(&self, bytes: usize) -> Seconds {
+        assert!(self.bandwidth_mbps > 0.0, "bandwidth must be positive");
+        let bits = bytes as f64 * 8.0;
+        Seconds::new(self.latency.value() + bits / (self.bandwidth_mbps * 1e6))
+    }
+
+    /// Round-trip time for a request of `up` bytes and a response of `down`
+    /// bytes.
+    pub fn round_trip(&self, up: usize, down: usize) -> Seconds {
+        self.transfer_time(up) + self.transfer_time(down)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_payloads_are_latency_dominated() {
+        let link = NetworkLink::lte_uplink();
+        let t = link.transfer_time(100);
+        assert!((t.value() - 0.05).abs() < 0.001, "t = {t}");
+    }
+
+    #[test]
+    fn large_payloads_are_bandwidth_dominated() {
+        let link = NetworkLink::lte_uplink();
+        // 240 MB over 10 Mbit/s ≈ 192 s — matching the paper's note that
+        // compression matters for "smartphone data plans".
+        let t = link.transfer_time(240 * 1024 * 1024);
+        assert!(t.value() > 190.0 && t.value() < 215.0, "t = {t}");
+    }
+
+    #[test]
+    fn compression_saves_transfer_time_proportionally() {
+        let link = NetworkLink::lte_uplink();
+        let raw = link.transfer_time(600_000_000).value();
+        let compressed = link.transfer_time(240_000_000).value();
+        assert!((raw / compressed - 2.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn usb_is_much_faster_than_lte() {
+        let bytes = 10_000_000;
+        let usb = NetworkLink::usb_accessory().transfer_time(bytes);
+        let lte = NetworkLink::lte_uplink().transfer_time(bytes);
+        assert!(usb.value() < lte.value() / 10.0);
+    }
+
+    #[test]
+    fn round_trip_sums_both_directions() {
+        let link = NetworkLink::lte_uplink();
+        let rt = link.round_trip(1000, 1000);
+        assert!((rt.value() - 2.0 * link.transfer_time(1000).value()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,435 @@
+//! The encrypted acquisition: where the cipher meets the physics.
+//!
+//! Running a sample through the sensor while the controller rotates
+//! `K(t) = (E(t), G(t), S(t))` produces, for every particle transit, one dip
+//! per active lead electrode and two dips per other active electrode, each
+//! scaled by that electrode's gain and stretched by the flow setting. The
+//! result is the encrypted multi-channel trace the phone uploads.
+
+use crate::array::ElectrodeArray;
+use crate::keying::KeySchedule;
+use medsen_impedance::synth::MultiChannelPulse;
+use medsen_impedance::{ElectrodeCircuit, PulseSpec, TraceSynthesizer};
+use medsen_microfluidics::{ChannelGeometry, ParticleKind, TransitEvent};
+use medsen_units::Seconds;
+use std::collections::BTreeMap;
+
+/// Normalized dip depth of the reference particle (a nominal 3.58 µm bead at
+/// unit gain on the lowest carrier). Calibrated so 7.8 µm beads dip ~1.6 %
+/// and blood cells ~0.8 % — the scale of the paper's Fig. 15 — while keeping
+/// even a minimum-gain 3.58 µm bead dip above the detection threshold after
+/// the 120 Hz output filter has attenuated the fastest-flow (narrowest)
+/// pulses.
+pub const REFERENCE_DIP: f64 = 4.0e-3;
+
+/// Everything one acquisition run produces.
+#[derive(Debug)]
+pub struct AcquisitionOutput {
+    /// The encrypted multi-channel trace (what leaves the TCB).
+    pub trace: medsen_impedance::SignalTrace,
+    /// Acquisition duration.
+    pub duration: Seconds,
+    /// Ground-truth particle counts (never leaves the TCB; used by tests and
+    /// experiment harnesses to score accuracy).
+    true_counts: BTreeMap<ParticleKind, usize>,
+    /// Total dips the cipher scheduled (the ideal encrypted peak count).
+    pub scheduled_dips: usize,
+}
+
+impl AcquisitionOutput {
+    /// Ground-truth count of one species.
+    pub fn true_count(&self, kind: ParticleKind) -> usize {
+        self.true_counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Ground-truth total particle count.
+    pub fn true_total(&self) -> usize {
+        self.true_counts.values().sum()
+    }
+
+    /// Ground-truth counts per species.
+    pub fn true_counts(&self) -> &BTreeMap<ParticleKind, usize> {
+        &self.true_counts
+    }
+}
+
+/// The in-sensor encryption engine.
+#[derive(Debug)]
+pub struct EncryptedAcquisition {
+    array: ElectrodeArray,
+    geometry: ChannelGeometry,
+    circuit: ElectrodeCircuit,
+    synth: TraceSynthesizer,
+}
+
+impl EncryptedAcquisition {
+    /// Builds an acquisition engine.
+    pub fn new(
+        array: ElectrodeArray,
+        geometry: ChannelGeometry,
+        circuit: ElectrodeCircuit,
+        synth: TraceSynthesizer,
+    ) -> Self {
+        Self {
+            array,
+            geometry,
+            circuit,
+            synth,
+        }
+    }
+
+    /// An engine with the paper's prototype array, geometry and electronics.
+    pub fn paper_default(seed: u64) -> Self {
+        Self::new(
+            ElectrodeArray::paper_prototype(),
+            ChannelGeometry::paper_default(),
+            ElectrodeCircuit::paper_default(),
+            TraceSynthesizer::paper_default(seed),
+        )
+    }
+
+    /// A noiseless, drift-free engine for deterministic tests.
+    pub fn clean(seed: u64) -> Self {
+        Self::new(
+            ElectrodeArray::paper_prototype(),
+            ChannelGeometry::paper_default(),
+            ElectrodeCircuit::paper_default(),
+            TraceSynthesizer::clean(seed),
+        )
+    }
+
+    /// The electrode array in use.
+    pub fn array(&self) -> &ElectrodeArray {
+        &self.array
+    }
+
+    /// The channel geometry in use.
+    pub fn geometry(&self) -> &ChannelGeometry {
+        &self.geometry
+    }
+
+    /// Mutable access to the synthesiser (to adjust noise/drift in tests).
+    pub fn synth_mut(&mut self) -> &mut TraceSynthesizer {
+        &mut self.synth
+    }
+
+    /// Runs the encrypted acquisition: renders every transit's cipher-shaped
+    /// dips into a trace of the given `duration`.
+    ///
+    /// The schedule is the *key*; it never appears in the output. Peak
+    /// geometry per event:
+    ///
+    /// * effective velocity = event velocity × flow multiplier `S(t)`;
+    /// * electrode `e` fires at `t + position(e) / v`;
+    /// * dip FWHM = 0.35 × sensing span / v;
+    /// * double-dip separation = 2 × sensing span / v;
+    /// * depth = `REFERENCE_DIP` × particle amplitude factor × gain `G_e(t)`;
+    /// * per-carrier scaling = dispersion factor × circuit sensitivity.
+    pub fn run(
+        &mut self,
+        events: &[TransitEvent],
+        schedule: &KeySchedule,
+        duration: Seconds,
+    ) -> AcquisitionOutput {
+        let carriers: Vec<_> = self.synth.excitation.carriers().to_vec();
+        let mut pulses: Vec<MultiChannelPulse> = Vec::new();
+        let mut true_counts: BTreeMap<ParticleKind, usize> = BTreeMap::new();
+        let mut scheduled_dips = 0usize;
+
+        for event in events {
+            *true_counts.entry(event.particle.kind).or_insert(0) += 1;
+            let key = schedule.key_at(event.time);
+            let velocity = event.velocity * key.flow.multiplier();
+            let span_s = self.geometry.sensing_span().value() / velocity;
+            let fwhm = Seconds::new(0.35 * span_s);
+            // The two gaps of a double-dip electrode sit two sensing spans
+            // apart in the fabricated layout; the wide spacing keeps the two
+            // dips resolvable at 450 Hz even after the 120 Hz output filter
+            // smears the fastest-flow pulses.
+            let separation = Seconds::new(2.0 * span_s);
+
+            // Per-carrier scaling is a particle property, shared by all of
+            // this event's pulses. In magnitude mode the dip scales with
+            // |H(f)| = dispersion factor; in phase-sensitive (I/Q) mode the
+            // in-phase dip is |H|·cos φ and the quadrature dip |H|·sin φ,
+            // with φ the particle's dispersion phase.
+            let iq = self.synth.is_iq();
+            let kind = event.particle.kind;
+            let channel_gains: Vec<f64> = carriers
+                .iter()
+                .map(|&f| {
+                    let h = kind.dispersion_factor(f.value())
+                        * self.circuit.sensitivity_at(f);
+                    if iq {
+                        h * kind.dispersion_phase(f.value()).cos()
+                    } else {
+                        h
+                    }
+                })
+                .collect();
+            let quadrature_gains: Vec<f64> = if iq {
+                carriers
+                    .iter()
+                    .map(|&f| {
+                        kind.dispersion_factor(f.value())
+                            * self.circuit.sensitivity_at(f)
+                            * kind.dispersion_phase(f.value()).sin()
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+
+            for e in key.selection.ids() {
+                let offset_s = self.array.position(e, &self.geometry).value() / velocity;
+                let center = Seconds::new(event.time.value() + offset_s);
+                if center.value() >= duration.value() {
+                    continue; // particle exits the window before reaching e
+                }
+                let depth =
+                    REFERENCE_DIP * event.particle.amplitude_factor() * key.gain_of(e);
+                let spec = if self.array.dips_per_particle(e) == 1 {
+                    scheduled_dips += 1;
+                    PulseSpec::unipolar(center, fwhm, depth)
+                } else {
+                    scheduled_dips += 2;
+                    PulseSpec::double(center, fwhm, depth, separation)
+                };
+                pulses.push(MultiChannelPulse {
+                    spec,
+                    channel_gains: channel_gains.clone(),
+                    quadrature_gains: quadrature_gains.clone(),
+                });
+            }
+        }
+
+        let trace = self.synth.render_multichannel(&pulses, duration);
+        AcquisitionOutput {
+            trace,
+            duration,
+            true_counts,
+            scheduled_dips,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::ElectrodeId;
+    use crate::keying::{CipherKey, ElectrodeSelection, FlowLevel, GainLevel};
+    use medsen_dsp::detrend::{detrend_segmented, DetrendConfig};
+    use medsen_dsp::peaks::ThresholdDetector;
+    use medsen_microfluidics::Particle;
+    use medsen_units::Hertz;
+
+    fn event_at(t: f64, kind: ParticleKind) -> TransitEvent {
+        TransitEvent {
+            time: Seconds::new(t),
+            particle: Particle::nominal(kind),
+            velocity: 2250.0,
+        }
+    }
+
+    fn static_key(ids: &[u8], gain: GainLevel, flow: FlowLevel) -> KeySchedule {
+        let array = ElectrodeArray::paper_prototype();
+        let ids: Vec<ElectrodeId> = ids.iter().map(|&i| ElectrodeId(i)).collect();
+        KeySchedule::Static(CipherKey {
+            selection: ElectrodeSelection::new(&array, &ids).unwrap(),
+            gains: vec![gain; 9],
+            flow,
+        })
+    }
+
+    fn detect_counts(output: &AcquisitionOutput) -> usize {
+        let ch = output
+            .trace
+            .channel_at(Hertz::from_khz(500.0))
+            .expect("has channels");
+        let depth = detrend_segmented(&ch.samples, &DetrendConfig::paper_default());
+        ThresholdDetector::paper_default().count(&depth, 450.0)
+    }
+
+    #[test]
+    fn lead_only_gives_one_peak_per_particle() {
+        let mut acq = EncryptedAcquisition::clean(1);
+        let sched = static_key(&[9], GainLevel::unity(), FlowLevel::nominal());
+        let events = vec![
+            event_at(0.5, ParticleKind::Bead78),
+            event_at(1.5, ParticleKind::Bead78),
+        ];
+        let out = acq.run(&events, &sched, Seconds::new(3.0));
+        assert_eq!(out.scheduled_dips, 2);
+        assert_eq!(detect_counts(&out), 2);
+        assert_eq!(out.true_total(), 2);
+    }
+
+    #[test]
+    fn fig11_subset_peak_counts_for_one_bead() {
+        // Reproduces Fig. 11's signatures for a single 7.8 µm bead.
+        let cases: [(&[u8], usize); 4] = [
+            (&[9], 1),              // 11a: lead only
+            (&[9, 1], 3),           // 11b: lead + electrode 1
+            (&[9, 1, 2], 5),        // 11c: lead + electrodes 1, 2
+            (&[1, 2, 3, 4, 5, 6, 7, 8, 9], 17), // 11d: all nine → 17 peaks
+        ];
+        for (ids, expected) in cases {
+            let mut acq = EncryptedAcquisition::clean(2);
+            let sched = static_key(ids, GainLevel::unity(), FlowLevel::nominal());
+            let events = vec![event_at(0.5, ParticleKind::Bead78)];
+            let out = acq.run(&events, &sched, Seconds::new(2.0));
+            assert_eq!(out.scheduled_dips, expected, "ids {ids:?}");
+            assert_eq!(detect_counts(&out), expected, "detected for ids {ids:?}");
+        }
+    }
+
+    #[test]
+    fn gain_scales_peak_amplitude() {
+        let run = |gain: GainLevel| {
+            let mut acq = EncryptedAcquisition::clean(3);
+            let sched = static_key(&[9], gain, FlowLevel::nominal());
+            let out = acq.run(
+                &[event_at(0.5, ParticleKind::Bead78)],
+                &sched,
+                Seconds::new(1.5),
+            );
+            let ch = out.trace.channel_at(Hertz::from_khz(500.0)).unwrap();
+            1.0 - ch.min().unwrap()
+        };
+        let low = run(GainLevel::new(0).unwrap());
+        let high = run(GainLevel::new(15).unwrap());
+        assert!(
+            (high / low - 4.0).abs() < 0.2,
+            "gain ratio {} (low {low}, high {high})",
+            high / low
+        );
+    }
+
+    #[test]
+    fn slow_flow_widens_peaks() {
+        let width_at = |flow: FlowLevel| {
+            let mut acq = EncryptedAcquisition::clean(4);
+            let sched = static_key(&[9], GainLevel::unity(), flow);
+            let out = acq.run(
+                &[event_at(0.5, ParticleKind::Bead78)],
+                &sched,
+                Seconds::new(2.0),
+            );
+            let ch = out.trace.channel_at(Hertz::from_khz(500.0)).unwrap();
+            let depth = detrend_segmented(&ch.samples, &DetrendConfig::paper_default());
+            let peaks = ThresholdDetector::paper_default().detect(&depth, 450.0);
+            assert_eq!(peaks.len(), 1, "flow level {}", flow.level());
+            peaks[0].width_s
+        };
+        let slow = width_at(FlowLevel::new(0).unwrap());
+        let fast = width_at(FlowLevel::new(15).unwrap());
+        assert!(slow > 2.0 * fast, "slow {slow} vs fast {fast}");
+    }
+
+    #[test]
+    fn cell_peaks_shrink_on_high_frequency_channels() {
+        let mut acq = EncryptedAcquisition::clean(5);
+        let sched = static_key(&[9], GainLevel::unity(), FlowLevel::nominal());
+        let out = acq.run(
+            &[event_at(0.5, ParticleKind::RedBloodCell)],
+            &sched,
+            Seconds::new(1.5),
+        );
+        let dip_at = |khz: f64| {
+            let ch = out.trace.channel_at(Hertz::from_khz(khz)).unwrap();
+            1.0 - ch.min().unwrap()
+        };
+        assert!(
+            dip_at(4000.0) < 0.5 * dip_at(500.0),
+            "4 MHz {} vs 500 kHz {}",
+            dip_at(4000.0),
+            dip_at(500.0)
+        );
+    }
+
+    #[test]
+    fn bead_peaks_do_not_shrink_with_frequency() {
+        let mut acq = EncryptedAcquisition::clean(6);
+        let sched = static_key(&[9], GainLevel::unity(), FlowLevel::nominal());
+        let out = acq.run(
+            &[event_at(0.5, ParticleKind::Bead78)],
+            &sched,
+            Seconds::new(1.5),
+        );
+        let dip_at = |khz: f64| {
+            let ch = out.trace.channel_at(Hertz::from_khz(khz)).unwrap();
+            1.0 - ch.min().unwrap()
+        };
+        assert!((dip_at(4000.0) / dip_at(500.0) - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn particle_near_window_end_drops_unreachable_electrodes() {
+        let mut acq = EncryptedAcquisition::clean(7);
+        // Electrode 1 sits 400 µm downstream: at 2250 µm/s it fires ~0.18 s
+        // after arrival. An arrival at 0.95 s in a 1.0 s window never gets
+        // there.
+        let sched = static_key(&[1], GainLevel::unity(), FlowLevel::nominal());
+        let out = acq.run(
+            &[event_at(0.95, ParticleKind::Bead78)],
+            &sched,
+            Seconds::new(1.0),
+        );
+        assert_eq!(out.scheduled_dips, 0);
+        assert_eq!(out.true_total(), 1, "ground truth still records the cell");
+    }
+
+    #[test]
+    fn iq_acquisition_separates_cells_from_beads_by_quadrature() {
+        use medsen_impedance::TraceSynthesizer;
+        use medsen_microfluidics::ChannelGeometry;
+        let mk_acq = || {
+            EncryptedAcquisition::new(
+                ElectrodeArray::paper_prototype(),
+                ChannelGeometry::paper_default(),
+                medsen_impedance::ElectrodeCircuit::paper_default(),
+                TraceSynthesizer::clean(5).with_iq(true),
+            )
+        };
+        let sched = static_key(&[9], GainLevel::unity(), FlowLevel::nominal());
+        let dip_q = |kind: ParticleKind| {
+            let mut acq = mk_acq();
+            let out = acq.run(&[event_at(0.5, kind)], &sched, Seconds::new(1.5));
+            let q = out
+                .trace
+                .quadrature_at(Hertz::from_khz(2500.0))
+                .expect("IQ trace has quadrature channels");
+            1.0 - q.min().expect("non-empty channel")
+        };
+        let cell_q = dip_q(ParticleKind::RedBloodCell);
+        let bead_q = dip_q(ParticleKind::Bead78);
+        assert!(cell_q > 2.0e-3, "cell quadrature dip {cell_q}");
+        assert!(bead_q < 2.0e-4, "bead quadrature dip {bead_q}");
+    }
+
+    #[test]
+    fn periodic_schedule_changes_multiplicity_over_time() {
+        let array = ElectrodeArray::paper_prototype();
+        let mk = |ids: &[u8]| CipherKey {
+            selection: ElectrodeSelection::new(
+                &array,
+                &ids.iter().map(|&i| ElectrodeId(i)).collect::<Vec<_>>(),
+            )
+            .unwrap(),
+            gains: vec![GainLevel::unity(); 9],
+            flow: FlowLevel::nominal(),
+        };
+        let sched = KeySchedule::Periodic {
+            period: Seconds::new(1.0),
+            keys: vec![mk(&[9]), mk(&[9, 1])],
+        };
+        let mut acq = EncryptedAcquisition::clean(8);
+        let events = vec![
+            event_at(0.5, ParticleKind::Bead78), // multiplicity 1
+            event_at(1.5, ParticleKind::Bead78), // multiplicity 3
+        ];
+        let out = acq.run(&events, &sched, Seconds::new(3.0));
+        assert_eq!(out.scheduled_dips, 4);
+        assert_eq!(detect_counts(&out), 4);
+    }
+}

@@ -1,0 +1,451 @@
+//! The cipher key `K(t) = (E(t), G(t), S(t))` and its accounting.
+//!
+//! Section IV-A: every peak's key is the tuple of (on/off electrode vector,
+//! per-electrode output gains, channel flow speed). The ideal design keys
+//! every cell independently — Eq. (2) sizes that key — while the deployed
+//! design rotates the key periodically ("MedSen implements an alternative
+//! scheme that periodically changes the encryption parameters every time
+//! unit").
+//!
+//! Key material is deliberately **not** serializable: it must never leave the
+//! controller. All types here implement only the traits needed inside the
+//! trusted computing base.
+
+use crate::array::{ElectrodeArray, ElectrodeId};
+use medsen_units::Seconds;
+
+/// The number of discrete gain levels (4-bit, Sec. VI-B).
+pub const GAIN_LEVELS: u8 = 16;
+/// The number of discrete flow-speed levels (4-bit, Sec. VI-B).
+pub const FLOW_LEVELS: u8 = 16;
+
+/// A 4-bit output-gain level for one electrode.
+///
+/// Levels map log-uniformly onto the gain range `[0.7, 2.8]` — a 4× span,
+/// chosen because "the amplitude and width of a peak ... will typically be as
+/// much as four times larger than the smallest peak observable", while
+/// keeping even minimum-gain peaks above the server's detection threshold
+/// (the server must still be able to *count* encrypted peaks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GainLevel(u8);
+
+impl GainLevel {
+    /// Creates a gain level.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `level >= GAIN_LEVELS`.
+    pub fn new(level: u8) -> Result<Self, String> {
+        if level >= GAIN_LEVELS {
+            return Err(format!("gain level {level} out of range 0..{GAIN_LEVELS}"));
+        }
+        Ok(Self(level))
+    }
+
+    /// The unit-gain level (multiplier closest to 1.0).
+    pub fn unity() -> Self {
+        Self(4)
+    }
+
+    /// The raw 4-bit level.
+    pub fn level(self) -> u8 {
+        self.0
+    }
+
+    /// The voltage multiplier this level applies.
+    pub fn multiplier(self) -> f64 {
+        0.7 * 4.0f64.powf(self.0 as f64 / (GAIN_LEVELS - 1) as f64)
+    }
+}
+
+/// A 4-bit flow-speed level.
+///
+/// Levels map log-uniformly onto `[0.5×, 2×]` of the nominal pump rate —
+/// a 4× span of peak widths ("the slow fluid speed results in peaks with
+/// larger widths").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowLevel(u8);
+
+impl FlowLevel {
+    /// Creates a flow level.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `level >= FLOW_LEVELS`.
+    pub fn new(level: u8) -> Result<Self, String> {
+        if level >= FLOW_LEVELS {
+            return Err(format!("flow level {level} out of range 0..{FLOW_LEVELS}"));
+        }
+        Ok(Self(level))
+    }
+
+    /// The nominal-speed level (multiplier closest to 1.0).
+    pub fn nominal() -> Self {
+        Self(8)
+    }
+
+    /// The raw 4-bit level.
+    pub fn level(self) -> u8 {
+        self.0
+    }
+
+    /// The velocity multiplier this level applies to the nominal flow.
+    pub fn multiplier(self) -> f64 {
+        0.5 * 4.0f64.powf(self.0 as f64 / (FLOW_LEVELS - 1) as f64)
+    }
+}
+
+/// A non-empty subset of output electrodes (the binary vector `E`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ElectrodeSelection {
+    mask: u16,
+    n_outputs: u8,
+}
+
+impl ElectrodeSelection {
+    /// Builds a selection from explicit electrode ids.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the list is empty, an id is out of range for the array, or
+    /// an id repeats.
+    pub fn new(array: &ElectrodeArray, ids: &[ElectrodeId]) -> Result<Self, String> {
+        if ids.is_empty() {
+            return Err("selection must activate at least one electrode".into());
+        }
+        let mut mask: u16 = 0;
+        for &ElectrodeId(id) in ids {
+            if id == 0 || id > array.n_outputs() {
+                return Err(format!(
+                    "electrode {id} out of range 1..={}",
+                    array.n_outputs()
+                ));
+            }
+            let bit = 1u16 << (id - 1);
+            if mask & bit != 0 {
+                return Err(format!("electrode {id} selected twice"));
+            }
+            mask |= bit;
+        }
+        Ok(Self {
+            mask,
+            n_outputs: array.n_outputs(),
+        })
+    }
+
+    /// Selects every output electrode.
+    pub fn all(array: &ElectrodeArray) -> Self {
+        let ids: Vec<ElectrodeId> = array.electrodes().collect();
+        Self::new(array, &ids).expect("all-electrodes selection is valid")
+    }
+
+    /// Whether electrode `e` is active.
+    pub fn contains(&self, e: ElectrodeId) -> bool {
+        e.0 >= 1 && e.0 <= self.n_outputs && self.mask & (1 << (e.0 - 1)) != 0
+    }
+
+    /// Active electrode ids, ascending.
+    pub fn ids(&self) -> Vec<ElectrodeId> {
+        (1..=self.n_outputs)
+            .filter(|&i| self.mask & (1 << (i - 1)) != 0)
+            .map(ElectrodeId)
+            .collect()
+    }
+
+    /// Number of active electrodes.
+    pub fn len(&self) -> usize {
+        self.mask.count_ones() as usize
+    }
+
+    /// Selections are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether the selection contains two adjacent electrodes — the pattern
+    /// Sec. VII-A flags as an information leak ("selecting an electrode key
+    /// pattern that does not use successive electrodes").
+    pub fn has_adjacent_pair(&self) -> bool {
+        (self.mask & (self.mask >> 1)) != 0
+    }
+}
+
+/// One complete cipher key `K = (E, G, S)` for one time unit (or one cell in
+/// the ideal scheme).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CipherKey {
+    /// The electrode on/off vector `E`.
+    pub selection: ElectrodeSelection,
+    /// Per-electrode gains `G`, indexed by electrode id − 1 (length = number
+    /// of outputs; gains of unselected electrodes are ignored).
+    pub gains: Vec<GainLevel>,
+    /// The flow-speed setting `S`.
+    pub flow: FlowLevel,
+}
+
+impl CipherKey {
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the gain vector length differs from the array size implied
+    /// by the selection.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.gains.len() != usize::from(self.selection_outputs()) {
+            return Err(format!(
+                "gain vector has {} entries for {} outputs",
+                self.gains.len(),
+                self.selection_outputs()
+            ));
+        }
+        Ok(())
+    }
+
+    fn selection_outputs(&self) -> u8 {
+        self.selection.n_outputs
+    }
+
+    /// The gain multiplier for electrode `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn gain_of(&self, e: ElectrodeId) -> f64 {
+        assert!(e.0 >= 1 && usize::from(e.0) <= self.gains.len());
+        self.gains[usize::from(e.0) - 1].multiplier()
+    }
+
+    /// The peak multiplication factor of this key on `array`.
+    pub fn multiplicity(&self, array: &ElectrodeArray) -> usize {
+        array.peak_multiplicity(&self.selection.ids())
+    }
+
+    /// Bits of key material in this key per Eq. (2)'s per-cell accounting:
+    /// `N_elec` selection bits, `N_elec/2 × R_gain` gain bits, `R_flow` flow
+    /// bits.
+    pub fn bits(&self) -> usize {
+        let n_elec = usize::from(self.selection_outputs());
+        n_elec + n_elec / 2 * 4 + 4
+    }
+}
+
+/// Eq. (2): the total key length, in bits, of the ideal per-cell scheme.
+///
+/// `L = N_cells × (N_elec + N_elec/2 × R_gain + R_flow)`
+///
+/// # Examples
+///
+/// ```
+/// use medsen_sensor::ideal_key_length_bits;
+/// // Sec. VI-B: 20 K cells, 16 electrodes, 4-bit gains, 4-bit flow → ~1 Mbit.
+/// let bits = ideal_key_length_bits(20_000, 16, 4, 4);
+/// assert_eq!(bits, 1_040_000);
+/// assert!((bits as f64 / 8.0 / 1.0e6 - 0.13).abs() < 0.011); // ≈ 0.12–0.13 MB
+/// ```
+pub fn ideal_key_length_bits(
+    n_cells: u64,
+    n_electrodes: u64,
+    r_gain_bits: u64,
+    r_flow_bits: u64,
+) -> u64 {
+    n_cells * (n_electrodes + n_electrodes / 2 * r_gain_bits + r_flow_bits)
+}
+
+/// A key schedule: which key encrypts which instant of the acquisition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KeySchedule {
+    /// One key for the entire run (encryption effectively static — used with
+    /// encryption "off" for the authentication path, or as a weak baseline).
+    Static(CipherKey),
+    /// The deployed scheme: a fresh key every `period` ("periodically changes
+    /// the encryption parameters every time unit").
+    Periodic {
+        /// Key rotation period.
+        period: Seconds,
+        /// Keys for consecutive periods, cycled if the run outlasts them.
+        keys: Vec<CipherKey>,
+    },
+}
+
+impl KeySchedule {
+    /// The key in force at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a periodic schedule has no keys (prevented at generation).
+    pub fn key_at(&self, t: Seconds) -> &CipherKey {
+        match self {
+            KeySchedule::Static(k) => k,
+            KeySchedule::Periodic { period, keys } => {
+                assert!(!keys.is_empty(), "periodic schedule without keys");
+                let idx = (t.value() / period.value()).floor().max(0.0) as usize;
+                &keys[idx % keys.len()]
+            }
+        }
+    }
+
+    /// Index of the key period containing time `t` (0 for static schedules).
+    pub fn period_index(&self, t: Seconds) -> usize {
+        match self {
+            KeySchedule::Static(_) => 0,
+            KeySchedule::Periodic { period, .. } => {
+                (t.value() / period.value()).floor().max(0.0) as usize
+            }
+        }
+    }
+
+    /// Total distinct key material in bits.
+    pub fn total_bits(&self) -> usize {
+        match self {
+            KeySchedule::Static(k) => k.bits(),
+            KeySchedule::Periodic { keys, .. } => keys.iter().map(CipherKey::bits).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn array() -> ElectrodeArray {
+        ElectrodeArray::paper_prototype()
+    }
+
+    #[test]
+    fn paper_key_length_is_about_one_megabit() {
+        // "20K ∗ (16 + 8 ∗ 4 + 4) = 1M-bits key (0.12MB)"
+        let bits = ideal_key_length_bits(20_000, 16, 4, 4);
+        assert_eq!(bits, 20_000 * 52);
+        let mb = bits as f64 / 8.0 / 1e6;
+        assert!(mb > 0.11 && mb < 0.14, "MB = {mb}");
+    }
+
+    #[test]
+    fn key_length_is_linear_in_cell_count() {
+        // "the key length varies linearly as function of the number of cells"
+        let l1 = ideal_key_length_bits(1_000, 16, 4, 4);
+        let l4 = ideal_key_length_bits(4_000, 16, 4, 4);
+        assert_eq!(l4, 4 * l1);
+    }
+
+    #[test]
+    fn gain_levels_span_a_4x_log_range() {
+        let lo = GainLevel::new(0).unwrap().multiplier();
+        let hi = GainLevel::new(15).unwrap().multiplier();
+        assert!((hi / lo - 4.0).abs() < 1e-9);
+        assert!((GainLevel::unity().multiplier() - 1.0).abs() < 0.1);
+        assert!(GainLevel::new(16).is_err());
+    }
+
+    #[test]
+    fn flow_levels_span_half_to_double() {
+        let lo = FlowLevel::new(0).unwrap().multiplier();
+        let hi = FlowLevel::new(15).unwrap().multiplier();
+        assert!((lo - 0.5).abs() < 1e-9);
+        assert!((hi - 2.0).abs() < 1e-9);
+        assert!((FlowLevel::nominal().multiplier() - 1.0).abs() < 0.1);
+        assert!(FlowLevel::new(16).is_err());
+    }
+
+    #[test]
+    fn gain_multipliers_are_strictly_increasing() {
+        let mults: Vec<f64> = (0..GAIN_LEVELS)
+            .map(|l| GainLevel::new(l).unwrap().multiplier())
+            .collect();
+        assert!(mults.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn selection_round_trips_ids() {
+        let a = array();
+        let sel =
+            ElectrodeSelection::new(&a, &[ElectrodeId(9), ElectrodeId(1), ElectrodeId(4)])
+                .unwrap();
+        assert_eq!(sel.ids(), vec![ElectrodeId(1), ElectrodeId(4), ElectrodeId(9)]);
+        assert_eq!(sel.len(), 3);
+        assert!(sel.contains(ElectrodeId(4)));
+        assert!(!sel.contains(ElectrodeId(5)));
+    }
+
+    #[test]
+    fn selection_rejects_bad_inputs() {
+        let a = array();
+        assert!(ElectrodeSelection::new(&a, &[]).is_err());
+        assert!(ElectrodeSelection::new(&a, &[ElectrodeId(10)]).is_err());
+        assert!(ElectrodeSelection::new(&a, &[ElectrodeId(0)]).is_err());
+        assert!(
+            ElectrodeSelection::new(&a, &[ElectrodeId(3), ElectrodeId(3)]).is_err(),
+            "duplicate must be rejected"
+        );
+    }
+
+    #[test]
+    fn adjacency_detection() {
+        let a = array();
+        let adjacent =
+            ElectrodeSelection::new(&a, &[ElectrodeId(3), ElectrodeId(4)]).unwrap();
+        let spaced = ElectrodeSelection::new(&a, &[ElectrodeId(3), ElectrodeId(7)]).unwrap();
+        assert!(adjacent.has_adjacent_pair());
+        assert!(!spaced.has_adjacent_pair());
+    }
+
+    #[test]
+    fn key_multiplicity_and_bits() {
+        let a = array();
+        let key = CipherKey {
+            selection: ElectrodeSelection::new(&a, &[ElectrodeId(9), ElectrodeId(1)]).unwrap(),
+            gains: vec![GainLevel::unity(); 9],
+            flow: FlowLevel::nominal(),
+        };
+        key.validate().unwrap();
+        assert_eq!(key.multiplicity(&a), 3);
+        // 9 + 4·4 + 4 = 29 bits for a 9-output device.
+        assert_eq!(key.bits(), 9 + 4 * 4 + 4);
+    }
+
+    #[test]
+    fn key_validation_rejects_wrong_gain_length() {
+        let a = array();
+        let key = CipherKey {
+            selection: ElectrodeSelection::all(&a),
+            gains: vec![GainLevel::unity(); 5],
+            flow: FlowLevel::nominal(),
+        };
+        assert!(key.validate().is_err());
+    }
+
+    #[test]
+    fn periodic_schedule_rotates_and_cycles() {
+        let a = array();
+        let mk = |e: u8| CipherKey {
+            selection: ElectrodeSelection::new(&a, &[ElectrodeId(e)]).unwrap(),
+            gains: vec![GainLevel::unity(); 9],
+            flow: FlowLevel::nominal(),
+        };
+        let sched = KeySchedule::Periodic {
+            period: Seconds::new(1.0),
+            keys: vec![mk(1), mk(2), mk(3)],
+        };
+        assert_eq!(sched.key_at(Seconds::new(0.5)).selection.ids()[0], ElectrodeId(1));
+        assert_eq!(sched.key_at(Seconds::new(1.5)).selection.ids()[0], ElectrodeId(2));
+        assert_eq!(sched.key_at(Seconds::new(2.5)).selection.ids()[0], ElectrodeId(3));
+        // Cycles after the key list is exhausted.
+        assert_eq!(sched.key_at(Seconds::new(3.5)).selection.ids()[0], ElectrodeId(1));
+        assert_eq!(sched.period_index(Seconds::new(3.5)), 3);
+        assert_eq!(sched.total_bits(), 3 * (9 + 16 + 4));
+    }
+
+    #[test]
+    fn static_schedule_is_time_invariant() {
+        let a = array();
+        let key = CipherKey {
+            selection: ElectrodeSelection::all(&a),
+            gains: vec![GainLevel::unity(); 9],
+            flow: FlowLevel::nominal(),
+        };
+        let sched = KeySchedule::Static(key.clone());
+        assert_eq!(sched.key_at(Seconds::new(0.0)), &key);
+        assert_eq!(sched.key_at(Seconds::new(1e6)), &key);
+        assert_eq!(sched.period_index(Seconds::new(1e6)), 0);
+    }
+}

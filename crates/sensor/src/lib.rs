@@ -1,0 +1,42 @@
+//! The MedSen bio-sensor device: multi-electrode array, multiplexer,
+//! trusted micro-controller, and the in-sensor analog signal cipher.
+//!
+//! This crate is the paper's primary hardware contribution rendered in
+//! software. The physical mechanism — a micro-controller that randomly
+//! activates subsets of output electrodes, applies random output gains, and
+//! modulates pump speed so that one passing cell produces a random number of
+//! peaks with random amplitudes and widths — is modelled exactly:
+//!
+//! * [`ElectrodeArray`] — the Fig. 5 sensing-region designs (2/3/5/9/16
+//!   outputs), lead-electrode single-dip vs double-dip semantics;
+//! * [`Multiplexer`] — the MAX14661 16:2 switch matrix (selected outputs to
+//!   channel A, everything else grounded);
+//! * [`ElectrodeSelection`], [`CipherKey`], [`KeySchedule`] — the key
+//!   `K(t) = (E(t), G(t), S(t))` of Sec. IV-A and the Eq. (2) key-length
+//!   accounting;
+//! * [`Controller`] — the trusted computing base: CSPRNG key generation,
+//!   key custody (keys are deliberately *not* serializable and are zeroized
+//!   on drop), and decryption of returned peak reports;
+//! * [`EncryptedAcquisition`] — runs transit events through the cipher and
+//!   the impedance synthesiser to produce the encrypted [`SignalTrace`]
+//!   a curious-but-honest cloud will see.
+//!
+//! [`SignalTrace`]: medsen_impedance::SignalTrace
+
+pub mod acquisition;
+pub mod array;
+pub mod controller;
+pub mod decrypt;
+pub mod keying;
+pub mod mux;
+pub mod tcb;
+
+pub use acquisition::{AcquisitionOutput, EncryptedAcquisition};
+pub use array::{ElectrodeArray, ElectrodeId};
+pub use controller::{Controller, ControllerConfig};
+pub use decrypt::{DecryptedCount, Decryptor, ReportedPeak};
+pub use keying::{
+    ideal_key_length_bits, CipherKey, ElectrodeSelection, FlowLevel, GainLevel, KeySchedule,
+};
+pub use mux::{Multiplexer, Routing};
+pub use tcb::{ComponentTrust, TcbAudit, TrustLevel};

@@ -1,0 +1,120 @@
+//! Property tests on the cipher's structural invariants.
+
+use medsen_sensor::*;
+use medsen_units::Seconds;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Selections round-trip through ids() for arbitrary non-empty masks.
+    #[test]
+    fn selection_roundtrip(ids in proptest::collection::btree_set(1u8..=9, 1..=9)) {
+        let array = ElectrodeArray::paper_prototype();
+        let id_vec: Vec<ElectrodeId> = ids.iter().copied().map(ElectrodeId).collect();
+        let selection = ElectrodeSelection::new(&array, &id_vec).expect("valid ids");
+        let back: Vec<u8> = selection.ids().iter().map(|e| e.0).collect();
+        let expected: Vec<u8> = ids.into_iter().collect();
+        prop_assert_eq!(back, expected);
+        prop_assert_eq!(selection.len(), id_vec.len());
+    }
+
+    /// Multiplicity is always `2·|E| − [lead ∈ E]` on the prototype.
+    #[test]
+    fn multiplicity_formula(ids in proptest::collection::btree_set(1u8..=9, 1..=9)) {
+        let array = ElectrodeArray::paper_prototype();
+        let id_vec: Vec<ElectrodeId> = ids.iter().copied().map(ElectrodeId).collect();
+        let m = array.peak_multiplicity(&id_vec);
+        let expected = 2 * ids.len() - usize::from(ids.contains(&9));
+        prop_assert_eq!(m, expected);
+        prop_assert!((1..=17).contains(&m));
+    }
+
+    /// Eq. 2 is monotone in every argument.
+    #[test]
+    fn key_length_monotonicity(
+        cells in 1u64..100_000,
+        electrodes in 2u64..=16,
+        gain in 1u64..=8,
+        flow in 1u64..=8,
+    ) {
+        let base = ideal_key_length_bits(cells, electrodes, gain, flow);
+        prop_assert!(ideal_key_length_bits(cells + 1, electrodes, gain, flow) > base);
+        prop_assert!(ideal_key_length_bits(cells, electrodes + 2, gain, flow) > base);
+        prop_assert!(ideal_key_length_bits(cells, electrodes, gain + 1, flow) >= base);
+        prop_assert!(ideal_key_length_bits(cells, electrodes, gain, flow + 1) > base);
+    }
+
+    /// Gain and flow multipliers stay within their documented spans for all
+    /// levels.
+    #[test]
+    fn level_multiplier_ranges(level in 0u8..16) {
+        let g = GainLevel::new(level).expect("valid").multiplier();
+        prop_assert!((0.7..=2.8 + 1e-9).contains(&g));
+        let f = FlowLevel::new(level).expect("valid").multiplier();
+        prop_assert!((0.5..=2.0 + 1e-9).contains(&f));
+    }
+
+    /// Decryption is exact whenever the report contains exactly
+    /// multiplicity × n peaks inside one key period.
+    #[test]
+    fn division_is_exact_for_ideal_reports(
+        n in 1usize..50,
+        ids in proptest::collection::btree_set(1u8..=9, 1..=9),
+    ) {
+        let array = ElectrodeArray::paper_prototype();
+        let id_vec: Vec<ElectrodeId> = ids.iter().copied().map(ElectrodeId).collect();
+        let key = CipherKey {
+            selection: ElectrodeSelection::new(&array, &id_vec).expect("valid"),
+            gains: vec![GainLevel::unity(); 9],
+            flow: FlowLevel::nominal(),
+        };
+        let m = key.multiplicity(&array);
+        let schedule = KeySchedule::Static(key);
+        let peaks: Vec<ReportedPeak> = (0..n * m)
+            .map(|i| ReportedPeak {
+                time_s: i as f64 * 0.01,
+                amplitude: 0.004,
+                width_s: 0.01,
+            })
+            .collect();
+        let decoded = Decryptor::new(array, &schedule).decrypt(&peaks);
+        prop_assert_eq!(decoded.rounded(), n as u64);
+    }
+
+    /// Controllers never generate empty selections or invalid gain vectors,
+    /// for any seed and any policy knob combination.
+    #[test]
+    fn controller_schedules_always_valid(
+        seed in 0u64..2000,
+        avoid_adjacent in any::<bool>(),
+        gains in any::<bool>(),
+        flow in any::<bool>(),
+        p in 0.05f64..1.0,
+        gain_bits in 1u8..=4,
+    ) {
+        let mut controller = Controller::new(
+            ElectrodeArray::paper_prototype(),
+            ControllerConfig {
+                avoid_adjacent,
+                randomize_gains: gains,
+                randomize_flow: flow,
+                selection_probability: p,
+                gain_bits,
+                ..ControllerConfig::paper_default()
+            },
+            seed,
+        );
+        let schedule = controller.generate_schedule(Seconds::new(15.0));
+        let KeySchedule::Periodic { keys, .. } = schedule else {
+            return Err(TestCaseError::fail("expected periodic schedule"));
+        };
+        for key in keys {
+            prop_assert!(key.validate().is_ok());
+            prop_assert!(!key.selection.is_empty());
+            if avoid_adjacent {
+                prop_assert!(!key.selection.has_adjacent_pair());
+            }
+        }
+    }
+}

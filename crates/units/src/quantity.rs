@@ -1,0 +1,327 @@
+//! Concrete quantity definitions and the cross-quantity conversions that the
+//! MedSen physics models rely on.
+
+use crate::quantity_type;
+
+quantity_type!(
+    /// A length in micrometres (µm) — channel widths, electrode pitch,
+    /// particle diameters.
+    Micrometers,
+    "µm"
+);
+
+quantity_type!(
+    /// A volume in microlitres (µL) — blood samples (< 10 µL per test).
+    Microliters,
+    "µL"
+);
+
+quantity_type!(
+    /// A volumetric flow rate in µL/min — the paper pumps at 0.08 µL/min and
+    /// back-calculates 0.081 µL/min from transit times.
+    FlowRate,
+    "µL/min"
+);
+
+quantity_type!(
+    /// A frequency in hertz. Carrier frequencies (500 kHz – 4 MHz), output
+    /// sampling (450 Hz) and filter cut-offs (120 Hz) all use this type.
+    Hertz,
+    "Hz"
+);
+
+quantity_type!(
+    /// An electric potential in volts — 1 V excitation, millivolt-scale peaks.
+    Volts,
+    "V"
+);
+
+quantity_type!(
+    /// A duration in seconds.
+    Seconds,
+    "s"
+);
+
+quantity_type!(
+    /// A resistance/impedance magnitude in ohms.
+    Ohms,
+    "Ω"
+);
+
+quantity_type!(
+    /// A capacitance in farads — the electrode double-layer is ~nF scale.
+    Farads,
+    "F"
+);
+
+quantity_type!(
+    /// A particle concentration in counts per microlitre.
+    Concentration,
+    "/µL"
+);
+
+impl Micrometers {
+    /// Converts to metres.
+    #[inline]
+    pub fn to_meters(self) -> f64 {
+        self.value() * 1e-6
+    }
+
+    /// Cross-sectional area (µm²) when used as one side of a rectangle.
+    #[inline]
+    pub fn area(self, other: Micrometers) -> f64 {
+        self.value() * other.value()
+    }
+
+    /// Time for a particle to traverse this distance at `velocity` (µm/s).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use medsen_units::Micrometers;
+    /// let t = Micrometers::new(45.0).transit_time(2250.0);
+    /// assert!((t.value() - 0.02).abs() < 1e-12); // the paper's ~20 ms peak
+    /// ```
+    #[inline]
+    pub fn transit_time(self, velocity_um_per_s: f64) -> Seconds {
+        Seconds::new(self.value() / velocity_um_per_s)
+    }
+}
+
+impl Microliters {
+    /// Converts to cubic micrometres (1 µL = 10⁹ µm³).
+    #[inline]
+    pub fn to_cubic_micrometers(self) -> f64 {
+        self.value() * 1e9
+    }
+
+    /// Converts cubic micrometres to microlitres.
+    #[inline]
+    pub fn from_cubic_micrometers(um3: f64) -> Self {
+        Self::new(um3 / 1e9)
+    }
+
+    /// Number of particles contained at the given concentration.
+    #[inline]
+    pub fn particle_count(self, concentration: Concentration) -> f64 {
+        self.value() * concentration.value()
+    }
+}
+
+impl FlowRate {
+    /// Mean fluid velocity (µm/s) in a rectangular channel of the given
+    /// cross-section.
+    ///
+    /// The paper's measurement pore is 30 µm × 20 µm; at 0.081 µL/min this
+    /// gives ≈ 2250 µm/s, matching the observed ~20 ms transit over the
+    /// 45 µm electrode span.
+    #[inline]
+    pub fn channel_velocity(self, width: Micrometers, height: Micrometers) -> f64 {
+        // µL/min → µm³/s, divided by cross-section in µm².
+        let um3_per_s = self.value() * 1e9 / 60.0;
+        um3_per_s / width.area(height)
+    }
+
+    /// Volume delivered over a duration.
+    #[inline]
+    pub fn volume_after(self, duration: Seconds) -> Microliters {
+        Microliters::new(self.value() * duration.value() / 60.0)
+    }
+
+    /// Back-calculates a flow rate from an observed transit: the volume swept
+    /// through the pore cross-section while one particle crosses `span`.
+    ///
+    /// Reproduces the paper's Sec. VII-A calculation: a 45 µm span crossed in
+    /// ≈ 20 ms inside a 30 µm × 20 µm pore ⇒ ≈ 0.081 µL/min.
+    pub fn from_transit(
+        span: Micrometers,
+        transit: Seconds,
+        width: Micrometers,
+        height: Micrometers,
+    ) -> Self {
+        let velocity = span.value() / transit.value(); // µm/s
+        let um3_per_s = velocity * width.area(height);
+        Self::new(um3_per_s * 60.0 / 1e9)
+    }
+}
+
+impl Hertz {
+    /// Convenience constructor from kilohertz.
+    #[inline]
+    pub fn from_khz(khz: f64) -> Self {
+        Self::new(khz * 1e3)
+    }
+
+    /// Convenience constructor from megahertz.
+    #[inline]
+    pub fn from_mhz(mhz: f64) -> Self {
+        Self::new(mhz * 1e6)
+    }
+
+    /// The period of one cycle.
+    #[inline]
+    pub fn period(self) -> Seconds {
+        Seconds::new(1.0 / self.value())
+    }
+
+    /// Angular frequency ω = 2πf (rad/s).
+    #[inline]
+    pub fn angular(self) -> f64 {
+        2.0 * core::f64::consts::PI * self.value()
+    }
+}
+
+impl Seconds {
+    /// Convenience constructor from milliseconds.
+    #[inline]
+    pub fn from_millis(ms: f64) -> Self {
+        Self::new(ms * 1e-3)
+    }
+
+    /// Converts to milliseconds.
+    #[inline]
+    pub fn to_millis(self) -> f64 {
+        self.value() * 1e3
+    }
+
+    /// Number of samples this duration spans at `rate`.
+    #[inline]
+    pub fn samples_at(self, rate: Hertz) -> usize {
+        (self.value() * rate.value()).round().max(0.0) as usize
+    }
+}
+
+impl Ohms {
+    /// Convenience constructor from megaohms (the capacitive regime the paper
+    /// reports is "MΩ range").
+    #[inline]
+    pub fn from_megaohms(mohm: f64) -> Self {
+        Self::new(mohm * 1e6)
+    }
+
+    /// Converts to megaohms.
+    #[inline]
+    pub fn to_megaohms(self) -> f64 {
+        self.value() / 1e6
+    }
+}
+
+impl Farads {
+    /// Convenience constructor from nanofarads.
+    #[inline]
+    pub fn from_nanofarads(nf: f64) -> Self {
+        Self::new(nf * 1e-9)
+    }
+
+    /// The reactance magnitude 1/(ωC) of this capacitance at `f`.
+    #[inline]
+    pub fn reactance_at(self, f: Hertz) -> Ohms {
+        Ohms::new(1.0 / (f.angular() * self.value()))
+    }
+}
+
+impl Concentration {
+    /// Concentration after diluting 1 part sample into `factor` parts total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive.
+    #[inline]
+    pub fn diluted(self, factor: f64) -> Self {
+        assert!(factor > 0.0, "dilution factor must be positive");
+        Self::new(self.value() / factor)
+    }
+
+    /// Expected particle count in the given volume.
+    #[inline]
+    pub fn expected_count(self, volume: Microliters) -> f64 {
+        self.value() * volume.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_rate_matches_paper_velocity() {
+        // 0.081 µL/min through a 30 × 20 µm pore.
+        let v = FlowRate::new(0.081)
+            .channel_velocity(Micrometers::new(30.0), Micrometers::new(20.0));
+        assert!((v - 2250.0).abs() < 1.0, "velocity was {v}");
+    }
+
+    #[test]
+    fn paper_flow_rate_back_calculation() {
+        // Sec. VII-A: 45 µm span, ~20 ms per peak, 30 × 20 µm channel
+        // ⇒ ≈ 0.081 µL/min.
+        let q = FlowRate::from_transit(
+            Micrometers::new(45.0),
+            Seconds::from_millis(20.0),
+            Micrometers::new(30.0),
+            Micrometers::new(20.0),
+        );
+        assert!((q.value() - 0.081).abs() < 0.001, "flow was {q}");
+    }
+
+    #[test]
+    fn transit_time_roundtrip() {
+        let velocity = 2250.0;
+        let t = Micrometers::new(45.0).transit_time(velocity);
+        assert!((t.to_millis() - 20.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn reactance_dominates_at_low_frequency() {
+        // Double-layer capacitance ~1 nF: at 10 kHz reactance is ~16 kΩ,
+        // at 1 MHz it is ~160 Ω — the capacitor "shorts out" as the paper says.
+        let c = Farads::from_nanofarads(1.0);
+        let low = c.reactance_at(Hertz::from_khz(10.0));
+        let high = c.reactance_at(Hertz::from_mhz(1.0));
+        assert!(low.value() > 100.0 * high.value());
+    }
+
+    #[test]
+    fn khz_mhz_constructors() {
+        assert_eq!(Hertz::from_khz(500.0).value(), 5e5);
+        assert_eq!(Hertz::from_mhz(2.0).value(), 2e6);
+    }
+
+    #[test]
+    fn seconds_sample_count() {
+        // 450 Hz sampling for 2 s ⇒ 900 samples.
+        assert_eq!(Seconds::new(2.0).samples_at(Hertz::new(450.0)), 900);
+    }
+
+    #[test]
+    fn concentration_dilution_and_counts() {
+        let c = Concentration::new(1000.0).diluted(10.0);
+        assert_eq!(c.value(), 100.0);
+        assert_eq!(c.expected_count(Microliters::new(0.5)), 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dilution factor must be positive")]
+    fn dilution_rejects_zero() {
+        let _ = Concentration::new(1.0).diluted(0.0);
+    }
+
+    #[test]
+    fn volume_particle_count() {
+        let n = Microliters::new(0.01).particle_count(Concentration::new(2_000_000.0));
+        assert_eq!(n, 20_000.0); // the paper's 20K-cell repeatability threshold
+    }
+
+    #[test]
+    fn megaohm_conversions() {
+        let z = Ohms::from_megaohms(2.5);
+        assert_eq!(z.value(), 2.5e6);
+        assert_eq!(z.to_megaohms(), 2.5);
+    }
+
+    #[test]
+    fn pump_volume_delivery() {
+        let v = FlowRate::new(0.08).volume_after(Seconds::new(60.0));
+        assert!((v.value() - 0.08).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,87 @@
+//! Security audit: run the Sec. IV-A attacks against progressively stronger
+//! cipher configurations and watch the honest decryptor stay accurate while
+//! every attack degrades.
+//!
+//! ```text
+//! cargo run --release --example adversary_audit
+//! ```
+
+use medsen::cloud::{
+    AmplitudeGroupingAttack, AnalysisServer, BurstClusteringAttack, WidthGroupingAttack,
+};
+use medsen::microfluidics::{
+    ChannelGeometry, ParticleKind, PeristalticPump, SampleSpec, TransportSimulator,
+};
+use medsen::sensor::{Controller, ControllerConfig, EncryptedAcquisition};
+use medsen::units::{Concentration, Microliters, Seconds};
+
+fn main() {
+    let duration = Seconds::new(30.0);
+    let server = AnalysisServer::paper_default();
+    let variants: [(&str, bool, bool, bool); 3] = [
+        ("plaintext", false, false, false),
+        ("selection only", true, false, false),
+        ("full cipher", true, true, true),
+    ];
+
+    println!("{:<16} {:>6} {:>6} {:>10} {:>10} {:>10} {:>10}",
+        "variant", "truth", "peaks", "amp-atk", "width-atk", "burst-atk", "decryptor");
+    println!("{}", "-".repeat(76));
+
+    for (label, random_sel, gains, flow) in variants {
+        let seed = 4242;
+        let sample = SampleSpec::bead_calibration(
+            Microliters::new(1.0),
+            ParticleKind::Bead78,
+            Concentration::new(25.0 / (0.08 / 60.0 * duration.value())),
+        );
+        let mut sim = TransportSimulator::new(
+            ChannelGeometry::paper_default(),
+            PeristalticPump::paper_default(),
+            seed,
+        );
+        let events = sim.run(&sample, duration);
+        let truth = events.len();
+
+        let mut acq = EncryptedAcquisition::paper_default(seed);
+        let mut controller = Controller::new(
+            *acq.array(),
+            ControllerConfig {
+                randomize_gains: gains,
+                randomize_flow: flow,
+                ..ControllerConfig::paper_default()
+            },
+            seed,
+        );
+        let schedule = if random_sel {
+            controller.generate_schedule(duration).clone()
+        } else {
+            controller.plaintext_schedule().clone()
+        };
+        let out = acq.run(&events, &schedule, duration);
+        let report = server.analyze(&out.trace);
+
+        let amp = AmplitudeGroupingAttack::paper_default().estimate(&report);
+        let width = WidthGroupingAttack::paper_default().estimate(&report);
+        let burst = BurstClusteringAttack::paper_default().estimate(&report);
+        let geometry = ChannelGeometry::paper_default();
+        let v = PeristalticPump::paper_default().velocity_at(
+            Seconds::ZERO,
+            geometry.pore_width,
+            geometry.pore_height,
+        );
+        let delay = Seconds::new(acq.array().span(&geometry).value() / (2.0 * v));
+        let decoded = controller
+            .decryptor_with_delay(delay)
+            .decrypt(&report.reported_peaks())
+            .rounded();
+
+        println!("{:<16} {:>6} {:>6} {:>10} {:>10} {:>10} {:>10}",
+            label, truth, report.peak_count(),
+            amp.estimated_cells, width.estimated_cells, burst.estimated_cells, decoded);
+    }
+
+    println!("\nEach attack consumes exactly the PeakReport the honest protocol already");
+    println!("hands the cloud. Only the decryptor, which holds K(t), tracks the truth");
+    println!("once the full cipher is on.");
+}

@@ -1,0 +1,117 @@
+//! Cyto-coded password lifecycle: enrollment, pipette provisioning,
+//! authentication, and the ciphertext integrity check (Sec. V).
+//!
+//! ```text
+//! cargo run --release --example password_provisioning
+//! ```
+
+use medsen::cloud::{AuthDecision, RecordStore, StoredRecord};
+use medsen::core::{DiagnosticRule, PasswordAlphabet, Pipeline, PipelineConfig, UserRegistry};
+use medsen::units::Seconds;
+
+fn main() {
+    // 1. Enrollment authority: assign collision-free passwords.
+    let alphabet = PasswordAlphabet::paper_default();
+    println!(
+        "password space: {} identifiers ({:.1} bits of entropy)",
+        alphabet.password_space(),
+        alphabet.entropy_bits()
+    );
+    let mut registry = UserRegistry::new(alphabet.clone(), 2);
+    for user in ["alice", "bob"] {
+        let pw = registry.enroll(user).expect("capacity available");
+        println!("enrolled {user}: levels {:?}", pw.levels());
+    }
+    let batch = registry.provision("alice", 30).expect("alice is enrolled");
+    println!(
+        "provisioned {} pipettes for {} (same embedded identifier)\n",
+        batch.count, batch.user_id
+    );
+
+    // 2. The cloud learns only expected signatures.
+    let config = PipelineConfig {
+        duration: Seconds::new(30.0),
+        ..PipelineConfig::auth_default(77)
+    };
+    let mut pipeline = Pipeline::new(config, alphabet, DiagnosticRule::cd4_staging());
+    println!("calibrating the bead/cell classifier from reference runs...");
+    pipeline.calibrate_classifier();
+    let volume = pipeline.processed_volume();
+    registry.sync_to_cloud(pipeline.auth_mut(), volume);
+
+    // 3. Alice authenticates by running a test with her own pipette.
+    let alice_pw = registry.password_of("alice").expect("enrolled").clone();
+    let report = pipeline.run_session("alice", &alice_pw);
+    println!(
+        "alice's session: measured {:?} -> {:?}",
+        report.measured_signature.as_ref().expect("auth measures"),
+        report.auth.as_ref().expect("decision issued")
+    );
+
+    // 4. Mallory tries with the wrong mixture.
+    let mallory_pw = registry.password_of("bob").expect("enrolled").clone();
+    let intruder = pipeline.run_session("mallory-with-bobs-pipette", &mallory_pw);
+    println!(
+        "stolen-pipette session authenticates as: {:?} (a stolen pipette is a stolen",
+        intruder.auth.as_ref().expect("decision issued")
+    );
+    println!("credential — like any password, possession is the secret)\n");
+
+    // 5. Integrity: records are bound to the identifier that produced them.
+    let store = RecordStore::new();
+    let signature = report.measured_signature.expect("auth measures");
+    let id = store.store(StoredRecord {
+        user_id: "alice".into(),
+        report: medsen::cloud::PeakReport {
+            peaks: vec![],
+            carriers_hz: vec![5e5],
+            sample_rate_hz: 450.0,
+            duration_s: 30.0,
+            noise_sigma: 3.0e-4,
+        },
+        signature: signature.clone(),
+    });
+    let fetched = store.fetch(id).expect("stored");
+    let auth_ok = pipeline_auth_check(&pipeline, &fetched);
+    println!("integrity check on alice's stored record: {}", verdict(auth_ok));
+
+    // A curious insider swaps the record body for bob's.
+    let bob_report = pipeline.run_session("bob", &mallory_pw);
+    store.tamper(
+        id,
+        StoredRecord {
+            user_id: "alice".into(),
+            report: medsen::cloud::PeakReport {
+                peaks: vec![],
+                carriers_hz: vec![5e5],
+                sample_rate_hz: 450.0,
+                duration_s: 30.0,
+                noise_sigma: 3.0e-4,
+            },
+            signature: bob_report.measured_signature.expect("auth measures"),
+        },
+    );
+    let swapped = store.fetch(id).expect("stored");
+    let tampered_ok = pipeline_auth_check(&pipeline, &swapped);
+    println!("integrity check after tampering      : {}", verdict(tampered_ok));
+}
+
+fn pipeline_auth_check(pipeline: &Pipeline, record: &StoredRecord) -> bool {
+    // Re-authenticate the stored signature under the record's claimed user.
+    matches!(
+        pipeline_auth(pipeline, record),
+        AuthDecision::Accepted { ref user_id } if user_id == &record.user_id
+    )
+}
+
+fn pipeline_auth(pipeline: &Pipeline, record: &StoredRecord) -> AuthDecision {
+    pipeline.auth().authenticate(&record.signature)
+}
+
+fn verdict(ok: bool) -> &'static str {
+    if ok {
+        "INTACT"
+    } else {
+        "TAMPERING DETECTED"
+    }
+}

@@ -1,0 +1,82 @@
+//! Practitioner access — the Sec. VII-B extension: "MedSen's design also
+//! allows (not implemented) sharing of the generated keys with trusted
+//! parties, e.g., the patient's practitioners, so that they could also
+//! access the cloud-based analysis outcomes remotely."
+//!
+//! The patient's controller never exports raw key material. Instead it
+//! derives a minimal *decryption capability* (per-period multiplication
+//! factors) and seals it for the practitioner. The practitioner later
+//! fetches the stored encrypted record from the cloud and decrypts the count
+//! — without ever learning electrode selections, gains or flow settings.
+//!
+//! ```text
+//! cargo run --release --example practitioner_access
+//! ```
+
+use medsen::cloud::{AnalysisServer, RecordStore, StoredRecord};
+use medsen::cloud::BeadSignature;
+use medsen::core::sharing::{DecryptionCapability, SealedCapability};
+use medsen::microfluidics::{
+    ChannelGeometry, ParticleKind, PeristalticPump, TransportSimulator,
+};
+use medsen::sensor::{Controller, ControllerConfig, EncryptedAcquisition};
+use medsen::units::Seconds;
+
+fn main() {
+    let duration = Seconds::new(40.0);
+    let seed = 777;
+
+    // ── Patient side ────────────────────────────────────────────────────
+    let mut sim = TransportSimulator::new(
+        ChannelGeometry::paper_default(),
+        PeristalticPump::paper_default(),
+        seed,
+    );
+    let events = sim.run_exact_count(ParticleKind::WhiteBloodCell, 22, duration);
+    let mut acq = EncryptedAcquisition::paper_default(seed);
+    let mut controller = Controller::new(*acq.array(), ControllerConfig::paper_default(), seed);
+    let schedule = controller.generate_schedule(duration).clone();
+    let out = acq.run(&events, &schedule, duration);
+    println!("patient ran an encrypted test: {} true cells", out.true_total());
+
+    // The cloud analyzes and stores the (encrypted) result.
+    let report = AnalysisServer::paper_default().analyze(&out.trace);
+    println!("cloud stored the record: {} peaks (meaningless without the key)",
+        report.peak_count());
+    let store = RecordStore::new();
+    let record_id = store.store(StoredRecord {
+        user_id: "pipette-000042".into(), // anonymous per-pipette alias
+        report,
+        signature: BeadSignature::new(),
+    });
+
+    // The patient shares a sealed capability with their practitioner over a
+    // pre-established secret (e.g. exchanged at the clinic).
+    let shared_secret = 0x5EC2E7_u64;
+    let geometry = ChannelGeometry::paper_default();
+    let v = PeristalticPump::paper_default().velocity_at(
+        Seconds::ZERO,
+        geometry.pore_width,
+        geometry.pore_height,
+    );
+    let delay = Seconds::new(acq.array().span(&geometry).value() / (2.0 * v));
+    let capability = DecryptionCapability::derive(&controller, delay);
+    let sealed = SealedCapability::seal(&capability, shared_secret, 1);
+    println!("patient sealed a {}-byte capability (multiplication factors only —",
+        sealed.len());
+    println!("no electrode identities, gains, or flow settings leave the device)\n");
+
+    // ── Practitioner side ───────────────────────────────────────────────
+    let fetched = store.fetch(record_id).expect("record stored");
+    let capability = sealed.unseal(shared_secret).expect("correct shared secret");
+    let decrypted = capability.decrypt(&fetched.report.reported_peaks());
+    println!("practitioner fetched record {record_id:?} and decrypted: {} cells",
+        decrypted.rounded());
+    println!("(ground truth was {})", out.true_total());
+
+    // A curious cloud admin with the record but no secret gets nothing.
+    match sealed.unseal(0xBAD5EC2E7u64) {
+        Err(e) => println!("\ncloud admin without the secret: {e}"),
+        Ok(_) => unreachable!("wrong secret must fail"),
+    }
+}

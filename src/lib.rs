@@ -1,0 +1,25 @@
+//! # MedSen — secure point-of-care diagnostics (DSN 2016 reproduction)
+//!
+//! Facade crate re-exporting every subsystem of the MedSen reproduction:
+//!
+//! * [`units`] — physical quantity newtypes;
+//! * [`microfluidics`] — channel, particles, transport, losses;
+//! * [`impedance`] — electrode circuit, lock-in amplifier, trace synthesis;
+//! * [`sensor`] — electrode arrays, multiplexer, controller, the analog cipher;
+//! * [`dsp`] — detrending, peak detection, features, classification;
+//! * [`cloud`] — analysis server, authentication, adversary models;
+//! * [`phone`] — accessory protocol, compression, link model;
+//! * [`core`] — cyto-coded passwords, diagnostics, the end-to-end pipeline.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for a complete encrypted diagnostic session.
+
+pub use medsen_cloud as cloud;
+pub use medsen_core as core;
+pub use medsen_dsp as dsp;
+pub use medsen_impedance as impedance;
+pub use medsen_microfluidics as microfluidics;
+pub use medsen_phone as phone;
+pub use medsen_sensor as sensor;
+pub use medsen_units as units;

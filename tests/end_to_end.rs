@@ -1,0 +1,109 @@
+//! Cross-crate integration: full diagnostic sessions through every subsystem.
+
+use medsen::core::{
+    CytoPassword, DiagnosticRule, PasswordAlphabet, Pipeline, PipelineConfig, SessionMode,
+};
+use medsen::microfluidics::ParticleKind;
+use medsen::units::{Concentration, Seconds};
+
+fn low_dose_alphabet() -> PasswordAlphabet {
+    PasswordAlphabet::new(
+        vec![ParticleKind::Bead358, ParticleKind::Bead78],
+        Concentration::new(100.0),
+        8,
+    )
+    .expect("valid alphabet")
+}
+
+#[test]
+fn encrypted_session_decodes_within_tolerance() {
+    let config = PipelineConfig {
+        duration: Seconds::new(30.0),
+        ..PipelineConfig::paper_default(1001)
+    };
+    let mut pipeline = Pipeline::new(config, low_dose_alphabet(), DiagnosticRule::cd4_staging());
+    let password = CytoPassword::new(pipeline.alphabet(), vec![1, 1]).expect("valid");
+    let report = pipeline.run_session("it-patient", &password);
+
+    let truth = (report.true_cells + report.true_beads) as f64;
+    let decoded = report.decoded_total.expect("encrypted mode") as f64;
+    assert!(truth > 5.0, "session must see particles");
+    assert!(
+        (decoded - truth).abs() / truth < 0.3,
+        "decoded {decoded} vs truth {truth}"
+    );
+    assert!(report.verdict.is_some());
+    assert!(report.auth.is_none(), "encrypted mode does not authenticate");
+}
+
+#[test]
+fn cloud_count_is_inflated_and_uncorrelated_with_decoding_key() {
+    // Two sessions with identical truth-generating seed but different cipher
+    // keys must yield different cloud-side peak counts — the count the cloud
+    // sees is key material, not biology.
+    let run_with_seed = |controller_entropy: u64| {
+        let config = PipelineConfig {
+            duration: Seconds::new(20.0),
+            ..PipelineConfig::paper_default(controller_entropy)
+        };
+        let mut pipeline =
+            Pipeline::new(config, low_dose_alphabet(), DiagnosticRule::cd4_staging());
+        let password = CytoPassword::new(pipeline.alphabet(), vec![1, 1]).expect("valid");
+        pipeline.run_session("p", &password)
+    };
+    let a = run_with_seed(5001);
+    let b = run_with_seed(5002);
+    assert!(a.peak_count as f64 > 1.5 * (a.true_cells + a.true_beads) as f64);
+    assert!(b.peak_count as f64 > 1.5 * (b.true_cells + b.true_beads) as f64);
+    assert_ne!(a.peak_count, b.peak_count, "different keys, different ciphertexts");
+}
+
+#[test]
+fn auth_mode_round_trip_accepts_owner_and_rejects_stranger() {
+    let config = PipelineConfig {
+        duration: Seconds::new(25.0),
+        ..PipelineConfig::auth_default(1003)
+    };
+    let alphabet = PasswordAlphabet::paper_default();
+    let mut pipeline = Pipeline::new(config, alphabet.clone(), DiagnosticRule::cd4_staging());
+    pipeline.calibrate_classifier();
+    let volume = pipeline.processed_volume();
+
+    let owner = CytoPassword::new(&alphabet, vec![2, 6]).expect("valid");
+    pipeline
+        .auth_mut()
+        .enroll("owner", owner.expected_signature(&alphabet, volume));
+
+    let own = pipeline.run_session("owner", &owner);
+    assert_eq!(
+        own.auth,
+        Some(medsen::cloud::AuthDecision::Accepted {
+            user_id: "owner".into()
+        })
+    );
+
+    let stranger = CytoPassword::new(&alphabet, vec![7, 1]).expect("valid");
+    let other = pipeline.run_session("stranger", &stranger);
+    assert_ne!(
+        other.auth,
+        Some(medsen::cloud::AuthDecision::Accepted {
+            user_id: "owner".into()
+        })
+    );
+}
+
+#[test]
+fn session_mode_controls_outputs() {
+    let config = PipelineConfig {
+        duration: Seconds::new(15.0),
+        ..PipelineConfig::paper_default(1004)
+    };
+    assert_eq!(config.mode, SessionMode::EncryptedDiagnosis);
+    let mut pipeline = Pipeline::new(config, low_dose_alphabet(), DiagnosticRule::cd4_staging());
+    let password = CytoPassword::new(pipeline.alphabet(), vec![1, 0]).expect("valid");
+    let report = pipeline.run_session("p", &password);
+    assert!(report.decoded_total.is_some());
+    assert!(report.measured_signature.is_none());
+    assert!(report.compression.ratio() > 1.5);
+    assert!(report.timing.post_acquisition_s() > 0.0);
+}

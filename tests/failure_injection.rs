@@ -1,0 +1,166 @@
+//! Failure injection: the system's behaviour at and beyond its design
+//! envelope — extreme drift, extreme noise, coincidence-heavy streams,
+//! relay faults, and tampered storage.
+
+use medsen::cloud::{AnalysisServer, RecordStore, StoredRecord};
+use medsen::impedance::{BaselineDrift, NoiseModel, PulseSpec, TraceSynthesizer};
+use medsen::microfluidics::{
+    ChannelGeometry, ParticleKind, PeristalticPump, SampleSpec, TransportSimulator,
+};
+use medsen::units::{Concentration, Microliters};
+use medsen::sensor::{Controller, ControllerConfig, EncryptedAcquisition};
+use medsen::units::Seconds;
+
+fn pulses_every(n: usize, spacing_s: f64, depth: f64) -> Vec<PulseSpec> {
+    (0..n)
+        .map(|i| {
+            PulseSpec::unipolar(
+                Seconds::new(1.0 + i as f64 * spacing_s),
+                Seconds::new(0.02),
+                depth,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn counting_survives_5x_paper_drift() {
+    let mut synth = TraceSynthesizer::paper_default(1);
+    let mut drift = BaselineDrift::paper_default();
+    drift.linear *= 5.0;
+    drift.quadratic *= 5.0;
+    drift.wave_amplitude *= 5.0;
+    synth.drift = drift;
+    let trace = synth.render(&pulses_every(15, 2.0, 0.01), Seconds::new(32.0));
+    let report = AnalysisServer::paper_default().analyze(&trace);
+    assert_eq!(report.peak_count(), 15, "5x drift must not break detrending");
+}
+
+#[test]
+fn counting_degrades_gracefully_with_3x_noise() {
+    let mut synth = TraceSynthesizer::paper_default(2);
+    synth.noise = NoiseModel { sigma: 9.0e-4 }; // 3x the paper floor
+    let trace = synth.render(&pulses_every(15, 2.0, 0.01), Seconds::new(32.0));
+    let report = AnalysisServer::paper_default().analyze(&trace);
+    // Peaks are 11x the noise σ; counting must still be near-exact, and
+    // crucially there must be no flood of false positives.
+    assert!(
+        (13..=17).contains(&report.peak_count()),
+        "count {}",
+        report.peak_count()
+    );
+}
+
+#[test]
+fn extreme_noise_is_a_detected_failure_not_a_silent_one() {
+    // Noise at the peak scale. The adaptive threshold suppresses the false
+    // positives, and the report carries the explicit failure signature: a
+    // noise-floor estimate an order of magnitude above the sensor's band.
+    let mut synth = TraceSynthesizer::paper_default(3);
+    synth.noise = NoiseModel { sigma: 8.0e-3 };
+    let trace = synth.render(&pulses_every(5, 4.0, 0.01), Seconds::new(22.0));
+    let report = AnalysisServer::paper_default().analyze(&trace);
+    assert!(
+        report.noise_sigma > 3.0e-3,
+        "degraded sensor must be visible in the reported noise floor, got {}",
+        report.noise_sigma
+    );
+    // And no false-positive flood despite the noise.
+    let rate = report.peak_count() as f64 / report.duration_s;
+    assert!(rate < 2.0, "adaptive threshold must bound false positives, got {rate}/s");
+}
+
+#[test]
+fn coincidence_heavy_streams_undercount_predictably() {
+    // 20x the normal concentration: dips overlap and merge. The decoded
+    // count must undercount (never overcount) and the coincidence statistic
+    // must flag the regime.
+    let duration = Seconds::new(20.0);
+    let sample = SampleSpec::bead_calibration(
+        Microliters::new(1.0),
+        ParticleKind::Bead78,
+        Concentration::new(15_000.0),
+    );
+    let mut sim = TransportSimulator::new(
+        ChannelGeometry::paper_default(),
+        PeristalticPump::paper_default(),
+        4,
+    );
+    let events = sim.run(&sample, duration);
+    let coincidences = sim.coincidences(&events, 9);
+    assert!(
+        coincidences.rate() > 0.5,
+        "this regime should be coincidence-dominated, rate {}",
+        coincidences.rate()
+    );
+    let mut acq = EncryptedAcquisition::paper_default(4);
+    let mut controller = Controller::new(*acq.array(), ControllerConfig::paper_default(), 4);
+    let schedule = controller.generate_schedule(duration).clone();
+    let out = acq.run(&events, &schedule, duration);
+    let report = AnalysisServer::paper_default().analyze(&out.trace);
+    let decoded = controller.decryptor().decrypt(&report.reported_peaks()).rounded();
+    assert!(
+        (decoded as usize) < events.len(),
+        "merging can only lose peaks: decoded {decoded} vs truth {}",
+        events.len()
+    );
+}
+
+#[test]
+fn dropped_relay_frame_is_detected_at_decompression() {
+    use medsen::phone::frame::chunk_data;
+    use medsen::phone::{compress, decompress};
+    // Drop one middle chunk from the framed stream; the LZW stream no longer
+    // decodes to the declared length.
+    let payload: Vec<u8> = (0..40_000u32).flat_map(|i| i.to_be_bytes()).collect();
+    let compressed = compress(&payload);
+    let frames = chunk_data(&compressed, 4096);
+    let mut reassembled = Vec::new();
+    for (i, f) in frames.iter().enumerate() {
+        if i == frames.len() / 2 {
+            continue; // the dropped USB transfer
+        }
+        reassembled.extend_from_slice(&f.payload);
+    }
+    assert!(
+        decompress(&reassembled).is_err(),
+        "a dropped frame must not decode silently"
+    );
+}
+
+#[test]
+fn stale_record_swap_is_caught_by_signature_binding() {
+    use medsen::cloud::{AuthService, BeadSignature, PeakReport};
+    let mut auth = AuthService::new();
+    auth.enroll(
+        "alice",
+        BeadSignature::from_counts(&[(ParticleKind::Bead358, 60), (ParticleKind::Bead78, 20)]),
+    );
+    let store = RecordStore::new();
+    let honest = StoredRecord {
+        user_id: "alice".into(),
+        report: PeakReport {
+            peaks: vec![],
+            carriers_hz: vec![5e5],
+            sample_rate_hz: 450.0,
+            duration_s: 1.0,
+            noise_sigma: 3.0e-4,
+        },
+        signature: BeadSignature::from_counts(&[
+            (ParticleKind::Bead358, 58),
+            (ParticleKind::Bead78, 21),
+        ]),
+    };
+    let id = store.store(honest);
+    assert!(auth.verify_integrity("alice", &store.fetch(id).expect("stored").signature));
+
+    // A malicious insider replaces alice's record with someone else's data.
+    let mut forged = store.fetch(id).expect("stored");
+    forged.signature =
+        BeadSignature::from_counts(&[(ParticleKind::Bead358, 10), (ParticleKind::Bead78, 90)]);
+    store.tamper(id, forged);
+    assert!(
+        !auth.verify_integrity("alice", &store.fetch(id).expect("stored").signature),
+        "swapped record must fail the identifier binding"
+    );
+}

@@ -1,0 +1,78 @@
+//! Smoke tests: every figure/table harness runs (at reduced scale) and
+//! reproduces the paper's qualitative shape.
+
+use medsen_bench::experiments::*;
+use medsen::units::Seconds;
+
+#[test]
+fn fig07_single_dip() {
+    let r = fig07::run(7);
+    assert!(r.peak.amplitude > 0.003);
+}
+
+#[test]
+fn fig08_five_peaks() {
+    let r = fig08::run(11);
+    assert_eq!((r.scheduled, r.detected), (5, 5));
+}
+
+#[test]
+fn fig11_signatures() {
+    let rs = fig11::run(3);
+    let detected: Vec<usize> = rs.iter().map(|r| r.detected).collect();
+    assert_eq!(detected, vec![1, 3, 5, 17]);
+}
+
+#[test]
+fn fig12_13_linear_with_losses() {
+    let sweep78 = bead_counts::run(
+        medsen::microfluidics::ParticleKind::Bead78,
+        &[50.0, 150.0, 300.0],
+        2,
+        Seconds::new(60.0),
+        12,
+    );
+    assert!(sweep78.fit.r_squared > 0.95);
+    assert!(sweep78.fit.slope < 1.0);
+}
+
+#[test]
+fn fig14_scaling() {
+    let rows = fig14::run();
+    assert!(rows[2].model_phone_s > rows[2].model_computer_s * 3.0);
+}
+
+#[test]
+fn fig15_dispersion() {
+    let rs = fig15::run(5);
+    let cell = rs
+        .iter()
+        .find(|r| r.kind == medsen::microfluidics::ParticleKind::RedBloodCell)
+        .expect("cell present");
+    assert!(cell.dip_at(3.0e6) < cell.dip_at(5.0e5));
+}
+
+#[test]
+fn fig16_classification() {
+    let r = fig16::run(30, 9);
+    assert!(r.confusion.accuracy() > 0.85, "{}", r.confusion);
+}
+
+#[test]
+fn key_table_headline() {
+    assert_eq!(key_length::run()[0].bits, 1_040_000);
+}
+
+#[test]
+fn end_to_end_sessions() {
+    let stats = end_to_end::run(2, Seconds::new(15.0), 21);
+    assert!(stats.mean_compression_ratio > 2.0);
+}
+
+#[test]
+fn adversary_sweep_shape() {
+    let outcomes = adversary::run(3, Seconds::new(15.0), 41);
+    let plaintext = &outcomes[0];
+    let full = &outcomes[3];
+    assert!(full.amplitude_attack_err > plaintext.amplitude_attack_err);
+}

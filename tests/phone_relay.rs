@@ -1,0 +1,103 @@
+//! Integration: the full phone relay path — CSV serialization, LZW
+//! compression, accessory-frame chunking, reassembly, decompression, parsing
+//! — must be bit-faithful end to end, because the cloud analyzes exactly
+//! what the sensor produced.
+
+use medsen::cloud::AnalysisServer;
+use medsen::impedance::{PulseSpec, TraceSynthesizer};
+use medsen::phone::{
+    compress, decompress, trace_from_csv, trace_to_csv, Frame, MessageType,
+};
+use medsen::units::Seconds;
+
+fn sample_trace() -> medsen::impedance::SignalTrace {
+    let mut synth = TraceSynthesizer::paper_default(77);
+    let pulses: Vec<PulseSpec> = (0..8)
+        .map(|i| PulseSpec::unipolar(Seconds::new(0.5 + i as f64), Seconds::new(0.02), 0.01))
+        .collect();
+    synth.render(&pulses, Seconds::new(10.0))
+}
+
+#[test]
+fn relay_path_is_bit_faithful_and_analysis_invariant() {
+    let trace = sample_trace();
+
+    // Phone side: CSV → LZW → USB-sized chunks → frames.
+    let csv = trace_to_csv(&trace);
+    let compressed = compress(csv.as_bytes());
+    assert!(compressed.len() * 2 < csv.len(), "compression must bite");
+    let frames = medsen::phone::frame::chunk_data(&compressed, 16 * 1024);
+    assert!(frames.len() > 1, "payload should span several USB transfers");
+
+    // Wire: encode + decode every frame in sequence.
+    let mut wire = Vec::new();
+    for f in &frames {
+        wire.extend_from_slice(&f.encode());
+    }
+    let mut offset = 0;
+    let mut reassembled = Vec::new();
+    while offset < wire.len() {
+        let (frame, used) = Frame::decode(&wire[offset..]).expect("valid frame");
+        assert_eq!(frame.msg_type, MessageType::DataChunk);
+        reassembled.extend_from_slice(&frame.payload);
+        offset += used;
+    }
+    assert_eq!(reassembled, compressed, "chunking must be lossless");
+
+    // Cloud side: decompress → parse → analyze.
+    let restored = decompress(&reassembled).expect("valid LZW stream");
+    assert_eq!(restored, csv.as_bytes());
+    let received = trace_from_csv(std::str::from_utf8(&restored).expect("utf8 csv"))
+        .expect("well-formed CSV");
+
+    let server = AnalysisServer::paper_default();
+    let direct = server.analyze(&trace);
+    let relayed = server.analyze(&received);
+    assert_eq!(
+        direct.peak_count(),
+        relayed.peak_count(),
+        "analysis must not change through the relay"
+    );
+    // Peak characteristics survive to CSV printing precision.
+    for (a, b) in direct.peaks.iter().zip(&relayed.peaks) {
+        assert!((a.time_s - b.time_s).abs() < 1e-6);
+        assert!((a.amplitude - b.amplitude).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn app_state_machine_survives_a_full_session() {
+    use medsen::phone::{AppEvent, AppState, PhoneApp};
+    let mut app = PhoneApp::new();
+    assert_eq!(app.state(), AppState::Disconnected);
+    app.handle(AppEvent::AccessoryAttached);
+    app.handle(AppEvent::StartPressed);
+    for p in [10u8, 40, 80, 100] {
+        app.handle(AppEvent::Progress(p));
+    }
+    app.handle(AppEvent::AcquisitionDone);
+    app.handle(AppEvent::UploadDone);
+    app.handle(AppEvent::ResultReceived);
+    assert_eq!(app.state(), AppState::Complete);
+}
+
+#[test]
+fn corrupted_relay_data_cannot_reach_analysis_silently() {
+    let trace = sample_trace();
+    let csv = trace_to_csv(&trace);
+    let mut compressed = compress(csv.as_bytes());
+    // Flip a byte mid-stream: either decompression errors out, or the CSV
+    // parse fails — silence is not an option.
+    let mid = compressed.len() / 2;
+    compressed[mid] ^= 0xFF;
+    match decompress(&compressed) {
+        Err(_) => {} // detected at the codec
+        Ok(bytes) => {
+            let text = String::from_utf8_lossy(&bytes);
+            assert!(
+                trace_from_csv(&text).is_err() || bytes != csv.as_bytes(),
+                "corruption must not round-trip cleanly"
+            );
+        }
+    }
+}

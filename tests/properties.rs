@@ -1,0 +1,140 @@
+//! Cross-crate property tests on the system's core invariants.
+
+use medsen::cloud::AnalysisServer;
+use medsen::dsp::detrend::{detrend_segmented, DetrendConfig};
+use medsen::dsp::peaks::ThresholdDetector;
+use medsen::microfluidics::{Particle, ParticleKind, TransitEvent};
+use medsen::sensor::{
+    CipherKey, Controller, ControllerConfig, ElectrodeArray, ElectrodeId,
+    ElectrodeSelection, EncryptedAcquisition, FlowLevel, GainLevel, KeySchedule,
+};
+use medsen::units::{Hertz, Seconds};
+use proptest::prelude::*;
+
+/// Strategy: a set of well-separated transit events.
+fn sparse_events(max_n: usize) -> impl Strategy<Value = Vec<TransitEvent>> {
+    (1..=max_n).prop_flat_map(|n| {
+        // Events at least 4 s apart so every dip train is isolated.
+        proptest::collection::vec(0.0f64..1.0, n).prop_map(|jitters| {
+            jitters
+                .iter()
+                .enumerate()
+                .map(|(i, &j)| TransitEvent {
+                    time: Seconds::new(2.0 + i as f64 * 4.0 + j),
+                    particle: Particle::nominal(ParticleKind::Bead78),
+                    velocity: 2250.0,
+                })
+                .collect()
+        })
+    })
+}
+
+/// Strategy: a random valid static cipher key for the 9-output prototype.
+fn random_key() -> impl Strategy<Value = CipherKey> {
+    (
+        proptest::collection::btree_set(1u8..=9, 1..=9),
+        proptest::collection::vec(0u8..16, 9),
+        0u8..16,
+    )
+        .prop_map(|(ids, gain_levels, flow_level)| {
+            let array = ElectrodeArray::paper_prototype();
+            let ids: Vec<ElectrodeId> = ids.into_iter().map(ElectrodeId).collect();
+            CipherKey {
+                selection: ElectrodeSelection::new(&array, &ids).expect("ids valid"),
+                gains: gain_levels
+                    .into_iter()
+                    .map(|l| GainLevel::new(l).expect("level < 16"))
+                    .collect(),
+                flow: FlowLevel::new(flow_level).expect("level < 16"),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// THE core invariant: for any key and any sparse particle stream,
+    /// encrypt → cloud-count → decrypt recovers the exact particle count.
+    #[test]
+    fn encrypt_decrypt_roundtrip_is_exact_on_sparse_streams(
+        events in sparse_events(6),
+        key in random_key(),
+    ) {
+        let n = events.len();
+        let duration = Seconds::new(2.0 + n as f64 * 4.0 + 3.0);
+        let schedule = KeySchedule::Static(key);
+        let mut acq = EncryptedAcquisition::clean(1);
+        let out = acq.run(&events, &schedule, duration);
+        let server = AnalysisServer::paper_default();
+        let report = server.analyze(&out.trace);
+        let decryptor = medsen::sensor::Decryptor::new(
+            ElectrodeArray::paper_prototype(),
+            &schedule,
+        );
+        let decoded = decryptor.decrypt(&report.reported_peaks()).rounded();
+        prop_assert_eq!(decoded, n as u64, "peaks {}", report.peak_count());
+    }
+
+    /// The multiplicity law: the cloud always sees exactly
+    /// `multiplicity × n` peaks for isolated particles.
+    #[test]
+    fn peak_multiplication_matches_the_key(
+        events in sparse_events(4),
+        key in random_key(),
+    ) {
+        let n = events.len();
+        let array = ElectrodeArray::paper_prototype();
+        let expected = key.multiplicity(&array) * n;
+        let duration = Seconds::new(2.0 + n as f64 * 4.0 + 3.0);
+        let schedule = KeySchedule::Static(key);
+        let mut acq = EncryptedAcquisition::clean(2);
+        let out = acq.run(&events, &schedule, duration);
+        prop_assert_eq!(out.scheduled_dips, expected);
+        let ch = out.trace.channel_at(Hertz::from_khz(500.0)).expect("channel");
+        let depth = detrend_segmented(&ch.samples, &DetrendConfig::paper_default());
+        let detected = ThresholdDetector::paper_default().count(&depth, 450.0);
+        prop_assert_eq!(detected, expected);
+    }
+
+    /// Controller-generated schedules always produce valid keys.
+    #[test]
+    fn generated_schedules_are_always_valid(seed in 0u64..5_000) {
+        let mut controller = Controller::new(
+            ElectrodeArray::paper_prototype(),
+            ControllerConfig::paper_default(),
+            seed,
+        );
+        let schedule = controller.generate_schedule(Seconds::new(30.0));
+        if let KeySchedule::Periodic { keys, .. } = schedule {
+            for key in keys {
+                prop_assert!(key.validate().is_ok());
+                prop_assert!(!key.selection.ids().is_empty());
+                prop_assert!(key.multiplicity(&ElectrodeArray::paper_prototype()) >= 1);
+            }
+        } else {
+            prop_assert!(false, "expected periodic schedule");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Phone-relay losslessness for arbitrary binary payloads.
+    #[test]
+    fn relay_compression_is_lossless(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let compressed = medsen::phone::compress(&data);
+        let restored = medsen::phone::decompress(&compressed).expect("valid stream");
+        prop_assert_eq!(restored, data);
+    }
+
+    /// Frames round-trip any payload.
+    #[test]
+    fn frames_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        use medsen::phone::{Frame, MessageType};
+        let frame = Frame::new(MessageType::DataChunk, data);
+        let (decoded, used) = Frame::decode(&frame.encode()).expect("valid frame");
+        prop_assert_eq!(&decoded, &frame);
+        prop_assert_eq!(used, frame.encode().len());
+    }
+}
