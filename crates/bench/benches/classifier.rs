@@ -29,7 +29,11 @@ fn training_data() -> Vec<(&'static str, Vec<FeatureVector>)> {
         ("7.8um bead", cluster(&[0.016; 8], 0.1, 200)),
         (
             "red blood cell",
-            cluster(&[0.008, 0.007, 0.006, 0.005, 0.005, 0.004, 0.003, 0.0025], 0.2, 200),
+            cluster(
+                &[0.008, 0.007, 0.006, 0.005, 0.005, 0.004, 0.003, 0.0025],
+                0.2,
+                200,
+            ),
         ),
     ]
 }
@@ -51,7 +55,11 @@ fn predict(c: &mut Criterion) {
         b.iter(|| {
             let mut bead_count = 0usize;
             for q in &queries {
-                if clf.predict(black_box(q)).expect("dims match").contains("bead") {
+                if clf
+                    .predict(black_box(q))
+                    .expect("dims match")
+                    .contains("bead")
+                {
                     bead_count += 1;
                 }
             }

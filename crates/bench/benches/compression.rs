@@ -10,13 +10,7 @@ use std::hint::black_box;
 fn make_csv() -> String {
     let mut synth = TraceSynthesizer::paper_default(1);
     let pulses: Vec<PulseSpec> = (0..20)
-        .map(|i| {
-            PulseSpec::unipolar(
-                Seconds::new(0.5 + i as f64),
-                Seconds::new(0.02),
-                0.01,
-            )
-        })
+        .map(|i| PulseSpec::unipolar(Seconds::new(0.5 + i as f64), Seconds::new(0.02), 0.01))
         .collect();
     let trace = synth.render(&pulses, Seconds::new(25.0));
     trace_to_csv(&trace)

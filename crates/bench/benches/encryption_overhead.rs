@@ -55,14 +55,14 @@ fn decryption(c: &mut Criterion) {
         })
         .collect();
     c.bench_function("decrypt_1000_peaks", |b| {
-        b.iter(|| {
-            controller
-                .decryptor()
-                .decrypt(black_box(&peaks))
-                .rounded()
-        });
+        b.iter(|| controller.decryptor().decrypt(black_box(&peaks)).rounded());
     });
 }
 
-criterion_group!(benches, plaintext_acquisition, encrypted_acquisition, decryption);
+criterion_group!(
+    benches,
+    plaintext_acquisition,
+    encrypted_acquisition,
+    decryption
+);
 criterion_main!(benches);

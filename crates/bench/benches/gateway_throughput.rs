@@ -1,0 +1,101 @@
+//! Benchmarks the fleet gateway: end-to-end requests/second through the
+//! bounded queue + worker pool, swept over worker-pool sizes, plus the
+//! framing layer on its own.
+//!
+//! The interesting question for clinic sizing is how close N workers get
+//! to N× the single-worker throughput when every request carries a real
+//! trace through JSON decode → analysis → JSON encode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use medsen_cloud::service::{CloudService, Request, Response};
+use medsen_gateway::{wire, Gateway, GatewayConfig, PendingReply, ShedPolicy};
+use medsen_impedance::{PulseSpec, SignalTrace, TraceSynthesizer};
+use medsen_units::Seconds;
+use std::hint::black_box;
+
+fn bench_trace(pulses: u64) -> SignalTrace {
+    let mut synth = TraceSynthesizer::clean(1);
+    let specs: Vec<PulseSpec> = (0..pulses)
+        .map(|j| {
+            PulseSpec::unipolar(
+                Seconds::new(0.5 + j as f64 * 0.25),
+                Seconds::new(0.02),
+                0.01,
+            )
+        })
+        .collect();
+    synth.render(&specs, Seconds::new(0.5 + pulses as f64 * 0.25 + 0.5))
+}
+
+fn analyze_upload(session: u64, trace: &SignalTrace) -> Vec<u8> {
+    let body = medsen_phone::to_json(&Request::Analyze {
+        trace: trace.clone(),
+        authenticate: false,
+    })
+    .expect("encodes");
+    wire::encode_upload(session, &body)
+}
+
+/// Requests/second through the full gateway, by worker-pool size.
+fn pool_scaling(c: &mut Criterion) {
+    const BATCH: usize = 16;
+    let trace = bench_trace(6);
+    let upload = analyze_upload(1, &trace);
+
+    let mut group = c.benchmark_group("gateway_throughput");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("analyze_batch16", workers),
+            &workers,
+            |b, &workers| {
+                let gateway = Gateway::new(
+                    CloudService::new(),
+                    GatewayConfig {
+                        queue_capacity: BATCH,
+                        workers,
+                        shed_policy: ShedPolicy::Block,
+                    },
+                );
+                b.iter(|| {
+                    let pending: Vec<PendingReply> = (0..BATCH)
+                        .map(|_| gateway.submit(upload.clone()).expect("accepted"))
+                        .collect();
+                    for reply in pending {
+                        match reply.wait().expect("reply") {
+                            Response::Analyzed { report, .. } => {
+                                black_box(report.peak_count());
+                            }
+                            other => panic!("unexpected {other:?}"),
+                        }
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The framing layer alone: encode + reassemble one multi-chunk upload.
+fn framing(c: &mut Criterion) {
+    let trace = bench_trace(6);
+    let upload = analyze_upload(7, &trace);
+
+    let mut group = c.benchmark_group("gateway_wire");
+    group.throughput(Throughput::Bytes(upload.len() as u64));
+    let body = medsen_phone::to_json(&Request::Analyze {
+        trace: trace.clone(),
+        authenticate: false,
+    })
+    .expect("encodes");
+    group.bench_function("encode_upload", |b| {
+        b.iter(|| black_box(wire::encode_upload(7, black_box(&body))));
+    });
+    group.bench_function("decode_upload", |b| {
+        b.iter(|| wire::decode_upload(black_box(&upload)).expect("decodes"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, pool_scaling, framing);
+criterion_main!(benches);

@@ -24,20 +24,16 @@ fn streaming_vs_batch(c: &mut Criterion) {
     });
 
     for chunk in [1_024usize, 16_384] {
-        group.bench_with_input(
-            BenchmarkId::new("streaming", chunk),
-            &chunk,
-            |b, &chunk| {
-                b.iter(|| {
-                    let mut analyzer = StreamingAnalyzer::paper_default();
-                    let mut peaks = 0usize;
-                    for c in signal.chunks(chunk) {
-                        peaks += analyzer.push(black_box(c)).len();
-                    }
-                    peaks + analyzer.finish().len()
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("streaming", chunk), &chunk, |b, &chunk| {
+            b.iter(|| {
+                let mut analyzer = StreamingAnalyzer::paper_default();
+                let mut peaks = 0usize;
+                for c in signal.chunks(chunk) {
+                    peaks += analyzer.push(black_box(c)).len();
+                }
+                peaks + analyzer.finish().len()
+            });
+        });
     }
     group.finish();
 }

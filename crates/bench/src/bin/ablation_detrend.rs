@@ -17,7 +17,15 @@ fn main() {
             ]
         })
         .collect();
-    print_table(&["configuration", "recovery", "baseline residual", "mean depth"], &rows);
+    print_table(
+        &[
+            "configuration",
+            "recovery",
+            "baseline residual",
+            "mean depth",
+        ],
+        &rows,
+    );
     println!("\nPaper: order 2 segmented is optimal; low orders under-fit the drift,");
     println!("high orders deform peaks, whole-trace fits under-fit long acquisitions.");
 }

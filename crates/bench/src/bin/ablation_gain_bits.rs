@@ -19,7 +19,12 @@ fn main() {
         })
         .collect();
     print_table(
-        &["gain bits", "amp-groups / particle", "amp attack err", "key bits / cell"],
+        &[
+            "gain bits",
+            "amp-groups / particle",
+            "amp attack err",
+            "key bits / cell",
+        ],
         &rows,
     );
     println!("\nPaper: granularity is adjustable; more levels → better ciphertext");

@@ -5,7 +5,8 @@ use medsen_bench::table::{fmt, print_table};
 use medsen_units::Seconds;
 
 fn main() {
-    let (scores, ideal_bits) = ablation_keys::run(&[1.0, 2.0, 5.0, 10.0], 4, Seconds::new(30.0), 51);
+    let (scores, ideal_bits) =
+        ablation_keys::run(&[1.0, 2.0, 5.0, 10.0], 4, Seconds::new(30.0), 51);
     println!("Key-schedule ablation (30 s runs, ~25 beads each):\n");
     let rows: Vec<Vec<String>> = scores
         .iter()

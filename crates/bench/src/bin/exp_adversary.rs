@@ -20,7 +20,14 @@ fn main() {
         })
         .collect();
     print_table(
-        &["variant", "amp attack", "width attack", "burst attack", "decryptor", "leak R²"],
+        &[
+            "variant",
+            "amp attack",
+            "width attack",
+            "burst attack",
+            "decryptor",
+            "leak R²",
+        ],
         &rows,
     );
     println!("\nPaper expectation: attacks succeed without the cipher; gains defeat the");

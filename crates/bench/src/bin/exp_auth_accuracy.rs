@@ -14,7 +14,16 @@ fn main() {
         stats.ambiguous.to_string(),
         fmt(stats.accuracy(), 3),
     ]];
-    print_table(&["correct", "rejected", "impersonated", "ambiguous", "accuracy"], &rows);
+    print_table(
+        &[
+            "correct",
+            "rejected",
+            "impersonated",
+            "ambiguous",
+            "accuracy",
+        ],
+        &rows,
+    );
     println!("\nConcentration resolution (mean |rel. count error| per level):");
     for level in [1u8, 2, 4, 8] {
         let err = auth_accuracy::level_resolution(level, 3, Seconds::new(30.0), 32);

@@ -12,17 +12,31 @@ use medsen_bench::table::{fmt, print_table};
 fn main() {
     let cmp = ext_phase::plaintext_comparison(40, 73);
     println!("Plaintext held-out classification (3 classes):");
-    println!("  magnitude-only features : {}", fmt(cmp.magnitude_accuracy, 3));
+    println!(
+        "  magnitude-only features : {}",
+        fmt(cmp.magnitude_accuracy, 3)
+    );
     println!("  I/Q features            : {}\n", fmt(cmp.iq_accuracy, 3));
 
     let result = ext_phase::encrypted_classification(25, 71);
     println!("Encrypted-domain classification via gain-invariant Q/I ratios");
-    println!("(full cipher on; decision rule: Q/I > {} => cell):\n", ext_phase::QI_CELL_THRESHOLD);
+    println!(
+        "(full cipher on; decision rule: Q/I > {} => cell):\n",
+        ext_phase::QI_CELL_THRESHOLD
+    );
     print_table(
         &["population", "peaks", "recall"],
         &[
-            vec!["7.8um beads".into(), result.bead_peaks.to_string(), fmt(result.bead_recall, 3)],
-            vec!["red blood cells".into(), result.cell_peaks.to_string(), fmt(result.cell_recall, 3)],
+            vec![
+                "7.8um beads".into(),
+                result.bead_peaks.to_string(),
+                fmt(result.bead_recall, 3),
+            ],
+            vec![
+                "red blood cells".into(),
+                result.cell_peaks.to_string(),
+                fmt(result.cell_recall, 3),
+            ],
         ],
     );
     println!("\nExtension finding: with phase-sensitive acquisition the Sec. V");

@@ -24,7 +24,11 @@ fn main() {
         .map(|&(_, v)| v)
         .fold(f64::NEG_INFINITY, f64::max);
     for &(t, v) in &result.waveform {
-        let frac = if max > min { (v - min) / (max - min) } else { 0.0 };
+        let frac = if max > min {
+            (v - min) / (max - min)
+        } else {
+            0.0
+        };
         let bar = "#".repeat(1 + (frac * 50.0) as usize);
         println!("{:7.3}s  {:.6}  {bar}", t, v);
     }

@@ -18,6 +18,15 @@ fn main() {
             ]
         })
         .collect();
-    print_table(&["panel", "active electrodes", "expected", "scheduled", "detected"], &rows);
+    print_table(
+        &[
+            "panel",
+            "active electrodes",
+            "expected",
+            "scheduled",
+            "detected",
+        ],
+        &rows,
+    );
     println!("\nPaper: 11a→1 peak, 11b→3, 11c→5, 11d→17 (\"flat periodic train\").");
 }

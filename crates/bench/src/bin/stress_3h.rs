@@ -29,7 +29,11 @@ fn synthesize_chunk(chunk_idx: usize, chunk_len: usize) -> Vec<f64> {
             let baseline =
                 1.0 + 2e-9 * x + 1.2e-3 * (x / 20_000.0).sin() + 4e-4 * (x / 3_100.0).sin();
             let phase = i % 450;
-            let dip = if (200..205).contains(&phase) { 8e-3 } else { 0.0 };
+            let dip = if (200..205).contains(&phase) {
+                8e-3
+            } else {
+                0.0
+            };
             baseline * (1.0 - dip)
         })
         .collect()
@@ -86,14 +90,29 @@ fn main() {
         compressed_bytes,
     };
     let scale = 180.0 / minutes;
-    println!("peaks detected            : {peaks} (expected ~{})", total_samples / 450);
-    println!("CSV volume                : {:.1} MB (3 h projection: {:.0} MB; paper: ~600 MB)",
-        csv_bytes as f64 / 1e6, csv_bytes as f64 * scale / 1e6);
-    println!("compressed                : {:.1} MB (3 h projection: {:.0} MB; paper: 240 MB)",
-        compressed_bytes as f64 / 1e6, compressed_bytes as f64 * scale / 1e6);
-    println!("compression ratio         : {}x (paper zip: 2.5x)", fmt(stats.ratio(), 2));
-    println!("wall time (this machine)  : {} s ({} s projected for 3 h)",
-        fmt(elapsed, 1), fmt(elapsed * scale, 1));
+    println!(
+        "peaks detected            : {peaks} (expected ~{})",
+        total_samples / 450
+    );
+    println!(
+        "CSV volume                : {:.1} MB (3 h projection: {:.0} MB; paper: ~600 MB)",
+        csv_bytes as f64 / 1e6,
+        csv_bytes as f64 * scale / 1e6
+    );
+    println!(
+        "compressed                : {:.1} MB (3 h projection: {:.0} MB; paper: 240 MB)",
+        compressed_bytes as f64 / 1e6,
+        compressed_bytes as f64 * scale / 1e6
+    );
+    println!(
+        "compression ratio         : {}x (paper zip: 2.5x)",
+        fmt(stats.ratio(), 2)
+    );
+    println!(
+        "wall time (this machine)  : {} s ({} s projected for 3 h)",
+        fmt(elapsed, 1),
+        fmt(elapsed * scale, 1)
+    );
     println!("analyzer memory           : O(window) — constant regardless of run length");
     if !full {
         println!("\n(ran the 10-minute slice; use --full for the complete 3-hour run)");

@@ -28,8 +28,16 @@ fn main() {
         .collect();
     print_table(
         &[
-            "run", "truth", "peaks", "decoded", "zip x", "compress s", "upload s",
-            "cloud s", "decrypt s", "post-acq s",
+            "run",
+            "truth",
+            "peaks",
+            "decoded",
+            "zip x",
+            "compress s",
+            "upload s",
+            "cloud s",
+            "decrypt s",
+            "post-acq s",
         ],
         &rows,
     );

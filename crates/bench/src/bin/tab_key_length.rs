@@ -6,7 +6,9 @@ use medsen_units::Seconds;
 
 fn main() {
     let rows = key_length::run();
-    println!("Eq. 2 — ideal per-cell key length L = N_cells (N_elec + N_elec/2 R_gain + R_flow):\n");
+    println!(
+        "Eq. 2 — ideal per-cell key length L = N_cells (N_elec + N_elec/2 R_gain + R_flow):\n"
+    );
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -20,7 +22,17 @@ fn main() {
             ]
         })
         .collect();
-    print_table(&["cells", "electrodes", "gain bits", "flow bits", "key bits", "MB"], &table);
+    print_table(
+        &[
+            "cells",
+            "electrodes",
+            "gain bits",
+            "flow bits",
+            "key bits",
+            "MB",
+        ],
+        &table,
+    );
     println!(
         "\nPaper headline: 20K cells, 16 electrodes, 4-bit gains/flow -> {} bits ({} MB);",
         rows[0].bits,

@@ -10,9 +10,9 @@ use medsen_cloud::AnalysisServer;
 use medsen_microfluidics::{
     ChannelGeometry, ParticleKind, PeristalticPump, SampleSpec, TransportSimulator,
 };
-use medsen_units::{Concentration, Microliters};
 use medsen_sensor::{ideal_key_length_bits, Controller, ControllerConfig};
 use medsen_units::Seconds;
+use medsen_units::{Concentration, Microliters};
 
 /// One key-period row.
 #[derive(Debug, Clone)]
@@ -74,8 +74,7 @@ pub fn run(
                 geometry.pore_width,
                 geometry.pore_height,
             );
-            let delay =
-                Seconds::new(acq.array().span(&geometry).value() / (2.0 * nominal_v));
+            let delay = Seconds::new(acq.array().span(&geometry).value() / (2.0 * nominal_v));
             let decoded = controller
                 .decryptor_with_delay(delay)
                 .decrypt(&report.reported_peaks())

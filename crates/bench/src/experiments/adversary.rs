@@ -15,9 +15,9 @@ use medsen_core::threat::{estimate_leakage, LeakageEstimate};
 use medsen_microfluidics::{
     ChannelGeometry, ParticleKind, PeristalticPump, SampleSpec, TransportSimulator,
 };
-use medsen_units::{Concentration, Microliters};
 use medsen_sensor::{Controller, ControllerConfig};
 use medsen_units::Seconds;
+use medsen_units::{Concentration, Microliters};
 
 /// Which knobs the cipher has enabled for one sweep row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

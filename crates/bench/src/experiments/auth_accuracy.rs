@@ -7,9 +7,7 @@
 //! higher concentrations".
 
 use medsen_cloud::AuthDecision;
-use medsen_core::{
-    CytoPassword, DiagnosticRule, PasswordAlphabet, Pipeline, PipelineConfig,
-};
+use medsen_core::{CytoPassword, DiagnosticRule, PasswordAlphabet, Pipeline, PipelineConfig};
 use medsen_units::Seconds;
 
 /// Aggregate authentication statistics.

@@ -6,6 +6,7 @@
 //! walls; four samples per concentration; 7.8 µm beads (Fig. 12) show a
 //! larger deficit than 3.58 µm (Fig. 13).
 
+use medsen_cloud::AnalysisServer;
 use medsen_dsp::stats::{linear_regression, LinearFit};
 use medsen_microfluidics::stochastic::sample_poisson;
 use medsen_microfluidics::{
@@ -13,7 +14,6 @@ use medsen_microfluidics::{
 };
 use medsen_sensor::{Controller, ControllerConfig};
 use medsen_units::Seconds;
-use medsen_cloud::AnalysisServer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -60,9 +60,7 @@ pub fn run(
     for (ci, &estimated) in estimated_targets.iter().enumerate() {
         let mut empirical = Vec::with_capacity(replicates);
         for rep in 0..replicates {
-            let run_seed = seed
-                .wrapping_add(1000 * ci as u64)
-                .wrapping_add(rep as u64);
+            let run_seed = seed.wrapping_add(1000 * ci as u64).wrapping_add(rep as u64);
             let mut rng = StdRng::seed_from_u64(run_seed);
             // Expected delivery after sedimentation + adsorption, then the
             // Poisson draw of how many actually arrive this run.

@@ -65,9 +65,7 @@ fn encrypted_qi_ratios(kind: ParticleKind, n: usize, seed: u64) -> Vec<f64> {
         .trace
         .channels()
         .iter()
-        .filter(|c| {
-            c.component == medsen_impedance::trace::SignalComponent::InPhase
-        })
+        .filter(|c| c.component == medsen_impedance::trace::SignalComponent::InPhase)
         .map(|c| c.carrier.value())
         .collect();
     let n_carriers = carriers.len();

@@ -9,8 +9,8 @@ use medsen_dsp::peaks::ThresholdDetector;
 use medsen_impedance::{ElectrodeCircuit, TraceSynthesizer};
 use medsen_microfluidics::{ChannelGeometry, Particle, ParticleKind, TransitEvent};
 use medsen_sensor::{
-    CipherKey, ElectrodeArray, ElectrodeId, ElectrodeSelection, EncryptedAcquisition,
-    FlowLevel, GainLevel, KeySchedule,
+    CipherKey, ElectrodeArray, ElectrodeId, ElectrodeSelection, EncryptedAcquisition, FlowLevel,
+    GainLevel, KeySchedule,
 };
 use medsen_units::{Hertz, Seconds};
 

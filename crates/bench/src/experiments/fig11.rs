@@ -8,11 +8,10 @@
 
 use medsen_dsp::detrend::{detrend_segmented, DetrendConfig};
 use medsen_dsp::peaks::ThresholdDetector;
-use medsen_sensor::{
-    CipherKey, ElectrodeArray, ElectrodeId, ElectrodeSelection, FlowLevel, GainLevel,
-    KeySchedule,
-};
 use medsen_microfluidics::{Particle, ParticleKind, TransitEvent};
+use medsen_sensor::{
+    CipherKey, ElectrodeArray, ElectrodeId, ElectrodeSelection, FlowLevel, GainLevel, KeySchedule,
+};
 use medsen_units::{Hertz, Seconds};
 
 /// One subset's signature.
@@ -42,8 +41,7 @@ pub fn run(seed: u64) -> Vec<SubsetSignature> {
     panels
         .into_iter()
         .map(|(panel, ids)| {
-            let electrode_ids: Vec<ElectrodeId> =
-                ids.iter().map(|&i| ElectrodeId(i)).collect();
+            let electrode_ids: Vec<ElectrodeId> = ids.iter().map(|&i| ElectrodeId(i)).collect();
             let expected = array.peak_multiplicity(&electrode_ids);
             let schedule = KeySchedule::Static(CipherKey {
                 selection: ElectrodeSelection::new(&array, &electrode_ids)
@@ -62,8 +60,7 @@ pub fn run(seed: u64) -> Vec<SubsetSignature> {
                 .trace
                 .channel_at(Hertz::from_khz(500.0))
                 .expect("channels exist");
-            let depth =
-                detrend_segmented(&channel.samples, &DetrendConfig::paper_default());
+            let depth = detrend_segmented(&channel.samples, &DetrendConfig::paper_default());
             let detected = ThresholdDetector::paper_default().count(&depth, 450.0);
             SubsetSignature {
                 panel,

@@ -41,7 +41,11 @@ pub fn benchmark_signal(n: usize) -> Vec<f64> {
             let x = i as f64;
             let baseline = 1.0 + 3e-8 * x - 1e-14 * x * x + 1e-3 * (x / 9_000.0).sin();
             let phase = i % 1_000;
-            let dip = if (498..=502).contains(&phase) { 8e-3 } else { 0.0 };
+            let dip = if (498..=502).contains(&phase) {
+                8e-3
+            } else {
+                0.0
+            };
             baseline * (1.0 - dip)
         })
         .collect()

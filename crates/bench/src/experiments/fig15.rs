@@ -10,8 +10,8 @@
 use medsen_impedance::ElectrodeCircuit;
 use medsen_microfluidics::{ChannelGeometry, Particle, ParticleKind, TransitEvent};
 use medsen_sensor::{
-    CipherKey, ElectrodeArray, ElectrodeSelection, EncryptedAcquisition, FlowLevel,
-    GainLevel, KeySchedule,
+    CipherKey, ElectrodeArray, ElectrodeSelection, EncryptedAcquisition, FlowLevel, GainLevel,
+    KeySchedule,
 };
 use medsen_units::Seconds;
 
@@ -59,8 +59,7 @@ pub fn run(seed: u64) -> Vec<FrequencyResponse> {
             super::figure15_synth(seed),
         );
         let schedule = KeySchedule::Static(CipherKey {
-            selection: ElectrodeSelection::new(&array, &[array.lead()])
-                .expect("lead selection"),
+            selection: ElectrodeSelection::new(&array, &[array.lead()]).expect("lead selection"),
             gains: vec![GainLevel::unity(); 9],
             flow: FlowLevel::nominal(),
         });

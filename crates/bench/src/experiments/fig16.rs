@@ -48,8 +48,7 @@ fn features_for(kind: ParticleKind, n: usize, seed: u64) -> Vec<FeatureVector> {
     );
     let events = sim.run_exact_count(kind, n, duration);
     let mut acq = super::counting_acquisition(seed);
-    let mut controller =
-        Controller::new(*acq.array(), ControllerConfig::paper_default(), seed);
+    let mut controller = Controller::new(*acq.array(), ControllerConfig::paper_default(), seed);
     let schedule = controller.plaintext_schedule().clone();
     let out = acq.run(&events, &schedule, duration);
     let report = AnalysisServer::paper_default().analyze(&out.trace);
@@ -107,8 +106,7 @@ mod tests {
     fn clusters_sit_where_the_figure_puts_them() {
         let result = run(30, 10);
         let centroid = |kind: ParticleKind| {
-            let pts: Vec<&ClusterPoint> =
-                result.points.iter().filter(|p| p.kind == kind).collect();
+            let pts: Vec<&ClusterPoint> = result.points.iter().filter(|p| p.kind == kind).collect();
             let n = pts.len() as f64;
             (
                 pts.iter().map(|p| p.amp_500khz).sum::<f64>() / n,
@@ -119,7 +117,10 @@ mod tests {
         let (b78_lo, b78_hi) = centroid(ParticleKind::Bead78);
         let (cell_lo, cell_hi) = centroid(ParticleKind::RedBloodCell);
         // Beads sit on the diagonal (flat response); cells fall below it.
-        assert!((b358_hi / b358_lo - 1.0).abs() < 0.2, "3.58 beads on diagonal");
+        assert!(
+            (b358_hi / b358_lo - 1.0).abs() < 0.2,
+            "3.58 beads on diagonal"
+        );
         assert!((b78_hi / b78_lo - 1.0).abs() < 0.2, "7.8 beads on diagonal");
         assert!(cell_hi / cell_lo < 0.7, "cells below the diagonal");
         // Amplitude ordering at 500 kHz.

@@ -33,7 +33,10 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
             .join("  ")
     };
     println!("{}", fmt_row(headers.to_vec()));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for row in rows {
         println!("{}", fmt_row(row.iter().map(String::as_str).collect()));
     }

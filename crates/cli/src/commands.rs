@@ -5,9 +5,7 @@ use medsen_cloud::{
     AmplitudeGroupingAttack, AnalysisServer, BurstClusteringAttack, WidthGroupingAttack,
 };
 use medsen_core::{CytoPassword, DiagnosticRule, PasswordAlphabet, Pipeline, PipelineConfig};
-use medsen_microfluidics::{
-    ChannelGeometry, ParticleKind, PeristalticPump, TransportSimulator,
-};
+use medsen_microfluidics::{ChannelGeometry, ParticleKind, PeristalticPump, TransportSimulator};
 use medsen_phone::{trace_from_csv, trace_to_csv};
 use medsen_sensor::{ideal_key_length_bits, Controller, ControllerConfig, EncryptedAcquisition};
 use medsen_units::{Concentration, Seconds};
@@ -38,8 +36,7 @@ pub fn session(args: &[String], out: Out) -> Result<(), String> {
             duration: Seconds::new(duration),
             ..PipelineConfig::auth_default(seed)
         };
-        let mut pipeline =
-            Pipeline::new(config, alphabet.clone(), DiagnosticRule::cd4_staging());
+        let mut pipeline = Pipeline::new(config, alphabet.clone(), DiagnosticRule::cd4_staging());
         wl(out, "calibrating classifier...");
         pipeline.calibrate_classifier();
         let volume = pipeline.processed_volume();
@@ -48,7 +45,10 @@ pub fn session(args: &[String], out: Out) -> Result<(), String> {
             .auth_mut()
             .enroll("cli-user", password.expected_signature(&alphabet, volume));
         let report = pipeline.run_session("cli-user", &password);
-        wl(out, format!("measured signature : {:?}", report.measured_signature));
+        wl(
+            out,
+            format!("measured signature : {:?}", report.measured_signature),
+        );
         wl(out, format!("auth decision      : {:?}", report.auth));
     } else {
         let alphabet = PasswordAlphabet::new(
@@ -64,15 +64,36 @@ pub fn session(args: &[String], out: Out) -> Result<(), String> {
         };
         let mut pipeline = Pipeline::new(config, alphabet, DiagnosticRule::cd4_staging());
         let report = pipeline.run_session("cli-user", &password);
-        wl(out, format!("true particles     : {} cells + {} beads",
-            report.true_cells, report.true_beads));
-        wl(out, format!("cloud saw          : {} peaks", report.peak_count));
-        wl(out, format!("decoded            : {:?} total, {:?} cells",
-            report.decoded_total, report.decoded_cells));
+        wl(
+            out,
+            format!(
+                "true particles     : {} cells + {} beads",
+                report.true_cells, report.true_beads
+            ),
+        );
+        wl(
+            out,
+            format!("cloud saw          : {} peaks", report.peak_count),
+        );
+        wl(
+            out,
+            format!(
+                "decoded            : {:?} total, {:?} cells",
+                report.decoded_total, report.decoded_cells
+            ),
+        );
         wl(out, format!("verdict            : {:?}", report.verdict));
-        wl(out, format!("compression        : {:.2}x", report.compression.ratio()));
-        wl(out, format!("post-acquisition   : {:.3} s",
-            report.timing.post_acquisition_s()));
+        wl(
+            out,
+            format!("compression        : {:.2}x", report.compression.ratio()),
+        );
+        wl(
+            out,
+            format!(
+                "post-acquisition   : {:.3} s",
+                report.timing.post_acquisition_s()
+            ),
+        );
     }
     Ok(())
 }
@@ -85,11 +106,14 @@ pub fn enroll(args: &[String], out: Out) -> Result<(), String> {
     }
     let alphabet = PasswordAlphabet::paper_default();
     let mut registry = medsen_core::UserRegistry::new(alphabet.clone(), 2);
-    wl(out, format!(
-        "password space: {} identifiers, {:.1} bits",
-        alphabet.password_space(),
-        alphabet.entropy_bits()
-    ));
+    wl(
+        out,
+        format!(
+            "password space: {} identifiers, {:.1} bits",
+            alphabet.password_space(),
+            alphabet.entropy_bits()
+        ),
+    );
     for user in &users {
         let pw = registry.enroll(user.clone()).map_err(|e| e.to_string())?;
         wl(out, format!("enrolled {user}: levels {:?}", pw.levels()));
@@ -122,19 +146,21 @@ pub fn synth(args: &[String], out: Out) -> Result<(), String> {
     let acquired = acq.run(&events, &schedule, duration);
     let csv = trace_to_csv(&acquired.trace);
     std::fs::write(path, &csv).map_err(|e| format!("cannot write {path}: {e}"))?;
-    wl(out, format!(
-        "wrote {} ({} samples/channel, {} true particles, {} scheduled dips)",
-        path,
-        acquired.trace.len(),
-        particles,
-        acquired.scheduled_dips
-    ));
+    wl(
+        out,
+        format!(
+            "wrote {} ({} samples/channel, {} true particles, {} scheduled dips)",
+            path,
+            acquired.trace.len(),
+            particles,
+            acquired.scheduled_dips
+        ),
+    );
     Ok(())
 }
 
 fn load_trace(path: &str) -> Result<medsen_impedance::SignalTrace, String> {
-    let csv =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let csv = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     trace_from_csv(&csv).map_err(|e| format!("{path}: {e}"))
 }
 
@@ -146,21 +172,30 @@ pub fn analyze(args: &[String], out: Out) -> Result<(), String> {
     };
     let trace = load_trace(path)?;
     let report = AnalysisServer::paper_default().analyze(&trace);
-    wl(out, format!(
-        "trace: {} channels x {} samples, {:.1} s",
-        trace.channels().len(),
-        trace.len(),
-        report.duration_s
-    ));
-    wl(out, format!("noise floor (sigma): {:.2e}", report.noise_sigma));
+    wl(
+        out,
+        format!(
+            "trace: {} channels x {} samples, {:.1} s",
+            trace.channels().len(),
+            trace.len(),
+            report.duration_s
+        ),
+    );
+    wl(
+        out,
+        format!("noise floor (sigma): {:.2e}", report.noise_sigma),
+    );
     wl(out, format!("peaks: {}", report.peak_count()));
     for p in report.peaks.iter().take(20) {
-        wl(out, format!(
-            "  t={:.3}s amp={:.4} width={:.1}ms",
-            p.time_s,
-            p.amplitude,
-            p.width_s * 1e3
-        ));
+        wl(
+            out,
+            format!(
+                "  t={:.3}s amp={:.4} width={:.1}ms",
+                p.time_s,
+                p.amplitude,
+                p.width_s * 1e3
+            ),
+        );
     }
     if report.peak_count() > 20 {
         wl(out, format!("  ... {} more", report.peak_count() - 20));
@@ -180,10 +215,31 @@ pub fn attack(args: &[String], out: Out) -> Result<(), String> {
     let amp = AmplitudeGroupingAttack::paper_default().estimate(&report);
     let width = WidthGroupingAttack::paper_default().estimate(&report);
     let burst = BurstClusteringAttack::paper_default().estimate(&report);
-    wl(out, format!("amplitude-grouping estimate : {} cells", amp.estimated_cells));
-    wl(out, format!("width-grouping estimate     : {} cells", width.estimated_cells));
-    wl(out, format!("burst-clustering estimate   : {} cells", burst.estimated_cells));
-    wl(out, "(only the key-holding controller can decrypt the true count)");
+    wl(
+        out,
+        format!(
+            "amplitude-grouping estimate : {} cells",
+            amp.estimated_cells
+        ),
+    );
+    wl(
+        out,
+        format!(
+            "width-grouping estimate     : {} cells",
+            width.estimated_cells
+        ),
+    );
+    wl(
+        out,
+        format!(
+            "burst-clustering estimate   : {} cells",
+            burst.estimated_cells
+        ),
+    );
+    wl(
+        out,
+        "(only the key-holding controller can decrypt the true count)",
+    );
     Ok(())
 }
 
@@ -208,8 +264,7 @@ pub fn capability(args: &[String], out: Out) -> Result<(), String> {
     let mut controller = Controller::new(*acq.array(), ControllerConfig::paper_default(), seed);
     let schedule = controller.generate_schedule(duration).clone();
     let acquired = acq.run(&events, &schedule, duration);
-    let report =
-        medsen_cloud::AnalysisServer::paper_default().analyze(&acquired.trace);
+    let report = medsen_cloud::AnalysisServer::paper_default().analyze(&acquired.trace);
 
     let geometry = ChannelGeometry::paper_default();
     let v = PeristalticPump::paper_default().velocity_at(
@@ -220,20 +275,26 @@ pub fn capability(args: &[String], out: Out) -> Result<(), String> {
     let delay = Seconds::new(acq.array().span(&geometry).value() / (2.0 * v));
     let cap = medsen_core::sharing::DecryptionCapability::derive(&controller, delay);
     let sealed = medsen_core::sharing::SealedCapability::seal(&cap, secret, 1);
-    wl(out, format!(
-        "sealed capability: {} bytes (per-period multiplicities {:?})",
-        sealed.len(),
-        cap.multiplicities
-    ));
+    wl(
+        out,
+        format!(
+            "sealed capability: {} bytes (per-period multiplicities {:?})",
+            sealed.len(),
+            cap.multiplicities
+        ),
+    );
     let opened = sealed
         .unseal(secret)
         .map_err(|e| format!("unseal failed: {e}"))?;
     let decoded = opened.decrypt(&report.reported_peaks());
-    wl(out, format!(
-        "practitioner decrypts: {} particles (ground truth {})",
-        decoded.rounded(),
-        acquired.true_total()
-    ));
+    wl(
+        out,
+        format!(
+            "practitioner decrypts: {} particles (ground truth {})",
+            decoded.rounded(),
+            acquired.true_total()
+        ),
+    );
     match sealed.unseal(secret.wrapping_add(1)) {
         Err(e) => wl(out, format!("wrong secret: {e}")),
         Ok(_) => return Err("wrong secret must not unseal".into()),
@@ -256,5 +317,168 @@ pub fn keylen(args: &[String], out: Out) -> Result<(), String> {
         "L = {cells} x ({electrodes} + {electrodes}/2 x {gain_bits} + {flow_bits}) = {bits} bits ({:.3} MB)",
         bits as f64 / 8.0 / 1e6
     ));
+    Ok(())
+}
+
+/// `gateway`: serve a simulated clinic fleet through the concurrent
+/// ingestion gateway and print its metrics.
+pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
+    use medsen_cloud::auth::{AuthDecision, BeadSignature};
+    use medsen_cloud::service::{CloudService, Response};
+    use medsen_dsp::classify::Classifier;
+    use medsen_dsp::FeatureVector;
+    use medsen_gateway::{Gateway, GatewayConfig, SessionConfig, ShedPolicy};
+    use medsen_impedance::{PulseSpec, SignalTrace, TraceSynthesizer};
+
+    let (positional, options) = split_options(args)?;
+    if !positional.is_empty() {
+        return Err(format!("unexpected argument `{}`", positional[0]));
+    }
+    for name in options.keys() {
+        if !["sessions", "workers", "queue", "flaky", "seed"].contains(&name.as_str()) {
+            return Err(format!("unknown option --{name}"));
+        }
+    }
+    let sessions: usize = parse(&options, "sessions", 16)?;
+    let workers: usize = parse(&options, "workers", 4)?;
+    let queue: usize = parse(&options, "queue", 8)?;
+    let flaky: f64 = parse(&options, "flaky", 0.1)?;
+    let seed: u64 = parse(&options, "seed", 7)?;
+    if !(1..=512).contains(&sessions) {
+        return Err("--sessions must be in 1..=512".into());
+    }
+    if !(1..=64).contains(&workers) {
+        return Err("--workers must be in 1..=64".into());
+    }
+    if queue == 0 {
+        return Err("--queue must be positive".into());
+    }
+    if !(0.0..=0.8).contains(&flaky) {
+        return Err("--flaky must be in 0.0..=0.8".into());
+    }
+
+    // Clinic users with disjoint ±30% bead-count bands.
+    let users: [(&str, u64); 3] = [("ana", 3), ("bo", 6), ("cleo", 12)];
+
+    fn fleet_trace(jitter_ms: u64, pulses: u64) -> SignalTrace {
+        let mut synth = TraceSynthesizer::clean(1);
+        let jitter = jitter_ms as f64 * 1e-3;
+        let specs: Vec<PulseSpec> = (0..pulses)
+            .map(|j| {
+                PulseSpec::unipolar(
+                    Seconds::new(0.5 + jitter + j as f64 * 0.25),
+                    Seconds::new(0.02),
+                    0.01,
+                )
+            })
+            .collect();
+        synth.render(
+            &specs,
+            Seconds::new(0.5 + jitter + pulses as f64 * 0.25 + 0.5),
+        )
+    }
+
+    // Train a one-class bead classifier from the pipeline's own features.
+    let mut service = CloudService::new();
+    let reference = medsen_cloud::AnalysisServer::paper_default().analyze(&fleet_trace(999, 8));
+    let vectors: Vec<FeatureVector> = reference
+        .peaks
+        .iter()
+        .map(|p| FeatureVector {
+            index: 0,
+            amplitudes: p.features.clone(),
+        })
+        .collect();
+    let classifier = Classifier::train(&[(ParticleKind::Bead358.label(), vectors)])
+        .map_err(|e| format!("classifier training failed: {e}"))?;
+    service.install_classifier(classifier);
+
+    let gateway = Gateway::new(
+        service,
+        GatewayConfig {
+            queue_capacity: queue,
+            workers,
+            shed_policy: ShedPolicy::Reject {
+                retry_after: Seconds::from_millis(50.0),
+            },
+        },
+    );
+
+    // Enroll through the gateway itself.
+    {
+        let mut admin = gateway.connect(SessionConfig::reliable());
+        for (user, count) in users {
+            let response = admin
+                .enroll(
+                    user,
+                    BeadSignature::from_counts(&[(ParticleKind::Bead358, count)]),
+                )
+                .map_err(|e| format!("enroll failed: {e}"))?;
+            if response != Response::Enrolled {
+                return Err(format!("unexpected enroll response: {response:?}"));
+            }
+        }
+        admin
+            .close()
+            .map_err(|e| format!("admin close failed: {e}"))?;
+    }
+
+    // Connect deterministically, then run all sessions concurrently.
+    let connected: Vec<_> = (0..sessions)
+        .map(|i| gateway.connect(SessionConfig::flaky(flaky, seed.wrapping_add(i as u64))))
+        .collect();
+    let outcomes = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for (i, mut session) in connected.into_iter().enumerate() {
+            let outcomes = &outcomes;
+            let users = &users;
+            scope.spawn(move || {
+                let (user, count) = users[i % users.len()];
+                let outcome = session.analyze(fleet_trace(i as u64, count), true);
+                let stats = session.stats();
+                outcomes.lock().unwrap().push((i, user, outcome, stats));
+            });
+        }
+    });
+
+    let mut outcomes = outcomes.into_inner().unwrap();
+    outcomes.sort_by_key(|(i, ..)| *i);
+    let (mut accepted, mut rejected, mut other, mut errors) = (0u64, 0u64, 0u64, 0u64);
+    let (mut link_retries, mut shed_retries) = (0u64, 0u64);
+    for (i, user, outcome, stats) in &outcomes {
+        link_retries += stats.link_retries;
+        shed_retries += stats.shed_retries;
+        match outcome {
+            Ok(Response::Analyzed {
+                auth: Some(AuthDecision::Accepted { user_id }),
+                ..
+            }) if user_id == user => accepted += 1,
+            Ok(Response::Analyzed {
+                auth: Some(AuthDecision::Rejected),
+                ..
+            }) => rejected += 1,
+            Ok(_) => other += 1,
+            Err(e) => {
+                errors += 1;
+                wl(out, format!("session {i}: failed: {e}"));
+            }
+        }
+    }
+    wl(out, format!(
+        "fleet: {sessions} sessions via {workers} workers (queue depth {queue}, {:.0}% flaky uplink)",
+        flaky * 100.0
+    ));
+    wl(out, format!(
+        "auth: {accepted} accepted as themselves, {rejected} rejected, {other} other, {errors} gave up"
+    ));
+    wl(
+        out,
+        format!("client retries: {link_retries} link, {shed_retries} backpressure"),
+    );
+    let metrics = gateway.shutdown();
+    wl(out, format!("{metrics}"));
+    if metrics.lost() != 0 {
+        return Err(format!("{} accepted requests were lost", metrics.lost()));
+    }
     Ok(())
 }

@@ -27,6 +27,8 @@ COMMANDS:
     attack    <trace.csv>                              run the Sec. IV-A attacks on a CSV
     keylen    <cells> <electrodes> <gainbits> <flowbits>   Eq. 2 key length
     capability [--seed N] [--secret N] [--duration S]  practitioner key-sharing demo
+    gateway   [--sessions N] [--workers N] [--queue N] [--flaky RATE] [--seed N]
+                                                       serve a clinic fleet concurrently
     help                                               show this text
 ";
 
@@ -44,6 +46,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> ExitCode {
         "attack" => commands::attack(rest, out),
         "keylen" => commands::keylen(rest, out),
         "capability" => commands::capability(rest, out),
+        "gateway" => commands::gateway(rest, out),
         "help" | "--help" | "-h" => {
             let _ = writeln!(out, "{USAGE}");
             Ok(())

@@ -106,3 +106,33 @@ fn capability_demo_round_trips() {
     assert!(text.contains("practitioner decrypts"), "{text}");
     assert!(text.contains("wrong secret"), "{text}");
 }
+
+#[test]
+fn gateway_serves_a_small_fleet() {
+    let (code, text) = run(&[
+        "gateway",
+        "--sessions",
+        "6",
+        "--workers",
+        "2",
+        "--queue",
+        "2",
+        "--flaky",
+        "0.2",
+    ]);
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("6 sessions via 2 workers"), "{text}");
+    assert!(text.contains("6 accepted as themselves"), "{text}");
+    assert!(text.contains("queue high-water"), "{text}");
+}
+
+#[test]
+fn gateway_validates_options() {
+    let (code, text) = run(&["gateway", "--sessions", "0"]);
+    assert_eq!(code, 1);
+    assert!(text.contains("--sessions"), "{text}");
+
+    let (code, text) = run(&["gateway", "--flaky", "1.5"]);
+    assert_eq!(code, 1);
+    assert!(text.contains("--flaky"), "{text}");
+}

@@ -302,7 +302,11 @@ mod tests {
         }
         peaks.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         let out = BurstClusteringAttack::paper_default().estimate(&report(peaks));
-        assert!(out.estimated_cells <= 3, "clusters: {}", out.estimated_cells);
+        assert!(
+            out.estimated_cells <= 3,
+            "clusters: {}",
+            out.estimated_cells
+        );
         assert!(out.relative_error(10) > 0.5);
     }
 
@@ -311,10 +315,12 @@ mod tests {
         let out = AmplitudeGroupingAttack::paper_default().estimate(&report(vec![]));
         assert_eq!(out.estimated_cells, 0);
         assert_eq!(out.relative_error(0), 0.0);
-        assert!(BurstClusteringAttack::paper_default()
-            .estimate(&report(vec![]))
-            .relative_error(5)
-            > 0.99);
+        assert!(
+            BurstClusteringAttack::paper_default()
+                .estimate(&report(vec![]))
+                .relative_error(5)
+                > 0.99
+        );
     }
 
     #[test]

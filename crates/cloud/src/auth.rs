@@ -156,11 +156,7 @@ impl AuthService {
     /// Extracts the measured bead signature from a peak report using the
     /// given particle classifier. Peaks classified as blood cells are
     /// ignored; peaks classified as a bead type count toward that type.
-    pub fn measure_signature(
-        &self,
-        report: &PeakReport,
-        classifier: &Classifier,
-    ) -> BeadSignature {
+    pub fn measure_signature(&self, report: &PeakReport, classifier: &Classifier) -> BeadSignature {
         let mut sig = BeadSignature::new();
         for peak in &report.peaks {
             let fv = FeatureVector {
@@ -221,10 +217,7 @@ mod tests {
     use super::*;
 
     fn sig(b358: u64, b78: u64) -> BeadSignature {
-        BeadSignature::from_counts(&[
-            (ParticleKind::Bead358, b358),
-            (ParticleKind::Bead78, b78),
-        ])
+        BeadSignature::from_counts(&[(ParticleKind::Bead358, b358), (ParticleKind::Bead78, b78)])
     }
 
     #[test]

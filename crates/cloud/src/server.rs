@@ -154,7 +154,11 @@ mod tests {
         let times: Vec<f64> = (0..20).map(|i| 1.0 + i as f64 * 1.3).collect();
         let trace = synth.render(&pulses_at(&times, 0.01), Seconds::new(30.0));
         let report = AnalysisServer::paper_default().analyze(&trace);
-        assert_eq!(report.peak_count(), 20, "noise/drift must not break counting");
+        assert_eq!(
+            report.peak_count(),
+            20,
+            "noise/drift must not break counting"
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::server::AnalysisServer;
 use crate::storage::{RecordId, RecordStore, StoredRecord};
 use medsen_dsp::classify::Classifier;
 use medsen_impedance::SignalTrace;
+use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
 /// A client request to the cloud service.
@@ -81,10 +82,17 @@ pub enum Response {
 }
 
 /// The assembled cloud service.
+///
+/// Every stage is safe to drive from many threads at once through
+/// [`CloudService::handle_shared`]: analysis is pure, the record store locks
+/// internally, and the enrollment database sits behind its own `RwLock`
+/// (reads for authentication, writes only for enrollment). The gateway
+/// worker pool relies on this to serve concurrent dongle sessions against
+/// one shared service instance.
 #[derive(Debug)]
 pub struct CloudService {
     analysis: AnalysisServer,
-    auth: AuthService,
+    auth: RwLock<AuthService>,
     store: RecordStore,
     classifier: Option<Classifier>,
 }
@@ -94,7 +102,7 @@ impl CloudService {
     pub fn new() -> Self {
         Self {
             analysis: AnalysisServer::paper_default(),
-            auth: AuthService::new(),
+            auth: RwLock::new(AuthService::new()),
             store: RecordStore::new(),
             classifier: None,
         }
@@ -112,13 +120,21 @@ impl CloudService {
 
     /// Handles one request.
     pub fn handle(&mut self, request: Request) -> Response {
+        self.handle_shared(request)
+    }
+
+    /// Handles one request through a shared reference.
+    ///
+    /// This is the entry point concurrent front-ends (the gateway worker
+    /// pool) use; `handle` is the single-threaded convenience wrapper.
+    pub fn handle_shared(&self, request: Request) -> Response {
         match request {
             Request::Ping => Response::Pong,
             Request::Enroll {
                 identifier,
                 signature,
             } => {
-                self.auth.enroll(identifier, signature);
+                self.auth.write().enroll(identifier, signature);
                 Response::Enrolled
             }
             Request::Fetch { record_id } => match self.store.fetch(record_id) {
@@ -129,7 +145,10 @@ impl CloudService {
             },
             Request::VerifyIntegrity { record_id } => match self.store.fetch(record_id) {
                 Some(record) => Response::Integrity {
-                    intact: self.auth.verify_integrity(&record.user_id, &record.signature),
+                    intact: self
+                        .auth
+                        .read()
+                        .verify_integrity(&record.user_id, &record.signature),
                 },
                 None => Response::Error {
                     reason: format!("no record {record_id:?}"),
@@ -157,8 +176,12 @@ impl CloudService {
                         reason: "no classifier installed for authentication".into(),
                     };
                 };
-                let signature = self.auth.measure_signature(&report, classifier);
-                let decision = self.auth.authenticate(&signature);
+                let (signature, decision) = {
+                    let auth = self.auth.read();
+                    let signature = auth.measure_signature(&report, classifier);
+                    let decision = auth.authenticate(&signature);
+                    (signature, decision)
+                };
                 let stored_as = if let AuthDecision::Accepted { user_id } = &decision {
                     Some(self.store.store(StoredRecord {
                         user_id: user_id.clone(),
@@ -180,8 +203,13 @@ impl CloudService {
     /// Handles a JSON-encoded request, returning a JSON-encoded response —
     /// the exact byte-level interface behind the phone's network frames.
     pub fn handle_json(&mut self, request_json: &str) -> String {
+        self.handle_json_shared(request_json)
+    }
+
+    /// Shared-reference counterpart of [`CloudService::handle_json`].
+    pub fn handle_json_shared(&self, request_json: &str) -> String {
         let response = match medsen_phone_json::from_json::<Request>(request_json) {
-            Ok(request) => self.handle(request),
+            Ok(request) => self.handle_shared(request),
             Err(e) => Response::Error {
                 reason: format!("malformed request: {e}"),
             },
@@ -211,9 +239,7 @@ mod tests {
     fn trace(n_pulses: usize) -> SignalTrace {
         let mut synth = TraceSynthesizer::clean(1);
         let pulses: Vec<PulseSpec> = (0..n_pulses)
-            .map(|i| {
-                PulseSpec::unipolar(Seconds::new(0.5 + i as f64), Seconds::new(0.02), 0.01)
-            })
+            .map(|i| PulseSpec::unipolar(Seconds::new(0.5 + i as f64), Seconds::new(0.02), 0.01))
             .collect();
         synth.render(&pulses, Seconds::new(n_pulses as f64 + 1.0))
     }
@@ -311,6 +337,134 @@ mod tests {
         let response = svc.handle_json("not json at all");
         let parsed: Response = medsen_phone::from_json(&response).expect("decodes");
         assert!(matches!(parsed, Response::Error { .. }));
+    }
+
+    #[test]
+    fn reenroll_replaces_the_signature() {
+        let mut svc = CloudService::new();
+        let first = BeadSignature::from_counts(&[(ParticleKind::Bead358, 40)]);
+        let second = BeadSignature::from_counts(&[(ParticleKind::Bead358, 80)]);
+        svc.handle(Request::Enroll {
+            identifier: "pipette-1".into(),
+            signature: first.clone(),
+        });
+        let id = svc.store().store(StoredRecord {
+            user_id: "pipette-1".into(),
+            report: PeakReport {
+                peaks: vec![],
+                carriers_hz: vec![5e5],
+                sample_rate_hz: 450.0,
+                duration_s: 1.0,
+                noise_sigma: 3.0e-4,
+            },
+            signature: first,
+        });
+        assert_eq!(
+            svc.handle(Request::VerifyIntegrity { record_id: id }),
+            Response::Integrity { intact: true }
+        );
+        // Re-enrolling the same identifier replaces the stored expectation:
+        // the old record no longer verifies.
+        assert_eq!(
+            svc.handle(Request::Enroll {
+                identifier: "pipette-1".into(),
+                signature: second,
+            }),
+            Response::Enrolled
+        );
+        assert_eq!(
+            svc.handle(Request::VerifyIntegrity { record_id: id }),
+            Response::Integrity { intact: false }
+        );
+    }
+
+    #[test]
+    fn verify_integrity_of_unknown_record_errors() {
+        let mut svc = CloudService::new();
+        match svc.handle(Request::VerifyIntegrity {
+            record_id: RecordId(12345),
+        }) {
+            Response::Error { reason } => assert!(reason.contains("12345")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn analyze_of_channelless_trace_errors() {
+        let mut svc = CloudService::new();
+        let empty = SignalTrace::new(medsen_units::Hertz::new(450.0), vec![]);
+        match svc.handle(Request::Analyze {
+            trace: empty,
+            authenticate: false,
+        }) {
+            Response::Error { reason } => assert!(reason.contains("no channels")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn json_with_wrong_shape_yields_error_response() {
+        let mut svc = CloudService::new();
+        // Valid JSON, but not a valid Request: unknown variant and a
+        // variant missing its payload fields.
+        for bad in ["{\"Reboot\":{}}", "{\"Analyze\":{}}", "42", "[]"] {
+            let response = svc.handle_json(bad);
+            let parsed: Response = medsen_phone::from_json(&response).expect("decodes");
+            match parsed {
+                Response::Error { reason } => {
+                    assert!(
+                        reason.contains("malformed request"),
+                        "for input {bad}: {reason}"
+                    )
+                }
+                other => panic!("for input {bad}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn handle_shared_serves_concurrent_callers() {
+        let svc = CloudService::new();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let svc = &svc;
+                scope.spawn(move || {
+                    for i in 0..10 {
+                        let sig =
+                            BeadSignature::from_counts(&[(ParticleKind::Bead358, 10 + t * 10 + i)]);
+                        assert_eq!(
+                            svc.handle_shared(Request::Enroll {
+                                identifier: format!("user-{t}"),
+                                signature: sig,
+                            }),
+                            Response::Enrolled
+                        );
+                        assert_eq!(svc.handle_shared(Request::Ping), Response::Pong);
+                    }
+                });
+            }
+        });
+        // Every thread's last enrollment is visible afterwards.
+        for t in 0..8u64 {
+            let sig = BeadSignature::from_counts(&[(ParticleKind::Bead358, 10 + t * 10 + 9)]);
+            // Integrity check against the enrolled map via a fresh record.
+            let id = svc.store().store(StoredRecord {
+                user_id: format!("user-{t}"),
+                report: PeakReport {
+                    peaks: vec![],
+                    carriers_hz: vec![5e5],
+                    sample_rate_hz: 450.0,
+                    duration_s: 1.0,
+                    noise_sigma: 3.0e-4,
+                },
+                signature: sig,
+            });
+            assert_eq!(
+                svc.handle_shared(Request::VerifyIntegrity { record_id: id }),
+                Response::Integrity { intact: true },
+                "thread {t}'s final enrollment must have won"
+            );
+        }
     }
 
     #[test]

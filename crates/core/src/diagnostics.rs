@@ -50,7 +50,10 @@ impl DiagnosticRule {
             marker: "CD4+ T-cell count".into(),
             thresholds: vec![
                 (Concentration::new(500.0), "advanced HIV infection".into()),
-                (Concentration::new(200.0), "severe immunosuppression (AIDS)".into()),
+                (
+                    Concentration::new(200.0),
+                    "severe immunosuppression (AIDS)".into(),
+                ),
             ],
         }
     }

@@ -99,8 +99,7 @@ impl UserRegistry {
         self.dictionary
             .iter()
             .find(|p| {
-                !self.assignments.values().any(|a| a == *p)
-                    && !self.scoped_allocations.contains(p)
+                !self.assignments.values().any(|a| a == *p) && !self.scoped_allocations.contains(p)
             })
             .cloned()
     }

@@ -324,13 +324,9 @@ mod tests {
         let two = alphabet().password_space();
         // A hypothetical third bead type: reuse Bead358/Bead78 impossible
         // (duplicates rejected), so compare two-type/8-level vs one-type.
-        let one = PasswordAlphabet::new(
-            vec![ParticleKind::Bead78],
-            Concentration::new(100.0),
-            8,
-        )
-        .unwrap()
-        .password_space();
+        let one = PasswordAlphabet::new(vec![ParticleKind::Bead78], Concentration::new(100.0), 8)
+            .unwrap()
+            .password_space();
         assert!(two > one * 8);
     }
 
@@ -349,12 +345,7 @@ mod tests {
             8
         )
         .is_err());
-        assert!(PasswordAlphabet::new(
-            vec![ParticleKind::Bead78],
-            Concentration::ZERO,
-            8
-        )
-        .is_err());
+        assert!(PasswordAlphabet::new(vec![ParticleKind::Bead78], Concentration::ZERO, 8).is_err());
         assert!(
             PasswordAlphabet::new(vec![ParticleKind::Bead78], Concentration::new(100.0), 0)
                 .is_err()

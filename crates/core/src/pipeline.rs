@@ -12,14 +12,14 @@ use crate::password::{CytoPassword, PasswordAlphabet};
 use medsen_cloud::{AnalysisServer, AuthDecision, AuthService, BeadSignature};
 use medsen_dsp::classify::Classifier;
 use medsen_microfluidics::{
-    mix_password_beads, ChannelGeometry, ParticleClass, ParticleKind, PeristalticPump,
-    SampleSpec, TransportSimulator,
+    mix_password_beads, ChannelGeometry, ParticleClass, ParticleKind, PeristalticPump, SampleSpec,
+    TransportSimulator,
 };
+use medsen_phone::profile::DeviceProfile;
 use medsen_phone::{
     compress, from_json, to_json, trace_from_csv, trace_to_csv, CompressionStats, Frame,
     MessageType, NetworkLink,
 };
-use medsen_phone::profile::DeviceProfile;
 use medsen_sensor::{Controller, ControllerConfig, EncryptedAcquisition};
 use medsen_units::{Microliters, Seconds};
 use serde::{Deserialize, Serialize};
@@ -227,8 +227,7 @@ impl Pipeline {
                 .collect();
             training.push((kind.label(), vectors));
         }
-        self.classifier =
-            Some(Classifier::train(&training).expect("calibration produces peaks"));
+        self.classifier = Some(Classifier::train(&training).expect("calibration produces peaks"));
     }
 
     /// Whether the classifier has been calibrated.
@@ -250,8 +249,7 @@ impl Pipeline {
             .wrapping_add(self.session_counter.wrapping_mul(7919));
 
         // 1. Sample preparation: dilute blood, mix in the password beads.
-        let blood =
-            SampleSpec::whole_blood_dilution(Microliters::new(10.0), self.config.dilution);
+        let blood = SampleSpec::whole_blood_dilution(Microliters::new(10.0), self.config.dilution);
         let doses = password.to_doses(&self.alphabet);
         let mixed = mix_password_beads(&blood, &doses).expect("password doses are valid beads");
 
@@ -304,10 +302,7 @@ impl Pipeline {
         let csv_text = String::from_utf8(restored).expect("CSV is UTF-8");
         let received = trace_from_csv(&csv_text).expect("phone-encoded CSV");
         let report = self.server.analyze(&received);
-        let analysis_s = self
-            .cloud_profile
-            .predict(received.total_samples())
-            .value();
+        let analysis_s = self.cloud_profile.predict(received.total_samples()).value();
 
         // The result travels back as a JSON body in an AnalysisResult frame
         // (cloud → phone → sensor), so the return path is as concrete as the
@@ -317,10 +312,9 @@ impl Pipeline {
         let wire = result_frame.encode();
         let download_s = self.link.transfer_time(wire.len()).value();
         let (received_frame, _) = Frame::decode(&wire).expect("frame round-trips");
-        let report: medsen_cloud::PeakReport = from_json(
-            std::str::from_utf8(&received_frame.payload).expect("JSON is UTF-8"),
-        )
-        .expect("phone-encoded report parses");
+        let report: medsen_cloud::PeakReport =
+            from_json(std::str::from_utf8(&received_frame.payload).expect("JSON is UTF-8"))
+                .expect("phone-encoded report parses");
 
         // 6. Mode-specific tail: decrypt + diagnose, or authenticate.
         let mut decoded_total = None;
@@ -339,8 +333,7 @@ impl Pipeline {
                     geometry.pore_width,
                     geometry.pore_height,
                 );
-                let delay =
-                    Seconds::new(acq.array().span(&geometry).value() / (2.0 * nominal_v));
+                let delay = Seconds::new(acq.array().span(&geometry).value() / (2.0 * nominal_v));
                 let decryptor = controller.decryptor_with_delay(delay);
                 let decrypted = decryptor.decrypt(&report.reported_peaks());
                 let total = decrypted.rounded();
@@ -527,7 +520,11 @@ mod tests {
         assert!(t.upload_s > 0.0);
         assert!(t.analysis_s > 0.0);
         assert!(t.decryption_s >= 0.0);
-        assert!(t.post_acquisition_s() < 60.0, "post-acq {}", t.post_acquisition_s());
+        assert!(
+            t.post_acquisition_s() < 60.0,
+            "post-acq {}",
+            t.post_acquisition_s()
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@ use crate::pipeline::SessionMode;
 use medsen_sensor::{Controller, DecryptedCount, KeySchedule, ReportedPeak};
 use medsen_units::Seconds;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// The decryption capability: everything a practitioner needs to decrypt
@@ -57,10 +57,7 @@ impl DecryptionCapability {
             },
             KeySchedule::Periodic { period, keys } => Self {
                 period_s: period.value(),
-                multiplicities: keys
-                    .iter()
-                    .map(|k| k.multiplicity(&array) as u32)
-                    .collect(),
+                multiplicities: keys.iter().map(|k| k.multiplicity(&array) as u32).collect(),
                 dip_delay_s: dip_delay.value(),
             },
         }
@@ -336,7 +333,10 @@ mod tests {
         assert_eq!(short.unseal(99).unwrap_err(), SealError::Truncated);
         let mut wrong_version = sealed.clone();
         wrong_version.bytes[0] = 9;
-        assert_eq!(wrong_version.unseal(99).unwrap_err(), SealError::BadVersion(9));
+        assert_eq!(
+            wrong_version.unseal(99).unwrap_err(),
+            SealError::BadVersion(9)
+        );
     }
 
     #[test]

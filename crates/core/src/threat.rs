@@ -100,8 +100,7 @@ mod tests {
 
     #[test]
     fn fixed_divisor_fails_on_varying_multiplicity() {
-        let pairs: Vec<(usize, usize)> =
-            vec![(10, 10), (10, 170), (10, 50), (10, 90), (10, 130)];
+        let pairs: Vec<(usize, usize)> = vec![(10, 10), (10, 170), (10, 50), (10, 90), (10, 130)];
         let err = best_fixed_divisor_error(&pairs, 17);
         assert!(err > 0.3, "err = {err}");
     }

@@ -43,8 +43,7 @@ impl ClassStats {
     /// swallowing samples that sit squarely inside a tight, monodisperse
     /// bead cluster.
     pub fn neg_log_likelihood(&self, fv: &FeatureVector) -> f64 {
-        self.distance2(fv)
-            + 2.0 * self.std_devs.iter().map(|s| s.ln()).sum::<f64>()
+        self.distance2(fv) + 2.0 * self.std_devs.iter().map(|s| s.ln()).sum::<f64>()
     }
 }
 

@@ -113,7 +113,10 @@ pub fn detrend_whole(signal: &[f64], order: usize) -> Vec<f64> {
 ///
 /// Signals shorter than one window fall back to a whole-trace fit.
 pub fn detrend_segmented(signal: &[f64], config: &DetrendConfig) -> Vec<f64> {
-    assert!(config.window > config.order, "window too small for the order");
+    assert!(
+        config.window > config.order,
+        "window too small for the order"
+    );
     if signal.len() <= config.window + config.order + 1 {
         if signal.len() > config.order + 1 {
             return detrend_whole(signal, config.order);
@@ -152,8 +155,7 @@ mod tests {
         (0..n)
             .map(|i| {
                 let x = i as f64;
-                let baseline = 1.0 + 4e-5 * x - 1e-9 * x * x
-                    + 2e-3 * (x / 2_000.0).sin();
+                let baseline = 1.0 + 4e-5 * x - 1e-9 * x * x + 2e-3 * (x / 2_000.0).sin();
                 let dip: f64 = dip_at
                     .iter()
                     .map(|&c| {
@@ -252,7 +254,11 @@ mod tests {
         let depth = detrend_segmented(&sig, &DetrendConfig::paper_default());
         // Check samples right at window boundaries.
         for b in [2_000usize, 4_000, 6_000, 8_000] {
-            assert!(depth[b].abs() < 1e-3, "boundary artifact at {b}: {}", depth[b]);
+            assert!(
+                depth[b].abs() < 1e-3,
+                "boundary artifact at {b}: {}",
+                depth[b]
+            );
         }
     }
 

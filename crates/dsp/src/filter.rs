@@ -55,7 +55,9 @@ mod tests {
 
     #[test]
     fn moving_average_smooths_alternation() {
-        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let smoothed = moving_average(&xs, 2);
         let peak = smoothed[10..90].iter().fold(0.0f64, |m, &v| m.max(v.abs()));
         assert!(peak < 0.25, "peak {peak}");

@@ -109,7 +109,11 @@ pub fn linear_regression(xs: &[f64], ys: &[f64]) -> LinearFit {
     assert!(sxx > 0.0, "regression needs x variation");
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     LinearFit {
         slope,
         intercept,
@@ -208,7 +212,10 @@ mod tests {
             .collect();
         let classic = std_dev(&xs);
         let robust = robust_sigma(&xs);
-        assert!((robust / classic - 1.0).abs() < 0.35, "{robust} vs {classic}");
+        assert!(
+            (robust / classic - 1.0).abs() < 0.35,
+            "{robust} vs {classic}"
+        );
     }
 
     #[test]

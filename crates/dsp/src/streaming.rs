@@ -114,7 +114,10 @@ impl StreamingAnalyzer {
     /// Detrends the first `emit` samples of the buffer using lead + trailing
     /// overlap context, consumes them, and returns their depth values.
     fn detrend_window(&mut self, emit: usize) -> Vec<f64> {
-        let trail = self.config.overlap.min(self.buffer.len().saturating_sub(emit));
+        let trail = self
+            .config
+            .overlap
+            .min(self.buffer.len().saturating_sub(emit));
         // Fit region: lead ++ buffer[..emit + trail].
         let mut fit: Vec<f64> = Vec::with_capacity(self.lead.len() + emit + trail);
         fit.extend_from_slice(&self.lead);

@@ -1,0 +1,413 @@
+//! The bounded work-queue + worker-pool executor.
+//!
+//! [`Gateway`] fronts one shared [`CloudService`] with a bounded crossbeam
+//! channel and a pool of OS threads. Sessions submit framed uploads; a
+//! worker reassembles each upload, drives the service through
+//! [`CloudService::handle_json_shared`], and posts the JSON response back
+//! on a per-request reply channel ([`PendingReply`]).
+//!
+//! Backpressure is explicit: when the queue is full the [`ShedPolicy`]
+//! either blocks the submitter or sheds the request with a retry-after
+//! hint, and every outcome lands in [`GatewayMetrics`].
+
+use crate::metrics::{GatewayMetrics, MetricsSnapshot};
+use crate::wire;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use medsen_cloud::service::{CloudService, Response};
+use medsen_units::Seconds;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+/// What to do with a submission when the work queue is full.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShedPolicy {
+    /// Block the submitting session until a slot frees up.
+    Block,
+    /// Reject immediately, telling the client to retry after the given
+    /// (simulated) interval.
+    Reject {
+        /// Retry-after hint returned with [`SubmitError::Busy`].
+        retry_after: Seconds,
+    },
+}
+
+/// Sizing and shedding knobs for a [`Gateway`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatewayConfig {
+    /// Bounded work-queue capacity (must be > 0).
+    pub queue_capacity: usize,
+    /// Worker threads. `0` is allowed and means "never drain" — useful for
+    /// deterministically exercising the backpressure path in tests.
+    pub workers: usize,
+    /// Full-queue behavior.
+    pub shed_policy: ShedPolicy,
+}
+
+impl GatewayConfig {
+    /// A small-clinic default: a few workers, a queue deep enough to absorb
+    /// bursts, and shed-with-retry rather than blocking the dongle.
+    pub fn clinic_default() -> Self {
+        Self {
+            queue_capacity: 64,
+            workers: 4,
+            shed_policy: ShedPolicy::Reject {
+                retry_after: Seconds::from_millis(50.0),
+            },
+        }
+    }
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        Self::clinic_default()
+    }
+}
+
+/// A submission that did not enter the queue. Carries the upload back so
+/// the caller can retry without re-encoding.
+pub enum SubmitError {
+    /// The queue was full under [`ShedPolicy::Reject`].
+    Busy {
+        /// How long the client should (simulated-)wait before retrying.
+        retry_after: Seconds,
+        /// The rejected upload, returned for resubmission.
+        upload: Vec<u8>,
+    },
+    /// The gateway has shut down.
+    Closed {
+        /// The undeliverable upload.
+        upload: Vec<u8>,
+    },
+}
+
+impl fmt::Debug for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Busy {
+                retry_after,
+                upload,
+            } => f
+                .debug_struct("Busy")
+                .field("retry_after", retry_after)
+                .field("upload_bytes", &upload.len())
+                .finish(),
+            SubmitError::Closed { upload } => f
+                .debug_struct("Closed")
+                .field("upload_bytes", &upload.len())
+                .finish(),
+        }
+    }
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Busy { retry_after, .. } => {
+                write!(f, "gateway queue full, retry after {retry_after}")
+            }
+            SubmitError::Closed { .. } => write!(f, "gateway is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why a reply never materialized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplyError {
+    /// The gateway shut down before serving the request.
+    Lost,
+    /// The worker's response was not decodable JSON.
+    Malformed {
+        /// Decoder diagnostics.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ReplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplyError::Lost => write!(f, "gateway dropped the request before replying"),
+            ReplyError::Malformed { reason } => write!(f, "malformed gateway response: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplyError {}
+
+/// A handle to one in-flight request's eventual response.
+#[derive(Debug)]
+pub struct PendingReply {
+    rx: Receiver<String>,
+}
+
+impl PendingReply {
+    /// Blocks until the worker replies, returning the raw response JSON.
+    pub fn wait_raw(self) -> Result<String, ReplyError> {
+        self.rx.recv().map_err(|_| ReplyError::Lost)
+    }
+
+    /// Blocks until the worker replies and decodes the [`Response`].
+    pub fn wait(self) -> Result<Response, ReplyError> {
+        let json = self.wait_raw()?;
+        medsen_phone::from_json(&json).map_err(|e| ReplyError::Malformed {
+            reason: e.to_string(),
+        })
+    }
+}
+
+struct WorkItem {
+    upload: Vec<u8>,
+    reply: Sender<String>,
+    enqueued: Instant,
+}
+
+/// The multi-session ingestion gateway.
+pub struct Gateway {
+    service: Arc<CloudService>,
+    metrics: Arc<GatewayMetrics>,
+    tx: Sender<WorkItem>,
+    // Keeps the channel connected even with a zero-worker pool (used by
+    // tests to freeze the queue); workers hold their own clones.
+    _rx: Receiver<WorkItem>,
+    workers: Vec<thread::JoinHandle<()>>,
+    shed_policy: ShedPolicy,
+    next_session: AtomicU64,
+}
+
+impl Gateway {
+    /// Spawns the worker pool in front of `service`.
+    pub fn new(service: CloudService, config: GatewayConfig) -> Self {
+        let service = Arc::new(service);
+        let metrics = Arc::new(GatewayMetrics::new());
+        let (tx, rx) = bounded::<WorkItem>(config.queue_capacity);
+        let workers = (0..config.workers)
+            .map(|i| {
+                let rx = rx.clone();
+                let service = Arc::clone(&service);
+                let metrics = Arc::clone(&metrics);
+                thread::Builder::new()
+                    .name(format!("gateway-worker-{i}"))
+                    .spawn(move || worker_loop(rx, service, metrics))
+                    .expect("spawn gateway worker")
+            })
+            .collect();
+        Self {
+            service,
+            metrics,
+            tx,
+            _rx: rx,
+            workers,
+            shed_policy: config.shed_policy,
+            next_session: AtomicU64::new(1),
+        }
+    }
+
+    /// The shared cloud service (for fleet-level setup like classifier
+    /// installation checks or direct record-store access in tests).
+    pub fn service(&self) -> &CloudService {
+        &self.service
+    }
+
+    /// A point-in-time copy of the gateway's metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    pub(crate) fn metrics_handle(&self) -> &GatewayMetrics {
+        &self.metrics
+    }
+
+    pub(crate) fn allocate_session_id(&self) -> u64 {
+        self.next_session.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Submits a framed upload, applying the shed policy when the queue is
+    /// full. On success the request is owned by the gateway and the
+    /// returned [`PendingReply`] will produce exactly one response.
+    pub fn submit(&self, upload: Vec<u8>) -> Result<PendingReply, SubmitError> {
+        let (reply_tx, reply_rx) = bounded(1);
+        let item = WorkItem {
+            upload,
+            reply: reply_tx,
+            enqueued: Instant::now(),
+        };
+        match self.shed_policy {
+            ShedPolicy::Block => {
+                if let Err(e) = self.tx.send(item) {
+                    return Err(SubmitError::Closed { upload: e.0.upload });
+                }
+            }
+            ShedPolicy::Reject { retry_after } => match self.tx.try_send(item) {
+                Ok(()) => {}
+                Err(TrySendError::Full(item)) => {
+                    self.metrics.on_rejected();
+                    return Err(SubmitError::Busy {
+                        retry_after,
+                        upload: item.upload,
+                    });
+                }
+                Err(TrySendError::Disconnected(item)) => {
+                    return Err(SubmitError::Closed {
+                        upload: item.upload,
+                    });
+                }
+            },
+        }
+        self.metrics.on_accepted(self.tx.len());
+        Ok(PendingReply { rx: reply_rx })
+    }
+
+    /// Stops accepting work, drains the queue, joins the workers, and
+    /// returns the final metrics. Outstanding [`PendingReply`] handles for
+    /// queued work still resolve; anything submitted afterwards fails with
+    /// [`SubmitError::Closed`].
+    pub fn shutdown(self) -> MetricsSnapshot {
+        let Gateway {
+            tx,
+            workers,
+            metrics,
+            ..
+        } = self;
+        drop(tx);
+        for handle in workers {
+            let _ = handle.join();
+        }
+        metrics.snapshot()
+    }
+}
+
+impl fmt::Debug for Gateway {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Gateway")
+            .field("workers", &self.workers.len())
+            .field("queue_len", &self.tx.len())
+            .field("shed_policy", &self.shed_policy)
+            .finish()
+    }
+}
+
+fn worker_loop(rx: Receiver<WorkItem>, service: Arc<CloudService>, metrics: Arc<GatewayMetrics>) {
+    while let Ok(item) = rx.recv() {
+        metrics.queue_wait.record(item.enqueued.elapsed());
+        let started = Instant::now();
+        let response_json = match wire::decode_upload(&item.upload) {
+            Ok((_session_id, body)) => service.handle_json_shared(&body),
+            Err(e) => error_json(&format!("malformed upload: {e}")),
+        };
+        metrics.service_time.record(started.elapsed());
+        metrics.on_completed();
+        // A session that gave up on the reply is not an error.
+        let _ = item.reply.send(response_json);
+    }
+}
+
+fn error_json(reason: &str) -> String {
+    medsen_phone::to_json(&Response::Error {
+        reason: reason.into(),
+    })
+    .unwrap_or_else(|_| "{\"Error\":{\"reason\":\"encode failure\"}}".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medsen_cloud::service::Request;
+
+    fn ping_upload(session: u64) -> Vec<u8> {
+        let json = medsen_phone::to_json(&Request::Ping).expect("encodes");
+        wire::encode_upload(session, &json)
+    }
+
+    #[test]
+    fn serves_a_ping_through_the_pool() {
+        let gw = Gateway::new(
+            CloudService::new(),
+            GatewayConfig {
+                queue_capacity: 4,
+                workers: 2,
+                shed_policy: ShedPolicy::Block,
+            },
+        );
+        let reply = gw.submit(ping_upload(1)).expect("accepted");
+        assert_eq!(reply.wait().expect("reply"), Response::Pong);
+        let m = gw.shutdown();
+        assert_eq!(m.accepted, 1);
+        assert_eq!(m.completed, 1);
+        assert_eq!(m.lost(), 0);
+    }
+
+    #[test]
+    fn rejects_with_retry_after_when_full() {
+        // Zero workers: the queue never drains, so the overflow path is
+        // deterministic.
+        let gw = Gateway::new(
+            CloudService::new(),
+            GatewayConfig {
+                queue_capacity: 2,
+                workers: 0,
+                shed_policy: ShedPolicy::Reject {
+                    retry_after: Seconds::from_millis(25.0),
+                },
+            },
+        );
+        let _a = gw.submit(ping_upload(1)).expect("fits");
+        let _b = gw.submit(ping_upload(2)).expect("fits");
+        match gw.submit(ping_upload(3)) {
+            Err(SubmitError::Busy {
+                retry_after,
+                upload,
+            }) => {
+                assert!((retry_after.value() - 0.025).abs() < 1e-12);
+                assert!(!upload.is_empty());
+            }
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        let m = gw.metrics();
+        assert_eq!(m.accepted, 2);
+        assert_eq!(m.rejected, 1);
+        assert_eq!(m.queue_high_water, 2);
+    }
+
+    #[test]
+    fn malformed_uploads_yield_error_responses_not_crashes() {
+        let gw = Gateway::new(
+            CloudService::new(),
+            GatewayConfig {
+                queue_capacity: 4,
+                workers: 1,
+                shed_policy: ShedPolicy::Block,
+            },
+        );
+        let reply = gw.submit(vec![0xFF, 0x00, 0x01]).expect("accepted");
+        match reply.wait().expect("reply decodes") {
+            Response::Error { reason } => assert!(reason.contains("malformed upload")),
+            other => panic!("unexpected {other:?}"),
+        }
+        gw.shutdown();
+    }
+
+    #[test]
+    fn shutdown_resolves_queued_work_then_closes() {
+        let gw = Gateway::new(
+            CloudService::new(),
+            GatewayConfig {
+                queue_capacity: 8,
+                workers: 1,
+                shed_policy: ShedPolicy::Block,
+            },
+        );
+        let replies: Vec<PendingReply> = (0..5)
+            .map(|i| gw.submit(ping_upload(i)).expect("accepted"))
+            .collect();
+        let m = gw.shutdown();
+        for reply in replies {
+            assert_eq!(reply.wait().expect("served before close"), Response::Pong);
+        }
+        assert_eq!(m.completed, 5);
+        assert_eq!(m.lost(), 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! The clinic fleet gateway: concurrent multi-session ingestion in front
+//! of the cloud service.
+//!
+//! The paper's prototype serves one dongle at a time — a Matlab process on
+//! "a powerful server" fed by a single phone. A deployable point-of-care
+//! system faces a clinic: dozens of dongle+phone pairs uploading framed,
+//! encrypted traces at once. This crate adds that serving layer without
+//! touching the science:
+//!
+//! * [`Gateway`] (`gateway` module) — a bounded work queue in front of a
+//!   worker pool, each worker driving the shared
+//!   [`CloudService`](medsen_cloud::service::CloudService) through its
+//!   thread-safe `handle_json_shared` entry point. When the queue fills,
+//!   an explicit [`ShedPolicy`] either blocks the submitter or rejects
+//!   with a retry-after hint.
+//! * [`DongleSession`] (`session` module) — the per-device lifecycle
+//!   (connect → enroll/analyze stream → drain → close). Uploads ride the
+//!   phone's frame format ([`wire`]) across a simulated
+//!   [`NetworkLink`](medsen_phone::NetworkLink) that can be made flaky;
+//!   failed transmissions retry with exponential backoff against a
+//!   per-request **simulated** deadline, so behavior is deterministic
+//!   under any host scheduling.
+//! * [`GatewayMetrics`] (`metrics` module) — accepted / rejected /
+//!   retried / completed / failed counters, a queue-depth high-water
+//!   mark, and per-stage latency histograms, snapshotable at any point.
+//!
+//! The load-bearing invariant, proven by the workspace's `gateway_fleet`
+//! integration test: running N sessions concurrently through the gateway
+//! yields exactly the per-session analysis reports and authentication
+//! decisions that N sequential direct calls produce, with zero accepted
+//! requests lost even when an undersized queue forces shedding.
+
+pub mod gateway;
+pub mod metrics;
+pub mod session;
+pub mod wire;
+
+pub use gateway::{Gateway, GatewayConfig, PendingReply, ReplyError, ShedPolicy, SubmitError};
+pub use metrics::{GatewayMetrics, LatencyHistogram, LatencySnapshot, MetricsSnapshot};
+pub use session::{
+    DongleSession, RetryPolicy, SessionConfig, SessionError, SessionReport, SessionState,
+    SessionStats,
+};
+pub use wire::{decode_upload, encode_upload, UploadError};

@@ -1,0 +1,306 @@
+//! Gateway observability: lock-free counters and latency histograms.
+//!
+//! Workers and sessions update [`GatewayMetrics`] concurrently through
+//! relaxed atomics (the counters are independent monotone tallies — no
+//! cross-counter invariant needs a stronger ordering), and tests/benches
+//! take a coherent-enough [`MetricsSnapshot`] after quiescing the fleet.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets: 1 µs up to ~1.1 hours.
+const BUCKETS: usize = 32;
+
+/// A histogram of durations in power-of-two microsecond buckets.
+///
+/// Bucket `i` counts samples with `duration_us < 2^i` (that were not
+/// already counted by a smaller bucket); the last bucket absorbs overflow.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    total_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one wall-clock duration.
+    pub fn record(&self, duration: Duration) {
+        self.record_us(duration.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one simulated duration expressed in seconds.
+    pub fn record_seconds(&self, seconds: f64) {
+        let us = if seconds.is_finite() && seconds > 0.0 {
+            (seconds * 1e6).min(u64::MAX as f64) as u64
+        } else {
+            0
+        };
+        self.record_us(us);
+    }
+
+    fn record_us(&self, us: u64) {
+        let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the histogram.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            total_us: self.total_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`LatencyHistogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    buckets: [u64; BUCKETS],
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples, in microseconds.
+    pub total_us: u64,
+    /// Largest sample, in microseconds.
+    pub max_us: u64,
+}
+
+impl LatencySnapshot {
+    /// Mean sample in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_us as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound (µs) of the bucket containing the `p`-th percentile
+    /// (`0.0..=1.0`); 0 when empty. Resolution is the bucket width, which
+    /// is all queue-tuning needs.
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+
+    /// Non-empty `(bucket_upper_bound_us, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (1u64 << i, n))
+            .collect()
+    }
+}
+
+/// Shared counters for the whole gateway.
+#[derive(Debug, Default)]
+pub struct GatewayMetrics {
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    retried: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    queue_high_water: AtomicU64,
+    /// Real time spent by accepted work items waiting in the queue.
+    pub queue_wait: LatencyHistogram,
+    /// Real time spent by the worker handling one request.
+    pub service_time: LatencyHistogram,
+    /// Simulated uplink time per successfully transmitted request.
+    pub uplink_time: LatencyHistogram,
+}
+
+impl GatewayMetrics {
+    /// Fresh all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts a request accepted into the queue; `depth` is the queue depth
+    /// right after the enqueue, feeding the high-water mark.
+    pub fn on_accepted(&self, depth: usize) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.queue_high_water
+            .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// Counts a request shed by the backpressure policy.
+    pub fn on_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one retry (link failure backoff or resubmission after shed).
+    pub fn on_retried(&self) {
+        self.retried.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a request fully served by a worker.
+    pub fn on_completed(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a request abandoned client-side (deadline or retry budget).
+    pub fn on_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter and histogram.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            retried: self.retried.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
+            queue_wait: self.queue_wait.snapshot(),
+            service_time: self.service_time.snapshot(),
+            uplink_time: self.uplink_time.snapshot(),
+        }
+    }
+}
+
+/// An immutable copy of [`GatewayMetrics`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests accepted into the work queue.
+    pub accepted: u64,
+    /// Requests shed with retry-after by the backpressure policy.
+    pub rejected: u64,
+    /// Retries: link-failure backoffs plus resubmissions after shed.
+    pub retried: u64,
+    /// Requests fully served by workers.
+    pub completed: u64,
+    /// Requests abandoned client-side (deadline exceeded / retries spent).
+    pub failed: u64,
+    /// Deepest the queue ever got (post-enqueue).
+    pub queue_high_water: u64,
+    /// Queue-wait latency distribution.
+    pub queue_wait: LatencySnapshot,
+    /// Worker service-time distribution.
+    pub service_time: LatencySnapshot,
+    /// Simulated uplink-time distribution.
+    pub uplink_time: LatencySnapshot,
+}
+
+impl MetricsSnapshot {
+    /// Accepted requests not yet completed. Zero once the fleet has
+    /// drained: nothing accepted into the queue was dropped.
+    pub fn lost(&self) -> u64 {
+        self.accepted.saturating_sub(self.completed)
+    }
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "accepted {} | rejected {} | retried {} | completed {} | failed {}",
+            self.accepted, self.rejected, self.retried, self.completed, self.failed
+        )?;
+        writeln!(f, "queue high-water: {}", self.queue_high_water)?;
+        writeln!(
+            f,
+            "queue wait:   n={} mean={:.1}µs p99≤{}µs max={}µs",
+            self.queue_wait.count,
+            self.queue_wait.mean_us(),
+            self.queue_wait.percentile_us(0.99),
+            self.queue_wait.max_us
+        )?;
+        writeln!(
+            f,
+            "service time: n={} mean={:.1}µs p99≤{}µs max={}µs",
+            self.service_time.count,
+            self.service_time.mean_us(),
+            self.service_time.percentile_us(0.99),
+            self.service_time.max_us
+        )?;
+        write!(
+            f,
+            "uplink time:  n={} mean={:.1}µs p99≤{}µs max={}µs (simulated)",
+            self.uplink_time.count,
+            self.uplink_time.mean_us(),
+            self.uplink_time.percentile_us(0.99),
+            self.uplink_time.max_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let h = LatencyHistogram::new();
+        for us in [1u64, 2, 3, 100, 1000, 1_000_000] {
+            h.record(Duration::from_micros(us));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.max_us, 1_000_000);
+        assert_eq!(s.total_us, 1 + 2 + 3 + 100 + 1000 + 1_000_000);
+        // p50 of 6 samples is the 3rd smallest (3 µs → bucket ≤ 4 µs).
+        assert_eq!(s.percentile_us(0.5), 4);
+        assert!(s.percentile_us(1.0) >= 1_000_000);
+        assert!(!s.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn simulated_seconds_are_recorded_as_microseconds() {
+        let h = LatencyHistogram::new();
+        h.record_seconds(0.05);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.total_us, 50_000);
+    }
+
+    #[test]
+    fn counters_and_high_water() {
+        let m = GatewayMetrics::new();
+        m.on_accepted(3);
+        m.on_accepted(7);
+        m.on_accepted(5);
+        m.on_rejected();
+        m.on_retried();
+        m.on_completed();
+        m.on_failed();
+        let s = m.snapshot();
+        assert_eq!(
+            (s.accepted, s.rejected, s.retried, s.completed, s.failed),
+            (3, 1, 1, 1, 1)
+        );
+        assert_eq!(s.queue_high_water, 7);
+        assert_eq!(s.lost(), 2);
+    }
+
+    #[test]
+    fn empty_snapshot_is_sane() {
+        let s = GatewayMetrics::new().snapshot();
+        assert_eq!(s.lost(), 0);
+        assert_eq!(s.queue_wait.mean_us(), 0.0);
+        assert_eq!(s.queue_wait.percentile_us(0.99), 0);
+        let _ = s.to_string();
+    }
+}

@@ -1,0 +1,541 @@
+//! Per-dongle session lifecycle: connect → stream → drain → close.
+//!
+//! A [`DongleSession`] models one point-of-care dongle+phone pair talking
+//! to the clinic gateway. Each request is JSON-encoded, framed by
+//! [`crate::wire`], and pushed across a simulated phone uplink
+//! ([`NetworkLink`]) that can be made flaky; transmission failures retry
+//! with exponential backoff, and backpressure sheds retry after the
+//! gateway's hint — all against a per-request **simulated** deadline, so
+//! tests are deterministic regardless of host scheduling.
+
+use crate::gateway::{Gateway, PendingReply, ReplyError, SubmitError};
+use medsen_cloud::auth::BeadSignature;
+use medsen_cloud::service::{Request, Response};
+use medsen_impedance::SignalTrace;
+use medsen_phone::{LinkError, NetworkLink};
+use medsen_units::Seconds;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Exponential backoff schedule for flaky-link retries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum transmission attempts per request (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Seconds,
+    /// Backoff growth factor per retry.
+    pub multiplier: f64,
+}
+
+impl RetryPolicy {
+    /// Five attempts, 100 ms initial backoff, doubling.
+    pub fn paper_default() -> Self {
+        Self {
+            max_attempts: 5,
+            base_backoff: Seconds::from_millis(100.0),
+            multiplier: 2.0,
+        }
+    }
+
+    /// Backoff before retry number `retry` (0-based).
+    pub fn backoff(&self, retry: u32) -> Seconds {
+        self.base_backoff * self.multiplier.powi(retry as i32)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Per-session link and deadline configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionConfig {
+    /// The simulated phone→cloud uplink.
+    pub link: NetworkLink,
+    /// Probability in `[0, 1)` that one transmission attempt fails.
+    pub link_failure_rate: f64,
+    /// Seed for the session's failure RNG (deterministic per session).
+    pub seed: u64,
+    /// Simulated time budget per request, covering transfer time, retry
+    /// backoff, and shed retry-after waits.
+    pub deadline: Seconds,
+    /// Flaky-link retry schedule.
+    pub retry: RetryPolicy,
+}
+
+impl SessionConfig {
+    /// A perfectly reliable LTE uplink with a generous deadline.
+    pub fn reliable() -> Self {
+        Self {
+            link: NetworkLink::lte_uplink(),
+            link_failure_rate: 0.0,
+            seed: 0,
+            deadline: Seconds::new(600.0),
+            retry: RetryPolicy::paper_default(),
+        }
+    }
+
+    /// A flaky uplink: each transmission attempt fails with probability
+    /// `rate`, drawn from an RNG seeded with `seed`.
+    pub fn flaky(rate: f64, seed: u64) -> Self {
+        Self {
+            link_failure_rate: rate,
+            seed,
+            ..Self::reliable()
+        }
+    }
+}
+
+/// Where a session is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Connected, nothing in flight.
+    Ready,
+    /// At least one request submitted and not yet drained.
+    Streaming,
+    /// All submitted requests have been awaited.
+    Drained,
+    /// Closed; no further requests possible.
+    Closed,
+}
+
+/// Why a session operation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// The session's link cannot model a transfer at all.
+    Link(LinkError),
+    /// The request could not be JSON-encoded.
+    Encode {
+        /// Encoder diagnostics.
+        reason: String,
+    },
+    /// The simulated time budget ran out before the request was accepted.
+    DeadlineExceeded {
+        /// Simulated seconds spent on this request.
+        spent: Seconds,
+        /// The configured budget.
+        deadline: Seconds,
+    },
+    /// Every transmission attempt failed.
+    RetriesExhausted {
+        /// Attempts made.
+        attempts: u32,
+    },
+    /// The gateway has shut down.
+    GatewayClosed,
+    /// The gateway accepted the request but never replied.
+    Reply(ReplyError),
+    /// The session was already closed.
+    SessionClosed,
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Link(e) => write!(f, "link error: {e}"),
+            SessionError::Encode { reason } => write!(f, "request encode failed: {reason}"),
+            SessionError::DeadlineExceeded { spent, deadline } => {
+                write!(f, "deadline exceeded: spent {spent} of {deadline}")
+            }
+            SessionError::RetriesExhausted { attempts } => {
+                write!(f, "uplink failed after {attempts} attempts")
+            }
+            SessionError::GatewayClosed => write!(f, "gateway is shut down"),
+            SessionError::Reply(e) => write!(f, "reply error: {e}"),
+            SessionError::SessionClosed => write!(f, "session already closed"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<ReplyError> for SessionError {
+    fn from(e: ReplyError) -> Self {
+        SessionError::Reply(e)
+    }
+}
+
+/// Counters a session accumulates over its lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SessionStats {
+    /// Requests accepted by the gateway.
+    pub requests: u64,
+    /// Transmission attempts repeated after a simulated link failure.
+    pub link_retries: u64,
+    /// Resubmissions after a backpressure rejection.
+    pub shed_retries: u64,
+    /// Total simulated uplink time (transfers + backoffs + shed waits).
+    pub sim_uplink: Seconds,
+}
+
+/// Final report returned by [`DongleSession::close`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionReport {
+    /// The gateway-assigned session id.
+    pub session_id: u64,
+    /// Lifetime counters.
+    pub stats: SessionStats,
+    /// Responses that were still pending at close time, in submit order.
+    pub responses: Vec<Response>,
+}
+
+/// One connected dongle+phone pair.
+pub struct DongleSession<'g> {
+    gateway: &'g Gateway,
+    id: u64,
+    config: SessionConfig,
+    rng: rand::rngs::StdRng,
+    state: SessionState,
+    pending: VecDeque<PendingReply>,
+    stats: SessionStats,
+}
+
+impl<'g> DongleSession<'g> {
+    pub(crate) fn connect(gateway: &'g Gateway, config: SessionConfig) -> Self {
+        let id = gateway.allocate_session_id();
+        Self {
+            gateway,
+            id,
+            rng: rand::rngs::StdRng::seed_from_u64(config.seed ^ id),
+            config,
+            state: SessionState::Ready,
+            pending: VecDeque::new(),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// The gateway-assigned session id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> SessionState {
+        self.state
+    }
+
+    /// Lifetime counters so far.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Submits a request without waiting for its response (pipelined
+    /// streaming). Responses arrive in submit order via [`drain`].
+    ///
+    /// [`drain`]: DongleSession::drain
+    pub fn submit(&mut self, request: &Request) -> Result<(), SessionError> {
+        let reply = self.transmit(request)?;
+        self.pending.push_back(reply);
+        self.state = SessionState::Streaming;
+        Ok(())
+    }
+
+    /// Submits a request and blocks for its response. Any previously
+    /// pipelined responses stay queued.
+    pub fn request(&mut self, request: &Request) -> Result<Response, SessionError> {
+        let reply = self.transmit(request)?;
+        Ok(reply.wait()?)
+    }
+
+    /// Convenience: enroll `identifier` with its expected bead signature.
+    pub fn enroll(
+        &mut self,
+        identifier: &str,
+        signature: BeadSignature,
+    ) -> Result<Response, SessionError> {
+        self.request(&Request::Enroll {
+            identifier: identifier.to_string(),
+            signature,
+        })
+    }
+
+    /// Convenience: stream one trace for analysis (pipelined).
+    pub fn submit_analyze(
+        &mut self,
+        trace: SignalTrace,
+        authenticate: bool,
+    ) -> Result<(), SessionError> {
+        self.submit(&Request::Analyze {
+            trace,
+            authenticate,
+        })
+    }
+
+    /// Convenience: analyze one trace synchronously.
+    pub fn analyze(
+        &mut self,
+        trace: SignalTrace,
+        authenticate: bool,
+    ) -> Result<Response, SessionError> {
+        self.request(&Request::Analyze {
+            trace,
+            authenticate,
+        })
+    }
+
+    /// Waits for every pipelined response, in submit order.
+    pub fn drain(&mut self) -> Result<Vec<Response>, SessionError> {
+        let mut responses = Vec::with_capacity(self.pending.len());
+        while let Some(reply) = self.pending.pop_front() {
+            responses.push(reply.wait()?);
+        }
+        if self.state == SessionState::Streaming {
+            self.state = SessionState::Drained;
+        }
+        Ok(responses)
+    }
+
+    /// Drains any remaining responses and closes the session.
+    pub fn close(mut self) -> Result<SessionReport, SessionError> {
+        let responses = self.drain()?;
+        self.state = SessionState::Closed;
+        Ok(SessionReport {
+            session_id: self.id,
+            stats: self.stats,
+            responses,
+        })
+    }
+
+    /// Encodes, "transmits" across the simulated uplink (with flaky-link
+    /// retries), and submits to the gateway (with shed retries), all within
+    /// the per-request simulated deadline.
+    fn transmit(&mut self, request: &Request) -> Result<PendingReply, SessionError> {
+        if self.state == SessionState::Closed {
+            return Err(SessionError::SessionClosed);
+        }
+        let body = medsen_phone::to_json(request).map_err(|e| SessionError::Encode {
+            reason: e.to_string(),
+        })?;
+        let mut upload = crate::wire::encode_upload(self.id, &body);
+        let metrics = self.gateway.metrics_handle();
+        let deadline = self.config.deadline;
+        let mut spent = Seconds::ZERO;
+
+        // Phase 1: push the bytes across the flaky uplink.
+        let mut attempts = 0u32;
+        loop {
+            let transfer = self
+                .config
+                .link
+                .try_transfer_time(upload.len())
+                .map_err(SessionError::Link)?;
+            spent += transfer;
+            attempts += 1;
+            if spent.value() > deadline.value() {
+                metrics.on_failed();
+                self.stats.sim_uplink += spent;
+                return Err(SessionError::DeadlineExceeded { spent, deadline });
+            }
+            let dropped = self.config.link_failure_rate > 0.0
+                && self.rng.random::<f64>() < self.config.link_failure_rate;
+            if !dropped {
+                break;
+            }
+            if attempts >= self.config.retry.max_attempts {
+                metrics.on_failed();
+                self.stats.sim_uplink += spent;
+                return Err(SessionError::RetriesExhausted { attempts });
+            }
+            spent += self.config.retry.backoff(attempts - 1);
+            self.stats.link_retries += 1;
+            metrics.on_retried();
+        }
+        metrics.uplink_time.record_seconds(spent.value());
+
+        // Phase 2: enter the gateway queue, honoring the shed policy.
+        loop {
+            match self.gateway.submit(upload) {
+                Ok(reply) => {
+                    self.stats.requests += 1;
+                    self.stats.sim_uplink += spent;
+                    return Ok(reply);
+                }
+                Err(SubmitError::Busy {
+                    retry_after,
+                    upload: returned,
+                }) => {
+                    upload = returned;
+                    spent += retry_after;
+                    if spent.value() > deadline.value() {
+                        metrics.on_failed();
+                        self.stats.sim_uplink += spent;
+                        return Err(SessionError::DeadlineExceeded { spent, deadline });
+                    }
+                    self.stats.shed_retries += 1;
+                    metrics.on_retried();
+                    // Unlike the modeled uplink, the queue is real: honor
+                    // the retry-after hint in real time (capped) so workers
+                    // drain at the rate the simulated clock assumes.
+                    let wait = retry_after.value().clamp(0.0, 1.0);
+                    std::thread::sleep(std::time::Duration::from_secs_f64(wait));
+                }
+                Err(SubmitError::Closed { .. }) => {
+                    metrics.on_failed();
+                    return Err(SessionError::GatewayClosed);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Debug for DongleSession<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DongleSession")
+            .field("id", &self.id)
+            .field("state", &self.state)
+            .field("pending", &self.pending.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Gateway {
+    /// Connects a new dongle session with the given link configuration.
+    pub fn connect(&self, config: SessionConfig) -> DongleSession<'_> {
+        DongleSession::connect(self, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gateway::{GatewayConfig, ShedPolicy};
+    use medsen_cloud::service::CloudService;
+
+    fn gateway(workers: usize, capacity: usize) -> Gateway {
+        Gateway::new(
+            CloudService::new(),
+            GatewayConfig {
+                queue_capacity: capacity,
+                workers,
+                shed_policy: ShedPolicy::Reject {
+                    retry_after: Seconds::from_millis(10.0),
+                },
+            },
+        )
+    }
+
+    #[test]
+    fn lifecycle_ready_streaming_drained_closed() {
+        let gw = gateway(1, 8);
+        let mut session = gw.connect(SessionConfig::reliable());
+        assert_eq!(session.state(), SessionState::Ready);
+        session.submit(&Request::Ping).expect("submits");
+        assert_eq!(session.state(), SessionState::Streaming);
+        let responses = session.drain().expect("drains");
+        assert_eq!(responses, vec![Response::Pong]);
+        assert_eq!(session.state(), SessionState::Drained);
+        let report = session.close().expect("closes");
+        assert_eq!(report.stats.requests, 1);
+        assert!(report.responses.is_empty());
+        gw.shutdown();
+    }
+
+    #[test]
+    fn synchronous_request_round_trips() {
+        let gw = gateway(2, 8);
+        let mut session = gw.connect(SessionConfig::reliable());
+        assert_eq!(
+            session.request(&Request::Ping).expect("pong"),
+            Response::Pong
+        );
+        let stats = session.stats();
+        assert_eq!(stats.requests, 1);
+        assert!(stats.sim_uplink.value() > 0.0, "uplink time accrues");
+        gw.shutdown();
+    }
+
+    #[test]
+    fn flaky_link_retries_are_deterministic_and_counted() {
+        let gw = gateway(1, 8);
+        // 60% failure rate: retries are near-certain over a few requests.
+        let mut session = gw.connect(SessionConfig::flaky(0.6, 7));
+        let mut retried = 0;
+        for _ in 0..8 {
+            match session.request(&Request::Ping) {
+                Ok(Response::Pong) => {}
+                Ok(other) => panic!("unexpected {other:?}"),
+                Err(SessionError::RetriesExhausted { .. }) => {}
+                Err(e) => panic!("unexpected error {e}"),
+            }
+            retried = session.stats().link_retries;
+        }
+        assert!(retried > 0, "a 60% flaky link must retry");
+        // Replaying the same seed reproduces the same retry count.
+        let gw2 = gateway(1, 8);
+        let mut replay = gw2.connect(SessionConfig::flaky(0.6, 7));
+        // Session ids differ across gateways only if allocation differs;
+        // both gateways allocate id 1, so the RNG stream matches.
+        assert_eq!(replay.id(), session.id());
+        for _ in 0..8 {
+            let _ = replay.request(&Request::Ping);
+        }
+        assert_eq!(replay.stats().link_retries, retried);
+        gw.shutdown();
+        gw2.shutdown();
+    }
+
+    #[test]
+    fn dead_link_reports_retries_exhausted() {
+        let gw = gateway(1, 8);
+        let mut session = gw.connect(SessionConfig::flaky(1.0, 3));
+        match session.request(&Request::Ping) {
+            Err(SessionError::RetriesExhausted { attempts }) => {
+                assert_eq!(attempts, RetryPolicy::paper_default().max_attempts);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(gw.metrics().failed >= 1);
+        gw.shutdown();
+    }
+
+    #[test]
+    fn tight_deadline_fails_before_transmission() {
+        let gw = gateway(1, 8);
+        let mut config = SessionConfig::reliable();
+        config.deadline = Seconds::from_millis(1.0); // < one LTE latency
+        let mut session = gw.connect(config);
+        match session.request(&Request::Ping) {
+            Err(SessionError::DeadlineExceeded { spent, deadline }) => {
+                assert!(spent.value() > deadline.value());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        gw.shutdown();
+    }
+
+    #[test]
+    fn misconfigured_link_surfaces_link_error() {
+        let gw = gateway(1, 8);
+        let mut config = SessionConfig::reliable();
+        config.link.bandwidth_mbps = 0.0;
+        let mut session = gw.connect(config);
+        assert!(matches!(
+            session.request(&Request::Ping),
+            Err(SessionError::Link(LinkError::NonPositiveBandwidth { .. }))
+        ));
+        gw.shutdown();
+    }
+
+    #[test]
+    fn close_with_no_traffic_reports_zero_requests() {
+        let gw = gateway(1, 8);
+        let session = gw.connect(SessionConfig::reliable());
+        let report = session.close().expect("closes clean");
+        assert_eq!(report.stats.requests, 0);
+        assert!(report.responses.is_empty());
+        gw.shutdown();
+    }
+
+    #[test]
+    fn backoff_schedule_grows_geometrically() {
+        let p = RetryPolicy::paper_default();
+        assert!((p.backoff(0).value() - 0.1).abs() < 1e-12);
+        assert!((p.backoff(1).value() - 0.2).abs() < 1e-12);
+        assert!((p.backoff(3).value() - 0.8).abs() < 1e-12);
+    }
+}

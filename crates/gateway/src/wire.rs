@@ -1,0 +1,196 @@
+//! The gateway's upload wire format.
+//!
+//! A dongle session ships one request as a burst of phone-style frames
+//! (the same [`medsen_phone::frame`] encoding the accessory link uses):
+//!
+//! ```text
+//! StartTest  { session_id: u64 BE, body_len: u32 BE }
+//! DataChunk  { body bytes ... }          (repeated)
+//! ```
+//!
+//! The `StartTest` header declares exactly how many body bytes follow, so
+//! the gateway can reassemble without an end-of-stream sentinel and can
+//! reject short or oversized uploads before touching the JSON layer.
+
+use medsen_phone::frame::{chunk_data, Frame, FrameError, MessageType};
+use std::fmt;
+
+/// Frame payload cap per chunk — small enough to exercise reassembly in
+/// tests, large enough to keep header overhead negligible.
+pub const CHUNK_SIZE: usize = 4096;
+
+/// Hard cap on a declared upload body, guarding the reassembly buffer.
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// Why an upload could not be reassembled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UploadError {
+    /// A frame failed to decode.
+    Frame(FrameError),
+    /// The first frame was not a `StartTest` header.
+    MissingHeader,
+    /// The header payload had the wrong size.
+    MalformedHeader,
+    /// The declared body length exceeds [`MAX_BODY_BYTES`].
+    BodyTooLarge {
+        /// Declared body length in bytes.
+        declared: usize,
+    },
+    /// The frames carried fewer body bytes than the header declared.
+    ShortBody {
+        /// Declared body length in bytes.
+        declared: usize,
+        /// Bytes actually received.
+        received: usize,
+    },
+    /// The request body was not valid UTF-8 JSON.
+    BodyNotUtf8,
+}
+
+impl fmt::Display for UploadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UploadError::Frame(e) => write!(f, "frame error: {e:?}"),
+            UploadError::MissingHeader => write!(f, "upload does not start with a StartTest frame"),
+            UploadError::MalformedHeader => write!(f, "StartTest header has the wrong size"),
+            UploadError::BodyTooLarge { declared } => {
+                write!(
+                    f,
+                    "declared body of {declared} bytes exceeds {MAX_BODY_BYTES}"
+                )
+            }
+            UploadError::ShortBody { declared, received } => {
+                write!(
+                    f,
+                    "body truncated: declared {declared} bytes, received {received}"
+                )
+            }
+            UploadError::BodyNotUtf8 => write!(f, "request body is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for UploadError {}
+
+impl From<FrameError> for UploadError {
+    fn from(e: FrameError) -> Self {
+        UploadError::Frame(e)
+    }
+}
+
+/// Encodes one JSON request body as a framed upload for `session_id`.
+pub fn encode_upload(session_id: u64, body: &str) -> Vec<u8> {
+    let bytes = body.as_bytes();
+    let mut header = Vec::with_capacity(12);
+    header.extend_from_slice(&session_id.to_be_bytes());
+    header.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    let mut out = Frame::new(MessageType::StartTest, header).encode().to_vec();
+    for frame in chunk_data(bytes, CHUNK_SIZE) {
+        out.extend_from_slice(&frame.encode());
+    }
+    out
+}
+
+/// Reassembles a framed upload back into `(session_id, json_body)`.
+pub fn decode_upload(wire: &[u8]) -> Result<(u64, String), UploadError> {
+    let (header, mut offset) = Frame::decode(wire)?;
+    if header.msg_type != MessageType::StartTest {
+        return Err(UploadError::MissingHeader);
+    }
+    if header.payload.len() != 12 {
+        return Err(UploadError::MalformedHeader);
+    }
+    let session_id = u64::from_be_bytes(header.payload[..8].try_into().unwrap());
+    let declared = u32::from_be_bytes(header.payload[8..12].try_into().unwrap()) as usize;
+    if declared > MAX_BODY_BYTES {
+        return Err(UploadError::BodyTooLarge { declared });
+    }
+    let mut body = Vec::with_capacity(declared);
+    while body.len() < declared {
+        if offset >= wire.len() {
+            return Err(UploadError::ShortBody {
+                declared,
+                received: body.len(),
+            });
+        }
+        let (frame, used) = Frame::decode(&wire[offset..])?;
+        offset += used;
+        if frame.msg_type != MessageType::DataChunk {
+            // Interleaved non-data frame: tolerate progress/status chatter.
+            continue;
+        }
+        body.extend_from_slice(&frame.payload);
+    }
+    if body.len() != declared {
+        return Err(UploadError::ShortBody {
+            declared,
+            received: body.len(),
+        });
+    }
+    let body = String::from_utf8(body).map_err(|_| UploadError::BodyNotUtf8)?;
+    Ok((session_id, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_small_and_multi_chunk_bodies() {
+        for body in [
+            "{}".to_string(),
+            "x".repeat(CHUNK_SIZE - 1),
+            "y".repeat(CHUNK_SIZE * 3 + 17),
+        ] {
+            let wire = encode_upload(42, &body);
+            let (session, decoded) = decode_upload(&wire).expect("decodes");
+            assert_eq!(session, 42);
+            assert_eq!(decoded, body);
+        }
+    }
+
+    #[test]
+    fn rejects_uploads_without_a_header() {
+        let frame = Frame::new(MessageType::DataChunk, b"oops".to_vec()).encode();
+        assert_eq!(decode_upload(&frame), Err(UploadError::MissingHeader));
+    }
+
+    #[test]
+    fn rejects_truncated_bodies() {
+        let wire = encode_upload(7, &"z".repeat(CHUNK_SIZE + 10));
+        // Drop the final chunk frame: find its start by re-decoding.
+        let (_, first) = Frame::decode(&wire).unwrap();
+        let (_, second) = Frame::decode(&wire[first..]).unwrap();
+        let truncated = &wire[..first + second];
+        match decode_upload(truncated) {
+            Err(UploadError::ShortBody { declared, received }) => {
+                assert_eq!(declared, CHUNK_SIZE + 10);
+                assert_eq!(received, CHUNK_SIZE);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_corrupt_frames() {
+        let mut wire = encode_upload(1, "hello");
+        let last = wire.len() - 1;
+        wire[last] ^= 0xFF; // break the checksum of the data chunk
+        assert!(matches!(
+            decode_upload(&wire),
+            Err(UploadError::Frame(FrameError::ChecksumMismatch))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_declarations() {
+        let mut header = Vec::new();
+        header.extend_from_slice(&1u64.to_be_bytes());
+        header.extend_from_slice(&(u32::MAX).to_be_bytes());
+        let wire = Frame::new(MessageType::StartTest, header).encode().to_vec();
+        assert!(matches!(
+            decode_upload(&wire),
+            Err(UploadError::BodyTooLarge { .. })
+        ));
+    }
+}

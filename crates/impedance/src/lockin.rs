@@ -39,7 +39,10 @@ impl LockInAmplifier {
             cutoff.value() < sample_rate.value() / 2.0,
             "cut-off must be below Nyquist"
         );
-        Self { cutoff, sample_rate }
+        Self {
+            cutoff,
+            sample_rate,
+        }
     }
 
     /// Single-pole IIR smoothing coefficient for a given processing rate.
@@ -106,7 +109,9 @@ impl LockInAmplifier {
         self.filter_at_rate(&mut mixed, raw_rate);
         self.filter_at_rate(&mut mixed, raw_rate);
         // Decimate to the output rate.
-        let step = (raw_rate.value() / self.sample_rate.value()).round().max(1.0) as usize;
+        let step = (raw_rate.value() / self.sample_rate.value())
+            .round()
+            .max(1.0) as usize;
         mixed.iter().step_by(step).copied().collect()
     }
 }

@@ -100,9 +100,7 @@ impl BaselineDrift {
             quadratic: sample_normal(rng, 0.0, base.quadratic.abs()),
             wave_amplitude: sample_normal(rng, base.wave_amplitude, base.wave_amplitude / 4.0)
                 .abs(),
-            wave_period: Seconds::new(
-                sample_normal(rng, base.wave_period.value(), 10.0).max(20.0),
-            ),
+            wave_period: Seconds::new(sample_normal(rng, base.wave_period.value(), 10.0).max(20.0)),
             wave_phase: sample_normal(rng, 0.0, 2.0),
         }
     }

@@ -176,10 +176,10 @@ impl TraceSynthesizer {
                     if gain == 0.0 {
                         continue;
                     }
-                    let i0 = ((p.spec.support_start().value() * rate.value()).floor() as i64)
-                        .max(0) as usize;
-                    let i1 = ((p.spec.support_end().value() * rate.value()).ceil() as i64)
-                        .max(0) as usize;
+                    let i0 = ((p.spec.support_start().value() * rate.value()).floor() as i64).max(0)
+                        as usize;
+                    let i1 = ((p.spec.support_end().value() * rate.value()).ceil() as i64).max(0)
+                        as usize;
                     for (i, s) in samples
                         .iter_mut()
                         .enumerate()
@@ -329,8 +329,16 @@ mod tests {
         let t = s.render_multichannel(&[mc], Seconds::new(1.0));
         assert_eq!(t.channels().len(), 2 * n);
         let i_dip = 1.0 - t.channel_at(Hertz::from_khz(500.0)).unwrap().min().unwrap();
-        let q_dip = 1.0 - t.quadrature_at(Hertz::from_khz(500.0)).unwrap().min().unwrap();
-        assert!((q_dip / i_dip - 0.5).abs() < 0.05, "ratio {}", q_dip / i_dip);
+        let q_dip = 1.0
+            - t.quadrature_at(Hertz::from_khz(500.0))
+                .unwrap()
+                .min()
+                .unwrap();
+        assert!(
+            (q_dip / i_dip - 0.5).abs() < 0.05,
+            "ratio {}",
+            q_dip / i_dip
+        );
     }
 
     #[test]

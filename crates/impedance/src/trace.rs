@@ -88,7 +88,9 @@ impl SignalTrace {
     pub fn new(sample_rate: Hertz, channels: Vec<Channel>) -> Self {
         if let Some(first) = channels.first() {
             assert!(
-                channels.iter().all(|c| c.samples.len() == first.samples.len()),
+                channels
+                    .iter()
+                    .all(|c| c.samples.len() == first.samples.len()),
                 "all channels must have equal length"
             );
         }

@@ -4,7 +4,7 @@
 //! flanked by wide dispersion regions; electrodes are 20 µm wide on a 25 µm
 //! pitch, so one electrode pair spans 45 µm of travel.
 
-use medsen_units::{Micrometers, Microliters};
+use medsen_units::{Microliters, Micrometers};
 use serde::{Deserialize, Serialize};
 
 /// Errors raised when constructing an invalid channel geometry.
@@ -27,7 +27,10 @@ impl core::fmt::Display for GeometryError {
             GeometryError::NonPositiveDimension(name) => {
                 write!(f, "channel dimension `{name}` must be positive")
             }
-            GeometryError::PoreTooNarrow { pore_um, particle_um } => write!(
+            GeometryError::PoreTooNarrow {
+                pore_um,
+                particle_um,
+            } => write!(
                 f,
                 "pore dimension {pore_um} µm cannot pass a {particle_um} µm particle"
             ),
@@ -125,8 +128,7 @@ impl ChannelGeometry {
         // Each output electrode sits between input electrodes on the common
         // rake; the full region alternates input/output strips on one pitch.
         let strips = 2 * n_outputs + 1;
-        Micrometers::new(strips as f64 * self.electrode_pitch.value())
-            + self.electrode_width
+        Micrometers::new(strips as f64 * self.electrode_pitch.value()) + self.electrode_width
     }
 
     /// Whether a particle of diameter `d` effectively singulates (only one

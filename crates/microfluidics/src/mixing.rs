@@ -66,10 +66,7 @@ impl std::error::Error for MixError {}
 /// assert_eq!(mixed.concentration_of(ParticleKind::Bead78).value(), 60.0);
 /// # Ok::<(), medsen_microfluidics::mixing::MixError>(())
 /// ```
-pub fn mix_password_beads(
-    sample: &SampleSpec,
-    doses: &[BeadDose],
-) -> Result<SampleSpec, MixError> {
+pub fn mix_password_beads(sample: &SampleSpec, doses: &[BeadDose]) -> Result<SampleSpec, MixError> {
     for dose in doses {
         if !dose.kind.is_password_bead() {
             return Err(MixError::NotAPasswordBead(dose.kind));
@@ -120,7 +117,10 @@ mod tests {
             }],
         )
         .unwrap_err();
-        assert_eq!(err, MixError::NotAPasswordBead(ParticleKind::WhiteBloodCell));
+        assert_eq!(
+            err,
+            MixError::NotAPasswordBead(ParticleKind::WhiteBloodCell)
+        );
     }
 
     #[test]

@@ -241,8 +241,8 @@ mod tests {
         let f = 2.0e6;
         let cell = ParticleKind::RedBloodCell.relative_amplitude()
             * ParticleKind::RedBloodCell.dispersion_factor(f);
-        let big_bead = ParticleKind::Bead78.relative_amplitude()
-            * ParticleKind::Bead78.dispersion_factor(f);
+        let big_bead =
+            ParticleKind::Bead78.relative_amplitude() * ParticleKind::Bead78.dispersion_factor(f);
         assert!(cell < big_bead);
         // And the roll-off brings the cell close to the small-bead band.
         let small_bead = ParticleKind::Bead358.relative_amplitude();

@@ -158,9 +158,18 @@ mod tests {
     #[test]
     fn stepped_profile_switches_at_boundaries() {
         let p = FlowProfile::from_segments(vec![
-            FlowSegment { start: Seconds::new(0.0), rate: FlowRate::new(0.08) },
-            FlowSegment { start: Seconds::new(10.0), rate: FlowRate::new(0.04) },
-            FlowSegment { start: Seconds::new(20.0), rate: FlowRate::new(0.16) },
+            FlowSegment {
+                start: Seconds::new(0.0),
+                rate: FlowRate::new(0.08),
+            },
+            FlowSegment {
+                start: Seconds::new(10.0),
+                rate: FlowRate::new(0.04),
+            },
+            FlowSegment {
+                start: Seconds::new(20.0),
+                rate: FlowRate::new(0.16),
+            },
         ])
         .unwrap();
         assert_eq!(p.rate_at(Seconds::new(5.0)).value(), 0.08);
@@ -178,8 +187,14 @@ mod tests {
         }])
         .is_err());
         assert!(FlowProfile::from_segments(vec![
-            FlowSegment { start: Seconds::new(0.0), rate: FlowRate::new(0.08) },
-            FlowSegment { start: Seconds::new(0.0), rate: FlowRate::new(0.08) },
+            FlowSegment {
+                start: Seconds::new(0.0),
+                rate: FlowRate::new(0.08)
+            },
+            FlowSegment {
+                start: Seconds::new(0.0),
+                rate: FlowRate::new(0.08)
+            },
         ])
         .is_err());
         assert!(FlowProfile::from_segments(vec![FlowSegment {
@@ -224,8 +239,6 @@ mod tests {
         let fast = PeristalticPump::with_profile(FlowProfile::constant(FlowRate::new(0.16)));
         let w = Micrometers::new(30.0);
         let h = Micrometers::new(20.0);
-        assert!(
-            slow.velocity_at(Seconds::ZERO, w, h) < fast.velocity_at(Seconds::ZERO, w, h)
-        );
+        assert!(slow.velocity_at(Seconds::ZERO, w, h) < fast.velocity_at(Seconds::ZERO, w, h));
     }
 }

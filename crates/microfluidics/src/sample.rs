@@ -47,9 +47,18 @@ impl SampleSpec {
     pub fn whole_blood_dilution(volume: Microliters, dilution: f64) -> Self {
         assert!(dilution >= 1.0, "dilution must be >= 1");
         let mut s = Self::buffer(volume);
-        s.add(ParticleKind::RedBloodCell, Concentration::new(5.0e6).diluted(dilution));
-        s.add(ParticleKind::WhiteBloodCell, Concentration::new(7.0e3).diluted(dilution));
-        s.add(ParticleKind::Platelet, Concentration::new(3.0e5).diluted(dilution));
+        s.add(
+            ParticleKind::RedBloodCell,
+            Concentration::new(5.0e6).diluted(dilution),
+        );
+        s.add(
+            ParticleKind::WhiteBloodCell,
+            Concentration::new(7.0e3).diluted(dilution),
+        );
+        s.add(
+            ParticleKind::Platelet,
+            Concentration::new(3.0e5).diluted(dilution),
+        );
         s
     }
 
@@ -65,7 +74,10 @@ impl SampleSpec {
         if let Some(existing) = self.components.iter_mut().find(|c| c.kind == kind) {
             existing.concentration += concentration;
         } else {
-            self.components.push(SampleComponent { kind, concentration });
+            self.components.push(SampleComponent {
+                kind,
+                concentration,
+            });
         }
         self
     }
@@ -128,8 +140,14 @@ mod tests {
     #[test]
     fn blood_dilution_scales_all_species() {
         let s = SampleSpec::whole_blood_dilution(Microliters::new(0.01), 100.0);
-        assert_eq!(s.concentration_of(ParticleKind::RedBloodCell).value(), 5.0e4);
-        assert_eq!(s.concentration_of(ParticleKind::WhiteBloodCell).value(), 70.0);
+        assert_eq!(
+            s.concentration_of(ParticleKind::RedBloodCell).value(),
+            5.0e4
+        );
+        assert_eq!(
+            s.concentration_of(ParticleKind::WhiteBloodCell).value(),
+            70.0
+        );
     }
 
     #[test]
@@ -172,7 +190,10 @@ mod tests {
     fn dilution_preserves_species_set() {
         let s = SampleSpec::whole_blood_dilution(Microliters::new(0.01), 10.0).diluted(5.0);
         assert_eq!(s.components().len(), 3);
-        assert_eq!(s.concentration_of(ParticleKind::RedBloodCell).value(), 1.0e5);
+        assert_eq!(
+            s.concentration_of(ParticleKind::RedBloodCell).value(),
+            1.0e5
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! exponential, Gaussian, and Poisson draws the transport model needs are
 //! implemented here from first principles.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Samples an exponential inter-arrival time with rate `lambda` (events/s)
 /// via inverse-transform sampling.
@@ -78,7 +78,10 @@ mod tests {
         let mut r = rng();
         let lambda = 4.0;
         let n = 20_000;
-        let mean: f64 = (0..n).map(|_| sample_exponential(&mut r, lambda)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| sample_exponential(&mut r, lambda))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
     }
 
@@ -97,8 +100,10 @@ mod tests {
     fn poisson_small_mean() {
         let mut r = rng();
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| sample_poisson(&mut r, 3.5) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| sample_poisson(&mut r, 3.5) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 3.5).abs() < 0.08, "mean {mean}");
     }
 
@@ -106,8 +111,10 @@ mod tests {
     fn poisson_large_mean_uses_gaussian_branch() {
         let mut r = rng();
         let n = 5_000;
-        let mean: f64 =
-            (0..n).map(|_| sample_poisson(&mut r, 500.0) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| sample_poisson(&mut r, 500.0) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 500.0).abs() < 2.0, "mean {mean}");
     }
 

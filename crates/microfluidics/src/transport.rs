@@ -18,7 +18,7 @@ use crate::sample::SampleSpec;
 use crate::stochastic::{sample_exponential, sample_normal};
 use medsen_units::{Micrometers, Seconds};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// One particle crossing the sensing region.
@@ -148,24 +148,14 @@ impl TransportSimulator {
 
     fn make_event(&mut self, kind: ParticleKind, time: Seconds) -> TransitEvent {
         let d_nominal = kind.diameter().value();
-        let d = sample_normal(
-            &mut self.rng,
-            d_nominal,
-            d_nominal * kind.diameter_cv(),
-        )
-        .max(0.2 * d_nominal);
-        let velocity = self.pump.velocity_at(
-            time,
-            self.geometry.pore_width,
-            self.geometry.pore_height,
-        );
+        let d = sample_normal(&mut self.rng, d_nominal, d_nominal * kind.diameter_cv())
+            .max(0.2 * d_nominal);
+        let velocity =
+            self.pump
+                .velocity_at(time, self.geometry.pore_width, self.geometry.pore_height);
         // Peristaltic pulsation jitters the instantaneous velocity.
-        let velocity = sample_normal(
-            &mut self.rng,
-            velocity,
-            velocity * self.pump.pulsation,
-        )
-        .max(0.1 * velocity);
+        let velocity = sample_normal(&mut self.rng, velocity, velocity * self.pump.pulsation)
+            .max(0.1 * velocity);
         TransitEvent {
             time,
             particle: Particle {
@@ -237,7 +227,9 @@ mod tests {
         let mut s = sim(3);
         let events = s.run_exact_count(ParticleKind::Bead358, 137, Seconds::new(60.0));
         assert_eq!(events.len(), 137);
-        assert!(events.iter().all(|e| e.particle.kind == ParticleKind::Bead358));
+        assert!(events
+            .iter()
+            .all(|e| e.particle.kind == ParticleKind::Bead358));
     }
 
     #[test]
@@ -262,7 +254,10 @@ mod tests {
             ParticleKind::Bead358,
             Concentration::new(200.0),
         );
-        let dense = sparse.clone().add(ParticleKind::Bead358, Concentration::new(40_000.0)).clone();
+        let dense = sparse
+            .clone()
+            .add(ParticleKind::Bead358, Concentration::new(40_000.0))
+            .clone();
         let ev_sparse = s.run(&sparse, Seconds::new(200.0));
         let ev_dense = s.run(&dense, Seconds::new(200.0));
         let c_sparse = s.coincidences(&ev_sparse, 9).rate();
@@ -298,8 +293,14 @@ mod tests {
         use crate::pump::{FlowProfile, FlowSegment};
         use medsen_units::FlowRate;
         let profile = FlowProfile::from_segments(vec![
-            FlowSegment { start: Seconds::new(0.0), rate: FlowRate::new(0.06) },
-            FlowSegment { start: Seconds::new(10.0), rate: FlowRate::new(0.12) },
+            FlowSegment {
+                start: Seconds::new(0.0),
+                rate: FlowRate::new(0.06),
+            },
+            FlowSegment {
+                start: Seconds::new(10.0),
+                rate: FlowRate::new(0.12),
+            },
         ])
         .unwrap();
         let s = TransportSimulator::new(

@@ -150,7 +150,10 @@ mod tests {
         app.handle(AppEvent::AccessoryAttached);
         app.handle(AppEvent::StartPressed);
         app.handle(AppEvent::Progress(70));
-        assert_eq!(app.handle(AppEvent::AccessoryDetached), AppState::Disconnected);
+        assert_eq!(
+            app.handle(AppEvent::AccessoryDetached),
+            AppState::Disconnected
+        );
         assert_eq!(app.progress(), 0);
     }
 

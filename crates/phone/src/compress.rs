@@ -151,7 +151,9 @@ fn code_of(dict: &HashMap<Vec<u8>, u16>, seq: &[u8]) -> u16 {
     if seq.len() == 1 {
         u16::from(seq[0])
     } else {
-        *dict.get(seq).expect("sequence was inserted before being emitted")
+        *dict
+            .get(seq)
+            .expect("sequence was inserted before being emitted")
     }
 }
 
@@ -283,7 +285,9 @@ mod tests {
 
     #[test]
     fn binary_data_round_trips() {
-        let data: Vec<u8> = (0..10_000u32).map(|i| (i.wrapping_mul(2654435761)) as u8).collect();
+        let data: Vec<u8> = (0..10_000u32)
+            .map(|i| (i.wrapping_mul(2654435761)) as u8)
+            .collect();
         roundtrip(&data);
     }
 
@@ -318,7 +322,10 @@ mod tests {
 
     #[test]
     fn truncated_streams_are_rejected() {
-        assert_eq!(decompress(&[1, 2, 3]).unwrap_err(), DecompressError::Truncated);
+        assert_eq!(
+            decompress(&[1, 2, 3]).unwrap_err(),
+            DecompressError::Truncated
+        );
         let compressed = compress(b"hello world hello world");
         let err = decompress(&compressed[..compressed.len() - 2]).unwrap_err();
         assert!(matches!(

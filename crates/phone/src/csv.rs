@@ -166,7 +166,11 @@ mod tests {
     fn sample_trace() -> SignalTrace {
         let mut synth = TraceSynthesizer::clean(1);
         synth.render(
-            &[PulseSpec::unipolar(Seconds::new(0.5), Seconds::new(0.02), 0.01)],
+            &[PulseSpec::unipolar(
+                Seconds::new(0.5),
+                Seconds::new(0.02),
+                0.01,
+            )],
             Seconds::new(1.0),
         )
     }

@@ -70,7 +70,10 @@ impl core::fmt::Display for FrameError {
             FrameError::LengthMismatch {
                 declared,
                 available,
-            } => write!(f, "declared {declared} payload bytes, {available} available"),
+            } => write!(
+                f,
+                "declared {declared} payload bytes, {available} available"
+            ),
             FrameError::UnknownType(t) => write!(f, "unknown message type 0x{t:02x}"),
             FrameError::ChecksumMismatch => write!(f, "frame checksum mismatch"),
         }
@@ -189,12 +192,18 @@ mod tests {
         let frame = Frame::new(MessageType::DataChunk, Bytes::from_static(b"abcdef"));
         let mut wire = frame.encode().to_vec();
         wire[7] ^= 0x40; // flip a payload bit
-        assert_eq!(Frame::decode(&wire).unwrap_err(), FrameError::ChecksumMismatch);
+        assert_eq!(
+            Frame::decode(&wire).unwrap_err(),
+            FrameError::ChecksumMismatch
+        );
     }
 
     #[test]
     fn truncated_frames_are_rejected() {
-        assert_eq!(Frame::decode(&[0x10, 0, 0]).unwrap_err(), FrameError::Truncated);
+        assert_eq!(
+            Frame::decode(&[0x10, 0, 0]).unwrap_err(),
+            FrameError::Truncated
+        );
         let frame = Frame::new(MessageType::DataChunk, Bytes::from_static(b"abcdef"));
         let wire = frame.encode();
         let err = Frame::decode(&wire[..wire.len() - 4]).unwrap_err();
@@ -203,9 +212,14 @@ mod tests {
 
     #[test]
     fn unknown_type_is_rejected() {
-        let mut wire = Frame::new(MessageType::Progress, Bytes::new()).encode().to_vec();
+        let mut wire = Frame::new(MessageType::Progress, Bytes::new())
+            .encode()
+            .to_vec();
         wire[0] = 0x7f;
-        assert_eq!(Frame::decode(&wire).unwrap_err(), FrameError::UnknownType(0x7f));
+        assert_eq!(
+            Frame::decode(&wire).unwrap_err(),
+            FrameError::UnknownType(0x7f)
+        );
     }
 
     #[test]

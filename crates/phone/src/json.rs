@@ -509,9 +509,7 @@ impl<'de> Parser<'de> {
                                     .ok_or_else(|| JsonError::new("invalid codepoint"))?,
                             );
                         }
-                        other => {
-                            return Err(JsonError::new(format!("bad escape `\\{other}`")))
-                        }
+                        other => return Err(JsonError::new(format!("bad escape `\\{other}`"))),
                     }
                 }
                 c => out.push(c),
@@ -531,8 +529,7 @@ impl<'de> Parser<'de> {
                 || matches!(bytes[self.pos], b'.' | b'e' | b'E' | b'+' | b'-'))
         {
             // Only allow +/- after an exponent marker.
-            if matches!(bytes[self.pos], b'+' | b'-')
-                && !matches!(bytes[self.pos - 1], b'e' | b'E')
+            if matches!(bytes[self.pos], b'+' | b'-') && !matches!(bytes[self.pos - 1], b'e' | b'E')
             {
                 break;
             }
@@ -737,12 +734,7 @@ impl<'de, 'p> de::EnumAccess<'de> for EnumAccess<'p, 'de> {
         if self.parser.peek()? == '"' {
             // Unit variant: a bare string.
             let value = seed.deserialize(&mut *self.parser)?;
-            Ok((
-                value,
-                VariantAccess {
-                    parser: None,
-                },
-            ))
+            Ok((value, VariantAccess { parser: None }))
         } else {
             // Data-carrying variant: {"Variant": payload}.
             self.parser.expect('{')?;
@@ -872,7 +864,10 @@ mod tests {
         roundtrip(&Kind::Unit);
         roundtrip(&Kind::Newtype(7));
         roundtrip(&Kind::Tuple(1, "x".into()));
-        roundtrip(&Kind::Struct { a: 2.5, b: Some(false) });
+        roundtrip(&Kind::Struct {
+            a: 2.5,
+            b: Some(false),
+        });
         roundtrip(&Kind::Struct { a: -0.0, b: None });
     }
 

@@ -29,5 +29,5 @@ pub use compress::{compress, decompress, CompressionStats};
 pub use csv::{trace_from_csv, trace_to_csv};
 pub use frame::{Frame, FrameError, MessageType};
 pub use json::{from_json, to_json, JsonError};
-pub use network::NetworkLink;
+pub use network::{LinkError, NetworkLink};
 pub use profile::{DeviceProfile, PAPER_FIG14_SAMPLE_SIZES};

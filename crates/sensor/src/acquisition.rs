@@ -158,8 +158,7 @@ impl EncryptedAcquisition {
             let channel_gains: Vec<f64> = carriers
                 .iter()
                 .map(|&f| {
-                    let h = kind.dispersion_factor(f.value())
-                        * self.circuit.sensitivity_at(f);
+                    let h = kind.dispersion_factor(f.value()) * self.circuit.sensitivity_at(f);
                     if iq {
                         h * kind.dispersion_phase(f.value()).cos()
                     } else {
@@ -186,8 +185,7 @@ impl EncryptedAcquisition {
                 if center.value() >= duration.value() {
                     continue; // particle exits the window before reaching e
                 }
-                let depth =
-                    REFERENCE_DIP * event.particle.amplitude_factor() * key.gain_of(e);
+                let depth = REFERENCE_DIP * event.particle.amplitude_factor() * key.gain_of(e);
                 let spec = if self.array.dips_per_particle(e) == 1 {
                     scheduled_dips += 1;
                     PulseSpec::unipolar(center, fwhm, depth)
@@ -268,9 +266,9 @@ mod tests {
     fn fig11_subset_peak_counts_for_one_bead() {
         // Reproduces Fig. 11's signatures for a single 7.8 µm bead.
         let cases: [(&[u8], usize); 4] = [
-            (&[9], 1),              // 11a: lead only
-            (&[9, 1], 3),           // 11b: lead + electrode 1
-            (&[9, 1, 2], 5),        // 11c: lead + electrodes 1, 2
+            (&[9], 1),                          // 11a: lead only
+            (&[9, 1], 3),                       // 11b: lead + electrode 1
+            (&[9, 1, 2], 5),                    // 11c: lead + electrodes 1, 2
             (&[1, 2, 3, 4, 5, 6, 7, 8, 9], 17), // 11d: all nine → 17 peaks
         ];
         for (ids, expected) in cases {

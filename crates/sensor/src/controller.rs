@@ -18,7 +18,7 @@ use crate::keying::{
 };
 use medsen_units::Seconds;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Controller policy knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -130,8 +130,9 @@ impl Controller {
     /// `duration`, returning a borrow of it. The schedule stays inside the
     /// controller.
     pub fn generate_schedule(&mut self, duration: Seconds) -> &KeySchedule {
-        let n_periods = (duration.value() / self.config.key_period.value()).ceil().max(1.0)
-            as usize;
+        let n_periods = (duration.value() / self.config.key_period.value())
+            .ceil()
+            .max(1.0) as usize;
         let keys: Vec<CipherKey> = (0..n_periods).map(|_| self.random_key()).collect();
         self.schedule = Some(KeySchedule::Periodic {
             period: self.config.key_period,
@@ -364,10 +365,8 @@ mod tests {
         );
         let sched = c.generate_schedule(Seconds::new(20.0));
         if let KeySchedule::Periodic { keys, .. } = sched {
-            assert!(keys
-                .iter()
-                .all(|k| k.flow == FlowLevel::nominal()
-                    && k.gains.iter().all(|&g| g == GainLevel::unity())));
+            assert!(keys.iter().all(|k| k.flow == FlowLevel::nominal()
+                && k.gains.iter().all(|&g| g == GainLevel::unity())));
         }
     }
 

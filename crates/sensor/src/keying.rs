@@ -359,9 +359,11 @@ mod tests {
     fn selection_round_trips_ids() {
         let a = array();
         let sel =
-            ElectrodeSelection::new(&a, &[ElectrodeId(9), ElectrodeId(1), ElectrodeId(4)])
-                .unwrap();
-        assert_eq!(sel.ids(), vec![ElectrodeId(1), ElectrodeId(4), ElectrodeId(9)]);
+            ElectrodeSelection::new(&a, &[ElectrodeId(9), ElectrodeId(1), ElectrodeId(4)]).unwrap();
+        assert_eq!(
+            sel.ids(),
+            vec![ElectrodeId(1), ElectrodeId(4), ElectrodeId(9)]
+        );
         assert_eq!(sel.len(), 3);
         assert!(sel.contains(ElectrodeId(4)));
         assert!(!sel.contains(ElectrodeId(5)));
@@ -382,8 +384,7 @@ mod tests {
     #[test]
     fn adjacency_detection() {
         let a = array();
-        let adjacent =
-            ElectrodeSelection::new(&a, &[ElectrodeId(3), ElectrodeId(4)]).unwrap();
+        let adjacent = ElectrodeSelection::new(&a, &[ElectrodeId(3), ElectrodeId(4)]).unwrap();
         let spaced = ElectrodeSelection::new(&a, &[ElectrodeId(3), ElectrodeId(7)]).unwrap();
         assert!(adjacent.has_adjacent_pair());
         assert!(!spaced.has_adjacent_pair());
@@ -426,11 +427,23 @@ mod tests {
             period: Seconds::new(1.0),
             keys: vec![mk(1), mk(2), mk(3)],
         };
-        assert_eq!(sched.key_at(Seconds::new(0.5)).selection.ids()[0], ElectrodeId(1));
-        assert_eq!(sched.key_at(Seconds::new(1.5)).selection.ids()[0], ElectrodeId(2));
-        assert_eq!(sched.key_at(Seconds::new(2.5)).selection.ids()[0], ElectrodeId(3));
+        assert_eq!(
+            sched.key_at(Seconds::new(0.5)).selection.ids()[0],
+            ElectrodeId(1)
+        );
+        assert_eq!(
+            sched.key_at(Seconds::new(1.5)).selection.ids()[0],
+            ElectrodeId(2)
+        );
+        assert_eq!(
+            sched.key_at(Seconds::new(2.5)).selection.ids()[0],
+            ElectrodeId(3)
+        );
         // Cycles after the key list is exhausted.
-        assert_eq!(sched.key_at(Seconds::new(3.5)).selection.ids()[0], ElectrodeId(1));
+        assert_eq!(
+            sched.key_at(Seconds::new(3.5)).selection.ids()[0],
+            ElectrodeId(1)
+        );
         assert_eq!(sched.period_index(Seconds::new(3.5)), 3);
         assert_eq!(sched.total_bits(), 3 * (9 + 16 + 4));
     }

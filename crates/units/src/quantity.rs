@@ -246,8 +246,8 @@ mod tests {
     #[test]
     fn flow_rate_matches_paper_velocity() {
         // 0.081 µL/min through a 30 × 20 µm pore.
-        let v = FlowRate::new(0.081)
-            .channel_velocity(Micrometers::new(30.0), Micrometers::new(20.0));
+        let v =
+            FlowRate::new(0.081).channel_velocity(Micrometers::new(30.0), Micrometers::new(20.0));
         assert!((v - 2250.0).abs() < 1.0, "velocity was {v}");
     }
 

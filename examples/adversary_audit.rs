@@ -24,8 +24,10 @@ fn main() {
         ("full cipher", true, true, true),
     ];
 
-    println!("{:<16} {:>6} {:>6} {:>10} {:>10} {:>10} {:>10}",
-        "variant", "truth", "peaks", "amp-atk", "width-atk", "burst-atk", "decryptor");
+    println!(
+        "{:<16} {:>6} {:>6} {:>10} {:>10} {:>10} {:>10}",
+        "variant", "truth", "peaks", "amp-atk", "width-atk", "burst-atk", "decryptor"
+    );
     println!("{}", "-".repeat(76));
 
     for (label, random_sel, gains, flow) in variants {
@@ -76,9 +78,16 @@ fn main() {
             .decrypt(&report.reported_peaks())
             .rounded();
 
-        println!("{:<16} {:>6} {:>6} {:>10} {:>10} {:>10} {:>10}",
-            label, truth, report.peak_count(),
-            amp.estimated_cells, width.estimated_cells, burst.estimated_cells, decoded);
+        println!(
+            "{:<16} {:>6} {:>6} {:>10} {:>10} {:>10} {:>10}",
+            label,
+            truth,
+            report.peak_count(),
+            amp.estimated_cells,
+            width.estimated_cells,
+            burst.estimated_cells,
+            decoded
+        );
     }
 
     println!("\nEach attack consumes exactly the PeakReport the honest protocol already");

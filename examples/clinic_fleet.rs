@@ -1,0 +1,136 @@
+//! Clinic fleet: many dongle sessions served concurrently by the gateway.
+//!
+//! A rural clinic runs a handful of MedSen dongles at once. Each dongle's
+//! phone uploads framed traces over a flaky uplink; the gateway absorbs
+//! the burst through a bounded work queue, sheds overload with a
+//! retry-after hint, and drives one shared cloud service from a worker
+//! pool. At the end, the gateway's metrics show exactly what the fleet
+//! experienced.
+//!
+//! ```text
+//! cargo run --release --example clinic_fleet
+//! ```
+
+use medsen::cloud::auth::{AuthDecision, BeadSignature};
+use medsen::cloud::service::{CloudService, Request, Response};
+use medsen::dsp::classify::Classifier;
+use medsen::dsp::FeatureVector;
+use medsen::gateway::{Gateway, GatewayConfig, SessionConfig, ShedPolicy};
+use medsen::impedance::{PulseSpec, SignalTrace, TraceSynthesizer};
+use medsen::microfluidics::ParticleKind;
+use medsen::units::Seconds;
+use std::sync::Mutex;
+
+const SESSIONS: usize = 12;
+const USERS: [(&str, u64); 3] = [("ana", 3), ("bo", 6), ("cleo", 12)];
+
+/// A clean trace with `pulses` bead transits, jittered per session.
+fn session_trace(session: usize, pulses: u64) -> SignalTrace {
+    let mut synth = TraceSynthesizer::clean(1);
+    let jitter = session as f64 * 1e-3;
+    let specs: Vec<PulseSpec> = (0..pulses)
+        .map(|j| {
+            PulseSpec::unipolar(
+                Seconds::new(0.5 + jitter + j as f64 * 0.25),
+                Seconds::new(0.02),
+                0.01,
+            )
+        })
+        .collect();
+    synth.render(
+        &specs,
+        Seconds::new(0.5 + jitter + pulses as f64 * 0.25 + 0.5),
+    )
+}
+
+fn main() {
+    // Train a one-class bead classifier from the analysis pipeline's own
+    // features, so each detected peak counts as one password bead.
+    let mut service = CloudService::new();
+    let reference = match service.handle(Request::Analyze {
+        trace: session_trace(999, 8),
+        authenticate: false,
+    }) {
+        Response::Analyzed { report, .. } => report,
+        other => panic!("reference analysis failed: {other:?}"),
+    };
+    let vectors: Vec<FeatureVector> = reference
+        .peaks
+        .iter()
+        .map(|p| FeatureVector {
+            index: 0,
+            amplitudes: p.features.clone(),
+        })
+        .collect();
+    service.install_classifier(
+        Classifier::train(&[(ParticleKind::Bead358.label(), vectors)]).expect("trains"),
+    );
+
+    // An intentionally small gateway, so backpressure is visible.
+    let gateway = Gateway::new(
+        service,
+        GatewayConfig {
+            queue_capacity: 2,
+            workers: 2,
+            shed_policy: ShedPolicy::Reject {
+                retry_after: Seconds::from_millis(50.0),
+            },
+        },
+    );
+
+    // Enroll the clinic's users through the gateway.
+    let mut admin = gateway.connect(SessionConfig::reliable());
+    for (user, count) in USERS {
+        admin
+            .enroll(
+                user,
+                BeadSignature::from_counts(&[(ParticleKind::Bead358, count)]),
+            )
+            .expect("enrolls");
+    }
+    admin.close().expect("admin session closes");
+
+    // The fleet: every dongle streams its trace at once over a 20% flaky
+    // uplink (deterministic per session).
+    let outcomes = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for i in 0..SESSIONS {
+            let gateway = &gateway;
+            let outcomes = &outcomes;
+            scope.spawn(move || {
+                let (user, count) = USERS[i % USERS.len()];
+                let mut session = gateway.connect(SessionConfig::flaky(0.2, i as u64));
+                let response = session
+                    .analyze(session_trace(i, count), true)
+                    .expect("session completes");
+                let stats = session.stats();
+                outcomes.lock().unwrap().push((i, user, response, stats));
+            });
+        }
+    });
+
+    let mut outcomes = outcomes.into_inner().unwrap();
+    outcomes.sort_by_key(|(i, ..)| *i);
+    for (i, user, response, stats) in &outcomes {
+        let verdict = match response {
+            Response::Analyzed {
+                auth: Some(AuthDecision::Accepted { user_id }),
+                ..
+            } => format!("accepted as {user_id}"),
+            Response::Analyzed {
+                auth: Some(decision),
+                ..
+            } => format!("{decision:?}"),
+            other => format!("{other:?}"),
+        };
+        println!(
+            "session {i:2} ({user:4}): {verdict} \
+             [{} link retries, {} shed retries, {:.2} s simulated uplink]",
+            stats.link_retries,
+            stats.shed_retries,
+            stats.sim_uplink.value()
+        );
+    }
+
+    println!("\ngateway metrics:\n{}", gateway.shutdown());
+}

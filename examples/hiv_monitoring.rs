@@ -39,17 +39,35 @@ fn main() {
     // concentrations need almost no dilution to yield countable cells:
     // 450/µL diluted × 2 = 900 cells/µL whole blood, etc.
     let patients = [
-        Patient { name: "patient A (healthy)", diluted_cells: 450.0, dilution: 2.0 },
-        Patient { name: "patient B (advanced)", diluted_cells: 175.0, dilution: 2.0 },
-        Patient { name: "patient C (severe)", diluted_cells: 60.0, dilution: 2.0 },
+        Patient {
+            name: "patient A (healthy)",
+            diluted_cells: 450.0,
+            dilution: 2.0,
+        },
+        Patient {
+            name: "patient B (advanced)",
+            diluted_cells: 175.0,
+            dilution: 2.0,
+        },
+        Patient {
+            name: "patient C (severe)",
+            diluted_cells: 60.0,
+            dilution: 2.0,
+        },
     ];
 
-    println!("Encrypted CD4-style staging, {} s runs, {:.3} µL processed:\n",
-        duration.value(), processed.value());
+    println!(
+        "Encrypted CD4-style staging, {} s runs, {:.3} µL processed:\n",
+        duration.value(),
+        processed.value()
+    );
     for (i, p) in patients.iter().enumerate() {
         let seed = 9000 + i as u64;
         let mut sample = SampleSpec::buffer(Microliters::new(10.0));
-        sample.add(ParticleKind::WhiteBloodCell, Concentration::new(p.diluted_cells));
+        sample.add(
+            ParticleKind::WhiteBloodCell,
+            Concentration::new(p.diluted_cells),
+        );
 
         let mut sim = TransportSimulator::new(
             ChannelGeometry::paper_default(),
@@ -77,8 +95,14 @@ fn main() {
             .rounded();
         let verdict = rule.evaluate_count(decoded, processed, p.dilution);
 
-        println!("{:<22} true cells {:>3} | cloud saw {:>3} peaks | decoded {:>3} | {:?}",
-            p.name, out.true_total(), report.peak_count(), decoded, verdict);
+        println!(
+            "{:<22} true cells {:>3} | cloud saw {:>3} peaks | decoded {:>3} | {:?}",
+            p.name,
+            out.true_total(),
+            report.peak_count(),
+            decoded,
+            verdict
+        );
     }
     println!("\nThe cloud never sees a count it can interpret; only the key-holding");
     println!("controller recovers the cell count and applies the staging thresholds.");

@@ -73,7 +73,10 @@ fn main() {
     });
     let fetched = store.fetch(id).expect("stored");
     let auth_ok = pipeline_auth_check(&pipeline, &fetched);
-    println!("integrity check on alice's stored record: {}", verdict(auth_ok));
+    println!(
+        "integrity check on alice's stored record: {}",
+        verdict(auth_ok)
+    );
 
     // A curious insider swaps the record body for bob's.
     let bob_report = pipeline.run_session("bob", &mallory_pw);
@@ -93,7 +96,10 @@ fn main() {
     );
     let swapped = store.fetch(id).expect("stored");
     let tampered_ok = pipeline_auth_check(&pipeline, &swapped);
-    println!("integrity check after tampering      : {}", verdict(tampered_ok));
+    println!(
+        "integrity check after tampering      : {}",
+        verdict(tampered_ok)
+    );
 }
 
 fn pipeline_auth_check(pipeline: &Pipeline, record: &StoredRecord) -> bool {

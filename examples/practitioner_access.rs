@@ -13,12 +13,10 @@
 //! cargo run --release --example practitioner_access
 //! ```
 
-use medsen::cloud::{AnalysisServer, RecordStore, StoredRecord};
 use medsen::cloud::BeadSignature;
+use medsen::cloud::{AnalysisServer, RecordStore, StoredRecord};
 use medsen::core::sharing::{DecryptionCapability, SealedCapability};
-use medsen::microfluidics::{
-    ChannelGeometry, ParticleKind, PeristalticPump, TransportSimulator,
-};
+use medsen::microfluidics::{ChannelGeometry, ParticleKind, PeristalticPump, TransportSimulator};
 use medsen::sensor::{Controller, ControllerConfig, EncryptedAcquisition};
 use medsen::units::Seconds;
 
@@ -37,12 +35,17 @@ fn main() {
     let mut controller = Controller::new(*acq.array(), ControllerConfig::paper_default(), seed);
     let schedule = controller.generate_schedule(duration).clone();
     let out = acq.run(&events, &schedule, duration);
-    println!("patient ran an encrypted test: {} true cells", out.true_total());
+    println!(
+        "patient ran an encrypted test: {} true cells",
+        out.true_total()
+    );
 
     // The cloud analyzes and stores the (encrypted) result.
     let report = AnalysisServer::paper_default().analyze(&out.trace);
-    println!("cloud stored the record: {} peaks (meaningless without the key)",
-        report.peak_count());
+    println!(
+        "cloud stored the record: {} peaks (meaningless without the key)",
+        report.peak_count()
+    );
     let store = RecordStore::new();
     let record_id = store.store(StoredRecord {
         user_id: "pipette-000042".into(), // anonymous per-pipette alias
@@ -62,16 +65,20 @@ fn main() {
     let delay = Seconds::new(acq.array().span(&geometry).value() / (2.0 * v));
     let capability = DecryptionCapability::derive(&controller, delay);
     let sealed = SealedCapability::seal(&capability, shared_secret, 1);
-    println!("patient sealed a {}-byte capability (multiplication factors only —",
-        sealed.len());
+    println!(
+        "patient sealed a {}-byte capability (multiplication factors only —",
+        sealed.len()
+    );
     println!("no electrode identities, gains, or flow settings leave the device)\n");
 
     // ── Practitioner side ───────────────────────────────────────────────
     let fetched = store.fetch(record_id).expect("record stored");
     let capability = sealed.unseal(shared_secret).expect("correct shared secret");
     let decrypted = capability.decrypt(&fetched.report.reported_peaks());
-    println!("practitioner fetched record {record_id:?} and decrypted: {} cells",
-        decrypted.rounded());
+    println!(
+        "practitioner fetched record {record_id:?} and decrypted: {} cells",
+        decrypted.rounded()
+    );
     println!("(ground truth was {})", out.true_total());
 
     // A curious cloud admin with the record but no secret gets nothing.

@@ -9,9 +9,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use medsen::core::{
-    CytoPassword, DiagnosticRule, PasswordAlphabet, Pipeline, PipelineConfig,
-};
+use medsen::core::{CytoPassword, DiagnosticRule, PasswordAlphabet, Pipeline, PipelineConfig};
 use medsen::microfluidics::ParticleKind;
 use medsen::units::{Concentration, Seconds};
 
@@ -35,20 +33,36 @@ fn main() {
     println!("Running one encrypted MedSen diagnostic session (30 s acquisition)...\n");
     let report = pipeline.run_session("patient-001", &password);
 
-    println!("ground truth   : {} cells + {} beads crossed the sensor",
-        report.true_cells, report.true_beads);
-    println!("cloud observed : {} peaks (the encrypted count)", report.peak_count);
-    println!("decrypted      : {} particles -> {} cells after bead subtraction",
+    println!(
+        "ground truth   : {} cells + {} beads crossed the sensor",
+        report.true_cells, report.true_beads
+    );
+    println!(
+        "cloud observed : {} peaks (the encrypted count)",
+        report.peak_count
+    );
+    println!(
+        "decrypted      : {} particles -> {} cells after bead subtraction",
         report.decoded_total.expect("encrypted mode decodes"),
-        report.decoded_cells.expect("encrypted mode decodes"));
-    println!("verdict        : {:?}", report.verdict.expect("diagnosis issued"));
-    println!("\ncompression    : {:.0} -> {:.0} bytes ({:.2}x)",
+        report.decoded_cells.expect("encrypted mode decodes")
+    );
+    println!(
+        "verdict        : {:?}",
+        report.verdict.expect("diagnosis issued")
+    );
+    println!(
+        "\ncompression    : {:.0} -> {:.0} bytes ({:.2}x)",
         report.compression.raw_bytes as f64,
         report.compression.compressed_bytes as f64,
-        report.compression.ratio());
+        report.compression.ratio()
+    );
     let t = report.timing;
-    println!("timing         : compress {:.3} s | upload {:.3} s | cloud {:.3} s | decrypt {:.4} s",
-        t.compression_s, t.upload_s, t.analysis_s, t.decryption_s);
-    println!("post-acquisition total: {:.3} s (paper: ~0.2 s excl. networking)",
-        t.post_acquisition_s());
+    println!(
+        "timing         : compress {:.3} s | upload {:.3} s | cloud {:.3} s | decrypt {:.4} s",
+        t.compression_s, t.upload_s, t.analysis_s, t.decryption_s
+    );
+    println!(
+        "post-acquisition total: {:.3} s (paper: ~0.2 s excl. networking)",
+        t.post_acquisition_s()
+    );
 }

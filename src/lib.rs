@@ -9,7 +9,8 @@
 //! * [`dsp`] — detrending, peak detection, features, classification;
 //! * [`cloud`] — analysis server, authentication, adversary models;
 //! * [`phone`] — accessory protocol, compression, link model;
-//! * [`core`] — cyto-coded passwords, diagnostics, the end-to-end pipeline.
+//! * [`core`] — cyto-coded passwords, diagnostics, the end-to-end pipeline;
+//! * [`gateway`] — concurrent multi-session ingestion in front of the cloud.
 //!
 //! # Quickstart
 //!
@@ -18,6 +19,7 @@
 pub use medsen_cloud as cloud;
 pub use medsen_core as core;
 pub use medsen_dsp as dsp;
+pub use medsen_gateway as gateway;
 pub use medsen_impedance as impedance;
 pub use medsen_microfluidics as microfluidics;
 pub use medsen_phone as phone;

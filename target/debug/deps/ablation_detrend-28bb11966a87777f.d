@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_detrend-28bb11966a87777f.d: crates/bench/src/bin/ablation_detrend.rs
+
+/root/repo/target/debug/deps/ablation_detrend-28bb11966a87777f: crates/bench/src/bin/ablation_detrend.rs
+
+crates/bench/src/bin/ablation_detrend.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_detrend-5c89474a27f2fca7.d: crates/bench/src/bin/ablation_detrend.rs
+
+/root/repo/target/debug/deps/ablation_detrend-5c89474a27f2fca7: crates/bench/src/bin/ablation_detrend.rs
+
+crates/bench/src/bin/ablation_detrend.rs:

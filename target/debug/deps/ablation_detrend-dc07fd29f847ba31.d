@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_detrend-dc07fd29f847ba31.d: crates/bench/src/bin/ablation_detrend.rs
+
+/root/repo/target/debug/deps/ablation_detrend-dc07fd29f847ba31: crates/bench/src/bin/ablation_detrend.rs
+
+crates/bench/src/bin/ablation_detrend.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_gain_bits-0cfcc8036f047106.d: crates/bench/src/bin/ablation_gain_bits.rs
+
+/root/repo/target/debug/deps/ablation_gain_bits-0cfcc8036f047106: crates/bench/src/bin/ablation_gain_bits.rs
+
+crates/bench/src/bin/ablation_gain_bits.rs:

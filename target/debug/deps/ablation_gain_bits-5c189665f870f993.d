@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_gain_bits-5c189665f870f993.d: crates/bench/src/bin/ablation_gain_bits.rs
+
+/root/repo/target/debug/deps/ablation_gain_bits-5c189665f870f993: crates/bench/src/bin/ablation_gain_bits.rs
+
+crates/bench/src/bin/ablation_gain_bits.rs:

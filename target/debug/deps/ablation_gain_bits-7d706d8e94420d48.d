@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_gain_bits-7d706d8e94420d48.d: crates/bench/src/bin/ablation_gain_bits.rs
+
+/root/repo/target/debug/deps/ablation_gain_bits-7d706d8e94420d48: crates/bench/src/bin/ablation_gain_bits.rs
+
+crates/bench/src/bin/ablation_gain_bits.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_key_schedule-5079f261bde3b1a0.d: crates/bench/src/bin/ablation_key_schedule.rs
+
+/root/repo/target/debug/deps/ablation_key_schedule-5079f261bde3b1a0: crates/bench/src/bin/ablation_key_schedule.rs
+
+crates/bench/src/bin/ablation_key_schedule.rs:

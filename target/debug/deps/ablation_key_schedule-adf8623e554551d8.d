@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_key_schedule-adf8623e554551d8.d: crates/bench/src/bin/ablation_key_schedule.rs
+
+/root/repo/target/debug/deps/ablation_key_schedule-adf8623e554551d8: crates/bench/src/bin/ablation_key_schedule.rs
+
+crates/bench/src/bin/ablation_key_schedule.rs:

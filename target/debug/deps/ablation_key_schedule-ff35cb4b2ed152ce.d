@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_key_schedule-ff35cb4b2ed152ce.d: crates/bench/src/bin/ablation_key_schedule.rs
+
+/root/repo/target/debug/deps/ablation_key_schedule-ff35cb4b2ed152ce: crates/bench/src/bin/ablation_key_schedule.rs
+
+crates/bench/src/bin/ablation_key_schedule.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-01e8e199ad93a467.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-01e8e199ad93a467: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_medsen-cli=/root/repo/target/debug/medsen-cli

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-07b058b77e8f2c35.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-07b058b77e8f2c35: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_medsen-cli=/root/repo/target/debug/medsen-cli

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/encryption_overhead-c6230f54675c1add.d: crates/bench/benches/encryption_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libencryption_overhead-c6230f54675c1add.rmeta: crates/bench/benches/encryption_overhead.rs Cargo.toml
+
+crates/bench/benches/encryption_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

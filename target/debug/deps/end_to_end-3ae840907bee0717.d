@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-3ae840907bee0717.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-3ae840907bee0717: tests/end_to_end.rs
+
+tests/end_to_end.rs:

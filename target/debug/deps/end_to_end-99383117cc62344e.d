@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-99383117cc62344e.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-99383117cc62344e: tests/end_to_end.rs
+
+tests/end_to_end.rs:

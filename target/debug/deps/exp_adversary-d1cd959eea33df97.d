@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_adversary-d1cd959eea33df97.d: crates/bench/src/bin/exp_adversary.rs
+
+/root/repo/target/debug/deps/exp_adversary-d1cd959eea33df97: crates/bench/src/bin/exp_adversary.rs
+
+crates/bench/src/bin/exp_adversary.rs:

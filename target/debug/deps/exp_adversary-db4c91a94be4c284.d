@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_adversary-db4c91a94be4c284.d: crates/bench/src/bin/exp_adversary.rs
+
+/root/repo/target/debug/deps/exp_adversary-db4c91a94be4c284: crates/bench/src/bin/exp_adversary.rs
+
+crates/bench/src/bin/exp_adversary.rs:

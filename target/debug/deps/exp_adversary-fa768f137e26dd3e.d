@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_adversary-fa768f137e26dd3e.d: crates/bench/src/bin/exp_adversary.rs
+
+/root/repo/target/debug/deps/exp_adversary-fa768f137e26dd3e: crates/bench/src/bin/exp_adversary.rs
+
+crates/bench/src/bin/exp_adversary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_auth_accuracy-38a4f3b71dfeadc5.d: crates/bench/src/bin/exp_auth_accuracy.rs
+
+/root/repo/target/debug/deps/exp_auth_accuracy-38a4f3b71dfeadc5: crates/bench/src/bin/exp_auth_accuracy.rs
+
+crates/bench/src/bin/exp_auth_accuracy.rs:

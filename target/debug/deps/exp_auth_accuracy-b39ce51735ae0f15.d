@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_auth_accuracy-b39ce51735ae0f15.d: crates/bench/src/bin/exp_auth_accuracy.rs
+
+/root/repo/target/debug/deps/exp_auth_accuracy-b39ce51735ae0f15: crates/bench/src/bin/exp_auth_accuracy.rs
+
+crates/bench/src/bin/exp_auth_accuracy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_phase_auth-04eda3f824da8c2f.d: crates/bench/src/bin/ext_phase_auth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_phase_auth-04eda3f824da8c2f.rmeta: crates/bench/src/bin/ext_phase_auth.rs Cargo.toml
+
+crates/bench/src/bin/ext_phase_auth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_phase_auth-c1ef54feec114bfb.d: crates/bench/src/bin/ext_phase_auth.rs
+
+/root/repo/target/debug/deps/ext_phase_auth-c1ef54feec114bfb: crates/bench/src/bin/ext_phase_auth.rs
+
+crates/bench/src/bin/ext_phase_auth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_phase_auth-d3fa7d6db5b88c22.d: crates/bench/src/bin/ext_phase_auth.rs
+
+/root/repo/target/debug/deps/ext_phase_auth-d3fa7d6db5b88c22: crates/bench/src/bin/ext_phase_auth.rs
+
+crates/bench/src/bin/ext_phase_auth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_phase_auth-f965baeca2e56a4b.d: crates/bench/src/bin/ext_phase_auth.rs
+
+/root/repo/target/debug/deps/ext_phase_auth-f965baeca2e56a4b: crates/bench/src/bin/ext_phase_auth.rs
+
+crates/bench/src/bin/ext_phase_auth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-78fdeca6d9ec8a20.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-78fdeca6d9ec8a20: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-c4f9072d8ee478bb.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-c4f9072d8ee478bb: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_single_peak-529ceafe13edab7b.d: crates/bench/src/bin/fig07_single_peak.rs
+
+/root/repo/target/debug/deps/fig07_single_peak-529ceafe13edab7b: crates/bench/src/bin/fig07_single_peak.rs
+
+crates/bench/src/bin/fig07_single_peak.rs:

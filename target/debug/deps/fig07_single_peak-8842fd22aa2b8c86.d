@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_single_peak-8842fd22aa2b8c86.d: crates/bench/src/bin/fig07_single_peak.rs
+
+/root/repo/target/debug/deps/fig07_single_peak-8842fd22aa2b8c86: crates/bench/src/bin/fig07_single_peak.rs
+
+crates/bench/src/bin/fig07_single_peak.rs:

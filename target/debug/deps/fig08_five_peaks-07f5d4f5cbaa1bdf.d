@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_five_peaks-07f5d4f5cbaa1bdf.d: crates/bench/src/bin/fig08_five_peaks.rs
+
+/root/repo/target/debug/deps/fig08_five_peaks-07f5d4f5cbaa1bdf: crates/bench/src/bin/fig08_five_peaks.rs
+
+crates/bench/src/bin/fig08_five_peaks.rs:

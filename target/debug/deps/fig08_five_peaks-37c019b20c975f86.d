@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_five_peaks-37c019b20c975f86.d: crates/bench/src/bin/fig08_five_peaks.rs
+
+/root/repo/target/debug/deps/fig08_five_peaks-37c019b20c975f86: crates/bench/src/bin/fig08_five_peaks.rs
+
+crates/bench/src/bin/fig08_five_peaks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_five_peaks-f552ef75a0cae6a7.d: crates/bench/src/bin/fig08_five_peaks.rs
+
+/root/repo/target/debug/deps/fig08_five_peaks-f552ef75a0cae6a7: crates/bench/src/bin/fig08_five_peaks.rs
+
+crates/bench/src/bin/fig08_five_peaks.rs:

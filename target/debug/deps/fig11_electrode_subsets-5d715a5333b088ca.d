@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_electrode_subsets-5d715a5333b088ca.d: crates/bench/src/bin/fig11_electrode_subsets.rs
+
+/root/repo/target/debug/deps/fig11_electrode_subsets-5d715a5333b088ca: crates/bench/src/bin/fig11_electrode_subsets.rs
+
+crates/bench/src/bin/fig11_electrode_subsets.rs:

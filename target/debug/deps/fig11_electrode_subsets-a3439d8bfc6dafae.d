@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_electrode_subsets-a3439d8bfc6dafae.d: crates/bench/src/bin/fig11_electrode_subsets.rs
+
+/root/repo/target/debug/deps/fig11_electrode_subsets-a3439d8bfc6dafae: crates/bench/src/bin/fig11_electrode_subsets.rs
+
+crates/bench/src/bin/fig11_electrode_subsets.rs:

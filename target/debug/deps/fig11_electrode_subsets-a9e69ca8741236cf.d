@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_electrode_subsets-a9e69ca8741236cf.d: crates/bench/src/bin/fig11_electrode_subsets.rs
+
+/root/repo/target/debug/deps/fig11_electrode_subsets-a9e69ca8741236cf: crates/bench/src/bin/fig11_electrode_subsets.rs
+
+crates/bench/src/bin/fig11_electrode_subsets.rs:

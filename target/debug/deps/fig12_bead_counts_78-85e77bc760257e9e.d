@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_bead_counts_78-85e77bc760257e9e.d: crates/bench/src/bin/fig12_bead_counts_78.rs
+
+/root/repo/target/debug/deps/fig12_bead_counts_78-85e77bc760257e9e: crates/bench/src/bin/fig12_bead_counts_78.rs
+
+crates/bench/src/bin/fig12_bead_counts_78.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_bead_counts_78-89d3ff6730ca8ddb.d: crates/bench/src/bin/fig12_bead_counts_78.rs
+
+/root/repo/target/debug/deps/fig12_bead_counts_78-89d3ff6730ca8ddb: crates/bench/src/bin/fig12_bead_counts_78.rs
+
+crates/bench/src/bin/fig12_bead_counts_78.rs:

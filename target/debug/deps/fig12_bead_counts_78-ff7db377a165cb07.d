@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_bead_counts_78-ff7db377a165cb07.d: crates/bench/src/bin/fig12_bead_counts_78.rs
+
+/root/repo/target/debug/deps/fig12_bead_counts_78-ff7db377a165cb07: crates/bench/src/bin/fig12_bead_counts_78.rs
+
+crates/bench/src/bin/fig12_bead_counts_78.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_bead_counts_358-0b7c99b65a56ef05.d: crates/bench/src/bin/fig13_bead_counts_358.rs
+
+/root/repo/target/debug/deps/fig13_bead_counts_358-0b7c99b65a56ef05: crates/bench/src/bin/fig13_bead_counts_358.rs
+
+crates/bench/src/bin/fig13_bead_counts_358.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_bead_counts_358-b0b5ea77ab961aba.d: crates/bench/src/bin/fig13_bead_counts_358.rs
+
+/root/repo/target/debug/deps/fig13_bead_counts_358-b0b5ea77ab961aba: crates/bench/src/bin/fig13_bead_counts_358.rs
+
+crates/bench/src/bin/fig13_bead_counts_358.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_perf-21eb611f9d154682.d: crates/bench/src/bin/fig14_perf.rs
+
+/root/repo/target/debug/deps/fig14_perf-21eb611f9d154682: crates/bench/src/bin/fig14_perf.rs
+
+crates/bench/src/bin/fig14_perf.rs:

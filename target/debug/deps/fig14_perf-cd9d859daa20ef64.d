@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_perf-cd9d859daa20ef64.d: crates/bench/src/bin/fig14_perf.rs
+
+/root/repo/target/debug/deps/fig14_perf-cd9d859daa20ef64: crates/bench/src/bin/fig14_perf.rs
+
+crates/bench/src/bin/fig14_perf.rs:

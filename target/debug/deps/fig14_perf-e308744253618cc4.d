@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_perf-e308744253618cc4.d: crates/bench/src/bin/fig14_perf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_perf-e308744253618cc4.rmeta: crates/bench/src/bin/fig14_perf.rs Cargo.toml
+
+crates/bench/src/bin/fig14_perf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

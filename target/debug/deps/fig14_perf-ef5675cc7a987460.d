@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_perf-ef5675cc7a987460.d: crates/bench/src/bin/fig14_perf.rs
+
+/root/repo/target/debug/deps/fig14_perf-ef5675cc7a987460: crates/bench/src/bin/fig14_perf.rs
+
+crates/bench/src/bin/fig14_perf.rs:

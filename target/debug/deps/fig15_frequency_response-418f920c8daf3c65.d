@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_frequency_response-418f920c8daf3c65.d: crates/bench/src/bin/fig15_frequency_response.rs
+
+/root/repo/target/debug/deps/fig15_frequency_response-418f920c8daf3c65: crates/bench/src/bin/fig15_frequency_response.rs
+
+crates/bench/src/bin/fig15_frequency_response.rs:

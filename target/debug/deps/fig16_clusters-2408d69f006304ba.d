@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_clusters-2408d69f006304ba.d: crates/bench/src/bin/fig16_clusters.rs
+
+/root/repo/target/debug/deps/fig16_clusters-2408d69f006304ba: crates/bench/src/bin/fig16_clusters.rs
+
+crates/bench/src/bin/fig16_clusters.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_clusters-2aad163e7b8b77af.d: crates/bench/src/bin/fig16_clusters.rs
+
+/root/repo/target/debug/deps/fig16_clusters-2aad163e7b8b77af: crates/bench/src/bin/fig16_clusters.rs
+
+crates/bench/src/bin/fig16_clusters.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_clusters-9baa273a1c130508.d: crates/bench/src/bin/fig16_clusters.rs
+
+/root/repo/target/debug/deps/fig16_clusters-9baa273a1c130508: crates/bench/src/bin/fig16_clusters.rs
+
+crates/bench/src/bin/fig16_clusters.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures_smoke-307f0c45e4f36c32.d: tests/figures_smoke.rs
+
+/root/repo/target/debug/deps/figures_smoke-307f0c45e4f36c32: tests/figures_smoke.rs
+
+tests/figures_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures_smoke-d4230f736067d9cd.d: tests/figures_smoke.rs
+
+/root/repo/target/debug/deps/figures_smoke-d4230f736067d9cd: tests/figures_smoke.rs
+
+tests/figures_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gateway_fleet-5419338f46473e04.d: tests/gateway_fleet.rs
+
+/root/repo/target/debug/deps/gateway_fleet-5419338f46473e04: tests/gateway_fleet.rs
+
+tests/gateway_fleet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gateway_fleet-acc9dbb07b093d63.d: tests/gateway_fleet.rs
+
+/root/repo/target/debug/deps/gateway_fleet-acc9dbb07b093d63: tests/gateway_fleet.rs
+
+tests/gateway_fleet.rs:

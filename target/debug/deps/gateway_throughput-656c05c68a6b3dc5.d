@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gateway_throughput-656c05c68a6b3dc5.d: crates/bench/benches/gateway_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgateway_throughput-656c05c68a6b3dc5.rmeta: crates/bench/benches/gateway_throughput.rs Cargo.toml
+
+crates/bench/benches/gateway_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/keygen-7148e248e9d569f5.d: crates/bench/benches/keygen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkeygen-7148e248e9d569f5.rmeta: crates/bench/benches/keygen.rs Cargo.toml
+
+crates/bench/benches/keygen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

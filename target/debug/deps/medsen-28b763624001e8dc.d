@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/medsen-28b763624001e8dc.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmedsen-28b763624001e8dc.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

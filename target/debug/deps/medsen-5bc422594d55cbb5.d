@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/medsen-5bc422594d55cbb5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmedsen-5bc422594d55cbb5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmedsen-5bc422594d55cbb5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/medsen-62dda84aabd56c76.d: src/lib.rs
+
+/root/repo/target/debug/deps/medsen-62dda84aabd56c76: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/medsen-67ea1293d0abef14.d: src/lib.rs
+
+/root/repo/target/debug/deps/medsen-67ea1293d0abef14: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/medsen-6ed35b0f1542cd69.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmedsen-6ed35b0f1542cd69.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmedsen-6ed35b0f1542cd69.rmeta: src/lib.rs
+
+src/lib.rs:

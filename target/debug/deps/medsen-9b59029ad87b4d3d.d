@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/medsen-9b59029ad87b4d3d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmedsen-9b59029ad87b4d3d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmedsen-9b59029ad87b4d3d.rmeta: src/lib.rs
+
+src/lib.rs:

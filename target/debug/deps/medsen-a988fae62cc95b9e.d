@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/medsen-a988fae62cc95b9e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmedsen-a988fae62cc95b9e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/medsen_cli-1b9210a9443606bd.d: crates/cli/src/lib.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/medsen_cli-1b9210a9443606bd: crates/cli/src/lib.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:

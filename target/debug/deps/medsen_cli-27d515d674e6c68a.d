@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/medsen_cli-27d515d674e6c68a.d: crates/cli/src/lib.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/medsen_cli-27d515d674e6c68a: crates/cli/src/lib.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:

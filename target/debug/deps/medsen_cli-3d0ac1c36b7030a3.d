@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/medsen_cli-3d0ac1c36b7030a3.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/medsen_cli-3d0ac1c36b7030a3: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/medsen_cli-a95b70f10dc370b4.d: crates/cli/src/lib.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/libmedsen_cli-a95b70f10dc370b4.rlib: crates/cli/src/lib.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/libmedsen_cli-a95b70f10dc370b4.rmeta: crates/cli/src/lib.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/medsen_cli-acf1bf5f7bac9c39.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/medsen_cli-acf1bf5f7bac9c39: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/medsen_cli-ad8b230a929df0b0.d: crates/cli/src/lib.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/libmedsen_cli-ad8b230a929df0b0.rlib: crates/cli/src/lib.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/libmedsen_cli-ad8b230a929df0b0.rmeta: crates/cli/src/lib.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/medsen_cli-ae9c9e16418f7b81.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/medsen_cli-ae9c9e16418f7b81: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/medsen_cli-bd8ebb574b3929e4.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/medsen_cli-bd8ebb574b3929e4: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/medsen_cli-db6e9b603ceb9bfb.d: crates/cli/src/lib.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/libmedsen_cli-db6e9b603ceb9bfb.rlib: crates/cli/src/lib.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/libmedsen_cli-db6e9b603ceb9bfb.rmeta: crates/cli/src/lib.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:

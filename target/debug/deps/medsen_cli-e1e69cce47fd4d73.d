@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/medsen_cli-e1e69cce47fd4d73.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/medsen_cli-e1e69cce47fd4d73: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/medsen_cloud-17249f4f9ee01f23.d: crates/cloud/src/lib.rs crates/cloud/src/adversary.rs crates/cloud/src/api.rs crates/cloud/src/auth.rs crates/cloud/src/server.rs crates/cloud/src/service.rs crates/cloud/src/storage.rs
+
+/root/repo/target/debug/deps/medsen_cloud-17249f4f9ee01f23: crates/cloud/src/lib.rs crates/cloud/src/adversary.rs crates/cloud/src/api.rs crates/cloud/src/auth.rs crates/cloud/src/server.rs crates/cloud/src/service.rs crates/cloud/src/storage.rs
+
+crates/cloud/src/lib.rs:
+crates/cloud/src/adversary.rs:
+crates/cloud/src/api.rs:
+crates/cloud/src/auth.rs:
+crates/cloud/src/server.rs:
+crates/cloud/src/service.rs:
+crates/cloud/src/storage.rs:

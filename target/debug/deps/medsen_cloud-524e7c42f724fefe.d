@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/medsen_cloud-524e7c42f724fefe.d: crates/cloud/src/lib.rs crates/cloud/src/adversary.rs crates/cloud/src/api.rs crates/cloud/src/auth.rs crates/cloud/src/server.rs crates/cloud/src/service.rs crates/cloud/src/storage.rs
+
+/root/repo/target/debug/deps/libmedsen_cloud-524e7c42f724fefe.rlib: crates/cloud/src/lib.rs crates/cloud/src/adversary.rs crates/cloud/src/api.rs crates/cloud/src/auth.rs crates/cloud/src/server.rs crates/cloud/src/service.rs crates/cloud/src/storage.rs
+
+/root/repo/target/debug/deps/libmedsen_cloud-524e7c42f724fefe.rmeta: crates/cloud/src/lib.rs crates/cloud/src/adversary.rs crates/cloud/src/api.rs crates/cloud/src/auth.rs crates/cloud/src/server.rs crates/cloud/src/service.rs crates/cloud/src/storage.rs
+
+crates/cloud/src/lib.rs:
+crates/cloud/src/adversary.rs:
+crates/cloud/src/api.rs:
+crates/cloud/src/auth.rs:
+crates/cloud/src/server.rs:
+crates/cloud/src/service.rs:
+crates/cloud/src/storage.rs:

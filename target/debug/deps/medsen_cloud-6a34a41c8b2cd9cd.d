@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/medsen_cloud-6a34a41c8b2cd9cd.d: crates/cloud/src/lib.rs crates/cloud/src/adversary.rs crates/cloud/src/api.rs crates/cloud/src/auth.rs crates/cloud/src/server.rs crates/cloud/src/service.rs crates/cloud/src/storage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmedsen_cloud-6a34a41c8b2cd9cd.rmeta: crates/cloud/src/lib.rs crates/cloud/src/adversary.rs crates/cloud/src/api.rs crates/cloud/src/auth.rs crates/cloud/src/server.rs crates/cloud/src/service.rs crates/cloud/src/storage.rs Cargo.toml
+
+crates/cloud/src/lib.rs:
+crates/cloud/src/adversary.rs:
+crates/cloud/src/api.rs:
+crates/cloud/src/auth.rs:
+crates/cloud/src/server.rs:
+crates/cloud/src/service.rs:
+crates/cloud/src/storage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

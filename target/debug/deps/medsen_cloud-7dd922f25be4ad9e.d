@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/medsen_cloud-7dd922f25be4ad9e.d: crates/cloud/src/lib.rs crates/cloud/src/adversary.rs crates/cloud/src/api.rs crates/cloud/src/auth.rs crates/cloud/src/server.rs crates/cloud/src/service.rs crates/cloud/src/storage.rs
+
+/root/repo/target/debug/deps/libmedsen_cloud-7dd922f25be4ad9e.rlib: crates/cloud/src/lib.rs crates/cloud/src/adversary.rs crates/cloud/src/api.rs crates/cloud/src/auth.rs crates/cloud/src/server.rs crates/cloud/src/service.rs crates/cloud/src/storage.rs
+
+/root/repo/target/debug/deps/libmedsen_cloud-7dd922f25be4ad9e.rmeta: crates/cloud/src/lib.rs crates/cloud/src/adversary.rs crates/cloud/src/api.rs crates/cloud/src/auth.rs crates/cloud/src/server.rs crates/cloud/src/service.rs crates/cloud/src/storage.rs
+
+crates/cloud/src/lib.rs:
+crates/cloud/src/adversary.rs:
+crates/cloud/src/api.rs:
+crates/cloud/src/auth.rs:
+crates/cloud/src/server.rs:
+crates/cloud/src/service.rs:
+crates/cloud/src/storage.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/medsen_core-64e62fde2f10ee51.d: crates/core/src/lib.rs crates/core/src/diagnostics.rs crates/core/src/enrollment.rs crates/core/src/password.rs crates/core/src/pipeline.rs crates/core/src/sharing.rs crates/core/src/threat.rs
+
+/root/repo/target/debug/deps/medsen_core-64e62fde2f10ee51: crates/core/src/lib.rs crates/core/src/diagnostics.rs crates/core/src/enrollment.rs crates/core/src/password.rs crates/core/src/pipeline.rs crates/core/src/sharing.rs crates/core/src/threat.rs
+
+crates/core/src/lib.rs:
+crates/core/src/diagnostics.rs:
+crates/core/src/enrollment.rs:
+crates/core/src/password.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/sharing.rs:
+crates/core/src/threat.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/medsen_core-a41e9b26b9c9f7e9.d: crates/core/src/lib.rs crates/core/src/diagnostics.rs crates/core/src/enrollment.rs crates/core/src/password.rs crates/core/src/pipeline.rs crates/core/src/sharing.rs crates/core/src/threat.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmedsen_core-a41e9b26b9c9f7e9.rmeta: crates/core/src/lib.rs crates/core/src/diagnostics.rs crates/core/src/enrollment.rs crates/core/src/password.rs crates/core/src/pipeline.rs crates/core/src/sharing.rs crates/core/src/threat.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/diagnostics.rs:
+crates/core/src/enrollment.rs:
+crates/core/src/password.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/sharing.rs:
+crates/core/src/threat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

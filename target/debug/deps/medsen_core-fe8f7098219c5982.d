@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/medsen_core-fe8f7098219c5982.d: crates/core/src/lib.rs crates/core/src/diagnostics.rs crates/core/src/enrollment.rs crates/core/src/password.rs crates/core/src/pipeline.rs crates/core/src/sharing.rs crates/core/src/threat.rs
+
+/root/repo/target/debug/deps/libmedsen_core-fe8f7098219c5982.rlib: crates/core/src/lib.rs crates/core/src/diagnostics.rs crates/core/src/enrollment.rs crates/core/src/password.rs crates/core/src/pipeline.rs crates/core/src/sharing.rs crates/core/src/threat.rs
+
+/root/repo/target/debug/deps/libmedsen_core-fe8f7098219c5982.rmeta: crates/core/src/lib.rs crates/core/src/diagnostics.rs crates/core/src/enrollment.rs crates/core/src/password.rs crates/core/src/pipeline.rs crates/core/src/sharing.rs crates/core/src/threat.rs
+
+crates/core/src/lib.rs:
+crates/core/src/diagnostics.rs:
+crates/core/src/enrollment.rs:
+crates/core/src/password.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/sharing.rs:
+crates/core/src/threat.rs:

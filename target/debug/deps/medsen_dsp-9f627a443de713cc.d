@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/medsen_dsp-9f627a443de713cc.d: crates/dsp/src/lib.rs crates/dsp/src/classify.rs crates/dsp/src/detrend.rs crates/dsp/src/features.rs crates/dsp/src/filter.rs crates/dsp/src/peaks.rs crates/dsp/src/polyfit.rs crates/dsp/src/stats.rs crates/dsp/src/streaming.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmedsen_dsp-9f627a443de713cc.rmeta: crates/dsp/src/lib.rs crates/dsp/src/classify.rs crates/dsp/src/detrend.rs crates/dsp/src/features.rs crates/dsp/src/filter.rs crates/dsp/src/peaks.rs crates/dsp/src/polyfit.rs crates/dsp/src/stats.rs crates/dsp/src/streaming.rs Cargo.toml
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/classify.rs:
+crates/dsp/src/detrend.rs:
+crates/dsp/src/features.rs:
+crates/dsp/src/filter.rs:
+crates/dsp/src/peaks.rs:
+crates/dsp/src/polyfit.rs:
+crates/dsp/src/stats.rs:
+crates/dsp/src/streaming.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/medsen_dsp-e3ea1824d95e3ae5.d: crates/dsp/src/lib.rs crates/dsp/src/classify.rs crates/dsp/src/detrend.rs crates/dsp/src/features.rs crates/dsp/src/filter.rs crates/dsp/src/peaks.rs crates/dsp/src/polyfit.rs crates/dsp/src/stats.rs crates/dsp/src/streaming.rs
+
+/root/repo/target/debug/deps/medsen_dsp-e3ea1824d95e3ae5: crates/dsp/src/lib.rs crates/dsp/src/classify.rs crates/dsp/src/detrend.rs crates/dsp/src/features.rs crates/dsp/src/filter.rs crates/dsp/src/peaks.rs crates/dsp/src/polyfit.rs crates/dsp/src/stats.rs crates/dsp/src/streaming.rs
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/classify.rs:
+crates/dsp/src/detrend.rs:
+crates/dsp/src/features.rs:
+crates/dsp/src/filter.rs:
+crates/dsp/src/peaks.rs:
+crates/dsp/src/polyfit.rs:
+crates/dsp/src/stats.rs:
+crates/dsp/src/streaming.rs:

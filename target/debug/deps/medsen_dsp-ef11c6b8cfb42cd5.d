@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/medsen_dsp-ef11c6b8cfb42cd5.d: crates/dsp/src/lib.rs crates/dsp/src/classify.rs crates/dsp/src/detrend.rs crates/dsp/src/features.rs crates/dsp/src/filter.rs crates/dsp/src/peaks.rs crates/dsp/src/polyfit.rs crates/dsp/src/stats.rs crates/dsp/src/streaming.rs
+
+/root/repo/target/debug/deps/libmedsen_dsp-ef11c6b8cfb42cd5.rlib: crates/dsp/src/lib.rs crates/dsp/src/classify.rs crates/dsp/src/detrend.rs crates/dsp/src/features.rs crates/dsp/src/filter.rs crates/dsp/src/peaks.rs crates/dsp/src/polyfit.rs crates/dsp/src/stats.rs crates/dsp/src/streaming.rs
+
+/root/repo/target/debug/deps/libmedsen_dsp-ef11c6b8cfb42cd5.rmeta: crates/dsp/src/lib.rs crates/dsp/src/classify.rs crates/dsp/src/detrend.rs crates/dsp/src/features.rs crates/dsp/src/filter.rs crates/dsp/src/peaks.rs crates/dsp/src/polyfit.rs crates/dsp/src/stats.rs crates/dsp/src/streaming.rs
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/classify.rs:
+crates/dsp/src/detrend.rs:
+crates/dsp/src/features.rs:
+crates/dsp/src/filter.rs:
+crates/dsp/src/peaks.rs:
+crates/dsp/src/polyfit.rs:
+crates/dsp/src/stats.rs:
+crates/dsp/src/streaming.rs:

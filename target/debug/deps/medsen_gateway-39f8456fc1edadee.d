@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/medsen_gateway-39f8456fc1edadee.d: crates/gateway/src/lib.rs crates/gateway/src/gateway.rs crates/gateway/src/metrics.rs crates/gateway/src/session.rs crates/gateway/src/wire.rs
+
+/root/repo/target/debug/deps/libmedsen_gateway-39f8456fc1edadee.rlib: crates/gateway/src/lib.rs crates/gateway/src/gateway.rs crates/gateway/src/metrics.rs crates/gateway/src/session.rs crates/gateway/src/wire.rs
+
+/root/repo/target/debug/deps/libmedsen_gateway-39f8456fc1edadee.rmeta: crates/gateway/src/lib.rs crates/gateway/src/gateway.rs crates/gateway/src/metrics.rs crates/gateway/src/session.rs crates/gateway/src/wire.rs
+
+crates/gateway/src/lib.rs:
+crates/gateway/src/gateway.rs:
+crates/gateway/src/metrics.rs:
+crates/gateway/src/session.rs:
+crates/gateway/src/wire.rs:

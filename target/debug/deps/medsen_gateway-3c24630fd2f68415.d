@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/medsen_gateway-3c24630fd2f68415.d: crates/gateway/src/lib.rs
+
+/root/repo/target/debug/deps/libmedsen_gateway-3c24630fd2f68415.rlib: crates/gateway/src/lib.rs
+
+/root/repo/target/debug/deps/libmedsen_gateway-3c24630fd2f68415.rmeta: crates/gateway/src/lib.rs
+
+crates/gateway/src/lib.rs:

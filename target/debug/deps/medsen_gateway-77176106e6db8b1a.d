@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/medsen_gateway-77176106e6db8b1a.d: crates/gateway/src/lib.rs
+
+/root/repo/target/debug/deps/libmedsen_gateway-77176106e6db8b1a.rlib: crates/gateway/src/lib.rs
+
+/root/repo/target/debug/deps/libmedsen_gateway-77176106e6db8b1a.rmeta: crates/gateway/src/lib.rs
+
+crates/gateway/src/lib.rs:

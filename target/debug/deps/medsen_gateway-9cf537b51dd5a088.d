@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/medsen_gateway-9cf537b51dd5a088.d: crates/gateway/src/lib.rs
+
+/root/repo/target/debug/deps/medsen_gateway-9cf537b51dd5a088: crates/gateway/src/lib.rs
+
+crates/gateway/src/lib.rs:

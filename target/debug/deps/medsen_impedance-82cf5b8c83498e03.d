@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/medsen_impedance-82cf5b8c83498e03.d: crates/impedance/src/lib.rs crates/impedance/src/circuit.rs crates/impedance/src/excitation.rs crates/impedance/src/lockin.rs crates/impedance/src/noise.rs crates/impedance/src/pulse.rs crates/impedance/src/synth.rs crates/impedance/src/trace.rs
+
+/root/repo/target/debug/deps/libmedsen_impedance-82cf5b8c83498e03.rlib: crates/impedance/src/lib.rs crates/impedance/src/circuit.rs crates/impedance/src/excitation.rs crates/impedance/src/lockin.rs crates/impedance/src/noise.rs crates/impedance/src/pulse.rs crates/impedance/src/synth.rs crates/impedance/src/trace.rs
+
+/root/repo/target/debug/deps/libmedsen_impedance-82cf5b8c83498e03.rmeta: crates/impedance/src/lib.rs crates/impedance/src/circuit.rs crates/impedance/src/excitation.rs crates/impedance/src/lockin.rs crates/impedance/src/noise.rs crates/impedance/src/pulse.rs crates/impedance/src/synth.rs crates/impedance/src/trace.rs
+
+crates/impedance/src/lib.rs:
+crates/impedance/src/circuit.rs:
+crates/impedance/src/excitation.rs:
+crates/impedance/src/lockin.rs:
+crates/impedance/src/noise.rs:
+crates/impedance/src/pulse.rs:
+crates/impedance/src/synth.rs:
+crates/impedance/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/medsen_impedance-af609c16310fbb09.d: crates/impedance/src/lib.rs crates/impedance/src/circuit.rs crates/impedance/src/excitation.rs crates/impedance/src/lockin.rs crates/impedance/src/noise.rs crates/impedance/src/pulse.rs crates/impedance/src/synth.rs crates/impedance/src/trace.rs
+
+/root/repo/target/debug/deps/medsen_impedance-af609c16310fbb09: crates/impedance/src/lib.rs crates/impedance/src/circuit.rs crates/impedance/src/excitation.rs crates/impedance/src/lockin.rs crates/impedance/src/noise.rs crates/impedance/src/pulse.rs crates/impedance/src/synth.rs crates/impedance/src/trace.rs
+
+crates/impedance/src/lib.rs:
+crates/impedance/src/circuit.rs:
+crates/impedance/src/excitation.rs:
+crates/impedance/src/lockin.rs:
+crates/impedance/src/noise.rs:
+crates/impedance/src/pulse.rs:
+crates/impedance/src/synth.rs:
+crates/impedance/src/trace.rs:

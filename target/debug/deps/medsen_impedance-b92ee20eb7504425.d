@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/medsen_impedance-b92ee20eb7504425.d: crates/impedance/src/lib.rs crates/impedance/src/circuit.rs crates/impedance/src/excitation.rs crates/impedance/src/lockin.rs crates/impedance/src/noise.rs crates/impedance/src/pulse.rs crates/impedance/src/synth.rs crates/impedance/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmedsen_impedance-b92ee20eb7504425.rmeta: crates/impedance/src/lib.rs crates/impedance/src/circuit.rs crates/impedance/src/excitation.rs crates/impedance/src/lockin.rs crates/impedance/src/noise.rs crates/impedance/src/pulse.rs crates/impedance/src/synth.rs crates/impedance/src/trace.rs Cargo.toml
+
+crates/impedance/src/lib.rs:
+crates/impedance/src/circuit.rs:
+crates/impedance/src/excitation.rs:
+crates/impedance/src/lockin.rs:
+crates/impedance/src/noise.rs:
+crates/impedance/src/pulse.rs:
+crates/impedance/src/synth.rs:
+crates/impedance/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

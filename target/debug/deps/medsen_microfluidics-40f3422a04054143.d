@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/medsen_microfluidics-40f3422a04054143.d: crates/microfluidics/src/lib.rs crates/microfluidics/src/geometry.rs crates/microfluidics/src/losses.rs crates/microfluidics/src/mixing.rs crates/microfluidics/src/particle.rs crates/microfluidics/src/pump.rs crates/microfluidics/src/sample.rs crates/microfluidics/src/stochastic.rs crates/microfluidics/src/transport.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmedsen_microfluidics-40f3422a04054143.rmeta: crates/microfluidics/src/lib.rs crates/microfluidics/src/geometry.rs crates/microfluidics/src/losses.rs crates/microfluidics/src/mixing.rs crates/microfluidics/src/particle.rs crates/microfluidics/src/pump.rs crates/microfluidics/src/sample.rs crates/microfluidics/src/stochastic.rs crates/microfluidics/src/transport.rs Cargo.toml
+
+crates/microfluidics/src/lib.rs:
+crates/microfluidics/src/geometry.rs:
+crates/microfluidics/src/losses.rs:
+crates/microfluidics/src/mixing.rs:
+crates/microfluidics/src/particle.rs:
+crates/microfluidics/src/pump.rs:
+crates/microfluidics/src/sample.rs:
+crates/microfluidics/src/stochastic.rs:
+crates/microfluidics/src/transport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/medsen_microfluidics-a194e4e3a7160a1f.d: crates/microfluidics/src/lib.rs crates/microfluidics/src/geometry.rs crates/microfluidics/src/losses.rs crates/microfluidics/src/mixing.rs crates/microfluidics/src/particle.rs crates/microfluidics/src/pump.rs crates/microfluidics/src/sample.rs crates/microfluidics/src/stochastic.rs crates/microfluidics/src/transport.rs
+
+/root/repo/target/debug/deps/medsen_microfluidics-a194e4e3a7160a1f: crates/microfluidics/src/lib.rs crates/microfluidics/src/geometry.rs crates/microfluidics/src/losses.rs crates/microfluidics/src/mixing.rs crates/microfluidics/src/particle.rs crates/microfluidics/src/pump.rs crates/microfluidics/src/sample.rs crates/microfluidics/src/stochastic.rs crates/microfluidics/src/transport.rs
+
+crates/microfluidics/src/lib.rs:
+crates/microfluidics/src/geometry.rs:
+crates/microfluidics/src/losses.rs:
+crates/microfluidics/src/mixing.rs:
+crates/microfluidics/src/particle.rs:
+crates/microfluidics/src/pump.rs:
+crates/microfluidics/src/sample.rs:
+crates/microfluidics/src/stochastic.rs:
+crates/microfluidics/src/transport.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/medsen_microfluidics-cc415fe2f490a4e8.d: crates/microfluidics/src/lib.rs crates/microfluidics/src/geometry.rs crates/microfluidics/src/losses.rs crates/microfluidics/src/mixing.rs crates/microfluidics/src/particle.rs crates/microfluidics/src/pump.rs crates/microfluidics/src/sample.rs crates/microfluidics/src/stochastic.rs crates/microfluidics/src/transport.rs
+
+/root/repo/target/debug/deps/libmedsen_microfluidics-cc415fe2f490a4e8.rlib: crates/microfluidics/src/lib.rs crates/microfluidics/src/geometry.rs crates/microfluidics/src/losses.rs crates/microfluidics/src/mixing.rs crates/microfluidics/src/particle.rs crates/microfluidics/src/pump.rs crates/microfluidics/src/sample.rs crates/microfluidics/src/stochastic.rs crates/microfluidics/src/transport.rs
+
+/root/repo/target/debug/deps/libmedsen_microfluidics-cc415fe2f490a4e8.rmeta: crates/microfluidics/src/lib.rs crates/microfluidics/src/geometry.rs crates/microfluidics/src/losses.rs crates/microfluidics/src/mixing.rs crates/microfluidics/src/particle.rs crates/microfluidics/src/pump.rs crates/microfluidics/src/sample.rs crates/microfluidics/src/stochastic.rs crates/microfluidics/src/transport.rs
+
+crates/microfluidics/src/lib.rs:
+crates/microfluidics/src/geometry.rs:
+crates/microfluidics/src/losses.rs:
+crates/microfluidics/src/mixing.rs:
+crates/microfluidics/src/particle.rs:
+crates/microfluidics/src/pump.rs:
+crates/microfluidics/src/sample.rs:
+crates/microfluidics/src/stochastic.rs:
+crates/microfluidics/src/transport.rs:

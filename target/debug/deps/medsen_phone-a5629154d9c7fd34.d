@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/medsen_phone-a5629154d9c7fd34.d: crates/phone/src/lib.rs crates/phone/src/app.rs crates/phone/src/compress.rs crates/phone/src/csv.rs crates/phone/src/frame.rs crates/phone/src/json.rs crates/phone/src/network.rs crates/phone/src/profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmedsen_phone-a5629154d9c7fd34.rmeta: crates/phone/src/lib.rs crates/phone/src/app.rs crates/phone/src/compress.rs crates/phone/src/csv.rs crates/phone/src/frame.rs crates/phone/src/json.rs crates/phone/src/network.rs crates/phone/src/profile.rs Cargo.toml
+
+crates/phone/src/lib.rs:
+crates/phone/src/app.rs:
+crates/phone/src/compress.rs:
+crates/phone/src/csv.rs:
+crates/phone/src/frame.rs:
+crates/phone/src/json.rs:
+crates/phone/src/network.rs:
+crates/phone/src/profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

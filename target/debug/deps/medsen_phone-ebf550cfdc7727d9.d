@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/medsen_phone-ebf550cfdc7727d9.d: crates/phone/src/lib.rs crates/phone/src/app.rs crates/phone/src/compress.rs crates/phone/src/csv.rs crates/phone/src/frame.rs crates/phone/src/json.rs crates/phone/src/network.rs crates/phone/src/profile.rs
+
+/root/repo/target/debug/deps/medsen_phone-ebf550cfdc7727d9: crates/phone/src/lib.rs crates/phone/src/app.rs crates/phone/src/compress.rs crates/phone/src/csv.rs crates/phone/src/frame.rs crates/phone/src/json.rs crates/phone/src/network.rs crates/phone/src/profile.rs
+
+crates/phone/src/lib.rs:
+crates/phone/src/app.rs:
+crates/phone/src/compress.rs:
+crates/phone/src/csv.rs:
+crates/phone/src/frame.rs:
+crates/phone/src/json.rs:
+crates/phone/src/network.rs:
+crates/phone/src/profile.rs:

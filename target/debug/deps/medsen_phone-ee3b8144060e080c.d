@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/medsen_phone-ee3b8144060e080c.d: crates/phone/src/lib.rs crates/phone/src/app.rs crates/phone/src/compress.rs crates/phone/src/csv.rs crates/phone/src/frame.rs crates/phone/src/json.rs crates/phone/src/network.rs crates/phone/src/profile.rs
+
+/root/repo/target/debug/deps/libmedsen_phone-ee3b8144060e080c.rlib: crates/phone/src/lib.rs crates/phone/src/app.rs crates/phone/src/compress.rs crates/phone/src/csv.rs crates/phone/src/frame.rs crates/phone/src/json.rs crates/phone/src/network.rs crates/phone/src/profile.rs
+
+/root/repo/target/debug/deps/libmedsen_phone-ee3b8144060e080c.rmeta: crates/phone/src/lib.rs crates/phone/src/app.rs crates/phone/src/compress.rs crates/phone/src/csv.rs crates/phone/src/frame.rs crates/phone/src/json.rs crates/phone/src/network.rs crates/phone/src/profile.rs
+
+crates/phone/src/lib.rs:
+crates/phone/src/app.rs:
+crates/phone/src/compress.rs:
+crates/phone/src/csv.rs:
+crates/phone/src/frame.rs:
+crates/phone/src/json.rs:
+crates/phone/src/network.rs:
+crates/phone/src/profile.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/medsen_sensor-1952edd6d66dd824.d: crates/sensor/src/lib.rs crates/sensor/src/acquisition.rs crates/sensor/src/array.rs crates/sensor/src/controller.rs crates/sensor/src/decrypt.rs crates/sensor/src/keying.rs crates/sensor/src/mux.rs crates/sensor/src/tcb.rs
+
+/root/repo/target/debug/deps/libmedsen_sensor-1952edd6d66dd824.rlib: crates/sensor/src/lib.rs crates/sensor/src/acquisition.rs crates/sensor/src/array.rs crates/sensor/src/controller.rs crates/sensor/src/decrypt.rs crates/sensor/src/keying.rs crates/sensor/src/mux.rs crates/sensor/src/tcb.rs
+
+/root/repo/target/debug/deps/libmedsen_sensor-1952edd6d66dd824.rmeta: crates/sensor/src/lib.rs crates/sensor/src/acquisition.rs crates/sensor/src/array.rs crates/sensor/src/controller.rs crates/sensor/src/decrypt.rs crates/sensor/src/keying.rs crates/sensor/src/mux.rs crates/sensor/src/tcb.rs
+
+crates/sensor/src/lib.rs:
+crates/sensor/src/acquisition.rs:
+crates/sensor/src/array.rs:
+crates/sensor/src/controller.rs:
+crates/sensor/src/decrypt.rs:
+crates/sensor/src/keying.rs:
+crates/sensor/src/mux.rs:
+crates/sensor/src/tcb.rs:

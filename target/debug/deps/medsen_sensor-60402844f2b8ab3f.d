@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/medsen_sensor-60402844f2b8ab3f.d: crates/sensor/src/lib.rs crates/sensor/src/acquisition.rs crates/sensor/src/array.rs crates/sensor/src/controller.rs crates/sensor/src/decrypt.rs crates/sensor/src/keying.rs crates/sensor/src/mux.rs crates/sensor/src/tcb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmedsen_sensor-60402844f2b8ab3f.rmeta: crates/sensor/src/lib.rs crates/sensor/src/acquisition.rs crates/sensor/src/array.rs crates/sensor/src/controller.rs crates/sensor/src/decrypt.rs crates/sensor/src/keying.rs crates/sensor/src/mux.rs crates/sensor/src/tcb.rs Cargo.toml
+
+crates/sensor/src/lib.rs:
+crates/sensor/src/acquisition.rs:
+crates/sensor/src/array.rs:
+crates/sensor/src/controller.rs:
+crates/sensor/src/decrypt.rs:
+crates/sensor/src/keying.rs:
+crates/sensor/src/mux.rs:
+crates/sensor/src/tcb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

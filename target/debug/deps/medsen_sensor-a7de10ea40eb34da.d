@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/medsen_sensor-a7de10ea40eb34da.d: crates/sensor/src/lib.rs crates/sensor/src/acquisition.rs crates/sensor/src/array.rs crates/sensor/src/controller.rs crates/sensor/src/decrypt.rs crates/sensor/src/keying.rs crates/sensor/src/mux.rs crates/sensor/src/tcb.rs
+
+/root/repo/target/debug/deps/medsen_sensor-a7de10ea40eb34da: crates/sensor/src/lib.rs crates/sensor/src/acquisition.rs crates/sensor/src/array.rs crates/sensor/src/controller.rs crates/sensor/src/decrypt.rs crates/sensor/src/keying.rs crates/sensor/src/mux.rs crates/sensor/src/tcb.rs
+
+crates/sensor/src/lib.rs:
+crates/sensor/src/acquisition.rs:
+crates/sensor/src/array.rs:
+crates/sensor/src/controller.rs:
+crates/sensor/src/decrypt.rs:
+crates/sensor/src/keying.rs:
+crates/sensor/src/mux.rs:
+crates/sensor/src/tcb.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/medsen_sensor-d574907b8c5c54f2.d: crates/sensor/src/lib.rs crates/sensor/src/acquisition.rs crates/sensor/src/array.rs crates/sensor/src/controller.rs crates/sensor/src/decrypt.rs crates/sensor/src/keying.rs crates/sensor/src/mux.rs crates/sensor/src/tcb.rs
+
+/root/repo/target/debug/deps/libmedsen_sensor-d574907b8c5c54f2.rlib: crates/sensor/src/lib.rs crates/sensor/src/acquisition.rs crates/sensor/src/array.rs crates/sensor/src/controller.rs crates/sensor/src/decrypt.rs crates/sensor/src/keying.rs crates/sensor/src/mux.rs crates/sensor/src/tcb.rs
+
+/root/repo/target/debug/deps/libmedsen_sensor-d574907b8c5c54f2.rmeta: crates/sensor/src/lib.rs crates/sensor/src/acquisition.rs crates/sensor/src/array.rs crates/sensor/src/controller.rs crates/sensor/src/decrypt.rs crates/sensor/src/keying.rs crates/sensor/src/mux.rs crates/sensor/src/tcb.rs
+
+crates/sensor/src/lib.rs:
+crates/sensor/src/acquisition.rs:
+crates/sensor/src/array.rs:
+crates/sensor/src/controller.rs:
+crates/sensor/src/decrypt.rs:
+crates/sensor/src/keying.rs:
+crates/sensor/src/mux.rs:
+crates/sensor/src/tcb.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/medsen_units-49e4980a2b66789c.d: crates/units/src/lib.rs crates/units/src/quantity.rs
+
+/root/repo/target/debug/deps/libmedsen_units-49e4980a2b66789c.rlib: crates/units/src/lib.rs crates/units/src/quantity.rs
+
+/root/repo/target/debug/deps/libmedsen_units-49e4980a2b66789c.rmeta: crates/units/src/lib.rs crates/units/src/quantity.rs
+
+crates/units/src/lib.rs:
+crates/units/src/quantity.rs:

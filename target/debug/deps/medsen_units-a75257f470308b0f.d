@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/medsen_units-a75257f470308b0f.d: crates/units/src/lib.rs crates/units/src/quantity.rs
+
+/root/repo/target/debug/deps/medsen_units-a75257f470308b0f: crates/units/src/lib.rs crates/units/src/quantity.rs
+
+crates/units/src/lib.rs:
+crates/units/src/quantity.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/medsen_units-dddb193190e1b525.d: crates/units/src/lib.rs crates/units/src/quantity.rs
+
+/root/repo/target/debug/deps/libmedsen_units-dddb193190e1b525.rlib: crates/units/src/lib.rs crates/units/src/quantity.rs
+
+/root/repo/target/debug/deps/libmedsen_units-dddb193190e1b525.rmeta: crates/units/src/lib.rs crates/units/src/quantity.rs
+
+crates/units/src/lib.rs:
+crates/units/src/quantity.rs:

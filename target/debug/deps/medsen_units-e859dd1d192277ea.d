@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/medsen_units-e859dd1d192277ea.d: crates/units/src/lib.rs crates/units/src/quantity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmedsen_units-e859dd1d192277ea.rmeta: crates/units/src/lib.rs crates/units/src/quantity.rs Cargo.toml
+
+crates/units/src/lib.rs:
+crates/units/src/quantity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

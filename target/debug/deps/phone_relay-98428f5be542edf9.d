@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/phone_relay-98428f5be542edf9.d: tests/phone_relay.rs
+
+/root/repo/target/debug/deps/phone_relay-98428f5be542edf9: tests/phone_relay.rs
+
+tests/phone_relay.rs:

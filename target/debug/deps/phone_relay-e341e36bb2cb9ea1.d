@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/phone_relay-e341e36bb2cb9ea1.d: tests/phone_relay.rs
+
+/root/repo/target/debug/deps/phone_relay-e341e36bb2cb9ea1: tests/phone_relay.rs
+
+tests/phone_relay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/practitioner_sharing-074331b9641a1a2f.d: tests/practitioner_sharing.rs
+
+/root/repo/target/debug/deps/practitioner_sharing-074331b9641a1a2f: tests/practitioner_sharing.rs
+
+tests/practitioner_sharing.rs:

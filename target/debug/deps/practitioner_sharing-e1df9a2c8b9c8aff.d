@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/practitioner_sharing-e1df9a2c8b9c8aff.d: tests/practitioner_sharing.rs
+
+/root/repo/target/debug/deps/practitioner_sharing-e1df9a2c8b9c8aff: tests/practitioner_sharing.rs
+
+tests/practitioner_sharing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-09fbd4708aaf78dc.d: crates/sensor/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-09fbd4708aaf78dc: crates/sensor/tests/properties.rs
+
+crates/sensor/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-7bd4a728c3ac4181.d: crates/microfluidics/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-7bd4a728c3ac4181.rmeta: crates/microfluidics/tests/properties.rs Cargo.toml
+
+crates/microfluidics/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-8128a43eee196c29.d: crates/sensor/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-8128a43eee196c29.rmeta: crates/sensor/tests/properties.rs Cargo.toml
+
+crates/sensor/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-8161b6196f0b218d.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-8161b6196f0b218d: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ad3d9e25e6f1fa8b.d: crates/microfluidics/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-ad3d9e25e6f1fa8b: crates/microfluidics/tests/properties.rs
+
+crates/microfluidics/tests/properties.rs:

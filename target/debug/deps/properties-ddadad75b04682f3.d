@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ddadad75b04682f3.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-ddadad75b04682f3: tests/properties.rs
+
+tests/properties.rs:

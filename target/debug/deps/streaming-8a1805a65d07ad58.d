@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/streaming-8a1805a65d07ad58.d: crates/bench/benches/streaming.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstreaming-8a1805a65d07ad58.rmeta: crates/bench/benches/streaming.rs Cargo.toml
+
+crates/bench/benches/streaming.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress_3h-63ce242a4b57fbfd.d: crates/bench/src/bin/stress_3h.rs
+
+/root/repo/target/debug/deps/stress_3h-63ce242a4b57fbfd: crates/bench/src/bin/stress_3h.rs
+
+crates/bench/src/bin/stress_3h.rs:

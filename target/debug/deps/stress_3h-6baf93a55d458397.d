@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress_3h-6baf93a55d458397.d: crates/bench/src/bin/stress_3h.rs
+
+/root/repo/target/debug/deps/stress_3h-6baf93a55d458397: crates/bench/src/bin/stress_3h.rs
+
+crates/bench/src/bin/stress_3h.rs:

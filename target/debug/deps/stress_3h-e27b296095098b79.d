@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress_3h-e27b296095098b79.d: crates/bench/src/bin/stress_3h.rs
+
+/root/repo/target/debug/deps/stress_3h-e27b296095098b79: crates/bench/src/bin/stress_3h.rs
+
+crates/bench/src/bin/stress_3h.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_end_to_end-1a5278dae56615d3.d: crates/bench/src/bin/tab_end_to_end.rs
+
+/root/repo/target/debug/deps/tab_end_to_end-1a5278dae56615d3: crates/bench/src/bin/tab_end_to_end.rs
+
+crates/bench/src/bin/tab_end_to_end.rs:

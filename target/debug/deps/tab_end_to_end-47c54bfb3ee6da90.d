@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_end_to_end-47c54bfb3ee6da90.d: crates/bench/src/bin/tab_end_to_end.rs
+
+/root/repo/target/debug/deps/tab_end_to_end-47c54bfb3ee6da90: crates/bench/src/bin/tab_end_to_end.rs
+
+crates/bench/src/bin/tab_end_to_end.rs:

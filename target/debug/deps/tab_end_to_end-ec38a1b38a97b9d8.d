@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_end_to_end-ec38a1b38a97b9d8.d: crates/bench/src/bin/tab_end_to_end.rs
+
+/root/repo/target/debug/deps/tab_end_to_end-ec38a1b38a97b9d8: crates/bench/src/bin/tab_end_to_end.rs
+
+crates/bench/src/bin/tab_end_to_end.rs:

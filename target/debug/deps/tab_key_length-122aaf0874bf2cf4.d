@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_key_length-122aaf0874bf2cf4.d: crates/bench/src/bin/tab_key_length.rs
+
+/root/repo/target/debug/deps/tab_key_length-122aaf0874bf2cf4: crates/bench/src/bin/tab_key_length.rs
+
+crates/bench/src/bin/tab_key_length.rs:

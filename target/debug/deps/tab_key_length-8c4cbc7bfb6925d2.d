@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_key_length-8c4cbc7bfb6925d2.d: crates/bench/src/bin/tab_key_length.rs
+
+/root/repo/target/debug/deps/tab_key_length-8c4cbc7bfb6925d2: crates/bench/src/bin/tab_key_length.rs
+
+crates/bench/src/bin/tab_key_length.rs:

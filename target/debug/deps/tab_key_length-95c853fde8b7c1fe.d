@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_key_length-95c853fde8b7c1fe.d: crates/bench/src/bin/tab_key_length.rs
+
+/root/repo/target/debug/deps/tab_key_length-95c853fde8b7c1fe: crates/bench/src/bin/tab_key_length.rs
+
+crates/bench/src/bin/tab_key_length.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/threat_model-9f6ffb3623624eca.d: tests/threat_model.rs
+
+/root/repo/target/debug/deps/threat_model-9f6ffb3623624eca: tests/threat_model.rs
+
+tests/threat_model.rs:

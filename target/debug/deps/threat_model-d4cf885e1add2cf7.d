@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/threat_model-d4cf885e1add2cf7.d: tests/threat_model.rs
+
+/root/repo/target/debug/deps/threat_model-d4cf885e1add2cf7: tests/threat_model.rs
+
+tests/threat_model.rs:

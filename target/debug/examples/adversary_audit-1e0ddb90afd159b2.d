@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adversary_audit-1e0ddb90afd159b2.d: examples/adversary_audit.rs
+
+/root/repo/target/debug/examples/adversary_audit-1e0ddb90afd159b2: examples/adversary_audit.rs
+
+examples/adversary_audit.rs:

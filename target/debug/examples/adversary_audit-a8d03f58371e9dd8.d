@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adversary_audit-a8d03f58371e9dd8.d: examples/adversary_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadversary_audit-a8d03f58371e9dd8.rmeta: examples/adversary_audit.rs Cargo.toml
+
+examples/adversary_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adversary_audit-d085aca018762411.d: examples/adversary_audit.rs
+
+/root/repo/target/debug/examples/adversary_audit-d085aca018762411: examples/adversary_audit.rs
+
+examples/adversary_audit.rs:

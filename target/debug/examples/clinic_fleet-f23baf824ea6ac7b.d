@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/clinic_fleet-f23baf824ea6ac7b.d: examples/clinic_fleet.rs
+
+/root/repo/target/debug/examples/clinic_fleet-f23baf824ea6ac7b: examples/clinic_fleet.rs
+
+examples/clinic_fleet.rs:

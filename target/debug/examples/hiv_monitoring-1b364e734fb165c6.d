@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hiv_monitoring-1b364e734fb165c6.d: examples/hiv_monitoring.rs
+
+/root/repo/target/debug/examples/hiv_monitoring-1b364e734fb165c6: examples/hiv_monitoring.rs
+
+examples/hiv_monitoring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hiv_monitoring-bcd694c6b2b38940.d: examples/hiv_monitoring.rs
+
+/root/repo/target/debug/examples/hiv_monitoring-bcd694c6b2b38940: examples/hiv_monitoring.rs
+
+examples/hiv_monitoring.rs:

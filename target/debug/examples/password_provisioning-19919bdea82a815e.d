@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/password_provisioning-19919bdea82a815e.d: examples/password_provisioning.rs
+
+/root/repo/target/debug/examples/password_provisioning-19919bdea82a815e: examples/password_provisioning.rs
+
+examples/password_provisioning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/password_provisioning-68188f8f6f214cfe.d: examples/password_provisioning.rs
+
+/root/repo/target/debug/examples/password_provisioning-68188f8f6f214cfe: examples/password_provisioning.rs
+
+examples/password_provisioning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/practitioner_access-5de14f8b0791fb4d.d: examples/practitioner_access.rs
+
+/root/repo/target/debug/examples/practitioner_access-5de14f8b0791fb4d: examples/practitioner_access.rs
+
+examples/practitioner_access.rs:

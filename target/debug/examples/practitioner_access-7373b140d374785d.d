@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/practitioner_access-7373b140d374785d.d: examples/practitioner_access.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpractitioner_access-7373b140d374785d.rmeta: examples/practitioner_access.rs Cargo.toml
+
+examples/practitioner_access.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

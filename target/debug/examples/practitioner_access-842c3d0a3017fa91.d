@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/practitioner_access-842c3d0a3017fa91.d: examples/practitioner_access.rs
+
+/root/repo/target/debug/examples/practitioner_access-842c3d0a3017fa91: examples/practitioner_access.rs
+
+examples/practitioner_access.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a267b7541e9d269d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a267b7541e9d269d: examples/quickstart.rs
+
+examples/quickstart.rs:

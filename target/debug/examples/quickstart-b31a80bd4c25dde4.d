@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b31a80bd4c25dde4.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b31a80bd4c25dde4: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_detrend-fb226995a9decc33.d: crates/bench/src/bin/ablation_detrend.rs
+
+/root/repo/target/release/deps/ablation_detrend-fb226995a9decc33: crates/bench/src/bin/ablation_detrend.rs
+
+crates/bench/src/bin/ablation_detrend.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_gain_bits-eb425d561ca964ce.d: crates/bench/src/bin/ablation_gain_bits.rs
+
+/root/repo/target/release/deps/ablation_gain_bits-eb425d561ca964ce: crates/bench/src/bin/ablation_gain_bits.rs
+
+crates/bench/src/bin/ablation_gain_bits.rs:

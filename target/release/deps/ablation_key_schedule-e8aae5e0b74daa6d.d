@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_key_schedule-e8aae5e0b74daa6d.d: crates/bench/src/bin/ablation_key_schedule.rs
+
+/root/repo/target/release/deps/ablation_key_schedule-e8aae5e0b74daa6d: crates/bench/src/bin/ablation_key_schedule.rs
+
+crates/bench/src/bin/ablation_key_schedule.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-197fd57095535b44.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-197fd57095535b44: tests/end_to_end.rs
+
+tests/end_to_end.rs:

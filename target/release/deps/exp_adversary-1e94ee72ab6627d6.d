@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_adversary-1e94ee72ab6627d6.d: crates/bench/src/bin/exp_adversary.rs
+
+/root/repo/target/release/deps/exp_adversary-1e94ee72ab6627d6: crates/bench/src/bin/exp_adversary.rs
+
+crates/bench/src/bin/exp_adversary.rs:

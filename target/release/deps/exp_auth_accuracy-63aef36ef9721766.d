@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_auth_accuracy-63aef36ef9721766.d: crates/bench/src/bin/exp_auth_accuracy.rs
+
+/root/repo/target/release/deps/exp_auth_accuracy-63aef36ef9721766: crates/bench/src/bin/exp_auth_accuracy.rs
+
+crates/bench/src/bin/exp_auth_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_phase_auth-8919e8a0f4d0d688.d: crates/bench/src/bin/ext_phase_auth.rs
+
+/root/repo/target/release/deps/ext_phase_auth-8919e8a0f4d0d688: crates/bench/src/bin/ext_phase_auth.rs
+
+crates/bench/src/bin/ext_phase_auth.rs:

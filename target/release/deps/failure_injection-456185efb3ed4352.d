@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failure_injection-456185efb3ed4352.d: tests/failure_injection.rs
+
+/root/repo/target/release/deps/failure_injection-456185efb3ed4352: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_single_peak-2ec80e552c469345.d: crates/bench/src/bin/fig07_single_peak.rs
+
+/root/repo/target/release/deps/fig07_single_peak-2ec80e552c469345: crates/bench/src/bin/fig07_single_peak.rs
+
+crates/bench/src/bin/fig07_single_peak.rs:

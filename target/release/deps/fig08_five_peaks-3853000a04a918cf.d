@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_five_peaks-3853000a04a918cf.d: crates/bench/src/bin/fig08_five_peaks.rs
+
+/root/repo/target/release/deps/fig08_five_peaks-3853000a04a918cf: crates/bench/src/bin/fig08_five_peaks.rs
+
+crates/bench/src/bin/fig08_five_peaks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_electrode_subsets-353374d498232b4d.d: crates/bench/src/bin/fig11_electrode_subsets.rs
+
+/root/repo/target/release/deps/fig11_electrode_subsets-353374d498232b4d: crates/bench/src/bin/fig11_electrode_subsets.rs
+
+crates/bench/src/bin/fig11_electrode_subsets.rs:

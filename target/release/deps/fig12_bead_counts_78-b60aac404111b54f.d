@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_bead_counts_78-b60aac404111b54f.d: crates/bench/src/bin/fig12_bead_counts_78.rs
+
+/root/repo/target/release/deps/fig12_bead_counts_78-b60aac404111b54f: crates/bench/src/bin/fig12_bead_counts_78.rs
+
+crates/bench/src/bin/fig12_bead_counts_78.rs:

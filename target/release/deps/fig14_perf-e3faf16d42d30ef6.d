@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_perf-e3faf16d42d30ef6.d: crates/bench/src/bin/fig14_perf.rs
+
+/root/repo/target/release/deps/fig14_perf-e3faf16d42d30ef6: crates/bench/src/bin/fig14_perf.rs
+
+crates/bench/src/bin/fig14_perf.rs:

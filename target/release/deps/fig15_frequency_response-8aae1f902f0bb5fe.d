@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_frequency_response-8aae1f902f0bb5fe.d: crates/bench/src/bin/fig15_frequency_response.rs
+
+/root/repo/target/release/deps/fig15_frequency_response-8aae1f902f0bb5fe: crates/bench/src/bin/fig15_frequency_response.rs
+
+crates/bench/src/bin/fig15_frequency_response.rs:

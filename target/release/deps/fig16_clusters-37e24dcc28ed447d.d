@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_clusters-37e24dcc28ed447d.d: crates/bench/src/bin/fig16_clusters.rs
+
+/root/repo/target/release/deps/fig16_clusters-37e24dcc28ed447d: crates/bench/src/bin/fig16_clusters.rs
+
+crates/bench/src/bin/fig16_clusters.rs:

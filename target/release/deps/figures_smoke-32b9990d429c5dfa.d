@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures_smoke-32b9990d429c5dfa.d: tests/figures_smoke.rs
+
+/root/repo/target/release/deps/figures_smoke-32b9990d429c5dfa: tests/figures_smoke.rs
+
+tests/figures_smoke.rs:

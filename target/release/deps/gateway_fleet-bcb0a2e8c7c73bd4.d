@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gateway_fleet-bcb0a2e8c7c73bd4.d: tests/gateway_fleet.rs
+
+/root/repo/target/release/deps/gateway_fleet-bcb0a2e8c7c73bd4: tests/gateway_fleet.rs
+
+tests/gateway_fleet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gateway_throughput-dba658cbb842265c.d: crates/bench/benches/gateway_throughput.rs
+
+/root/repo/target/release/deps/gateway_throughput-dba658cbb842265c: crates/bench/benches/gateway_throughput.rs
+
+crates/bench/benches/gateway_throughput.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/medsen-03277e99368be7c9.d: src/lib.rs
+
+/root/repo/target/release/deps/libmedsen-03277e99368be7c9.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmedsen-03277e99368be7c9.rmeta: src/lib.rs
+
+src/lib.rs:

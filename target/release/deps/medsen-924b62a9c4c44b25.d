@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/medsen-924b62a9c4c44b25.d: src/lib.rs
+
+/root/repo/target/release/deps/medsen-924b62a9c4c44b25: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/medsen-e58c0008b482f845.d: src/lib.rs
+
+/root/repo/target/release/deps/libmedsen-e58c0008b482f845.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmedsen-e58c0008b482f845.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/medsen_cli-1e544da7278b8cda.d: crates/cli/src/lib.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/libmedsen_cli-1e544da7278b8cda.rlib: crates/cli/src/lib.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/libmedsen_cli-1e544da7278b8cda.rmeta: crates/cli/src/lib.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:

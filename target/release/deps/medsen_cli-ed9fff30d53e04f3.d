@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/medsen_cli-ed9fff30d53e04f3.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/medsen_cli-ed9fff30d53e04f3: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/medsen_cloud-439ce47fcaabf7f6.d: crates/cloud/src/lib.rs crates/cloud/src/adversary.rs crates/cloud/src/api.rs crates/cloud/src/auth.rs crates/cloud/src/server.rs crates/cloud/src/service.rs crates/cloud/src/storage.rs
+
+/root/repo/target/release/deps/libmedsen_cloud-439ce47fcaabf7f6.rlib: crates/cloud/src/lib.rs crates/cloud/src/adversary.rs crates/cloud/src/api.rs crates/cloud/src/auth.rs crates/cloud/src/server.rs crates/cloud/src/service.rs crates/cloud/src/storage.rs
+
+/root/repo/target/release/deps/libmedsen_cloud-439ce47fcaabf7f6.rmeta: crates/cloud/src/lib.rs crates/cloud/src/adversary.rs crates/cloud/src/api.rs crates/cloud/src/auth.rs crates/cloud/src/server.rs crates/cloud/src/service.rs crates/cloud/src/storage.rs
+
+crates/cloud/src/lib.rs:
+crates/cloud/src/adversary.rs:
+crates/cloud/src/api.rs:
+crates/cloud/src/auth.rs:
+crates/cloud/src/server.rs:
+crates/cloud/src/service.rs:
+crates/cloud/src/storage.rs:

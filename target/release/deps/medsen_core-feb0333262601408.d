@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/medsen_core-feb0333262601408.d: crates/core/src/lib.rs crates/core/src/diagnostics.rs crates/core/src/enrollment.rs crates/core/src/password.rs crates/core/src/pipeline.rs crates/core/src/sharing.rs crates/core/src/threat.rs
+
+/root/repo/target/release/deps/libmedsen_core-feb0333262601408.rlib: crates/core/src/lib.rs crates/core/src/diagnostics.rs crates/core/src/enrollment.rs crates/core/src/password.rs crates/core/src/pipeline.rs crates/core/src/sharing.rs crates/core/src/threat.rs
+
+/root/repo/target/release/deps/libmedsen_core-feb0333262601408.rmeta: crates/core/src/lib.rs crates/core/src/diagnostics.rs crates/core/src/enrollment.rs crates/core/src/password.rs crates/core/src/pipeline.rs crates/core/src/sharing.rs crates/core/src/threat.rs
+
+crates/core/src/lib.rs:
+crates/core/src/diagnostics.rs:
+crates/core/src/enrollment.rs:
+crates/core/src/password.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/sharing.rs:
+crates/core/src/threat.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/medsen_dsp-cc5eb909d0d0dc36.d: crates/dsp/src/lib.rs crates/dsp/src/classify.rs crates/dsp/src/detrend.rs crates/dsp/src/features.rs crates/dsp/src/filter.rs crates/dsp/src/peaks.rs crates/dsp/src/polyfit.rs crates/dsp/src/stats.rs crates/dsp/src/streaming.rs
+
+/root/repo/target/release/deps/libmedsen_dsp-cc5eb909d0d0dc36.rlib: crates/dsp/src/lib.rs crates/dsp/src/classify.rs crates/dsp/src/detrend.rs crates/dsp/src/features.rs crates/dsp/src/filter.rs crates/dsp/src/peaks.rs crates/dsp/src/polyfit.rs crates/dsp/src/stats.rs crates/dsp/src/streaming.rs
+
+/root/repo/target/release/deps/libmedsen_dsp-cc5eb909d0d0dc36.rmeta: crates/dsp/src/lib.rs crates/dsp/src/classify.rs crates/dsp/src/detrend.rs crates/dsp/src/features.rs crates/dsp/src/filter.rs crates/dsp/src/peaks.rs crates/dsp/src/polyfit.rs crates/dsp/src/stats.rs crates/dsp/src/streaming.rs
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/classify.rs:
+crates/dsp/src/detrend.rs:
+crates/dsp/src/features.rs:
+crates/dsp/src/filter.rs:
+crates/dsp/src/peaks.rs:
+crates/dsp/src/polyfit.rs:
+crates/dsp/src/stats.rs:
+crates/dsp/src/streaming.rs:

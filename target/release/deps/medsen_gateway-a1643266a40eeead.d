@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/medsen_gateway-a1643266a40eeead.d: crates/gateway/src/lib.rs crates/gateway/src/gateway.rs crates/gateway/src/metrics.rs crates/gateway/src/session.rs crates/gateway/src/wire.rs
+
+/root/repo/target/release/deps/libmedsen_gateway-a1643266a40eeead.rlib: crates/gateway/src/lib.rs crates/gateway/src/gateway.rs crates/gateway/src/metrics.rs crates/gateway/src/session.rs crates/gateway/src/wire.rs
+
+/root/repo/target/release/deps/libmedsen_gateway-a1643266a40eeead.rmeta: crates/gateway/src/lib.rs crates/gateway/src/gateway.rs crates/gateway/src/metrics.rs crates/gateway/src/session.rs crates/gateway/src/wire.rs
+
+crates/gateway/src/lib.rs:
+crates/gateway/src/gateway.rs:
+crates/gateway/src/metrics.rs:
+crates/gateway/src/session.rs:
+crates/gateway/src/wire.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/medsen_impedance-80dc30c2f403b18c.d: crates/impedance/src/lib.rs crates/impedance/src/circuit.rs crates/impedance/src/excitation.rs crates/impedance/src/lockin.rs crates/impedance/src/noise.rs crates/impedance/src/pulse.rs crates/impedance/src/synth.rs crates/impedance/src/trace.rs
+
+/root/repo/target/release/deps/libmedsen_impedance-80dc30c2f403b18c.rlib: crates/impedance/src/lib.rs crates/impedance/src/circuit.rs crates/impedance/src/excitation.rs crates/impedance/src/lockin.rs crates/impedance/src/noise.rs crates/impedance/src/pulse.rs crates/impedance/src/synth.rs crates/impedance/src/trace.rs
+
+/root/repo/target/release/deps/libmedsen_impedance-80dc30c2f403b18c.rmeta: crates/impedance/src/lib.rs crates/impedance/src/circuit.rs crates/impedance/src/excitation.rs crates/impedance/src/lockin.rs crates/impedance/src/noise.rs crates/impedance/src/pulse.rs crates/impedance/src/synth.rs crates/impedance/src/trace.rs
+
+crates/impedance/src/lib.rs:
+crates/impedance/src/circuit.rs:
+crates/impedance/src/excitation.rs:
+crates/impedance/src/lockin.rs:
+crates/impedance/src/noise.rs:
+crates/impedance/src/pulse.rs:
+crates/impedance/src/synth.rs:
+crates/impedance/src/trace.rs:

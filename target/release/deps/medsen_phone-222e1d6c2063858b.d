@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/medsen_phone-222e1d6c2063858b.d: crates/phone/src/lib.rs crates/phone/src/app.rs crates/phone/src/compress.rs crates/phone/src/csv.rs crates/phone/src/frame.rs crates/phone/src/json.rs crates/phone/src/network.rs crates/phone/src/profile.rs
+
+/root/repo/target/release/deps/libmedsen_phone-222e1d6c2063858b.rlib: crates/phone/src/lib.rs crates/phone/src/app.rs crates/phone/src/compress.rs crates/phone/src/csv.rs crates/phone/src/frame.rs crates/phone/src/json.rs crates/phone/src/network.rs crates/phone/src/profile.rs
+
+/root/repo/target/release/deps/libmedsen_phone-222e1d6c2063858b.rmeta: crates/phone/src/lib.rs crates/phone/src/app.rs crates/phone/src/compress.rs crates/phone/src/csv.rs crates/phone/src/frame.rs crates/phone/src/json.rs crates/phone/src/network.rs crates/phone/src/profile.rs
+
+crates/phone/src/lib.rs:
+crates/phone/src/app.rs:
+crates/phone/src/compress.rs:
+crates/phone/src/csv.rs:
+crates/phone/src/frame.rs:
+crates/phone/src/json.rs:
+crates/phone/src/network.rs:
+crates/phone/src/profile.rs:

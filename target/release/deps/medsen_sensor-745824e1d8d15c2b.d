@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/medsen_sensor-745824e1d8d15c2b.d: crates/sensor/src/lib.rs crates/sensor/src/acquisition.rs crates/sensor/src/array.rs crates/sensor/src/controller.rs crates/sensor/src/decrypt.rs crates/sensor/src/keying.rs crates/sensor/src/mux.rs crates/sensor/src/tcb.rs
+
+/root/repo/target/release/deps/libmedsen_sensor-745824e1d8d15c2b.rlib: crates/sensor/src/lib.rs crates/sensor/src/acquisition.rs crates/sensor/src/array.rs crates/sensor/src/controller.rs crates/sensor/src/decrypt.rs crates/sensor/src/keying.rs crates/sensor/src/mux.rs crates/sensor/src/tcb.rs
+
+/root/repo/target/release/deps/libmedsen_sensor-745824e1d8d15c2b.rmeta: crates/sensor/src/lib.rs crates/sensor/src/acquisition.rs crates/sensor/src/array.rs crates/sensor/src/controller.rs crates/sensor/src/decrypt.rs crates/sensor/src/keying.rs crates/sensor/src/mux.rs crates/sensor/src/tcb.rs
+
+crates/sensor/src/lib.rs:
+crates/sensor/src/acquisition.rs:
+crates/sensor/src/array.rs:
+crates/sensor/src/controller.rs:
+crates/sensor/src/decrypt.rs:
+crates/sensor/src/keying.rs:
+crates/sensor/src/mux.rs:
+crates/sensor/src/tcb.rs:

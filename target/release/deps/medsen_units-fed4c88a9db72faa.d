@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/medsen_units-fed4c88a9db72faa.d: crates/units/src/lib.rs crates/units/src/quantity.rs
+
+/root/repo/target/release/deps/libmedsen_units-fed4c88a9db72faa.rlib: crates/units/src/lib.rs crates/units/src/quantity.rs
+
+/root/repo/target/release/deps/libmedsen_units-fed4c88a9db72faa.rmeta: crates/units/src/lib.rs crates/units/src/quantity.rs
+
+crates/units/src/lib.rs:
+crates/units/src/quantity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/phone_relay-010bd4767f3f5e56.d: tests/phone_relay.rs
+
+/root/repo/target/release/deps/phone_relay-010bd4767f3f5e56: tests/phone_relay.rs
+
+tests/phone_relay.rs:

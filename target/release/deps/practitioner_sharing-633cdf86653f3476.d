@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/practitioner_sharing-633cdf86653f3476.d: tests/practitioner_sharing.rs
+
+/root/repo/target/release/deps/practitioner_sharing-633cdf86653f3476: tests/practitioner_sharing.rs
+
+tests/practitioner_sharing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-23bd63143d12f16e.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-23bd63143d12f16e: tests/properties.rs
+
+tests/properties.rs:

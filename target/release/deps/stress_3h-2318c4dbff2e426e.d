@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stress_3h-2318c4dbff2e426e.d: crates/bench/src/bin/stress_3h.rs
+
+/root/repo/target/release/deps/stress_3h-2318c4dbff2e426e: crates/bench/src/bin/stress_3h.rs
+
+crates/bench/src/bin/stress_3h.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_end_to_end-8df269ac9c9ea178.d: crates/bench/src/bin/tab_end_to_end.rs
+
+/root/repo/target/release/deps/tab_end_to_end-8df269ac9c9ea178: crates/bench/src/bin/tab_end_to_end.rs
+
+crates/bench/src/bin/tab_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_key_length-9641d9723af920dd.d: crates/bench/src/bin/tab_key_length.rs
+
+/root/repo/target/release/deps/tab_key_length-9641d9723af920dd: crates/bench/src/bin/tab_key_length.rs
+
+crates/bench/src/bin/tab_key_length.rs:

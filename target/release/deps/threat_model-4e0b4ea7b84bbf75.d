@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/threat_model-4e0b4ea7b84bbf75.d: tests/threat_model.rs
+
+/root/repo/target/release/deps/threat_model-4e0b4ea7b84bbf75: tests/threat_model.rs
+
+tests/threat_model.rs:

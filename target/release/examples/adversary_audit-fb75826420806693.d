@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/adversary_audit-fb75826420806693.d: examples/adversary_audit.rs
+
+/root/repo/target/release/examples/adversary_audit-fb75826420806693: examples/adversary_audit.rs
+
+examples/adversary_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/clinic_fleet-0d9085ab2d9d9e46.d: examples/clinic_fleet.rs
+
+/root/repo/target/release/examples/clinic_fleet-0d9085ab2d9d9e46: examples/clinic_fleet.rs
+
+examples/clinic_fleet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/clinic_fleet-e07eef56f3ce55aa.d: examples/clinic_fleet.rs
+
+/root/repo/target/release/examples/clinic_fleet-e07eef56f3ce55aa: examples/clinic_fleet.rs
+
+examples/clinic_fleet.rs:

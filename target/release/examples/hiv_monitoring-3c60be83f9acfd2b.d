@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/hiv_monitoring-3c60be83f9acfd2b.d: examples/hiv_monitoring.rs
+
+/root/repo/target/release/examples/hiv_monitoring-3c60be83f9acfd2b: examples/hiv_monitoring.rs
+
+examples/hiv_monitoring.rs:

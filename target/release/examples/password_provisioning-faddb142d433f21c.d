@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/password_provisioning-faddb142d433f21c.d: examples/password_provisioning.rs
+
+/root/repo/target/release/examples/password_provisioning-faddb142d433f21c: examples/password_provisioning.rs
+
+examples/password_provisioning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/practitioner_access-3c4e05f6d0a0e676.d: examples/practitioner_access.rs
+
+/root/repo/target/release/examples/practitioner_access-3c4e05f6d0a0e676: examples/practitioner_access.rs
+
+examples/practitioner_access.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-f79cb22c4f466f7d.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-f79cb22c4f466f7d: examples/quickstart.rs
+
+examples/quickstart.rs:

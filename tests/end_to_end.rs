@@ -33,7 +33,10 @@ fn encrypted_session_decodes_within_tolerance() {
         "decoded {decoded} vs truth {truth}"
     );
     assert!(report.verdict.is_some());
-    assert!(report.auth.is_none(), "encrypted mode does not authenticate");
+    assert!(
+        report.auth.is_none(),
+        "encrypted mode does not authenticate"
+    );
 }
 
 #[test]
@@ -55,7 +58,10 @@ fn cloud_count_is_inflated_and_uncorrelated_with_decoding_key() {
     let b = run_with_seed(5002);
     assert!(a.peak_count as f64 > 1.5 * (a.true_cells + a.true_beads) as f64);
     assert!(b.peak_count as f64 > 1.5 * (b.true_cells + b.true_beads) as f64);
-    assert_ne!(a.peak_count, b.peak_count, "different keys, different ciphertexts");
+    assert_ne!(
+        a.peak_count, b.peak_count,
+        "different keys, different ciphertexts"
+    );
 }
 
 #[test]

@@ -7,9 +7,9 @@ use medsen::impedance::{BaselineDrift, NoiseModel, PulseSpec, TraceSynthesizer};
 use medsen::microfluidics::{
     ChannelGeometry, ParticleKind, PeristalticPump, SampleSpec, TransportSimulator,
 };
-use medsen::units::{Concentration, Microliters};
 use medsen::sensor::{Controller, ControllerConfig, EncryptedAcquisition};
 use medsen::units::Seconds;
+use medsen::units::{Concentration, Microliters};
 
 fn pulses_every(n: usize, spacing_s: f64, depth: f64) -> Vec<PulseSpec> {
     (0..n)
@@ -33,7 +33,11 @@ fn counting_survives_5x_paper_drift() {
     synth.drift = drift;
     let trace = synth.render(&pulses_every(15, 2.0, 0.01), Seconds::new(32.0));
     let report = AnalysisServer::paper_default().analyze(&trace);
-    assert_eq!(report.peak_count(), 15, "5x drift must not break detrending");
+    assert_eq!(
+        report.peak_count(),
+        15,
+        "5x drift must not break detrending"
+    );
 }
 
 #[test]
@@ -67,7 +71,10 @@ fn extreme_noise_is_a_detected_failure_not_a_silent_one() {
     );
     // And no false-positive flood despite the noise.
     let rate = report.peak_count() as f64 / report.duration_s;
-    assert!(rate < 2.0, "adaptive threshold must bound false positives, got {rate}/s");
+    assert!(
+        rate < 2.0,
+        "adaptive threshold must bound false positives, got {rate}/s"
+    );
 }
 
 #[test]
@@ -98,7 +105,10 @@ fn coincidence_heavy_streams_undercount_predictably() {
     let schedule = controller.generate_schedule(duration).clone();
     let out = acq.run(&events, &schedule, duration);
     let report = AnalysisServer::paper_default().analyze(&out.trace);
-    let decoded = controller.decryptor().decrypt(&report.reported_peaks()).rounded();
+    let decoded = controller
+        .decryptor()
+        .decrypt(&report.reported_peaks())
+        .rounded();
     assert!(
         (decoded as usize) < events.len(),
         "merging can only lose peaks: decoded {decoded} vs truth {}",

@@ -1,8 +1,8 @@
 //! Smoke tests: every figure/table harness runs (at reduced scale) and
 //! reproduces the paper's qualitative shape.
 
-use medsen_bench::experiments::*;
 use medsen::units::Seconds;
+use medsen_bench::experiments::*;
 
 #[test]
 fn fig07_single_dip() {

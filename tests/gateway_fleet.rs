@@ -1,0 +1,281 @@
+//! Fleet-level acceptance test for the gateway (ISSUE: concurrent
+//! multi-session ingestion).
+//!
+//! 64 dongle sessions run concurrently through a deliberately undersized
+//! gateway queue and must produce *exactly* the per-session peak reports
+//! and authentication decisions that 64 sequential direct calls against an
+//! identically configured cloud service produce — while the metrics show
+//! zero accepted-but-lost requests and at least one backpressure
+//! rejection.
+
+use medsen::cloud::auth::{AuthDecision, BeadSignature};
+use medsen::cloud::service::{CloudService, Request, Response};
+use medsen::dsp::classify::Classifier;
+use medsen::dsp::FeatureVector;
+use medsen::gateway::{Gateway, GatewayConfig, SessionConfig, ShedPolicy};
+use medsen::impedance::{PulseSpec, SignalTrace, TraceSynthesizer};
+use medsen::microfluidics::ParticleKind;
+use medsen::units::Seconds;
+use std::sync::{Barrier, Mutex};
+
+const SESSIONS: usize = 64;
+
+/// Four clinic users with bead counts whose ±30% acceptance bands are
+/// pairwise disjoint, so every session authenticates unambiguously.
+const USERS: [(&str, u64); 4] = [("ana", 3), ("bo", 6), ("cleo", 12), ("dee", 24)];
+
+fn user_for_session(i: usize) -> (&'static str, u64) {
+    USERS[i % USERS.len()]
+}
+
+/// A clean (noise-free) trace with `pulses` bead transits. Each session
+/// gets a unique sub-millisecond timing jitter so every trace — and hence
+/// every peak report — is distinct, proving per-session (not per-class)
+/// matching.
+fn session_trace(session: usize, pulses: u64) -> SignalTrace {
+    let mut synth = TraceSynthesizer::clean(1);
+    let jitter = session as f64 * 1e-3;
+    let specs: Vec<PulseSpec> = (0..pulses)
+        .map(|j| {
+            PulseSpec::unipolar(
+                Seconds::new(0.5 + jitter + j as f64 * 0.25),
+                Seconds::new(0.02),
+                0.01,
+            )
+        })
+        .collect();
+    synth.render(
+        &specs,
+        Seconds::new(0.5 + jitter + pulses as f64 * 0.25 + 0.5),
+    )
+}
+
+/// Trains a one-class bead classifier from the features the analysis
+/// pipeline itself extracts, so every detected peak counts as a 3.58 µm
+/// password bead and the measured signature equals the planted count.
+fn fleet_classifier() -> Classifier {
+    let svc = CloudService::new();
+    let response = svc.handle_shared(Request::Analyze {
+        trace: session_trace(999, 8),
+        authenticate: false,
+    });
+    let Response::Analyzed { report, .. } = response else {
+        panic!("reference analysis failed: {response:?}");
+    };
+    assert_eq!(
+        report.peak_count(),
+        8,
+        "reference trace must detect cleanly"
+    );
+    let vectors: Vec<FeatureVector> = report
+        .peaks
+        .iter()
+        .map(|p| FeatureVector {
+            index: 0,
+            amplitudes: p.features.clone(),
+        })
+        .collect();
+    Classifier::train(&[(ParticleKind::Bead358.label(), vectors)]).expect("classifier trains")
+}
+
+fn service_with_classifier() -> CloudService {
+    let mut svc = CloudService::new();
+    svc.install_classifier(fleet_classifier());
+    svc
+}
+
+fn enroll_request(user: &str, count: u64) -> Request {
+    Request::Enroll {
+        identifier: user.to_string(),
+        signature: BeadSignature::from_counts(&[(ParticleKind::Bead358, count)]),
+    }
+}
+
+/// `(report, auth)` with the record id stripped: record ids depend on
+/// worker interleaving and are the one legitimately order-dependent field.
+fn essence(response: Response) -> (medsen::cloud::api::PeakReport, AuthDecision) {
+    match response {
+        Response::Analyzed {
+            report,
+            auth: Some(decision),
+            ..
+        } => (report, decision),
+        other => panic!("expected authenticated analysis, got {other:?}"),
+    }
+}
+
+#[test]
+fn concurrent_fleet_matches_sequential_baseline() {
+    // --- Sequential baseline: direct calls, no gateway, no JSON hop. ---
+    let baseline_svc = service_with_classifier();
+    for (user, count) in USERS {
+        assert_eq!(
+            baseline_svc.handle_shared(enroll_request(user, count)),
+            Response::Enrolled
+        );
+    }
+    let baseline: Vec<(medsen::cloud::api::PeakReport, AuthDecision)> = (0..SESSIONS)
+        .map(|i| {
+            let (_, count) = user_for_session(i);
+            essence(baseline_svc.handle_shared(Request::Analyze {
+                trace: session_trace(i, count),
+                authenticate: true,
+            }))
+        })
+        .collect();
+
+    // Every session must authenticate as exactly its own user.
+    for (i, (_, decision)) in baseline.iter().enumerate() {
+        let (user, _) = user_for_session(i);
+        assert_eq!(
+            *decision,
+            AuthDecision::Accepted {
+                user_id: user.to_string()
+            },
+            "session {i} must accept as {user}"
+        );
+    }
+
+    // --- Concurrent fleet through an undersized gateway queue. ---
+    let gateway = Gateway::new(
+        service_with_classifier(),
+        GatewayConfig {
+            queue_capacity: 2, // deliberately undersized: forces shedding
+            workers: 2,
+            shed_policy: ShedPolicy::Reject {
+                retry_after: Seconds::from_millis(50.0),
+            },
+        },
+    );
+    // Enrollment happens before the burst (through the gateway, so the
+    // enroll path is exercised end-to-end too).
+    {
+        let mut admin = gateway.connect(SessionConfig::reliable());
+        for (user, count) in USERS {
+            let response = admin.enroll(
+                user,
+                BeadSignature::from_counts(&[(ParticleKind::Bead358, count)]),
+            );
+            assert_eq!(response.expect("enrolls"), Response::Enrolled);
+        }
+        admin.close().expect("admin session closes");
+    }
+
+    let results: Mutex<Vec<(usize, Response)>> = Mutex::new(Vec::with_capacity(SESSIONS));
+    let barrier = Barrier::new(SESSIONS);
+    std::thread::scope(|scope| {
+        for i in 0..SESSIONS {
+            let gateway = &gateway;
+            let results = &results;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let (_, count) = user_for_session(i);
+                let trace = session_trace(i, count);
+                let mut session = gateway.connect(SessionConfig::reliable());
+                barrier.wait(); // maximize submission contention
+                session
+                    .submit_analyze(trace, true)
+                    .expect("session submits within its deadline");
+                let report = session.close().expect("session drains and closes");
+                assert_eq!(report.responses.len(), 1);
+                results
+                    .lock()
+                    .unwrap()
+                    .push((i, report.responses.into_iter().next().unwrap()));
+            });
+        }
+    });
+
+    let mut concurrent = results.into_inner().unwrap();
+    concurrent.sort_by_key(|(i, _)| *i);
+    assert_eq!(concurrent.len(), SESSIONS);
+
+    // --- Equivalence: byte-identical reports and decisions per session. ---
+    for (i, response) in concurrent {
+        let (report, decision) = essence(response);
+        let (expected_report, expected_decision) = &baseline[i];
+        assert_eq!(
+            report, *expected_report,
+            "session {i}: concurrent peak report diverged from sequential"
+        );
+        assert_eq!(
+            decision, *expected_decision,
+            "session {i}: concurrent auth decision diverged from sequential"
+        );
+    }
+
+    // --- Metrics: nothing lost, backpressure actually exercised. ---
+    let metrics = gateway.shutdown();
+    assert_eq!(
+        metrics.accepted,
+        (SESSIONS + USERS.len()) as u64,
+        "each session's analyze plus the four enrollments were accepted"
+    );
+    assert_eq!(metrics.lost(), 0, "no accepted request may be dropped");
+    assert_eq!(metrics.completed, metrics.accepted);
+    assert!(
+        metrics.rejected >= 1,
+        "a 2-deep queue under a 64-session burst must shed at least once \
+         (rejected = {})",
+        metrics.rejected
+    );
+    assert_eq!(metrics.retried, metrics.rejected, "every shed was retried");
+    assert!(
+        metrics.queue_high_water <= 2,
+        "bounded queue stayed bounded"
+    );
+    assert!(metrics.failed == 0, "no session gave up");
+}
+
+#[test]
+fn flaky_fleet_still_matches_baseline() {
+    // A smaller fleet over a lossy uplink: retries change *when* uploads
+    // arrive, never *what* they contain.
+    const FLAKY_SESSIONS: usize = 8;
+
+    let baseline_svc = service_with_classifier();
+    let baseline: Vec<(medsen::cloud::api::PeakReport, AuthDecision)> = (0..FLAKY_SESSIONS)
+        .map(|i| {
+            let (_, count) = user_for_session(i);
+            essence(baseline_svc.handle_shared(Request::Analyze {
+                trace: session_trace(i, count),
+                authenticate: true,
+            }))
+        })
+        .collect();
+    // No enrollments here: every decision is Rejected, which must survive
+    // the wire unchanged just like acceptance does.
+    for (_, decision) in &baseline {
+        assert_eq!(*decision, AuthDecision::Rejected);
+    }
+
+    let gateway = Gateway::new(service_with_classifier(), GatewayConfig::clinic_default());
+    // Connect on the main thread so session ids — and therefore each
+    // session's failure-RNG seed — are deterministic run to run.
+    let sessions: Vec<_> = (0..FLAKY_SESSIONS)
+        .map(|i| gateway.connect(SessionConfig::flaky(0.25, i as u64)))
+        .collect();
+    let results: Mutex<Vec<(usize, Response)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for (i, mut session) in sessions.into_iter().enumerate() {
+            let results = &results;
+            scope.spawn(move || {
+                let (_, count) = user_for_session(i);
+                // 25% per-attempt loss, deterministic per session.
+                let response = session
+                    .analyze(session_trace(i, count), true)
+                    .expect("retries ride out a 25% flaky link");
+                results.lock().unwrap().push((i, response));
+            });
+        }
+    });
+
+    let mut concurrent = results.into_inner().unwrap();
+    concurrent.sort_by_key(|(i, _)| *i);
+    for (i, response) in concurrent {
+        assert_eq!(essence(response), baseline[i], "session {i} diverged");
+    }
+    let metrics = gateway.shutdown();
+    assert_eq!(metrics.lost(), 0);
+    assert_eq!(metrics.completed, FLAKY_SESSIONS as u64);
+}

@@ -5,9 +5,7 @@
 
 use medsen::cloud::AnalysisServer;
 use medsen::impedance::{PulseSpec, TraceSynthesizer};
-use medsen::phone::{
-    compress, decompress, trace_from_csv, trace_to_csv, Frame, MessageType,
-};
+use medsen::phone::{compress, decompress, trace_from_csv, trace_to_csv, Frame, MessageType};
 use medsen::units::Seconds;
 
 fn sample_trace() -> medsen::impedance::SignalTrace {
@@ -27,7 +25,10 @@ fn relay_path_is_bit_faithful_and_analysis_invariant() {
     let compressed = compress(csv.as_bytes());
     assert!(compressed.len() * 2 < csv.len(), "compression must bite");
     let frames = medsen::phone::frame::chunk_data(&compressed, 16 * 1024);
-    assert!(frames.len() > 1, "payload should span several USB transfers");
+    assert!(
+        frames.len() > 1,
+        "payload should span several USB transfers"
+    );
 
     // Wire: encode + decode every frame in sequence.
     let mut wire = Vec::new();
@@ -47,8 +48,8 @@ fn relay_path_is_bit_faithful_and_analysis_invariant() {
     // Cloud side: decompress → parse → analyze.
     let restored = decompress(&reassembled).expect("valid LZW stream");
     assert_eq!(restored, csv.as_bytes());
-    let received = trace_from_csv(std::str::from_utf8(&restored).expect("utf8 csv"))
-        .expect("well-formed CSV");
+    let received =
+        trace_from_csv(std::str::from_utf8(&restored).expect("utf8 csv")).expect("well-formed CSV");
 
     let server = AnalysisServer::paper_default();
     let direct = server.analyze(&trace);

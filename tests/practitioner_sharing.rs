@@ -2,9 +2,7 @@
 
 use medsen::cloud::AnalysisServer;
 use medsen::core::sharing::{DecryptionCapability, SealedCapability};
-use medsen::microfluidics::{
-    ChannelGeometry, ParticleKind, PeristalticPump, TransportSimulator,
-};
+use medsen::microfluidics::{ChannelGeometry, ParticleKind, PeristalticPump, TransportSimulator};
 use medsen::sensor::{Controller, ControllerConfig, EncryptedAcquisition};
 use medsen::units::Seconds;
 

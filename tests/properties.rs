@@ -5,8 +5,8 @@ use medsen::dsp::detrend::{detrend_segmented, DetrendConfig};
 use medsen::dsp::peaks::ThresholdDetector;
 use medsen::microfluidics::{Particle, ParticleKind, TransitEvent};
 use medsen::sensor::{
-    CipherKey, Controller, ControllerConfig, ElectrodeArray, ElectrodeId,
-    ElectrodeSelection, EncryptedAcquisition, FlowLevel, GainLevel, KeySchedule,
+    CipherKey, Controller, ControllerConfig, ElectrodeArray, ElectrodeId, ElectrodeSelection,
+    EncryptedAcquisition, FlowLevel, GainLevel, KeySchedule,
 };
 use medsen::units::{Hertz, Seconds};
 use proptest::prelude::*;

@@ -3,9 +3,7 @@
 
 use medsen::cloud::{AnalysisServer, AnalyzedPeak, PeakReport};
 use medsen::core::threat::{best_fixed_divisor_error, estimate_leakage};
-use medsen::microfluidics::{
-    ChannelGeometry, ParticleKind, PeristalticPump, TransportSimulator,
-};
+use medsen::microfluidics::{ChannelGeometry, ParticleKind, PeristalticPump, TransportSimulator};
 use medsen::sensor::{Controller, ControllerConfig, EncryptedAcquisition, TcbAudit, TrustLevel};
 use medsen::units::Seconds;
 
@@ -54,7 +52,11 @@ fn plaintext_peak_counts_leak_the_truth() {
     let pairs = leakage_pairs(false, 6, 7000);
     let leak = estimate_leakage(&pairs);
     assert!(leak.r_squared > 0.95, "plaintext R² {}", leak.r_squared);
-    assert!((leak.slope - 1.0).abs() < 0.15, "plaintext slope {}", leak.slope);
+    assert!(
+        (leak.slope - 1.0).abs() < 0.15,
+        "plaintext slope {}",
+        leak.slope
+    );
     // A fixed divisor of 1 reads the count directly.
     assert!(best_fixed_divisor_error(&pairs, 17) < 0.1);
 }

@@ -1,0 +1,297 @@
+//! Offline drop-in subset of the [criterion](https://docs.rs/criterion) API.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the slice of criterion the MedSen benches use: `Criterion`,
+//! `benchmark_group` with `sample_size`/`throughput`/`bench_function`/
+//! `bench_with_input`, `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: per benchmark it calibrates an
+//! iteration count to roughly [`TARGET_SAMPLE`], takes `sample_size`
+//! samples, and prints min/mean/max per-iteration times (plus throughput
+//! when configured) to stdout. There is no statistical analysis, HTML
+//! report, or baseline comparison — numbers are for quick local reading,
+//! and the benches double as correctness smoke tests.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Per-sample wall-clock budget used when calibrating iteration counts.
+const TARGET_SAMPLE: Duration = Duration::from_millis(10);
+
+/// Opaque value barrier preventing the optimizer from deleting benched code.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The benchmark driver handed to every `criterion_group!` target.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&id.label, self.default_sample_size, None, |b| f(b));
+        self
+    }
+}
+
+/// A group of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares how much work one iteration performs, enabling rate output.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(&label, self.sample_size, self.throughput, |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(&label, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API parity; drop would do the same).
+    pub fn finish(self) {}
+}
+
+/// A benchmark label, optionally `function/parameter` shaped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A label with distinct function and parameter parts.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// A label that is only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        Self {
+            label: label.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Work performed per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// The timing harness passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, called `self.iters` times per recorded sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut routine: F,
+) {
+    // Calibrate: time one iteration, then scale so a sample lasts roughly
+    // TARGET_SAMPLE (capped to keep pathological cases bounded).
+    let mut probe = Bencher {
+        iters: 1,
+        samples: Vec::new(),
+    };
+    routine(&mut probe);
+    let single = probe
+        .samples
+        .first()
+        .copied()
+        .unwrap_or(Duration::from_nanos(1))
+        .max(Duration::from_nanos(1));
+    let iters = (TARGET_SAMPLE.as_nanos() / single.as_nanos()).clamp(1, 10_000) as u64;
+
+    let mut bencher = Bencher {
+        iters,
+        samples: Vec::with_capacity(sample_size),
+    };
+    for _ in 0..sample_size {
+        routine(&mut bencher);
+    }
+
+    let per_iter: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|s| s.as_secs_f64() / iters as f64)
+        .collect();
+    let min = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().copied().fold(0.0f64, f64::max);
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len().max(1) as f64;
+
+    print!(
+        "{label:<50} time: [{} {} {}]",
+        fmt_seconds(min),
+        fmt_seconds(mean),
+        fmt_seconds(max)
+    );
+    if let Some(throughput) = throughput {
+        let (amount, unit) = match throughput {
+            Throughput::Bytes(n) => (n as f64, "B"),
+            Throughput::Elements(n) => (n as f64, "elem"),
+        };
+        print!(
+            "  thrpt: {:.3e} {unit}/s",
+            amount / mean.max(f64::MIN_POSITIVE)
+        );
+    }
+    println!();
+}
+
+fn fmt_seconds(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Bundles benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut __criterion = $crate::Criterion::default();
+            $(
+                $target(&mut __criterion);
+            )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("toy");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).map(black_box).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::new("sum_n", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * n)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, toy_bench);
+
+    #[test]
+    fn harness_runs_to_completion() {
+        benches();
+    }
+}

@@ -1,0 +1,24 @@
+//! Offline drop-in subset of the [crossbeam](https://docs.rs/crossbeam) API.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the slice the MedSen workspace uses: `crossbeam::channel` MPMC channels
+//! (bounded and unbounded) with `send`/`try_send`/`recv`/`try_recv`/
+//! `recv_timeout` and disconnect semantics. The implementation is a
+//! `Mutex<VecDeque>` + two condvars — simpler and slower than upstream's
+//! lock-free queues, but semantically equivalent for the simulation-scale
+//! workloads in this repository.
+
+pub mod channel;
+
+pub use channel::{bounded, unbounded};
+
+/// Spawns scoped threads (thin alias of `std::thread::scope` for API parity).
+pub mod thread {
+    /// Crossbeam-style scope entry point delegating to the standard library.
+    pub fn scope<'env, F, T>(f: F) -> std::thread::Result<T>
+    where
+        F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> T,
+    {
+        Ok(std::thread::scope(f))
+    }
+}

@@ -1,0 +1,205 @@
+//! Offline drop-in subset of the [proptest](https://docs.rs/proptest) API.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the slice of proptest the MedSen workspace uses: the [`Strategy`] trait
+//! with `prop_map`/`prop_flat_map`, range and tuple strategies, regex-lite
+//! string strategies, `collection::{vec, btree_set}`, `any::<T>()`, the
+//! [`proptest!`] block macro with `#![proptest_config(..)]`, and the
+//! `prop_assert!`/`prop_assert_eq!` assertion macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! - **No shrinking.** A failing case reports its seed and generated case
+//!   number; it does not minimize. Failures are still reproducible because
+//!   case RNGs are derived deterministically from the test's source
+//!   location and case index.
+//! - **Regex strategies** (`"[a-z]{1,8}"` as a `Strategy<Value = String>`)
+//!   support only the subset used here: literals, `[a-z0-9_]`-style
+//!   classes, and `{m}` / `{m,n}` / `?` / `*` / `+` quantifiers.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Just, Strategy};
+
+/// Everything a property test file needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Fails the current property-test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current property-test case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = $left;
+        let __right = $right;
+        $crate::prop_assert!(
+            __left == __right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            __left,
+            __right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let __left = $left;
+        let __right = $right;
+        $crate::prop_assert!(
+            __left == __right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            __left,
+            __right,
+            ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the current property-test case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = $left;
+        let __right = $right;
+        $crate::prop_assert!(
+            __left != __right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            __left
+        );
+    }};
+}
+
+/// Discards the current case (counts as neither pass nor fail) unless
+/// `cond` holds. This stub simply skips the case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Declares a block of property tests.
+///
+/// Each `fn name(pat in strategy, ...) { body }` becomes a `#[test]`-style
+/// function (attributes written on it are passed through) that runs the
+/// body against `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (@impl ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                $crate::test_runner::run_cases(
+                    &__config,
+                    concat!(file!(), "::", stringify!($name)),
+                    |__rng| {
+                        let ($($pat,)*) = (
+                            $($crate::strategy::Strategy::generate(&($strat), __rng),)*
+                        );
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges honour their bounds.
+        #[test]
+        fn ranges_in_bounds(a in 3u8..9, b in -2i32..=2, x in 0.0f64..1.0) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((-2..=2).contains(&b));
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+
+        /// Collections honour their size specs.
+        #[test]
+        fn collections_sized(
+            v in crate::collection::vec(any::<u8>(), 2..5),
+            s in crate::collection::btree_set(1u8..=9, 1..=9),
+            exact in crate::collection::vec(0u8..16, 9),
+        ) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!((1..=9).contains(&s.len()));
+            prop_assert_eq!(exact.len(), 9);
+        }
+
+        /// prop_map / prop_flat_map compose.
+        #[test]
+        fn combinators_compose(
+            pair in (1usize..4).prop_flat_map(|n| {
+                crate::collection::vec(0.0f64..1.0, n).prop_map(move |v| (n, v))
+            }),
+        ) {
+            let (n, v) = pair;
+            prop_assert_eq!(v.len(), n);
+        }
+
+        /// Regex-lite string strategies.
+        #[test]
+        fn regex_strings(word in "[a-z]{1,8}") {
+            prop_assert!(!word.is_empty() && word.len() <= 8);
+            prop_assert!(word.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+    }
+
+    proptest! {
+        /// Default config path (no inner attribute) also expands.
+        #[test]
+        fn default_config_block(flag in any::<bool>(), tuple in (0u8..4, 0u8..4)) {
+            prop_assume!(tuple.0 < 4);
+            prop_assert!(u8::from(flag) <= 1 && tuple.1 < 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_context() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn always_fails(x in 0u8..4) {
+                prop_assert!(x > 200, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

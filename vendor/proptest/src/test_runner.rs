@@ -1,0 +1,79 @@
+//! The case loop driving `proptest!` blocks.
+
+use rand::SeedableRng;
+use std::fmt;
+
+/// The RNG handed to strategies, seeded per test case.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A failed property-test case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given explanation.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// FNV-1a, used to derive a per-test seed from its source location.
+fn fnv1a(data: &str) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for byte in data.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Runs `property` against `config.cases` deterministic cases, panicking
+/// with the case number and message on the first failure.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut property: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base_seed = fnv1a(name);
+    for case in 0..config.cases {
+        let seed = base_seed ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = TestRng::seed_from_u64(seed);
+        if let Err(err) = property(&mut rng) {
+            panic!(
+                "proptest property {name} failed at case {case}/{total} (seed {seed:#x}):\n{err}",
+                total = config.cases,
+            );
+        }
+    }
+}

@@ -1,0 +1,798 @@
+//! Deserialization half of the data model: the `Deserialize`,
+//! `Deserializer`, `Visitor`, and access-trait families plus impls for the
+//! std types used in MedSen wire structs.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::marker::PhantomData;
+
+/// A deserialization error.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: core::fmt::Display>(msg: T) -> Self;
+
+    /// Reports a value of the wrong type.
+    fn invalid_type(unexpected: &str, expected: &str) -> Self {
+        Self::custom(format!("invalid type: {unexpected}, expected {expected}"))
+    }
+
+    /// Reports a missing struct field.
+    fn missing_field(field: &'static str) -> Self {
+        Self::custom(format!("missing field `{field}`"))
+    }
+
+    /// Reports an unknown enum variant.
+    fn unknown_variant(variant: &str, expected: &'static [&'static str]) -> Self {
+        Self::custom(format!(
+            "unknown variant `{variant}`, expected one of {expected:?}"
+        ))
+    }
+}
+
+/// A data structure that can be built from the serde data model.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from `deserializer`.
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: Deserializer<'de>;
+}
+
+/// A value that can be deserialized without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// A stateful `Deserialize` driver (serde's seed abstraction).
+pub trait DeserializeSeed<'de>: Sized {
+    /// The produced value.
+    type Value;
+    /// Deserializes the value using this seed.
+    fn deserialize<D>(self, deserializer: D) -> Result<Self::Value, D::Error>
+    where
+        D: Deserializer<'de>;
+}
+
+impl<'de, T: Deserialize<'de>> DeserializeSeed<'de> for PhantomData<T> {
+    type Value = T;
+    fn deserialize<D>(self, deserializer: D) -> Result<T, D::Error>
+    where
+        D: Deserializer<'de>,
+    {
+        T::deserialize(deserializer)
+    }
+}
+
+/// A format backend: the producing half of the serde data model.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Deserializes whatever the input contains.
+    fn deserialize_any<V>(self, visitor: V) -> Result<V::Value, Self::Error>
+    where
+        V: Visitor<'de>;
+    /// Deserializes a `bool`.
+    fn deserialize_bool<V>(self, visitor: V) -> Result<V::Value, Self::Error>
+    where
+        V: Visitor<'de>;
+    /// Deserializes an `i8`.
+    fn deserialize_i8<V>(self, visitor: V) -> Result<V::Value, Self::Error>
+    where
+        V: Visitor<'de>;
+    /// Deserializes an `i16`.
+    fn deserialize_i16<V>(self, visitor: V) -> Result<V::Value, Self::Error>
+    where
+        V: Visitor<'de>;
+    /// Deserializes an `i32`.
+    fn deserialize_i32<V>(self, visitor: V) -> Result<V::Value, Self::Error>
+    where
+        V: Visitor<'de>;
+    /// Deserializes an `i64`.
+    fn deserialize_i64<V>(self, visitor: V) -> Result<V::Value, Self::Error>
+    where
+        V: Visitor<'de>;
+    /// Deserializes a `u8`.
+    fn deserialize_u8<V>(self, visitor: V) -> Result<V::Value, Self::Error>
+    where
+        V: Visitor<'de>;
+    /// Deserializes a `u16`.
+    fn deserialize_u16<V>(self, visitor: V) -> Result<V::Value, Self::Error>
+    where
+        V: Visitor<'de>;
+    /// Deserializes a `u32`.
+    fn deserialize_u32<V>(self, visitor: V) -> Result<V::Value, Self::Error>
+    where
+        V: Visitor<'de>;
+    /// Deserializes a `u64`.
+    fn deserialize_u64<V>(self, visitor: V) -> Result<V::Value, Self::Error>
+    where
+        V: Visitor<'de>;
+    /// Deserializes an `f32`.
+    fn deserialize_f32<V>(self, visitor: V) -> Result<V::Value, Self::Error>
+    where
+        V: Visitor<'de>;
+    /// Deserializes an `f64`.
+    fn deserialize_f64<V>(self, visitor: V) -> Result<V::Value, Self::Error>
+    where
+        V: Visitor<'de>;
+    /// Deserializes a `char`.
+    fn deserialize_char<V>(self, visitor: V) -> Result<V::Value, Self::Error>
+    where
+        V: Visitor<'de>;
+    /// Deserializes a borrowed string.
+    fn deserialize_str<V>(self, visitor: V) -> Result<V::Value, Self::Error>
+    where
+        V: Visitor<'de>;
+    /// Deserializes an owned string.
+    fn deserialize_string<V>(self, visitor: V) -> Result<V::Value, Self::Error>
+    where
+        V: Visitor<'de>;
+    /// Deserializes borrowed bytes.
+    fn deserialize_bytes<V>(self, visitor: V) -> Result<V::Value, Self::Error>
+    where
+        V: Visitor<'de>;
+    /// Deserializes an owned byte buffer.
+    fn deserialize_byte_buf<V>(self, visitor: V) -> Result<V::Value, Self::Error>
+    where
+        V: Visitor<'de>;
+    /// Deserializes an `Option`.
+    fn deserialize_option<V>(self, visitor: V) -> Result<V::Value, Self::Error>
+    where
+        V: Visitor<'de>;
+    /// Deserializes `()`.
+    fn deserialize_unit<V>(self, visitor: V) -> Result<V::Value, Self::Error>
+    where
+        V: Visitor<'de>;
+    /// Deserializes a unit struct.
+    fn deserialize_unit_struct<V>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>
+    where
+        V: Visitor<'de>;
+    /// Deserializes a newtype struct.
+    fn deserialize_newtype_struct<V>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>
+    where
+        V: Visitor<'de>;
+    /// Deserializes a sequence.
+    fn deserialize_seq<V>(self, visitor: V) -> Result<V::Value, Self::Error>
+    where
+        V: Visitor<'de>;
+    /// Deserializes a tuple.
+    fn deserialize_tuple<V>(self, len: usize, visitor: V) -> Result<V::Value, Self::Error>
+    where
+        V: Visitor<'de>;
+    /// Deserializes a tuple struct.
+    fn deserialize_tuple_struct<V>(
+        self,
+        name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>
+    where
+        V: Visitor<'de>;
+    /// Deserializes a map.
+    fn deserialize_map<V>(self, visitor: V) -> Result<V::Value, Self::Error>
+    where
+        V: Visitor<'de>;
+    /// Deserializes a struct.
+    fn deserialize_struct<V>(
+        self,
+        name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>
+    where
+        V: Visitor<'de>;
+    /// Deserializes an enum.
+    fn deserialize_enum<V>(
+        self,
+        name: &'static str,
+        variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>
+    where
+        V: Visitor<'de>;
+    /// Deserializes a struct-field or variant identifier.
+    fn deserialize_identifier<V>(self, visitor: V) -> Result<V::Value, Self::Error>
+    where
+        V: Visitor<'de>;
+    /// Deserializes and discards whatever the input contains.
+    fn deserialize_ignored_any<V>(self, visitor: V) -> Result<V::Value, Self::Error>
+    where
+        V: Visitor<'de>;
+}
+
+/// Receives values produced by a `Deserializer`.
+///
+/// Every `visit_*` method has a default body that reports a type error, so
+/// implementations only override the shapes they accept.
+pub trait Visitor<'de>: Sized {
+    /// The value this visitor builds.
+    type Value;
+
+    /// Describes what this visitor expects (used in error messages).
+    fn expecting(&self, formatter: &mut core::fmt::Formatter<'_>) -> core::fmt::Result;
+
+    /// Visits a `bool`.
+    fn visit_bool<E: Error>(self, v: bool) -> Result<Self::Value, E> {
+        Err(Error::invalid_type(
+            &format!("boolean `{v}`"),
+            &expectation(&self),
+        ))
+    }
+    /// Visits an `i64`.
+    fn visit_i64<E: Error>(self, v: i64) -> Result<Self::Value, E> {
+        Err(Error::invalid_type(
+            &format!("integer `{v}`"),
+            &expectation(&self),
+        ))
+    }
+    /// Visits a `u64`.
+    fn visit_u64<E: Error>(self, v: u64) -> Result<Self::Value, E> {
+        Err(Error::invalid_type(
+            &format!("integer `{v}`"),
+            &expectation(&self),
+        ))
+    }
+    /// Visits an `f64`.
+    fn visit_f64<E: Error>(self, v: f64) -> Result<Self::Value, E> {
+        Err(Error::invalid_type(
+            &format!("float `{v}`"),
+            &expectation(&self),
+        ))
+    }
+    /// Visits a `char`.
+    fn visit_char<E: Error>(self, v: char) -> Result<Self::Value, E> {
+        self.visit_string(v.to_string())
+    }
+    /// Visits a borrowed string.
+    fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+        self.visit_string(v.to_owned())
+    }
+    /// Visits an owned string.
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(Error::invalid_type("string", &expectation(&self)))
+    }
+    /// Visits borrowed bytes.
+    fn visit_bytes<E: Error>(self, v: &[u8]) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(Error::invalid_type("bytes", &expectation(&self)))
+    }
+    /// Visits `()` / null.
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(Error::invalid_type("unit", &expectation(&self)))
+    }
+    /// Visits a missing optional value.
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(Error::invalid_type("none", &expectation(&self)))
+    }
+    /// Visits a present optional value.
+    fn visit_some<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(Error::invalid_type("some", &expectation(&self)))
+    }
+    /// Visits a newtype struct's inner value.
+    fn visit_newtype_struct<D: Deserializer<'de>>(
+        self,
+        deserializer: D,
+    ) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(Error::invalid_type("newtype struct", &expectation(&self)))
+    }
+    /// Visits a sequence.
+    fn visit_seq<A: SeqAccess<'de>>(self, seq: A) -> Result<Self::Value, A::Error> {
+        let _ = seq;
+        Err(Error::invalid_type("sequence", &expectation(&self)))
+    }
+    /// Visits a map.
+    fn visit_map<A: MapAccess<'de>>(self, map: A) -> Result<Self::Value, A::Error> {
+        let _ = map;
+        Err(Error::invalid_type("map", &expectation(&self)))
+    }
+    /// Visits an enum.
+    fn visit_enum<A: EnumAccess<'de>>(self, data: A) -> Result<Self::Value, A::Error> {
+        let _ = data;
+        Err(Error::invalid_type("enum", &expectation(&self)))
+    }
+}
+
+/// Renders a visitor's `expecting` message to a string.
+fn expectation<'de, V: Visitor<'de>>(visitor: &V) -> String {
+    struct Expected<'a, V>(&'a V);
+    impl<'de, V: Visitor<'de>> core::fmt::Display for Expected<'_, V> {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            self.0.expecting(f)
+        }
+    }
+    Expected(visitor).to_string()
+}
+
+/// Iterative access to the elements of a sequence.
+pub trait SeqAccess<'de> {
+    /// Error type.
+    type Error: Error;
+    /// Deserializes the next element via a seed.
+    fn next_element_seed<T>(&mut self, seed: T) -> Result<Option<T::Value>, Self::Error>
+    where
+        T: DeserializeSeed<'de>;
+    /// Deserializes the next element.
+    fn next_element<T>(&mut self) -> Result<Option<T>, Self::Error>
+    where
+        T: Deserialize<'de>,
+    {
+        self.next_element_seed(PhantomData)
+    }
+    /// Size hint, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Iterative access to the entries of a map.
+pub trait MapAccess<'de> {
+    /// Error type.
+    type Error: Error;
+    /// Deserializes the next key via a seed.
+    fn next_key_seed<K>(&mut self, seed: K) -> Result<Option<K::Value>, Self::Error>
+    where
+        K: DeserializeSeed<'de>;
+    /// Deserializes the next value via a seed.
+    fn next_value_seed<V>(&mut self, seed: V) -> Result<V::Value, Self::Error>
+    where
+        V: DeserializeSeed<'de>;
+    /// Deserializes the next key.
+    fn next_key<K>(&mut self) -> Result<Option<K>, Self::Error>
+    where
+        K: Deserialize<'de>,
+    {
+        self.next_key_seed(PhantomData)
+    }
+    /// Deserializes the next value.
+    fn next_value<V>(&mut self) -> Result<V, Self::Error>
+    where
+        V: Deserialize<'de>,
+    {
+        self.next_value_seed(PhantomData)
+    }
+    /// Size hint, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the variant tag of an enum.
+pub trait EnumAccess<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+    /// Access to the variant payload.
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+    /// Deserializes the variant tag via a seed.
+    fn variant_seed<V>(self, seed: V) -> Result<(V::Value, Self::Variant), Self::Error>
+    where
+        V: DeserializeSeed<'de>;
+    /// Deserializes the variant tag.
+    fn variant<V>(self) -> Result<(V, Self::Variant), Self::Error>
+    where
+        V: Deserialize<'de>,
+    {
+        self.variant_seed(PhantomData)
+    }
+}
+
+/// Access to the payload of an enum variant.
+pub trait VariantAccess<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+    /// Consumes a unit variant.
+    fn unit_variant(self) -> Result<(), Self::Error>;
+    /// Deserializes a newtype variant's payload via a seed.
+    fn newtype_variant_seed<T>(self, seed: T) -> Result<T::Value, Self::Error>
+    where
+        T: DeserializeSeed<'de>;
+    /// Deserializes a newtype variant's payload.
+    fn newtype_variant<T>(self) -> Result<T, Self::Error>
+    where
+        T: Deserialize<'de>,
+    {
+        self.newtype_variant_seed(PhantomData)
+    }
+    /// Deserializes a tuple variant's payload.
+    fn tuple_variant<V>(self, len: usize, visitor: V) -> Result<V::Value, Self::Error>
+    where
+        V: Visitor<'de>;
+    /// Deserializes a struct variant's payload.
+    fn struct_variant<V>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>
+    where
+        V: Visitor<'de>;
+}
+
+// ───────────────────────── std impls ─────────────────────────
+
+macro_rules! int_deserialize {
+    ($($ty:ident => $method:ident,)*) => {
+        $(
+            impl<'de> Deserialize<'de> for $ty {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    struct IntVisitor;
+                    impl<'de> Visitor<'de> for IntVisitor {
+                        type Value = $ty;
+                        fn expecting(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                            write!(f, concat!("a ", stringify!($ty)))
+                        }
+                        fn visit_u64<E: Error>(self, v: u64) -> Result<$ty, E> {
+                            $ty::try_from(v).map_err(|_| {
+                                E::custom(format!(concat!("{} out of range for ", stringify!($ty)), v))
+                            })
+                        }
+                        fn visit_i64<E: Error>(self, v: i64) -> Result<$ty, E> {
+                            $ty::try_from(v).map_err(|_| {
+                                E::custom(format!(concat!("{} out of range for ", stringify!($ty)), v))
+                            })
+                        }
+                    }
+                    deserializer.$method(IntVisitor)
+                }
+            }
+        )*
+    };
+}
+
+int_deserialize! {
+    i8 => deserialize_i8,
+    i16 => deserialize_i16,
+    i32 => deserialize_i32,
+    i64 => deserialize_i64,
+    u8 => deserialize_u8,
+    u16 => deserialize_u16,
+    u32 => deserialize_u32,
+    u64 => deserialize_u64,
+    usize => deserialize_u64,
+    isize => deserialize_i64,
+}
+
+macro_rules! float_deserialize {
+    ($($ty:ident => $method:ident,)*) => {
+        $(
+            impl<'de> Deserialize<'de> for $ty {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    struct FloatVisitor;
+                    impl<'de> Visitor<'de> for FloatVisitor {
+                        type Value = $ty;
+                        fn expecting(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                            write!(f, concat!("an ", stringify!($ty)))
+                        }
+                        fn visit_f64<E: Error>(self, v: f64) -> Result<$ty, E> {
+                            Ok(v as $ty)
+                        }
+                        fn visit_u64<E: Error>(self, v: u64) -> Result<$ty, E> {
+                            Ok(v as $ty)
+                        }
+                        fn visit_i64<E: Error>(self, v: i64) -> Result<$ty, E> {
+                            Ok(v as $ty)
+                        }
+                    }
+                    deserializer.$method(FloatVisitor)
+                }
+            }
+        )*
+    };
+}
+
+float_deserialize! {
+    f32 => deserialize_f32,
+    f64 => deserialize_f64,
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct BoolVisitor;
+        impl<'de> Visitor<'de> for BoolVisitor {
+            type Value = bool;
+            fn expecting(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, "a boolean")
+            }
+            fn visit_bool<E: Error>(self, v: bool) -> Result<bool, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_bool(BoolVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct CharVisitor;
+        impl<'de> Visitor<'de> for CharVisitor {
+            type Value = char;
+            fn expecting(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, "a single character")
+            }
+            fn visit_str<E: Error>(self, v: &str) -> Result<char, E> {
+                let mut chars = v.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c), None) => Ok(c),
+                    _ => Err(E::custom("expected a single-character string")),
+                }
+            }
+            fn visit_string<E: Error>(self, v: String) -> Result<char, E> {
+                self.visit_str(&v)
+            }
+        }
+        deserializer.deserialize_char(CharVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct StringVisitor;
+        impl<'de> Visitor<'de> for StringVisitor {
+            type Value = String;
+            fn expecting(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, "a string")
+            }
+            fn visit_str<E: Error>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+            fn visit_string<E: Error>(self, v: String) -> Result<String, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_string(StringVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct UnitVisitor;
+        impl<'de> Visitor<'de> for UnitVisitor {
+            type Value = ();
+            fn expecting(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, "a unit")
+            }
+            fn visit_unit<E: Error>(self) -> Result<(), E> {
+                Ok(())
+            }
+        }
+        deserializer.deserialize_unit(UnitVisitor)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct OptionVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for OptionVisitor<T> {
+            type Value = Option<T>;
+            fn expecting(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, "an optional value")
+            }
+            fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+                Ok(None)
+            }
+            fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+                Ok(None)
+            }
+            fn visit_some<D: Deserializer<'de>>(
+                self,
+                deserializer: D,
+            ) -> Result<Self::Value, D::Error> {
+                T::deserialize(deserializer).map(Some)
+            }
+        }
+        deserializer.deserialize_option(OptionVisitor(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct VecVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for VecVisitor<T> {
+            type Value = Vec<T>;
+            fn expecting(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, "a sequence")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut values = Vec::with_capacity(seq.size_hint().unwrap_or(0));
+                while let Some(value) = seq.next_element()? {
+                    values.push(value);
+                }
+                Ok(values)
+            }
+        }
+        deserializer.deserialize_seq(VecVisitor(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct SetVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de> + Ord> Visitor<'de> for SetVisitor<T> {
+            type Value = BTreeSet<T>;
+            fn expecting(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, "a sequence of unique values")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut values = BTreeSet::new();
+                while let Some(value) = seq.next_element()? {
+                    values.insert(value);
+                }
+                Ok(values)
+            }
+        }
+        deserializer.deserialize_seq(SetVisitor(PhantomData))
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct MapVisitor<K, V>(PhantomData<(K, V)>);
+        impl<'de, K, V> Visitor<'de> for MapVisitor<K, V>
+        where
+            K: Deserialize<'de> + Ord,
+            V: Deserialize<'de>,
+        {
+            type Value = BTreeMap<K, V>;
+            fn expecting(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, "a map")
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut values = BTreeMap::new();
+                while let Some(key) = map.next_key()? {
+                    let value = map.next_value()?;
+                    values.insert(key, value);
+                }
+                Ok(values)
+            }
+        }
+        deserializer.deserialize_map(MapVisitor(PhantomData))
+    }
+}
+
+impl<'de, K, V, S> Deserialize<'de> for HashMap<K, V, S>
+where
+    K: Deserialize<'de> + Eq + std::hash::Hash,
+    V: Deserialize<'de>,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct MapVisitor<K, V, S>(PhantomData<(K, V, S)>);
+        impl<'de, K, V, S> Visitor<'de> for MapVisitor<K, V, S>
+        where
+            K: Deserialize<'de> + Eq + std::hash::Hash,
+            V: Deserialize<'de>,
+            S: std::hash::BuildHasher + Default,
+        {
+            type Value = HashMap<K, V, S>;
+            fn expecting(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, "a map")
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut values = HashMap::with_hasher(S::default());
+                while let Some(key) = map.next_key()? {
+                    let value = map.next_value()?;
+                    values.insert(key, value);
+                }
+                Ok(values)
+            }
+        }
+        deserializer.deserialize_map(MapVisitor(PhantomData))
+    }
+}
+
+macro_rules! tuple_deserialize {
+    ($(($($name:ident),+) => $len:expr,)*) => {
+        $(
+            impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+                fn deserialize<__D: Deserializer<'de>>(
+                    deserializer: __D,
+                ) -> Result<Self, __D::Error> {
+                    struct TupleVisitor<$($name),+>(PhantomData<($($name,)+)>);
+                    impl<'de, $($name: Deserialize<'de>),+> Visitor<'de> for TupleVisitor<$($name),+> {
+                        type Value = ($($name,)+);
+                        fn expecting(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                            write!(f, "a tuple of length {}", $len)
+                        }
+                        #[allow(non_snake_case)]
+                        fn visit_seq<Acc: SeqAccess<'de>>(
+                            self,
+                            mut seq: Acc,
+                        ) -> Result<Self::Value, Acc::Error> {
+                            $(
+                                let $name = seq
+                                    .next_element()?
+                                    .ok_or_else(|| Error::custom("tuple is too short"))?;
+                            )+
+                            Ok(($($name,)+))
+                        }
+                    }
+                    deserializer.deserialize_tuple($len, TupleVisitor(PhantomData))
+                }
+            }
+        )*
+    };
+}
+
+tuple_deserialize! {
+    (A) => 1,
+    (A, B) => 2,
+    (A, B, C) => 3,
+    (A, B, C, D) => 4,
+    (A, B, C, D, E) => 5,
+    (A, B, C, D, E, F) => 6,
+}
+
+/// A value that deserializes from anything and discards it (used to skip
+/// unknown struct fields).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IgnoredAny;
+
+impl<'de> Deserialize<'de> for IgnoredAny {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct IgnoredVisitor;
+        impl<'de> Visitor<'de> for IgnoredVisitor {
+            type Value = IgnoredAny;
+            fn expecting(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, "anything")
+            }
+            fn visit_bool<E: Error>(self, _: bool) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_i64<E: Error>(self, _: i64) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_u64<E: Error>(self, _: u64) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_f64<E: Error>(self, _: f64) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_str<E: Error>(self, _: &str) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_string<E: Error>(self, _: String) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_unit<E: Error>(self) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_none<E: Error>(self) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_some<D: Deserializer<'de>>(
+                self,
+                deserializer: D,
+            ) -> Result<IgnoredAny, D::Error> {
+                IgnoredAny::deserialize(deserializer)
+            }
+            fn visit_newtype_struct<D: Deserializer<'de>>(
+                self,
+                deserializer: D,
+            ) -> Result<IgnoredAny, D::Error> {
+                IgnoredAny::deserialize(deserializer)
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<IgnoredAny, A::Error> {
+                while seq.next_element::<IgnoredAny>()?.is_some() {}
+                Ok(IgnoredAny)
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<IgnoredAny, A::Error> {
+                while map.next_key::<IgnoredAny>()?.is_some() {
+                    map.next_value::<IgnoredAny>()?;
+                }
+                Ok(IgnoredAny)
+            }
+        }
+        deserializer.deserialize_ignored_any(IgnoredVisitor)
+    }
+}

@@ -1,0 +1,200 @@
+//! Offline drop-in subset of the [serde](https://serde.rs) data model.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this crate reimplements the slice of serde's API that the MedSen crates
+//! actually use: the `Serialize`/`Deserialize` traits, the serializer and
+//! deserializer trait families (the "data model"), impls for the std types
+//! that appear in wire structs, and the `forward_to_deserialize_any!`
+//! macro. The `derive` feature re-exports working derive macros from the
+//! sibling `serde_derive` stub.
+//!
+//! It is API-compatible for the shapes this workspace uses (plain structs,
+//! newtype structs, and enums with unit/newtype/tuple/struct variants, plus
+//! the `#[serde(default)]` and `#[serde(transparent)]` attributes) — it is
+//! **not** a general serde replacement.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Forwards the listed `deserialize_*` methods to `deserialize_any`.
+///
+/// Like serde's macro of the same name, this only works inside an
+/// `impl<'de> Deserializer<'de>` block whose lifetime is literally named
+/// `'de`.
+#[macro_export]
+macro_rules! forward_to_deserialize_any {
+    ($($func:ident)*) => {
+        $($crate::forward_to_deserialize_any_method!{$func})*
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! forward_to_deserialize_any_method {
+    (bool) => {
+        fn deserialize_bool<V>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error>
+        where
+            V: $crate::de::Visitor<'de>,
+        {
+            self.deserialize_any(visitor)
+        }
+    };
+    (i8) => {
+        fn deserialize_i8<V>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error>
+        where
+            V: $crate::de::Visitor<'de>,
+        {
+            self.deserialize_any(visitor)
+        }
+    };
+    (i16) => {
+        fn deserialize_i16<V>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error>
+        where
+            V: $crate::de::Visitor<'de>,
+        {
+            self.deserialize_any(visitor)
+        }
+    };
+    (i32) => {
+        fn deserialize_i32<V>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error>
+        where
+            V: $crate::de::Visitor<'de>,
+        {
+            self.deserialize_any(visitor)
+        }
+    };
+    (i64) => {
+        fn deserialize_i64<V>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error>
+        where
+            V: $crate::de::Visitor<'de>,
+        {
+            self.deserialize_any(visitor)
+        }
+    };
+    (u8) => {
+        fn deserialize_u8<V>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error>
+        where
+            V: $crate::de::Visitor<'de>,
+        {
+            self.deserialize_any(visitor)
+        }
+    };
+    (u16) => {
+        fn deserialize_u16<V>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error>
+        where
+            V: $crate::de::Visitor<'de>,
+        {
+            self.deserialize_any(visitor)
+        }
+    };
+    (u32) => {
+        fn deserialize_u32<V>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error>
+        where
+            V: $crate::de::Visitor<'de>,
+        {
+            self.deserialize_any(visitor)
+        }
+    };
+    (u64) => {
+        fn deserialize_u64<V>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error>
+        where
+            V: $crate::de::Visitor<'de>,
+        {
+            self.deserialize_any(visitor)
+        }
+    };
+    (f32) => {
+        fn deserialize_f32<V>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error>
+        where
+            V: $crate::de::Visitor<'de>,
+        {
+            self.deserialize_any(visitor)
+        }
+    };
+    (f64) => {
+        fn deserialize_f64<V>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error>
+        where
+            V: $crate::de::Visitor<'de>,
+        {
+            self.deserialize_any(visitor)
+        }
+    };
+    (char) => {
+        fn deserialize_char<V>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error>
+        where
+            V: $crate::de::Visitor<'de>,
+        {
+            self.deserialize_any(visitor)
+        }
+    };
+    (str) => {
+        fn deserialize_str<V>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error>
+        where
+            V: $crate::de::Visitor<'de>,
+        {
+            self.deserialize_any(visitor)
+        }
+    };
+    (string) => {
+        fn deserialize_string<V>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error>
+        where
+            V: $crate::de::Visitor<'de>,
+        {
+            self.deserialize_any(visitor)
+        }
+    };
+    (bytes) => {
+        fn deserialize_bytes<V>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error>
+        where
+            V: $crate::de::Visitor<'de>,
+        {
+            self.deserialize_any(visitor)
+        }
+    };
+    (byte_buf) => {
+        fn deserialize_byte_buf<V>(
+            self,
+            visitor: V,
+        ) -> ::core::result::Result<V::Value, Self::Error>
+        where
+            V: $crate::de::Visitor<'de>,
+        {
+            self.deserialize_any(visitor)
+        }
+    };
+    (unit) => {
+        fn deserialize_unit<V>(self, visitor: V) -> ::core::result::Result<V::Value, Self::Error>
+        where
+            V: $crate::de::Visitor<'de>,
+        {
+            self.deserialize_any(visitor)
+        }
+    };
+    (identifier) => {
+        fn deserialize_identifier<V>(
+            self,
+            visitor: V,
+        ) -> ::core::result::Result<V::Value, Self::Error>
+        where
+            V: $crate::de::Visitor<'de>,
+        {
+            self.deserialize_any(visitor)
+        }
+    };
+    (ignored_any) => {
+        fn deserialize_ignored_any<V>(
+            self,
+            visitor: V,
+        ) -> ::core::result::Result<V::Value, Self::Error>
+        where
+            V: $crate::de::Visitor<'de>,
+        {
+            self.deserialize_any(visitor)
+        }
+    };
+}

@@ -1,0 +1,628 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for
+//! the offline serde stub.
+//!
+//! The sandbox that builds this workspace has no crates.io access, so there
+//! is no `syn`/`quote`; this crate parses the item token stream directly.
+//! Supported shapes — exactly what the MedSen crates use:
+//!
+//! * structs with named fields (`#[serde(default)]` honored per field);
+//! * single-field tuple ("newtype") structs, including
+//!   `#[serde(transparent)]` ones (both serialize as their inner value);
+//! * enums with unit, newtype, tuple, and struct variants (externally
+//!   tagged, serde's default), including unit variants with explicit
+//!   discriminants (`Foo = 0x01`).
+//!
+//! Generics are intentionally unsupported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ───────────────────────── item model ─────────────────────────
+
+struct Field {
+    name: String,
+    ty: String,
+    default: bool,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    /// Tuple struct/variant: the positional field types.
+    Tuple(Vec<String>),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ───────────────────────── parsing ─────────────────────────
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let token = self.tokens.get(self.pos).cloned();
+        if token.is_some() {
+            self.pos += 1;
+        }
+        token
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == c {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, name: &str) -> bool {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == name {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Skips `#[...]` attributes, returning true if any of them was
+    /// `#[serde(...)]` containing the ident `flag`.
+    fn skip_attrs_checking_serde(&mut self, flag: &str) -> bool {
+        let mut found = false;
+        while self.eat_punct('#') {
+            let Some(TokenTree::Group(group)) = self.next() else {
+                panic!("expected `[...]` after `#`");
+            };
+            let mut inner = Cursor::new(group.stream());
+            if inner.eat_ident("serde") {
+                if let Some(TokenTree::Group(args)) = inner.peek() {
+                    let args_text = args.stream().to_string();
+                    if args_text
+                        .split(|c: char| !c.is_alphanumeric() && c != '_')
+                        .any(|word| word == flag)
+                    {
+                        found = true;
+                    }
+                }
+            }
+        }
+        found
+    }
+
+    /// Skips a `pub` / `pub(crate)` visibility marker.
+    fn skip_visibility(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Collects tokens until a top-level comma (or the end), tracking `<>`
+    /// depth so commas inside generic arguments don't split the type.
+    fn collect_type(&mut self) -> String {
+        let mut depth: i32 = 0;
+        let mut collected: Vec<TokenTree> = Vec::new();
+        while let Some(token) = self.peek() {
+            if let TokenTree::Punct(p) = token {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            collected.push(self.next().expect("peeked"));
+        }
+        collected.into_iter().collect::<TokenStream>().to_string()
+    }
+}
+
+fn parse_named_fields(group_stream: TokenStream) -> Vec<Field> {
+    let mut cursor = Cursor::new(group_stream);
+    let mut fields = Vec::new();
+    while !cursor.at_end() {
+        let default = cursor.skip_attrs_checking_serde("default");
+        cursor.skip_visibility();
+        let Some(TokenTree::Ident(name)) = cursor.next() else {
+            panic!("expected a field name");
+        };
+        assert!(cursor.eat_punct(':'), "expected `:` after field name");
+        let ty = cursor.collect_type();
+        cursor.eat_punct(',');
+        fields.push(Field {
+            name: name.to_string(),
+            ty,
+            default,
+        });
+    }
+    fields
+}
+
+fn parse_tuple_fields(group_stream: TokenStream) -> Vec<String> {
+    let mut cursor = Cursor::new(group_stream);
+    let mut types = Vec::new();
+    while !cursor.at_end() {
+        cursor.skip_attrs_checking_serde("default");
+        cursor.skip_visibility();
+        let ty = cursor.collect_type();
+        cursor.eat_punct(',');
+        if !ty.is_empty() {
+            types.push(ty);
+        }
+    }
+    types
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cursor = Cursor::new(input);
+    cursor.skip_attrs_checking_serde("");
+    cursor.skip_visibility();
+    if cursor.eat_ident("struct") {
+        let Some(TokenTree::Ident(name)) = cursor.next() else {
+            panic!("expected a struct name");
+        };
+        if matches!(cursor.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+            panic!("the offline serde derive does not support generic types");
+        }
+        let fields = match cursor.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(parse_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        Item::Struct {
+            name: name.to_string(),
+            fields,
+        }
+    } else if cursor.eat_ident("enum") {
+        let Some(TokenTree::Ident(name)) = cursor.next() else {
+            panic!("expected an enum name");
+        };
+        if matches!(cursor.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+            panic!("the offline serde derive does not support generic types");
+        }
+        let Some(TokenTree::Group(body)) = cursor.next() else {
+            panic!("expected an enum body");
+        };
+        let mut inner = Cursor::new(body.stream());
+        let mut variants = Vec::new();
+        while !inner.at_end() {
+            inner.skip_attrs_checking_serde("");
+            let Some(TokenTree::Ident(vname)) = inner.next() else {
+                panic!("expected a variant name");
+            };
+            let fields = match inner.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let g = g.stream();
+                    inner.pos += 1;
+                    Fields::Named(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let g = g.stream();
+                    inner.pos += 1;
+                    Fields::Tuple(parse_tuple_fields(g))
+                }
+                _ => Fields::Unit,
+            };
+            // Skip an explicit discriminant (`= 0x01`).
+            if inner.eat_punct('=') {
+                while let Some(token) = inner.peek() {
+                    if matches!(token, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                    inner.next();
+                }
+            }
+            inner.eat_punct(',');
+            variants.push(Variant {
+                name: vname.to_string(),
+                fields,
+            });
+        }
+        Item::Enum {
+            name: name.to_string(),
+            variants,
+        }
+    } else {
+        panic!("#[derive(Serialize/Deserialize)] supports only structs and enums");
+    }
+}
+
+// ───────────────────────── Serialize codegen ─────────────────────────
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+fn serialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(fields) => {
+            let mut out = format!(
+                "let mut __state = serde::Serializer::serialize_struct(__serializer, \"{name}\", {})?;\n",
+                fields.len()
+            );
+            for field in fields {
+                out.push_str(&format!(
+                    "serde::ser::SerializeStruct::serialize_field(&mut __state, \"{0}\", &self.{0})?;\n",
+                    field.name
+                ));
+            }
+            out.push_str("serde::ser::SerializeStruct::end(__state)\n");
+            out
+        }
+        Fields::Tuple(types) if types.len() == 1 => format!(
+            "serde::Serializer::serialize_newtype_struct(__serializer, \"{name}\", &self.0)\n"
+        ),
+        Fields::Tuple(types) => {
+            let mut out = format!(
+                "let mut __state = serde::Serializer::serialize_tuple_struct(__serializer, \"{name}\", {})?;\n",
+                types.len()
+            );
+            for idx in 0..types.len() {
+                out.push_str(&format!(
+                    "serde::ser::SerializeTupleStruct::serialize_field(&mut __state, &self.{idx})?;\n"
+                ));
+            }
+            out.push_str("serde::ser::SerializeTupleStruct::end(__state)\n");
+            out
+        }
+        Fields::Unit => {
+            format!("serde::Serializer::serialize_unit_struct(__serializer, \"{name}\")\n")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn serialize<__S: serde::Serializer>(&self, __serializer: __S) \
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for (index, variant) in variants.iter().enumerate() {
+        let vname = &variant.name;
+        match &variant.fields {
+            Fields::Unit => {
+                arms.push_str(&format!(
+                    "{name}::{vname} => serde::Serializer::serialize_unit_variant(__serializer, \"{name}\", {index}, \"{vname}\"),\n"
+                ));
+            }
+            Fields::Tuple(types) if types.len() == 1 => {
+                arms.push_str(&format!(
+                    "{name}::{vname}(__f0) => serde::Serializer::serialize_newtype_variant(__serializer, \"{name}\", {index}, \"{vname}\", __f0),\n"
+                ));
+            }
+            Fields::Tuple(types) => {
+                let bindings: Vec<String> = (0..types.len()).map(|i| format!("__f{i}")).collect();
+                let mut arm = format!(
+                    "{name}::{vname}({}) => {{\n\
+                     let mut __state = serde::Serializer::serialize_tuple_variant(__serializer, \"{name}\", {index}, \"{vname}\", {})?;\n",
+                    bindings.join(", "),
+                    types.len()
+                );
+                for binding in &bindings {
+                    arm.push_str(&format!(
+                        "serde::ser::SerializeTupleVariant::serialize_field(&mut __state, {binding})?;\n"
+                    ));
+                }
+                arm.push_str("serde::ser::SerializeTupleVariant::end(__state)\n},\n");
+                arms.push_str(&arm);
+            }
+            Fields::Named(fields) => {
+                let bindings: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let mut arm = format!(
+                    "{name}::{vname} {{ {} }} => {{\n\
+                     let mut __state = serde::Serializer::serialize_struct_variant(__serializer, \"{name}\", {index}, \"{vname}\", {})?;\n",
+                    bindings.join(", "),
+                    fields.len()
+                );
+                for field in fields {
+                    arm.push_str(&format!(
+                        "serde::ser::SerializeStructVariant::serialize_field(&mut __state, \"{0}\", {0})?;\n",
+                        field.name
+                    ));
+                }
+                arm.push_str("serde::ser::SerializeStructVariant::end(__state)\n},\n");
+                arms.push_str(&arm);
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn serialize<__S: serde::Serializer>(&self, __serializer: __S) \
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 match self {{\n{arms}}}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+// ───────────────────────── Deserialize codegen ─────────────────────────
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+/// Emits the body of a `visit_map` that fills the named fields of
+/// `constructor` (either `Name` or `Name::Variant`).
+fn named_fields_visit_map(constructor: &str, fields: &[Field]) -> String {
+    let mut out = String::new();
+    for field in fields {
+        out.push_str(&format!(
+            "let mut __field_{0}: ::core::option::Option<{1}> = ::core::option::Option::None;\n",
+            field.name, field.ty
+        ));
+    }
+    out.push_str(
+        "while let ::core::option::Option::Some(__key) = \
+         serde::de::MapAccess::next_key::<::std::string::String>(&mut __map)? {\n\
+         match __key.as_str() {\n",
+    );
+    for field in fields {
+        out.push_str(&format!(
+            "\"{0}\" => {{ __field_{0} = ::core::option::Option::Some(\
+             serde::de::MapAccess::next_value::<{1}>(&mut __map)?); }}\n",
+            field.name, field.ty
+        ));
+    }
+    out.push_str(
+        "_ => { serde::de::MapAccess::next_value::<serde::de::IgnoredAny>(&mut __map)?; }\n}\n}\n",
+    );
+    out.push_str(&format!("::core::result::Result::Ok({constructor} {{\n"));
+    for field in fields {
+        if field.default {
+            out.push_str(&format!(
+                "{0}: __field_{0}.unwrap_or_default(),\n",
+                field.name
+            ));
+        } else {
+            out.push_str(&format!(
+                "{0}: match __field_{0} {{\n\
+                 ::core::option::Option::Some(__value) => __value,\n\
+                 ::core::option::Option::None => return ::core::result::Result::Err(\
+                 serde::de::Error::missing_field(\"{0}\")),\n}},\n",
+                field.name
+            ));
+        }
+    }
+    out.push_str("})\n");
+    out
+}
+
+/// Emits the body of a `visit_seq` that fills the positional fields of
+/// `constructor` from a tuple payload.
+fn tuple_fields_visit_seq(constructor: &str, types: &[String]) -> String {
+    let mut out = String::new();
+    for (idx, ty) in types.iter().enumerate() {
+        out.push_str(&format!(
+            "let __f{idx}: {ty} = match serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+             ::core::option::Option::Some(__value) => __value,\n\
+             ::core::option::Option::None => return ::core::result::Result::Err(\
+             serde::de::Error::custom(\"tuple payload is too short\")),\n}};\n"
+        ));
+    }
+    let bindings: Vec<String> = (0..types.len()).map(|i| format!("__f{i}")).collect();
+    out.push_str(&format!(
+        "::core::result::Result::Ok({constructor}({}))\n",
+        bindings.join(", ")
+    ));
+    out
+}
+
+fn deserialize_struct(name: &str, fields: &Fields) -> String {
+    let (visitor_body, driver) = match fields {
+        Fields::Named(fields) => {
+            let field_names: Vec<String> =
+                fields.iter().map(|f| format!("\"{}\"", f.name)).collect();
+            let visit_map = named_fields_visit_map(name, fields);
+            (
+                format!(
+                    "fn visit_map<__A: serde::de::MapAccess<'de>>(self, mut __map: __A) \
+                     -> ::core::result::Result<Self::Value, __A::Error> {{\n{visit_map}}}\n"
+                ),
+                format!(
+                    "serde::Deserializer::deserialize_struct(__deserializer, \"{name}\", &[{}], __Visitor)",
+                    field_names.join(", ")
+                ),
+            )
+        }
+        Fields::Tuple(types) if types.len() == 1 => (
+            format!(
+                "fn visit_newtype_struct<__D: serde::Deserializer<'de>>(self, __deserializer: __D) \
+                 -> ::core::result::Result<Self::Value, __D::Error> {{\n\
+                 ::core::result::Result::Ok({name}(<{} as serde::Deserialize>::deserialize(__deserializer)?))\n}}\n",
+                types[0]
+            ),
+            format!(
+                "serde::Deserializer::deserialize_newtype_struct(__deserializer, \"{name}\", __Visitor)"
+            ),
+        ),
+        Fields::Tuple(types) => {
+            let visit_seq = tuple_fields_visit_seq(name, types);
+            (
+                format!(
+                    "fn visit_seq<__A: serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+                     -> ::core::result::Result<Self::Value, __A::Error> {{\n{visit_seq}}}\n"
+                ),
+                format!(
+                    "serde::Deserializer::deserialize_tuple_struct(__deserializer, \"{name}\", {}, __Visitor)",
+                    types.len()
+                ),
+            )
+        }
+        Fields::Unit => (
+            format!(
+                "fn visit_unit<__E: serde::de::Error>(self) \
+                 -> ::core::result::Result<Self::Value, __E> {{\n\
+                 ::core::result::Result::Ok({name})\n}}\n"
+            ),
+            format!(
+                "serde::Deserializer::deserialize_unit_struct(__deserializer, \"{name}\", __Visitor)"
+            ),
+        ),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: serde::Deserializer<'de>>(__deserializer: __D) \
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 struct __Visitor;\n\
+                 impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+                     type Value = {name};\n\
+                     fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                         ::core::write!(__f, \"struct {name}\")\n\
+                     }}\n\
+                     {visitor_body}\
+                 }}\n\
+                 {driver}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let variant_names: Vec<String> = variants.iter().map(|v| format!("\"{}\"", v.name)).collect();
+    // Per-variant payload visitors (tuple/struct variants need their own).
+    let mut payload_visitors = String::new();
+    let mut arms = String::new();
+    for (index, variant) in variants.iter().enumerate() {
+        let vname = &variant.name;
+        match &variant.fields {
+            Fields::Unit => {
+                arms.push_str(&format!(
+                    "\"{vname}\" => {{ serde::de::VariantAccess::unit_variant(__access)?; \
+                     ::core::result::Result::Ok({name}::{vname}) }}\n"
+                ));
+            }
+            Fields::Tuple(types) if types.len() == 1 => {
+                arms.push_str(&format!(
+                    "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(\
+                     serde::de::VariantAccess::newtype_variant::<{}>(__access)?)),\n",
+                    types[0]
+                ));
+            }
+            Fields::Tuple(types) => {
+                let visit_seq = tuple_fields_visit_seq(&format!("{name}::{vname}"), types);
+                payload_visitors.push_str(&format!(
+                    "struct __Payload{index};\n\
+                     impl<'de> serde::de::Visitor<'de> for __Payload{index} {{\n\
+                         type Value = {name};\n\
+                         fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                             ::core::write!(__f, \"tuple variant {name}::{vname}\")\n\
+                         }}\n\
+                         fn visit_seq<__A: serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+                             -> ::core::result::Result<Self::Value, __A::Error> {{\n{visit_seq}}}\n\
+                     }}\n"
+                ));
+                arms.push_str(&format!(
+                    "\"{vname}\" => serde::de::VariantAccess::tuple_variant(__access, {}, __Payload{index}),\n",
+                    types.len()
+                ));
+            }
+            Fields::Named(fields) => {
+                let field_names: Vec<String> =
+                    fields.iter().map(|f| format!("\"{}\"", f.name)).collect();
+                let visit_map = named_fields_visit_map(&format!("{name}::{vname}"), fields);
+                payload_visitors.push_str(&format!(
+                    "struct __Payload{index};\n\
+                     impl<'de> serde::de::Visitor<'de> for __Payload{index} {{\n\
+                         type Value = {name};\n\
+                         fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                             ::core::write!(__f, \"struct variant {name}::{vname}\")\n\
+                         }}\n\
+                         fn visit_map<__A: serde::de::MapAccess<'de>>(self, mut __map: __A) \
+                             -> ::core::result::Result<Self::Value, __A::Error> {{\n{visit_map}}}\n\
+                     }}\n"
+                ));
+                arms.push_str(&format!(
+                    "\"{vname}\" => serde::de::VariantAccess::struct_variant(__access, &[{}], __Payload{index}),\n",
+                    field_names.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: serde::Deserializer<'de>>(__deserializer: __D) \
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 {payload_visitors}\
+                 struct __Visitor;\n\
+                 impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+                     type Value = {name};\n\
+                     fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                         ::core::write!(__f, \"enum {name}\")\n\
+                     }}\n\
+                     fn visit_enum<__A: serde::de::EnumAccess<'de>>(self, __data: __A) \
+                         -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                         let (__variant, __access) = \
+                             serde::de::EnumAccess::variant::<::std::string::String>(__data)?;\n\
+                         match __variant.as_str() {{\n\
+                             {arms}\
+                             __other => ::core::result::Result::Err(\
+                                 serde::de::Error::unknown_variant(__other, &[{variant_list}])),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n\
+                 serde::Deserializer::deserialize_enum(__deserializer, \"{name}\", &[{variant_list}], __Visitor)\n\
+             }}\n\
+         }}\n",
+        variant_list = variant_names.join(", ")
+    )
+}
