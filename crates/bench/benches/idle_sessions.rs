@@ -1,0 +1,63 @@
+//! Benchmarks idle-session scaling on the hand-rolled runtime: how much
+//! does it cost to park N sessions on the timer wheel and wake them all?
+//!
+//! This is the number that motivates the task-based gateway engine. An
+//! OS-thread-per-session design pays a stack and a scheduler entry per
+//! idle session; here N runs to 4096 on a four-thread executor, so the
+//! per-session cost is one timer-wheel entry plus one queued task. The
+//! measured quantity is the full park→wake→complete round trip for the
+//! whole fleet under a manually advanced clock (no real sleeping — the
+//! bench measures bookkeeping, not timers firing at wall-clock pace).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use medsen_runtime::{Clock, Runtime};
+use std::hint::black_box;
+use std::time::Duration;
+
+const POOL_THREADS: usize = 4;
+
+/// Park `sessions` tasks on the timer wheel, release them with one manual
+/// advance, and wait for every task to finish.
+fn park_and_wake(sessions: usize) {
+    let runtime = Runtime::new(POOL_THREADS, Clock::Manual);
+    let handles: Vec<_> = (0..sessions)
+        .map(|i| {
+            let timer = runtime.timer().clone();
+            runtime.spawn(async move {
+                // Spread deadlines over 32 slots so the wheel does real
+                // ordering work instead of draining one slot.
+                timer
+                    .sleep(Duration::from_millis(1 + (i % 32) as u64))
+                    .await;
+                i
+            })
+        })
+        .collect();
+    while runtime.timer().pending() < sessions {
+        std::thread::yield_now();
+    }
+    runtime.timer().advance(Duration::from_millis(33));
+    let mut total = 0usize;
+    for handle in handles {
+        total += handle.join();
+    }
+    black_box(total);
+    runtime.shutdown();
+}
+
+/// Fleet park/wake round trips per second, by fleet size.
+fn idle_session_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("idle_sessions");
+    for sessions in [256usize, 1024, 4096] {
+        group.throughput(Throughput::Elements(sessions as u64));
+        group.bench_with_input(
+            BenchmarkId::new("park_wake_join", sessions),
+            &sessions,
+            |b, &sessions| b.iter(|| park_and_wake(black_box(sessions))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, idle_session_scaling);
+criterion_main!(benches);

@@ -327,7 +327,7 @@ pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
     use medsen_cloud::service::{CloudService, Response};
     use medsen_dsp::classify::Classifier;
     use medsen_dsp::FeatureVector;
-    use medsen_gateway::{Gateway, GatewayConfig, SessionConfig, ShedPolicy};
+    use medsen_gateway::{Gateway, GatewayConfig, RuntimeKind, SessionConfig, ShedPolicy};
     use medsen_impedance::{PulseSpec, SignalTrace, TraceSynthesizer};
 
     let (positional, options) = split_options(args)?;
@@ -335,7 +335,7 @@ pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
         return Err(format!("unexpected argument `{}`", positional[0]));
     }
     for name in options.keys() {
-        if !["sessions", "workers", "queue", "flaky", "seed"].contains(&name.as_str()) {
+        if !["sessions", "workers", "queue", "flaky", "seed", "runtime"].contains(&name.as_str()) {
             return Err(format!("unknown option --{name}"));
         }
     }
@@ -344,6 +344,10 @@ pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
     let queue: usize = parse(&options, "queue", 8)?;
     let flaky: f64 = parse(&options, "flaky", 0.1)?;
     let seed: u64 = parse(&options, "seed", 7)?;
+    let runtime: RuntimeKind = match options.get("runtime") {
+        Some(value) => value.parse().map_err(|e| format!("--runtime: {e}"))?,
+        None => RuntimeKind::default(),
+    };
     if !(1..=512).contains(&sessions) {
         return Err("--sessions must be in 1..=512".into());
     }
@@ -393,7 +397,7 @@ pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
         .map_err(|e| format!("classifier training failed: {e}"))?;
     service.install_classifier(classifier);
 
-    let gateway = Gateway::new(
+    let gateway = Gateway::with_runtime(
         service,
         GatewayConfig {
             queue_capacity: queue,
@@ -402,6 +406,7 @@ pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
                 retry_after: Seconds::from_millis(50.0),
             },
         },
+        runtime,
     );
 
     // Enroll through the gateway itself.
@@ -465,7 +470,7 @@ pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
         }
     }
     wl(out, format!(
-        "fleet: {sessions} sessions via {workers} workers (queue depth {queue}, {:.0}% flaky uplink)",
+        "fleet: {sessions} sessions via {workers} workers (queue depth {queue}, {:.0}% flaky uplink, {runtime} runtime)",
         flaky * 100.0
     ));
     wl(out, format!(

@@ -1,25 +1,84 @@
-//! The bounded work-queue + worker-pool executor.
+//! The bounded work-queue executor behind the gateway.
 //!
-//! [`Gateway`] fronts one shared [`CloudService`] with a bounded crossbeam
-//! channel and a pool of OS threads. Sessions submit framed uploads; a
-//! worker reassembles each upload, drives the service through
+//! [`Gateway`] fronts one shared [`CloudService`] with a bounded queue
+//! and a pool of workers. Sessions submit framed uploads; a worker
+//! reassembles each upload, drives the service through
 //! [`CloudService::handle_json_shared`], and posts the JSON response back
 //! on a per-request reply channel ([`PendingReply`]).
 //!
+//! Two interchangeable engines implement the pool, selected by
+//! [`RuntimeKind`]:
+//!
+//! * [`RuntimeKind::Async`] (the default) — M worker *tasks* multiplexed
+//!   over a fixed pool of `medsen-runtime` executor threads, pulling from
+//!   the runtime's async MPMC channel. Idle workers cost a task, not a
+//!   thread, which is what lets one gateway host thousands of
+//!   low-duty-cycle sessions.
+//! * [`RuntimeKind::Threads`] — the original OS-thread-per-worker pool on
+//!   a crossbeam channel, kept as a baseline and selectable from the CLI
+//!   via `--runtime threads`.
+//!
 //! Backpressure is explicit: when the queue is full the [`ShedPolicy`]
 //! either blocks the submitter or sheds the request with a retry-after
-//! hint, and every outcome lands in [`GatewayMetrics`].
+//! hint, and every outcome lands in [`GatewayMetrics`]. Retry-after and
+//! backoff waits are paced on the gateway's time-compressed timer wheel
+//! (see [`Gateway::pace`]), so shed-heavy tests cost milliseconds of real
+//! time, not seconds.
 
 use crate::metrics::{GatewayMetrics, MetricsSnapshot};
 use crate::wire;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use medsen_cloud::service::{CloudService, Response};
+use medsen_runtime as runtime;
 use medsen_units::Seconds;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Simulated-to-real compression for retry-after and backoff pacing: a
+/// 50 ms simulated shed wait parks the session for 1 ms of real time.
+/// Drain pacing survives (sessions still retry at a bounded rate), but a
+/// shed-heavy fleet test no longer burns wall-clock seconds.
+const TIME_COMPRESSION: f64 = 50.0;
+
+/// Upper bound on executor threads for the async engine; worker *tasks*
+/// scale independently of this.
+const MAX_EXECUTOR_THREADS: usize = 8;
+
+/// Which concurrency engine drives the worker pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RuntimeKind {
+    /// One OS thread per worker (the original engine).
+    Threads,
+    /// Worker tasks on the `medsen-runtime` executor (fixed thread pool).
+    #[default]
+    Async,
+}
+
+impl fmt::Display for RuntimeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeKind::Threads => write!(f, "threads"),
+            RuntimeKind::Async => write!(f, "async"),
+        }
+    }
+}
+
+impl std::str::FromStr for RuntimeKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "threads" => Ok(RuntimeKind::Threads),
+            "async" => Ok(RuntimeKind::Async),
+            other => Err(format!(
+                "unknown runtime `{other}` (expected `threads` or `async`)"
+            )),
+        }
+    }
+}
 
 /// What to do with a submission when the work queue is full.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,8 +98,10 @@ pub enum ShedPolicy {
 pub struct GatewayConfig {
     /// Bounded work-queue capacity (must be > 0).
     pub queue_capacity: usize,
-    /// Worker threads. `0` is allowed and means "never drain" — useful for
-    /// deterministically exercising the backpressure path in tests.
+    /// Worker count: tasks under [`RuntimeKind::Async`], OS threads under
+    /// [`RuntimeKind::Threads`]. `0` is allowed and means "never drain" —
+    /// useful for deterministically exercising the backpressure path in
+    /// tests.
     pub workers: usize,
     /// Full-queue behavior.
     pub shed_policy: ShedPolicy,
@@ -165,45 +226,128 @@ struct WorkItem {
     enqueued: Instant,
 }
 
-/// The multi-session ingestion gateway.
-pub struct Gateway {
-    service: Arc<CloudService>,
-    metrics: Arc<GatewayMetrics>,
+/// The original engine: one OS thread per worker on a crossbeam channel.
+struct ThreadEngine {
     tx: Sender<WorkItem>,
     // Keeps the channel connected even with a zero-worker pool (used by
     // tests to freeze the queue); workers hold their own clones.
     _rx: Receiver<WorkItem>,
     workers: Vec<thread::JoinHandle<()>>,
+}
+
+/// The task engine: M worker tasks over N executor threads.
+struct AsyncEngine {
+    executor: runtime::Executor,
+    tx: runtime::channel::Sender<WorkItem>,
+    // Same zero-worker trick as the thread engine: hold a receiver so the
+    // queue can fill without disconnecting.
+    _rx: runtime::channel::Receiver<WorkItem>,
+    tasks: Vec<runtime::JoinHandle<()>>,
+}
+
+impl AsyncEngine {
+    /// Ordered teardown: stop intake, let tasks drain the queue, join
+    /// them, then stop the executor pool (its `Drop` joins the threads).
+    fn quiesce(&mut self) {
+        self.tx.close();
+        for task in self.tasks.drain(..) {
+            task.join();
+        }
+    }
+}
+
+impl Drop for AsyncEngine {
+    fn drop(&mut self) {
+        self.quiesce();
+    }
+}
+
+enum Engine {
+    Threads(ThreadEngine),
+    Async(AsyncEngine),
+}
+
+/// The multi-session ingestion gateway.
+pub struct Gateway {
+    service: Arc<CloudService>,
+    metrics: Arc<GatewayMetrics>,
+    engine: Engine,
+    /// Time-compressed wheel pacing shed retry-after and backoff waits.
+    pacer: runtime::Timer,
     shed_policy: ShedPolicy,
+    runtime_kind: RuntimeKind,
     next_session: AtomicU64,
 }
 
 impl Gateway {
-    /// Spawns the worker pool in front of `service`.
+    /// Spawns the worker pool in front of `service` on the default
+    /// (async) engine.
     pub fn new(service: CloudService, config: GatewayConfig) -> Self {
+        Self::with_runtime(service, config, RuntimeKind::default())
+    }
+
+    /// Spawns the worker pool on an explicitly chosen engine.
+    pub fn with_runtime(
+        service: CloudService,
+        config: GatewayConfig,
+        runtime_kind: RuntimeKind,
+    ) -> Self {
         let service = Arc::new(service);
         let metrics = Arc::new(GatewayMetrics::new());
-        let (tx, rx) = bounded::<WorkItem>(config.queue_capacity);
-        let workers = (0..config.workers)
-            .map(|i| {
-                let rx = rx.clone();
-                let service = Arc::clone(&service);
-                let metrics = Arc::clone(&metrics);
-                thread::Builder::new()
-                    .name(format!("gateway-worker-{i}"))
-                    .spawn(move || worker_loop(rx, service, metrics))
-                    .expect("spawn gateway worker")
-            })
-            .collect();
+        let engine = match runtime_kind {
+            RuntimeKind::Threads => {
+                let (tx, rx) = bounded::<WorkItem>(config.queue_capacity);
+                let workers = (0..config.workers)
+                    .map(|i| {
+                        let rx = rx.clone();
+                        let service = Arc::clone(&service);
+                        let metrics = Arc::clone(&metrics);
+                        thread::Builder::new()
+                            .name(format!("gateway-worker-{i}"))
+                            .spawn(move || worker_loop(rx, service, metrics))
+                            .expect("spawn gateway worker")
+                    })
+                    .collect();
+                Engine::Threads(ThreadEngine {
+                    tx,
+                    _rx: rx,
+                    workers,
+                })
+            }
+            RuntimeKind::Async => {
+                let executor =
+                    runtime::Executor::new(config.workers.clamp(1, MAX_EXECUTOR_THREADS));
+                let (tx, rx) = runtime::channel::bounded::<WorkItem>(config.queue_capacity);
+                let tasks = (0..config.workers)
+                    .map(|_| {
+                        let rx = rx.clone();
+                        let service = Arc::clone(&service);
+                        let metrics = Arc::clone(&metrics);
+                        executor.spawn(worker_task(rx, service, metrics))
+                    })
+                    .collect();
+                Engine::Async(AsyncEngine {
+                    executor,
+                    tx,
+                    _rx: rx,
+                    tasks,
+                })
+            }
+        };
         Self {
             service,
             metrics,
-            tx,
-            _rx: rx,
-            workers,
+            engine,
+            pacer: runtime::Timer::scaled(TIME_COMPRESSION),
             shed_policy: config.shed_policy,
+            runtime_kind,
             next_session: AtomicU64::new(1),
         }
+    }
+
+    /// Which engine this gateway runs on.
+    pub fn runtime_kind(&self) -> RuntimeKind {
+        self.runtime_kind
     }
 
     /// The shared cloud service (for fleet-level setup like classifier
@@ -225,6 +369,18 @@ impl Gateway {
         self.next_session.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Parks the calling session for `wait` of *simulated* time on the
+    /// gateway's compressed timer wheel (real time = `wait` ÷
+    /// [`TIME_COMPRESSION`]). Used for shed retry-after hints and flaky
+    /// -link backoffs: drain pacing is preserved without burning
+    /// wall-clock seconds.
+    pub(crate) fn pace(&self, wait: Seconds) {
+        let secs = wait.value();
+        if secs.is_finite() && secs > 0.0 {
+            self.pacer.sleep_blocking(Duration::from_secs_f64(secs));
+        }
+    }
+
     /// Submits a framed upload, applying the shed policy when the queue is
     /// full. On success the request is owned by the gateway and the
     /// returned [`PendingReply`] will produce exactly one response.
@@ -235,29 +391,59 @@ impl Gateway {
             reply: reply_tx,
             enqueued: Instant::now(),
         };
-        match self.shed_policy {
-            ShedPolicy::Block => {
-                if let Err(e) = self.tx.send(item) {
-                    return Err(SubmitError::Closed { upload: e.0.upload });
+        let depth = match &self.engine {
+            Engine::Threads(engine) => {
+                match self.shed_policy {
+                    ShedPolicy::Block => {
+                        if let Err(e) = engine.tx.send(item) {
+                            return Err(SubmitError::Closed { upload: e.0.upload });
+                        }
+                    }
+                    ShedPolicy::Reject { retry_after } => match engine.tx.try_send(item) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(item)) => {
+                            self.metrics.on_rejected();
+                            return Err(SubmitError::Busy {
+                                retry_after,
+                                upload: item.upload,
+                            });
+                        }
+                        Err(TrySendError::Disconnected(item)) => {
+                            return Err(SubmitError::Closed {
+                                upload: item.upload,
+                            });
+                        }
+                    },
                 }
+                engine.tx.len()
             }
-            ShedPolicy::Reject { retry_after } => match self.tx.try_send(item) {
-                Ok(()) => {}
-                Err(TrySendError::Full(item)) => {
-                    self.metrics.on_rejected();
-                    return Err(SubmitError::Busy {
-                        retry_after,
-                        upload: item.upload,
-                    });
+            Engine::Async(engine) => {
+                match self.shed_policy {
+                    ShedPolicy::Block => {
+                        if let Err(e) = runtime::block_on(engine.tx.send(item)) {
+                            return Err(SubmitError::Closed { upload: e.0.upload });
+                        }
+                    }
+                    ShedPolicy::Reject { retry_after } => match engine.tx.try_send(item) {
+                        Ok(()) => {}
+                        Err(runtime::channel::TrySendError::Full(item)) => {
+                            self.metrics.on_rejected();
+                            return Err(SubmitError::Busy {
+                                retry_after,
+                                upload: item.upload,
+                            });
+                        }
+                        Err(runtime::channel::TrySendError::Closed(item)) => {
+                            return Err(SubmitError::Closed {
+                                upload: item.upload,
+                            });
+                        }
+                    },
                 }
-                Err(TrySendError::Disconnected(item)) => {
-                    return Err(SubmitError::Closed {
-                        upload: item.upload,
-                    });
-                }
-            },
-        }
-        self.metrics.on_accepted(self.tx.len());
+                engine.tx.len()
+            }
+        };
+        self.metrics.on_accepted(depth);
         Ok(PendingReply { rx: reply_rx })
     }
 
@@ -267,41 +453,81 @@ impl Gateway {
     /// [`SubmitError::Closed`].
     pub fn shutdown(self) -> MetricsSnapshot {
         let Gateway {
-            tx,
-            workers,
-            metrics,
-            ..
+            engine, metrics, ..
         } = self;
-        drop(tx);
-        for handle in workers {
-            let _ = handle.join();
+        match engine {
+            Engine::Threads(ThreadEngine { tx, workers, .. }) => {
+                drop(tx);
+                for handle in workers {
+                    let _ = handle.join();
+                }
+            }
+            // Quiesce before the snapshot below so queued work is counted;
+            // the subsequent `Drop` is an idempotent no-op.
+            Engine::Async(mut engine) => engine.quiesce(),
         }
         metrics.snapshot()
+    }
+
+    fn worker_count(&self) -> usize {
+        match &self.engine {
+            Engine::Threads(engine) => engine.workers.len(),
+            Engine::Async(engine) => engine.tasks.len(),
+        }
+    }
+
+    fn queue_len(&self) -> usize {
+        match &self.engine {
+            Engine::Threads(engine) => engine.tx.len(),
+            Engine::Async(engine) => engine.tx.len(),
+        }
     }
 }
 
 impl fmt::Debug for Gateway {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Gateway")
-            .field("workers", &self.workers.len())
-            .field("queue_len", &self.tx.len())
-            .field("shed_policy", &self.shed_policy)
-            .finish()
+        let mut s = f.debug_struct("Gateway");
+        s.field("runtime", &self.runtime_kind)
+            .field("workers", &self.worker_count())
+            .field("queue_len", &self.queue_len())
+            .field("shed_policy", &self.shed_policy);
+        if let Engine::Async(engine) = &self.engine {
+            s.field("executor_threads", &engine.executor.threads());
+        }
+        s.finish()
     }
+}
+
+/// Decode → serve → reply for one work item; shared by both engines.
+fn handle_item(item: WorkItem, service: &CloudService, metrics: &GatewayMetrics) {
+    metrics.queue_wait.record(item.enqueued.elapsed());
+    let started = Instant::now();
+    let response_json = match wire::decode_upload(&item.upload) {
+        Ok((_session_id, body)) => service.handle_json_shared(&body),
+        Err(e) => error_json(&format!("malformed upload: {e}")),
+    };
+    metrics.service_time.record(started.elapsed());
+    metrics.on_completed();
+    // A session that gave up on the reply is not an error.
+    let _ = item.reply.send(response_json);
 }
 
 fn worker_loop(rx: Receiver<WorkItem>, service: Arc<CloudService>, metrics: Arc<GatewayMetrics>) {
     while let Ok(item) = rx.recv() {
-        metrics.queue_wait.record(item.enqueued.elapsed());
-        let started = Instant::now();
-        let response_json = match wire::decode_upload(&item.upload) {
-            Ok((_session_id, body)) => service.handle_json_shared(&body),
-            Err(e) => error_json(&format!("malformed upload: {e}")),
-        };
-        metrics.service_time.record(started.elapsed());
-        metrics.on_completed();
-        // A session that gave up on the reply is not an error.
-        let _ = item.reply.send(response_json);
+        handle_item(item, &service, &metrics);
+    }
+}
+
+/// One worker task: pull, serve, cooperatively yield so sibling workers
+/// sharing the executor thread get a turn between requests.
+async fn worker_task(
+    rx: runtime::channel::Receiver<WorkItem>,
+    service: Arc<CloudService>,
+    metrics: Arc<GatewayMetrics>,
+) {
+    while let Ok(item) = rx.recv().await {
+        handle_item(item, &service, &metrics);
+        runtime::yield_now().await;
     }
 }
 
@@ -322,92 +548,148 @@ mod tests {
         wire::encode_upload(session, &json)
     }
 
+    fn engines() -> [RuntimeKind; 2] {
+        [RuntimeKind::Threads, RuntimeKind::Async]
+    }
+
+    #[test]
+    fn default_engine_is_async() {
+        let gw = Gateway::new(CloudService::new(), GatewayConfig::clinic_default());
+        assert_eq!(gw.runtime_kind(), RuntimeKind::Async);
+        gw.shutdown();
+    }
+
+    #[test]
+    fn runtime_kind_parses_and_displays() {
+        assert_eq!("threads".parse::<RuntimeKind>(), Ok(RuntimeKind::Threads));
+        assert_eq!("async".parse::<RuntimeKind>(), Ok(RuntimeKind::Async));
+        assert!("green-threads".parse::<RuntimeKind>().is_err());
+        assert_eq!(RuntimeKind::Async.to_string(), "async");
+        assert_eq!(RuntimeKind::Threads.to_string(), "threads");
+    }
+
     #[test]
     fn serves_a_ping_through_the_pool() {
-        let gw = Gateway::new(
-            CloudService::new(),
-            GatewayConfig {
-                queue_capacity: 4,
-                workers: 2,
-                shed_policy: ShedPolicy::Block,
-            },
-        );
-        let reply = gw.submit(ping_upload(1)).expect("accepted");
-        assert_eq!(reply.wait().expect("reply"), Response::Pong);
-        let m = gw.shutdown();
-        assert_eq!(m.accepted, 1);
-        assert_eq!(m.completed, 1);
-        assert_eq!(m.lost(), 0);
+        for kind in engines() {
+            let gw = Gateway::with_runtime(
+                CloudService::new(),
+                GatewayConfig {
+                    queue_capacity: 4,
+                    workers: 2,
+                    shed_policy: ShedPolicy::Block,
+                },
+                kind,
+            );
+            let reply = gw.submit(ping_upload(1)).expect("accepted");
+            assert_eq!(reply.wait().expect("reply"), Response::Pong);
+            let m = gw.shutdown();
+            assert_eq!(m.accepted, 1, "{kind}");
+            assert_eq!(m.completed, 1, "{kind}");
+            assert_eq!(m.lost(), 0, "{kind}");
+        }
     }
 
     #[test]
     fn rejects_with_retry_after_when_full() {
         // Zero workers: the queue never drains, so the overflow path is
         // deterministic.
-        let gw = Gateway::new(
-            CloudService::new(),
-            GatewayConfig {
-                queue_capacity: 2,
-                workers: 0,
-                shed_policy: ShedPolicy::Reject {
-                    retry_after: Seconds::from_millis(25.0),
+        for kind in engines() {
+            let gw = Gateway::with_runtime(
+                CloudService::new(),
+                GatewayConfig {
+                    queue_capacity: 2,
+                    workers: 0,
+                    shed_policy: ShedPolicy::Reject {
+                        retry_after: Seconds::from_millis(25.0),
+                    },
                 },
-            },
-        );
-        let _a = gw.submit(ping_upload(1)).expect("fits");
-        let _b = gw.submit(ping_upload(2)).expect("fits");
-        match gw.submit(ping_upload(3)) {
-            Err(SubmitError::Busy {
-                retry_after,
-                upload,
-            }) => {
-                assert!((retry_after.value() - 0.025).abs() < 1e-12);
-                assert!(!upload.is_empty());
+                kind,
+            );
+            let _a = gw.submit(ping_upload(1)).expect("fits");
+            let _b = gw.submit(ping_upload(2)).expect("fits");
+            match gw.submit(ping_upload(3)) {
+                Err(SubmitError::Busy {
+                    retry_after,
+                    upload,
+                }) => {
+                    assert!((retry_after.value() - 0.025).abs() < 1e-12);
+                    assert!(!upload.is_empty());
+                }
+                other => panic!("expected Busy, got {other:?}"),
             }
-            other => panic!("expected Busy, got {other:?}"),
+            let m = gw.metrics();
+            assert_eq!(m.accepted, 2, "{kind}");
+            assert_eq!(m.rejected, 1, "{kind}");
+            assert_eq!(m.queue_high_water, 2, "{kind}");
         }
-        let m = gw.metrics();
-        assert_eq!(m.accepted, 2);
-        assert_eq!(m.rejected, 1);
-        assert_eq!(m.queue_high_water, 2);
     }
 
     #[test]
     fn malformed_uploads_yield_error_responses_not_crashes() {
-        let gw = Gateway::new(
-            CloudService::new(),
-            GatewayConfig {
-                queue_capacity: 4,
-                workers: 1,
-                shed_policy: ShedPolicy::Block,
-            },
-        );
-        let reply = gw.submit(vec![0xFF, 0x00, 0x01]).expect("accepted");
-        match reply.wait().expect("reply decodes") {
-            Response::Error { reason } => assert!(reason.contains("malformed upload")),
-            other => panic!("unexpected {other:?}"),
+        for kind in engines() {
+            let gw = Gateway::with_runtime(
+                CloudService::new(),
+                GatewayConfig {
+                    queue_capacity: 4,
+                    workers: 1,
+                    shed_policy: ShedPolicy::Block,
+                },
+                kind,
+            );
+            let reply = gw.submit(vec![0xFF, 0x00, 0x01]).expect("accepted");
+            match reply.wait().expect("reply decodes") {
+                Response::Error { reason } => assert!(reason.contains("malformed upload")),
+                other => panic!("unexpected {other:?}"),
+            }
+            gw.shutdown();
         }
-        gw.shutdown();
     }
 
     #[test]
     fn shutdown_resolves_queued_work_then_closes() {
-        let gw = Gateway::new(
+        for kind in engines() {
+            let gw = Gateway::with_runtime(
+                CloudService::new(),
+                GatewayConfig {
+                    queue_capacity: 8,
+                    workers: 1,
+                    shed_policy: ShedPolicy::Block,
+                },
+                kind,
+            );
+            let replies: Vec<PendingReply> = (0..5)
+                .map(|i| gw.submit(ping_upload(i)).expect("accepted"))
+                .collect();
+            let m = gw.shutdown();
+            for reply in replies {
+                assert_eq!(reply.wait().expect("served before close"), Response::Pong);
+            }
+            assert_eq!(m.completed, 5, "{kind}");
+            assert_eq!(m.lost(), 0, "{kind}");
+        }
+    }
+
+    /// The async engine multiplexes many more worker tasks than executor
+    /// threads without losing work.
+    #[test]
+    fn async_engine_runs_more_tasks_than_threads() {
+        let gw = Gateway::with_runtime(
             CloudService::new(),
             GatewayConfig {
-                queue_capacity: 8,
-                workers: 1,
+                queue_capacity: 64,
+                workers: 32, // tasks — far more than MAX_EXECUTOR_THREADS
                 shed_policy: ShedPolicy::Block,
             },
+            RuntimeKind::Async,
         );
-        let replies: Vec<PendingReply> = (0..5)
+        let replies: Vec<PendingReply> = (0..64)
             .map(|i| gw.submit(ping_upload(i)).expect("accepted"))
             .collect();
-        let m = gw.shutdown();
         for reply in replies {
-            assert_eq!(reply.wait().expect("served before close"), Response::Pong);
+            assert_eq!(reply.wait().expect("reply"), Response::Pong);
         }
-        assert_eq!(m.completed, 5);
+        let m = gw.shutdown();
+        assert_eq!(m.completed, 64);
         assert_eq!(m.lost(), 0);
     }
 }

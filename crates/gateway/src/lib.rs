@@ -12,7 +12,10 @@
 //!   [`CloudService`](medsen_cloud::service::CloudService) through its
 //!   thread-safe `handle_json_shared` entry point. When the queue fills,
 //!   an explicit [`ShedPolicy`] either blocks the submitter or rejects
-//!   with a retry-after hint.
+//!   with a retry-after hint. Two engines implement the pool, selected by
+//!   [`RuntimeKind`]: worker *tasks* on the `medsen-runtime` async
+//!   executor (the default — idle sessions cost a task, not a thread), or
+//!   the original OS-thread-per-worker baseline.
 //! * [`DongleSession`] (`session` module) — the per-device lifecycle
 //!   (connect → enroll/analyze stream → drain → close). Uploads ride the
 //!   phone's frame format ([`wire`]) across a simulated
@@ -35,7 +38,9 @@ pub mod metrics;
 pub mod session;
 pub mod wire;
 
-pub use gateway::{Gateway, GatewayConfig, PendingReply, ReplyError, ShedPolicy, SubmitError};
+pub use gateway::{
+    Gateway, GatewayConfig, PendingReply, ReplyError, RuntimeKind, ShedPolicy, SubmitError,
+};
 pub use metrics::{GatewayMetrics, LatencyHistogram, LatencySnapshot, MetricsSnapshot};
 pub use session::{
     DongleSession, RetryPolicy, SessionConfig, SessionError, SessionReport, SessionState,

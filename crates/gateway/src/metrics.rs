@@ -296,6 +296,72 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_percentiles_are_zero_everywhere() {
+        let s = LatencyHistogram::new().snapshot();
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(s.percentile_us(p), 0, "p={p}");
+        }
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max_us, 0);
+        assert_eq!(s.mean_us(), 0.0);
+        assert!(s.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range_p() {
+        let h = LatencyHistogram::new();
+        for us in [1u64, 10, 100] {
+            h.record(Duration::from_micros(us));
+        }
+        let s = h.snapshot();
+        // p ≤ 0 clamps to 0.0, whose rank still floors at the 1st sample.
+        assert_eq!(s.percentile_us(0.0), s.percentile_us(-3.0));
+        assert_eq!(s.percentile_us(0.0), 2, "1 µs lands in the ≤2 µs bucket");
+        // p ≥ 1 clamps to 1.0: the bucket holding the maximum sample.
+        assert_eq!(s.percentile_us(1.0), s.percentile_us(42.0));
+        assert_eq!(s.percentile_us(1.0), 128, "100 µs lands in ≤128 µs");
+        // NaN degenerates to rank 1 (the clamp's floor), never a panic.
+        assert_eq!(s.percentile_us(f64::NAN), 2);
+    }
+
+    #[test]
+    fn nonpositive_and_nonfinite_seconds_record_as_zero() {
+        let h = LatencyHistogram::new();
+        h.record_seconds(-1.0);
+        h.record_seconds(f64::NAN);
+        h.record_seconds(f64::INFINITY);
+        let s = h.snapshot();
+        // None of them is a finite positive duration, so all clamp to 0
+        // instead of wrapping or poisoning the totals.
+        assert_eq!(s.count, 3);
+        assert_eq!(s.max_us, 0);
+        assert_eq!(s.total_us, 0);
+        assert_eq!(s.buckets[0], 3, "all three clamp to the 0 bucket");
+    }
+
+    #[test]
+    fn metrics_snapshot_round_trips_through_clone_and_eq() {
+        let m = GatewayMetrics::new();
+        m.on_accepted(2);
+        m.on_rejected();
+        m.on_retried();
+        m.on_completed();
+        m.queue_wait.record(Duration::from_micros(17));
+        m.service_time.record_seconds(0.002);
+        m.uplink_time.record_seconds(0.05);
+        let a = m.snapshot();
+        let b = a.clone();
+        assert_eq!(a, b, "snapshot is a value type: clone compares equal");
+        // A later snapshot of the same live metrics also matches: snapshots
+        // are coherent copies, not views.
+        assert_eq!(a, m.snapshot());
+        m.on_failed();
+        assert_ne!(a, m.snapshot(), "new activity diverges from the copy");
+        assert_eq!(a.lost(), 0, "one accepted, one completed");
+        assert!(a.to_string().contains("accepted 1"));
+    }
+
+    #[test]
     fn empty_snapshot_is_sane() {
         let s = GatewayMetrics::new().snapshot();
         assert_eq!(s.lost(), 0);

@@ -340,9 +340,13 @@ impl<'g> DongleSession<'g> {
                 self.stats.sim_uplink += spent;
                 return Err(SessionError::RetriesExhausted { attempts });
             }
-            spent += self.config.retry.backoff(attempts - 1);
+            let backoff = self.config.retry.backoff(attempts - 1);
+            spent += backoff;
             self.stats.link_retries += 1;
             metrics.on_retried();
+            // Park on the gateway's compressed timer wheel so retries pace
+            // the real queue without burning real backoff seconds.
+            self.gateway.pace(backoff);
         }
         metrics.uplink_time.record_seconds(spent.value());
 
@@ -367,11 +371,12 @@ impl<'g> DongleSession<'g> {
                     }
                     self.stats.shed_retries += 1;
                     metrics.on_retried();
-                    // Unlike the modeled uplink, the queue is real: honor
-                    // the retry-after hint in real time (capped) so workers
-                    // drain at the rate the simulated clock assumes.
-                    let wait = retry_after.value().clamp(0.0, 1.0);
-                    std::thread::sleep(std::time::Duration::from_secs_f64(wait));
+                    // Unlike the modeled uplink, the queue is real: the
+                    // retry-after hint becomes a wait on the gateway's
+                    // time-compressed timer wheel, so workers still drain
+                    // between resubmissions but the session parks for
+                    // milliseconds of real time instead of the full hint.
+                    self.gateway.pace(retry_after);
                 }
                 Err(SubmitError::Closed { .. }) => {
                     metrics.on_failed();

@@ -1,0 +1,503 @@
+//! Async MPMC bounded channel.
+//!
+//! Senders park when the ring is full, receivers park when it is empty;
+//! both sides are cloneable, so N producer tasks can feed M consumer
+//! tasks. Closing is explicit ([`Sender::close`]/[`Receiver::close`]) or
+//! implicit (last handle of a side drops); a closed channel still lets
+//! receivers drain whatever was buffered before reporting disconnection —
+//! exactly the semantics the gateway's shutdown path relies on.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// `try_send` failure: the value rides back to the caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The buffer is at capacity.
+    Full(T),
+    /// The channel is closed (explicitly, or no receivers remain).
+    Closed(T),
+}
+
+/// Async `send` failure: the channel closed; the value rides back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// `try_recv` failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Nothing buffered right now.
+    Empty,
+    /// Closed and fully drained.
+    Closed,
+}
+
+/// Async `recv` failure: closed and fully drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "channel closed and drained")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "channel closed")
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for SendError<T> {}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    senders: usize,
+    receivers: usize,
+    closed: bool,
+    next_waiter: u64,
+    send_waiters: Vec<(u64, Waker)>,
+    recv_waiters: Vec<(u64, Waker)>,
+}
+
+impl<T> State<T> {
+    /// No more values will ever arrive.
+    fn disconnected(&self) -> bool {
+        self.closed || self.senders == 0
+    }
+
+    fn wake_one_recv(&mut self) {
+        if !self.recv_waiters.is_empty() {
+            let (_, waker) = self.recv_waiters.remove(0);
+            waker.wake();
+        }
+    }
+
+    fn wake_one_send(&mut self) {
+        if !self.send_waiters.is_empty() {
+            let (_, waker) = self.send_waiters.remove(0);
+            waker.wake();
+        }
+    }
+
+    fn wake_all(&mut self) {
+        for (_, waker) in self.send_waiters.drain(..) {
+            waker.wake();
+        }
+        for (_, waker) in self.recv_waiters.drain(..) {
+            waker.wake();
+        }
+    }
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Creates a bounded MPMC channel with room for `capacity` values.
+///
+/// # Panics
+/// Panics if `capacity` is zero (rendezvous channels are not modeled).
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "channel capacity must be positive");
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+            senders: 1,
+            receivers: 1,
+            closed: false,
+            next_waiter: 0,
+            send_waiters: Vec::new(),
+            recv_waiters: Vec::new(),
+        }),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+/// Producer half; cloneable.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Consumer half; cloneable.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Non-blocking send.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut state = self.shared.lock();
+        if state.closed || state.receivers == 0 {
+            return Err(TrySendError::Closed(value));
+        }
+        if state.queue.len() >= state.capacity {
+            return Err(TrySendError::Full(value));
+        }
+        state.queue.push_back(value);
+        state.wake_one_recv();
+        Ok(())
+    }
+
+    /// Awaits buffer space, then enqueues `value`.
+    pub fn send(&self, value: T) -> Send<'_, T> {
+        Send {
+            sender: self,
+            value: Some(value),
+            waiter: None,
+        }
+    }
+
+    /// Values currently buffered.
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the channel: future sends fail, receivers drain then
+    /// disconnect.
+    pub fn close(&self) {
+        let mut state = self.shared.lock();
+        state.closed = true;
+        state.wake_all();
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.shared.lock();
+        match state.queue.pop_front() {
+            Some(value) => {
+                state.wake_one_send();
+                Ok(value)
+            }
+            None if state.disconnected() => Err(TryRecvError::Closed),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Awaits the next value; `Err(RecvError)` once closed *and* drained.
+    pub fn recv(&self) -> Recv<'_, T> {
+        Recv {
+            receiver: self,
+            waiter: None,
+        }
+    }
+
+    /// Values currently buffered.
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the channel from the consumer side: senders start failing,
+    /// buffered values remain drainable.
+    pub fn close(&self) {
+        let mut state = self.shared.lock();
+        state.closed = true;
+        state.wake_all();
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().senders += 1;
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().receivers += 1;
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.lock();
+        state.senders -= 1;
+        if state.senders == 0 {
+            // Receivers must observe the disconnect.
+            state.wake_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.lock();
+        state.receivers -= 1;
+        if state.receivers == 0 {
+            state.wake_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sender").field("len", &self.len()).finish()
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Receiver")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// Future returned by [`Sender::send`].
+pub struct Send<'a, T> {
+    sender: &'a Sender<T>,
+    value: Option<T>,
+    waiter: Option<u64>,
+}
+
+impl<T: Unpin> Future for Send<'_, T> {
+    type Output = Result<(), SendError<T>>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = &mut *self;
+        let mut state = this.sender.shared.lock();
+        let value = this.value.take().expect("send future polled after ready");
+        if state.closed || state.receivers == 0 {
+            return Poll::Ready(Err(SendError(value)));
+        }
+        if state.queue.len() < state.capacity {
+            if let Some(id) = this.waiter.take() {
+                state.send_waiters.retain(|(wid, _)| *wid != id);
+            }
+            state.queue.push_back(value);
+            state.wake_one_recv();
+            return Poll::Ready(Ok(()));
+        }
+        this.value = Some(value);
+        let state = &mut *state;
+        let id = *this.waiter.get_or_insert_with(|| {
+            let id = state.next_waiter;
+            state.next_waiter += 1;
+            id
+        });
+        upsert_waiter(&mut state.send_waiters, id, cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+impl<T> Drop for Send<'_, T> {
+    fn drop(&mut self) {
+        if let Some(id) = self.waiter {
+            let mut state = self.sender.shared.lock();
+            state.send_waiters.retain(|(wid, _)| *wid != id);
+            // Hand our missed slot (if any) to the next waiting sender.
+            if state.queue.len() < state.capacity {
+                state.wake_one_send();
+            }
+        }
+    }
+}
+
+/// Future returned by [`Receiver::recv`].
+pub struct Recv<'a, T> {
+    receiver: &'a Receiver<T>,
+    waiter: Option<u64>,
+}
+
+impl<T> Future for Recv<'_, T> {
+    type Output = Result<T, RecvError>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = &mut *self;
+        let mut state = this.receiver.shared.lock();
+        if let Some(value) = state.queue.pop_front() {
+            if let Some(id) = this.waiter.take() {
+                state.recv_waiters.retain(|(wid, _)| *wid != id);
+            }
+            state.wake_one_send();
+            return Poll::Ready(Ok(value));
+        }
+        if state.disconnected() {
+            return Poll::Ready(Err(RecvError));
+        }
+        let state = &mut *state;
+        let id = *this.waiter.get_or_insert_with(|| {
+            let id = state.next_waiter;
+            state.next_waiter += 1;
+            id
+        });
+        upsert_waiter(&mut state.recv_waiters, id, cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+impl<T> Drop for Recv<'_, T> {
+    fn drop(&mut self) {
+        if let Some(id) = self.waiter {
+            let mut state = self.receiver.shared.lock();
+            state.recv_waiters.retain(|(wid, _)| *wid != id);
+            // A value may have been routed at us; pass the wake along.
+            if !state.queue.is_empty() {
+                state.wake_one_recv();
+            }
+        }
+    }
+}
+
+fn upsert_waiter(waiters: &mut Vec<(u64, Waker)>, id: u64, waker: Waker) {
+    match waiters.iter_mut().find(|(wid, _)| *wid == id) {
+        Some((_, slot)) => *slot = waker,
+        None => waiters.push((id, waker)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{block_on, Executor};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn try_send_try_recv_round_trip() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn close_lets_receivers_drain_then_disconnects() {
+        let (tx, rx) = bounded(4);
+        tx.try_send("a").unwrap();
+        tx.try_send("b").unwrap();
+        tx.close();
+        assert_eq!(tx.try_send("c"), Err(TrySendError::Closed("c")));
+        assert_eq!(rx.try_recv(), Ok("a"));
+        assert_eq!(block_on(rx.recv()), Ok("b"));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Closed));
+        assert_eq!(block_on(rx.recv()), Err(RecvError));
+    }
+
+    #[test]
+    fn dropping_all_senders_closes_after_drain() {
+        let (tx, rx) = bounded(4);
+        let tx2 = tx.clone();
+        tx.try_send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.try_recv(), Ok(7), "still drains: tx2 alive");
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx2.try_send(8).unwrap();
+        drop(tx2);
+        assert_eq!(block_on(rx.recv()), Ok(8), "buffered value survives close");
+        assert_eq!(block_on(rx.recv()), Err(RecvError));
+    }
+
+    #[test]
+    fn dropping_all_receivers_fails_senders() {
+        let (tx, rx) = bounded(4);
+        drop(rx);
+        assert_eq!(tx.try_send(1), Err(TrySendError::Closed(1)));
+        assert_eq!(block_on(tx.send(2)), Err(SendError(2)));
+    }
+
+    #[test]
+    fn blocked_receiver_wakes_on_send() {
+        let (tx, rx) = bounded(1);
+        let executor = Executor::new(1);
+        let consumer = executor.spawn(async move { rx.recv().await });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        tx.try_send(99).unwrap();
+        assert_eq!(consumer.join(), Ok(99));
+        executor.shutdown();
+    }
+
+    #[test]
+    fn blocked_sender_wakes_on_recv() {
+        let (tx, rx) = bounded(1);
+        tx.try_send(1).unwrap();
+        let executor = Executor::new(1);
+        let producer = executor.spawn(async move { tx.send(2).await });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(producer.join(), Ok(()));
+        assert_eq!(rx.try_recv(), Ok(2));
+        executor.shutdown();
+    }
+
+    #[test]
+    fn mpmc_many_producers_many_consumers_lose_nothing() {
+        const PRODUCERS: usize = 8;
+        const CONSUMERS: usize = 4;
+        const PER_PRODUCER: usize = 100;
+        let (tx, rx) = bounded(4);
+        let executor = Executor::new(4);
+        let received = Arc::new(AtomicUsize::new(0));
+        let consumers: Vec<_> = (0..CONSUMERS)
+            .map(|_| {
+                let rx = rx.clone();
+                let received = Arc::clone(&received);
+                executor.spawn(async move {
+                    while let Ok(value) = rx.recv().await {
+                        received.fetch_add(value, Ordering::Relaxed);
+                        crate::yield_now().await;
+                    }
+                })
+            })
+            .collect();
+        drop(rx);
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|_| {
+                let tx = tx.clone();
+                executor.spawn(async move {
+                    for _ in 0..PER_PRODUCER {
+                        tx.send(1).await.expect("receivers alive");
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        for producer in producers {
+            producer.join();
+        }
+        for consumer in consumers {
+            consumer.join();
+        }
+        assert_eq!(received.load(Ordering::Relaxed), PRODUCERS * PER_PRODUCER);
+        executor.shutdown();
+    }
+}

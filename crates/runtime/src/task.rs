@@ -1,0 +1,198 @@
+//! Task state machine and join handles.
+//!
+//! A [`Task`] owns one boxed future plus an atomic state word; the state
+//! word is what makes `Waker`s cheap and idempotent. Wakes arriving while
+//! the task is being polled park in the `NOTIFIED` state and re-arm the
+//! task the moment its poll returns `Pending`, so no wakeup is ever lost
+//! to the classic poll/wake race.
+
+use crate::executor::Inner;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+pub(crate) type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+/// Waiting for a wake; not queued.
+const IDLE: u8 = 0;
+/// In the run queue, awaiting a worker.
+const SCHEDULED: u8 = 1;
+/// A worker is polling the future right now.
+const RUNNING: u8 = 2;
+/// Woken while `RUNNING`; reschedule as soon as the poll returns.
+const NOTIFIED: u8 = 3;
+/// The future returned `Ready` and was dropped.
+const COMPLETE: u8 = 4;
+
+pub(crate) struct Task {
+    state: AtomicU8,
+    future: Mutex<Option<BoxFuture>>,
+    executor: Arc<Inner>,
+}
+
+impl Task {
+    pub(crate) fn new(future: BoxFuture, executor: Arc<Inner>) -> Arc<Self> {
+        Arc::new(Self {
+            state: AtomicU8::new(SCHEDULED),
+            future: Mutex::new(Some(future)),
+            executor,
+        })
+    }
+
+    /// Polls the task once. Called by a worker that just popped the task
+    /// off the run queue (state `SCHEDULED`).
+    pub(crate) fn run(self: &Arc<Self>) {
+        self.state.store(RUNNING, Ordering::Release);
+        let waker = Waker::from(Arc::clone(self));
+        let mut cx = Context::from_waker(&waker);
+        let mut slot = self.future.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(future) = slot.as_mut() else {
+            self.state.store(COMPLETE, Ordering::Release);
+            return;
+        };
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                *slot = None;
+                self.state.store(COMPLETE, Ordering::Release);
+            }
+            Poll::Pending => {
+                drop(slot);
+                // A wake may have landed while we were polling: the waker
+                // moved us RUNNING → NOTIFIED, and we must re-arm.
+                if self
+                    .state
+                    .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+                    .is_err()
+                {
+                    self.state.store(SCHEDULED, Ordering::Release);
+                    self.executor.enqueue(Arc::clone(self));
+                }
+            }
+        }
+    }
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        Self::wake_by_ref(&self);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        loop {
+            match self
+                .state
+                .compare_exchange(IDLE, SCHEDULED, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    self.executor.enqueue(Arc::clone(self));
+                    return;
+                }
+                // Already queued, already flagged, or finished: idempotent.
+                Err(SCHEDULED) | Err(NOTIFIED) | Err(COMPLETE) => return,
+                Err(_running) => {
+                    if self
+                        .state
+                        .compare_exchange(RUNNING, NOTIFIED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        return;
+                    }
+                    // State moved under us (poll just finished); retry.
+                }
+            }
+        }
+    }
+}
+
+/// Shared completion slot between a spawned task and its [`JoinHandle`].
+pub(crate) struct JoinShared<T> {
+    slot: Mutex<JoinSlot<T>>,
+    done: Condvar,
+}
+
+struct JoinSlot<T> {
+    value: Option<T>,
+    waker: Option<Waker>,
+    finished: bool,
+}
+
+impl<T> JoinShared<T> {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Self {
+            slot: Mutex::new(JoinSlot {
+                value: None,
+                waker: None,
+                finished: false,
+            }),
+            done: Condvar::new(),
+        })
+    }
+
+    pub(crate) fn complete(&self, value: T) {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        slot.value = Some(value);
+        slot.finished = true;
+        let waker = slot.waker.take();
+        drop(slot);
+        self.done.notify_all();
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+}
+
+/// Owned handle to a spawned task's output.
+///
+/// Await it from async code, or call [`JoinHandle::join`] to block an OS
+/// thread until the task finishes.
+pub struct JoinHandle<T> {
+    pub(crate) shared: Arc<JoinShared<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks the calling thread until the task completes.
+    pub fn join(self) -> T {
+        let mut slot = self.shared.slot.lock().unwrap_or_else(|e| e.into_inner());
+        while !slot.finished {
+            slot = self
+                .shared
+                .done
+                .wait(slot)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        slot.value.take().expect("join handle consumed once")
+    }
+
+    /// True once the task has completed (its output is ready to take).
+    pub fn is_finished(&self) -> bool {
+        self.shared
+            .slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .finished
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut slot = self.shared.slot.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.finished {
+            Poll::Ready(slot.value.take().expect("join handle polled after ready"))
+        } else {
+            slot.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle")
+            .field("finished", &self.is_finished())
+            .finish()
+    }
+}

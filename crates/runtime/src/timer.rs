@@ -1,0 +1,612 @@
+//! Hierarchical timer wheel with pluggable clocks.
+//!
+//! Four levels of 64 slots at a 1 ms tick give O(1) insertion and
+//! cascading coverage from 1 ms out to ~4.6 hours; anything later parks
+//! in the top level and re-cascades. The wheel itself is clock-agnostic —
+//! it only ever sees virtual ticks — and three drivers map virtual time
+//! onto the host:
+//!
+//! * [`Clock::Manual`] — time moves only via [`Timer::advance`]; this is
+//!   what deterministic unit tests use.
+//! * [`Clock::Wall`] — a driver thread advances the wheel in real time.
+//! * [`Clock::Scaled`] — like `Wall`, but virtual time runs `factor`×
+//!   faster than real time. The gateway runs its *simulated* retry-after
+//!   and backoff waits on a scaled clock, so a 50 ms simulated shed wait
+//!   parks the session for 50 ms ÷ factor of real time: pacing survives,
+//!   wall-clock seconds do not.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
+use std::time::{Duration, Instant};
+
+/// Virtual seconds per tick (1 ms).
+const TICK_SECS: f64 = 1e-3;
+const SLOT_BITS: u32 = 6;
+const SLOTS: usize = 1 << SLOT_BITS;
+const LEVELS: usize = 4;
+/// Ticks covered by the whole wheel; farther deadlines clamp into the top
+/// level and re-cascade as time approaches them.
+const HORIZON: u64 = 1 << (SLOT_BITS * LEVELS as u32);
+
+/// How a [`Timer`] maps virtual time onto the host clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Clock {
+    /// No driver thread; only [`Timer::advance`] moves time.
+    Manual,
+    /// Driver thread tracks real time 1:1.
+    Wall,
+    /// Driver thread runs virtual time `factor`× faster than real time
+    /// (`factor` must be finite and > 0).
+    Scaled(f64),
+}
+
+/// One registered sleep, shared between the wheel and its [`Sleep`] future.
+struct SleepState {
+    fired: bool,
+    cancelled: bool,
+    registered: bool,
+    waker: Option<Waker>,
+}
+
+struct Entry {
+    deadline: u64,
+    sleep: Arc<Mutex<SleepState>>,
+}
+
+struct Wheel {
+    tick: u64,
+    pending: usize,
+    slots: Vec<Vec<VecDeque<Entry>>>,
+    stopped: bool,
+}
+
+impl Wheel {
+    fn new() -> Self {
+        Self {
+            tick: 0,
+            pending: 0,
+            slots: (0..LEVELS)
+                .map(|_| (0..SLOTS).map(|_| VecDeque::new()).collect())
+                .collect(),
+            stopped: false,
+        }
+    }
+
+    /// Level and slot for a deadline, given the current tick. A `delta` of
+    /// zero (a cascaded entry that is due right now) lands in the current
+    /// level-0 slot, which the advance loop drains immediately after
+    /// cascading.
+    fn place(&self, deadline: u64) -> (usize, usize) {
+        let delta = deadline.saturating_sub(self.tick);
+        let clamped = self.tick + delta.min(HORIZON - 1);
+        for level in 0..LEVELS {
+            if delta < 1 << (SLOT_BITS * (level as u32 + 1)) {
+                let slot = (clamped >> (SLOT_BITS * level as u32)) as usize & (SLOTS - 1);
+                return (level, slot);
+            }
+        }
+        let slot = (clamped >> (SLOT_BITS * (LEVELS as u32 - 1))) as usize & (SLOTS - 1);
+        (LEVELS - 1, slot)
+    }
+
+    fn insert(&mut self, deadline: u64, sleep: Arc<Mutex<SleepState>>) {
+        let (level, slot) = self.place(deadline);
+        self.slots[level][slot].push_back(Entry { deadline, sleep });
+        self.pending += 1;
+    }
+
+    /// Earliest live deadline, or `None` when nothing is pending.
+    fn next_deadline(&self) -> Option<u64> {
+        let mut earliest = None;
+        for level in &self.slots {
+            for slot in level {
+                for entry in slot {
+                    let state = entry.sleep.lock().unwrap_or_else(|e| e.into_inner());
+                    if state.cancelled || state.fired {
+                        continue;
+                    }
+                    earliest = Some(match earliest {
+                        None => entry.deadline,
+                        Some(e) if entry.deadline < e => entry.deadline,
+                        Some(e) => e,
+                    });
+                }
+            }
+        }
+        earliest
+    }
+
+    /// Advances virtual time to `target` ticks, collecting the wakers of
+    /// every sleep that came due.
+    fn advance_to(&mut self, target: u64, fired: &mut Vec<Waker>) {
+        while self.tick < target {
+            if self.pending == 0 {
+                self.tick = target;
+                return;
+            }
+            self.tick += 1;
+            let now = self.tick;
+            // Cascade each higher level whose slot boundary we just
+            // crossed, innermost first.
+            for level in 1..LEVELS {
+                if now.trailing_zeros() < SLOT_BITS * level as u32 {
+                    break;
+                }
+                let slot = (now >> (SLOT_BITS * level as u32)) as usize & (SLOTS - 1);
+                let entries: Vec<Entry> = self.slots[level][slot].drain(..).collect();
+                for entry in entries {
+                    // Cancelled sleeps already left the pending count; drop
+                    // them here instead of re-inserting.
+                    let cancelled = entry
+                        .sleep
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .cancelled;
+                    if cancelled {
+                        continue;
+                    }
+                    self.pending -= 1;
+                    self.insert(entry.deadline, entry.sleep);
+                }
+            }
+            let slot = now as usize & (SLOTS - 1);
+            while let Some(entry) = self.slots[0][slot].pop_front() {
+                let mut state = entry.sleep.lock().unwrap_or_else(|e| e.into_inner());
+                if state.cancelled {
+                    continue;
+                }
+                self.pending -= 1;
+                state.fired = true;
+                if let Some(waker) = state.waker.take() {
+                    fired.push(waker);
+                }
+            }
+        }
+    }
+}
+
+struct TimerInner {
+    wheel: Mutex<Wheel>,
+    changed: Condvar,
+    clock: Clock,
+    epoch: Instant,
+}
+
+/// A cloneable handle to one timer wheel.
+///
+/// Created via [`Timer::manual`], [`Timer::wall`], or [`Timer::scaled`];
+/// hand out clones freely. Wall/scaled timers own a driver thread —
+/// dropping the last handle stops it.
+#[derive(Clone)]
+pub struct Timer {
+    inner: Arc<TimerInner>,
+    // Present on the original handle of a wall/scaled timer, held only
+    // for its `Drop`: joining happens when the last clone drops the Arc.
+    _driver: Option<Arc<DriverGuard>>,
+}
+
+struct DriverGuard {
+    inner: Arc<TimerInner>,
+    handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Drop for DriverGuard {
+    fn drop(&mut self) {
+        {
+            let mut wheel = self.inner.wheel.lock().unwrap_or_else(|e| e.into_inner());
+            wheel.stopped = true;
+        }
+        self.inner.changed.notify_all();
+        if let Some(handle) = self.handle.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Timer {
+    /// A timer whose time moves only through [`Timer::advance`].
+    pub fn manual() -> Self {
+        Self::with_clock(Clock::Manual)
+    }
+
+    /// A timer driven by real time.
+    pub fn wall() -> Self {
+        Self::with_clock(Clock::Wall)
+    }
+
+    /// A timer whose virtual time runs `factor`× faster than real time.
+    ///
+    /// # Panics
+    /// Panics unless `factor` is finite and positive.
+    pub fn scaled(factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "time compression factor must be finite and positive"
+        );
+        Self::with_clock(Clock::Scaled(factor))
+    }
+
+    fn with_clock(clock: Clock) -> Self {
+        let inner = Arc::new(TimerInner {
+            wheel: Mutex::new(Wheel::new()),
+            changed: Condvar::new(),
+            clock,
+            epoch: Instant::now(),
+        });
+        let driver = match clock {
+            Clock::Manual => None,
+            Clock::Wall | Clock::Scaled(_) => {
+                let driver_inner = Arc::clone(&inner);
+                let handle = std::thread::Builder::new()
+                    .name("medsen-rt-timer".into())
+                    .spawn(move || drive(driver_inner))
+                    .expect("spawn timer driver");
+                Some(Arc::new(DriverGuard {
+                    inner: Arc::clone(&inner),
+                    handle: Mutex::new(Some(handle)),
+                }))
+            }
+        };
+        Self {
+            inner,
+            _driver: driver,
+        }
+    }
+
+    /// The configured clock mode.
+    pub fn clock(&self) -> Clock {
+        self.inner.clock
+    }
+
+    /// Virtual time elapsed since the timer was created.
+    pub fn now(&self) -> Duration {
+        let wheel = self.inner.wheel.lock().unwrap_or_else(|e| e.into_inner());
+        Duration::from_secs_f64(wheel.tick as f64 * TICK_SECS)
+    }
+
+    /// Number of registered, not-yet-fired sleeps.
+    pub fn pending(&self) -> usize {
+        let wheel = self.inner.wheel.lock().unwrap_or_else(|e| e.into_inner());
+        wheel.pending
+    }
+
+    /// Returns a future that completes after `duration` of virtual time.
+    /// A zero duration completes immediately without touching the wheel.
+    pub fn sleep(&self, duration: Duration) -> Sleep {
+        let ticks = if duration.is_zero() {
+            0
+        } else {
+            (duration.as_secs_f64() / TICK_SECS).ceil().max(1.0) as u64
+        };
+        Sleep {
+            timer: self.clone(),
+            delay_ticks: ticks,
+            deadline: None,
+            state: Arc::new(Mutex::new(SleepState {
+                fired: ticks == 0,
+                cancelled: false,
+                registered: false,
+                waker: None,
+            })),
+        }
+    }
+
+    /// Blocks the calling thread for `duration` of virtual time.
+    ///
+    /// Useful for pacing synchronous code off a scaled clock; on a
+    /// [`Clock::Manual`] timer this parks until some other thread calls
+    /// [`Timer::advance`] far enough.
+    pub fn sleep_blocking(&self, duration: Duration) {
+        crate::executor::block_on(self.sleep(duration));
+    }
+
+    /// Manually advances virtual time, firing due sleeps. Returns how many
+    /// sleeps fired. Only meaningful on a [`Clock::Manual`] timer (the
+    /// driver owns the other clocks).
+    pub fn advance(&self, duration: Duration) -> usize {
+        let mut fired = Vec::new();
+        {
+            let mut wheel = self.inner.wheel.lock().unwrap_or_else(|e| e.into_inner());
+            let target = wheel.tick + (duration.as_secs_f64() / TICK_SECS).round() as u64;
+            wheel.advance_to(target, &mut fired);
+        }
+        let count = fired.len();
+        for waker in fired {
+            waker.wake();
+        }
+        count
+    }
+}
+
+impl std::fmt::Debug for Timer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Timer")
+            .field("clock", &self.inner.clock)
+            .field("pending", &self.pending())
+            .finish()
+    }
+}
+
+/// Driver loop for wall/scaled timers: advance to the virtual "now", then
+/// park until the next deadline (or until an insert re-arms us earlier).
+fn drive(inner: Arc<TimerInner>) {
+    let factor = match inner.clock {
+        Clock::Wall => 1.0,
+        Clock::Scaled(f) => f,
+        Clock::Manual => unreachable!("manual timers have no driver"),
+    };
+    let mut wheel = inner.wheel.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        if wheel.stopped {
+            return;
+        }
+        let virtual_now = (inner.epoch.elapsed().as_secs_f64() * factor / TICK_SECS) as u64;
+        let mut fired = Vec::new();
+        wheel.advance_to(virtual_now, &mut fired);
+        if !fired.is_empty() {
+            drop(wheel);
+            for waker in fired {
+                waker.wake();
+            }
+            wheel = inner.wheel.lock().unwrap_or_else(|e| e.into_inner());
+            continue;
+        }
+        wheel = match wheel.next_deadline() {
+            None => inner.changed.wait(wheel).unwrap_or_else(|e| e.into_inner()),
+            Some(deadline) => {
+                let real = Duration::from_secs_f64(
+                    (deadline.saturating_sub(virtual_now)).max(1) as f64 * TICK_SECS / factor,
+                );
+                inner
+                    .changed
+                    .wait_timeout(wheel, real)
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0
+            }
+        };
+    }
+}
+
+/// Future returned by [`Timer::sleep`].
+pub struct Sleep {
+    timer: Timer,
+    delay_ticks: u64,
+    deadline: Option<u64>,
+    state: Arc<Mutex<SleepState>>,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        // Lock order is wheel → sleep everywhere (registration here, firing
+        // in `advance_to`), so the two can never deadlock.
+        let mut wheel = self
+            .timer
+            .inner
+            .wheel
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.fired {
+            return Poll::Ready(());
+        }
+        state.waker = Some(cx.waker().clone());
+        if !state.registered {
+            state.registered = true;
+            let deadline = wheel.tick + self.delay_ticks;
+            drop(state);
+            wheel.insert(deadline, Arc::clone(&self.state));
+            drop(wheel);
+            self.deadline = Some(deadline);
+            // A fresh earlier deadline may need the driver to re-arm.
+            self.timer.inner.changed.notify_all();
+        }
+        Poll::Pending
+    }
+}
+
+impl Drop for Sleep {
+    fn drop(&mut self) {
+        if self.deadline.is_none() {
+            return;
+        }
+        // Lock order: wheel → sleep, matching poll and fire.
+        let mut wheel = self
+            .timer
+            .inner
+            .wheel
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if !state.fired && !state.cancelled {
+            state.cancelled = true;
+            // The entry stays in its slot until the wheel sweeps past it,
+            // but it no longer counts as pending.
+            wheel.pending = wheel.pending.saturating_sub(1);
+        }
+    }
+}
+
+impl std::fmt::Debug for Sleep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sleep")
+            .field("delay_ticks", &self.delay_ticks)
+            .field("registered", &self.deadline.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Polls a future once with a no-op waker-backed counter.
+    fn poll_once<F: Future>(future: Pin<&mut F>, order: &Arc<OrderWaker>) -> Poll<F::Output> {
+        let waker = Waker::from(Arc::clone(order));
+        let mut cx = Context::from_waker(&waker);
+        future.poll(&mut cx)
+    }
+
+    struct OrderWaker {
+        id: usize,
+        log: Arc<Mutex<Vec<usize>>>,
+    }
+
+    impl std::task::Wake for OrderWaker {
+        fn wake(self: Arc<Self>) {
+            self.log
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(self.id);
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_deadline_order_across_levels() {
+        let timer = Timer::manual();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        // Deadlines chosen to land on three different wheel levels.
+        let delays_ms = [5u64, 200, 70, 5000, 1];
+        let mut sleeps: Vec<(usize, Sleep)> = delays_ms
+            .iter()
+            .enumerate()
+            .map(|(i, &ms)| (i, timer.sleep(Duration::from_millis(ms))))
+            .collect();
+        for (i, sleep) in &mut sleeps {
+            let waker = Arc::new(OrderWaker {
+                id: *i,
+                log: Arc::clone(&log),
+            });
+            assert!(poll_once(Pin::new(sleep), &waker).is_pending());
+        }
+        assert_eq!(timer.pending(), delays_ms.len());
+        // Advance in one giant leap: cascade order must still sort by
+        // deadline.
+        timer.advance(Duration::from_millis(6000));
+        assert_eq!(timer.pending(), 0);
+        let fired = log.lock().unwrap().clone();
+        assert_eq!(fired, vec![4, 0, 2, 1, 3], "wakes must follow deadlines");
+        // All sleeps now report ready.
+        for (_, sleep) in &mut sleeps {
+            let waker = Arc::new(OrderWaker {
+                id: 99,
+                log: Arc::clone(&log),
+            });
+            assert!(poll_once(Pin::new(sleep), &waker).is_ready());
+        }
+    }
+
+    #[test]
+    fn stepwise_advance_fires_exactly_on_deadline() {
+        let timer = Timer::manual();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut sleep = timer.sleep(Duration::from_millis(10));
+        let waker = Arc::new(OrderWaker {
+            id: 0,
+            log: Arc::clone(&log),
+        });
+        assert!(poll_once(Pin::new(&mut sleep), &waker).is_pending());
+        assert_eq!(timer.advance(Duration::from_millis(9)), 0, "too early");
+        assert_eq!(timer.advance(Duration::from_millis(1)), 1, "on time");
+        assert!(poll_once(Pin::new(&mut sleep), &waker).is_ready());
+    }
+
+    #[test]
+    fn zero_sleep_is_immediately_ready() {
+        let timer = Timer::manual();
+        let mut sleep = timer.sleep(Duration::ZERO);
+        let waker = Arc::new(OrderWaker {
+            id: 0,
+            log: Arc::new(Mutex::new(Vec::new())),
+        });
+        assert!(poll_once(Pin::new(&mut sleep), &waker).is_ready());
+        assert_eq!(timer.pending(), 0);
+    }
+
+    #[test]
+    fn dropped_sleep_is_cancelled_not_fired() {
+        let timer = Timer::manual();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut sleep = timer.sleep(Duration::from_millis(5));
+        let waker = Arc::new(OrderWaker {
+            id: 7,
+            log: Arc::clone(&log),
+        });
+        assert!(poll_once(Pin::new(&mut sleep), &waker).is_pending());
+        assert_eq!(timer.pending(), 1);
+        drop(sleep);
+        assert_eq!(timer.pending(), 0);
+        assert_eq!(timer.advance(Duration::from_millis(10)), 0);
+        assert!(
+            log.lock().unwrap().is_empty(),
+            "cancelled sleep must not wake"
+        );
+    }
+
+    #[test]
+    fn far_deadline_clamps_into_horizon_and_still_fires() {
+        let timer = Timer::manual();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        // ~5.6 hours: beyond the 4-level horizon.
+        let mut sleep = timer.sleep(Duration::from_secs(20_000));
+        let waker = Arc::new(OrderWaker {
+            id: 1,
+            log: Arc::clone(&log),
+        });
+        assert!(poll_once(Pin::new(&mut sleep), &waker).is_pending());
+        timer.advance(Duration::from_secs(19_999));
+        assert!(log.lock().unwrap().is_empty());
+        timer.advance(Duration::from_secs(2));
+        assert_eq!(log.lock().unwrap().as_slice(), &[1]);
+    }
+
+    #[test]
+    fn wall_clock_sleep_actually_sleeps() {
+        let timer = Timer::wall();
+        let started = Instant::now();
+        timer.sleep_blocking(Duration::from_millis(20));
+        assert!(started.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn scaled_clock_compresses_real_time() {
+        let timer = Timer::scaled(100.0);
+        let started = Instant::now();
+        // 2 virtual seconds at 100× ≈ 20 ms real.
+        timer.sleep_blocking(Duration::from_secs(2));
+        let real = started.elapsed();
+        assert!(real < Duration::from_secs(1), "must compress: {real:?}");
+        assert!(timer.now() >= Duration::from_secs(2));
+    }
+
+    #[test]
+    fn executor_tasks_wake_from_manual_timer() {
+        let executor = crate::Executor::new(2);
+        let timer = Timer::manual();
+        let done = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let timer = timer.clone();
+                let done = Arc::clone(&done);
+                executor.spawn(async move {
+                    timer.sleep(Duration::from_millis(10 + i)).await;
+                    done.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        while timer.pending() < 8 {
+            std::thread::yield_now();
+        }
+        timer.advance(Duration::from_millis(64));
+        for handle in handles {
+            handle.join();
+        }
+        assert_eq!(done.load(Ordering::Relaxed), 8);
+        executor.shutdown();
+    }
+}

@@ -10,7 +10,9 @@
 //! * [`cloud`] — analysis server, authentication, adversary models;
 //! * [`phone`] — accessory protocol, compression, link model;
 //! * [`core`] — cyto-coded passwords, diagnostics, the end-to-end pipeline;
-//! * [`gateway`] — concurrent multi-session ingestion in front of the cloud.
+//! * [`gateway`] — concurrent multi-session ingestion in front of the cloud;
+//! * [`runtime`] — hand-rolled async executor, timer wheel, and channels
+//!   multiplexing fleet-scale session counts over a fixed thread pool.
 //!
 //! # Quickstart
 //!
@@ -23,5 +25,6 @@ pub use medsen_gateway as gateway;
 pub use medsen_impedance as impedance;
 pub use medsen_microfluidics as microfluidics;
 pub use medsen_phone as phone;
+pub use medsen_runtime as runtime;
 pub use medsen_sensor as sensor;
 pub use medsen_units as units;

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_detrend-48ff6c76bfe09b28.d: crates/bench/src/bin/ablation_detrend.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_detrend-48ff6c76bfe09b28.rmeta: crates/bench/src/bin/ablation_detrend.rs Cargo.toml
+
+crates/bench/src/bin/ablation_detrend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

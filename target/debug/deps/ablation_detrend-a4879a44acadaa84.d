@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_detrend-a4879a44acadaa84.d: crates/bench/src/bin/ablation_detrend.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_detrend-a4879a44acadaa84.rmeta: crates/bench/src/bin/ablation_detrend.rs Cargo.toml
+
+crates/bench/src/bin/ablation_detrend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

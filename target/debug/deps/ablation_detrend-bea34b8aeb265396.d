@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_detrend-bea34b8aeb265396.d: crates/bench/src/bin/ablation_detrend.rs
+
+/root/repo/target/debug/deps/ablation_detrend-bea34b8aeb265396: crates/bench/src/bin/ablation_detrend.rs
+
+crates/bench/src/bin/ablation_detrend.rs:

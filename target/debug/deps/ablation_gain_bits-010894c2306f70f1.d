@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_gain_bits-010894c2306f70f1.d: crates/bench/src/bin/ablation_gain_bits.rs
+
+/root/repo/target/debug/deps/ablation_gain_bits-010894c2306f70f1: crates/bench/src/bin/ablation_gain_bits.rs
+
+crates/bench/src/bin/ablation_gain_bits.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_gain_bits-31bf4557fbc96718.d: crates/bench/src/bin/ablation_gain_bits.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_gain_bits-31bf4557fbc96718.rmeta: crates/bench/src/bin/ablation_gain_bits.rs Cargo.toml
+
+crates/bench/src/bin/ablation_gain_bits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

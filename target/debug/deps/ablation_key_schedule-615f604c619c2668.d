@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_key_schedule-615f604c619c2668.d: crates/bench/src/bin/ablation_key_schedule.rs
+
+/root/repo/target/debug/deps/ablation_key_schedule-615f604c619c2668: crates/bench/src/bin/ablation_key_schedule.rs
+
+crates/bench/src/bin/ablation_key_schedule.rs:

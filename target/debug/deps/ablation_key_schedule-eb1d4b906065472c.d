@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_key_schedule-eb1d4b906065472c.d: crates/bench/src/bin/ablation_key_schedule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_key_schedule-eb1d4b906065472c.rmeta: crates/bench/src/bin/ablation_key_schedule.rs Cargo.toml
+
+crates/bench/src/bin/ablation_key_schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

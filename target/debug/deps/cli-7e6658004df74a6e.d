@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-7e6658004df74a6e.d: crates/cli/tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-7e6658004df74a6e.rmeta: crates/cli/tests/cli.rs Cargo.toml
+
+crates/cli/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_medsen-cli=placeholder:medsen-cli
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

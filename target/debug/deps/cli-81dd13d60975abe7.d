@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-81dd13d60975abe7.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-81dd13d60975abe7: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_medsen-cli=/root/repo/target/debug/medsen-cli

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compression-71a2d97610e356b0.d: crates/bench/benches/compression.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompression-71a2d97610e356b0.rmeta: crates/bench/benches/compression.rs Cargo.toml
+
+crates/bench/benches/compression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/encryption_overhead-eaadd0f3df4ce817.d: crates/bench/benches/encryption_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libencryption_overhead-eaadd0f3df4ce817.rmeta: crates/bench/benches/encryption_overhead.rs Cargo.toml
+
+crates/bench/benches/encryption_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

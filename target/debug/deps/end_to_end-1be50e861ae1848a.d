@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-1be50e861ae1848a.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-1be50e861ae1848a: tests/end_to_end.rs
+
+tests/end_to_end.rs:

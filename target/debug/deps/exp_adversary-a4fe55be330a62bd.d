@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_adversary-a4fe55be330a62bd.d: crates/bench/src/bin/exp_adversary.rs
+
+/root/repo/target/debug/deps/exp_adversary-a4fe55be330a62bd: crates/bench/src/bin/exp_adversary.rs
+
+crates/bench/src/bin/exp_adversary.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_adversary-c8f357a8d1b4517e.d: crates/bench/src/bin/exp_adversary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_adversary-c8f357a8d1b4517e.rmeta: crates/bench/src/bin/exp_adversary.rs Cargo.toml
+
+crates/bench/src/bin/exp_adversary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

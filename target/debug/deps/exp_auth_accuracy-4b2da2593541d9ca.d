@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_auth_accuracy-4b2da2593541d9ca.d: crates/bench/src/bin/exp_auth_accuracy.rs
+
+/root/repo/target/debug/deps/exp_auth_accuracy-4b2da2593541d9ca: crates/bench/src/bin/exp_auth_accuracy.rs
+
+crates/bench/src/bin/exp_auth_accuracy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_auth_accuracy-cfcee1b459a5d042.d: crates/bench/src/bin/exp_auth_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_auth_accuracy-cfcee1b459a5d042.rmeta: crates/bench/src/bin/exp_auth_accuracy.rs Cargo.toml
+
+crates/bench/src/bin/exp_auth_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_auth_accuracy-f84452c56a20d6e5.d: crates/bench/src/bin/exp_auth_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_auth_accuracy-f84452c56a20d6e5.rmeta: crates/bench/src/bin/exp_auth_accuracy.rs Cargo.toml
+
+crates/bench/src/bin/exp_auth_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

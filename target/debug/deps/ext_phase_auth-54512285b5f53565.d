@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_phase_auth-54512285b5f53565.d: crates/bench/src/bin/ext_phase_auth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_phase_auth-54512285b5f53565.rmeta: crates/bench/src/bin/ext_phase_auth.rs Cargo.toml
+
+crates/bench/src/bin/ext_phase_auth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

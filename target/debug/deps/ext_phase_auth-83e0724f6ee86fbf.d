@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_phase_auth-83e0724f6ee86fbf.d: crates/bench/src/bin/ext_phase_auth.rs
+
+/root/repo/target/debug/deps/ext_phase_auth-83e0724f6ee86fbf: crates/bench/src/bin/ext_phase_auth.rs
+
+crates/bench/src/bin/ext_phase_auth.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_phase_auth-9b7552fd28b62792.d: crates/bench/src/bin/ext_phase_auth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_phase_auth-9b7552fd28b62792.rmeta: crates/bench/src/bin/ext_phase_auth.rs Cargo.toml
+
+crates/bench/src/bin/ext_phase_auth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

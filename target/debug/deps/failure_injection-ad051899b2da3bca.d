@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-ad051899b2da3bca.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-ad051899b2da3bca: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_single_peak-2cc45c4ec48f661f.d: crates/bench/src/bin/fig07_single_peak.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_single_peak-2cc45c4ec48f661f.rmeta: crates/bench/src/bin/fig07_single_peak.rs Cargo.toml
+
+crates/bench/src/bin/fig07_single_peak.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

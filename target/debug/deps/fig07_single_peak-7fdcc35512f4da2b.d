@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_single_peak-7fdcc35512f4da2b.d: crates/bench/src/bin/fig07_single_peak.rs
+
+/root/repo/target/debug/deps/fig07_single_peak-7fdcc35512f4da2b: crates/bench/src/bin/fig07_single_peak.rs
+
+crates/bench/src/bin/fig07_single_peak.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_single_peak-c353d426c5410553.d: crates/bench/src/bin/fig07_single_peak.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_single_peak-c353d426c5410553.rmeta: crates/bench/src/bin/fig07_single_peak.rs Cargo.toml
+
+crates/bench/src/bin/fig07_single_peak.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

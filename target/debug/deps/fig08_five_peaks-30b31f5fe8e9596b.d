@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_five_peaks-30b31f5fe8e9596b.d: crates/bench/src/bin/fig08_five_peaks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_five_peaks-30b31f5fe8e9596b.rmeta: crates/bench/src/bin/fig08_five_peaks.rs Cargo.toml
+
+crates/bench/src/bin/fig08_five_peaks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_five_peaks-9139b464ef3258c0.d: crates/bench/src/bin/fig08_five_peaks.rs
+
+/root/repo/target/debug/deps/fig08_five_peaks-9139b464ef3258c0: crates/bench/src/bin/fig08_five_peaks.rs
+
+crates/bench/src/bin/fig08_five_peaks.rs:

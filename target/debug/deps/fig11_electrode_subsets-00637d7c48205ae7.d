@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_electrode_subsets-00637d7c48205ae7.d: crates/bench/src/bin/fig11_electrode_subsets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_electrode_subsets-00637d7c48205ae7.rmeta: crates/bench/src/bin/fig11_electrode_subsets.rs Cargo.toml
+
+crates/bench/src/bin/fig11_electrode_subsets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

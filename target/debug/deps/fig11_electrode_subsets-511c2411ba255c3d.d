@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_electrode_subsets-511c2411ba255c3d.d: crates/bench/src/bin/fig11_electrode_subsets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_electrode_subsets-511c2411ba255c3d.rmeta: crates/bench/src/bin/fig11_electrode_subsets.rs Cargo.toml
+
+crates/bench/src/bin/fig11_electrode_subsets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_electrode_subsets-9058e0e7db5d59cf.d: crates/bench/src/bin/fig11_electrode_subsets.rs
+
+/root/repo/target/debug/deps/fig11_electrode_subsets-9058e0e7db5d59cf: crates/bench/src/bin/fig11_electrode_subsets.rs
+
+crates/bench/src/bin/fig11_electrode_subsets.rs:

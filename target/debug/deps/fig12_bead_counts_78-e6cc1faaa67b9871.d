@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_bead_counts_78-e6cc1faaa67b9871.d: crates/bench/src/bin/fig12_bead_counts_78.rs
+
+/root/repo/target/debug/deps/fig12_bead_counts_78-e6cc1faaa67b9871: crates/bench/src/bin/fig12_bead_counts_78.rs
+
+crates/bench/src/bin/fig12_bead_counts_78.rs:

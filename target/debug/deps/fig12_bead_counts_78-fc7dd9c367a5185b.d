@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_bead_counts_78-fc7dd9c367a5185b.d: crates/bench/src/bin/fig12_bead_counts_78.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_bead_counts_78-fc7dd9c367a5185b.rmeta: crates/bench/src/bin/fig12_bead_counts_78.rs Cargo.toml
+
+crates/bench/src/bin/fig12_bead_counts_78.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

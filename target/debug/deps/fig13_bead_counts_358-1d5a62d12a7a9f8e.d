@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_bead_counts_358-1d5a62d12a7a9f8e.d: crates/bench/src/bin/fig13_bead_counts_358.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_bead_counts_358-1d5a62d12a7a9f8e.rmeta: crates/bench/src/bin/fig13_bead_counts_358.rs Cargo.toml
+
+crates/bench/src/bin/fig13_bead_counts_358.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

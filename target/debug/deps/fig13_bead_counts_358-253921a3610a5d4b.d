@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_bead_counts_358-253921a3610a5d4b.d: crates/bench/src/bin/fig13_bead_counts_358.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_bead_counts_358-253921a3610a5d4b.rmeta: crates/bench/src/bin/fig13_bead_counts_358.rs Cargo.toml
+
+crates/bench/src/bin/fig13_bead_counts_358.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

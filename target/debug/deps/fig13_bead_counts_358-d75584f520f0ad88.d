@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_bead_counts_358-d75584f520f0ad88.d: crates/bench/src/bin/fig13_bead_counts_358.rs
+
+/root/repo/target/debug/deps/fig13_bead_counts_358-d75584f520f0ad88: crates/bench/src/bin/fig13_bead_counts_358.rs
+
+crates/bench/src/bin/fig13_bead_counts_358.rs:

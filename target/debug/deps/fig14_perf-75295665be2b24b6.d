@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_perf-75295665be2b24b6.d: crates/bench/src/bin/fig14_perf.rs
+
+/root/repo/target/debug/deps/fig14_perf-75295665be2b24b6: crates/bench/src/bin/fig14_perf.rs
+
+crates/bench/src/bin/fig14_perf.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_perf-97c40d7bb410402b.d: crates/bench/src/bin/fig14_perf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_perf-97c40d7bb410402b.rmeta: crates/bench/src/bin/fig14_perf.rs Cargo.toml
+
+crates/bench/src/bin/fig14_perf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

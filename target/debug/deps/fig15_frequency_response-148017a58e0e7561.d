@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_frequency_response-148017a58e0e7561.d: crates/bench/src/bin/fig15_frequency_response.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_frequency_response-148017a58e0e7561.rmeta: crates/bench/src/bin/fig15_frequency_response.rs Cargo.toml
+
+crates/bench/src/bin/fig15_frequency_response.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_frequency_response-4cf1f21e7609d8ac.d: crates/bench/src/bin/fig15_frequency_response.rs
+
+/root/repo/target/debug/deps/fig15_frequency_response-4cf1f21e7609d8ac: crates/bench/src/bin/fig15_frequency_response.rs
+
+crates/bench/src/bin/fig15_frequency_response.rs:

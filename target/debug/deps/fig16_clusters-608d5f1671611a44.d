@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_clusters-608d5f1671611a44.d: crates/bench/src/bin/fig16_clusters.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_clusters-608d5f1671611a44.rmeta: crates/bench/src/bin/fig16_clusters.rs Cargo.toml
+
+crates/bench/src/bin/fig16_clusters.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

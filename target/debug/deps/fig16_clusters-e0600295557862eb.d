@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_clusters-e0600295557862eb.d: crates/bench/src/bin/fig16_clusters.rs
+
+/root/repo/target/debug/deps/fig16_clusters-e0600295557862eb: crates/bench/src/bin/fig16_clusters.rs
+
+crates/bench/src/bin/fig16_clusters.rs:

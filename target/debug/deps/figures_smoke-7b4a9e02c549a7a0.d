@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures_smoke-7b4a9e02c549a7a0.d: tests/figures_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures_smoke-7b4a9e02c549a7a0.rmeta: tests/figures_smoke.rs Cargo.toml
+
+tests/figures_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

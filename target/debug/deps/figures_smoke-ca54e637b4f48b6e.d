@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures_smoke-ca54e637b4f48b6e.d: tests/figures_smoke.rs
+
+/root/repo/target/debug/deps/figures_smoke-ca54e637b4f48b6e: tests/figures_smoke.rs
+
+tests/figures_smoke.rs:

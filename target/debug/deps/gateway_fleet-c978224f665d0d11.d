@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gateway_fleet-c978224f665d0d11.d: tests/gateway_fleet.rs
+
+/root/repo/target/debug/deps/gateway_fleet-c978224f665d0d11: tests/gateway_fleet.rs
+
+tests/gateway_fleet.rs:

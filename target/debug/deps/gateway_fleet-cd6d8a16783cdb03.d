@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gateway_fleet-cd6d8a16783cdb03.d: tests/gateway_fleet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgateway_fleet-cd6d8a16783cdb03.rmeta: tests/gateway_fleet.rs Cargo.toml
+
+tests/gateway_fleet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gateway_fleet-e2524d857a3876e3.d: tests/gateway_fleet.rs
+
+/root/repo/target/debug/deps/gateway_fleet-e2524d857a3876e3: tests/gateway_fleet.rs
+
+tests/gateway_fleet.rs:

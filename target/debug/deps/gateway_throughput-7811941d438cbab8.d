@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gateway_throughput-7811941d438cbab8.d: crates/bench/benches/gateway_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgateway_throughput-7811941d438cbab8.rmeta: crates/bench/benches/gateway_throughput.rs Cargo.toml
+
+crates/bench/benches/gateway_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/idle_sessions-035db9ac3fe2f4cd.d: crates/runtime/tests/idle_sessions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libidle_sessions-035db9ac3fe2f4cd.rmeta: crates/runtime/tests/idle_sessions.rs Cargo.toml
+
+crates/runtime/tests/idle_sessions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

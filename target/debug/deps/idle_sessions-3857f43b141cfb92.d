@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/idle_sessions-3857f43b141cfb92.d: crates/runtime/tests/idle_sessions.rs
+
+/root/repo/target/debug/deps/idle_sessions-3857f43b141cfb92: crates/runtime/tests/idle_sessions.rs
+
+crates/runtime/tests/idle_sessions.rs:

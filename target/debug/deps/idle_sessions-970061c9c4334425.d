@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/idle_sessions-970061c9c4334425.d: crates/bench/benches/idle_sessions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libidle_sessions-970061c9c4334425.rmeta: crates/bench/benches/idle_sessions.rs Cargo.toml
+
+crates/bench/benches/idle_sessions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

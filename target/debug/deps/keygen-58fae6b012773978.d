@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/keygen-58fae6b012773978.d: crates/bench/benches/keygen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkeygen-58fae6b012773978.rmeta: crates/bench/benches/keygen.rs Cargo.toml
+
+crates/bench/benches/keygen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

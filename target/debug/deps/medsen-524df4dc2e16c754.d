@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/medsen-524df4dc2e16c754.d: src/lib.rs
+
+/root/repo/target/debug/deps/medsen-524df4dc2e16c754: src/lib.rs
+
+src/lib.rs:

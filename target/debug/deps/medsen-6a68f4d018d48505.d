@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/medsen-6a68f4d018d48505.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmedsen-6a68f4d018d48505.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmedsen-6a68f4d018d48505.rmeta: src/lib.rs
+
+src/lib.rs:

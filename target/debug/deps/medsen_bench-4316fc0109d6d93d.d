@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/medsen_bench-4316fc0109d6d93d.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation_detrend.rs crates/bench/src/experiments/ablation_gains.rs crates/bench/src/experiments/ablation_keys.rs crates/bench/src/experiments/adversary.rs crates/bench/src/experiments/auth_accuracy.rs crates/bench/src/experiments/bead_counts.rs crates/bench/src/experiments/end_to_end.rs crates/bench/src/experiments/ext_phase.rs crates/bench/src/experiments/fig07.rs crates/bench/src/experiments/fig08.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/fig14.rs crates/bench/src/experiments/fig15.rs crates/bench/src/experiments/fig16.rs crates/bench/src/experiments/key_length.rs crates/bench/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmedsen_bench-4316fc0109d6d93d.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation_detrend.rs crates/bench/src/experiments/ablation_gains.rs crates/bench/src/experiments/ablation_keys.rs crates/bench/src/experiments/adversary.rs crates/bench/src/experiments/auth_accuracy.rs crates/bench/src/experiments/bead_counts.rs crates/bench/src/experiments/end_to_end.rs crates/bench/src/experiments/ext_phase.rs crates/bench/src/experiments/fig07.rs crates/bench/src/experiments/fig08.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/fig14.rs crates/bench/src/experiments/fig15.rs crates/bench/src/experiments/fig16.rs crates/bench/src/experiments/key_length.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablation_detrend.rs:
+crates/bench/src/experiments/ablation_gains.rs:
+crates/bench/src/experiments/ablation_keys.rs:
+crates/bench/src/experiments/adversary.rs:
+crates/bench/src/experiments/auth_accuracy.rs:
+crates/bench/src/experiments/bead_counts.rs:
+crates/bench/src/experiments/end_to_end.rs:
+crates/bench/src/experiments/ext_phase.rs:
+crates/bench/src/experiments/fig07.rs:
+crates/bench/src/experiments/fig08.rs:
+crates/bench/src/experiments/fig11.rs:
+crates/bench/src/experiments/fig14.rs:
+crates/bench/src/experiments/fig15.rs:
+crates/bench/src/experiments/fig16.rs:
+crates/bench/src/experiments/key_length.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/medsen_cli-6b040dc09f0343f8.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmedsen_cli-6b040dc09f0343f8.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/medsen_cli-6e116e18b3b5bb99.d: crates/cli/src/lib.rs crates/cli/src/commands.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmedsen_cli-6e116e18b3b5bb99.rmeta: crates/cli/src/lib.rs crates/cli/src/commands.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

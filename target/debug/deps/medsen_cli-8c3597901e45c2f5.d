@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/medsen_cli-8c3597901e45c2f5.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmedsen_cli-8c3597901e45c2f5.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

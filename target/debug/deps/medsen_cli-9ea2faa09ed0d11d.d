@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/medsen_cli-9ea2faa09ed0d11d.d: crates/cli/src/lib.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/medsen_cli-9ea2faa09ed0d11d: crates/cli/src/lib.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:

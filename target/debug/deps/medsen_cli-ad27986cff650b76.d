@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/medsen_cli-ad27986cff650b76.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/medsen_cli-ad27986cff650b76: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/medsen_cli-b52bdd3580aed5c8.d: crates/cli/src/lib.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/libmedsen_cli-b52bdd3580aed5c8.rlib: crates/cli/src/lib.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/libmedsen_cli-b52bdd3580aed5c8.rmeta: crates/cli/src/lib.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/medsen_cli-d9e64f146f2e0406.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/medsen_cli-d9e64f146f2e0406: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/medsen_gateway-88f6bb83e89d66a5.d: crates/gateway/src/lib.rs crates/gateway/src/gateway.rs crates/gateway/src/metrics.rs crates/gateway/src/session.rs crates/gateway/src/wire.rs
+
+/root/repo/target/debug/deps/libmedsen_gateway-88f6bb83e89d66a5.rlib: crates/gateway/src/lib.rs crates/gateway/src/gateway.rs crates/gateway/src/metrics.rs crates/gateway/src/session.rs crates/gateway/src/wire.rs
+
+/root/repo/target/debug/deps/libmedsen_gateway-88f6bb83e89d66a5.rmeta: crates/gateway/src/lib.rs crates/gateway/src/gateway.rs crates/gateway/src/metrics.rs crates/gateway/src/session.rs crates/gateway/src/wire.rs
+
+crates/gateway/src/lib.rs:
+crates/gateway/src/gateway.rs:
+crates/gateway/src/metrics.rs:
+crates/gateway/src/session.rs:
+crates/gateway/src/wire.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/medsen_gateway-9fa3547999723cfe.d: crates/gateway/src/lib.rs crates/gateway/src/gateway.rs crates/gateway/src/metrics.rs crates/gateway/src/session.rs crates/gateway/src/wire.rs
+
+/root/repo/target/debug/deps/medsen_gateway-9fa3547999723cfe: crates/gateway/src/lib.rs crates/gateway/src/gateway.rs crates/gateway/src/metrics.rs crates/gateway/src/session.rs crates/gateway/src/wire.rs
+
+crates/gateway/src/lib.rs:
+crates/gateway/src/gateway.rs:
+crates/gateway/src/metrics.rs:
+crates/gateway/src/session.rs:
+crates/gateway/src/wire.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/medsen_runtime-2b828fa328136166.d: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/executor.rs crates/runtime/src/task.rs crates/runtime/src/timer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmedsen_runtime-2b828fa328136166.rmeta: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/executor.rs crates/runtime/src/task.rs crates/runtime/src/timer.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/channel.rs:
+crates/runtime/src/executor.rs:
+crates/runtime/src/task.rs:
+crates/runtime/src/timer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

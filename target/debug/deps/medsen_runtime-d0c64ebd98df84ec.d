@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/medsen_runtime-d0c64ebd98df84ec.d: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/executor.rs crates/runtime/src/task.rs crates/runtime/src/timer.rs
+
+/root/repo/target/debug/deps/libmedsen_runtime-d0c64ebd98df84ec.rlib: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/executor.rs crates/runtime/src/task.rs crates/runtime/src/timer.rs
+
+/root/repo/target/debug/deps/libmedsen_runtime-d0c64ebd98df84ec.rmeta: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/executor.rs crates/runtime/src/task.rs crates/runtime/src/timer.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/channel.rs:
+crates/runtime/src/executor.rs:
+crates/runtime/src/task.rs:
+crates/runtime/src/timer.rs:

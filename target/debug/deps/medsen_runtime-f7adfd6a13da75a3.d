@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/medsen_runtime-f7adfd6a13da75a3.d: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/executor.rs crates/runtime/src/task.rs crates/runtime/src/timer.rs
+
+/root/repo/target/debug/deps/medsen_runtime-f7adfd6a13da75a3: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/executor.rs crates/runtime/src/task.rs crates/runtime/src/timer.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/channel.rs:
+crates/runtime/src/executor.rs:
+crates/runtime/src/task.rs:
+crates/runtime/src/timer.rs:

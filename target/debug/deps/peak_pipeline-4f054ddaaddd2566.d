@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/peak_pipeline-4f054ddaaddd2566.d: crates/bench/benches/peak_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpeak_pipeline-4f054ddaaddd2566.rmeta: crates/bench/benches/peak_pipeline.rs Cargo.toml
+
+crates/bench/benches/peak_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/phone_relay-c107c32755885b74.d: tests/phone_relay.rs
+
+/root/repo/target/debug/deps/phone_relay-c107c32755885b74: tests/phone_relay.rs
+
+tests/phone_relay.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/phone_relay-f694776ea2a24c6d.d: tests/phone_relay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphone_relay-f694776ea2a24c6d.rmeta: tests/phone_relay.rs Cargo.toml
+
+tests/phone_relay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

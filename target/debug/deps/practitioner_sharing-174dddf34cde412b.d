@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/practitioner_sharing-174dddf34cde412b.d: tests/practitioner_sharing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpractitioner_sharing-174dddf34cde412b.rmeta: tests/practitioner_sharing.rs Cargo.toml
+
+tests/practitioner_sharing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/practitioner_sharing-695c698cd2a1e2ad.d: tests/practitioner_sharing.rs
+
+/root/repo/target/debug/deps/practitioner_sharing-695c698cd2a1e2ad: tests/practitioner_sharing.rs
+
+tests/practitioner_sharing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-208e392a7ad75d8d.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-208e392a7ad75d8d: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/streaming-c54483a01c8602b4.d: crates/bench/benches/streaming.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstreaming-c54483a01c8602b4.rmeta: crates/bench/benches/streaming.rs Cargo.toml
+
+crates/bench/benches/streaming.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

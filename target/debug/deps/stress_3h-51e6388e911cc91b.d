@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress_3h-51e6388e911cc91b.d: crates/bench/src/bin/stress_3h.rs
+
+/root/repo/target/debug/deps/stress_3h-51e6388e911cc91b: crates/bench/src/bin/stress_3h.rs
+
+crates/bench/src/bin/stress_3h.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stress_3h-e4eab041dc8211d8.d: crates/bench/src/bin/stress_3h.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstress_3h-e4eab041dc8211d8.rmeta: crates/bench/src/bin/stress_3h.rs Cargo.toml
+
+crates/bench/src/bin/stress_3h.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

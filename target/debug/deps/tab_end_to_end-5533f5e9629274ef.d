@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_end_to_end-5533f5e9629274ef.d: crates/bench/src/bin/tab_end_to_end.rs
+
+/root/repo/target/debug/deps/tab_end_to_end-5533f5e9629274ef: crates/bench/src/bin/tab_end_to_end.rs
+
+crates/bench/src/bin/tab_end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab_end_to_end-8c1749ab5f25b537.d: crates/bench/src/bin/tab_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab_end_to_end-8c1749ab5f25b537.rmeta: crates/bench/src/bin/tab_end_to_end.rs Cargo.toml
+
+crates/bench/src/bin/tab_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_key_length-199ea4ee6b5c53bd.d: crates/bench/src/bin/tab_key_length.rs
+
+/root/repo/target/debug/deps/tab_key_length-199ea4ee6b5c53bd: crates/bench/src/bin/tab_key_length.rs
+
+crates/bench/src/bin/tab_key_length.rs:

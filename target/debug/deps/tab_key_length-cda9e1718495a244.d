@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab_key_length-cda9e1718495a244.d: crates/bench/src/bin/tab_key_length.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab_key_length-cda9e1718495a244.rmeta: crates/bench/src/bin/tab_key_length.rs Cargo.toml
+
+crates/bench/src/bin/tab_key_length.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/threat_model-4e8c83b3a098db7c.d: tests/threat_model.rs
+
+/root/repo/target/debug/deps/threat_model-4e8c83b3a098db7c: tests/threat_model.rs
+
+tests/threat_model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/threat_model-ce3c13e76124c76f.d: tests/threat_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthreat_model-ce3c13e76124c76f.rmeta: tests/threat_model.rs Cargo.toml
+
+tests/threat_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adversary_audit-9be1db1ecd0f36ba.d: examples/adversary_audit.rs
+
+/root/repo/target/debug/examples/adversary_audit-9be1db1ecd0f36ba: examples/adversary_audit.rs
+
+examples/adversary_audit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adversary_audit-bcf1ebdb699ad90f.d: examples/adversary_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadversary_audit-bcf1ebdb699ad90f.rmeta: examples/adversary_audit.rs Cargo.toml
+
+examples/adversary_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

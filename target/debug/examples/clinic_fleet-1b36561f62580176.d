@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/clinic_fleet-1b36561f62580176.d: examples/clinic_fleet.rs Cargo.toml
+
+/root/repo/target/debug/examples/libclinic_fleet-1b36561f62580176.rmeta: examples/clinic_fleet.rs Cargo.toml
+
+examples/clinic_fleet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

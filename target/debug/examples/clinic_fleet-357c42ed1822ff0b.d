@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/clinic_fleet-357c42ed1822ff0b.d: examples/clinic_fleet.rs
+
+/root/repo/target/debug/examples/clinic_fleet-357c42ed1822ff0b: examples/clinic_fleet.rs
+
+examples/clinic_fleet.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hiv_monitoring-769aec87e9bce66f.d: examples/hiv_monitoring.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhiv_monitoring-769aec87e9bce66f.rmeta: examples/hiv_monitoring.rs Cargo.toml
+
+examples/hiv_monitoring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

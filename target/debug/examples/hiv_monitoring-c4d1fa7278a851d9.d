@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hiv_monitoring-c4d1fa7278a851d9.d: examples/hiv_monitoring.rs
+
+/root/repo/target/debug/examples/hiv_monitoring-c4d1fa7278a851d9: examples/hiv_monitoring.rs
+
+examples/hiv_monitoring.rs:

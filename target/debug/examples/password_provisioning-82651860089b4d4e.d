@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/password_provisioning-82651860089b4d4e.d: examples/password_provisioning.rs
+
+/root/repo/target/debug/examples/password_provisioning-82651860089b4d4e: examples/password_provisioning.rs
+
+examples/password_provisioning.rs:

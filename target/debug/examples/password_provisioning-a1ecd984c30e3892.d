@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/password_provisioning-a1ecd984c30e3892.d: examples/password_provisioning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpassword_provisioning-a1ecd984c30e3892.rmeta: examples/password_provisioning.rs Cargo.toml
+
+examples/password_provisioning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/practitioner_access-44e76db42d674c59.d: examples/practitioner_access.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpractitioner_access-44e76db42d674c59.rmeta: examples/practitioner_access.rs Cargo.toml
+
+examples/practitioner_access.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

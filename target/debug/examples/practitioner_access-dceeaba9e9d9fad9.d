@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/practitioner_access-dceeaba9e9d9fad9.d: examples/practitioner_access.rs
+
+/root/repo/target/debug/examples/practitioner_access-dceeaba9e9d9fad9: examples/practitioner_access.rs
+
+examples/practitioner_access.rs:

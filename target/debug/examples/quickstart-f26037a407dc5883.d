@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f26037a407dc5883.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f26037a407dc5883: examples/quickstart.rs
+
+examples/quickstart.rs:

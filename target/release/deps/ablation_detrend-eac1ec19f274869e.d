@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_detrend-eac1ec19f274869e.d: crates/bench/src/bin/ablation_detrend.rs
+
+/root/repo/target/release/deps/ablation_detrend-eac1ec19f274869e: crates/bench/src/bin/ablation_detrend.rs
+
+crates/bench/src/bin/ablation_detrend.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_gain_bits-8ce285dc4d096f36.d: crates/bench/src/bin/ablation_gain_bits.rs
+
+/root/repo/target/release/deps/ablation_gain_bits-8ce285dc4d096f36: crates/bench/src/bin/ablation_gain_bits.rs
+
+crates/bench/src/bin/ablation_gain_bits.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_key_schedule-fc301941e0beffee.d: crates/bench/src/bin/ablation_key_schedule.rs
+
+/root/repo/target/release/deps/ablation_key_schedule-fc301941e0beffee: crates/bench/src/bin/ablation_key_schedule.rs
+
+crates/bench/src/bin/ablation_key_schedule.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_adversary-5779666319de65f8.d: crates/bench/src/bin/exp_adversary.rs
+
+/root/repo/target/release/deps/exp_adversary-5779666319de65f8: crates/bench/src/bin/exp_adversary.rs
+
+crates/bench/src/bin/exp_adversary.rs:

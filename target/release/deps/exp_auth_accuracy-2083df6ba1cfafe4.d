@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_auth_accuracy-2083df6ba1cfafe4.d: crates/bench/src/bin/exp_auth_accuracy.rs
+
+/root/repo/target/release/deps/exp_auth_accuracy-2083df6ba1cfafe4: crates/bench/src/bin/exp_auth_accuracy.rs
+
+crates/bench/src/bin/exp_auth_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_phase_auth-87d7b691f54a0a41.d: crates/bench/src/bin/ext_phase_auth.rs
+
+/root/repo/target/release/deps/ext_phase_auth-87d7b691f54a0a41: crates/bench/src/bin/ext_phase_auth.rs
+
+crates/bench/src/bin/ext_phase_auth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_single_peak-dcaa56a10688147c.d: crates/bench/src/bin/fig07_single_peak.rs
+
+/root/repo/target/release/deps/fig07_single_peak-dcaa56a10688147c: crates/bench/src/bin/fig07_single_peak.rs
+
+crates/bench/src/bin/fig07_single_peak.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_five_peaks-e0e1a10f65cd6d75.d: crates/bench/src/bin/fig08_five_peaks.rs
+
+/root/repo/target/release/deps/fig08_five_peaks-e0e1a10f65cd6d75: crates/bench/src/bin/fig08_five_peaks.rs
+
+crates/bench/src/bin/fig08_five_peaks.rs:

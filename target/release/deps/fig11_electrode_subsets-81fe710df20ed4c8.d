@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_electrode_subsets-81fe710df20ed4c8.d: crates/bench/src/bin/fig11_electrode_subsets.rs
+
+/root/repo/target/release/deps/fig11_electrode_subsets-81fe710df20ed4c8: crates/bench/src/bin/fig11_electrode_subsets.rs
+
+crates/bench/src/bin/fig11_electrode_subsets.rs:

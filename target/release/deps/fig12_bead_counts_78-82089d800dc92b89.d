@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_bead_counts_78-82089d800dc92b89.d: crates/bench/src/bin/fig12_bead_counts_78.rs
+
+/root/repo/target/release/deps/fig12_bead_counts_78-82089d800dc92b89: crates/bench/src/bin/fig12_bead_counts_78.rs
+
+crates/bench/src/bin/fig12_bead_counts_78.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_bead_counts_358-d662aa70226e35b0.d: crates/bench/src/bin/fig13_bead_counts_358.rs
+
+/root/repo/target/release/deps/fig13_bead_counts_358-d662aa70226e35b0: crates/bench/src/bin/fig13_bead_counts_358.rs
+
+crates/bench/src/bin/fig13_bead_counts_358.rs:

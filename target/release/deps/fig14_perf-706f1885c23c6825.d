@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_perf-706f1885c23c6825.d: crates/bench/src/bin/fig14_perf.rs
+
+/root/repo/target/release/deps/fig14_perf-706f1885c23c6825: crates/bench/src/bin/fig14_perf.rs
+
+crates/bench/src/bin/fig14_perf.rs:

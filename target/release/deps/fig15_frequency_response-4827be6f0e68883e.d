@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_frequency_response-4827be6f0e68883e.d: crates/bench/src/bin/fig15_frequency_response.rs
+
+/root/repo/target/release/deps/fig15_frequency_response-4827be6f0e68883e: crates/bench/src/bin/fig15_frequency_response.rs
+
+crates/bench/src/bin/fig15_frequency_response.rs:

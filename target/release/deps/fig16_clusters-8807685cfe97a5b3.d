@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_clusters-8807685cfe97a5b3.d: crates/bench/src/bin/fig16_clusters.rs
+
+/root/repo/target/release/deps/fig16_clusters-8807685cfe97a5b3: crates/bench/src/bin/fig16_clusters.rs
+
+crates/bench/src/bin/fig16_clusters.rs:

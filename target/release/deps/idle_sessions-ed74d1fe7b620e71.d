@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/idle_sessions-ed74d1fe7b620e71.d: crates/bench/benches/idle_sessions.rs
+
+/root/repo/target/release/deps/idle_sessions-ed74d1fe7b620e71: crates/bench/benches/idle_sessions.rs
+
+crates/bench/benches/idle_sessions.rs:

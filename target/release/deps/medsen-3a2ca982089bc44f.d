@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/medsen-3a2ca982089bc44f.d: src/lib.rs
+
+/root/repo/target/release/deps/libmedsen-3a2ca982089bc44f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmedsen-3a2ca982089bc44f.rmeta: src/lib.rs
+
+src/lib.rs:

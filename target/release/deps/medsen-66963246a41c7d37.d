@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/medsen-66963246a41c7d37.d: src/lib.rs
+
+/root/repo/target/release/deps/medsen-66963246a41c7d37: src/lib.rs
+
+src/lib.rs:

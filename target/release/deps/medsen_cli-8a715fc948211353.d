@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/medsen_cli-8a715fc948211353.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/medsen_cli-8a715fc948211353: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/medsen_cli-e7733a872aaf5e69.d: crates/cli/src/lib.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/libmedsen_cli-e7733a872aaf5e69.rlib: crates/cli/src/lib.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/libmedsen_cli-e7733a872aaf5e69.rmeta: crates/cli/src/lib.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/medsen_gateway-e5c384e863595269.d: crates/gateway/src/lib.rs crates/gateway/src/gateway.rs crates/gateway/src/metrics.rs crates/gateway/src/session.rs crates/gateway/src/wire.rs
+
+/root/repo/target/release/deps/libmedsen_gateway-e5c384e863595269.rlib: crates/gateway/src/lib.rs crates/gateway/src/gateway.rs crates/gateway/src/metrics.rs crates/gateway/src/session.rs crates/gateway/src/wire.rs
+
+/root/repo/target/release/deps/libmedsen_gateway-e5c384e863595269.rmeta: crates/gateway/src/lib.rs crates/gateway/src/gateway.rs crates/gateway/src/metrics.rs crates/gateway/src/session.rs crates/gateway/src/wire.rs
+
+crates/gateway/src/lib.rs:
+crates/gateway/src/gateway.rs:
+crates/gateway/src/metrics.rs:
+crates/gateway/src/session.rs:
+crates/gateway/src/wire.rs:

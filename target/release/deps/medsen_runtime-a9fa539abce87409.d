@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/medsen_runtime-a9fa539abce87409.d: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/executor.rs crates/runtime/src/task.rs crates/runtime/src/timer.rs
+
+/root/repo/target/release/deps/libmedsen_runtime-a9fa539abce87409.rlib: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/executor.rs crates/runtime/src/task.rs crates/runtime/src/timer.rs
+
+/root/repo/target/release/deps/libmedsen_runtime-a9fa539abce87409.rmeta: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/executor.rs crates/runtime/src/task.rs crates/runtime/src/timer.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/channel.rs:
+crates/runtime/src/executor.rs:
+crates/runtime/src/task.rs:
+crates/runtime/src/timer.rs:

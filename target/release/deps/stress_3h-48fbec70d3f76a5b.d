@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stress_3h-48fbec70d3f76a5b.d: crates/bench/src/bin/stress_3h.rs
+
+/root/repo/target/release/deps/stress_3h-48fbec70d3f76a5b: crates/bench/src/bin/stress_3h.rs
+
+crates/bench/src/bin/stress_3h.rs:

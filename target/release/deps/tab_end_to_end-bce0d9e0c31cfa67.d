@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_end_to_end-bce0d9e0c31cfa67.d: crates/bench/src/bin/tab_end_to_end.rs
+
+/root/repo/target/release/deps/tab_end_to_end-bce0d9e0c31cfa67: crates/bench/src/bin/tab_end_to_end.rs
+
+crates/bench/src/bin/tab_end_to_end.rs:

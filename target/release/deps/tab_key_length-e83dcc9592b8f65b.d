@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_key_length-e83dcc9592b8f65b.d: crates/bench/src/bin/tab_key_length.rs
+
+/root/repo/target/release/deps/tab_key_length-e83dcc9592b8f65b: crates/bench/src/bin/tab_key_length.rs
+
+crates/bench/src/bin/tab_key_length.rs:

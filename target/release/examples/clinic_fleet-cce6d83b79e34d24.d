@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/clinic_fleet-cce6d83b79e34d24.d: examples/clinic_fleet.rs
+
+/root/repo/target/release/examples/clinic_fleet-cce6d83b79e34d24: examples/clinic_fleet.rs
+
+examples/clinic_fleet.rs:

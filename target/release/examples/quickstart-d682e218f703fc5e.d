@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-d682e218f703fc5e.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-d682e218f703fc5e: examples/quickstart.rs
+
+examples/quickstart.rs:
