@@ -33,7 +33,7 @@ use medsen_runtime as runtime;
 use medsen_units::Seconds;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -273,7 +273,9 @@ pub struct Gateway {
     metrics: Arc<GatewayMetrics>,
     engine: Engine,
     /// Time-compressed wheel pacing shed retry-after and backoff waits.
-    pacer: runtime::Timer,
+    /// Created lazily on the first paced wait: a scaled timer owns a
+    /// driver thread, and gateways that never shed should not pay for one.
+    pacer: OnceLock<runtime::Timer>,
     shed_policy: ShedPolicy,
     runtime_kind: RuntimeKind,
     next_session: AtomicU64,
@@ -338,7 +340,7 @@ impl Gateway {
             service,
             metrics,
             engine,
-            pacer: runtime::Timer::scaled(TIME_COMPRESSION),
+            pacer: OnceLock::new(),
             shed_policy: config.shed_policy,
             runtime_kind,
             next_session: AtomicU64::new(1),
@@ -377,7 +379,9 @@ impl Gateway {
     pub(crate) fn pace(&self, wait: Seconds) {
         let secs = wait.value();
         if secs.is_finite() && secs > 0.0 {
-            self.pacer.sleep_blocking(Duration::from_secs_f64(secs));
+            self.pacer
+                .get_or_init(|| runtime::Timer::scaled(TIME_COMPRESSION))
+                .sleep_blocking(Duration::from_secs_f64(secs));
         }
     }
 
@@ -667,6 +671,33 @@ mod tests {
             assert_eq!(m.completed, 5, "{kind}");
             assert_eq!(m.lost(), 0, "{kind}");
         }
+    }
+
+    /// A paced shed wait must cost ~wait ÷ [`TIME_COMPRESSION`] of real
+    /// time — compressed, but never skipped. The idle gap between the two
+    /// `pace` calls is the regression half: a pacer whose wheel goes stale
+    /// while parked used to date post-idle deadlines in the past and turn
+    /// retry-after waits into no-ops.
+    #[test]
+    fn pace_compresses_the_wait_without_skipping_it() {
+        let gw = Gateway::new(CloudService::new(), GatewayConfig::clinic_default());
+        // Prime the lazy pacer, then leave it idle long enough that the
+        // gap dwarfs the next wait (30 ms real = 1.5 s virtual at 50×).
+        gw.pace(Seconds::from_millis(50.0));
+        thread::sleep(Duration::from_millis(30));
+        let started = Instant::now();
+        // 1 simulated second at 50× ≈ 20 ms real.
+        gw.pace(Seconds::from_millis(1000.0));
+        let real = started.elapsed();
+        assert!(
+            real >= Duration::from_millis(15),
+            "paced wait was skipped: {real:?}"
+        );
+        assert!(
+            real < Duration::from_millis(1000),
+            "paced wait was not compressed: {real:?}"
+        );
+        gw.shutdown();
     }
 
     /// The async engine multiplexes many more worker tasks than executor

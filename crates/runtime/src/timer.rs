@@ -61,6 +61,12 @@ struct Wheel {
     pending: usize,
     slots: Vec<Vec<VecDeque<Entry>>>,
     stopped: bool,
+    /// Lower bound on the earliest deadline still in the wheel, maintained
+    /// incrementally on insert (`u64::MAX` when unknown). May lag behind
+    /// after the entry holding it fires or cancels; [`Wheel::next_deadline`]
+    /// rescans only when the bound is no longer ahead of `tick`, so the
+    /// common driver wake-up is O(1) instead of O(pending).
+    min_deadline: u64,
 }
 
 impl Wheel {
@@ -72,6 +78,7 @@ impl Wheel {
                 .map(|_| (0..SLOTS).map(|_| VecDeque::new()).collect())
                 .collect(),
             stopped: false,
+            min_deadline: u64::MAX,
         }
     }
 
@@ -96,38 +103,57 @@ impl Wheel {
         let (level, slot) = self.place(deadline);
         self.slots[level][slot].push_back(Entry { deadline, sleep });
         self.pending += 1;
+        self.min_deadline = self.min_deadline.min(deadline);
     }
 
-    /// Earliest live deadline, or `None` when nothing is pending.
-    fn next_deadline(&self) -> Option<u64> {
-        let mut earliest = None;
-        for level in &self.slots {
-            for slot in level {
-                for entry in slot {
-                    let state = entry.sleep.lock().unwrap_or_else(|e| e.into_inner());
-                    if state.cancelled || state.fired {
-                        continue;
-                    }
-                    earliest = Some(match earliest {
-                        None => entry.deadline,
-                        Some(e) if entry.deadline < e => entry.deadline,
-                        Some(e) => e,
-                    });
-                }
-            }
+    /// Earliest deadline still in the wheel, or `None` when nothing is
+    /// pending. Usually answers from the cached bound; rescans the slots
+    /// (deadlines only, no entry locks) when the bound went stale. The
+    /// bound may name a cancelled entry — that costs the driver one
+    /// spurious wake-up, after which the sweep drops the entry and the
+    /// next rescan corrects the bound.
+    fn next_deadline(&mut self) -> Option<u64> {
+        if self.pending == 0 {
+            return None;
         }
-        earliest
+        if self.min_deadline <= self.tick {
+            self.min_deadline = self
+                .slots
+                .iter()
+                .flatten()
+                .flatten()
+                .map(|entry| entry.deadline)
+                .min()
+                .unwrap_or(u64::MAX);
+        }
+        (self.min_deadline != u64::MAX).then_some(self.min_deadline)
     }
 
     /// Advances virtual time to `target` ticks, collecting the wakers of
-    /// every sleep that came due.
+    /// every sleep that came due. Rather than stepping 1 ms at a time,
+    /// each iteration jumps straight to the next event: the first occupied
+    /// level-0 slot in the current 64-tick window, the window boundary
+    /// (where higher levels cascade), or `target`, whichever comes first.
+    /// Entries in an upcoming level-0 slot are always due in the current
+    /// window — anything later sits at a slot index the wheel has already
+    /// passed or in a higher level — so draining the slot we land on is
+    /// exact, and crossing a long idle gap costs O(gap / 64) slot scans
+    /// instead of O(gap) ticks.
     fn advance_to(&mut self, target: u64, fired: &mut Vec<Waker>) {
         while self.tick < target {
             if self.pending == 0 {
                 self.tick = target;
                 return;
             }
-            self.tick += 1;
+            let window = self.tick & !(SLOTS as u64 - 1);
+            let mut next = (window + SLOTS as u64).min(target);
+            for idx in (self.tick as usize & (SLOTS - 1)) + 1..SLOTS {
+                if !self.slots[0][idx].is_empty() {
+                    next = next.min(window + idx as u64);
+                    break;
+                }
+            }
+            self.tick = next;
             let now = self.tick;
             // Cascade each higher level whose slot boundary we just
             // crossed, innermost first.
@@ -173,6 +199,22 @@ struct TimerInner {
     changed: Condvar,
     clock: Clock,
     epoch: Instant,
+}
+
+impl TimerInner {
+    /// Current virtual time in ticks. For wall/scaled clocks this is
+    /// derived from the host clock, NOT from `wheel.tick`: the driver
+    /// parks while no sleeps are pending, so the wheel's tick goes stale
+    /// across idle gaps and must never be used as "now".
+    fn virtual_now_ticks(&self, wheel: &Wheel) -> u64 {
+        match self.clock {
+            Clock::Manual => wheel.tick,
+            Clock::Wall => (self.epoch.elapsed().as_secs_f64() / TICK_SECS) as u64,
+            Clock::Scaled(factor) => {
+                (self.epoch.elapsed().as_secs_f64() * factor / TICK_SECS) as u64
+            }
+        }
+    }
 }
 
 /// A cloneable handle to one timer wheel.
@@ -261,10 +303,13 @@ impl Timer {
         self.inner.clock
     }
 
-    /// Virtual time elapsed since the timer was created.
+    /// Virtual time elapsed since the timer was created. On wall/scaled
+    /// clocks this follows the host clock even while the driver is parked
+    /// with nothing pending; on a manual clock it is the advanced tick.
     pub fn now(&self) -> Duration {
         let wheel = self.inner.wheel.lock().unwrap_or_else(|e| e.into_inner());
-        Duration::from_secs_f64(wheel.tick as f64 * TICK_SECS)
+        let ticks = self.inner.virtual_now_ticks(&wheel).max(wheel.tick);
+        Duration::from_secs_f64(ticks as f64 * TICK_SECS)
     }
 
     /// Number of registered, not-yet-fired sleeps.
@@ -343,7 +388,7 @@ fn drive(inner: Arc<TimerInner>) {
         if wheel.stopped {
             return;
         }
-        let virtual_now = (inner.epoch.elapsed().as_secs_f64() * factor / TICK_SECS) as u64;
+        let virtual_now = inner.virtual_now_ticks(&wheel);
         let mut fired = Vec::new();
         wheel.advance_to(virtual_now, &mut fired);
         if !fired.is_empty() {
@@ -390,22 +435,49 @@ impl Future for Sleep {
             .wheel
             .lock()
             .unwrap_or_else(|e| e.into_inner());
-        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        if state.fired {
-            return Poll::Ready(());
+        // Catch the wheel up to the clock's current virtual time before
+        // computing the deadline. On wall/scaled clocks the driver parks
+        // while nothing is pending and `wheel.tick` goes stale; anchoring
+        // the deadline to the stale tick would date it in the past and the
+        // sleep would fire immediately (the jump-advance makes this O(gap
+        // / 64), and with nothing pending it is a single assignment).
+        let mut due = Vec::new();
+        let virtual_now = self.timer.inner.virtual_now_ticks(&wheel);
+        if virtual_now > wheel.tick {
+            wheel.advance_to(virtual_now, &mut due);
         }
-        state.waker = Some(cx.waker().clone());
-        if !state.registered {
-            state.registered = true;
-            let deadline = wheel.tick + self.delay_ticks;
-            drop(state);
+        let mut new_deadline = None;
+        let result = {
+            let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            if state.fired {
+                Poll::Ready(())
+            } else {
+                state.waker = Some(cx.waker().clone());
+                if !state.registered {
+                    state.registered = true;
+                    new_deadline = Some(wheel.tick + self.delay_ticks);
+                }
+                Poll::Pending
+            }
+        };
+        // Registration completes outside the state lock but still under
+        // the wheel lock, so fire/cancel cannot interleave.
+        if let Some(deadline) = new_deadline {
             wheel.insert(deadline, Arc::clone(&self.state));
-            drop(wheel);
-            self.deadline = Some(deadline);
-            // A fresh earlier deadline may need the driver to re-arm.
+        }
+        drop(wheel);
+        if new_deadline.is_some() {
+            self.deadline = new_deadline;
+        }
+        // Wake anything the catch-up advance fired, then poke the driver:
+        // a fresh earlier deadline may need it to re-arm.
+        for waker in due {
+            waker.wake();
+        }
+        if result.is_pending() {
             self.timer.inner.changed.notify_all();
         }
-        Poll::Pending
+        result
     }
 }
 
@@ -582,6 +654,26 @@ mod tests {
         let real = started.elapsed();
         assert!(real < Duration::from_secs(1), "must compress: {real:?}");
         assert!(timer.now() >= Duration::from_secs(2));
+    }
+
+    #[test]
+    fn sleep_after_idle_gap_waits_full_duration() {
+        // Regression test: while no sleeps are pending the driver parks
+        // and `wheel.tick` goes stale. A sleep registered after such a gap
+        // must anchor its deadline to the clock's virtual "now" — anchored
+        // to the stale tick, the deadline here (2000 ticks) would already
+        // be inside the gap (≥ 4000 virtual ticks) and fire immediately.
+        let timer = Timer::scaled(100.0);
+        std::thread::sleep(Duration::from_millis(40));
+        let started = Instant::now();
+        // 2 virtual seconds at 100× ≈ 20 ms real.
+        timer.sleep_blocking(Duration::from_secs(2));
+        let real = started.elapsed();
+        assert!(
+            real >= Duration::from_millis(15),
+            "sleep after idle gap fired early: {real:?}"
+        );
+        assert!(timer.now() >= Duration::from_secs(6), "gap + sleep");
     }
 
     #[test]
