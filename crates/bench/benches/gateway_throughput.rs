@@ -7,9 +7,12 @@
 //! trace through JSON decode → analysis → JSON encode.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use medsen_cloud::auth::BeadSignature;
+use medsen_cloud::identity_hash;
 use medsen_cloud::service::{CloudService, Request, Response};
 use medsen_gateway::{wire, Gateway, GatewayConfig, PendingReply, ShedPolicy};
 use medsen_impedance::{PulseSpec, SignalTrace, TraceSynthesizer};
+use medsen_microfluidics::ParticleKind;
 use medsen_units::Seconds;
 use std::hint::black_box;
 
@@ -76,6 +79,95 @@ fn pool_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Enroll storm: concurrent sessions bursting distinct-identifier
+/// enrollments — the pure multi-writer workload the shard split exists
+/// for. One shard is the pre-sharding single-lock baseline: every
+/// submitter and worker funnels through one queue lane and every
+/// enrollment serializes on one writer lock, so with `N` truly parallel
+/// writers each enroll pays a contended futex handoff on top of the
+/// insert. With shards ≥ workers the gateway fans out into independent
+/// lanes and locks and those handoffs disappear — `MetricsSnapshot::
+/// shard_contention` counts exactly the acquisitions the split saves.
+/// Route keys are the identifiers' shard hashes, exactly as
+/// `DongleSession` computes them.
+///
+/// Caveat for single-vCPU containers: the separation between the
+/// baseline and the sharded configurations scales with how many writers
+/// actually run in parallel. On one hardware thread writers interleave
+/// instead of overlapping, write locks are practically never observed
+/// held, and all three curves collapse to the same CPU-bound figure —
+/// compare the configurations on a multi-core host.
+fn enroll_storm(c: &mut Criterion) {
+    const SUBMITTERS: usize = 8;
+    const PER_SUBMITTER: usize = 128;
+    const WORKERS: usize = 8;
+    // Pre-encoded uploads, partitioned by submitting session.
+    let uploads: Vec<Vec<(Vec<u8>, u64)>> = (0..SUBMITTERS)
+        .map(|s| {
+            (0..PER_SUBMITTER)
+                .map(|i| {
+                    let identifier = format!("clinic-user-{s}-{i}");
+                    let body = medsen_phone::to_json(&Request::Enroll {
+                        identifier: identifier.clone(),
+                        signature: BeadSignature::from_counts(&[(
+                            ParticleKind::Bead358,
+                            10 + i as u64,
+                        )]),
+                    })
+                    .expect("encodes");
+                    (
+                        wire::encode_upload((s * PER_SUBMITTER + i) as u64, &body),
+                        identity_hash(&identifier),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("gateway_enroll_storm");
+    group.throughput(Throughput::Elements((SUBMITTERS * PER_SUBMITTER) as u64));
+    for shards in [1usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("enroll_8x128", shards),
+            &shards,
+            |b, &shards| {
+                let gateway = Gateway::new(
+                    CloudService::with_shards(shards),
+                    GatewayConfig {
+                        queue_capacity: 256,
+                        workers: WORKERS,
+                        shed_policy: ShedPolicy::Block,
+                    },
+                );
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        for batch in &uploads {
+                            let gateway = &gateway;
+                            scope.spawn(move || {
+                                let pending: Vec<PendingReply> = batch
+                                    .iter()
+                                    .map(|(upload, key)| {
+                                        gateway
+                                            .submit_keyed(upload.clone(), *key)
+                                            .expect("accepted")
+                                    })
+                                    .collect();
+                                for reply in pending {
+                                    match reply.wait().expect("reply") {
+                                        Response::Enrolled => {}
+                                        other => panic!("unexpected {other:?}"),
+                                    }
+                                }
+                            });
+                        }
+                    });
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 /// The framing layer alone: encode + reassemble one multi-chunk upload.
 fn framing(c: &mut Criterion) {
     let trace = bench_trace(6);
@@ -97,5 +189,5 @@ fn framing(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, pool_scaling, framing);
+criterion_group!(benches, pool_scaling, enroll_storm, framing);
 criterion_main!(benches);

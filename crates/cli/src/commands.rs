@@ -335,7 +335,11 @@ pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
         return Err(format!("unexpected argument `{}`", positional[0]));
     }
     for name in options.keys() {
-        if !["sessions", "workers", "queue", "flaky", "seed", "runtime"].contains(&name.as_str()) {
+        if ![
+            "sessions", "workers", "queue", "flaky", "seed", "runtime", "shards",
+        ]
+        .contains(&name.as_str())
+        {
             return Err(format!("unknown option --{name}"));
         }
     }
@@ -344,6 +348,7 @@ pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
     let queue: usize = parse(&options, "queue", 8)?;
     let flaky: f64 = parse(&options, "flaky", 0.1)?;
     let seed: u64 = parse(&options, "seed", 7)?;
+    let shards: usize = parse(&options, "shards", medsen_cloud::DEFAULT_SHARD_COUNT)?;
     let runtime: RuntimeKind = match options.get("runtime") {
         Some(value) => value.parse().map_err(|e| format!("--runtime: {e}"))?,
         None => RuntimeKind::default(),
@@ -359,6 +364,9 @@ pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
     }
     if !(0.0..=0.8).contains(&flaky) {
         return Err("--flaky must be in 0.0..=0.8".into());
+    }
+    if !(1..=64).contains(&shards) {
+        return Err("--shards must be in 1..=64".into());
     }
 
     // Clinic users with disjoint ±30% bead-count bands.
@@ -383,7 +391,7 @@ pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
     }
 
     // Train a one-class bead classifier from the pipeline's own features.
-    let mut service = CloudService::new();
+    let mut service = CloudService::with_shards(shards);
     let reference = medsen_cloud::AnalysisServer::paper_default().analyze(&fleet_trace(999, 8));
     let vectors: Vec<FeatureVector> = reference
         .peaks
@@ -473,6 +481,13 @@ pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
         "fleet: {sessions} sessions via {workers} workers (queue depth {queue}, {:.0}% flaky uplink, {runtime} runtime)",
         flaky * 100.0
     ));
+    wl(
+        out,
+        format!(
+            "cloud tier: {shards} shard(s), {} gateway lane(s)",
+            gateway.lane_count()
+        ),
+    );
     wl(out, format!(
         "auth: {accepted} accepted as themselves, {rejected} rejected, {other} other, {errors} gave up"
     ));

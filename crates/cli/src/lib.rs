@@ -28,7 +28,7 @@ COMMANDS:
     keylen    <cells> <electrodes> <gainbits> <flowbits>   Eq. 2 key length
     capability [--seed N] [--secret N] [--duration S]  practitioner key-sharing demo
     gateway   [--sessions N] [--workers N] [--queue N] [--flaky RATE] [--seed N]
-              [--runtime threads|async]
+              [--runtime threads|async] [--shards N]
                                                        serve a clinic fleet concurrently
     help                                               show this text
 ";

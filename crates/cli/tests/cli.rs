@@ -146,6 +146,41 @@ fn gateway_runs_on_either_runtime() {
 }
 
 #[test]
+fn gateway_honors_the_shards_flag() {
+    let (code, text) = run(&[
+        "gateway",
+        "--sessions",
+        "4",
+        "--workers",
+        "4",
+        "--shards",
+        "4",
+    ]);
+    assert_eq!(code, 0, "{text}");
+    assert!(
+        text.contains("cloud tier: 4 shard(s), 4 gateway lane(s)"),
+        "{text}"
+    );
+    assert!(text.contains("4 accepted as themselves"), "{text}");
+
+    // A single shard collapses to a single gateway lane.
+    let (code, text) = run(&[
+        "gateway",
+        "--sessions",
+        "4",
+        "--workers",
+        "4",
+        "--shards",
+        "1",
+    ]);
+    assert_eq!(code, 0, "{text}");
+    assert!(
+        text.contains("cloud tier: 1 shard(s), 1 gateway lane(s)"),
+        "{text}"
+    );
+}
+
+#[test]
 fn gateway_validates_options() {
     let (code, text) = run(&["gateway", "--sessions", "0"]);
     assert_eq!(code, 1);
@@ -160,4 +195,12 @@ fn gateway_validates_options() {
     assert!(text.contains("--runtime"), "{text}");
     assert!(text.contains("unknown runtime `fibers`"), "{text}");
     assert!(text.contains("expected `threads` or `async`"), "{text}");
+
+    let (code, text) = run(&["gateway", "--shards", "0"]);
+    assert_eq!(code, 1);
+    assert!(text.contains("--shards must be in 1..=64"), "{text}");
+
+    let (code, text) = run(&["gateway", "--shards", "65"]);
+    assert_eq!(code, 1);
+    assert!(text.contains("--shards must be in 1..=64"), "{text}");
 }

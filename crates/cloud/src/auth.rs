@@ -156,50 +156,28 @@ impl AuthService {
     /// Extracts the measured bead signature from a peak report using the
     /// given particle classifier. Peaks classified as blood cells are
     /// ignored; peaks classified as a bead type count toward that type.
+    ///
+    /// Measurement never consults the enrollment database; this method is
+    /// a convenience wrapper around the free [`measure_signature`] so
+    /// callers holding no lock (the sharded service) can measure too.
     pub fn measure_signature(&self, report: &PeakReport, classifier: &Classifier) -> BeadSignature {
-        let mut sig = BeadSignature::new();
-        for peak in &report.peaks {
-            let fv = FeatureVector {
-                index: 0,
-                amplitudes: peak.features.clone(),
-            };
-            if let Ok(label) = classifier.predict(&fv) {
-                if let Some(kind) = Self::kind_for_label(label) {
-                    sig.increment(kind);
-                }
-            }
-        }
-        sig
+        measure_signature(report, classifier)
     }
 
-    /// Maps classifier labels to bead kinds. The conventional labels are the
-    /// particle [`label`]s ("3.58um bead", "7.8um bead").
-    ///
-    /// [`label`]: ParticleKind::label
-    fn kind_for_label(label: &str) -> Option<ParticleKind> {
-        ParticleKind::ALL
-            .into_iter()
-            .filter(|k| k.is_password_bead())
-            .find(|k| k.label() == label)
+    /// All enrolled identifiers whose signature matches `measured` within
+    /// this service's tolerance, in identifier order. This is the scan a
+    /// sharded deployment runs per shard before merging candidates.
+    pub fn matching_users(&self, measured: &BeadSignature) -> Vec<String> {
+        self.enrolled
+            .iter()
+            .filter(|(_, sig)| sig.matches(measured, self.tolerance))
+            .map(|(id, _)| id.clone())
+            .collect()
     }
 
     /// Authenticates a measured signature against the enrollment database.
     pub fn authenticate(&self, measured: &BeadSignature) -> AuthDecision {
-        let matches: Vec<&String> = self
-            .enrolled
-            .iter()
-            .filter(|(_, sig)| sig.matches(measured, self.tolerance))
-            .map(|(id, _)| id)
-            .collect();
-        match matches.as_slice() {
-            [] => AuthDecision::Rejected,
-            [one] => AuthDecision::Accepted {
-                user_id: (*one).clone(),
-            },
-            many => AuthDecision::Ambiguous {
-                candidates: many.iter().map(|s| (*s).clone()).collect(),
-            },
-        }
+        decision_from_candidates(self.matching_users(measured))
     }
 
     /// The Sec. V integrity check: a stored ciphertext is intact iff the
@@ -209,6 +187,51 @@ impl AuthService {
         self.enrolled
             .get(user_id)
             .is_some_and(|sig| sig.matches(recovered, self.tolerance))
+    }
+}
+
+/// Extracts the measured bead signature from a peak report: classify each
+/// peak's feature vector, ignore blood cells, count password beads.
+/// Measurement depends only on the report and the classifier — never on
+/// enrollment state — so it needs no enrollment-database lock.
+pub fn measure_signature(report: &PeakReport, classifier: &Classifier) -> BeadSignature {
+    let mut sig = BeadSignature::new();
+    for peak in &report.peaks {
+        let fv = FeatureVector {
+            index: 0,
+            amplitudes: peak.features.clone(),
+        };
+        if let Ok(label) = classifier.predict(&fv) {
+            if let Some(kind) = kind_for_label(label) {
+                sig.increment(kind);
+            }
+        }
+    }
+    sig
+}
+
+/// Maps classifier labels to bead kinds. The conventional labels are the
+/// particle [`label`]s ("3.58um bead", "7.8um bead").
+///
+/// [`label`]: ParticleKind::label
+fn kind_for_label(label: &str) -> Option<ParticleKind> {
+    ParticleKind::ALL
+        .into_iter()
+        .filter(|k| k.is_password_bead())
+        .find(|k| k.label() == label)
+}
+
+/// Collapses a set of matching identifiers into the authentication
+/// verdict: none → rejected, exactly one → accepted, several → ambiguous
+/// (in the given candidate order). Shared by the single-map scan above and
+/// the cross-shard candidate merge in [`crate::shard::ShardedAuth`].
+pub(crate) fn decision_from_candidates(candidates: Vec<String>) -> AuthDecision {
+    match candidates.len() {
+        0 => AuthDecision::Rejected,
+        1 => AuthDecision::Accepted {
+            user_id: candidates.into_iter().next().expect("one candidate"),
+        },
+        _ => AuthDecision::Ambiguous { candidates },
     }
 }
 

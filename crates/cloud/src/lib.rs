@@ -13,6 +13,9 @@
 //!   identifiers (Sec. V) plus the ciphertext integrity check;
 //! * [`RecordStore`] — diagnosis records keyed by identifier, "stored in
 //!   cloud for a later access by the patient's practitioner";
+//! * [`shard`] — identifier-hash routing that splits the enrollment
+//!   database and record store into independently locked shards, so
+//!   enroll-heavy fleets scale past a single writer lock;
 //! * [`CloudService`] — the deployable request/response façade over the
 //!   JSON wire the phone relays;
 //! * [`adversary`] — the Sec. IV-A attacks: amplitude-signature grouping,
@@ -24,6 +27,7 @@ pub mod api;
 pub mod auth;
 pub mod server;
 pub mod service;
+pub mod shard;
 pub mod storage;
 
 pub use adversary::{
@@ -32,5 +36,6 @@ pub use adversary::{
 pub use api::{AnalyzedPeak, PeakReport};
 pub use auth::{AuthDecision, AuthService, BeadSignature};
 pub use server::AnalysisServer;
-pub use service::{CloudService, Request, Response};
+pub use service::{CloudService, Request, Response, DEFAULT_SHARD_COUNT};
+pub use shard::{identity_hash, shard_index, ShardStats, ShardedAuth, MAX_SHARDS};
 pub use storage::{RecordId, RecordStore, StoredRecord};

@@ -10,12 +10,12 @@
 //! statistics, never key material.
 
 use crate::api::PeakReport;
-use crate::auth::{AuthDecision, AuthService, BeadSignature};
+use crate::auth::{self, AuthDecision, BeadSignature};
 use crate::server::AnalysisServer;
+use crate::shard::{ShardStats, ShardedAuth};
 use crate::storage::{RecordId, RecordStore, StoredRecord};
 use medsen_dsp::classify::Classifier;
 use medsen_impedance::SignalTrace;
-use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
 /// A client request to the cloud service.
@@ -81,31 +81,66 @@ pub enum Response {
     },
 }
 
+/// Default shard count for [`CloudService::new`]: enough independent
+/// writer locks that a clinic-sized gateway worker pool never serializes
+/// on enrollment, cheap enough that a single-dongle deployment does not
+/// notice.
+pub const DEFAULT_SHARD_COUNT: usize = 8;
+
 /// The assembled cloud service.
 ///
 /// Every stage is safe to drive from many threads at once through
-/// [`CloudService::handle_shared`]: analysis is pure, the record store locks
-/// internally, and the enrollment database sits behind its own `RwLock`
-/// (reads for authentication, writes only for enrollment). The gateway
-/// worker pool relies on this to serve concurrent dongle sessions against
-/// one shared service instance.
+/// [`CloudService::handle_shared`]: analysis is pure, and the enrollment
+/// database and record store are split into [`CloudService::shard_count`]
+/// independently locked shards routed by the stable identifier hash
+/// ([`crate::shard::shard_index`]) — writers for different users take
+/// different locks and proceed in parallel. The gateway worker pool
+/// relies on this to serve concurrent dongle sessions against one shared
+/// service instance, and aligns its per-shard worker lanes with the same
+/// routing hash.
 #[derive(Debug)]
 pub struct CloudService {
     analysis: AnalysisServer,
-    auth: RwLock<AuthService>,
+    auth: ShardedAuth,
     store: RecordStore,
     classifier: Option<Classifier>,
 }
 
 impl CloudService {
-    /// Creates a service with the paper-default analysis pipeline.
+    /// Creates a service with the paper-default analysis pipeline and
+    /// [`DEFAULT_SHARD_COUNT`] shards.
     pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARD_COUNT)
+    }
+
+    /// Creates a service whose enrollment database and record store are
+    /// split into `shard_count` independently locked shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_count` is zero or exceeds
+    /// [`MAX_SHARDS`](crate::shard::MAX_SHARDS).
+    pub fn with_shards(shard_count: usize) -> Self {
         Self {
             analysis: AnalysisServer::paper_default(),
-            auth: RwLock::new(AuthService::new()),
-            store: RecordStore::new(),
+            auth: ShardedAuth::new(shard_count),
+            store: RecordStore::with_shards(shard_count),
             classifier: None,
         }
+    }
+
+    /// How many ways the write path is sharded.
+    pub fn shard_count(&self) -> usize {
+        self.auth.shard_count()
+    }
+
+    /// Per-shard occupancy and lock-contention counters, in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        let mut stats = self.auth.stats();
+        for (stat, records) in stats.iter_mut().zip(self.store.shard_lens()) {
+            stat.records = records;
+        }
+        stats
     }
 
     /// Installs the bead/cell classifier (required for authentication).
@@ -134,7 +169,7 @@ impl CloudService {
                 identifier,
                 signature,
             } => {
-                self.auth.write().enroll(identifier, signature);
+                self.auth.enroll(identifier, signature);
                 Response::Enrolled
             }
             Request::Fetch { record_id } => match self.store.fetch(record_id) {
@@ -147,7 +182,6 @@ impl CloudService {
                 Some(record) => Response::Integrity {
                     intact: self
                         .auth
-                        .read()
                         .verify_integrity(&record.user_id, &record.signature),
                 },
                 None => Response::Error {
@@ -176,12 +210,10 @@ impl CloudService {
                         reason: "no classifier installed for authentication".into(),
                     };
                 };
-                let (signature, decision) = {
-                    let auth = self.auth.read();
-                    let signature = auth.measure_signature(&report, classifier);
-                    let decision = auth.authenticate(&signature);
-                    (signature, decision)
-                };
+                // Measurement is lock-free (pure function of the report);
+                // authentication takes per-shard read locks only.
+                let signature = auth::measure_signature(&report, classifier);
+                let decision = self.auth.authenticate(&signature);
                 let stored_as = if let AuthDecision::Accepted { user_id } = &decision {
                     Some(self.store.store(StoredRecord {
                         user_id: user_id.clone(),
@@ -464,6 +496,162 @@ mod tests {
                 Response::Integrity { intact: true },
                 "thread {t}'s final enrollment must have won"
             );
+        }
+    }
+
+    #[test]
+    fn service_defaults_to_sharded_state() {
+        let svc = CloudService::new();
+        assert_eq!(svc.shard_count(), DEFAULT_SHARD_COUNT);
+        assert_eq!(svc.shard_stats().len(), DEFAULT_SHARD_COUNT);
+        assert_eq!(CloudService::with_shards(3).shard_count(), 3);
+    }
+
+    #[test]
+    fn shard_stats_track_enrollments_and_records() {
+        let svc = CloudService::with_shards(4);
+        svc.handle_shared(Request::Enroll {
+            identifier: "alice".into(),
+            signature: BeadSignature::from_counts(&[(ParticleKind::Bead358, 40)]),
+        });
+        svc.store().store(StoredRecord {
+            user_id: "alice".into(),
+            report: PeakReport {
+                peaks: vec![],
+                carriers_hz: vec![5e5],
+                sample_rate_hz: 450.0,
+                duration_s: 1.0,
+                noise_sigma: 3.0e-4,
+            },
+            signature: BeadSignature::from_counts(&[(ParticleKind::Bead358, 40)]),
+        });
+        let stats = svc.shard_stats();
+        assert_eq!(stats.iter().map(|s| s.enrolled).sum::<usize>(), 1);
+        assert_eq!(stats.iter().map(|s| s.records).sum::<usize>(), 1);
+        assert_eq!(stats.iter().map(|s| s.write_acquisitions).sum::<u64>(), 1);
+        // Enrollment and its record live on the same shard.
+        let shard = crate::shard::shard_index("alice", 4);
+        assert_eq!(stats[shard].enrolled, 1);
+        assert_eq!(stats[shard].records, 1);
+    }
+
+    /// Regression for the `handle` / `handle_shared` unification: both
+    /// entry points (and both JSON wrappers) must be the same dispatch
+    /// path, observable as byte-identical JSON for an identical request
+    /// stream against identically prepared services.
+    #[test]
+    fn handle_and_handle_shared_produce_identical_json() {
+        let mut via_mut = CloudService::new();
+        let via_shared = CloudService::new();
+        let requests = [
+            Request::Ping,
+            Request::Enroll {
+                identifier: "pipette-7".into(),
+                signature: BeadSignature::from_counts(&[(ParticleKind::Bead358, 40)]),
+            },
+            Request::Analyze {
+                trace: trace(3),
+                authenticate: false,
+            },
+            Request::Analyze {
+                trace: trace(2),
+                authenticate: true, // no classifier → error path
+            },
+            Request::Fetch {
+                record_id: RecordId(7),
+            },
+            Request::VerifyIntegrity {
+                record_id: RecordId(7),
+            },
+        ];
+        for request in requests {
+            let json = medsen_phone::to_json(&request).expect("encodes");
+            assert_eq!(
+                via_mut.handle_json(&json),
+                via_shared.handle_json_shared(&json),
+                "dispatch paths diverged for {request:?}"
+            );
+            // The non-JSON entry points agree too.
+            assert_eq!(
+                via_mut.handle(request.clone()),
+                via_shared.handle_shared(request)
+            );
+        }
+        // Both paths mutated the same state the same way.
+        assert_eq!(via_mut.store().len(), via_shared.store().len());
+    }
+
+    /// Ids minted by a service with a different shard layout must fail
+    /// closed through the request API: an error response, never a panic,
+    /// never another user's record.
+    #[test]
+    fn foreign_shard_ids_error_through_the_service() {
+        let eight = CloudService::with_shards(8);
+        let two = CloudService::with_shards(2);
+        let record = |user: &str| StoredRecord {
+            user_id: user.into(),
+            report: PeakReport {
+                peaks: vec![],
+                carriers_hz: vec![5e5],
+                sample_rate_hz: 450.0,
+                duration_s: 1.0,
+                noise_sigma: 3.0e-4,
+            },
+            signature: BeadSignature::from_counts(&[(ParticleKind::Bead358, 40)]),
+        };
+        for i in 0..8 {
+            two.store().store(record(&format!("user-{i}")));
+        }
+        let foreign = eight.store().store(record("alice"));
+        for request in [
+            Request::Fetch { record_id: foreign },
+            Request::VerifyIntegrity { record_id: foreign },
+        ] {
+            assert!(
+                matches!(two.handle_shared(request), Response::Error { .. }),
+                "foreign id {foreign:?} must fail closed"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_concurrent_enrolls_and_stores_do_not_collide() {
+        let svc = CloudService::with_shards(8);
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let svc = &svc;
+                scope.spawn(move || {
+                    for i in 0..20u64 {
+                        let user = format!("user-{t}");
+                        let sig =
+                            BeadSignature::from_counts(&[(ParticleKind::Bead358, 10 + t + i)]);
+                        assert_eq!(
+                            svc.handle_shared(Request::Enroll {
+                                identifier: user.clone(),
+                                signature: sig.clone(),
+                            }),
+                            Response::Enrolled
+                        );
+                        let id = svc.store().store(StoredRecord {
+                            user_id: user.clone(),
+                            report: PeakReport {
+                                peaks: vec![],
+                                carriers_hz: vec![5e5],
+                                sample_rate_hz: 450.0,
+                                duration_s: 1.0,
+                                noise_sigma: 3.0e-4,
+                            },
+                            signature: sig,
+                        });
+                        // Another user's traffic never aliases our id.
+                        assert_eq!(svc.store().fetch(id).expect("stored").user_id, user);
+                    }
+                });
+            }
+        });
+        assert_eq!(svc.store().len(), 160);
+        for t in 0..8u64 {
+            assert_eq!(svc.store().records_of(&format!("user-{t}")).len(), 20);
         }
     }
 

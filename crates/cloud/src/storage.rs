@@ -4,18 +4,81 @@
 //! cloud for a later access by the patient's practitioner" (Sec. II).
 //! Records are keyed by the cyto-coded identifier's owner and store only
 //! ciphertext-side artifacts: the peak report and the signature that binds it
-//! to an identity. Thread-safe via `parking_lot::RwLock`, since the analysis
-//! service and practitioner fetches run concurrently.
+//! to an identity.
+//!
+//! The store is split into [`RecordStore::shard_count`] independently
+//! locked shards routed by the stable identifier hash
+//! ([`crate::shard::shard_index`]), so writers for different users never
+//! contend. A [`RecordId`] encodes the shard it lives on *and* the shard
+//! count of the store that minted it, so an id presented to a store with
+//! a different layout fails closed (`None` / `false`) instead of
+//! panicking or aliasing another user's record.
 
 use crate::api::PeakReport;
 use crate::auth::BeadSignature;
+use crate::shard::{shard_index, MAX_SHARDS};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bits of a [`RecordId`] holding the per-shard sequence number.
+const SEQUENCE_BITS: u32 = 48;
+/// Mask selecting the sequence field.
+const SEQUENCE_MASK: u64 = (1 << SEQUENCE_BITS) - 1;
+/// Bit offset of the `shard_count - 1` field.
+const COUNT_SHIFT: u32 = SEQUENCE_BITS;
+/// Bit offset of the shard-index field.
+const SHARD_SHIFT: u32 = SEQUENCE_BITS + 8;
 
 /// An opaque record identifier.
+///
+/// Layout (most significant first): 8 bits shard index, 8 bits
+/// `shard_count - 1` of the minting store, 48 bits per-shard sequence
+/// number. A single-shard store therefore mints plain sequential integers
+/// `0, 1, 2, …`, bit-identical to the pre-sharding format.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct RecordId(pub u64);
+
+impl RecordId {
+    /// Largest per-shard sequence number an id can carry.
+    pub const MAX_SEQUENCE: u64 = SEQUENCE_MASK;
+
+    /// Builds an id from its fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shard_count`, `shard_count` is outside
+    /// `1..=`[`MAX_SHARDS`], or `sequence` exceeds [`Self::MAX_SEQUENCE`].
+    pub fn compose(shard: usize, shard_count: usize, sequence: u64) -> Self {
+        assert!(
+            (1..=MAX_SHARDS).contains(&shard_count),
+            "shard count {shard_count} outside 1..={MAX_SHARDS}"
+        );
+        assert!(shard < shard_count, "shard {shard} >= count {shard_count}");
+        assert!(sequence <= SEQUENCE_MASK, "sequence {sequence} overflows");
+        Self(
+            ((shard as u64) << SHARD_SHIFT)
+                | (((shard_count - 1) as u64) << COUNT_SHIFT)
+                | sequence,
+        )
+    }
+
+    /// The shard index this id was minted on.
+    pub fn shard(self) -> usize {
+        (self.0 >> SHARD_SHIFT) as usize
+    }
+
+    /// The shard count of the store that minted this id.
+    pub fn shard_count(self) -> usize {
+        ((self.0 >> COUNT_SHIFT) & 0xFF) as usize + 1
+    }
+
+    /// The per-shard sequence number.
+    pub fn sequence(self) -> u64 {
+        self.0 & SEQUENCE_MASK
+    }
+}
 
 /// One stored (still encrypted) diagnostic record.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -28,61 +91,126 @@ pub struct StoredRecord {
     pub signature: BeadSignature,
 }
 
-/// A concurrent record store.
+/// One shard: its own lock, map, and sequence counter.
 #[derive(Debug, Default)]
-pub struct RecordStore {
+struct StoreShard {
     records: RwLock<HashMap<RecordId, StoredRecord>>,
-    next_id: RwLock<u64>,
+    next_sequence: AtomicU64,
+}
+
+/// A concurrent, identifier-hash-sharded record store.
+#[derive(Debug)]
+pub struct RecordStore {
+    shards: Vec<StoreShard>,
+}
+
+impl Default for RecordStore {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl RecordStore {
-    /// An empty store.
+    /// A single-shard store — id-compatible with the pre-sharding format.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_shards(1)
     }
 
-    /// Stores a record, returning its id.
+    /// A store with `shard_count` independently locked shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_count` is zero or exceeds [`MAX_SHARDS`].
+    pub fn with_shards(shard_count: usize) -> Self {
+        assert!(
+            (1..=MAX_SHARDS).contains(&shard_count),
+            "shard count {shard_count} outside 1..={MAX_SHARDS}"
+        );
+        Self {
+            shards: (0..shard_count).map(|_| StoreShard::default()).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether `id` could have been minted by this store's layout. Ids
+    /// from a store with a different shard count (or hand-rolled ids with
+    /// an out-of-range shard) fail this check and every lookup on them
+    /// fails closed.
+    fn owns(&self, id: RecordId) -> bool {
+        id.shard_count() == self.shards.len() && id.shard() < self.shards.len()
+    }
+
+    /// Stores a record on its user's shard, returning its id.
     pub fn store(&self, record: StoredRecord) -> RecordId {
-        let mut next = self.next_id.write();
-        let id = RecordId(*next);
-        *next += 1;
-        self.records.write().insert(id, record);
+        let shard = shard_index(&record.user_id, self.shards.len());
+        let sequence = self.shards[shard]
+            .next_sequence
+            .fetch_add(1, Ordering::Relaxed);
+        let id = RecordId::compose(shard, self.shards.len(), sequence);
+        self.shards[shard].records.write().insert(id, record);
         id
     }
 
-    /// Fetches a record by id.
+    /// Fetches a record by id. Ids minted under a different shard layout
+    /// return `None`.
     pub fn fetch(&self, id: RecordId) -> Option<StoredRecord> {
-        self.records.read().get(&id).cloned()
+        if !self.owns(id) {
+            return None;
+        }
+        self.shards[id.shard()].records.read().get(&id).cloned()
     }
 
     /// All record ids filed under a user, in id order.
+    ///
+    /// Scans every shard rather than only the user's home shard: a
+    /// tampering insider ([`RecordStore::tamper`]) can overwrite a record
+    /// in place with a foreign `user_id`, and the listing must still see
+    /// it where it physically lives.
     pub fn records_of(&self, user_id: &str) -> Vec<RecordId> {
         let mut ids: Vec<RecordId> = self
-            .records
-            .read()
+            .shards
             .iter()
-            .filter(|(_, r)| r.user_id == user_id)
-            .map(|(&id, _)| id)
+            .flat_map(|shard| {
+                shard
+                    .records
+                    .read()
+                    .iter()
+                    .filter(|(_, r)| r.user_id == user_id)
+                    .map(|(&id, _)| id)
+                    .collect::<Vec<_>>()
+            })
             .collect();
         ids.sort();
         ids
     }
 
-    /// Number of stored records.
+    /// Number of stored records across all shards.
     pub fn len(&self) -> usize {
-        self.records.read().len()
+        self.shards.iter().map(|s| s.records.read().len()).sum()
     }
 
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.records.read().is_empty()
+        self.shards.iter().all(|s| s.records.read().is_empty())
+    }
+
+    /// Records per shard, in shard order (for metrics).
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.records.read().len()).collect()
     }
 
     /// Overwrites a record in place (models a tampering cloud insider for
     /// the integrity-check experiments). Returns `false` if the id is
-    /// unknown.
+    /// unknown — including ids minted under a different shard layout.
     pub fn tamper(&self, id: RecordId, record: StoredRecord) -> bool {
-        let mut records = self.records.write();
+        if !self.owns(id) {
+            return false;
+        }
+        let mut records = self.shards[id.shard()].records.write();
         if let std::collections::hash_map::Entry::Occupied(mut e) = records.entry(id) {
             e.insert(record);
             true
@@ -137,6 +265,14 @@ mod tests {
     }
 
     #[test]
+    fn single_shard_ids_match_the_preshard_format() {
+        let store = RecordStore::new();
+        assert_eq!(store.store(record("alice")), RecordId(0));
+        assert_eq!(store.store(record("bob")), RecordId(1));
+        assert_eq!(store.store(record("alice")), RecordId(2));
+    }
+
+    #[test]
     fn per_user_listing() {
         let store = RecordStore::new();
         let a1 = store.store(record("alice"));
@@ -172,5 +308,96 @@ mod tests {
             h.join().expect("no panics");
         }
         assert_eq!(store.len(), 400);
+    }
+
+    #[test]
+    fn record_id_fields_round_trip() {
+        for (shard, count, seq) in [
+            (0usize, 1usize, 0u64),
+            (0, 1, RecordId::MAX_SEQUENCE),
+            (7, 8, 12345),
+            (255, 256, 1),
+        ] {
+            let id = RecordId::compose(shard, count, seq);
+            assert_eq!(id.shard(), shard);
+            assert_eq!(id.shard_count(), count);
+            assert_eq!(id.sequence(), seq);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shard 3 >= count 2")]
+    fn compose_rejects_out_of_range_shard() {
+        RecordId::compose(3, 2, 0);
+    }
+
+    #[test]
+    fn sharded_store_routes_by_user_and_round_trips() {
+        let store = RecordStore::with_shards(8);
+        let a1 = store.store(record("alice"));
+        let b1 = store.store(record("bob"));
+        let a2 = store.store(record("alice"));
+        // Same user → same shard, consecutive sequence numbers.
+        assert_eq!(a1.shard(), a2.shard());
+        assert_eq!(a1.shard(), crate::shard::shard_index("alice", 8));
+        assert_eq!(b1.shard(), crate::shard::shard_index("bob", 8));
+        assert_eq!(a2.sequence(), a1.sequence() + 1);
+        // Fetch, listing, and tamper all resolve through the encoding.
+        assert_eq!(store.fetch(a1).unwrap().user_id, "alice");
+        assert_eq!(store.fetch(b1).unwrap().user_id, "bob");
+        assert_eq!(store.records_of("alice"), vec![a1, a2]);
+        assert!(store.tamper(b1, record("mallory")));
+        assert_eq!(store.fetch(b1).unwrap().user_id, "mallory");
+        assert_eq!(store.records_of("mallory"), vec![b1]);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.shard_lens().iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn foreign_layout_ids_fail_closed() {
+        // Mint ids under an 8-way layout, present them to a 2-way store
+        // that has a record at every (shard, sequence) a foreign id could
+        // alias — none may resolve, none may panic.
+        let eight = RecordStore::with_shards(8);
+        let two = RecordStore::with_shards(2);
+        let foreign: Vec<RecordId> = (0..16)
+            .map(|i| eight.store(record(&format!("user-{i}"))))
+            .collect();
+        for i in 0..16 {
+            two.store(record(&format!("user-{i}")));
+        }
+        assert!(!two.is_empty());
+        for id in foreign {
+            assert!(
+                two.fetch(id).is_none(),
+                "{id:?} minted by an 8-shard store must not resolve in a 2-shard store"
+            );
+            assert!(!two.tamper(id, record("mallory")));
+        }
+        // Same in the other direction, including a shard index that is
+        // simply out of range for the small store.
+        let native = two.store(record("alice"));
+        assert!(eight.fetch(native).is_none());
+        let out_of_range = RecordId::compose(5, 8, 0);
+        assert!(two.fetch(out_of_range).is_none());
+    }
+
+    #[test]
+    fn sharded_store_is_usable_across_threads() {
+        let store = std::sync::Arc::new(RecordStore::with_shards(8));
+        std::thread::scope(|scope| {
+            for i in 0..8 {
+                let store = &store;
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        store.store(record(&format!("user{i}")));
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), 400);
+        for i in 0..8 {
+            assert_eq!(store.records_of(&format!("user{i}")).len(), 50);
+        }
     }
 }

@@ -6,6 +6,16 @@
 //! [`CloudService::handle_json_shared`], and posts the JSON response back
 //! on a per-request reply channel ([`PendingReply`]).
 //!
+//! The queue is split into **lanes** aligned with the cloud tier's
+//! identifier-hash shards: `lanes = shards.min(workers).max(1)`, each
+//! lane a bounded channel of `queue_capacity / lanes` slots with its own
+//! worker group (worker *w* drains lane *w mod lanes*). Submissions
+//! carry a route key ([`Gateway::submit_keyed`]) — enrollments route by
+//! [`medsen_cloud::identity_hash`] of the identifier so writes to the
+//! same auth shard serialize in the same lane, everything else routes by
+//! session id. With one shard (or one worker) this degenerates to the
+//! original single-queue gateway.
+//!
 //! Two interchangeable engines implement the pool, selected by
 //! [`RuntimeKind`]:
 //!
@@ -226,30 +236,35 @@ struct WorkItem {
     enqueued: Instant,
 }
 
-/// The original engine: one OS thread per worker on a crossbeam channel.
+/// The original engine: one OS thread per worker, now on one crossbeam
+/// channel per lane.
 struct ThreadEngine {
-    tx: Sender<WorkItem>,
-    // Keeps the channel connected even with a zero-worker pool (used by
+    lanes: Vec<Sender<WorkItem>>,
+    // Keeps the channels connected even with a zero-worker pool (used by
     // tests to freeze the queue); workers hold their own clones.
-    _rx: Receiver<WorkItem>,
+    _rxs: Vec<Receiver<WorkItem>>,
     workers: Vec<thread::JoinHandle<()>>,
 }
 
-/// The task engine: M worker tasks over N executor threads.
+/// The task engine: M worker tasks over N executor threads, one runtime
+/// channel per lane.
 struct AsyncEngine {
     executor: runtime::Executor,
-    tx: runtime::channel::Sender<WorkItem>,
-    // Same zero-worker trick as the thread engine: hold a receiver so the
-    // queue can fill without disconnecting.
-    _rx: runtime::channel::Receiver<WorkItem>,
+    lanes: Vec<runtime::channel::Sender<WorkItem>>,
+    // Same zero-worker trick as the thread engine: hold receivers so the
+    // queues can fill without disconnecting.
+    _rxs: Vec<runtime::channel::Receiver<WorkItem>>,
     tasks: Vec<runtime::JoinHandle<()>>,
 }
 
 impl AsyncEngine {
-    /// Ordered teardown: stop intake, let tasks drain the queue, join
-    /// them, then stop the executor pool (its `Drop` joins the threads).
+    /// Ordered teardown: stop intake on every lane, let tasks drain their
+    /// queues, join them, then stop the executor pool (its `Drop` joins
+    /// the threads).
     fn quiesce(&mut self) {
-        self.tx.close();
+        for tx in &self.lanes {
+            tx.close();
+        }
         for task in self.tasks.drain(..) {
             task.join();
         }
@@ -295,13 +310,24 @@ impl Gateway {
         runtime_kind: RuntimeKind,
     ) -> Self {
         let service = Arc::new(service);
-        let metrics = Arc::new(GatewayMetrics::new());
+        let lanes = lane_count_for(service.shard_count(), config.workers);
+        // `queue_capacity` stays the *total* budget: splitting it across
+        // lanes preserves the seed invariant that at most `queue_capacity`
+        // items are queued gateway-wide.
+        let per_lane_capacity = (config.queue_capacity / lanes).max(1);
+        let metrics = Arc::new(GatewayMetrics::with_lanes(lanes));
         let engine = match runtime_kind {
             RuntimeKind::Threads => {
-                let (tx, rx) = bounded::<WorkItem>(config.queue_capacity);
+                let mut txs = Vec::with_capacity(lanes);
+                let mut rxs = Vec::with_capacity(lanes);
+                for _ in 0..lanes {
+                    let (tx, rx) = bounded::<WorkItem>(per_lane_capacity);
+                    txs.push(tx);
+                    rxs.push(rx);
+                }
                 let workers = (0..config.workers)
                     .map(|i| {
-                        let rx = rx.clone();
+                        let rx = rxs[i % lanes].clone();
                         let service = Arc::clone(&service);
                         let metrics = Arc::clone(&metrics);
                         thread::Builder::new()
@@ -311,18 +337,24 @@ impl Gateway {
                     })
                     .collect();
                 Engine::Threads(ThreadEngine {
-                    tx,
-                    _rx: rx,
+                    lanes: txs,
+                    _rxs: rxs,
                     workers,
                 })
             }
             RuntimeKind::Async => {
                 let executor =
                     runtime::Executor::new(config.workers.clamp(1, MAX_EXECUTOR_THREADS));
-                let (tx, rx) = runtime::channel::bounded::<WorkItem>(config.queue_capacity);
+                let mut txs = Vec::with_capacity(lanes);
+                let mut rxs = Vec::with_capacity(lanes);
+                for _ in 0..lanes {
+                    let (tx, rx) = runtime::channel::bounded::<WorkItem>(per_lane_capacity);
+                    txs.push(tx);
+                    rxs.push(rx);
+                }
                 let tasks = (0..config.workers)
-                    .map(|_| {
-                        let rx = rx.clone();
+                    .map(|i| {
+                        let rx = rxs[i % lanes].clone();
                         let service = Arc::clone(&service);
                         let metrics = Arc::clone(&metrics);
                         executor.spawn(worker_task(rx, service, metrics))
@@ -330,8 +362,8 @@ impl Gateway {
                     .collect();
                 Engine::Async(AsyncEngine {
                     executor,
-                    tx,
-                    _rx: rx,
+                    lanes: txs,
+                    _rxs: rxs,
                     tasks,
                 })
             }
@@ -358,9 +390,26 @@ impl Gateway {
         &self.service
     }
 
-    /// A point-in-time copy of the gateway's metrics.
+    /// A point-in-time copy of the gateway's metrics, including the cloud
+    /// tier's per-shard lock-contention counters.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot()
+        let mut snap = self.metrics.snapshot();
+        snap.shard_contention = self
+            .service
+            .shard_stats()
+            .iter()
+            .map(|s| s.contended_writes)
+            .collect();
+        snap
+    }
+
+    /// How many queue lanes this gateway runs
+    /// (`shards.min(workers).max(1)`).
+    pub fn lane_count(&self) -> usize {
+        match &self.engine {
+            Engine::Threads(engine) => engine.lanes.len(),
+            Engine::Async(engine) => engine.lanes.len(),
+        }
     }
 
     pub(crate) fn metrics_handle(&self) -> &GatewayMetrics {
@@ -385,25 +434,43 @@ impl Gateway {
         }
     }
 
-    /// Submits a framed upload, applying the shed policy when the queue is
-    /// full. On success the request is owned by the gateway and the
-    /// returned [`PendingReply`] will produce exactly one response.
+    /// Submits a framed upload, applying the shed policy when the target
+    /// lane is full. Routes by the upload's session id (peeked from the
+    /// `StartTest` header; malformed uploads fall back to lane 0 and get
+    /// their precise error from the worker-side decode). On success the
+    /// request is owned by the gateway and the returned [`PendingReply`]
+    /// will produce exactly one response.
     pub fn submit(&self, upload: Vec<u8>) -> Result<PendingReply, SubmitError> {
+        let key = wire::peek_session_id(&upload).unwrap_or(0);
+        self.submit_keyed(upload, key)
+    }
+
+    /// Submits a framed upload to the lane selected by `route_key % lanes`.
+    /// Sessions pass [`medsen_cloud::identity_hash`] of the identifier for
+    /// enrollments — aligning the queue lane with the auth shard the write
+    /// will land on — and their session id for everything else.
+    pub fn submit_keyed(
+        &self,
+        upload: Vec<u8>,
+        route_key: u64,
+    ) -> Result<PendingReply, SubmitError> {
         let (reply_tx, reply_rx) = bounded(1);
         let item = WorkItem {
             upload,
             reply: reply_tx,
             enqueued: Instant::now(),
         };
-        let depth = match &self.engine {
+        let lane = (route_key % self.lane_count() as u64) as usize;
+        let lane_depth = match &self.engine {
             Engine::Threads(engine) => {
+                let tx = &engine.lanes[lane];
                 match self.shed_policy {
                     ShedPolicy::Block => {
-                        if let Err(e) = engine.tx.send(item) {
+                        if let Err(e) = tx.send(item) {
                             return Err(SubmitError::Closed { upload: e.0.upload });
                         }
                     }
-                    ShedPolicy::Reject { retry_after } => match engine.tx.try_send(item) {
+                    ShedPolicy::Reject { retry_after } => match tx.try_send(item) {
                         Ok(()) => {}
                         Err(TrySendError::Full(item)) => {
                             self.metrics.on_rejected();
@@ -419,16 +486,17 @@ impl Gateway {
                         }
                     },
                 }
-                engine.tx.len()
+                tx.len()
             }
             Engine::Async(engine) => {
+                let tx = &engine.lanes[lane];
                 match self.shed_policy {
                     ShedPolicy::Block => {
-                        if let Err(e) = runtime::block_on(engine.tx.send(item)) {
+                        if let Err(e) = runtime::block_on(tx.send(item)) {
                             return Err(SubmitError::Closed { upload: e.0.upload });
                         }
                     }
-                    ShedPolicy::Reject { retry_after } => match engine.tx.try_send(item) {
+                    ShedPolicy::Reject { retry_after } => match tx.try_send(item) {
                         Ok(()) => {}
                         Err(runtime::channel::TrySendError::Full(item)) => {
                             self.metrics.on_rejected();
@@ -444,10 +512,12 @@ impl Gateway {
                         }
                     },
                 }
-                engine.tx.len()
+                tx.len()
             }
         };
-        self.metrics.on_accepted(depth);
+        // One depth probe on the lane just written: the submit path stays
+        // O(1) in the lane count instead of summing every lane's queue.
+        self.metrics.on_accepted(lane, lane_depth);
         Ok(PendingReply { rx: reply_rx })
     }
 
@@ -457,11 +527,14 @@ impl Gateway {
     /// [`SubmitError::Closed`].
     pub fn shutdown(self) -> MetricsSnapshot {
         let Gateway {
-            engine, metrics, ..
+            service,
+            engine,
+            metrics,
+            ..
         } = self;
         match engine {
-            Engine::Threads(ThreadEngine { tx, workers, .. }) => {
-                drop(tx);
+            Engine::Threads(ThreadEngine { lanes, workers, .. }) => {
+                drop(lanes);
                 for handle in workers {
                     let _ = handle.join();
                 }
@@ -470,7 +543,13 @@ impl Gateway {
             // the subsequent `Drop` is an idempotent no-op.
             Engine::Async(mut engine) => engine.quiesce(),
         }
-        metrics.snapshot()
+        let mut snap = metrics.snapshot();
+        snap.shard_contention = service
+            .shard_stats()
+            .iter()
+            .map(|s| s.contended_writes)
+            .collect();
+        snap
     }
 
     fn worker_count(&self) -> usize {
@@ -482,10 +561,18 @@ impl Gateway {
 
     fn queue_len(&self) -> usize {
         match &self.engine {
-            Engine::Threads(engine) => engine.tx.len(),
-            Engine::Async(engine) => engine.tx.len(),
+            Engine::Threads(engine) => engine.lanes.iter().map(|t| t.len()).sum(),
+            Engine::Async(engine) => engine.lanes.iter().map(|t| t.len()).sum(),
         }
     }
+}
+
+/// Lane sizing: one lane per cloud shard, but never more lanes than
+/// workers (an unstaffed lane would strand its queue) and never zero
+/// (a zero-worker gateway still needs somewhere to park submissions for
+/// the deterministic backpressure tests).
+fn lane_count_for(shards: usize, workers: usize) -> usize {
+    shards.min(workers).max(1)
 }
 
 impl fmt::Debug for Gateway {
@@ -493,6 +580,7 @@ impl fmt::Debug for Gateway {
         let mut s = f.debug_struct("Gateway");
         s.field("runtime", &self.runtime_kind)
             .field("workers", &self.worker_count())
+            .field("lanes", &self.lane_count())
             .field("queue_len", &self.queue_len())
             .field("shed_policy", &self.shed_policy);
         if let Engine::Async(engine) = &self.engine {
@@ -698,6 +786,104 @@ mod tests {
             "paced wait was not compressed: {real:?}"
         );
         gw.shutdown();
+    }
+
+    #[test]
+    fn lane_sizing_follows_shards_and_workers() {
+        assert_eq!(lane_count_for(8, 4), 4);
+        assert_eq!(lane_count_for(8, 16), 8);
+        assert_eq!(lane_count_for(1, 16), 1);
+        assert_eq!(lane_count_for(8, 0), 1);
+        assert_eq!(lane_count_for(0, 0), 1);
+    }
+
+    #[test]
+    fn gateway_forms_one_lane_per_shard_up_to_workers() {
+        for kind in engines() {
+            let gw = Gateway::with_runtime(
+                CloudService::with_shards(8),
+                GatewayConfig {
+                    queue_capacity: 16,
+                    workers: 4,
+                    shed_policy: ShedPolicy::Block,
+                },
+                kind,
+            );
+            assert_eq!(gw.lane_count(), 4, "{kind}");
+            gw.shutdown();
+        }
+    }
+
+    #[test]
+    fn keyed_submissions_land_on_their_lane() {
+        for kind in engines() {
+            // Zero workers so the queued items stay put and the per-lane
+            // depth is observable deterministically.
+            let gw = Gateway::with_runtime(
+                CloudService::with_shards(4),
+                GatewayConfig {
+                    queue_capacity: 16,
+                    workers: 0,
+                    shed_policy: ShedPolicy::Block,
+                },
+                kind,
+            );
+            // workers = 0 clamps to a single lane; every key maps to it.
+            assert_eq!(gw.lane_count(), 1, "{kind}");
+            let _a = gw.submit_keyed(ping_upload(1), 7).expect("accepted");
+            let m = gw.metrics();
+            assert_eq!(m.shard_routed, vec![1], "{kind}");
+            drop(gw);
+        }
+    }
+
+    #[test]
+    fn per_lane_routing_counters_split_by_key() {
+        let gw = Gateway::with_runtime(
+            CloudService::with_shards(4),
+            GatewayConfig {
+                queue_capacity: 16,
+                workers: 4,
+                shed_policy: ShedPolicy::Block,
+            },
+            RuntimeKind::Async,
+        );
+        assert_eq!(gw.lane_count(), 4);
+        let mut replies = Vec::new();
+        for key in 0..8u64 {
+            replies.push(gw.submit_keyed(ping_upload(key), key).expect("accepted"));
+        }
+        for reply in replies {
+            assert_eq!(reply.wait().expect("reply"), Response::Pong);
+        }
+        let m = gw.shutdown();
+        // key % 4 spreads 8 keys as exactly 2 per lane.
+        assert_eq!(m.shard_routed, vec![2, 2, 2, 2]);
+        // The default cloud service saw no enrollments, so no shard's
+        // write lock was ever contended.
+        assert_eq!(m.shard_contention.len(), 4);
+        assert!(m.shard_contention.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn unkeyed_submit_routes_by_peeked_session_id() {
+        let gw = Gateway::with_runtime(
+            CloudService::with_shards(2),
+            GatewayConfig {
+                queue_capacity: 8,
+                workers: 0, // freeze the queues
+                shed_policy: ShedPolicy::Block,
+            },
+            RuntimeKind::Threads,
+        );
+        // workers = 0 → one lane regardless; this test just proves the
+        // peek path accepts both well-formed and malformed uploads.
+        let _a = gw.submit(ping_upload(3)).expect("accepted");
+        let _b = gw
+            .submit(vec![0xFF, 0x00])
+            .expect("malformed routes to lane 0");
+        assert_eq!(gw.metrics().shard_routed, vec![2]);
+        drop(gw);
     }
 
     /// The async engine multiplexes many more worker tasks than executor

@@ -15,7 +15,12 @@
 //!   with a retry-after hint. Two engines implement the pool, selected by
 //!   [`RuntimeKind`]: worker *tasks* on the `medsen-runtime` async
 //!   executor (the default — idle sessions cost a task, not a thread), or
-//!   the original OS-thread-per-worker baseline.
+//!   the original OS-thread-per-worker baseline. The queue is split into
+//!   per-shard *lanes* (`shards.min(workers).max(1)`, sharing the total
+//!   `queue_capacity`): enrollments route by
+//!   [`identity_hash`](medsen_cloud::identity_hash) of the identifier so
+//!   same-shard writes serialize on one lane's worker group, other
+//!   traffic spreads by session id ([`Gateway::submit_keyed`]).
 //! * [`DongleSession`] (`session` module) — the per-device lifecycle
 //!   (connect → enroll/analyze stream → drain → close). Uploads ride the
 //!   phone's frame format ([`wire`]) across a simulated
@@ -25,7 +30,10 @@
 //!   under any host scheduling.
 //! * [`GatewayMetrics`] (`metrics` module) — accepted / rejected /
 //!   retried / completed / failed counters, a queue-depth high-water
-//!   mark, and per-stage latency histograms, snapshotable at any point.
+//!   mark, per-stage latency histograms, and per-lane routing/depth
+//!   counters; [`MetricsSnapshot`] additionally carries the cloud tier's
+//!   per-shard write-lock contention so one snapshot answers "is the
+//!   shard split buying anything?".
 //!
 //! The load-bearing invariant, proven by the workspace's `gateway_fleet`
 //! integration test: running N sessions concurrently through the gateway

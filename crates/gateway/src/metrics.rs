@@ -114,8 +114,15 @@ impl LatencySnapshot {
     }
 }
 
-/// Shared counters for the whole gateway.
+/// Per-lane counters for the gateway's sharded worker groups.
 #[derive(Debug, Default)]
+struct LaneMetrics {
+    routed: AtomicU64,
+    high_water: AtomicU64,
+}
+
+/// Shared counters for the whole gateway.
+#[derive(Debug)]
 pub struct GatewayMetrics {
     accepted: AtomicU64,
     rejected: AtomicU64,
@@ -123,6 +130,7 @@ pub struct GatewayMetrics {
     completed: AtomicU64,
     failed: AtomicU64,
     queue_high_water: AtomicU64,
+    lanes: Vec<LaneMetrics>,
     /// Real time spent by accepted work items waiting in the queue.
     pub queue_wait: LatencyHistogram,
     /// Real time spent by the worker handling one request.
@@ -131,18 +139,55 @@ pub struct GatewayMetrics {
     pub uplink_time: LatencyHistogram,
 }
 
+impl Default for GatewayMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl GatewayMetrics {
-    /// Fresh all-zero metrics.
+    /// Fresh all-zero metrics with a single lane.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_lanes(1)
     }
 
-    /// Counts a request accepted into the queue; `depth` is the queue depth
-    /// right after the enqueue, feeding the high-water mark.
-    pub fn on_accepted(&self, depth: usize) {
+    /// Fresh all-zero metrics tracking `lanes` per-shard worker lanes.
+    pub fn with_lanes(lanes: usize) -> Self {
+        Self {
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            retried: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            queue_high_water: AtomicU64::new(0),
+            lanes: (0..lanes.max(1)).map(|_| LaneMetrics::default()).collect(),
+            queue_wait: LatencyHistogram::new(),
+            service_time: LatencyHistogram::new(),
+            uplink_time: LatencyHistogram::new(),
+        }
+    }
+
+    /// Number of tracked lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Counts a request accepted into the queue and routed onto `lane`;
+    /// `lane_depth` is that lane's queue depth right after the enqueue,
+    /// feeding both the lane's and the gateway's high-water marks. One
+    /// call, one depth probe: the submit path stays O(1) in the lane
+    /// count. An out-of-range `lane` still counts globally but is ignored
+    /// per-lane, never a panic.
+    pub fn on_accepted(&self, lane: usize, lane_depth: usize) {
         self.accepted.fetch_add(1, Ordering::Relaxed);
         self.queue_high_water
-            .fetch_max(depth as u64, Ordering::Relaxed);
+            .fetch_max(lane_depth as u64, Ordering::Relaxed);
+        if let Some(metrics) = self.lanes.get(lane) {
+            metrics.routed.fetch_add(1, Ordering::Relaxed);
+            metrics
+                .high_water
+                .fetch_max(lane_depth as u64, Ordering::Relaxed);
+        }
     }
 
     /// Counts a request shed by the backpressure policy.
@@ -174,6 +219,17 @@ impl GatewayMetrics {
             completed: self.completed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
+            shard_routed: self
+                .lanes
+                .iter()
+                .map(|l| l.routed.load(Ordering::Relaxed))
+                .collect(),
+            shard_depth: self
+                .lanes
+                .iter()
+                .map(|l| l.high_water.load(Ordering::Relaxed))
+                .collect(),
+            shard_contention: Vec::new(),
             queue_wait: self.queue_wait.snapshot(),
             service_time: self.service_time.snapshot(),
             uplink_time: self.uplink_time.snapshot(),
@@ -194,8 +250,19 @@ pub struct MetricsSnapshot {
     pub completed: u64,
     /// Requests abandoned client-side (deadline exceeded / retries spent).
     pub failed: u64,
-    /// Deepest the queue ever got (post-enqueue).
+    /// Deepest any worker lane ever got (post-enqueue). With one lane
+    /// this is the classic whole-queue high-water mark; with several it
+    /// is the worst single lane, which is what backpressure tuning needs.
     pub queue_high_water: u64,
+    /// Requests routed to each worker lane, in lane order.
+    pub shard_routed: Vec<u64>,
+    /// Per-lane queue-depth high-water marks, in lane order.
+    pub shard_depth: Vec<u64>,
+    /// Contended enrollment-lock writes per *cloud* shard, in shard
+    /// order. Filled by the gateway from
+    /// [`CloudService::shard_stats`](medsen_cloud::service::CloudService::shard_stats)
+    /// at snapshot time; empty on a bare [`GatewayMetrics::snapshot`].
+    pub shard_contention: Vec<u64>,
     /// Queue-wait latency distribution.
     pub queue_wait: LatencySnapshot,
     /// Worker service-time distribution.
@@ -220,6 +287,13 @@ impl std::fmt::Display for MetricsSnapshot {
             self.accepted, self.rejected, self.retried, self.completed, self.failed
         )?;
         writeln!(f, "queue high-water: {}", self.queue_high_water)?;
+        if self.shard_routed.len() > 1 || !self.shard_contention.is_empty() {
+            writeln!(
+                f,
+                "shard lanes: routed {:?} depth-hw {:?} | lock contention {:?}",
+                self.shard_routed, self.shard_depth, self.shard_contention
+            )?;
+        }
         writeln!(
             f,
             "queue wait:   n={} mean={:.1}µs p99≤{}µs max={}µs",
@@ -279,9 +353,9 @@ mod tests {
     #[test]
     fn counters_and_high_water() {
         let m = GatewayMetrics::new();
-        m.on_accepted(3);
-        m.on_accepted(7);
-        m.on_accepted(5);
+        m.on_accepted(0, 3);
+        m.on_accepted(0, 7);
+        m.on_accepted(0, 5);
         m.on_rejected();
         m.on_retried();
         m.on_completed();
@@ -342,7 +416,7 @@ mod tests {
     #[test]
     fn metrics_snapshot_round_trips_through_clone_and_eq() {
         let m = GatewayMetrics::new();
-        m.on_accepted(2);
+        m.on_accepted(0, 2);
         m.on_rejected();
         m.on_retried();
         m.on_completed();
@@ -367,6 +441,34 @@ mod tests {
         assert_eq!(s.lost(), 0);
         assert_eq!(s.queue_wait.mean_us(), 0.0);
         assert_eq!(s.queue_wait.percentile_us(0.99), 0);
+        assert_eq!(s.shard_routed, vec![0]);
+        assert_eq!(s.shard_depth, vec![0]);
+        assert!(s.shard_contention.is_empty());
         let _ = s.to_string();
+    }
+
+    #[test]
+    fn lane_counters_track_routing_and_depth() {
+        let m = GatewayMetrics::with_lanes(4);
+        assert_eq!(m.lane_count(), 4);
+        m.on_accepted(0, 1);
+        m.on_accepted(2, 3);
+        m.on_accepted(2, 1);
+        m.on_accepted(99, 7); // out-of-range lane: counted globally only
+        let s = m.snapshot();
+        assert_eq!(s.accepted, 4);
+        assert_eq!(s.shard_routed, vec![1, 0, 2, 0]);
+        assert_eq!(s.shard_depth, vec![1, 0, 3, 0]);
+        assert_eq!(s.queue_high_water, 7, "global mark tracks every accept");
+        // Multi-lane snapshots surface the per-lane line in Display.
+        assert!(s.to_string().contains("shard lanes"));
+    }
+
+    #[test]
+    fn zero_lanes_clamps_to_one() {
+        let m = GatewayMetrics::with_lanes(0);
+        assert_eq!(m.lane_count(), 1);
+        m.on_accepted(0, 5);
+        assert_eq!(m.snapshot().shard_depth, vec![5]);
     }
 }

@@ -311,6 +311,14 @@ impl<'g> DongleSession<'g> {
             reason: e.to_string(),
         })?;
         let mut upload = crate::wire::encode_upload(self.id, &body);
+        // Enrollments route by the identifier's shard hash so writes to
+        // the same auth shard queue on the same lane (with lanes == shards
+        // each lane's worker group owns one shard's write lock); all other
+        // traffic spreads by session id.
+        let route_key = match request {
+            Request::Enroll { identifier, .. } => medsen_cloud::identity_hash(identifier),
+            _ => self.id,
+        };
         let metrics = self.gateway.metrics_handle();
         let deadline = self.config.deadline;
         let mut spent = Seconds::ZERO;
@@ -352,7 +360,7 @@ impl<'g> DongleSession<'g> {
 
         // Phase 2: enter the gateway queue, honoring the shed policy.
         loop {
-            match self.gateway.submit(upload) {
+            match self.gateway.submit_keyed(upload, route_key) {
                 Ok(reply) => {
                     self.stats.requests += 1;
                     self.stats.sim_uplink += spent;

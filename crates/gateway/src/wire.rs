@@ -91,6 +91,19 @@ pub fn encode_upload(session_id: u64, body: &str) -> Vec<u8> {
     out
 }
 
+/// Reads just the session id from a framed upload's `StartTest` header
+/// without reassembling the body. The gateway uses this to pick a shard
+/// lane for un-keyed submissions; any malformed upload yields `None` and
+/// the caller falls back to a default lane (the full decode on the worker
+/// side still reports the precise [`UploadError`]).
+pub fn peek_session_id(wire: &[u8]) -> Option<u64> {
+    let (header, _) = Frame::decode(wire).ok()?;
+    if header.msg_type != MessageType::StartTest || header.payload.len() != 12 {
+        return None;
+    }
+    Some(u64::from_be_bytes(header.payload[..8].try_into().ok()?))
+}
+
 /// Reassembles a framed upload back into `(session_id, json_body)`.
 pub fn decode_upload(wire: &[u8]) -> Result<(u64, String), UploadError> {
     let (header, mut offset) = Frame::decode(wire)?;
@@ -147,6 +160,16 @@ mod tests {
             assert_eq!(session, 42);
             assert_eq!(decoded, body);
         }
+    }
+
+    #[test]
+    fn peeks_the_session_id_without_a_full_decode() {
+        let wire = encode_upload(0xDEAD_BEEF, "{}");
+        assert_eq!(peek_session_id(&wire), Some(0xDEAD_BEEF));
+        // Malformed inputs peek to None, never an error.
+        assert_eq!(peek_session_id(&[0xFF, 0x00]), None);
+        let frame = Frame::new(MessageType::DataChunk, b"oops".to_vec()).encode();
+        assert_eq!(peek_session_id(&frame), None);
     }
 
     #[test]

@@ -517,7 +517,11 @@ impl<'de> Parser<'de> {
         }
     }
 
-    fn parse_number(&mut self) -> Result<f64, JsonError> {
+    /// Lexes one number token and returns its text. Integer/float
+    /// interpretation is left to the caller: 64-bit record ids exceed
+    /// `f64`'s 53-bit mantissa, so integers must never detour through a
+    /// float.
+    fn parse_number_text(&mut self) -> Result<&'de str, JsonError> {
         self.skip_ws();
         let start = self.pos;
         let bytes = self.input.as_bytes();
@@ -535,9 +539,7 @@ impl<'de> Parser<'de> {
             }
             self.pos += 1;
         }
-        self.input[start..self.pos]
-            .parse()
-            .map_err(|_| JsonError::new(format!("bad number `{}`", &self.input[start..self.pos])))
+        Ok(&self.input[start..self.pos])
     }
 }
 
@@ -562,16 +564,23 @@ impl<'de> de::Deserializer<'de> for &mut Parser<'de> {
             '[' => self.deserialize_seq(visitor),
             '{' => self.deserialize_map(visitor),
             _ => {
-                let n = self.parse_number()?;
-                if n.fract() == 0.0 && n.abs() < 9.0e15 {
-                    if n >= 0.0 {
-                        visitor.visit_u64(n as u64)
-                    } else {
-                        visitor.visit_i64(n as i64)
+                let text = self.parse_number_text()?;
+                // Integer-shaped tokens parse losslessly as u64/i64 first
+                // (full 64-bit range); anything with a fraction or
+                // exponent — or beyond 64 bits — falls back to f64.
+                if !text.contains(['.', 'e', 'E']) {
+                    if text.starts_with('-') {
+                        if let Ok(v) = text.parse::<i64>() {
+                            return visitor.visit_i64(v);
+                        }
+                    } else if let Ok(v) = text.parse::<u64>() {
+                        return visitor.visit_u64(v);
                     }
-                } else {
-                    visitor.visit_f64(n)
                 }
+                let n: f64 = text
+                    .parse()
+                    .map_err(|_| JsonError::new(format!("bad number `{text}`")))?;
+                visitor.visit_f64(n)
             }
         }
     }
@@ -905,6 +914,21 @@ mod tests {
     fn non_finite_floats_are_rejected() {
         assert!(to_json(&f64::NAN).is_err());
         assert!(to_json(&f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn full_range_integers_round_trip_exactly() {
+        // Sharded record ids set the top bits of a u64 — far beyond
+        // f64's 53-bit mantissa — so integers must not detour through a
+        // float on the way back in.
+        roundtrip(&u64::MAX);
+        roundtrip(&(u64::MAX - 1));
+        roundtrip(&((7u64 << 56) | (7 << 48) | 42)); // a sharded RecordId shape
+        roundtrip(&i64::MIN);
+        roundtrip(&i64::MAX);
+        // Beyond u64: degrades to a float rather than erroring.
+        let huge: f64 = from_json("100000000000000000000000").expect("parses");
+        assert_eq!(huge, 1e23);
     }
 
     #[test]

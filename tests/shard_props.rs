@@ -1,0 +1,182 @@
+//! Property tests for the sharded cloud tier (vendored proptest).
+//!
+//! Three families of invariants:
+//! * **Routing stability** — `identity_hash` is the documented FNV-1a fold
+//!   (bit-for-bit, against an inline reference implementation) and
+//!   `shard_index` is a pure function of (identifier, shard count) landing
+//!   inside the shard range. Routing is a persistence contract: a restart
+//!   with the same shard count must send every identifier to the shard
+//!   that already holds its data.
+//! * **RecordId layout** — compose/decompose round-trips every field, and
+//!   single-shard ids stay bit-identical to the pre-sharding sequential
+//!   format.
+//! * **Observational equivalence** — a sharded deployment with N ∈ {1,2,8}
+//!   shards answers every authentication, integrity, storage, and index
+//!   query exactly as the single-shard (pre-sharding) configuration does,
+//!   while cross-layout record ids always fail closed.
+
+use medsen::cloud::api::PeakReport;
+use medsen::cloud::auth::BeadSignature;
+use medsen::cloud::storage::{RecordStore, StoredRecord};
+use medsen::cloud::{identity_hash, shard_index, RecordId, ShardedAuth};
+use medsen::microfluidics::ParticleKind;
+use proptest::prelude::*;
+
+/// The equivalence classes under test: the pre-sharding baseline and two
+/// sharded layouts.
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+
+const USERS: [&str; 6] = ["ana", "bo", "cleo", "dee", "eve", "mallory"];
+
+fn sig(count: u64) -> BeadSignature {
+    BeadSignature::from_counts(&[(ParticleKind::Bead358, count)])
+}
+
+/// A minimal record payload carrying `marker` so records stay
+/// distinguishable across layouts without running the analysis pipeline.
+fn record(user: &str, marker: u64) -> StoredRecord {
+    StoredRecord {
+        user_id: user.to_string(),
+        report: PeakReport {
+            peaks: Vec::new(),
+            carriers_hz: Vec::new(),
+            sample_rate_hz: 0.0,
+            duration_s: 0.0,
+            noise_sigma: 0.0,
+        },
+        signature: sig(marker),
+    }
+}
+
+/// Reference FNV-1a 64-bit fold, written independently of the production
+/// code so a silent constant change breaks the property.
+fn fnv1a_reference(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Routing is the documented stable hash: pure, in-range, and
+    /// bit-for-bit FNV-1a over the identifier's UTF-8 bytes.
+    #[test]
+    fn shard_routing_is_stable_and_in_range(
+        identifier in "[a-z0-9_]{0,24}",
+        shards in 1usize..=8,
+    ) {
+        prop_assert_eq!(identity_hash(&identifier), fnv1a_reference(identifier.as_bytes()));
+        let home = shard_index(&identifier, shards);
+        prop_assert!(home < shards);
+        // Stability: the same inputs route identically, call after call.
+        prop_assert_eq!(shard_index(&identifier, shards), home);
+        // One shard means everything routes to it.
+        prop_assert_eq!(shard_index(&identifier, 1), 0);
+    }
+
+    /// RecordId's bit layout round-trips every field, and the single-shard
+    /// encoding is the pre-sharding sequential integer.
+    #[test]
+    fn record_id_compose_decompose_round_trips(
+        parts in (1usize..=256).prop_flat_map(|count| {
+            (Just(count), 0..count, any::<u64>())
+        }),
+    ) {
+        let (count, shard, raw) = parts;
+        let sequence = raw & RecordId::MAX_SEQUENCE;
+        let id = RecordId::compose(shard, count, sequence);
+        prop_assert_eq!(id.shard(), shard);
+        prop_assert_eq!(id.shard_count(), count);
+        prop_assert_eq!(id.sequence(), sequence);
+        // Backward compatibility: shard 0 of a 1-shard store is the plain
+        // sequence number.
+        prop_assert_eq!(RecordId::compose(0, 1, sequence), RecordId(sequence));
+    }
+
+    /// Authentication, enrollment counting, and the integrity check are
+    /// observationally identical across shard counts for any enrollment
+    /// history (including re-enrollments) and any probe sequence.
+    #[test]
+    fn sharded_auth_matches_the_unsharded_baseline(
+        enrollments in proptest::collection::vec((0usize..USERS.len(), 1u64..200), 1..20),
+        probes in proptest::collection::vec(0u64..250, 1..12),
+    ) {
+        let auths: Vec<ShardedAuth> = SHARD_COUNTS.iter().map(|&n| ShardedAuth::new(n)).collect();
+        for &(user, count) in &enrollments {
+            for auth in &auths {
+                auth.enroll(USERS[user], sig(count));
+            }
+        }
+        let baseline = &auths[0];
+        for other in &auths[1..] {
+            prop_assert_eq!(other.enrolled_count(), baseline.enrolled_count());
+            for &probe in &probes {
+                prop_assert_eq!(
+                    other.authenticate(&sig(probe)),
+                    baseline.authenticate(&sig(probe)),
+                    "probe {} diverged", probe
+                );
+            }
+            for &(user, count) in &enrollments {
+                prop_assert_eq!(
+                    other.verify_integrity(USERS[user], &sig(count)),
+                    baseline.verify_integrity(USERS[user], &sig(count))
+                );
+            }
+        }
+    }
+
+    /// The record store files, indexes, and fetches identically across
+    /// shard counts — and ids minted under one layout fail closed (no
+    /// panic, no foreign record) under every other.
+    #[test]
+    fn sharded_store_matches_the_unsharded_baseline(
+        ops in proptest::collection::vec((0usize..USERS.len(), 0u64..1_000_000), 1..24),
+    ) {
+        let stores: Vec<RecordStore> =
+            SHARD_COUNTS.iter().map(|&n| RecordStore::with_shards(n)).collect();
+        let mut ids_per_store: Vec<Vec<RecordId>> = vec![Vec::new(); stores.len()];
+        for &(user, marker) in &ops {
+            for (store, ids) in stores.iter().zip(&mut ids_per_store) {
+                ids.push(store.store(record(USERS[user], marker)));
+            }
+        }
+
+        let baseline = &stores[0];
+        for (store, ids) in stores.iter().zip(&ids_per_store) {
+            prop_assert_eq!(store.len(), baseline.len());
+            // Per-user record streams (markers in index order) match the
+            // baseline exactly.
+            for user in USERS {
+                let markers = |s: &RecordStore| -> Vec<u64> {
+                    s.records_of(user)
+                        .into_iter()
+                        .map(|id| {
+                            s.fetch(id).expect("indexed record fetches")
+                                .signature
+                                .count(ParticleKind::Bead358)
+                        })
+                        .collect()
+                };
+                prop_assert_eq!(markers(store), markers(baseline));
+            }
+            // Own ids round-trip; foreign-layout ids fail closed.
+            for (own, &(user, _)) in ids.iter().zip(&ops) {
+                prop_assert_eq!(store.fetch(*own).expect("own id fetches").user_id, USERS[user]);
+            }
+            for (foreign_store, foreign_ids) in stores.iter().zip(&ids_per_store) {
+                if foreign_store.shard_count() == store.shard_count() {
+                    continue;
+                }
+                for id in foreign_ids {
+                    prop_assert!(store.fetch(*id).is_none(), "foreign id {:?} resolved", id);
+                    prop_assert!(!store.tamper(*id, record("mallory", 0)), "foreign tamper");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Shard storm: 8 threads hammer one sharded [`CloudService`] with
+//! overlapping identifier sets — re-enrolling the same users, running
+//! authenticated analyses, and filing records directly — then the final
+//! state is compared against a single-threaded oracle that replays the
+//! identical operation log on a fresh service.
+//!
+//! Invariants proven:
+//! * no lost records — every id a thread obtained fetches back;
+//! * no cross-user leakage — every record fetched through a user's index
+//!   belongs to that user, and ids are globally unique;
+//! * per-user record counts (and total/enrollment counts) equal the
+//!   single-threaded oracle's.
+
+use medsen::cloud::auth::{AuthDecision, BeadSignature};
+use medsen::cloud::service::{CloudService, Request, Response};
+use medsen::cloud::storage::StoredRecord;
+use medsen::cloud::{RecordId, DEFAULT_SHARD_COUNT};
+use medsen::dsp::classify::Classifier;
+use medsen::dsp::FeatureVector;
+use medsen::impedance::{PulseSpec, SignalTrace, TraceSynthesizer};
+use medsen::microfluidics::ParticleKind;
+use medsen::units::Seconds;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Barrier, Mutex};
+
+const THREADS: usize = 8;
+const ROUNDS: usize = 4;
+/// Direct record filings per round, for the shared user and again for the
+/// thread's solo user.
+const DIRECT_STORES: usize = 2;
+
+/// Users every thread touches: bead counts with pairwise-disjoint ±30%
+/// acceptance bands so authentication is unambiguous.
+const SHARED: [(&str, u64); 4] = [("ana", 3), ("bo", 6), ("cleo", 12), ("dee", 24)];
+
+fn shared_for_thread(t: usize) -> (&'static str, u64) {
+    SHARED[t % SHARED.len()]
+}
+
+fn solo_user(t: usize) -> String {
+    format!("solo-{t}")
+}
+
+/// Solo signatures live far above the measured 3–24 bead range, so they
+/// can never collide with an authentication scan.
+fn solo_signature(t: usize) -> BeadSignature {
+    BeadSignature::from_counts(&[(ParticleKind::Bead358, 50 + 10 * t as u64)])
+}
+
+fn shared_signature(count: u64) -> BeadSignature {
+    BeadSignature::from_counts(&[(ParticleKind::Bead358, count)])
+}
+
+/// A clean trace with `pulses` bead transits, jittered per (thread, round)
+/// so every analysis sees a distinct trace.
+fn storm_trace(thread: usize, round: usize, pulses: u64) -> SignalTrace {
+    let mut synth = TraceSynthesizer::clean(1);
+    let jitter = (thread * ROUNDS + round) as f64 * 1e-3;
+    let specs: Vec<PulseSpec> = (0..pulses)
+        .map(|j| {
+            PulseSpec::unipolar(
+                Seconds::new(0.5 + jitter + j as f64 * 0.25),
+                Seconds::new(0.02),
+                0.01,
+            )
+        })
+        .collect();
+    synth.render(
+        &specs,
+        Seconds::new(0.5 + jitter + pulses as f64 * 0.25 + 0.5),
+    )
+}
+
+/// One-class bead classifier trained on the pipeline's own features, so
+/// every detected peak counts as a 3.58 µm password bead.
+fn storm_classifier() -> Classifier {
+    let svc = CloudService::new();
+    let response = svc.handle_shared(Request::Analyze {
+        trace: storm_trace(999, 0, 8),
+        authenticate: false,
+    });
+    let Response::Analyzed { report, .. } = response else {
+        panic!("reference analysis failed: {response:?}");
+    };
+    let vectors: Vec<FeatureVector> = report
+        .peaks
+        .iter()
+        .map(|p| FeatureVector {
+            index: 0,
+            amplitudes: p.features.clone(),
+        })
+        .collect();
+    Classifier::train(&[(ParticleKind::Bead358.label(), vectors)]).expect("classifier trains")
+}
+
+fn storm_service(shards: usize) -> CloudService {
+    let mut svc = CloudService::with_shards(shards);
+    svc.install_classifier(storm_classifier());
+    svc
+}
+
+/// Runs one thread's operation log for one round against `svc`, returning
+/// `(user, id)` pairs for every record created. Identical code drives both
+/// the concurrent storm and the sequential oracle.
+fn run_round(svc: &CloudService, thread: usize, round: usize) -> Vec<(String, RecordId)> {
+    let mut created = Vec::new();
+    // Overlapping enrollment writes: every thread re-enrolls every shared
+    // user every round (idempotent — same signature each time).
+    for (user, count) in SHARED {
+        assert_eq!(
+            svc.handle_shared(Request::Enroll {
+                identifier: user.to_string(),
+                signature: shared_signature(count),
+            }),
+            Response::Enrolled,
+            "t{thread} r{round}: enroll {user}"
+        );
+    }
+    assert_eq!(
+        svc.handle_shared(Request::Enroll {
+            identifier: solo_user(thread),
+            signature: solo_signature(thread),
+        }),
+        Response::Enrolled
+    );
+
+    // Authenticated analysis: accepted → stored under the recovered user.
+    let (user, count) = shared_for_thread(thread);
+    let response = svc.handle_shared(Request::Analyze {
+        trace: storm_trace(thread, round, count),
+        authenticate: true,
+    });
+    let report = match response {
+        Response::Analyzed {
+            report,
+            auth: Some(AuthDecision::Accepted { ref user_id }),
+            stored_as: Some(id),
+        } if user_id == user => {
+            created.push((user.to_string(), id));
+            report
+        }
+        other => panic!("t{thread} r{round}: expected accepted analysis for {user}, got {other:?}"),
+    };
+
+    // Direct filings through the shared store handle.
+    for _ in 0..DIRECT_STORES {
+        let id = svc.store().store(StoredRecord {
+            user_id: user.to_string(),
+            report: report.clone(),
+            signature: shared_signature(count),
+        });
+        created.push((user.to_string(), id));
+        let id = svc.store().store(StoredRecord {
+            user_id: solo_user(thread),
+            report: report.clone(),
+            signature: solo_signature(thread),
+        });
+        created.push((solo_user(thread), id));
+    }
+
+    // Everything this round created must fetch back immediately, filed
+    // under the right user.
+    for (owner, id) in &created {
+        let record = svc.store().fetch(*id).expect("created record fetches");
+        assert_eq!(&record.user_id, owner, "t{thread} r{round}: wrong owner");
+    }
+    created
+}
+
+fn per_user_counts(svc: &CloudService) -> BTreeMap<String, usize> {
+    let users: Vec<String> = SHARED
+        .iter()
+        .map(|(u, _)| u.to_string())
+        .chain((0..THREADS).map(solo_user))
+        .collect();
+    users
+        .into_iter()
+        .map(|u| {
+            let n = svc.store().records_of(&u).len();
+            (u, n)
+        })
+        .collect()
+}
+
+#[test]
+fn storm_matches_single_threaded_oracle() {
+    let svc = storm_service(DEFAULT_SHARD_COUNT);
+    let barrier = Barrier::new(THREADS);
+    let created = Mutex::new(Vec::<(String, RecordId)>::new());
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let svc = &svc;
+            let barrier = &barrier;
+            let created = &created;
+            scope.spawn(move || {
+                barrier.wait();
+                let mut mine = Vec::new();
+                for r in 0..ROUNDS {
+                    mine.extend(run_round(svc, t, r));
+                }
+                created.lock().unwrap().extend(mine);
+            });
+        }
+    });
+    let created = created.into_inner().unwrap();
+
+    // --- The oracle: the same op log, replayed sequentially. ---
+    let oracle = storm_service(DEFAULT_SHARD_COUNT);
+    for t in 0..THREADS {
+        for r in 0..ROUNDS {
+            run_round(&oracle, t, r);
+        }
+    }
+
+    // No lost records: every id a thread obtained still fetches, owned by
+    // the user it was created for.
+    assert_eq!(created.len(), THREADS * ROUNDS * (1 + 2 * DIRECT_STORES));
+    for (owner, id) in &created {
+        let record = svc.store().fetch(*id).expect("no record lost");
+        assert_eq!(&record.user_id, owner, "record {id:?} leaked across users");
+    }
+
+    // Ids are globally unique across threads and shards.
+    let distinct: BTreeSet<RecordId> = created.iter().map(|(_, id)| *id).collect();
+    assert_eq!(distinct.len(), created.len(), "duplicate record ids");
+
+    // No cross-user leakage through the per-user index either.
+    for (user, _) in SHARED {
+        for id in svc.store().records_of(user) {
+            assert_eq!(svc.store().fetch(id).expect("indexed").user_id, user);
+        }
+    }
+
+    // Per-user counts, total count, and enrollments match the oracle.
+    assert_eq!(per_user_counts(&svc), per_user_counts(&oracle));
+    assert_eq!(svc.store().len(), oracle.store().len());
+    assert_eq!(svc.store().len(), created.len());
+    let enrolled = |s: &CloudService| -> usize { s.shard_stats().iter().map(|x| x.enrolled).sum() };
+    assert_eq!(enrolled(&svc), enrolled(&oracle));
+    assert_eq!(enrolled(&svc), SHARED.len() + THREADS);
+
+    // The integrity check holds for every stored record.
+    for (_, id) in created.iter().take(16) {
+        assert_eq!(
+            svc.handle_shared(Request::VerifyIntegrity { record_id: *id }),
+            Response::Integrity { intact: true }
+        );
+    }
+
+    // The storm really did spread across shards: with 12 users hashed
+    // over 8 shards, more than one shard must hold enrollments.
+    let populated = svc.shard_stats().iter().filter(|s| s.enrolled > 0).count();
+    assert!(populated > 1, "storm never left one shard");
+}
