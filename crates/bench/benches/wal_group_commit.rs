@@ -1,0 +1,120 @@
+//! Benchmarks the durable write path: enrollments/second through
+//! `CloudService::with_storage` swept over group-commit flush policies,
+//! against the memory-only service as the zero-durability ceiling, plus
+//! the cost of crash recovery (reopening a populated data directory and
+//! replaying its logs).
+//!
+//! The interesting question for clinic sizing is what an fsync-per-write
+//! durability guarantee costs relative to batched group commit — i.e.
+//! how much of the ceiling `every:N` buys back while bounding the crash
+//! loss window to N acknowledged writes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use medsen_cloud::auth::BeadSignature;
+use medsen_cloud::service::{CloudService, Request, Response};
+use medsen_cloud::FlushPolicy;
+use medsen_microfluidics::ParticleKind;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const SHARDS: usize = 4;
+const BATCH: usize = 64;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("medsen-bench-wal-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn enroll(service: &CloudService, identifier: String) {
+    let response = service.handle_shared(Request::Enroll {
+        identifier,
+        signature: BeadSignature::from_counts(&[(ParticleKind::Bead358, 10)]),
+    });
+    assert_eq!(response, Response::Enrolled);
+}
+
+/// Durable enroll throughput by flush policy, with the memory-only
+/// service as the no-WAL baseline.
+fn group_commit_sweep(c: &mut Criterion) {
+    let policies: [(&str, Option<FlushPolicy>); 5] = [
+        ("memory", None),
+        ("every-write", Some(FlushPolicy::EveryWrite)),
+        ("every-8", Some(FlushPolicy::EveryN(8))),
+        ("every-64", Some(FlushPolicy::EveryN(64))),
+        (
+            "interval-5ms",
+            Some(FlushPolicy::EveryInterval(Duration::from_millis(5))),
+        ),
+    ];
+    let mut group = c.benchmark_group("wal_group_commit");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for (name, policy) in policies {
+        group.bench_with_input(
+            BenchmarkId::new("enroll_batch64", name),
+            &policy,
+            |b, policy| {
+                let dir = temp_dir(name);
+                let service = match policy {
+                    Some(policy) => {
+                        CloudService::with_storage(&dir, SHARDS, *policy).expect("opens")
+                    }
+                    None => CloudService::with_shards(SHARDS),
+                };
+                let mut round = 0u64;
+                b.iter(|| {
+                    for i in 0..BATCH {
+                        enroll(&service, format!("clinic-user-{round}-{i}"));
+                    }
+                    round += 1;
+                });
+                drop(service);
+                let _ = std::fs::remove_dir_all(&dir);
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Crash recovery: reopen a data directory holding `entries` enrollments
+/// and replay them back into the shards. One variant replays the raw log
+/// tail; the other compacts first, so recovery loads one snapshot per
+/// shard instead.
+fn recovery_replay(c: &mut Criterion) {
+    const ENTRIES: usize = 512;
+    let mut group = c.benchmark_group("wal_recovery");
+    group.throughput(Throughput::Elements(ENTRIES as u64));
+    for compacted in [false, true] {
+        let tag = if compacted { "snapshot" } else { "log-tail" };
+        group.bench_with_input(
+            BenchmarkId::new("reopen_512", tag),
+            &compacted,
+            |b, &compacted| {
+                let dir = temp_dir(tag);
+                {
+                    let service = CloudService::with_storage(&dir, SHARDS, FlushPolicy::EveryN(64))
+                        .expect("opens");
+                    for i in 0..ENTRIES {
+                        enroll(&service, format!("clinic-user-{i}"));
+                    }
+                    if compacted {
+                        service.compact_storage().expect("compacts");
+                    }
+                }
+                b.iter(|| {
+                    let service = CloudService::with_storage(&dir, SHARDS, FlushPolicy::EveryN(64))
+                        .expect("reopens");
+                    let stats = service.storage_stats().expect("durable");
+                    let recovered = stats.recovered_entries + stats.recovered_snapshots;
+                    assert!(recovered > 0, "nothing replayed");
+                    recovered
+                });
+                let _ = std::fs::remove_dir_all(&dir);
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, group_commit_sweep, recovery_replay);
+criterion_main!(benches);

@@ -336,7 +336,8 @@ pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
     }
     for name in options.keys() {
         if ![
-            "sessions", "workers", "queue", "flaky", "seed", "runtime", "shards",
+            "sessions", "workers", "queue", "flaky", "seed", "runtime", "shards", "data-dir",
+            "flush",
         ]
         .contains(&name.as_str())
         {
@@ -352,6 +353,16 @@ pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
     let runtime: RuntimeKind = match options.get("runtime") {
         Some(value) => value.parse().map_err(|e| format!("--runtime: {e}"))?,
         None => RuntimeKind::default(),
+    };
+    let data_dir = options.get("data-dir").cloned();
+    let flush: medsen_cloud::FlushPolicy = match options.get("flush") {
+        Some(value) => {
+            if data_dir.is_none() {
+                return Err("--flush needs --data-dir (a memory-only service has no WAL)".into());
+            }
+            value.parse().map_err(|e| format!("--flush: {e}"))?
+        }
+        None => medsen_cloud::FlushPolicy::default(),
     };
     if !(1..=512).contains(&sessions) {
         return Err("--sessions must be in 1..=512".into());
@@ -391,7 +402,18 @@ pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
     }
 
     // Train a one-class bead classifier from the pipeline's own features.
-    let mut service = CloudService::with_shards(shards);
+    let mut service = match &data_dir {
+        Some(dir) => CloudService::with_storage(dir, shards, flush)
+            .map_err(|e| format!("--data-dir {dir}: {e}"))?,
+        None => CloudService::with_shards(shards),
+    };
+    if let Some(dir) = &data_dir {
+        let stats = service.storage_stats().expect("durable service has stats");
+        wl(out, format!(
+            "durable store: {dir} (flush policy {flush}); recovered {} entries, {} snapshot(s), truncated {} B",
+            stats.recovered_entries, stats.recovered_snapshots, stats.recovered_truncated_bytes
+        ));
+    }
     let reference = medsen_cloud::AnalysisServer::paper_default().analyze(&fleet_trace(999, 8));
     let vectors: Vec<FeatureVector> = reference
         .peaks
@@ -495,6 +517,11 @@ pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
         out,
         format!("client retries: {link_retries} link, {shed_retries} backpressure"),
     );
+    if data_dir.is_some() {
+        // Stop admitting, finish in-flight work, and force the final
+        // group-commit flush before the process exits.
+        gateway.drain();
+    }
     let metrics = gateway.shutdown();
     wl(out, format!("{metrics}"));
     if metrics.lost() != 0 {

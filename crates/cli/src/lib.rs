@@ -29,7 +29,10 @@ COMMANDS:
     capability [--seed N] [--secret N] [--duration S]  practitioner key-sharing demo
     gateway   [--sessions N] [--workers N] [--queue N] [--flaky RATE] [--seed N]
               [--runtime threads|async] [--shards N]
-                                                       serve a clinic fleet concurrently
+              [--data-dir PATH] [--flush write|every:N|interval:MS]
+                                                       serve a clinic fleet concurrently;
+                                                       with --data-dir, persist through a
+                                                       per-shard WAL and recover on restart
     help                                               show this text
 ";
 

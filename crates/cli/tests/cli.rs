@@ -181,6 +181,72 @@ fn gateway_honors_the_shards_flag() {
 }
 
 #[test]
+fn gateway_persists_to_a_data_dir_and_recovers_on_restart() {
+    let dir = std::env::temp_dir().join(format!("medsen-cli-wal-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let dir_str = dir.to_str().expect("utf8 path");
+
+    // First run: fresh directory, nothing to recover; the fleet's
+    // enrollments and stored records land in the WAL.
+    let (code, text) = run(&[
+        "gateway",
+        "--sessions",
+        "4",
+        "--workers",
+        "2",
+        "--flaky",
+        "0",
+        "--data-dir",
+        dir_str,
+        "--flush",
+        "every:4",
+    ]);
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("durable store:"), "{text}");
+    assert!(text.contains("flush policy every:4"), "{text}");
+    assert!(text.contains("recovered 0 entries"), "{text}");
+    assert!(text.contains("wal: appends"), "{text}");
+    assert!(text.contains("drained"), "{text}");
+
+    // Second run over the same directory: the first fleet's writes come
+    // back (3 enrollments + 4 stored records at minimum).
+    let (code, text) = run(&[
+        "gateway",
+        "--sessions",
+        "4",
+        "--workers",
+        "2",
+        "--flaky",
+        "0",
+        "--data-dir",
+        dir_str,
+    ]);
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("recovered 7 entries"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gateway_validates_durability_options() {
+    let (code, text) = run(&["gateway", "--flush", "every:4"]);
+    assert_eq!(code, 1);
+    assert!(text.contains("--flush needs --data-dir"), "{text}");
+
+    let dir = std::env::temp_dir().join(format!("medsen-cli-badflush-{}", std::process::id()));
+    let (code, text) = run(&[
+        "gateway",
+        "--data-dir",
+        dir.to_str().expect("utf8"),
+        "--flush",
+        "sometimes",
+    ]);
+    assert_eq!(code, 1);
+    assert!(text.contains("invalid flush policy 'sometimes'"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn gateway_validates_options() {
     let (code, text) = run(&["gateway", "--sessions", "0"]);
     assert_eq!(code, 1);

@@ -153,6 +153,13 @@ impl AuthService {
         self.enrolled.len()
     }
 
+    /// All `(identifier, signature)` pairs in identifier order. This is
+    /// the snapshot surface for durable storage: deterministic order
+    /// makes two snapshots of the same state byte-identical.
+    pub fn enrolled_entries(&self) -> impl Iterator<Item = (&str, &BeadSignature)> {
+        self.enrolled.iter().map(|(id, sig)| (id.as_str(), sig))
+    }
+
     /// Extracts the measured bead signature from a peak report using the
     /// given particle classifier. Peaks classified as blood cells are
     /// ignored; peaks classified as a bead type count toward that type.

@@ -16,6 +16,10 @@
 //! * [`shard`] — identifier-hash routing that splits the enrollment
 //!   database and record store into independently locked shards, so
 //!   enroll-heavy fleets scale past a single writer lock;
+//! * [`persist`] — durable per-shard write-ahead logging over
+//!   `medsen-store`: group-commit fsync batching, compaction snapshots,
+//!   and crash recovery that rebuilds the shards from disk
+//!   ([`CloudService::with_storage`]);
 //! * [`CloudService`] — the deployable request/response façade over the
 //!   JSON wire the phone relays;
 //! * [`adversary`] — the Sec. IV-A attacks: amplitude-signature grouping,
@@ -25,6 +29,7 @@
 pub mod adversary;
 pub mod api;
 pub mod auth;
+pub mod persist;
 pub mod server;
 pub mod service;
 pub mod shard;
@@ -35,7 +40,12 @@ pub use adversary::{
 };
 pub use api::{AnalyzedPeak, PeakReport};
 pub use auth::{AuthDecision, AuthService, BeadSignature};
+pub use persist::{StorageConfig, StorageError, WalEntry};
 pub use server::AnalysisServer;
 pub use service::{CloudService, Request, Response, DEFAULT_SHARD_COUNT};
-pub use shard::{identity_hash, shard_index, ShardStats, ShardedAuth, MAX_SHARDS};
-pub use storage::{RecordId, RecordStore, StoredRecord};
+pub use shard::{identity_hash, shard_index, EnrollJournal, ShardStats, ShardedAuth, MAX_SHARDS};
+pub use storage::{RecordId, RecordJournal, RecordStore, StoredRecord};
+
+// Durability knobs come from medsen-store; re-exported so front-ends
+// (gateway, CLI) configure persistence without a direct dependency.
+pub use medsen_store::{FlushPolicy, WalStats};

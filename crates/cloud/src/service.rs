@@ -11,12 +11,16 @@
 
 use crate::api::PeakReport;
 use crate::auth::{self, AuthDecision, BeadSignature};
+use crate::persist::{self, CloudStore, StorageConfig, StorageError};
 use crate::server::AnalysisServer;
-use crate::shard::{ShardStats, ShardedAuth};
+use crate::shard::{shard_index, ShardStats, ShardedAuth};
 use crate::storage::{RecordId, RecordStore, StoredRecord};
 use medsen_dsp::classify::Classifier;
 use medsen_impedance::SignalTrace;
+use medsen_store::{FlushPolicy, WalStats};
 use serde::{Deserialize, Serialize};
+use std::path::Path;
+use std::sync::Arc;
 
 /// A client request to the cloud service.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -104,6 +108,13 @@ pub struct CloudService {
     auth: ShardedAuth,
     store: RecordStore,
     classifier: Option<Classifier>,
+    /// Durable-storage handle when the service was opened with
+    /// [`CloudService::with_storage`]; `None` keeps the memory-only
+    /// behavior (and cost) of the previous tiers.
+    persist: Option<Arc<CloudStore>>,
+    /// Appends per shard between automatic compaction snapshots
+    /// (0 = never compact automatically).
+    snapshot_every: u64,
 }
 
 impl CloudService {
@@ -126,6 +137,97 @@ impl CloudService {
             auth: ShardedAuth::new(shard_count),
             store: RecordStore::with_shards(shard_count),
             classifier: None,
+            persist: None,
+            snapshot_every: 0,
+        }
+    }
+
+    /// Creates a durable service: every enrollment and record mutation is
+    /// journaled to a per-shard write-ahead log under `dir` before it is
+    /// applied, and any state already on disk is recovered first.
+    ///
+    /// `dir` must have been written by a `shard_count`-way service (or be
+    /// empty/new); opening logs from a different layout fails with
+    /// [`StorageError::Wal`] — see the `medsen-store` layout stamps.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be opened or the recovered state is
+    /// undecodable / layout-inconsistent. After a successful open, write
+    /// failures are **fail-stop** (panic) rather than silent — see
+    /// [`crate::persist`].
+    pub fn with_storage(
+        dir: impl AsRef<Path>,
+        shard_count: usize,
+        policy: FlushPolicy,
+    ) -> Result<Self, StorageError> {
+        Self::with_storage_config(StorageConfig::new(dir.as_ref()).flush(policy), shard_count)
+    }
+
+    /// [`CloudService::with_storage`] with full control over the
+    /// compaction threshold.
+    pub fn with_storage_config(
+        config: StorageConfig,
+        shard_count: usize,
+    ) -> Result<Self, StorageError> {
+        let (auth, store, persist) = persist::open_storage(&config, shard_count)?;
+        Ok(Self {
+            analysis: AnalysisServer::paper_default(),
+            auth,
+            store,
+            classifier: None,
+            persist: Some(persist),
+            snapshot_every: config.snapshot_every,
+        })
+    }
+
+    /// Whether the service journals to durable storage.
+    pub fn is_durable(&self) -> bool {
+        self.persist.is_some()
+    }
+
+    /// Cumulative write-ahead-log counters, or `None` for a memory-only
+    /// service.
+    pub fn storage_stats(&self) -> Option<WalStats> {
+        self.persist.as_ref().map(|p| p.stats())
+    }
+
+    /// Forces every shard's unsynced journal appends to disk regardless
+    /// of the flush policy. Returns fsyncs issued (0 for a memory-only
+    /// service or when nothing was pending).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flush fails (fail-stop, like the journal itself).
+    pub fn flush_storage(&self) -> u64 {
+        self.persist.as_ref().map_or(0, |p| p.flush())
+    }
+
+    /// Snapshots every shard's state and resets its log, regardless of
+    /// the automatic threshold. No-op for a memory-only service.
+    pub fn compact_storage(&self) -> Result<(), StorageError> {
+        if let Some(persist) = &self.persist {
+            for shard in 0..self.shard_count() {
+                persist::compact_shard(&self.auth, &self.store, persist, shard)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Compacts `shard` if its log has grown past the configured
+    /// threshold. Called on the write paths after the shard lock is
+    /// released, so the compactor can take both of the shard's locks.
+    fn maybe_compact(&self, shard: usize) {
+        let Some(persist) = &self.persist else { return };
+        if self.snapshot_every == 0 {
+            return;
+        }
+        if persist.appends_since_snapshot(shard) >= self.snapshot_every {
+            // Compaction failure is fail-stop for the same reason journal
+            // failure is: continuing would let the log grow unboundedly
+            // on a disk that is already refusing writes.
+            persist::compact_shard(&self.auth, &self.store, persist, shard)
+                .unwrap_or_else(|e| panic!("cannot compact shard {shard} (failing stop): {e}"));
         }
     }
 
@@ -169,7 +271,9 @@ impl CloudService {
                 identifier,
                 signature,
             } => {
+                let shard = shard_index(&identifier, self.shard_count());
                 self.auth.enroll(identifier, signature);
+                self.maybe_compact(shard);
                 Response::Enrolled
             }
             Request::Fetch { record_id } => match self.store.fetch(record_id) {
@@ -215,11 +319,13 @@ impl CloudService {
                 let signature = auth::measure_signature(&report, classifier);
                 let decision = self.auth.authenticate(&signature);
                 let stored_as = if let AuthDecision::Accepted { user_id } = &decision {
-                    Some(self.store.store(StoredRecord {
+                    let id = self.store.store(StoredRecord {
                         user_id: user_id.clone(),
                         report: report.clone(),
                         signature,
-                    }))
+                    });
+                    self.maybe_compact(id.shard());
+                    Some(id)
                 } else {
                     None
                 };

@@ -18,6 +18,7 @@
 use crate::auth::{decision_from_candidates, AuthDecision, AuthService, BeadSignature};
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Hard cap on shard counts: the shard index and the shard count must
 /// both fit the 8-bit fields [`RecordId`](crate::storage::RecordId)
@@ -84,6 +85,14 @@ impl AuthShard {
     }
 }
 
+/// Write-ahead hook for enrollment mutations, invoked *inside* the
+/// owning shard's write lock *before* the in-memory database changes —
+/// the same contract as [`crate::storage::RecordJournal`].
+pub trait EnrollJournal: Send + Sync + std::fmt::Debug {
+    /// `user_id` is about to be enrolled (or re-enrolled) on `shard`.
+    fn enrolled(&self, shard: usize, user_id: &str, signature: &BeadSignature);
+}
+
 /// The enrollment database split into independently locked shards.
 ///
 /// Reads (authentication scans, integrity checks) take per-shard read
@@ -94,6 +103,7 @@ impl AuthShard {
 #[derive(Debug)]
 pub struct ShardedAuth {
     shards: Vec<AuthShard>,
+    journal: Option<Arc<dyn EnrollJournal>>,
 }
 
 impl ShardedAuth {
@@ -110,7 +120,15 @@ impl ShardedAuth {
         );
         Self {
             shards: (0..shard_count).map(|_| AuthShard::new()).collect(),
+            journal: None,
         }
+    }
+
+    /// Attaches a write-ahead journal. Must be called before the database
+    /// is shared; enrollments from then on are journaled per the
+    /// [`EnrollJournal`] contract.
+    pub fn set_journal(&mut self, journal: Arc<dyn EnrollJournal>) {
+        self.journal = Some(journal);
     }
 
     /// Number of shards.
@@ -132,10 +150,33 @@ impl ShardedAuth {
     }
 
     /// Enrolls (or replaces) a user's expected signature on its shard.
+    /// If a journal is attached, the entry is journaled under the shard's
+    /// write lock before the database changes (write-ahead order).
     pub fn enroll(&self, user_id: impl Into<String>, signature: BeadSignature) {
         let user_id = user_id.into();
         let index = shard_index(&user_id, self.shards.len());
-        self.write(index).enroll(user_id, signature);
+        let mut guard = self.write(index);
+        if let Some(journal) = &self.journal {
+            journal.enrolled(index, &user_id, &signature);
+        }
+        guard.enroll(user_id, signature);
+    }
+
+    /// Re-enrolls a user recovered from durable storage. Bypasses the
+    /// journal (the entry is already on disk) and the contention
+    /// counters (recovery runs before the service takes traffic).
+    pub(crate) fn restore_enroll(&self, shard: usize, user_id: String, signature: BeadSignature) {
+        self.shards[shard].auth.write().enroll(user_id, signature);
+    }
+
+    /// Write-locks one shard's enrollment database for the compactor,
+    /// bypassing the contention counters (compaction pauses are reported
+    /// through the WAL snapshot stats instead).
+    pub(crate) fn write_shard(
+        &self,
+        index: usize,
+    ) -> parking_lot::RwLockWriteGuard<'_, AuthService> {
+        self.shards[index].auth.write()
     }
 
     /// Authenticates a measured signature against every shard's

@@ -21,6 +21,7 @@ use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Bits of a [`RecordId`] holding the per-shard sequence number.
 const SEQUENCE_BITS: u32 = 48;
@@ -91,6 +92,23 @@ pub struct StoredRecord {
     pub signature: BeadSignature,
 }
 
+/// Write-ahead hook for record mutations.
+///
+/// [`RecordStore`] invokes the journal *inside* the owning shard's write
+/// lock, *before* the in-memory map changes. That ordering is the
+/// durability contract: the log is always a superset of what any reader
+/// has observed, and a compactor holding the shard's write lock can
+/// never race a journaled-but-unapplied mutation. Implementations are
+/// expected to fail stop (panic) if the journal cannot be written —
+/// acknowledging a medical record that would evaporate on restart is
+/// strictly worse than crashing.
+pub trait RecordJournal: Send + Sync + std::fmt::Debug {
+    /// A new record is about to be inserted under `id`.
+    fn record_stored(&self, id: RecordId, record: &StoredRecord);
+    /// An existing record at `id` is about to be overwritten in place.
+    fn record_tampered(&self, id: RecordId, record: &StoredRecord);
+}
+
 /// One shard: its own lock, map, and sequence counter.
 #[derive(Debug, Default)]
 struct StoreShard {
@@ -102,6 +120,7 @@ struct StoreShard {
 #[derive(Debug)]
 pub struct RecordStore {
     shards: Vec<StoreShard>,
+    journal: Option<Arc<dyn RecordJournal>>,
 }
 
 impl Default for RecordStore {
@@ -128,7 +147,15 @@ impl RecordStore {
         );
         Self {
             shards: (0..shard_count).map(|_| StoreShard::default()).collect(),
+            journal: None,
         }
+    }
+
+    /// Attaches a write-ahead journal. Must be called before the store is
+    /// shared; mutations from then on are journaled per the
+    /// [`RecordJournal`] contract.
+    pub fn set_journal(&mut self, journal: Arc<dyn RecordJournal>) {
+        self.journal = Some(journal);
     }
 
     /// Number of shards.
@@ -145,14 +172,50 @@ impl RecordStore {
     }
 
     /// Stores a record on its user's shard, returning its id.
+    ///
+    /// The sequence number is minted and the journal written under the
+    /// shard's write lock, so the on-disk log observes ids in exactly the
+    /// order the map does.
     pub fn store(&self, record: StoredRecord) -> RecordId {
         let shard = shard_index(&record.user_id, self.shards.len());
-        let sequence = self.shards[shard]
-            .next_sequence
-            .fetch_add(1, Ordering::Relaxed);
+        let slot = &self.shards[shard];
+        let mut records = slot.records.write();
+        let sequence = slot.next_sequence.fetch_add(1, Ordering::Relaxed);
         let id = RecordId::compose(shard, self.shards.len(), sequence);
-        self.shards[shard].records.write().insert(id, record);
+        if let Some(journal) = &self.journal {
+            journal.record_stored(id, &record);
+        }
+        records.insert(id, record);
         id
+    }
+
+    /// Re-inserts a record recovered from durable storage. Bypasses the
+    /// journal (the entry is already on disk) and bumps the shard's
+    /// sequence allocator past the recovered id so new ids never collide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was minted under a different shard layout.
+    pub(crate) fn restore(&self, id: RecordId, record: StoredRecord) {
+        assert!(
+            self.owns(id),
+            "restore of {id:?} into a {}-shard store",
+            self.shards.len()
+        );
+        let slot = &self.shards[id.shard()];
+        let mut records = slot.records.write();
+        slot.next_sequence
+            .fetch_max(id.sequence() + 1, Ordering::Relaxed);
+        records.insert(id, record);
+    }
+
+    /// Write-locks one shard's record map for the compactor, which must
+    /// quiesce the shard while it snapshots and resets the log.
+    pub(crate) fn write_shard(
+        &self,
+        shard: usize,
+    ) -> parking_lot::RwLockWriteGuard<'_, HashMap<RecordId, StoredRecord>> {
+        self.shards[shard].records.write()
     }
 
     /// Fetches a record by id. Ids minted under a different shard layout
@@ -212,6 +275,9 @@ impl RecordStore {
         }
         let mut records = self.shards[id.shard()].records.write();
         if let std::collections::hash_map::Entry::Occupied(mut e) = records.entry(id) {
+            if let Some(journal) = &self.journal {
+                journal.record_tampered(id, &record);
+            }
             e.insert(record);
             true
         } else {
@@ -380,6 +446,47 @@ mod tests {
         assert!(eight.fetch(native).is_none());
         let out_of_range = RecordId::compose(5, 8, 0);
         assert!(two.fetch(out_of_range).is_none());
+    }
+
+    #[derive(Debug, Default)]
+    struct CountingJournal {
+        stored: AtomicU64,
+        tampered: AtomicU64,
+    }
+
+    impl RecordJournal for CountingJournal {
+        fn record_stored(&self, _id: RecordId, _record: &StoredRecord) {
+            self.stored.fetch_add(1, Ordering::Relaxed);
+        }
+        fn record_tampered(&self, _id: RecordId, _record: &StoredRecord) {
+            self.tampered.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn journal_sees_stores_and_tampers_but_not_restores() {
+        let journal = Arc::new(CountingJournal::default());
+        let mut store = RecordStore::with_shards(4);
+        store.set_journal(journal.clone());
+        let id = store.store(record("alice"));
+        assert!(store.tamper(id, record("mallory")));
+        // Tampering an unknown id journals nothing (nothing changed).
+        assert!(!store.tamper(RecordId::compose(0, 4, 999), record("x")));
+        store.restore(RecordId::compose(id.shard(), 4, 7), record("bob"));
+        assert_eq!(journal.stored.load(Ordering::Relaxed), 1);
+        assert_eq!(journal.tampered.load(Ordering::Relaxed), 1);
+        // The allocator jumped past the restored sequence, so the next
+        // store on that shard cannot collide with it.
+        let next = store.store(record("alice"));
+        assert_eq!(next.sequence(), 8);
+        assert_eq!(journal.stored.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "restore of")]
+    fn restore_rejects_foreign_layout_ids() {
+        let store = RecordStore::with_shards(2);
+        store.restore(RecordId::compose(3, 8, 0), record("alice"));
     }
 
     #[test]

@@ -42,7 +42,7 @@ use medsen_cloud::service::{CloudService, Response};
 use medsen_runtime as runtime;
 use medsen_units::Seconds;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -147,7 +147,7 @@ pub enum SubmitError {
         /// The rejected upload, returned for resubmission.
         upload: Vec<u8>,
     },
-    /// The gateway has shut down.
+    /// The gateway has shut down or been drained.
     Closed {
         /// The undeliverable upload.
         upload: Vec<u8>,
@@ -294,6 +294,10 @@ pub struct Gateway {
     shed_policy: ShedPolicy,
     runtime_kind: RuntimeKind,
     next_session: AtomicU64,
+    /// Admin drain state: once set, new submissions are refused with
+    /// [`SubmitError::Closed`] while the workers keep serving what is
+    /// already queued.
+    drained: AtomicBool,
 }
 
 impl Gateway {
@@ -376,6 +380,7 @@ impl Gateway {
             shed_policy: config.shed_policy,
             runtime_kind,
             next_session: AtomicU64::new(1),
+            drained: AtomicBool::new(false),
         }
     }
 
@@ -391,15 +396,11 @@ impl Gateway {
     }
 
     /// A point-in-time copy of the gateway's metrics, including the cloud
-    /// tier's per-shard lock-contention counters.
+    /// tier's per-shard lock-contention counters and (for a durable
+    /// service) the write-ahead-log counters.
     pub fn metrics(&self) -> MetricsSnapshot {
         let mut snap = self.metrics.snapshot();
-        snap.shard_contention = self
-            .service
-            .shard_stats()
-            .iter()
-            .map(|s| s.contended_writes)
-            .collect();
+        fill_service_snapshot(&mut snap, &self.service, self.is_drained());
         snap
     }
 
@@ -445,6 +446,36 @@ impl Gateway {
         self.submit_keyed(upload, key)
     }
 
+    /// Puts the gateway in the `Drain` admin state: new submissions are
+    /// refused with [`SubmitError::Closed`], in-flight and queued work is
+    /// allowed to finish, and a final WAL flush forces everything the
+    /// workers wrote to disk regardless of the flush policy. Unlike
+    /// [`Gateway::shutdown`], the gateway stays alive afterwards — reads
+    /// of its metrics and service keep working, which is what an operator
+    /// wants between "stop taking traffic" and "kill the process".
+    ///
+    /// Idempotent. With a zero-worker pool (test configurations) queued
+    /// work can never finish, so the wait is skipped and only intake is
+    /// closed and the WAL flushed.
+    pub fn drain(&self) {
+        self.drained.store(true, Ordering::SeqCst);
+        if self.worker_count() > 0 {
+            loop {
+                let snap = self.metrics.snapshot();
+                if snap.completed >= snap.accepted {
+                    break;
+                }
+                thread::sleep(Duration::from_millis(1));
+            }
+        }
+        self.service.flush_storage();
+    }
+
+    /// Whether [`Gateway::drain`] has been called.
+    pub fn is_drained(&self) -> bool {
+        self.drained.load(Ordering::SeqCst)
+    }
+
     /// Submits a framed upload to the lane selected by `route_key % lanes`.
     /// Sessions pass [`medsen_cloud::identity_hash`] of the identifier for
     /// enrollments — aligning the queue lane with the auth shard the write
@@ -454,6 +485,12 @@ impl Gateway {
         upload: Vec<u8>,
         route_key: u64,
     ) -> Result<PendingReply, SubmitError> {
+        if self.is_drained() {
+            // A drained gateway sheds exactly like a full one, and the
+            // turn-away shows up in the same counter.
+            self.metrics.on_rejected();
+            return Err(SubmitError::Closed { upload });
+        }
         let (reply_tx, reply_rx) = bounded(1);
         let item = WorkItem {
             upload,
@@ -530,6 +567,7 @@ impl Gateway {
             service,
             engine,
             metrics,
+            drained,
             ..
         } = self;
         match engine {
@@ -543,12 +581,11 @@ impl Gateway {
             // the subsequent `Drop` is an idempotent no-op.
             Engine::Async(mut engine) => engine.quiesce(),
         }
+        // A durable service's unsynced tail goes to disk before the final
+        // numbers are reported — shutdown is a graceful exit, not a crash.
+        service.flush_storage();
         let mut snap = metrics.snapshot();
-        snap.shard_contention = service
-            .shard_stats()
-            .iter()
-            .map(|s| s.contended_writes)
-            .collect();
+        fill_service_snapshot(&mut snap, &service, drained.load(Ordering::SeqCst));
         snap
     }
 
@@ -565,6 +602,25 @@ impl Gateway {
             Engine::Async(engine) => engine.lanes.iter().map(|t| t.len()).sum(),
         }
     }
+}
+
+/// Completes a bare metrics snapshot with the cloud-service-side stats
+/// only the gateway can correlate: per-shard lock contention, the
+/// durable service's WAL counters, and the drain flag.
+fn fill_service_snapshot(snap: &mut MetricsSnapshot, service: &CloudService, drained: bool) {
+    snap.shard_contention = service
+        .shard_stats()
+        .iter()
+        .map(|s| s.contended_writes)
+        .collect();
+    if let Some(wal) = service.storage_stats() {
+        snap.wal_appends = wal.appends;
+        snap.wal_fsyncs = wal.fsyncs;
+        snap.wal_bytes = wal.bytes_written;
+        snap.wal_recovered_entries = wal.recovered_entries;
+        snap.wal_truncated_bytes = wal.recovered_truncated_bytes;
+    }
+    snap.drained = drained;
 }
 
 /// Lane sizing: one lane per cloud shard, but never more lanes than
@@ -884,6 +940,84 @@ mod tests {
             .expect("malformed routes to lane 0");
         assert_eq!(gw.metrics().shard_routed, vec![2]);
         drop(gw);
+    }
+
+    #[test]
+    fn drain_serves_queued_work_then_refuses_new_sessions() {
+        for kind in engines() {
+            let gw = Gateway::with_runtime(
+                CloudService::new(),
+                GatewayConfig {
+                    queue_capacity: 8,
+                    workers: 2,
+                    shed_policy: ShedPolicy::Block,
+                },
+                kind,
+            );
+            let replies: Vec<PendingReply> = (0..4)
+                .map(|i| gw.submit(ping_upload(i)).expect("accepted"))
+                .collect();
+            gw.drain();
+            assert!(gw.is_drained(), "{kind}");
+            match gw.submit(ping_upload(99)) {
+                Err(SubmitError::Closed { upload }) => assert!(!upload.is_empty()),
+                other => panic!("expected Closed after drain, got {other:?}"),
+            }
+            // Everything admitted before the drain was still served.
+            for reply in replies {
+                assert_eq!(reply.wait().expect("served"), Response::Pong, "{kind}");
+            }
+            let m = gw.metrics();
+            assert!(m.drained, "{kind}");
+            assert_eq!(m.accepted, 4, "{kind}");
+            assert_eq!(m.completed, 4, "{kind}");
+            let m = gw.shutdown();
+            assert!(m.drained, "flag survives shutdown: {kind}");
+            assert_eq!(m.rejected, 1, "{kind}");
+        }
+    }
+
+    #[test]
+    fn drain_forces_a_final_wal_flush() {
+        use medsen_cloud::{BeadSignature, FlushPolicy};
+        use medsen_microfluidics::ParticleKind;
+
+        let dir = std::env::temp_dir().join(format!(
+            "medsen-gateway-drain-{}-{:?}",
+            std::process::id(),
+            thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        // A batch threshold far above the workload: only the drain's
+        // explicit flush can account for the fsync observed below.
+        let service =
+            CloudService::with_storage(&dir, 2, FlushPolicy::EveryN(1_000)).expect("opens");
+        let gw = Gateway::with_runtime(
+            service,
+            GatewayConfig {
+                queue_capacity: 8,
+                workers: 2,
+                shed_policy: ShedPolicy::Block,
+            },
+            RuntimeKind::Threads,
+        );
+        let json = medsen_phone::to_json(&Request::Enroll {
+            identifier: "alice".into(),
+            signature: BeadSignature::from_counts(&[(ParticleKind::Bead358, 40)]),
+        })
+        .expect("encodes");
+        let reply = gw.submit(wire::encode_upload(1, &json)).expect("accepted");
+        assert_eq!(reply.wait().expect("served"), Response::Enrolled);
+        gw.drain();
+        let m = gw.metrics();
+        assert!(m.drained);
+        assert_eq!(m.wal_appends, 1);
+        assert!(
+            m.wal_fsyncs >= 1,
+            "drain must force the group-commit buffer out: {m:?}"
+        );
+        gw.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// The async engine multiplexes many more worker tasks than executor

@@ -230,6 +230,12 @@ impl GatewayMetrics {
                 .map(|l| l.high_water.load(Ordering::Relaxed))
                 .collect(),
             shard_contention: Vec::new(),
+            wal_appends: 0,
+            wal_fsyncs: 0,
+            wal_bytes: 0,
+            wal_recovered_entries: 0,
+            wal_truncated_bytes: 0,
+            drained: false,
             queue_wait: self.queue_wait.snapshot(),
             service_time: self.service_time.snapshot(),
             uplink_time: self.uplink_time.snapshot(),
@@ -263,6 +269,24 @@ pub struct MetricsSnapshot {
     /// [`CloudService::shard_stats`](medsen_cloud::service::CloudService::shard_stats)
     /// at snapshot time; empty on a bare [`GatewayMetrics::snapshot`].
     pub shard_contention: Vec<u64>,
+    /// Write-ahead-log frames appended by the cloud tier. Zero on a bare
+    /// [`GatewayMetrics::snapshot`] or a memory-only service; filled by
+    /// the gateway from the service's storage stats, like
+    /// [`MetricsSnapshot::shard_contention`].
+    pub wal_appends: u64,
+    /// Fsyncs issued by the write-ahead log (group commit batches many
+    /// appends into one).
+    pub wal_fsyncs: u64,
+    /// Frame bytes written to the write-ahead log.
+    pub wal_bytes: u64,
+    /// Log entries replayed when the service recovered from disk.
+    pub wal_recovered_entries: u64,
+    /// Torn-tail bytes the recovery discarded.
+    pub wal_truncated_bytes: u64,
+    /// Whether the gateway has been [drained](crate::Gateway::drain):
+    /// no longer admitting sessions, in-flight work finished, final WAL
+    /// flush forced.
+    pub drained: bool,
     /// Queue-wait latency distribution.
     pub queue_wait: LatencySnapshot,
     /// Worker service-time distribution.
@@ -292,6 +316,18 @@ impl std::fmt::Display for MetricsSnapshot {
                 f,
                 "shard lanes: routed {:?} depth-hw {:?} | lock contention {:?}",
                 self.shard_routed, self.shard_depth, self.shard_contention
+            )?;
+        }
+        if self.wal_appends > 0 || self.wal_recovered_entries > 0 || self.drained {
+            writeln!(
+                f,
+                "wal: appends {} | fsyncs {} | bytes {} | recovered {} (truncated {} B){}",
+                self.wal_appends,
+                self.wal_fsyncs,
+                self.wal_bytes,
+                self.wal_recovered_entries,
+                self.wal_truncated_bytes,
+                if self.drained { " | drained" } else { "" }
             )?;
         }
         writeln!(

@@ -1,0 +1,255 @@
+//! The on-disk WAL frame codec.
+//!
+//! A log is a flat byte stream of length-prefixed, CRC32-guarded frames:
+//!
+//! ```text
+//! ┌────────────┬────────────┬──────────┬─────────────────────┐
+//! │ len: u32LE │ crc: u32LE │ kind: u8 │ payload: len-1 bytes│
+//! └────────────┴────────────┴──────────┴─────────────────────┘
+//! ```
+//!
+//! `len` counts the body (`kind` + payload, so `len >= 1`) and `crc` is
+//! the CRC-32 (IEEE, reflected) of that body. The codec is deliberately
+//! self-synchronization-free: a frame that fails its length or checksum
+//! invariant ends the decodable region, and everything from its first
+//! byte onward is a *torn tail* the recovery path truncates. That is the
+//! right failure model for an append-only log — the only writer ever
+//! in-flight is the last one, so a bad frame can only be the final
+//! (possibly partially written or bit-flipped) append.
+
+/// Bytes of framing overhead per entry (`len` + `crc` + `kind`).
+pub const FRAME_OVERHEAD: usize = 9;
+
+/// Hard cap on one frame's body, so a corrupted length prefix cannot make
+/// the decoder treat the rest of a multi-gigabyte file as one frame.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// One decoded log entry: a caller-defined kind tag plus opaque payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Caller-defined entry discriminant (e.g. enroll / store / tamper).
+    pub kind: u8,
+    /// Opaque entry bytes.
+    pub payload: Vec<u8>,
+}
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) of `bytes`.
+///
+/// Implemented here rather than vendored: the checksum is part of the
+/// persistence contract and must never drift with a dependency.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc_table();
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Appends one encoded frame to `out`.
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`MAX_FRAME_BYTES`] minus the kind byte —
+/// such a frame could never be decoded again.
+pub fn encode_frame(kind: u8, payload: &[u8], out: &mut Vec<u8>) {
+    let body_len = payload.len() + 1;
+    assert!(
+        body_len <= MAX_FRAME_BYTES,
+        "frame body of {body_len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+    );
+    out.reserve(FRAME_OVERHEAD + payload.len());
+    out.extend_from_slice(&(body_len as u32).to_le_bytes());
+    let crc_at = out.len();
+    out.extend_from_slice(&[0; 4]);
+    out.push(kind);
+    out.extend_from_slice(payload);
+    let crc = crc32(&out[crc_at + 4..]);
+    out[crc_at..crc_at + 4].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Why decoding stopped before the end of the input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Torn {
+    /// Fewer than [`FRAME_OVERHEAD`] header bytes remained.
+    TruncatedHeader,
+    /// The length prefix was zero or above [`MAX_FRAME_BYTES`].
+    BadLength,
+    /// The length prefix pointed past the end of the input.
+    TruncatedBody,
+    /// The body's CRC-32 did not match the header (bit rot or a torn
+    /// write that happened to leave the length intact).
+    BadChecksum,
+}
+
+impl std::fmt::Display for Torn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Torn::TruncatedHeader => write!(f, "truncated frame header"),
+            Torn::BadLength => write!(f, "implausible frame length"),
+            Torn::TruncatedBody => write!(f, "truncated frame body"),
+            Torn::BadChecksum => write!(f, "frame checksum mismatch"),
+        }
+    }
+}
+
+/// The result of decoding a log byte stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedLog {
+    /// Every intact frame, in append order.
+    pub frames: Vec<Frame>,
+    /// Byte length of the intact prefix. Recovery truncates the file to
+    /// this offset (plus any header the caller wrote before the frames).
+    pub clean_len: usize,
+    /// Why decoding stopped early, if it did. `None` means the whole
+    /// input decoded cleanly.
+    pub torn: Option<Torn>,
+}
+
+/// Decodes a frame stream, stopping (never panicking) at the first frame
+/// that is incomplete or fails its checksum.
+pub fn decode_log(bytes: &[u8]) -> DecodedLog {
+    let mut frames = Vec::new();
+    let mut offset = 0usize;
+    let mut torn = None;
+    while offset < bytes.len() {
+        let rest = &bytes[offset..];
+        if rest.len() < FRAME_OVERHEAD {
+            torn = Some(Torn::TruncatedHeader);
+            break;
+        }
+        let body_len = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes")) as usize;
+        if body_len == 0 || body_len > MAX_FRAME_BYTES {
+            torn = Some(Torn::BadLength);
+            break;
+        }
+        if rest.len() < 8 + body_len {
+            torn = Some(Torn::TruncatedBody);
+            break;
+        }
+        let crc = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+        let body = &rest[8..8 + body_len];
+        if crc32(body) != crc {
+            torn = Some(Torn::BadChecksum);
+            break;
+        }
+        frames.push(Frame {
+            kind: body[0],
+            payload: body[1..].to_vec(),
+        });
+        offset += 8 + body_len;
+    }
+    DecodedLog {
+        frames,
+        clean_len: offset,
+        torn,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn frames_round_trip_in_order() {
+        let mut log = Vec::new();
+        encode_frame(1, b"alpha", &mut log);
+        encode_frame(2, b"", &mut log);
+        encode_frame(3, &[0u8; 300], &mut log);
+        let decoded = decode_log(&log);
+        assert_eq!(decoded.torn, None);
+        assert_eq!(decoded.clean_len, log.len());
+        assert_eq!(decoded.frames.len(), 3);
+        assert_eq!(decoded.frames[0].kind, 1);
+        assert_eq!(decoded.frames[0].payload, b"alpha");
+        assert!(decoded.frames[1].payload.is_empty());
+        assert_eq!(decoded.frames[2].payload.len(), 300);
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_prefix_survives() {
+        let mut log = Vec::new();
+        encode_frame(1, b"kept", &mut log);
+        let intact = log.len();
+        encode_frame(2, b"torn away", &mut log);
+        for cut in intact + 1..log.len() {
+            let decoded = decode_log(&log[..cut]);
+            assert_eq!(decoded.frames.len(), 1, "cut at {cut}");
+            assert_eq!(decoded.clean_len, intact, "cut at {cut}");
+            assert!(decoded.torn.is_some(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bit_flip_fails_the_checksum() {
+        let mut log = Vec::new();
+        encode_frame(1, b"kept", &mut log);
+        let intact = log.len();
+        encode_frame(7, b"payload under test", &mut log);
+        // Flip one payload byte of the second frame.
+        let victim = intact + FRAME_OVERHEAD + 3;
+        log[victim] ^= 0x40;
+        let decoded = decode_log(&log);
+        assert_eq!(decoded.frames.len(), 1);
+        assert_eq!(decoded.clean_len, intact);
+        assert_eq!(decoded.torn, Some(Torn::BadChecksum));
+    }
+
+    #[test]
+    fn zero_and_oversized_lengths_stop_decoding() {
+        let mut log = Vec::new();
+        encode_frame(1, b"ok", &mut log);
+        let intact = log.len();
+        log.extend_from_slice(&0u32.to_le_bytes());
+        log.extend_from_slice(&[0; 5]);
+        let decoded = decode_log(&log);
+        assert_eq!(decoded.clean_len, intact);
+        assert_eq!(decoded.torn, Some(Torn::BadLength));
+
+        let mut log2 = Vec::new();
+        log2.extend_from_slice(&(u32::MAX).to_le_bytes());
+        log2.extend_from_slice(&[0; 64]);
+        let decoded2 = decode_log(&log2);
+        assert!(decoded2.frames.is_empty());
+        assert_eq!(decoded2.torn, Some(Torn::BadLength));
+    }
+
+    #[test]
+    fn empty_input_is_a_clean_empty_log() {
+        let decoded = decode_log(&[]);
+        assert!(decoded.frames.is_empty());
+        assert_eq!(decoded.clean_len, 0);
+        assert_eq!(decoded.torn, None);
+    }
+}

@@ -12,7 +12,9 @@
 //! * [`core`] — cyto-coded passwords, diagnostics, the end-to-end pipeline;
 //! * [`gateway`] — concurrent multi-session ingestion in front of the cloud;
 //! * [`runtime`] — hand-rolled async executor, timer wheel, and channels
-//!   multiplexing fleet-scale session counts over a fixed thread pool.
+//!   multiplexing fleet-scale session counts over a fixed thread pool;
+//! * [`store`] — durable per-shard write-ahead log with group commit,
+//!   snapshots, and crash recovery backing the cloud tier.
 //!
 //! # Quickstart
 //!
@@ -27,4 +29,5 @@ pub use medsen_microfluidics as microfluidics;
 pub use medsen_phone as phone;
 pub use medsen_runtime as runtime;
 pub use medsen_sensor as sensor;
+pub use medsen_store as store;
 pub use medsen_units as units;

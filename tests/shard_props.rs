@@ -59,6 +59,72 @@ fn fnv1a_reference(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Deterministic layout-boundary checks complementing the randomized
+/// round-trip property below: the extreme corners the WAL's replay-time
+/// layout validation leans on must hold exactly.
+mod record_id_boundaries {
+    use super::*;
+    use medsen::cloud::MAX_SHARDS;
+
+    #[test]
+    fn single_shard_corner() {
+        let id = RecordId::compose(0, 1, 0);
+        assert_eq!((id.shard(), id.shard_count(), id.sequence()), (0, 1, 0));
+        assert_eq!(id, RecordId(0), "the zero id is shard 0/1, sequence 0");
+    }
+
+    #[test]
+    fn mid_layout_corner_64_shards() {
+        let id = RecordId::compose(63, 64, RecordId::MAX_SEQUENCE);
+        assert_eq!(id.shard(), 63);
+        assert_eq!(id.shard_count(), 64);
+        assert_eq!(id.sequence(), RecordId::MAX_SEQUENCE);
+    }
+
+    #[test]
+    fn max_layout_corner_256_shards() {
+        let id = RecordId::compose(MAX_SHARDS - 1, MAX_SHARDS, RecordId::MAX_SEQUENCE);
+        assert_eq!(id.shard(), MAX_SHARDS - 1);
+        assert_eq!(id.shard_count(), MAX_SHARDS);
+        assert_eq!(id.sequence(), RecordId::MAX_SEQUENCE);
+        assert_eq!(id, RecordId(u64::MAX), "the all-ones id is the last corner");
+    }
+
+    #[test]
+    fn max_sequence_is_48_bits() {
+        assert_eq!(RecordId::MAX_SEQUENCE, (1u64 << 48) - 1);
+        // Adjacent shards never collide even at the sequence ceiling.
+        let a = RecordId::compose(0, 2, RecordId::MAX_SEQUENCE);
+        let b = RecordId::compose(1, 2, 0);
+        assert_ne!(a, b);
+        assert!(a.0 < b.0, "shard is the most significant field");
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn sequence_overflow_panics() {
+        let _ = RecordId::compose(0, 1, RecordId::MAX_SEQUENCE + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count")]
+    fn shard_count_above_max_panics() {
+        let _ = RecordId::compose(0, MAX_SHARDS + 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count 0")]
+    fn zero_shard_count_panics() {
+        let _ = RecordId::compose(0, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= count")]
+    fn shard_at_count_panics() {
+        let _ = RecordId::compose(64, 64, 0);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
