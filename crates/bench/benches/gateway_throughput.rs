@@ -10,7 +10,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use medsen_cloud::auth::BeadSignature;
 use medsen_cloud::identity_hash;
 use medsen_cloud::service::{CloudService, Request, Response};
-use medsen_gateway::{wire, Gateway, GatewayConfig, PendingReply, ShedPolicy};
+use medsen_gateway::{
+    wire, Gateway, GatewayConfig, PendingReply, RuntimeKind, ShedPolicy, TelemetryConfig,
+};
 use medsen_impedance::{PulseSpec, SignalTrace, TraceSynthesizer};
 use medsen_microfluidics::ParticleKind;
 use medsen_units::Seconds;
@@ -168,6 +170,86 @@ fn enroll_storm(c: &mut Criterion) {
     group.finish();
 }
 
+/// Telemetry overhead on the enroll storm: the identical 8×128
+/// distinct-identifier burst with span tracing **on** (every request
+/// records admission/queue/service/shard-lock/WAL spans into the seqlock
+/// ring plus an exemplar offer) versus **off** (counters and histograms
+/// only — the same instruments both configurations share). The delta is
+/// the whole price of request tracing; the recording path is one
+/// `fetch_add` plus plain stores per span, so the two curves should sit
+/// within noise of each other.
+fn telemetry_overhead(c: &mut Criterion) {
+    const SUBMITTERS: usize = 8;
+    const PER_SUBMITTER: usize = 128;
+    const WORKERS: usize = 8;
+    const SHARDS: usize = 4;
+    let uploads: Vec<Vec<(Vec<u8>, u64)>> = (0..SUBMITTERS)
+        .map(|s| {
+            (0..PER_SUBMITTER)
+                .map(|i| {
+                    let identifier = format!("storm-user-{s}-{i}");
+                    let body = medsen_phone::to_json(&Request::Enroll {
+                        identifier: identifier.clone(),
+                        signature: BeadSignature::from_counts(&[(
+                            ParticleKind::Bead358,
+                            10 + i as u64,
+                        )]),
+                    })
+                    .expect("encodes");
+                    (
+                        wire::encode_upload((s * PER_SUBMITTER + i) as u64, &body),
+                        identity_hash(&identifier),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("gateway_telemetry_overhead");
+    group.throughput(Throughput::Elements((SUBMITTERS * PER_SUBMITTER) as u64));
+    for (label, telemetry) in [
+        ("spans_on", TelemetryConfig::default()),
+        ("spans_off", TelemetryConfig::disabled()),
+    ] {
+        group.bench_function(BenchmarkId::new("enroll_8x128", label), |b| {
+            let gateway = Gateway::with_telemetry(
+                CloudService::with_shards(SHARDS),
+                GatewayConfig {
+                    queue_capacity: 256,
+                    workers: WORKERS,
+                    shed_policy: ShedPolicy::Block,
+                },
+                RuntimeKind::default(),
+                telemetry,
+            );
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for batch in &uploads {
+                        let gateway = &gateway;
+                        scope.spawn(move || {
+                            let pending: Vec<PendingReply> = batch
+                                .iter()
+                                .map(|(upload, key)| {
+                                    gateway
+                                        .submit_keyed(upload.clone(), *key)
+                                        .expect("accepted")
+                                })
+                                .collect();
+                            for reply in pending {
+                                match reply.wait().expect("reply") {
+                                    Response::Enrolled => {}
+                                    other => panic!("unexpected {other:?}"),
+                                }
+                            }
+                        });
+                    }
+                });
+            });
+        });
+    }
+    group.finish();
+}
+
 /// The framing layer alone: encode + reassemble one multi-chunk upload.
 fn framing(c: &mut Criterion) {
     let trace = bench_trace(6);
@@ -189,5 +271,11 @@ fn framing(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, pool_scaling, enroll_storm, framing);
+criterion_group!(
+    benches,
+    pool_scaling,
+    enroll_storm,
+    telemetry_overhead,
+    framing
+);
 criterion_main!(benches);

@@ -322,12 +322,25 @@ pub fn keylen(args: &[String], out: Out) -> Result<(), String> {
 
 /// `gateway`: serve a simulated clinic fleet through the concurrent
 /// ingestion gateway and print its metrics.
+/// What `gateway --telemetry` emits after the fleet drains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TelemetryMode {
+    /// No span machinery at all (the default).
+    Off,
+    /// Print the `name value` text exposition.
+    Text,
+    /// Print the span ring as JSON lines.
+    Json,
+}
+
 pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
     use medsen_cloud::auth::{AuthDecision, BeadSignature};
     use medsen_cloud::service::{CloudService, Response};
     use medsen_dsp::classify::Classifier;
     use medsen_dsp::FeatureVector;
-    use medsen_gateway::{Gateway, GatewayConfig, RuntimeKind, SessionConfig, ShedPolicy};
+    use medsen_gateway::{
+        Gateway, GatewayConfig, RuntimeKind, SessionConfig, ShedPolicy, TelemetryConfig,
+    };
     use medsen_impedance::{PulseSpec, SignalTrace, TraceSynthesizer};
 
     let (positional, options) = split_options(args)?;
@@ -336,8 +349,16 @@ pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
     }
     for name in options.keys() {
         if ![
-            "sessions", "workers", "queue", "flaky", "seed", "runtime", "shards", "data-dir",
+            "sessions",
+            "workers",
+            "queue",
+            "flaky",
+            "seed",
+            "runtime",
+            "shards",
+            "data-dir",
             "flush",
+            "telemetry",
         ]
         .contains(&name.as_str())
         {
@@ -353,6 +374,18 @@ pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
     let runtime: RuntimeKind = match options.get("runtime") {
         Some(value) => value.parse().map_err(|e| format!("--runtime: {e}"))?,
         None => RuntimeKind::default(),
+    };
+    // `off` keeps the span machinery out of the hot path entirely;
+    // counters and the end-of-run metrics block are always on.
+    let telemetry_mode = match options.get("telemetry").map(String::as_str) {
+        None | Some("off") => TelemetryMode::Off,
+        Some("text") => TelemetryMode::Text,
+        Some("json") => TelemetryMode::Json,
+        Some(other) => {
+            return Err(format!(
+                "--telemetry got `{other}` (expected `text`, `json`, or `off`)"
+            ))
+        }
     };
     let data_dir = options.get("data-dir").cloned();
     let flush: medsen_cloud::FlushPolicy = match options.get("flush") {
@@ -427,7 +460,7 @@ pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
         .map_err(|e| format!("classifier training failed: {e}"))?;
     service.install_classifier(classifier);
 
-    let gateway = Gateway::with_runtime(
+    let gateway = Gateway::with_telemetry(
         service,
         GatewayConfig {
             queue_capacity: queue,
@@ -437,6 +470,11 @@ pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
             },
         },
         runtime,
+        if telemetry_mode == TelemetryMode::Off {
+            TelemetryConfig::disabled()
+        } else {
+            TelemetryConfig::default()
+        },
     );
 
     // Enroll through the gateway itself.
@@ -522,10 +560,119 @@ pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
         // group-commit flush before the process exits.
         gateway.drain();
     }
+    match telemetry_mode {
+        TelemetryMode::Off => {}
+        TelemetryMode::Text => {
+            wl(out, "telemetry:");
+            let _ = write!(out, "{}", gateway.telemetry_text());
+        }
+        TelemetryMode::Json => {
+            let _ = write!(out, "{}", gateway.spans_json());
+        }
+    }
     let metrics = gateway.shutdown();
     wl(out, format!("{metrics}"));
     if metrics.lost() != 0 {
         return Err(format!("{} accepted requests were lost", metrics.lost()));
     }
+    Ok(())
+}
+
+/// `telemetry`: drive a small built-in workload through the gateway and
+/// pretty-print the resulting snapshot — every registered instrument as
+/// `name value` text, then the slowest requests with their per-stage
+/// breakdowns. A fast way to see what the observability stack exports
+/// without sizing a whole fleet run.
+pub fn telemetry(args: &[String], out: Out) -> Result<(), String> {
+    use medsen_cloud::service::{CloudService, Request};
+    use medsen_gateway::{Gateway, GatewayConfig, RuntimeKind, ShedPolicy, TelemetryConfig};
+    use medsen_impedance::PulseSpec;
+    use medsen_impedance::TraceSynthesizer;
+
+    let (positional, options) = split_options(args)?;
+    if !positional.is_empty() {
+        return Err(format!("unexpected argument `{}`", positional[0]));
+    }
+    for name in options.keys() {
+        if !["requests", "runtime"].contains(&name.as_str()) {
+            return Err(format!("unknown option --{name}"));
+        }
+    }
+    let requests: usize = parse(&options, "requests", 24)?;
+    if !(1..=512).contains(&requests) {
+        return Err("--requests must be in 1..=512".into());
+    }
+    let runtime: RuntimeKind = match options.get("runtime") {
+        Some(value) => value.parse().map_err(|e| format!("--runtime: {e}"))?,
+        None => RuntimeKind::default(),
+    };
+
+    let gateway = Gateway::with_telemetry(
+        CloudService::new(),
+        GatewayConfig {
+            queue_capacity: 16,
+            workers: 4,
+            shed_policy: ShedPolicy::Block,
+        },
+        runtime,
+        TelemetryConfig::default(),
+    );
+    let mut synth = TraceSynthesizer::clean(1);
+    let trace = synth.render(
+        &[PulseSpec::unipolar(
+            Seconds::new(0.5),
+            Seconds::new(0.02),
+            0.01,
+        )],
+        Seconds::new(1.5),
+    );
+    let replies: Vec<_> = (0..requests)
+        .map(|i| {
+            // A mix of cheap pings and full DSP analyses, so both the
+            // analysis span and the response cache show up in the dump.
+            let request = if i % 4 == 0 {
+                Request::Ping
+            } else {
+                Request::Analyze {
+                    trace: trace.clone(),
+                    authenticate: false,
+                }
+            };
+            let json =
+                medsen_phone::to_json(&request).map_err(|e| format!("encode failed: {e}"))?;
+            gateway
+                .submit(medsen_gateway::encode_upload(i as u64 + 1, &json))
+                .map_err(|e| format!("submit failed: {e}"))
+        })
+        .collect::<Result<_, String>>()?;
+    for reply in replies {
+        reply.wait().map_err(|e| format!("reply failed: {e}"))?;
+    }
+
+    wl(out, format!("instruments after {requests} requests:"));
+    let _ = write!(out, "{}", gateway.telemetry_text());
+    wl(out, "slowest requests:");
+    for slow in gateway.slow_traces() {
+        wl(
+            out,
+            format!(
+                "  trace {} total {:.1} µs",
+                slow.trace,
+                slow.total_ns as f64 / 1e3
+            ),
+        );
+        for span in &slow.stages {
+            wl(
+                out,
+                format!(
+                    "    {:<10} tag={} {:>10.1} µs",
+                    span.stage.name(),
+                    span.tag,
+                    span.duration_ns() as f64 / 1e3
+                ),
+            );
+        }
+    }
+    gateway.shutdown();
     Ok(())
 }

@@ -30,9 +30,16 @@ COMMANDS:
     gateway   [--sessions N] [--workers N] [--queue N] [--flaky RATE] [--seed N]
               [--runtime threads|async] [--shards N]
               [--data-dir PATH] [--flush write|every:N|interval:MS]
+              [--telemetry text|json|off]
                                                        serve a clinic fleet concurrently;
                                                        with --data-dir, persist through a
-                                                       per-shard WAL and recover on restart
+                                                       per-shard WAL and recover on restart;
+                                                       --telemetry dumps the unified metric
+                                                       exposition (text) or the span ring
+                                                       (json) after the fleet drains
+    telemetry [--requests N] [--runtime threads|async] drive a small workload and pretty-print
+                                                       the telemetry snapshot (instruments +
+                                                       slowest requests with stage breakdowns)
     help                                               show this text
 ";
 
@@ -51,6 +58,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> ExitCode {
         "keylen" => commands::keylen(rest, out),
         "capability" => commands::capability(rest, out),
         "gateway" => commands::gateway(rest, out),
+        "telemetry" => commands::telemetry(rest, out),
         "help" | "--help" | "-h" => {
             let _ = writeln!(out, "{USAGE}");
             Ok(())

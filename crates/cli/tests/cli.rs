@@ -270,3 +270,115 @@ fn gateway_validates_options() {
     assert_eq!(code, 1);
     assert!(text.contains("--shards must be in 1..=64"), "{text}");
 }
+
+#[test]
+fn gateway_telemetry_text_emits_a_parseable_exposition() {
+    let (code, text) = run(&[
+        "gateway",
+        "--sessions",
+        "4",
+        "--workers",
+        "2",
+        "--queue",
+        "4",
+        "--flaky",
+        "0.0",
+        "--telemetry",
+        "text",
+    ]);
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("telemetry:"), "{text}");
+    // Every exposition line between the `telemetry:` header and the final
+    // metrics block obeys the `name value` grammar.
+    let mut in_block = false;
+    let mut lines = 0usize;
+    for line in text.lines() {
+        if line == "telemetry:" {
+            in_block = true;
+            continue;
+        }
+        if in_block {
+            if line.starts_with("accepted ") {
+                break;
+            }
+            let (name, value) = line.split_once(' ').expect("name value");
+            assert!(
+                name.split('.').all(|seg| {
+                    !seg.is_empty()
+                        && seg
+                            .bytes()
+                            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+                }),
+                "bad name in {line:?}"
+            );
+            let parsed: f64 = value.parse().expect("numeric value");
+            assert!(parsed >= 0.0 && parsed.is_finite(), "{line:?}");
+            lines += 1;
+        }
+    }
+    assert!(lines > 10, "exposition looks truncated:\n{text}");
+    for name in [
+        "gateway.accepted ",
+        "gateway.completed ",
+        "gateway.queue_wait.count ",
+        "cache.misses ",
+        "telemetry.spans_recorded ",
+    ] {
+        assert!(text.contains(name), "missing {name} in:\n{text}");
+    }
+}
+
+#[test]
+fn gateway_telemetry_json_dumps_span_lines() {
+    let (code, text) = run(&[
+        "gateway",
+        "--sessions",
+        "3",
+        "--workers",
+        "2",
+        "--queue",
+        "4",
+        "--flaky",
+        "0.0",
+        "--telemetry",
+        "json",
+    ]);
+    assert_eq!(code, 0, "{text}");
+    let spans: Vec<&str> = text
+        .lines()
+        .filter(|l| l.starts_with("{\"trace\":"))
+        .collect();
+    assert!(!spans.is_empty(), "{text}");
+    assert!(
+        spans.iter().any(|l| l.contains("\"stage\":\"service\"")),
+        "{text}"
+    );
+    assert!(spans.iter().all(|l| l.ends_with('}')), "{text}");
+}
+
+#[test]
+fn gateway_validates_telemetry_mode() {
+    let (code, text) = run(&["gateway", "--telemetry", "xml"]);
+    assert_eq!(code, 1);
+    assert!(text.contains("expected `text`, `json`, or `off`"), "{text}");
+}
+
+#[test]
+fn telemetry_subcommand_pretty_prints_a_snapshot() {
+    let (code, text) = run(&["telemetry", "--requests", "12"]);
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("instruments after 12 requests:"), "{text}");
+    assert!(text.contains("gateway.accepted 12"), "{text}");
+    assert!(text.contains("cache.hits"), "{text}");
+    assert!(text.contains("slowest requests:"), "{text}");
+    assert!(text.contains("trace 0x"), "{text}");
+    assert!(text.contains("service"), "{text}");
+
+    let (code, text) = run(&["telemetry", "--requests", "0"]);
+    assert_eq!(code, 1);
+    assert!(text.contains("--requests must be in 1..=512"), "{text}");
+
+    let (code, text) = run(&["telemetry", "--bogus", "1"]);
+    assert_eq!(code, 1);
+    assert!(text.contains("unknown option --bogus"), "{text}");
+}

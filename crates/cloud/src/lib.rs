@@ -13,6 +13,8 @@
 //!   identifiers (Sec. V) plus the ciphertext integrity check;
 //! * [`RecordStore`] — diagnosis records keyed by identifier, "stored in
 //!   cloud for a later access by the patient's practitioner";
+//! * [`cache`] — a content-addressed LRU of analysis reports, so
+//!   byte-identical uploads (retries, duplicates) skip the DSP pipeline;
 //! * [`shard`] — identifier-hash routing that splits the enrollment
 //!   database and record store into independently locked shards, so
 //!   enroll-heavy fleets scale past a single writer lock;
@@ -29,6 +31,7 @@
 pub mod adversary;
 pub mod api;
 pub mod auth;
+pub mod cache;
 pub mod persist;
 pub mod server;
 pub mod service;
@@ -40,6 +43,7 @@ pub use adversary::{
 };
 pub use api::{AnalyzedPeak, PeakReport};
 pub use auth::{AuthDecision, AuthService, BeadSignature};
+pub use cache::{trace_digest, CacheStats, ResponseCache, DEFAULT_CACHE_CAPACITY};
 pub use persist::{StorageConfig, StorageError, WalEntry};
 pub use server::AnalysisServer;
 pub use service::{CloudService, Request, Response, DEFAULT_SHARD_COUNT};

@@ -11,6 +11,7 @@
 
 use crate::api::PeakReport;
 use crate::auth::{self, AuthDecision, BeadSignature};
+use crate::cache::{trace_digest, CacheStats, ResponseCache, DEFAULT_CACHE_CAPACITY};
 use crate::persist::{self, CloudStore, StorageConfig, StorageError};
 use crate::server::AnalysisServer;
 use crate::shard::{shard_index, ShardStats, ShardedAuth};
@@ -115,6 +116,9 @@ pub struct CloudService {
     /// Appends per shard between automatic compaction snapshots
     /// (0 = never compact automatically).
     snapshot_every: u64,
+    /// Content-addressed LRU of analysis reports: identical trace bytes
+    /// (dongle retries, duplicate submissions) skip the DSP pipeline.
+    cache: ResponseCache,
 }
 
 impl CloudService {
@@ -139,6 +143,7 @@ impl CloudService {
             classifier: None,
             persist: None,
             snapshot_every: 0,
+            cache: ResponseCache::new(DEFAULT_CACHE_CAPACITY),
         }
     }
 
@@ -178,6 +183,7 @@ impl CloudService {
             classifier: None,
             persist: Some(persist),
             snapshot_every: config.snapshot_every,
+            cache: ResponseCache::new(DEFAULT_CACHE_CAPACITY),
         })
     }
 
@@ -255,6 +261,11 @@ impl CloudService {
         &self.store
     }
 
+    /// Response-cache hit/miss/occupancy counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
     /// Handles one request.
     pub fn handle(&mut self, request: Request) -> Response {
         self.handle_shared(request)
@@ -301,7 +312,24 @@ impl CloudService {
                         reason: "trace has no channels".into(),
                     };
                 }
-                let report = self.analysis.analyze(&trace);
+                // Analysis is pure, so identical trace content yields the
+                // cached report; only misses pay the DSP pipeline (and
+                // only misses record an analysis span).
+                let digest = trace_digest(&trace);
+                let report = match self.cache.lookup(digest) {
+                    Some(report) => report,
+                    None => {
+                        let started = std::time::Instant::now();
+                        let report = self.analysis.analyze(&trace);
+                        medsen_telemetry::record_since(
+                            medsen_telemetry::Stage::Analysis,
+                            0,
+                            started,
+                        );
+                        self.cache.insert(digest, report.clone());
+                        report
+                    }
+                };
                 if !authenticate {
                     return Response::Analyzed {
                         report,
@@ -759,6 +787,32 @@ mod tests {
         for t in 0..8u64 {
             assert_eq!(svc.store().records_of(&format!("user-{t}")).len(), 20);
         }
+    }
+
+    /// Identical trace content must be answered from the response cache —
+    /// and the cached report must be observationally identical to a fresh
+    /// analysis.
+    #[test]
+    fn repeated_analyze_hits_the_response_cache() {
+        let svc = CloudService::new();
+        let request = Request::Analyze {
+            trace: trace(3),
+            authenticate: false,
+        };
+        let first = svc.handle_shared(request.clone());
+        let stats = svc.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 1, 1));
+        let second = svc.handle_shared(request);
+        assert_eq!(first, second, "cached report is byte-for-byte the same");
+        let stats = svc.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        // Different content misses again.
+        svc.handle_shared(Request::Analyze {
+            trace: trace(4),
+            authenticate: false,
+        });
+        let stats = svc.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 2));
     }
 
     #[test]

@@ -155,11 +155,20 @@ impl ShardedAuth {
     pub fn enroll(&self, user_id: impl Into<String>, signature: BeadSignature) {
         let user_id = user_id.into();
         let index = shard_index(&user_id, self.shards.len());
+        // The shard-lock span covers acquire through guard release so
+        // lock-wait *and* hold time (journal append included) land in it.
+        let lock_started = std::time::Instant::now();
         let mut guard = self.write(index);
         if let Some(journal) = &self.journal {
             journal.enrolled(index, &user_id, &signature);
         }
         guard.enroll(user_id, signature);
+        drop(guard);
+        medsen_telemetry::record_since(
+            medsen_telemetry::Stage::ShardLock,
+            index as u32,
+            lock_started,
+        );
     }
 
     /// Re-enrolls a user recovered from durable storage. Bypasses the

@@ -40,6 +40,10 @@ use crate::wire;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use medsen_cloud::service::{CloudService, Response};
 use medsen_runtime as runtime;
+use medsen_telemetry::{
+    spans_json_lines, text_exposition, ActiveTrace, Exemplars, Registry, RegistrySnapshot,
+    SlowTrace, SpanRecorder, Stage, TraceId, DEFAULT_EXEMPLARS, DEFAULT_RING_CAPACITY,
+};
 use medsen_units::Seconds;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -135,6 +139,51 @@ impl Default for GatewayConfig {
     fn default() -> Self {
         Self::clinic_default()
     }
+}
+
+/// Span-tracing knobs for a [`Gateway`], separate from [`GatewayConfig`]
+/// so existing sizing literals keep compiling.
+///
+/// Counters and histograms are always on (they predate this config and
+/// cost a handful of relaxed atomics); this only governs the *span*
+/// machinery — trace minting, ring recording, and slow-request exemplars.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Mint a [`TraceId`] per admitted request and record per-stage spans.
+    pub spans: bool,
+    /// Span ring capacity (rounded up to a power of two).
+    pub ring_capacity: usize,
+    /// How many worst end-to-end traces to retain as exemplars.
+    pub exemplars: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self {
+            spans: true,
+            ring_capacity: DEFAULT_RING_CAPACITY,
+            exemplars: DEFAULT_EXEMPLARS,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Spans and exemplars off; counters and the registry stay live.
+    pub fn disabled() -> Self {
+        Self {
+            spans: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// The span-tracing half of the gateway's telemetry: the shared ring the
+/// whole stack records into, plus the K-worst exemplar tracker fed on
+/// completion. Present only when [`TelemetryConfig::spans`] is on.
+#[derive(Debug)]
+struct GatewayTracing {
+    recorder: Arc<SpanRecorder>,
+    exemplars: Exemplars,
 }
 
 /// A submission that did not enter the queue. Carries the upload back so
@@ -233,7 +282,17 @@ impl PendingReply {
 struct WorkItem {
     upload: Vec<u8>,
     reply: Sender<String>,
+    /// When the submitter entered `submit_keyed` — the start of the
+    /// request's end-to-end latency (exemplar total).
+    admitted: Instant,
+    /// When the item landed in its lane (start of the queue span).
     enqueued: Instant,
+    /// The lane the item was routed onto, as the queue span's tag.
+    lane: u32,
+    /// The request's trace context, carried across the queue so the
+    /// worker records against the same [`TraceId`] the submitter minted.
+    /// `None` when spans are disabled.
+    trace: Option<ActiveTrace>,
 }
 
 /// The original engine: one OS thread per worker, now on one crossbeam
@@ -286,6 +345,12 @@ enum Engine {
 pub struct Gateway {
     service: Arc<CloudService>,
     metrics: Arc<GatewayMetrics>,
+    /// The unified instrument registry every gateway counter/histogram is
+    /// registered in; [`Gateway::registry_snapshot`] overlays the cloud
+    /// tier's subsystem-owned stats on top of it.
+    registry: Arc<Registry>,
+    /// Span ring + exemplars, when [`TelemetryConfig::spans`] is on.
+    tracing: Option<Arc<GatewayTracing>>,
     engine: Engine,
     /// Time-compressed wheel pacing shed retry-after and backoff waits.
     /// Created lazily on the first paced wait: a scaled timer owns a
@@ -307,11 +372,22 @@ impl Gateway {
         Self::with_runtime(service, config, RuntimeKind::default())
     }
 
-    /// Spawns the worker pool on an explicitly chosen engine.
+    /// Spawns the worker pool on an explicitly chosen engine with default
+    /// telemetry (spans on, default ring and exemplar sizing).
     pub fn with_runtime(
         service: CloudService,
         config: GatewayConfig,
         runtime_kind: RuntimeKind,
+    ) -> Self {
+        Self::with_telemetry(service, config, runtime_kind, TelemetryConfig::default())
+    }
+
+    /// Spawns the worker pool with explicit span-tracing knobs.
+    pub fn with_telemetry(
+        service: CloudService,
+        config: GatewayConfig,
+        runtime_kind: RuntimeKind,
+        telemetry: TelemetryConfig,
     ) -> Self {
         let service = Arc::new(service);
         let lanes = lane_count_for(service.shard_count(), config.workers);
@@ -319,7 +395,14 @@ impl Gateway {
         // lanes preserves the seed invariant that at most `queue_capacity`
         // items are queued gateway-wide.
         let per_lane_capacity = (config.queue_capacity / lanes).max(1);
-        let metrics = Arc::new(GatewayMetrics::with_lanes(lanes));
+        let registry = Arc::new(Registry::new());
+        let metrics = Arc::new(GatewayMetrics::registered(lanes, &registry));
+        let tracing = telemetry.spans.then(|| {
+            Arc::new(GatewayTracing {
+                recorder: Arc::new(SpanRecorder::with_capacity(telemetry.ring_capacity)),
+                exemplars: Exemplars::new(telemetry.exemplars),
+            })
+        });
         let engine = match runtime_kind {
             RuntimeKind::Threads => {
                 let mut txs = Vec::with_capacity(lanes);
@@ -334,9 +417,10 @@ impl Gateway {
                         let rx = rxs[i % lanes].clone();
                         let service = Arc::clone(&service);
                         let metrics = Arc::clone(&metrics);
+                        let tracing = tracing.clone();
                         thread::Builder::new()
                             .name(format!("gateway-worker-{i}"))
-                            .spawn(move || worker_loop(rx, service, metrics))
+                            .spawn(move || worker_loop(rx, service, metrics, tracing))
                             .expect("spawn gateway worker")
                     })
                     .collect();
@@ -361,7 +445,8 @@ impl Gateway {
                         let rx = rxs[i % lanes].clone();
                         let service = Arc::clone(&service);
                         let metrics = Arc::clone(&metrics);
-                        executor.spawn(worker_task(rx, service, metrics))
+                        let tracing = tracing.clone();
+                        executor.spawn(worker_task(rx, service, metrics, tracing))
                     })
                     .collect();
                 Engine::Async(AsyncEngine {
@@ -375,6 +460,8 @@ impl Gateway {
         Self {
             service,
             metrics,
+            registry,
+            tracing,
             engine,
             pacer: OnceLock::new(),
             shed_policy: config.shed_policy,
@@ -402,6 +489,73 @@ impl Gateway {
         let mut snap = self.metrics.snapshot();
         fill_service_snapshot(&mut snap, &self.service, self.is_drained());
         snap
+    }
+
+    /// The unified instrument registry behind [`Gateway::metrics`].
+    /// Instruments registered here are live — the same `Arc` handles the
+    /// workers mutate.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// A registry snapshot with the cloud tier's subsystem-owned stats
+    /// overlaid: `cloud.shard.<i>.contention`, the `wal.*` counters (for
+    /// a durable service), `cache.*`, `gateway.drained`, and — when spans
+    /// are on — `telemetry.spans_recorded`. This is the value
+    /// [`Gateway::telemetry_text`] renders.
+    pub fn registry_snapshot(&self) -> RegistrySnapshot {
+        let mut snap = self.registry.snapshot();
+        for (i, s) in self.service.shard_stats().iter().enumerate() {
+            snap.set_counter(&format!("cloud.shard.{i}.contention"), s.contended_writes);
+        }
+        if let Some(wal) = self.service.storage_stats() {
+            snap.set_counter("wal.appends", wal.appends);
+            snap.set_counter("wal.fsyncs", wal.fsyncs);
+            snap.set_counter("wal.bytes_written", wal.bytes_written);
+            snap.set_counter("wal.recovered_entries", wal.recovered_entries);
+            snap.set_counter(
+                "wal.recovered_truncated_bytes",
+                wal.recovered_truncated_bytes,
+            );
+        }
+        let cache = self.service.cache_stats();
+        snap.set_counter("cache.hits", cache.hits);
+        snap.set_counter("cache.misses", cache.misses);
+        snap.set_gauge("cache.entries", cache.entries as u64);
+        snap.set_gauge("gateway.drained", u64::from(self.is_drained()));
+        if let Some(tracing) = &self.tracing {
+            snap.set_counter("telemetry.spans_recorded", tracing.recorder.recorded());
+        }
+        snap
+    }
+
+    /// The whole stack's metrics as line-oriented `name value` text
+    /// (see `medsen_telemetry::text_exposition` for the grammar).
+    pub fn telemetry_text(&self) -> String {
+        text_exposition(&self.registry_snapshot())
+    }
+
+    /// Every span the ring currently retains, as JSON lines — one object
+    /// per span, oldest claim first. Empty when spans are disabled.
+    pub fn spans_json(&self) -> String {
+        match &self.tracing {
+            Some(tracing) => spans_json_lines(&tracing.recorder.snapshot()),
+            None => String::new(),
+        }
+    }
+
+    /// The K worst end-to-end requests seen so far, each joined with its
+    /// per-stage breakdown. Empty when spans are disabled.
+    pub fn slow_traces(&self) -> Vec<SlowTrace> {
+        match &self.tracing {
+            Some(tracing) => tracing.exemplars.report(&tracing.recorder),
+            None => Vec::new(),
+        }
+    }
+
+    /// The shared span ring, when spans are on (tests correlate traces).
+    pub fn span_recorder(&self) -> Option<&Arc<SpanRecorder>> {
+        self.tracing.as_ref().map(|t| &t.recorder)
     }
 
     /// How many queue lanes this gateway runs
@@ -485,19 +639,30 @@ impl Gateway {
         upload: Vec<u8>,
         route_key: u64,
     ) -> Result<PendingReply, SubmitError> {
+        let admitted = Instant::now();
         if self.is_drained() {
             // A drained gateway sheds exactly like a full one, and the
             // turn-away shows up in the same counter.
             self.metrics.on_rejected();
             return Err(SubmitError::Closed { upload });
         }
+        // Mint the request's trace before the enqueue so the admission
+        // span covers the shed-policy check and the lane send. A shed
+        // request's trace is simply dropped — no span, no ring slot.
+        let trace = self.tracing.as_ref().map(|t| ActiveTrace {
+            id: TraceId::mint(),
+            recorder: Arc::clone(&t.recorder),
+        });
+        let lane = (route_key % self.lane_count() as u64) as usize;
         let (reply_tx, reply_rx) = bounded(1);
         let item = WorkItem {
             upload,
             reply: reply_tx,
+            admitted,
             enqueued: Instant::now(),
+            lane: lane as u32,
+            trace: trace.clone(),
         };
-        let lane = (route_key % self.lane_count() as u64) as usize;
         let lane_depth = match &self.engine {
             Engine::Threads(engine) => {
                 let tx = &engine.lanes[lane];
@@ -555,6 +720,15 @@ impl Gateway {
         // One depth probe on the lane just written: the submit path stays
         // O(1) in the lane count instead of summing every lane's queue.
         self.metrics.on_accepted(lane, lane_depth);
+        if let Some(trace) = &trace {
+            trace.recorder.record(
+                trace.id,
+                Stage::Admission,
+                lane as u32,
+                admitted,
+                Instant::now(),
+            );
+        }
         Ok(PendingReply { rx: reply_rx })
     }
 
@@ -620,6 +794,9 @@ fn fill_service_snapshot(snap: &mut MetricsSnapshot, service: &CloudService, dra
         snap.wal_recovered_entries = wal.recovered_entries;
         snap.wal_truncated_bytes = wal.recovered_truncated_bytes;
     }
+    let cache = service.cache_stats();
+    snap.cache_hits = cache.hits;
+    snap.cache_misses = cache.misses;
     snap.drained = drained;
 }
 
@@ -647,22 +824,58 @@ impl fmt::Debug for Gateway {
 }
 
 /// Decode → serve → reply for one work item; shared by both engines.
-fn handle_item(item: WorkItem, service: &CloudService, metrics: &GatewayMetrics) {
-    metrics.queue_wait.record(item.enqueued.elapsed());
+///
+/// When the item carries a trace, the worker records its queue span
+/// (enqueue → dequeue) and service span, and installs the trace as the
+/// thread's active context for the duration of the cloud call — that is
+/// what lets the shard-lock, WAL, and analysis layers attribute their
+/// spans to this request without any parameter threading.
+fn handle_item(
+    item: WorkItem,
+    service: &CloudService,
+    metrics: &GatewayMetrics,
+    tracing: Option<&GatewayTracing>,
+) {
+    let dequeued = Instant::now();
+    metrics
+        .queue_wait
+        .record(dequeued.saturating_duration_since(item.enqueued));
+    let _context = item.trace.clone().map(|trace| {
+        trace
+            .recorder
+            .record(trace.id, Stage::Queue, item.lane, item.enqueued, dequeued);
+        medsen_telemetry::install(trace)
+    });
     let started = Instant::now();
     let response_json = match wire::decode_upload(&item.upload) {
         Ok((_session_id, body)) => service.handle_json_shared(&body),
         Err(e) => error_json(&format!("malformed upload: {e}")),
     };
-    metrics.service_time.record(started.elapsed());
+    let finished = Instant::now();
+    metrics
+        .service_time
+        .record(finished.saturating_duration_since(started));
+    medsen_telemetry::record(Stage::Service, item.lane, started, finished);
     metrics.on_completed();
+    if let (Some(trace), Some(tracing)) = (&item.trace, tracing) {
+        let total_ns = finished
+            .saturating_duration_since(item.admitted)
+            .as_nanos()
+            .min(u128::from(u64::MAX)) as u64;
+        tracing.exemplars.offer(trace.id, total_ns);
+    }
     // A session that gave up on the reply is not an error.
     let _ = item.reply.send(response_json);
 }
 
-fn worker_loop(rx: Receiver<WorkItem>, service: Arc<CloudService>, metrics: Arc<GatewayMetrics>) {
+fn worker_loop(
+    rx: Receiver<WorkItem>,
+    service: Arc<CloudService>,
+    metrics: Arc<GatewayMetrics>,
+    tracing: Option<Arc<GatewayTracing>>,
+) {
     while let Ok(item) = rx.recv() {
-        handle_item(item, &service, &metrics);
+        handle_item(item, &service, &metrics, tracing.as_deref());
     }
 }
 
@@ -672,9 +885,10 @@ async fn worker_task(
     rx: runtime::channel::Receiver<WorkItem>,
     service: Arc<CloudService>,
     metrics: Arc<GatewayMetrics>,
+    tracing: Option<Arc<GatewayTracing>>,
 ) {
     while let Ok(item) = rx.recv().await {
-        handle_item(item, &service, &metrics);
+        handle_item(item, &service, &metrics, tracing.as_deref());
         runtime::yield_now().await;
     }
 }
@@ -1018,6 +1232,139 @@ mod tests {
         );
         gw.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spans_chain_admission_queue_service_for_each_request() {
+        for kind in engines() {
+            let gw = Gateway::with_telemetry(
+                CloudService::new(),
+                GatewayConfig {
+                    queue_capacity: 8,
+                    workers: 2,
+                    shed_policy: ShedPolicy::Block,
+                },
+                kind,
+                TelemetryConfig::default(),
+            );
+            let replies: Vec<PendingReply> = (0..4)
+                .map(|i| gw.submit(ping_upload(i)).expect("accepted"))
+                .collect();
+            for reply in replies {
+                assert_eq!(reply.wait().expect("reply"), Response::Pong);
+            }
+            let recorder = gw.span_recorder().expect("spans on");
+            let spans = recorder.snapshot();
+            let mut traces: Vec<TraceId> = spans.iter().map(|s| s.trace).collect();
+            traces.sort_unstable();
+            traces.dedup();
+            assert_eq!(traces.len(), 4, "one trace per request: {kind}");
+            for trace in traces {
+                let chain = recorder.spans_for(trace);
+                let stages: Vec<Stage> = chain.iter().map(|s| s.stage).collect();
+                for want in [Stage::Admission, Stage::Queue, Stage::Service] {
+                    assert!(stages.contains(&want), "missing {want:?}: {kind}");
+                }
+                // Pipeline order: each stage starts no earlier than the
+                // previous one (admission start ≤ queue start ≤ service).
+                let mut ordered = chain.clone();
+                ordered.sort_by_key(|s| s.stage);
+                for pair in ordered.windows(2) {
+                    assert!(
+                        pair[0].start_ns <= pair[1].start_ns,
+                        "stage starts regress: {pair:?} ({kind})"
+                    );
+                }
+            }
+            gw.shutdown();
+        }
+    }
+
+    #[test]
+    fn exemplars_retain_the_slowest_requests_with_breakdowns() {
+        let gw = Gateway::with_telemetry(
+            CloudService::new(),
+            GatewayConfig {
+                queue_capacity: 8,
+                workers: 1,
+                shed_policy: ShedPolicy::Block,
+            },
+            RuntimeKind::Threads,
+            TelemetryConfig {
+                exemplars: 2,
+                ..TelemetryConfig::default()
+            },
+        );
+        let replies: Vec<PendingReply> = (0..6)
+            .map(|i| gw.submit(ping_upload(i)).expect("accepted"))
+            .collect();
+        for reply in replies {
+            reply.wait().expect("reply");
+        }
+        let slow = gw.slow_traces();
+        assert!(!slow.is_empty() && slow.len() <= 2);
+        assert!(slow[0].total_ns > 0);
+        assert!(
+            slow.windows(2).all(|w| w[0].total_ns >= w[1].total_ns),
+            "worst first"
+        );
+        assert!(
+            slow[0].stages.iter().any(|s| s.stage == Stage::Service),
+            "breakdown joins the ring"
+        );
+        gw.shutdown();
+    }
+
+    #[test]
+    fn telemetry_text_covers_every_legacy_counter_and_parses() {
+        let gw = Gateway::new(CloudService::new(), GatewayConfig::clinic_default());
+        let reply = gw.submit(ping_upload(1)).expect("accepted");
+        reply.wait().expect("reply");
+        let text = gw.telemetry_text();
+        medsen_telemetry::parse_text_exposition(&text).expect("grammar-clean");
+        for name in [
+            "gateway.accepted",
+            "gateway.rejected",
+            "gateway.retried",
+            "gateway.completed",
+            "gateway.failed",
+            "gateway.queue_high_water",
+            "gateway.lane.0.routed",
+            "gateway.queue_wait.count",
+            "gateway.service_time.p99_us",
+            "gateway.uplink_time.count",
+            "cloud.shard.0.contention",
+            "cache.hits",
+            "cache.misses",
+            "gateway.drained",
+            "telemetry.spans_recorded",
+        ] {
+            assert!(
+                text.lines().any(|l| l.starts_with(&format!("{name} "))),
+                "missing {name} in:\n{text}"
+            );
+        }
+        gw.shutdown();
+    }
+
+    #[test]
+    fn disabled_telemetry_keeps_counters_but_drops_spans() {
+        let gw = Gateway::with_telemetry(
+            CloudService::new(),
+            GatewayConfig::clinic_default(),
+            RuntimeKind::Async,
+            TelemetryConfig::disabled(),
+        );
+        let reply = gw.submit(ping_upload(1)).expect("accepted");
+        assert_eq!(reply.wait().expect("reply"), Response::Pong);
+        assert!(gw.span_recorder().is_none());
+        assert!(gw.spans_json().is_empty());
+        assert!(gw.slow_traces().is_empty());
+        let text = gw.telemetry_text();
+        assert!(text.contains("gateway.accepted 1"));
+        assert!(!text.contains("telemetry.spans_recorded"));
+        let m = gw.shutdown();
+        assert_eq!(m.completed, 1);
     }
 
     /// The async engine multiplexes many more worker tasks than executor

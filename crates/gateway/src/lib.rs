@@ -33,7 +33,15 @@
 //!   mark, per-stage latency histograms, and per-lane routing/depth
 //!   counters; [`MetricsSnapshot`] additionally carries the cloud tier's
 //!   per-shard write-lock contention so one snapshot answers "is the
-//!   shard split buying anything?".
+//!   shard split buying anything?". Every instrument is registered in a
+//!   `medsen-telemetry` registry under stable dotted names, and the
+//!   gateway exposes the whole stack as text
+//!   ([`Gateway::telemetry_text`]), JSON-lines span dumps
+//!   ([`Gateway::spans_json`]), and K-worst slow-trace exemplars
+//!   ([`Gateway::slow_traces`]). Per-request spans (admission → queue →
+//!   service → shard lock → WAL → analysis) ride a minted
+//!   `TraceId` through every layer; [`TelemetryConfig`] sizes or
+//!   disables the span machinery.
 //!
 //! The load-bearing invariant, proven by the workspace's `gateway_fleet`
 //! integration test: running N sessions concurrently through the gateway
@@ -48,6 +56,7 @@ pub mod wire;
 
 pub use gateway::{
     Gateway, GatewayConfig, PendingReply, ReplyError, RuntimeKind, ShedPolicy, SubmitError,
+    TelemetryConfig,
 };
 pub use metrics::{GatewayMetrics, LatencyHistogram, LatencySnapshot, MetricsSnapshot};
 pub use session::{

@@ -1,142 +1,61 @@
 //! Gateway observability: lock-free counters and latency histograms.
 //!
-//! Workers and sessions update [`GatewayMetrics`] concurrently through
-//! relaxed atomics (the counters are independent monotone tallies — no
-//! cross-counter invariant needs a stronger ordering), and tests/benches
-//! take a coherent-enough [`MetricsSnapshot`] after quiescing the fleet.
+//! The instruments themselves live in `medsen-telemetry` — the gateway
+//! holds `Arc` handles ([`Counter`], [`Gauge`], [`LatencyHistogram`])
+//! that workers and sessions mutate concurrently through relaxed atomics
+//! (the counters are independent monotone tallies — no cross-counter
+//! invariant needs a stronger ordering). Built through
+//! [`GatewayMetrics::registered`], the same handles are registered in a
+//! unified [`Registry`] under stable dotted names (`gateway.accepted`,
+//! `gateway.lane.0.routed`, `gateway.queue_wait`, …), so one text
+//! exposition covers every counter this module tracks.
+//! [`GatewayMetrics::with_lanes`] still builds free-standing instruments
+//! for callers that want counters without a registry.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use medsen_telemetry::{Counter, Gauge, Registry};
+use std::sync::Arc;
 
-/// Number of power-of-two latency buckets: 1 µs up to ~1.1 hours.
-const BUCKETS: usize = 32;
-
-/// A histogram of durations in power-of-two microsecond buckets.
-///
-/// Bucket `i` counts samples with `duration_us < 2^i` (that were not
-/// already counted by a smaller bucket); the last bucket absorbs overflow.
-#[derive(Debug, Default)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    total_us: AtomicU64,
-    max_us: AtomicU64,
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Records one wall-clock duration.
-    pub fn record(&self, duration: Duration) {
-        self.record_us(duration.as_micros().min(u128::from(u64::MAX)) as u64);
-    }
-
-    /// Records one simulated duration expressed in seconds.
-    pub fn record_seconds(&self, seconds: f64) {
-        let us = if seconds.is_finite() && seconds > 0.0 {
-            (seconds * 1e6).min(u64::MAX as f64) as u64
-        } else {
-            0
-        };
-        self.record_us(us);
-    }
-
-    fn record_us(&self, us: u64) {
-        let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.total_us.fetch_add(us, Ordering::Relaxed);
-        self.max_us.fetch_max(us, Ordering::Relaxed);
-    }
-
-    /// A point-in-time copy of the histogram.
-    pub fn snapshot(&self) -> LatencySnapshot {
-        LatencySnapshot {
-            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
-            count: self.count.load(Ordering::Relaxed),
-            total_us: self.total_us.load(Ordering::Relaxed),
-            max_us: self.max_us.load(Ordering::Relaxed),
-        }
-    }
-}
-
-/// An immutable copy of a [`LatencyHistogram`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LatencySnapshot {
-    buckets: [u64; BUCKETS],
-    /// Number of recorded samples.
-    pub count: u64,
-    /// Sum of all samples, in microseconds.
-    pub total_us: u64,
-    /// Largest sample, in microseconds.
-    pub max_us: u64,
-}
-
-impl LatencySnapshot {
-    /// Mean sample in microseconds (0 when empty).
-    pub fn mean_us(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.total_us as f64 / self.count as f64
-        }
-    }
-
-    /// Upper bound (µs) of the bucket containing the `p`-th percentile
-    /// (`0.0..=1.0`); 0 when empty. Resolution is the bucket width, which
-    /// is all queue-tuning needs.
-    pub fn percentile_us(&self, p: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                return 1u64 << i;
-            }
-        }
-        1u64 << (BUCKETS - 1)
-    }
-
-    /// Non-empty `(bucket_upper_bound_us, count)` pairs, ascending.
-    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
-        self.buckets
-            .iter()
-            .enumerate()
-            .filter(|(_, &n)| n > 0)
-            .map(|(i, &n)| (1u64 << i, n))
-            .collect()
-    }
-}
+pub use medsen_telemetry::{LatencyHistogram, LatencySnapshot};
 
 /// Per-lane counters for the gateway's sharded worker groups.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct LaneMetrics {
-    routed: AtomicU64,
-    high_water: AtomicU64,
+    routed: Arc<Counter>,
+    high_water: Arc<Gauge>,
+}
+
+impl LaneMetrics {
+    fn standalone() -> Self {
+        Self {
+            routed: Arc::new(Counter::new()),
+            high_water: Arc::new(Gauge::new()),
+        }
+    }
+
+    fn registered(lane: usize, registry: &Registry) -> Self {
+        Self {
+            routed: registry.counter(&format!("gateway.lane.{lane}.routed")),
+            high_water: registry.gauge(&format!("gateway.lane.{lane}.depth_high_water")),
+        }
+    }
 }
 
 /// Shared counters for the whole gateway.
 #[derive(Debug)]
 pub struct GatewayMetrics {
-    accepted: AtomicU64,
-    rejected: AtomicU64,
-    retried: AtomicU64,
-    completed: AtomicU64,
-    failed: AtomicU64,
-    queue_high_water: AtomicU64,
+    accepted: Arc<Counter>,
+    rejected: Arc<Counter>,
+    retried: Arc<Counter>,
+    completed: Arc<Counter>,
+    failed: Arc<Counter>,
+    queue_high_water: Arc<Gauge>,
     lanes: Vec<LaneMetrics>,
     /// Real time spent by accepted work items waiting in the queue.
-    pub queue_wait: LatencyHistogram,
+    pub queue_wait: Arc<LatencyHistogram>,
     /// Real time spent by the worker handling one request.
-    pub service_time: LatencyHistogram,
+    pub service_time: Arc<LatencyHistogram>,
     /// Simulated uplink time per successfully transmitted request.
-    pub uplink_time: LatencyHistogram,
+    pub uplink_time: Arc<LatencyHistogram>,
 }
 
 impl Default for GatewayMetrics {
@@ -151,19 +70,46 @@ impl GatewayMetrics {
         Self::with_lanes(1)
     }
 
-    /// Fresh all-zero metrics tracking `lanes` per-shard worker lanes.
+    /// Fresh all-zero metrics tracking `lanes` per-shard worker lanes,
+    /// with free-standing instruments (not visible in any registry).
     pub fn with_lanes(lanes: usize) -> Self {
         Self {
-            accepted: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            retried: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            failed: AtomicU64::new(0),
-            queue_high_water: AtomicU64::new(0),
-            lanes: (0..lanes.max(1)).map(|_| LaneMetrics::default()).collect(),
-            queue_wait: LatencyHistogram::new(),
-            service_time: LatencyHistogram::new(),
-            uplink_time: LatencyHistogram::new(),
+            accepted: Arc::new(Counter::new()),
+            rejected: Arc::new(Counter::new()),
+            retried: Arc::new(Counter::new()),
+            completed: Arc::new(Counter::new()),
+            failed: Arc::new(Counter::new()),
+            queue_high_water: Arc::new(Gauge::new()),
+            lanes: (0..lanes.max(1))
+                .map(|_| LaneMetrics::standalone())
+                .collect(),
+            queue_wait: Arc::new(LatencyHistogram::new()),
+            service_time: Arc::new(LatencyHistogram::new()),
+            uplink_time: Arc::new(LatencyHistogram::new()),
+        }
+    }
+
+    /// Fresh metrics whose instruments are registered in `registry` under
+    /// the gateway's dotted names: `gateway.accepted`, `gateway.rejected`,
+    /// `gateway.retried`, `gateway.completed`, `gateway.failed`,
+    /// `gateway.queue_high_water`, `gateway.lane.<i>.routed`,
+    /// `gateway.lane.<i>.depth_high_water`, and the `gateway.queue_wait` /
+    /// `gateway.service_time` / `gateway.uplink_time` histograms. The
+    /// returned handles and the registry's are the same instruments.
+    pub fn registered(lanes: usize, registry: &Registry) -> Self {
+        Self {
+            accepted: registry.counter("gateway.accepted"),
+            rejected: registry.counter("gateway.rejected"),
+            retried: registry.counter("gateway.retried"),
+            completed: registry.counter("gateway.completed"),
+            failed: registry.counter("gateway.failed"),
+            queue_high_water: registry.gauge("gateway.queue_high_water"),
+            lanes: (0..lanes.max(1))
+                .map(|i| LaneMetrics::registered(i, registry))
+                .collect(),
+            queue_wait: registry.histogram("gateway.queue_wait"),
+            service_time: registry.histogram("gateway.service_time"),
+            uplink_time: registry.histogram("gateway.uplink_time"),
         }
     }
 
@@ -179,62 +125,53 @@ impl GatewayMetrics {
     /// count. An out-of-range `lane` still counts globally but is ignored
     /// per-lane, never a panic.
     pub fn on_accepted(&self, lane: usize, lane_depth: usize) {
-        self.accepted.fetch_add(1, Ordering::Relaxed);
-        self.queue_high_water
-            .fetch_max(lane_depth as u64, Ordering::Relaxed);
+        self.accepted.incr();
+        self.queue_high_water.record_max(lane_depth as u64);
         if let Some(metrics) = self.lanes.get(lane) {
-            metrics.routed.fetch_add(1, Ordering::Relaxed);
-            metrics
-                .high_water
-                .fetch_max(lane_depth as u64, Ordering::Relaxed);
+            metrics.routed.incr();
+            metrics.high_water.record_max(lane_depth as u64);
         }
     }
 
     /// Counts a request shed by the backpressure policy.
     pub fn on_rejected(&self) {
-        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.rejected.incr();
     }
 
     /// Counts one retry (link failure backoff or resubmission after shed).
     pub fn on_retried(&self) {
-        self.retried.fetch_add(1, Ordering::Relaxed);
+        self.retried.incr();
     }
 
     /// Counts a request fully served by a worker.
     pub fn on_completed(&self) {
-        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.completed.incr();
     }
 
     /// Counts a request abandoned client-side (deadline or retry budget).
     pub fn on_failed(&self) {
-        self.failed.fetch_add(1, Ordering::Relaxed);
+        self.failed.incr();
     }
 
     /// A point-in-time copy of every counter and histogram.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
-            accepted: self.accepted.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            retried: self.retried.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
-            failed: self.failed.load(Ordering::Relaxed),
-            queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
-            shard_routed: self
-                .lanes
-                .iter()
-                .map(|l| l.routed.load(Ordering::Relaxed))
-                .collect(),
-            shard_depth: self
-                .lanes
-                .iter()
-                .map(|l| l.high_water.load(Ordering::Relaxed))
-                .collect(),
+            accepted: self.accepted.get(),
+            rejected: self.rejected.get(),
+            retried: self.retried.get(),
+            completed: self.completed.get(),
+            failed: self.failed.get(),
+            queue_high_water: self.queue_high_water.get(),
+            shard_routed: self.lanes.iter().map(|l| l.routed.get()).collect(),
+            shard_depth: self.lanes.iter().map(|l| l.high_water.get()).collect(),
             shard_contention: Vec::new(),
             wal_appends: 0,
             wal_fsyncs: 0,
             wal_bytes: 0,
             wal_recovered_entries: 0,
             wal_truncated_bytes: 0,
+            cache_hits: 0,
+            cache_misses: 0,
             drained: false,
             queue_wait: self.queue_wait.snapshot(),
             service_time: self.service_time.snapshot(),
@@ -283,6 +220,12 @@ pub struct MetricsSnapshot {
     pub wal_recovered_entries: u64,
     /// Torn-tail bytes the recovery discarded.
     pub wal_truncated_bytes: u64,
+    /// Analysis responses served from the cloud tier's content-addressed
+    /// cache. Zero on a bare [`GatewayMetrics::snapshot`]; filled by the
+    /// gateway from [`CloudService::cache_stats`](medsen_cloud::service::CloudService::cache_stats).
+    pub cache_hits: u64,
+    /// Analysis requests that ran the full DSP pipeline (cache misses).
+    pub cache_misses: u64,
     /// Whether the gateway has been [drained](crate::Gateway::drain):
     /// no longer admitting sessions, in-flight work finished, final WAL
     /// flush forced.
@@ -303,6 +246,10 @@ impl MetricsSnapshot {
     }
 }
 
+/// Every field, every time: operators diff snapshots across runs, and a
+/// line that appears only when its counters are non-zero makes "is the
+/// WAL idle or is the WAL missing?" ambiguous. The format is pinned by a
+/// golden test below — extend it deliberately.
 impl std::fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
@@ -311,25 +258,27 @@ impl std::fmt::Display for MetricsSnapshot {
             self.accepted, self.rejected, self.retried, self.completed, self.failed
         )?;
         writeln!(f, "queue high-water: {}", self.queue_high_water)?;
-        if self.shard_routed.len() > 1 || !self.shard_contention.is_empty() {
-            writeln!(
-                f,
-                "shard lanes: routed {:?} depth-hw {:?} | lock contention {:?}",
-                self.shard_routed, self.shard_depth, self.shard_contention
-            )?;
-        }
-        if self.wal_appends > 0 || self.wal_recovered_entries > 0 || self.drained {
-            writeln!(
-                f,
-                "wal: appends {} | fsyncs {} | bytes {} | recovered {} (truncated {} B){}",
-                self.wal_appends,
-                self.wal_fsyncs,
-                self.wal_bytes,
-                self.wal_recovered_entries,
-                self.wal_truncated_bytes,
-                if self.drained { " | drained" } else { "" }
-            )?;
-        }
+        writeln!(
+            f,
+            "shard lanes: routed {:?} depth-hw {:?} | lock contention {:?}",
+            self.shard_routed, self.shard_depth, self.shard_contention
+        )?;
+        writeln!(
+            f,
+            "wal: appends {} | fsyncs {} | bytes {} | recovered {} (truncated {} B)",
+            self.wal_appends,
+            self.wal_fsyncs,
+            self.wal_bytes,
+            self.wal_recovered_entries,
+            self.wal_truncated_bytes,
+        )?;
+        writeln!(
+            f,
+            "cache: hits {} | misses {} | drained {}",
+            self.cache_hits,
+            self.cache_misses,
+            if self.drained { "yes" } else { "no" }
+        )?;
         writeln!(
             f,
             "queue wait:   n={} mean={:.1}µs p99≤{}µs max={}µs",
@@ -360,31 +309,7 @@ impl std::fmt::Display for MetricsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn histogram_buckets_and_percentiles() {
-        let h = LatencyHistogram::new();
-        for us in [1u64, 2, 3, 100, 1000, 1_000_000] {
-            h.record(Duration::from_micros(us));
-        }
-        let s = h.snapshot();
-        assert_eq!(s.count, 6);
-        assert_eq!(s.max_us, 1_000_000);
-        assert_eq!(s.total_us, 1 + 2 + 3 + 100 + 1000 + 1_000_000);
-        // p50 of 6 samples is the 3rd smallest (3 µs → bucket ≤ 4 µs).
-        assert_eq!(s.percentile_us(0.5), 4);
-        assert!(s.percentile_us(1.0) >= 1_000_000);
-        assert!(!s.nonzero_buckets().is_empty());
-    }
-
-    #[test]
-    fn simulated_seconds_are_recorded_as_microseconds() {
-        let h = LatencyHistogram::new();
-        h.record_seconds(0.05);
-        let s = h.snapshot();
-        assert_eq!(s.count, 1);
-        assert_eq!(s.total_us, 50_000);
-    }
+    use std::time::Duration;
 
     #[test]
     fn counters_and_high_water() {
@@ -403,50 +328,6 @@ mod tests {
         );
         assert_eq!(s.queue_high_water, 7);
         assert_eq!(s.lost(), 2);
-    }
-
-    #[test]
-    fn empty_histogram_percentiles_are_zero_everywhere() {
-        let s = LatencyHistogram::new().snapshot();
-        for p in [0.0, 0.5, 0.99, 1.0] {
-            assert_eq!(s.percentile_us(p), 0, "p={p}");
-        }
-        assert_eq!(s.count, 0);
-        assert_eq!(s.max_us, 0);
-        assert_eq!(s.mean_us(), 0.0);
-        assert!(s.nonzero_buckets().is_empty());
-    }
-
-    #[test]
-    fn percentile_clamps_out_of_range_p() {
-        let h = LatencyHistogram::new();
-        for us in [1u64, 10, 100] {
-            h.record(Duration::from_micros(us));
-        }
-        let s = h.snapshot();
-        // p ≤ 0 clamps to 0.0, whose rank still floors at the 1st sample.
-        assert_eq!(s.percentile_us(0.0), s.percentile_us(-3.0));
-        assert_eq!(s.percentile_us(0.0), 2, "1 µs lands in the ≤2 µs bucket");
-        // p ≥ 1 clamps to 1.0: the bucket holding the maximum sample.
-        assert_eq!(s.percentile_us(1.0), s.percentile_us(42.0));
-        assert_eq!(s.percentile_us(1.0), 128, "100 µs lands in ≤128 µs");
-        // NaN degenerates to rank 1 (the clamp's floor), never a panic.
-        assert_eq!(s.percentile_us(f64::NAN), 2);
-    }
-
-    #[test]
-    fn nonpositive_and_nonfinite_seconds_record_as_zero() {
-        let h = LatencyHistogram::new();
-        h.record_seconds(-1.0);
-        h.record_seconds(f64::NAN);
-        h.record_seconds(f64::INFINITY);
-        let s = h.snapshot();
-        // None of them is a finite positive duration, so all clamp to 0
-        // instead of wrapping or poisoning the totals.
-        assert_eq!(s.count, 3);
-        assert_eq!(s.max_us, 0);
-        assert_eq!(s.total_us, 0);
-        assert_eq!(s.buckets[0], 3, "all three clamp to the 0 bucket");
     }
 
     #[test]
@@ -480,6 +361,7 @@ mod tests {
         assert_eq!(s.shard_routed, vec![0]);
         assert_eq!(s.shard_depth, vec![0]);
         assert!(s.shard_contention.is_empty());
+        assert_eq!((s.cache_hits, s.cache_misses), (0, 0));
         let _ = s.to_string();
     }
 
@@ -496,7 +378,6 @@ mod tests {
         assert_eq!(s.shard_routed, vec![1, 0, 2, 0]);
         assert_eq!(s.shard_depth, vec![1, 0, 3, 0]);
         assert_eq!(s.queue_high_water, 7, "global mark tracks every accept");
-        // Multi-lane snapshots surface the per-lane line in Display.
         assert!(s.to_string().contains("shard lanes"));
     }
 
@@ -506,5 +387,89 @@ mod tests {
         assert_eq!(m.lane_count(), 1);
         m.on_accepted(0, 5);
         assert_eq!(m.snapshot().shard_depth, vec![5]);
+    }
+
+    #[test]
+    fn registered_metrics_share_instruments_with_the_registry() {
+        let registry = Registry::new();
+        let m = GatewayMetrics::registered(2, &registry);
+        m.on_accepted(1, 4);
+        m.on_completed();
+        m.queue_wait.record(Duration::from_micros(10));
+        let snap = registry.snapshot();
+        assert_eq!(snap.scalar("gateway.accepted"), Some(1));
+        assert_eq!(snap.scalar("gateway.completed"), Some(1));
+        assert_eq!(snap.scalar("gateway.queue_high_water"), Some(4));
+        assert_eq!(snap.scalar("gateway.lane.0.routed"), Some(0));
+        assert_eq!(snap.scalar("gateway.lane.1.routed"), Some(1));
+        assert_eq!(snap.scalar("gateway.lane.1.depth_high_water"), Some(4));
+        assert!(matches!(
+            snap.get("gateway.queue_wait"),
+            Some(medsen_telemetry::MetricValue::Histogram(h)) if h.count == 1
+        ));
+        // Every legacy counter has a registered dotted name.
+        for name in [
+            "gateway.accepted",
+            "gateway.rejected",
+            "gateway.retried",
+            "gateway.completed",
+            "gateway.failed",
+            "gateway.queue_high_water",
+            "gateway.queue_wait",
+            "gateway.service_time",
+            "gateway.uplink_time",
+        ] {
+            assert!(registry.names().iter().any(|n| n == name), "missing {name}");
+        }
+    }
+
+    /// Golden format: the Display output includes every field
+    /// unconditionally — an all-zero WAL still prints its line, an
+    /// undrained gateway still says so.
+    #[test]
+    fn display_includes_every_field_unconditionally() {
+        let m = GatewayMetrics::new();
+        let empty = m.snapshot().to_string();
+        for needle in [
+            "accepted 0 | rejected 0 | retried 0 | completed 0 | failed 0",
+            "queue high-water: 0",
+            "shard lanes: routed [0] depth-hw [0] | lock contention []",
+            "wal: appends 0 | fsyncs 0 | bytes 0 | recovered 0 (truncated 0 B)",
+            "cache: hits 0 | misses 0 | drained no",
+            "queue wait:   n=0 mean=0.0µs p99≤0µs max=0µs",
+            "service time: n=0 mean=0.0µs p99≤0µs max=0µs",
+            "uplink time:  n=0 mean=0.0µs p99≤0µs max=0µs (simulated)",
+        ] {
+            assert!(empty.contains(needle), "missing {needle:?} in:\n{empty}");
+        }
+
+        // Pin the exact full rendering for a populated snapshot.
+        let mut s = m.snapshot();
+        s.accepted = 5;
+        s.rejected = 1;
+        s.retried = 2;
+        s.completed = 4;
+        s.failed = 1;
+        s.queue_high_water = 3;
+        s.shard_routed = vec![3, 2];
+        s.shard_depth = vec![2, 3];
+        s.shard_contention = vec![0, 1];
+        s.wal_appends = 7;
+        s.wal_fsyncs = 2;
+        s.wal_bytes = 512;
+        s.wal_recovered_entries = 1;
+        s.wal_truncated_bytes = 9;
+        s.cache_hits = 6;
+        s.cache_misses = 4;
+        s.drained = true;
+        let golden = "accepted 5 | rejected 1 | retried 2 | completed 4 | failed 1\n\
+                      queue high-water: 3\n\
+                      shard lanes: routed [3, 2] depth-hw [2, 3] | lock contention [0, 1]\n\
+                      wal: appends 7 | fsyncs 2 | bytes 512 | recovered 1 (truncated 9 B)\n\
+                      cache: hits 6 | misses 4 | drained yes\n\
+                      queue wait:   n=0 mean=0.0µs p99≤0µs max=0µs\n\
+                      service time: n=0 mean=0.0µs p99≤0µs max=0µs\n\
+                      uplink time:  n=0 mean=0.0µs p99≤0µs max=0µs (simulated)";
+        assert_eq!(s.to_string(), golden);
     }
 }

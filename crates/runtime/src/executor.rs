@@ -258,6 +258,47 @@ mod tests {
         executor.shutdown();
     }
 
+    /// A trace context installed inside a task survives its yields (the
+    /// task's `TaskSlot` parks it between polls) and never leaks onto
+    /// sibling tasks interleaved on the same worker thread.
+    #[test]
+    fn trace_context_is_task_local_across_yields() {
+        use medsen_telemetry::{ActiveTrace, SpanRecorder, Stage, TraceId};
+        use std::time::Instant;
+
+        let recorder = Arc::new(SpanRecorder::with_capacity(64));
+        let executor = Executor::new(1);
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let recorder = Arc::clone(&recorder);
+                executor.spawn(async move {
+                    let id = TraceId::mint();
+                    let _guard = medsen_telemetry::install(ActiveTrace {
+                        id,
+                        recorder: Arc::clone(&recorder),
+                    });
+                    for _ in 0..4 {
+                        crate::yield_now().await;
+                        // After every yield this thread has interleaved
+                        // other tasks; the context must still be ours.
+                        let current =
+                            medsen_telemetry::current().expect("context survives the yield");
+                        assert_eq!(current.id, id, "task {i} sees its own trace");
+                        medsen_telemetry::record(Stage::Service, i, Instant::now(), Instant::now());
+                    }
+                    id
+                })
+            })
+            .collect();
+        let ids: Vec<TraceId> = handles.into_iter().map(|h| h.join()).collect();
+        for (i, id) in ids.iter().enumerate() {
+            let spans = recorder.spans_for(*id);
+            assert_eq!(spans.len(), 4, "task {i} recorded one span per yield");
+            assert!(spans.iter().all(|s| s.tag == i as u32));
+        }
+        executor.shutdown();
+    }
+
     /// Redundant wakes collapse: waking an already-scheduled task many
     /// times queues it exactly once per poll cycle.
     #[test]

@@ -7,6 +7,7 @@
 //! to the classic poll/wake race.
 
 use crate::executor::Inner;
+use medsen_telemetry::TaskSlot;
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -30,6 +31,10 @@ pub(crate) struct Task {
     state: AtomicU8,
     future: Mutex<Option<BoxFuture>>,
     executor: Arc<Inner>,
+    /// Task-local telemetry context, parked here between polls so a trace
+    /// installed inside the task follows the *task* across worker threads
+    /// instead of leaking onto whichever thread happened to poll it.
+    telemetry: TaskSlot,
 }
 
 impl Task {
@@ -38,6 +43,9 @@ impl Task {
             state: AtomicU8::new(SCHEDULED),
             future: Mutex::new(Some(future)),
             executor,
+            // Inherit the spawner's active trace (if any): a task spawned
+            // mid-request keeps recording against that request.
+            telemetry: TaskSlot::capture(),
         })
     }
 
@@ -52,7 +60,15 @@ impl Task {
             self.state.store(COMPLETE, Ordering::Release);
             return;
         };
-        match future.as_mut().poll(&mut cx) {
+        // Swap the task's parked trace context in for the duration of the
+        // poll; the guard parks whatever is active when the poll returns.
+        // Scoped to the poll itself: it must be back in the slot before
+        // the re-arm below can hand the task to another worker.
+        let polled = {
+            let _telemetry = self.telemetry.enter();
+            future.as_mut().poll(&mut cx)
+        };
+        match polled {
             Poll::Ready(()) => {
                 *slot = None;
                 self.state.store(COMPLETE, Ordering::Release);

@@ -12,7 +12,7 @@
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::wal::{ShardRecovery, ShardWal, WalError};
 use crate::FlushPolicy;
@@ -184,7 +184,12 @@ impl Wal {
             FlushPolicy::EveryN(n) => Some(n),
             FlushPolicy::EveryInterval(_) => None,
         };
+        let started = Instant::now();
         let outcome = wal.append(kind, payload, threshold)?;
+        let finished = Instant::now();
+        // Span per append against the active request's trace (no-op when
+        // no context is installed, e.g. replay or the interval flusher).
+        medsen_telemetry::record(medsen_telemetry::Stage::WalAppend, shard, started, finished);
         let stats = &self.shared.stats;
         stats.appends.fetch_add(1, Ordering::Relaxed);
         stats
@@ -192,6 +197,17 @@ impl Wal {
             .fetch_add(outcome.bytes, Ordering::Relaxed);
         if outcome.synced {
             stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+            // The fsync is the tail of the append: attribute it separately
+            // so group-commit stalls name the guilty stage.
+            let sync_started = finished
+                .checked_sub(Duration::from_nanos(outcome.sync_ns))
+                .unwrap_or(started);
+            medsen_telemetry::record(
+                medsen_telemetry::Stage::WalFsync,
+                shard,
+                sync_started,
+                finished,
+            );
         }
         Ok(())
     }

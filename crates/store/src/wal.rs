@@ -115,6 +115,9 @@ pub struct ShardRecovery {
 pub(crate) struct AppendOutcome {
     pub bytes: u64,
     pub synced: bool,
+    /// Wall time the `sync_data` took when `synced`, else zero — lets the
+    /// caller attribute the group-commit fsync separately from the write.
+    pub sync_ns: u64,
 }
 
 struct ShardFile {
@@ -216,17 +219,20 @@ impl ShardWal {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.file.write_all(&buf)?;
         inner.pending += 1;
-        let synced = match sync_threshold {
+        let (synced, sync_ns) = match sync_threshold {
             Some(n) if inner.pending >= n.max(1) => {
+                let sync_started = std::time::Instant::now();
                 inner.file.sync_data()?;
                 inner.pending = 0;
-                true
+                let elapsed = sync_started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                (true, elapsed)
             }
-            _ => false,
+            _ => (false, 0),
         };
         Ok(AppendOutcome {
             bytes: buf.len() as u64,
             synced,
+            sync_ns,
         })
     }
 

@@ -1,0 +1,252 @@
+//! Trace-context propagation: thread-local for synchronous code, a
+//! swappable [`TaskSlot`] for async tasks.
+//!
+//! The gateway mints a [`TraceId`] at admission and installs an
+//! [`ActiveTrace`] around each request's synchronous handling; the layers
+//! below (shard locks, WAL appends, DSP) call the free functions
+//! [`record`]/[`record_since`], which are silent no-ops when no context is
+//! installed — instrumented code needs no feature flags and pays one
+//! thread-local read when telemetry is off.
+//!
+//! Async executors cannot rely on a bare thread-local (a task migrates
+//! between worker threads and interleaves with other tasks on the same
+//! thread), so the runtime parks each task's context in a [`TaskSlot`]:
+//! swapped into the polling thread's local slot before `poll`, swapped
+//! back out after. Context installed inside the task then genuinely
+//! follows the task, not the thread.
+
+use crate::span::{SpanRecorder, Stage, TraceId};
+use std::cell::RefCell;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// The trace identity + recorder pair a piece of code records spans into.
+#[derive(Debug, Clone)]
+pub struct ActiveTrace {
+    /// The request this code is running on behalf of.
+    pub id: TraceId,
+    /// Where its spans go.
+    pub recorder: Arc<SpanRecorder>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<ActiveTrace>> = const { RefCell::new(None) };
+}
+
+/// Installs `trace` as the thread's active context until the returned
+/// guard drops, then restores whatever was active before (contexts nest).
+#[must_use = "the context is uninstalled when the guard drops"]
+pub fn install(trace: ActiveTrace) -> ContextGuard {
+    let previous = CURRENT.with(|c| c.borrow_mut().replace(trace));
+    ContextGuard { previous }
+}
+
+/// The thread's active context, if any.
+pub fn current() -> Option<ActiveTrace> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Records a completed span against the active context; no-op without one.
+pub fn record(stage: Stage, tag: u32, start: Instant, end: Instant) {
+    CURRENT.with(|c| {
+        if let Some(active) = c.borrow().as_ref() {
+            active.recorder.record(active.id, stage, tag, start, end);
+        }
+    });
+}
+
+/// Records a span from `start` to now against the active context.
+pub fn record_since(stage: Stage, tag: u32, start: Instant) {
+    record(stage, tag, start, Instant::now());
+}
+
+/// Restores the previously active context on drop.
+#[derive(Debug)]
+pub struct ContextGuard {
+    previous: Option<ActiveTrace>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        let previous = self.previous.take();
+        CURRENT.with(|c| *c.borrow_mut() = previous);
+    }
+}
+
+/// Parks an async task's trace context between polls.
+///
+/// The executor calls [`TaskSlot::enter`] around every `poll`: the slot's
+/// stored context becomes the thread's active context for the duration of
+/// the poll, and whatever is active when the poll returns (the task may
+/// have installed or dropped contexts) is parked back into the slot. The
+/// polling thread's own context is untouched across the swap. The slot's
+/// mutex is uncontended by construction — a task is polled by one worker
+/// at a time — so this is two cheap lock acquisitions per poll, well off
+/// the span-recording hot path.
+#[derive(Debug, Default)]
+pub struct TaskSlot {
+    parked: Mutex<Option<ActiveTrace>>,
+}
+
+impl TaskSlot {
+    /// An empty slot: the task starts with no inherited context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A slot seeded with the spawning thread's active context, so a task
+    /// spawned mid-request keeps recording against that request.
+    pub fn capture() -> Self {
+        Self {
+            parked: Mutex::new(current()),
+        }
+    }
+
+    /// Swaps the parked context in as the thread's active context until
+    /// the guard drops, which parks the then-active context back here.
+    #[must_use = "the task context is parked again when the guard drops"]
+    pub fn enter(&self) -> SlotGuard<'_> {
+        let parked = self.parked.lock().map(|mut p| p.take()).unwrap_or(None);
+        let previous = CURRENT.with(|c| std::mem::replace(&mut *c.borrow_mut(), parked));
+        SlotGuard {
+            slot: self,
+            previous,
+        }
+    }
+}
+
+/// Parks the active context back into the task's slot on drop.
+#[derive(Debug)]
+pub struct SlotGuard<'a> {
+    slot: &'a TaskSlot,
+    previous: Option<ActiveTrace>,
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        let active =
+            CURRENT.with(|c| std::mem::replace(&mut *c.borrow_mut(), self.previous.take()));
+        if let Ok(mut parked) = self.slot.parked.lock() {
+            *parked = active;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{SpanRecorder, Stage};
+    use std::time::Duration;
+
+    fn trace_on(recorder: &Arc<SpanRecorder>) -> ActiveTrace {
+        ActiveTrace {
+            id: TraceId::mint(),
+            recorder: Arc::clone(recorder),
+        }
+    }
+
+    #[test]
+    fn record_without_context_is_a_no_op() {
+        assert!(current().is_none());
+        record_since(Stage::Service, 0, Instant::now());
+        // Nothing to assert against — the point is it neither panics nor
+        // needs a recorder.
+    }
+
+    #[test]
+    fn install_records_and_restores_nested_contexts() {
+        let recorder = Arc::new(SpanRecorder::with_capacity(8));
+        let outer = trace_on(&recorder);
+        let inner = trace_on(&recorder);
+        {
+            let _g1 = install(outer.clone());
+            assert_eq!(current().unwrap().id, outer.id);
+            {
+                let _g2 = install(inner.clone());
+                assert_eq!(current().unwrap().id, inner.id);
+                record(Stage::Analysis, 7, Instant::now(), Instant::now());
+            }
+            assert_eq!(
+                current().unwrap().id,
+                outer.id,
+                "inner guard restored outer"
+            );
+        }
+        assert!(current().is_none(), "outer guard restored the empty state");
+        let spans = recorder.spans_for(inner.id);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].stage, Stage::Analysis);
+        assert_eq!(spans[0].tag, 7);
+        assert!(recorder.spans_for(outer.id).is_empty());
+    }
+
+    #[test]
+    fn record_since_measures_forward_from_start() {
+        let recorder = Arc::new(SpanRecorder::with_capacity(8));
+        let t = trace_on(&recorder);
+        let _g = install(t.clone());
+        let start = Instant::now();
+        std::thread::sleep(Duration::from_micros(500));
+        record_since(Stage::Queue, 1, start);
+        let spans = recorder.spans_for(t.id);
+        assert_eq!(spans.len(), 1);
+        assert!(spans[0].duration_ns() >= 500_000);
+    }
+
+    #[test]
+    fn task_slot_parks_context_between_enters() {
+        let recorder = Arc::new(SpanRecorder::with_capacity(8));
+        let task_trace = trace_on(&recorder);
+        let slot = TaskSlot::new();
+        // Poll 1: the task installs a context and "yields" while holding
+        // none of our guards — the slot parks it.
+        {
+            let _poll = slot.enter();
+            assert!(current().is_none(), "fresh slot starts empty");
+            let g = install(task_trace.clone());
+            std::mem::forget(g); // context intentionally outlives the poll
+        }
+        assert!(
+            current().is_none(),
+            "the task's context does not leak onto the worker thread"
+        );
+        // Poll 2, possibly on another thread: the context is back.
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _poll = slot.enter();
+                assert_eq!(current().unwrap().id, task_trace.id);
+                record(Stage::Service, 0, Instant::now(), Instant::now());
+            });
+        });
+        assert_eq!(recorder.spans_for(task_trace.id).len(), 1);
+    }
+
+    #[test]
+    fn task_slot_preserves_the_worker_threads_own_context() {
+        let recorder = Arc::new(SpanRecorder::with_capacity(8));
+        let worker_trace = trace_on(&recorder);
+        let slot = TaskSlot::capture();
+        let _worker = install(worker_trace.clone());
+        {
+            let _poll = slot.enter();
+            // capture() happened before the worker context existed → empty.
+            assert!(current().is_none());
+        }
+        assert_eq!(
+            current().unwrap().id,
+            worker_trace.id,
+            "worker context restored after the poll"
+        );
+    }
+
+    #[test]
+    fn capture_seeds_the_slot_with_the_spawners_context() {
+        let recorder = Arc::new(SpanRecorder::with_capacity(8));
+        let spawner = trace_on(&recorder);
+        let _g = install(spawner.clone());
+        let slot = TaskSlot::capture();
+        drop(_g);
+        let _poll = slot.enter();
+        assert_eq!(current().unwrap().id, spawner.id);
+    }
+}

@@ -1,0 +1,189 @@
+//! Slow-request exemplars: the K worst end-to-end traces.
+//!
+//! The completion path calls [`Exemplars::offer`] once per finished
+//! request. The common case — a request faster than the current K-th
+//! worst — is rejected by a single relaxed atomic load (the *floor*),
+//! touching no lock. Only genuine tail candidates reach the small mutex,
+//! and even those use `try_lock`: if two tail-latency requests finish in
+//! the same instant, one of them is dropped rather than ever blocking a
+//! worker. Telemetry is best-effort by design; the hot path is not.
+
+use crate::span::{SpanRecord, SpanRecorder, TraceId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One retained slow request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The offending request.
+    pub trace: TraceId,
+    /// Its end-to-end latency in nanoseconds.
+    pub total_ns: u64,
+}
+
+/// A slow request joined with its per-stage breakdown from the span ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowTrace {
+    /// The offending request.
+    pub trace: TraceId,
+    /// Its end-to-end latency in nanoseconds.
+    pub total_ns: u64,
+    /// Every span the ring still holds for it, in claim order. May be
+    /// empty if the ring has since lapped this trace's slots.
+    pub stages: Vec<SpanRecord>,
+}
+
+/// Retains the K worst end-to-end traces seen so far.
+#[derive(Debug)]
+pub struct Exemplars {
+    k: usize,
+    /// Fast-reject bound: once the list is full, the smallest retained
+    /// `total_ns`. Offers at or below it cannot change the list.
+    floor: AtomicU64,
+    worst: Mutex<Vec<Exemplar>>,
+}
+
+/// Default number of retained slow requests.
+pub const DEFAULT_EXEMPLARS: usize = 8;
+
+impl Default for Exemplars {
+    fn default() -> Self {
+        Self::new(DEFAULT_EXEMPLARS)
+    }
+}
+
+impl Exemplars {
+    /// Retains the `k` worst traces (`k` clamped to at least 1).
+    pub fn new(k: usize) -> Self {
+        let k = k.max(1);
+        Self {
+            k,
+            floor: AtomicU64::new(0),
+            worst: Mutex::new(Vec::with_capacity(k + 1)),
+        }
+    }
+
+    /// How many traces are retained at most.
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
+    /// Offers a finished request. Lock-free rejection for the fast
+    /// majority; `try_lock` (drop on contention) for tail candidates.
+    pub fn offer(&self, trace: TraceId, total_ns: u64) {
+        if total_ns <= self.floor.load(Ordering::Relaxed) {
+            return; // cannot beat the K-th worst: no lock touched
+        }
+        let Ok(mut worst) = self.worst.try_lock() else {
+            return; // contended: telemetry drops, workers never wait
+        };
+        worst.push(Exemplar { trace, total_ns });
+        worst.sort_by_key(|e| std::cmp::Reverse(e.total_ns));
+        worst.truncate(self.k);
+        if worst.len() == self.k {
+            // Publish the new fast-reject bound (only meaningful once
+            // full — before that every offer must take the lock).
+            self.floor
+                .store(worst.last().map_or(0, |e| e.total_ns), Ordering::Relaxed);
+        }
+    }
+
+    /// The retained exemplars, worst first.
+    pub fn snapshot(&self) -> Vec<Exemplar> {
+        self.worst.lock().map(|w| w.clone()).unwrap_or_default()
+    }
+
+    /// The retained exemplars joined with their stage breakdowns from
+    /// `recorder`, worst first.
+    pub fn report(&self, recorder: &SpanRecorder) -> Vec<SlowTrace> {
+        self.snapshot()
+            .into_iter()
+            .map(|e| SlowTrace {
+                trace: e.trace,
+                total_ns: e.total_ns,
+                stages: recorder.spans_for(e.trace),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Stage;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn retains_the_k_worst_in_order() {
+        let ex = Exemplars::new(3);
+        let traces: Vec<TraceId> = (0..6).map(|_| TraceId::mint()).collect();
+        for (i, &t) in traces.iter().enumerate() {
+            ex.offer(t, [50, 900, 10, 700, 800, 20][i]);
+        }
+        let snap = ex.snapshot();
+        assert_eq!(
+            snap.iter().map(|e| e.total_ns).collect::<Vec<_>>(),
+            vec![900, 800, 700]
+        );
+        assert_eq!(snap[0].trace, traces[1]);
+    }
+
+    #[test]
+    fn floor_rejects_only_once_full() {
+        let ex = Exemplars::new(2);
+        let t = TraceId::mint();
+        ex.offer(t, 0);
+        // total_ns == 0 never beats the initial floor of 0 — but the list
+        // is not full, so the floor stays 0 and a 1 ns offer still lands.
+        assert!(ex.snapshot().is_empty());
+        ex.offer(t, 1);
+        ex.offer(t, 2);
+        assert_eq!(ex.snapshot().len(), 2);
+        // Now full with {2, 1}: a 1 ns offer is floor-rejected.
+        ex.offer(TraceId::mint(), 1);
+        assert_eq!(
+            ex.snapshot().iter().map(|e| e.total_ns).collect::<Vec<_>>(),
+            vec![2, 1]
+        );
+        // A 3 ns offer displaces the 1 and raises the floor to 2.
+        ex.offer(TraceId::mint(), 3);
+        assert_eq!(
+            ex.snapshot().iter().map(|e| e.total_ns).collect::<Vec<_>>(),
+            vec![3, 2]
+        );
+    }
+
+    #[test]
+    fn k_clamps_to_one() {
+        let ex = Exemplars::new(0);
+        assert_eq!(ex.capacity(), 1);
+        ex.offer(TraceId::mint(), 5);
+        ex.offer(TraceId::mint(), 9);
+        ex.offer(TraceId::mint(), 7);
+        let snap = ex.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].total_ns, 9);
+    }
+
+    #[test]
+    fn report_joins_stage_breakdowns() {
+        let recorder = SpanRecorder::with_capacity(16);
+        let ex = Exemplars::new(2);
+        let t = TraceId::mint();
+        let now = Instant::now();
+        recorder.record(t, Stage::Queue, 0, now, now + Duration::from_micros(40));
+        recorder.record(t, Stage::Service, 0, now, now + Duration::from_micros(60));
+        ex.offer(t, 100_000);
+        let report = ex.report(&recorder);
+        assert_eq!(report.len(), 1);
+        assert_eq!(report[0].trace, t);
+        assert_eq!(report[0].stages.len(), 2);
+        assert_eq!(report[0].stages[1].stage, Stage::Service);
+        // A lapped trace still reports, with an empty breakdown.
+        let gone = TraceId::mint();
+        ex.offer(gone, 200_000);
+        let report = ex.report(&recorder);
+        assert_eq!(report[0].trace, gone);
+        assert!(report[0].stages.is_empty());
+    }
+}

@@ -1,0 +1,164 @@
+//! Exposition formats: Prometheus-style `name value` text and a
+//! JSON-lines span dump.
+//!
+//! # Text grammar
+//!
+//! ```text
+//! exposition := line*
+//! line       := name ' ' value '\n'
+//! name       := segment ('.' segment)*
+//! segment    := [a-z0-9_]+
+//! value      := non-negative decimal integer or finite float
+//! ```
+//!
+//! Histograms expand into derived scalar lines (`.count`, `.mean_us`,
+//! `.p50_us`, `.p99_us`, `.max_us`) so the whole exposition stays in the
+//! one-line-one-number grammar that line-oriented tooling (and the CI
+//! golden check) can parse without a schema. [`parse_text_exposition`] is
+//! that parser — exported so tests and CI validate real output against
+//! the real grammar instead of a drifting copy.
+
+use crate::registry::{MetricValue, RegistrySnapshot};
+use crate::span::SpanRecord;
+use std::fmt::Write as _;
+
+/// Renders a registry snapshot as line-oriented `name value` text,
+/// name-sorted, histograms expanded into derived scalar lines.
+pub fn text_exposition(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in snapshot.iter() {
+        match value {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "{name} {v}");
+            }
+            MetricValue::Histogram(h) => {
+                let _ = writeln!(out, "{name}.count {}", h.count);
+                let _ = writeln!(out, "{name}.max_us {}", h.max_us);
+                let _ = writeln!(out, "{name}.mean_us {:.1}", h.mean_us());
+                let _ = writeln!(out, "{name}.p50_us {}", h.percentile_us(0.50));
+                let _ = writeln!(out, "{name}.p99_us {}", h.percentile_us(0.99));
+            }
+        }
+    }
+    out
+}
+
+/// Parses text produced by [`text_exposition`], returning the `(name,
+/// value)` pairs or a description of the first grammar violation.
+pub fn parse_text_exposition(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(' ')
+            .ok_or_else(|| format!("line {lineno}: no space separator in {line:?}"))?;
+        if name.is_empty()
+            || name.split('.').any(|seg| {
+                seg.is_empty()
+                    || !seg
+                        .bytes()
+                        .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+            })
+        {
+            return Err(format!("line {lineno}: malformed name {name:?}"));
+        }
+        if value.contains(' ') {
+            return Err(format!("line {lineno}: more than one value in {line:?}"));
+        }
+        let parsed: f64 = value
+            .parse()
+            .map_err(|_| format!("line {lineno}: unparseable value {value:?}"))?;
+        if !parsed.is_finite() || parsed < 0.0 {
+            return Err(format!("line {lineno}: value out of range {value:?}"));
+        }
+        out.push((name.to_string(), parsed));
+    }
+    Ok(out)
+}
+
+/// Renders spans as JSON lines, one object per span, in input order.
+///
+/// Every value is a number or a fixed snake_case stage name, so the
+/// encoder needs no escaping machinery (and no serde).
+pub fn spans_json_lines(spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for span in spans {
+        let _ = writeln!(
+            out,
+            "{{\"trace\":{},\"stage\":\"{}\",\"tag\":{},\"start_ns\":{},\"end_ns\":{},\"duration_ns\":{}}}",
+            span.trace.get(),
+            span.stage.name(),
+            span.tag,
+            span.start_ns,
+            span.end_ns,
+            span.duration_ns(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use crate::span::{SpanRecorder, Stage, TraceId};
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn exposition_round_trips_through_its_own_parser() {
+        let reg = Registry::new();
+        reg.counter("gateway.accepted").add(17);
+        reg.gauge("gateway.queue_high_water").set(4);
+        reg.histogram("gateway.queue_wait")
+            .record(Duration::from_micros(300));
+        let mut snap = reg.snapshot();
+        snap.set_counter("cache.hits", 2);
+        let text = text_exposition(&snap);
+        let parsed = parse_text_exposition(&text).expect("own output parses");
+        let get = |n: &str| parsed.iter().find(|(name, _)| name == n).map(|&(_, v)| v);
+        assert_eq!(get("gateway.accepted"), Some(17.0));
+        assert_eq!(get("gateway.queue_high_water"), Some(4.0));
+        assert_eq!(get("cache.hits"), Some(2.0));
+        assert_eq!(get("gateway.queue_wait.count"), Some(1.0));
+        assert_eq!(get("gateway.queue_wait.p99_us"), Some(512.0));
+        assert!(get("gateway.queue_wait.mean_us").is_some());
+    }
+
+    #[test]
+    fn parser_rejects_grammar_violations() {
+        assert!(parse_text_exposition("no_value_here\n").is_err());
+        assert!(parse_text_exposition("Upper.case 1\n").is_err());
+        assert!(parse_text_exposition("tra iling 1 2\n").is_err());
+        assert!(parse_text_exposition("dots..empty 1\n").is_err());
+        assert!(parse_text_exposition(".leading 1\n").is_err());
+        assert!(parse_text_exposition("nan_value NaN\n").is_err());
+        assert!(parse_text_exposition("negative -1\n").is_err());
+        assert!(parse_text_exposition("word one\n").is_err());
+        assert!(parse_text_exposition("").unwrap().is_empty());
+        assert_eq!(
+            parse_text_exposition("a.b_2.c 3.5\n").unwrap(),
+            vec![("a.b_2.c".to_string(), 3.5)]
+        );
+    }
+
+    #[test]
+    fn span_dump_is_one_json_object_per_line() {
+        let r = SpanRecorder::with_capacity(4);
+        let t = TraceId::mint();
+        let now = Instant::now();
+        r.record(t, Stage::WalAppend, 5, now, now + Duration::from_micros(80));
+        r.record(t, Stage::Analysis, 0, now, now + Duration::from_micros(20));
+        let dump = spans_json_lines(&r.snapshot());
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with('{') && lines[0].ends_with('}'));
+        assert!(lines[0].contains("\"stage\":\"wal_append\""));
+        assert!(lines[0].contains("\"tag\":5"));
+        assert!(lines[0].contains("\"duration_ns\":80000"));
+        assert!(lines[1].contains("\"stage\":\"analysis\""));
+        assert!(lines[1].contains(&format!("\"trace\":{}", t.get())));
+    }
+}

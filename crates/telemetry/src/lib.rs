@@ -1,0 +1,36 @@
+//! # medsen-telemetry
+//!
+//! Request-scoped tracing and a unified metrics registry for the MedSen
+//! serving stack, built on std alone (no vendored stubs, no external
+//! crates — this crate sits at the bottom of the dependency graph so
+//! every layer can instrument itself).
+//!
+//! Three pieces, deliberately decoupled:
+//!
+//! - **Spans** ([`span`], [`context`]): a [`TraceId`] minted per admitted
+//!   request, propagated via thread-local context (and a [`TaskSlot`] for
+//!   async tasks), recorded per [`Stage`] into the lock-free
+//!   [`SpanRecorder`] ring. The recording path is wait-free and
+//!   allocation-free — see the module docs for the seqlock protocol.
+//! - **Metrics** ([`metrics`], [`registry`]): [`Counter`]/[`Gauge`]/
+//!   [`LatencyHistogram`] instruments registered under stable dotted
+//!   names in a [`Registry`]; hot-path mutation is one relaxed atomic.
+//! - **Exposition** ([`export`], [`exemplar`]): line-oriented
+//!   `name value` text, a JSON-lines span dump, and the K worst
+//!   end-to-end traces with per-stage breakdowns ([`Exemplars`]).
+
+#![forbid(unsafe_code)]
+
+pub mod context;
+pub mod exemplar;
+pub mod export;
+pub mod metrics;
+pub mod registry;
+pub mod span;
+
+pub use context::{current, install, record, record_since, ActiveTrace, ContextGuard, TaskSlot};
+pub use exemplar::{Exemplar, Exemplars, SlowTrace, DEFAULT_EXEMPLARS};
+pub use export::{parse_text_exposition, spans_json_lines, text_exposition};
+pub use metrics::{Counter, Gauge, LatencyHistogram, LatencySnapshot};
+pub use registry::{MetricValue, Registry, RegistrySnapshot};
+pub use span::{SpanRecord, SpanRecorder, Stage, TraceId, DEFAULT_RING_CAPACITY, STAGES};

@@ -1,0 +1,351 @@
+//! Wait-free instruments: counters, gauges, and latency histograms.
+//!
+//! Every mutation is a single relaxed atomic RMW — the counters are
+//! independent monotone tallies with no cross-counter invariant, so
+//! stronger orderings would buy nothing. Readers take point-in-time
+//! snapshots after quiescing (tests, exposition) or accept the usual
+//! snapshot skew (live dashboards).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-writer-wins level with a monotone high-water helper.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the level.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the level to `v` if larger (high-water mark semantics).
+    pub fn record_max(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of power-of-two latency buckets: 1 µs up to ~1.1 hours.
+const BUCKETS: usize = 32;
+
+/// A histogram of durations in power-of-two microsecond buckets.
+///
+/// Bucket `i` counts samples with `duration_us < 2^i` (that were not
+/// already counted by a smaller bucket); the last bucket absorbs overflow.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    total_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one wall-clock duration.
+    pub fn record(&self, duration: Duration) {
+        self.record_us(duration.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one simulated duration expressed in seconds.
+    pub fn record_seconds(&self, seconds: f64) {
+        let us = if seconds.is_finite() && seconds > 0.0 {
+            (seconds * 1e6).min(u64::MAX as f64) as u64
+        } else {
+            0
+        };
+        self.record_us(us);
+    }
+
+    /// Records one duration expressed in whole microseconds.
+    pub fn record_us(&self, us: u64) {
+        let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the histogram.
+    ///
+    /// Concurrent recorders may land between the field loads, so a live
+    /// snapshot can be mid-update (e.g. a bucket bumped but `count` not
+    /// yet); every field is still a value some prefix of the record calls
+    /// produced, and a quiesced snapshot is exact.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            total_us: self.total_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`LatencyHistogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    buckets: [u64; BUCKETS],
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples, in microseconds.
+    pub total_us: u64,
+    /// Largest sample, in microseconds.
+    pub max_us: u64,
+}
+
+impl LatencySnapshot {
+    /// Mean sample in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_us as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound (µs) of the bucket containing the `p`-th percentile
+    /// (`0.0..=1.0`); 0 when empty. Resolution is the bucket width, which
+    /// is all queue-tuning needs.
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+
+    /// Non-empty `(bucket_upper_bound_us, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (1u64 << i, n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.incr();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        g.set(7);
+        g.record_max(3);
+        assert_eq!(g.get(), 7, "record_max never lowers the level");
+        g.record_max(11);
+        assert_eq!(g.get(), 11);
+        g.set(2);
+        assert_eq!(g.get(), 2, "set overwrites unconditionally");
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let h = LatencyHistogram::new();
+        for us in [1u64, 2, 3, 100, 1000, 1_000_000] {
+            h.record(Duration::from_micros(us));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.max_us, 1_000_000);
+        assert_eq!(s.total_us, 1 + 2 + 3 + 100 + 1000 + 1_000_000);
+        // p50 of 6 samples is the 3rd smallest (3 µs → bucket ≤ 4 µs).
+        assert_eq!(s.percentile_us(0.5), 4);
+        assert!(s.percentile_us(1.0) >= 1_000_000);
+        assert!(!s.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn simulated_seconds_are_recorded_as_microseconds() {
+        let h = LatencyHistogram::new();
+        h.record_seconds(0.05);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.total_us, 50_000);
+    }
+
+    #[test]
+    fn empty_histogram_percentiles_are_zero_everywhere() {
+        let s = LatencyHistogram::new().snapshot();
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(s.percentile_us(p), 0, "p={p}");
+        }
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max_us, 0);
+        assert_eq!(s.mean_us(), 0.0);
+        assert!(s.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range_p() {
+        let h = LatencyHistogram::new();
+        for us in [1u64, 10, 100] {
+            h.record(Duration::from_micros(us));
+        }
+        let s = h.snapshot();
+        // p ≤ 0 clamps to 0.0, whose rank still floors at the 1st sample.
+        assert_eq!(s.percentile_us(0.0), s.percentile_us(-3.0));
+        assert_eq!(s.percentile_us(0.0), 2, "1 µs lands in the ≤2 µs bucket");
+        // p ≥ 1 clamps to 1.0: the bucket holding the maximum sample.
+        assert_eq!(s.percentile_us(1.0), s.percentile_us(42.0));
+        assert_eq!(s.percentile_us(1.0), 128, "100 µs lands in ≤128 µs");
+        // NaN degenerates to rank 1 (the clamp's floor), never a panic.
+        assert_eq!(s.percentile_us(f64::NAN), 2);
+    }
+
+    #[test]
+    fn nonpositive_and_nonfinite_seconds_record_as_zero() {
+        let h = LatencyHistogram::new();
+        h.record_seconds(-1.0);
+        h.record_seconds(f64::NAN);
+        h.record_seconds(f64::INFINITY);
+        let s = h.snapshot();
+        // None of them is a finite positive duration, so all clamp to 0
+        // instead of wrapping or poisoning the totals.
+        assert_eq!(s.count, 3);
+        assert_eq!(s.max_us, 0);
+        assert_eq!(s.total_us, 0);
+        assert_eq!(s.buckets[0], 3, "all three clamp to the 0 bucket");
+    }
+
+    #[test]
+    fn saturated_top_bucket_percentiles_pin_to_the_overflow_bound() {
+        let h = LatencyHistogram::new();
+        // u64::MAX µs has 0 leading zeros → bucket index 64, clamped into
+        // the final overflow bucket. Pile every sample there.
+        for _ in 0..100 {
+            h.record_us(u64::MAX);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max_us, u64::MAX);
+        let top = 1u64 << (BUCKETS - 1);
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(
+                s.percentile_us(p),
+                top,
+                "every rank resolves to the overflow bucket's bound at p={p}"
+            );
+        }
+        assert_eq!(s.nonzero_buckets(), vec![(top, 100)]);
+        // The bound understates the true samples — that is the documented
+        // contract: resolution is the bucket width, and the top bucket
+        // absorbs everything past ~36 minutes.
+        assert!(s.percentile_us(1.0) < s.max_us);
+    }
+
+    #[test]
+    fn sub_microsecond_records_land_in_the_zero_bucket() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(1));
+        h.record(Duration::from_nanos(999));
+        h.record(Duration::from_nanos(0));
+        let s = h.snapshot();
+        // All three truncate to 0 µs: bucket 0, upper bound 1 µs.
+        assert_eq!(s.count, 3);
+        assert_eq!(s.total_us, 0);
+        assert_eq!(s.max_us, 0);
+        assert_eq!(s.nonzero_buckets(), vec![(1, 3)]);
+        assert_eq!(s.percentile_us(0.5), 1);
+        assert_eq!(s.percentile_us(1.0), 1);
+    }
+
+    #[test]
+    fn concurrent_record_vs_snapshot_hammer() {
+        use std::sync::Arc;
+        let h = Arc::new(LatencyHistogram::new());
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 5_000;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let h = Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        h.record_us(t * 1_000 + i);
+                    }
+                });
+            }
+            // Reader hammers snapshots mid-flight: every intermediate copy
+            // must stay internally bounded and never panic.
+            let h = Arc::clone(&h);
+            scope.spawn(move || {
+                for _ in 0..2_000 {
+                    let s = h.snapshot();
+                    assert!(s.count <= THREADS * PER_THREAD);
+                    let bucket_sum: u64 = s.nonzero_buckets().iter().map(|&(_, n)| n).sum();
+                    assert!(bucket_sum <= THREADS * PER_THREAD);
+                    let _ = s.percentile_us(0.99);
+                    let _ = s.mean_us();
+                }
+            });
+        });
+        // Quiesced: the final snapshot is exact.
+        let s = h.snapshot();
+        assert_eq!(s.count, THREADS * PER_THREAD);
+        let bucket_sum: u64 = s.nonzero_buckets().iter().map(|&(_, n)| n).sum();
+        assert_eq!(bucket_sum, THREADS * PER_THREAD);
+        let expected_total: u64 = (0..THREADS)
+            .map(|t| (0..PER_THREAD).map(|i| t * 1_000 + i).sum::<u64>())
+            .sum();
+        assert_eq!(s.total_us, expected_total);
+        assert_eq!(s.max_us, (THREADS - 1) * 1_000 + PER_THREAD - 1);
+    }
+}

@@ -1,0 +1,250 @@
+//! A unified metrics registry keyed by stable dotted names.
+//!
+//! Layers register instruments once, at wiring time (`gateway.accepted`,
+//! `cloud.shard.contention`, `wal.fsyncs`, …), hold the returned `Arc`
+//! handle, and mutate it lock-free on the hot path — the registry's mutex
+//! guards only registration and snapshotting, never a record. Snapshots
+//! can additionally be overlaid with values owned by subsystems that keep
+//! their own counters (shard stats, WAL stats), so one exposition covers
+//! the whole stack.
+//!
+//! # Name schema
+//!
+//! `<layer>.<subject>[.<index>][.<aspect>]`, lowercase `[a-z0-9_]`
+//! segments joined by dots: `gateway.queue_wait`, `gateway.lane.3.routed`,
+//! `cloud.shard.0.contention`, `wal.bytes_written`, `cache.hits`.
+//! Histograms expose derived `.count`/`.mean_us`/`.p50_us`/`.p99_us`/
+//! `.max_us` lines in the text exposition.
+
+use crate::metrics::{Counter, Gauge, LatencyHistogram, LatencySnapshot};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// A registered instrument handle.
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<LatencyHistogram>),
+}
+
+/// One instrument's value in a [`RegistrySnapshot`].
+///
+/// The histogram variant is ~280 B against the scalars' 8 B; snapshots
+/// are cold-path value types built once per exposition, so the per-entry
+/// footprint is preferred over boxing every histogram read.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)]
+pub enum MetricValue {
+    /// A monotone counter's value.
+    Counter(u64),
+    /// A gauge's level.
+    Gauge(u64),
+    /// A histogram's full distribution.
+    Histogram(LatencySnapshot),
+}
+
+/// The unified, name-keyed instrument registry.
+#[derive(Debug, Default)]
+pub struct Registry {
+    instruments: Mutex<BTreeMap<String, Instrument>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter registered under `name`, created on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind —
+    /// that is a wiring bug, not a runtime condition.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.instruments.lock().expect("registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Counter(Arc::new(Counter::new())))
+        {
+            Instrument::Counter(c) => Arc::clone(c),
+            other => panic!("telemetry name {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// The gauge registered under `name`, created on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.instruments.lock().expect("registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Gauge(Arc::new(Gauge::new())))
+        {
+            Instrument::Gauge(g) => Arc::clone(g),
+            other => panic!("telemetry name {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// The histogram registered under `name`, created on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind.
+    pub fn histogram(&self, name: &str) -> Arc<LatencyHistogram> {
+        let mut map = self.instruments.lock().expect("registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Histogram(Arc::new(LatencyHistogram::new())))
+        {
+            Instrument::Histogram(h) => Arc::clone(h),
+            other => panic!("telemetry name {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.instruments
+            .lock()
+            .expect("registry poisoned")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// A point-in-time copy of every registered instrument.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let map = self.instruments.lock().expect("registry poisoned");
+        RegistrySnapshot {
+            values: map
+                .iter()
+                .map(|(name, inst)| {
+                    let value = match inst {
+                        Instrument::Counter(c) => MetricValue::Counter(c.get()),
+                        Instrument::Gauge(g) => MetricValue::Gauge(g.get()),
+                        Instrument::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                    };
+                    (name.clone(), value)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// An immutable name → value copy of a [`Registry`], plus any overlaid
+/// subsystem-owned values.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    values: BTreeMap<String, MetricValue>,
+}
+
+impl RegistrySnapshot {
+    /// An empty snapshot (useful as an overlay base).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overlays a counter value owned outside the registry (shard stats,
+    /// WAL stats, cache stats), replacing any prior value under `name`.
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        self.values
+            .insert(name.to_string(), MetricValue::Counter(value));
+    }
+
+    /// Overlays a gauge value owned outside the registry.
+    pub fn set_gauge(&mut self, name: &str, value: u64) {
+        self.values
+            .insert(name.to_string(), MetricValue::Gauge(value));
+    }
+
+    /// The value under `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.values.get(name)
+    }
+
+    /// The counter or gauge value under `name`, if it is scalar.
+    pub fn scalar(&self, name: &str) -> Option<u64> {
+        match self.values.get(name)? {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => Some(*v),
+            MetricValue::Histogram(_) => None,
+        }
+    }
+
+    /// All `(name, value)` pairs, name-sorted.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.values.iter().map(|(n, v)| (n.as_str(), v))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the snapshot holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn get_or_create_returns_the_same_instrument() {
+        let reg = Registry::new();
+        let a = reg.counter("gateway.accepted");
+        let b = reg.counter("gateway.accepted");
+        a.incr();
+        b.add(2);
+        assert_eq!(a.get(), 3, "both handles hit one underlying counter");
+        assert_eq!(reg.names(), vec!["gateway.accepted"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        let _ = reg.counter("x.y");
+        let _ = reg.histogram("x.y");
+    }
+
+    #[test]
+    fn snapshot_copies_all_kinds_and_overlays_merge() {
+        let reg = Registry::new();
+        reg.counter("gateway.accepted").add(5);
+        reg.gauge("gateway.queue_high_water").record_max(9);
+        reg.histogram("gateway.queue_wait")
+            .record(Duration::from_micros(100));
+        let mut snap = reg.snapshot();
+        assert_eq!(snap.scalar("gateway.accepted"), Some(5));
+        assert_eq!(snap.scalar("gateway.queue_high_water"), Some(9));
+        assert!(matches!(
+            snap.get("gateway.queue_wait"),
+            Some(MetricValue::Histogram(h)) if h.count == 1
+        ));
+        assert_eq!(
+            snap.scalar("gateway.queue_wait"),
+            None,
+            "histograms are not scalar"
+        );
+        // Overlay subsystem-owned values.
+        snap.set_counter("wal.fsyncs", 12);
+        snap.set_gauge("gateway.drained", 1);
+        assert_eq!(snap.scalar("wal.fsyncs"), Some(12));
+        assert_eq!(snap.len(), 5);
+        // Name-sorted iteration.
+        let names: Vec<&str> = snap.iter().map(|(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn empty_snapshot_is_empty() {
+        let snap = Registry::new().snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(snap.get("missing"), None);
+    }
+}

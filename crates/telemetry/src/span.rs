@@ -1,0 +1,409 @@
+//! Request-scoped spans recorded into a fixed-capacity lock-free ring.
+//!
+//! A [`TraceId`] is minted once per admitted request at the gateway and
+//! rides along as the request crosses layers (queue lane → worker task →
+//! cloud shard → WAL → DSP). Each layer records a [`Stage`] span —
+//! `(trace, stage, tag, start, end)` — into the shared [`SpanRecorder`].
+//!
+//! # Hot-path contract: wait-free, allocation-free
+//!
+//! [`SpanRecorder::record`] is the only operation on the request hot path
+//! and it performs exactly one `fetch_add` (the slot claim) plus six plain
+//! atomic stores into a preallocated slot. No locks, no allocation, no CAS
+//! loops — a writer can neither block nor be blocked. Readers are the ones
+//! who pay: [`SpanRecorder::snapshot`] walks the ring and discards slots a
+//! concurrent writer tore, seqlock-style.
+//!
+//! # Per-slot seqlock protocol
+//!
+//! Every slot carries a sequence word derived from the *global* claim
+//! index `i` of the writer that owns it:
+//!
+//! - `0` — never written,
+//! - `2·i + 1` (odd) — writer `i` is mid-write,
+//! - `2·i + 2` (even, ≥ 2) — writer `i`'s record is complete.
+//!
+//! Because two writers that ever touch the same slot claimed different
+//! global indices (they are `capacity` apart), their markers never
+//! collide: a reader that sees the same even sequence before and after
+//! copying the payload knows exactly one complete write produced it. A
+//! torn or in-flight slot is simply skipped — spans are telemetry, and
+//! dropping a lapped record is the designed overwrite behaviour of a
+//! bounded ring.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Identifies one end-to-end request across every layer it crosses.
+///
+/// Minted from a process-global counter; `0` is reserved as "no trace"
+/// so a zeroed ring slot can never alias a real record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(u64);
+
+static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
+
+impl TraceId {
+    /// Mints a fresh process-unique id.
+    pub fn mint() -> Self {
+        Self(NEXT_TRACE.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// The raw non-zero id.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds an id from its raw value (`None` for the reserved 0).
+    pub fn from_raw(raw: u64) -> Option<Self> {
+        (raw != 0).then_some(Self(raw))
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}
+
+/// The pipeline stage a span measures, in canonical pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Stage {
+    /// Gateway admission: shed-policy check plus lane enqueue.
+    Admission = 0,
+    /// Time spent parked in a gateway queue lane.
+    Queue = 1,
+    /// Worker service: decode + cloud round trip, end to end.
+    Service = 2,
+    /// Cloud shard lock: acquire through release of the write guard.
+    ShardLock = 3,
+    /// One WAL append (frame encode + write, including any fsync).
+    WalAppend = 4,
+    /// The fsync portion of a group commit, when this append paid it.
+    WalFsync = 5,
+    /// DSP analysis of the uploaded trace (cache misses only).
+    Analysis = 6,
+}
+
+/// Every stage, in pipeline order.
+pub const STAGES: [Stage; 7] = [
+    Stage::Admission,
+    Stage::Queue,
+    Stage::Service,
+    Stage::ShardLock,
+    Stage::WalAppend,
+    Stage::WalFsync,
+    Stage::Analysis,
+];
+
+impl Stage {
+    /// Stable snake_case name used in JSON dumps and pretty-printing.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Admission => "admission",
+            Stage::Queue => "queue",
+            Stage::Service => "service",
+            Stage::ShardLock => "shard_lock",
+            Stage::WalAppend => "wal_append",
+            Stage::WalFsync => "wal_fsync",
+            Stage::Analysis => "analysis",
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        STAGES.into_iter().find(|s| *s as u8 == v)
+    }
+}
+
+/// One completed span copied out of the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The request this span belongs to.
+    pub trace: TraceId,
+    /// Which pipeline stage it measures.
+    pub stage: Stage,
+    /// Stage-specific tag: lane or shard index, 0 when meaningless.
+    pub tag: u32,
+    /// Start, in nanoseconds since the recorder's epoch.
+    pub start_ns: u64,
+    /// End, in nanoseconds since the recorder's epoch (≥ `start_ns`).
+    pub end_ns: u64,
+}
+
+impl SpanRecord {
+    /// Span duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// One preallocated ring slot. Every field is an atomic so concurrent
+/// writer/reader races read stale or torn *values*, never undefined
+/// behaviour; the sequence word decides whether the copy is coherent.
+#[derive(Debug)]
+struct Slot {
+    seq: AtomicU64,
+    trace: AtomicU64,
+    stage_tag: AtomicU64, // stage in the low 8 bits, tag in the high 32
+    start_ns: AtomicU64,
+    end_ns: AtomicU64,
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Self {
+            seq: AtomicU64::new(0),
+            trace: AtomicU64::new(0),
+            stage_tag: AtomicU64::new(0),
+            start_ns: AtomicU64::new(0),
+            end_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Default ring capacity: 4096 spans ≈ 585 complete 7-stage requests,
+/// comfortably more than a full fleet run of in-flight work between
+/// snapshot reads, at 40 B/slot ≈ 160 KiB resident.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// A fixed-capacity lock-free multi-writer span ring.
+#[derive(Debug)]
+pub struct SpanRecorder {
+    slots: Box<[Slot]>,
+    mask: u64,
+    head: AtomicU64,
+    epoch: Instant,
+}
+
+impl Default for SpanRecorder {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+}
+
+impl SpanRecorder {
+    /// A ring holding `capacity` spans (rounded up to a power of two,
+    /// minimum 2) before the oldest are overwritten.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(2).next_power_of_two();
+        Self {
+            slots: (0..capacity).map(|_| Slot::empty()).collect(),
+            mask: capacity as u64 - 1,
+            head: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Slots in the ring.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total spans ever claimed (recorded minus none — claims never fail).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// The instant all span timestamps are measured from.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Nanoseconds from the recorder epoch to `t` (0 if `t` predates it).
+    pub fn nanos_at(&self, t: Instant) -> u64 {
+        t.saturating_duration_since(self.epoch)
+            .as_nanos()
+            .min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Records one completed span. Wait-free: one `fetch_add` plus plain
+    /// atomic stores into a preallocated slot — no lock, no allocation,
+    /// no retry loop. Safe to call from any thread or task.
+    pub fn record(&self, trace: TraceId, stage: Stage, tag: u32, start: Instant, end: Instant) {
+        let start_ns = self.nanos_at(start);
+        let end_ns = self.nanos_at(end).max(start_ns);
+        let idx = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(idx & self.mask) as usize];
+        // Claim: odd marker tells readers the payload is in flux. Release
+        // so the marker is visible before any payload store lands.
+        slot.seq.store(2 * idx + 1, Ordering::Release);
+        slot.trace.store(trace.get(), Ordering::Relaxed);
+        slot.stage_tag.store(
+            u64::from(stage as u8) | (u64::from(tag) << 32),
+            Ordering::Relaxed,
+        );
+        slot.start_ns.store(start_ns, Ordering::Relaxed);
+        slot.end_ns.store(end_ns, Ordering::Relaxed);
+        // Publish: even marker, Release so payload stores happen-before it.
+        slot.seq.store(2 * idx + 2, Ordering::Release);
+    }
+
+    /// Copies every coherent span out of the ring, oldest claim first.
+    /// Slots mid-write or lapped during the copy are skipped.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        let mut out: Vec<(u64, SpanRecord)> = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            let seq1 = slot.seq.load(Ordering::Acquire);
+            if seq1 == 0 || seq1 % 2 == 1 {
+                continue; // never written, or mid-write
+            }
+            let trace = slot.trace.load(Ordering::Relaxed);
+            let stage_tag = slot.stage_tag.load(Ordering::Relaxed);
+            let start_ns = slot.start_ns.load(Ordering::Relaxed);
+            let end_ns = slot.end_ns.load(Ordering::Relaxed);
+            // Order the payload loads before the confirming sequence load.
+            fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) != seq1 {
+                continue; // lapped mid-copy: discard the torn read
+            }
+            let (Some(trace), Some(stage)) = (
+                TraceId::from_raw(trace),
+                Stage::from_u8((stage_tag & 0xff) as u8),
+            ) else {
+                continue;
+            };
+            out.push((
+                seq1,
+                SpanRecord {
+                    trace,
+                    stage,
+                    tag: (stage_tag >> 32) as u32,
+                    start_ns,
+                    end_ns,
+                },
+            ));
+        }
+        out.sort_by_key(|&(seq, _)| seq);
+        out.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Every retained span for `trace`, in claim order.
+    pub fn spans_for(&self, trace: TraceId) -> Vec<SpanRecord> {
+        self.snapshot()
+            .into_iter()
+            .filter(|r| r.trace == trace)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn trace_ids_are_unique_and_nonzero() {
+        let a = TraceId::mint();
+        let b = TraceId::mint();
+        assert_ne!(a, b);
+        assert_ne!(a.get(), 0);
+        assert_eq!(TraceId::from_raw(0), None);
+        assert_eq!(TraceId::from_raw(a.get()), Some(a));
+    }
+
+    #[test]
+    fn stage_names_round_trip() {
+        for stage in STAGES {
+            assert_eq!(Stage::from_u8(stage as u8), Some(stage));
+            assert!(!stage.name().is_empty());
+        }
+        assert_eq!(Stage::from_u8(200), None);
+    }
+
+    #[test]
+    fn record_and_snapshot_round_trip() {
+        let r = SpanRecorder::with_capacity(16);
+        let t = TraceId::mint();
+        let start = Instant::now();
+        let end = start + Duration::from_micros(250);
+        r.record(t, Stage::Queue, 3, start, end);
+        r.record(t, Stage::Service, 3, end, end + Duration::from_micros(100));
+        let spans = r.spans_for(t);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].stage, Stage::Queue);
+        assert_eq!(spans[0].tag, 3);
+        assert_eq!(spans[0].duration_ns(), 250_000);
+        assert_eq!(spans[1].stage, Stage::Service);
+        assert!(
+            spans[1].start_ns >= spans[0].start_ns,
+            "claim order is time order here"
+        );
+    }
+
+    #[test]
+    fn end_before_start_clamps_to_zero_duration() {
+        let r = SpanRecorder::with_capacity(4);
+        let t = TraceId::mint();
+        let now = Instant::now();
+        r.record(t, Stage::Admission, 0, now + Duration::from_secs(1), now);
+        let spans = r.spans_for(t);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].duration_ns(), 0);
+        assert_eq!(spans[0].end_ns, spans[0].start_ns);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_when_full() {
+        let r = SpanRecorder::with_capacity(4);
+        let now = Instant::now();
+        let traces: Vec<TraceId> = (0..6).map(|_| TraceId::mint()).collect();
+        for &t in &traces {
+            r.record(t, Stage::Admission, 0, now, now);
+        }
+        assert_eq!(r.recorded(), 6);
+        let spans = r.snapshot();
+        assert_eq!(spans.len(), 4, "capacity bounds retention");
+        let kept: Vec<TraceId> = spans.iter().map(|s| s.trace).collect();
+        assert_eq!(kept, traces[2..].to_vec(), "oldest two were lapped");
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(SpanRecorder::with_capacity(5).capacity(), 8);
+        assert_eq!(SpanRecorder::with_capacity(0).capacity(), 2);
+        assert_eq!(SpanRecorder::default().capacity(), DEFAULT_RING_CAPACITY);
+    }
+
+    #[test]
+    fn concurrent_writers_and_reader_never_yield_torn_records() {
+        let r = Arc::new(SpanRecorder::with_capacity(64));
+        let epoch = Instant::now();
+        const WRITERS: u64 = 4;
+        const PER_WRITER: u64 = 10_000;
+        std::thread::scope(|scope| {
+            for w in 0..WRITERS {
+                let r = Arc::clone(&r);
+                scope.spawn(move || {
+                    let t = TraceId::mint();
+                    for i in 0..PER_WRITER {
+                        // Each writer stamps matching start/end so any
+                        // cross-writer mix-up shows as start != end.
+                        let at = epoch + Duration::from_nanos(w * PER_WRITER + i);
+                        r.record(t, Stage::Queue, w as u32, at, at);
+                    }
+                });
+            }
+            let r = Arc::clone(&r);
+            scope.spawn(move || {
+                for _ in 0..500 {
+                    for span in r.snapshot() {
+                        assert_eq!(
+                            span.start_ns, span.end_ns,
+                            "a coherent slot is one writer's record, whole"
+                        );
+                        assert_eq!(span.stage, Stage::Queue);
+                        assert!(span.tag < WRITERS as u32);
+                    }
+                }
+            });
+        });
+        assert_eq!(r.recorded(), WRITERS * PER_WRITER);
+        assert_eq!(
+            r.snapshot().len(),
+            64,
+            "quiesced full ring is fully coherent"
+        );
+    }
+}

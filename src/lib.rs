@@ -14,7 +14,9 @@
 //! * [`runtime`] — hand-rolled async executor, timer wheel, and channels
 //!   multiplexing fleet-scale session counts over a fixed thread pool;
 //! * [`store`] — durable per-shard write-ahead log with group commit,
-//!   snapshots, and crash recovery backing the cloud tier.
+//!   snapshots, and crash recovery backing the cloud tier;
+//! * [`telemetry`] — request-scoped trace spans, the unified metrics
+//!   registry, and text/JSON exposition shared by every serving layer.
 //!
 //! # Quickstart
 //!
@@ -30,4 +32,5 @@ pub use medsen_phone as phone;
 pub use medsen_runtime as runtime;
 pub use medsen_sensor as sensor;
 pub use medsen_store as store;
+pub use medsen_telemetry as telemetry;
 pub use medsen_units as units;
