@@ -1,0 +1,134 @@
+//! Benchmarks the replication tax: enrollments/second through a durable
+//! single node versus a warm-standby pair, where every journal append
+//! synchronously ships its WAL frame to the standby before the write is
+//! acknowledged.
+//!
+//! The sizing question: what does "a primary crash loses zero
+//! acknowledged writes" cost on top of "a crash loses zero flushed
+//! writes"? A second group prices the partition path — lag accrued while
+//! the link is down, drained by a snapshot catch-up — against the same
+//! writes shipped frame-by-frame over a healthy link.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use medsen_cloud::auth::BeadSignature;
+use medsen_cloud::service::{CloudService, Request, Response};
+use medsen_cloud::{FlushPolicy, ReplicatedCloud, StorageConfig};
+use medsen_microfluidics::ParticleKind;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const SHARDS: usize = 4;
+const BATCH: usize = 64;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("medsen-bench-replica-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable(dir: &PathBuf) -> CloudService {
+    CloudService::with_storage_config(
+        StorageConfig::new(dir).flush(FlushPolicy::EveryN(8)),
+        SHARDS,
+    )
+    .expect("storage opens")
+}
+
+fn paired(tag: &str) -> (Arc<ReplicatedCloud>, [PathBuf; 2]) {
+    let dirs = [temp_dir(&format!("{tag}-p")), temp_dir(&format!("{tag}-s"))];
+    let [primary, standby] = dirs.each_ref().map(durable);
+    (primary.with_replication(standby).expect("pair"), dirs)
+}
+
+fn enroll(service: &CloudService, identifier: String) {
+    let response = service.handle_shared(Request::Enroll {
+        identifier,
+        signature: BeadSignature::from_counts(&[(ParticleKind::Bead358, 10)]),
+    });
+    assert_eq!(response, Response::Enrolled);
+}
+
+/// Enroll throughput: durable single node vs the same node paired with a
+/// warm standby (every write ships before it acks).
+fn ship_tax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replica_ship");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function(BenchmarkId::new("enroll_batch64", "single"), |b| {
+        let dir = temp_dir("single");
+        let service = durable(&dir);
+        let mut round = 0u64;
+        b.iter(|| {
+            for i in 0..BATCH {
+                enroll(&service, format!("clinic-user-{round}-{i}"));
+            }
+            round += 1;
+        });
+        drop(service);
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+    group.bench_function(BenchmarkId::new("enroll_batch64", "paired"), |b| {
+        let (pair, dirs) = paired("paired");
+        let mut round = 0u64;
+        b.iter(|| {
+            let serving = pair.serving();
+            for i in 0..BATCH {
+                enroll(&serving, format!("clinic-user-{round}-{i}"));
+            }
+            round += 1;
+        });
+        assert_eq!(pair.status().shipper.lag_bytes, 0, "pair fell behind");
+        drop(pair);
+        for dir in dirs {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    });
+    group.finish();
+}
+
+/// The partition path: each iteration drops the link, writes a batch
+/// (lag grows), heals, and drains the lag with a snapshot catch-up. The
+/// "streamed" baseline writes the same batch over a healthy link, so the
+/// difference prices catch-up against frame-by-frame shipping.
+fn catch_up_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replica_catch_up");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for partitioned in [false, true] {
+        let tag = if partitioned {
+            "partition-snapshot"
+        } else {
+            "streamed"
+        };
+        group.bench_with_input(
+            BenchmarkId::new("batch64", tag),
+            &partitioned,
+            |b, &partitioned| {
+                let (pair, dirs) = paired(tag);
+                let mut round = 0u64;
+                b.iter(|| {
+                    if partitioned {
+                        pair.partition_link();
+                    }
+                    let serving = pair.serving();
+                    for i in 0..BATCH {
+                        enroll(&serving, format!("clinic-user-{round}-{i}"));
+                    }
+                    if partitioned {
+                        pair.heal_link();
+                        pair.catch_up().expect("snapshot transfer");
+                    }
+                    round += 1;
+                });
+                assert_eq!(pair.status().shipper.lag_bytes, 0, "lag not drained");
+                drop(pair);
+                for dir in dirs {
+                    let _ = std::fs::remove_dir_all(&dir);
+                }
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ship_tax, catch_up_cycle);
+criterion_main!(benches);

@@ -359,6 +359,7 @@ pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
             "data-dir",
             "flush",
             "telemetry",
+            "replicas",
         ]
         .contains(&name.as_str())
         {
@@ -388,6 +389,10 @@ pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
         }
     };
     let data_dir = options.get("data-dir").cloned();
+    let replicas = options.contains_key("replicas");
+    if replicas && data_dir.is_none() {
+        return Err("--replicas needs --data-dir (replication pairs two durable services)".into());
+    }
     let flush: medsen_cloud::FlushPolicy = match options.get("flush") {
         Some(value) => {
             if data_dir.is_none() {
@@ -458,24 +463,52 @@ pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
         .collect();
     let classifier = Classifier::train(&[(ParticleKind::Bead358.label(), vectors)])
         .map_err(|e| format!("classifier training failed: {e}"))?;
-    service.install_classifier(classifier);
+    service.install_classifier(classifier.clone());
 
-    let gateway = Gateway::with_telemetry(
-        service,
-        GatewayConfig {
-            queue_capacity: queue,
-            workers,
-            shed_policy: ShedPolicy::Reject {
-                retry_after: Seconds::from_millis(50.0),
-            },
+    let gateway_config = GatewayConfig {
+        queue_capacity: queue,
+        workers,
+        shed_policy: ShedPolicy::Reject {
+            retry_after: Seconds::from_millis(50.0),
         },
-        runtime,
-        if telemetry_mode == TelemetryMode::Off {
-            TelemetryConfig::disabled()
-        } else {
-            TelemetryConfig::default()
-        },
-    );
+    };
+    let telemetry_config = if telemetry_mode == TelemetryMode::Off {
+        TelemetryConfig::disabled()
+    } else {
+        TelemetryConfig::default()
+    };
+    // With --replicas, pair the primary with a warm standby persisting
+    // next to it; the gateway then routes through the pair so a primary
+    // loss would fail the fleet over mid-run.
+    let (gateway, pair) = if replicas {
+        let dir = data_dir.as_deref().expect("checked with --replicas");
+        let standby_dir = format!("{dir}-standby");
+        let mut standby = CloudService::with_storage(&standby_dir, shards, flush)
+            .map_err(|e| format!("standby {standby_dir}: {e}"))?;
+        standby.install_classifier(classifier);
+        let pair = service
+            .with_replication(standby)
+            .map_err(|e| format!("replication pairing failed: {e}"))?;
+        wl(
+            out,
+            format!(
+                "replication: warm standby at {standby_dir}, epoch {}",
+                pair.epoch()
+            ),
+        );
+        let gateway = Gateway::with_replicas(
+            std::sync::Arc::clone(&pair),
+            gateway_config,
+            runtime,
+            telemetry_config,
+        );
+        (gateway, Some(pair))
+    } else {
+        (
+            Gateway::with_telemetry(service, gateway_config, runtime, telemetry_config),
+            None,
+        )
+    };
 
     // Enroll through the gateway itself.
     {
@@ -560,6 +593,19 @@ pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
         // group-commit flush before the process exits.
         gateway.drain();
     }
+    if let Some(pair) = &pair {
+        let status = pair.status();
+        wl(out, format!(
+            "replication: epoch {} | shipped {} frames ({} B) | acked {} B | lag {} B | snapshots {} | standby applied {}",
+            status.epoch,
+            status.shipper.shipped_frames,
+            status.shipper.shipped_bytes,
+            status.shipper.acked_bytes,
+            status.shipper.lag_bytes,
+            status.shipper.snapshots_shipped,
+            status.standby.applied_frames,
+        ));
+    }
     match telemetry_mode {
         TelemetryMode::Off => {}
         TelemetryMode::Text => {
@@ -574,6 +620,144 @@ pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
     wl(out, format!("{metrics}"));
     if metrics.lost() != 0 {
         return Err(format!("{} accepted requests were lost", metrics.lost()));
+    }
+    Ok(())
+}
+
+/// `replica-status`: spin up a demo replicated pair, push a small write
+/// workload through it, and print the shipping/lag/epoch status an
+/// operator would watch — optionally crashing the primary mid-run
+/// (`--kill`) to show the fenced failover.
+pub fn replica_status(args: &[String], out: Out) -> Result<(), String> {
+    use medsen_cloud::service::{CloudService, Request, Response};
+    use medsen_cloud::{BeadSignature, ReplicaStatus, StorageConfig};
+
+    let (positional, options) = split_options(args)?;
+    if !positional.is_empty() {
+        return Err(format!("unexpected argument `{}`", positional[0]));
+    }
+    for name in options.keys() {
+        if !["shards", "writes", "kill"].contains(&name.as_str()) {
+            return Err(format!("unknown option --{name}"));
+        }
+    }
+    let shards: usize = parse(&options, "shards", 4)?;
+    let writes: usize = parse(&options, "writes", 12)?;
+    let kill = options.contains_key("kill");
+    if !(1..=64).contains(&shards) {
+        return Err("--shards must be in 1..=64".into());
+    }
+    if !(1..=10_000).contains(&writes) {
+        return Err("--writes must be in 1..=10000".into());
+    }
+
+    fn print_status(out: Out, status: &ReplicaStatus) {
+        wl(
+            out,
+            format!(
+                "  epoch {} | promoted {} | primary {} | link {}",
+                status.epoch,
+                if status.promoted { "yes" } else { "no" },
+                if status.primary_down { "down" } else { "up" },
+                if status.link_down { "down" } else { "up" },
+            ),
+        );
+        wl(
+            out,
+            format!(
+                "  shipped {} frames ({} B) + {} snapshot(s) | acked {} B | lag {} B | failures {}",
+                status.shipper.shipped_frames,
+                status.shipper.shipped_bytes,
+                status.shipper.snapshots_shipped,
+                status.shipper.acked_bytes,
+                status.shipper.lag_bytes,
+                status.shipper.ship_failures,
+            ),
+        );
+        wl(out, format!(
+            "  standby: applied {} frames ({} B), {} snapshot(s) installed, {} stale ship(s) rejected",
+            status.standby.applied_frames,
+            status.standby.applied_bytes,
+            status.standby.snapshots_installed,
+            status.standby.stale_rejected,
+        ));
+        for lag in &status.shards {
+            wl(
+                out,
+                format!(
+                    "  shard {:>2}: produced {:>6} acked {:>6} {}",
+                    lag.shard,
+                    lag.produced,
+                    lag.acked,
+                    if lag.attached { "attached" } else { "DETACHED" },
+                ),
+            );
+        }
+        wl(
+            out,
+            format!(
+                "  simulated uplink cost: {} µs (LTE model)",
+                status.simulated_transfer_us
+            ),
+        );
+    }
+
+    let base = std::env::temp_dir().join(format!("medsen-replica-status-{}", std::process::id()));
+    let dirs = [
+        base.with_extension("primary"),
+        base.with_extension("standby"),
+    ];
+    for dir in &dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    let [primary, standby] = [&dirs[0], &dirs[1]].map(|dir| {
+        CloudService::with_storage_config(StorageConfig::new(dir), shards)
+            .map_err(|e| format!("{}: {e}", dir.display()))
+    });
+    let pair = primary?
+        .with_replication(standby?)
+        .map_err(|e| format!("pairing failed: {e}"))?;
+
+    wl(
+        out,
+        format!(
+            "replicated pair up: {shards} shard(s), epoch {}",
+            pair.epoch()
+        ),
+    );
+    for i in 0..writes {
+        let serving = pair.serving();
+        let response = serving.handle_shared(Request::Enroll {
+            identifier: format!("patient-{i}"),
+            signature: BeadSignature::from_counts(&[(
+                ParticleKind::Bead358,
+                10 + (i as u64 % 7) * 5,
+            )]),
+        });
+        if response != Response::Enrolled {
+            return Err(format!("write {i} failed: {response:?}"));
+        }
+        if kill && i == writes / 2 {
+            wl(out, format!("-- killing the primary after write {i} --"));
+            pair.kill_primary();
+        }
+    }
+    wl(out, format!("after {writes} write(s):"));
+    print_status(out, &pair.status());
+    if kill {
+        let serving = pair.serving();
+        let enrolled: usize = serving.shard_stats().iter().map(|s| s.enrolled).sum();
+        wl(
+            out,
+            format!(
+                "promoted standby serves epoch {} with {enrolled} enrollment(s); \
+             a resurrected primary's ships are now rejected as stale",
+                pair.epoch()
+            ),
+        );
+    }
+    for dir in &dirs {
+        let _ = std::fs::remove_dir_all(dir);
     }
     Ok(())
 }

@@ -30,13 +30,20 @@ COMMANDS:
     gateway   [--sessions N] [--workers N] [--queue N] [--flaky RATE] [--seed N]
               [--runtime threads|async] [--shards N]
               [--data-dir PATH] [--flush write|every:N|interval:MS]
-              [--telemetry text|json|off]
+              [--telemetry text|json|off] [--replicas]
                                                        serve a clinic fleet concurrently;
                                                        with --data-dir, persist through a
                                                        per-shard WAL and recover on restart;
-                                                       --telemetry dumps the unified metric
-                                                       exposition (text) or the span ring
-                                                       (json) after the fleet drains
+                                                       --replicas pairs the durable service
+                                                       with a warm standby (WAL shipping to
+                                                       <data-dir>-standby) and routes through
+                                                       the pair; --telemetry dumps the unified
+                                                       metric exposition (text) or the span
+                                                       ring (json) after the fleet drains
+    replica-status [--shards N] [--writes N] [--kill]  run a demo replicated pair, print its
+                                                       shipping/lag/epoch status; with --kill,
+                                                       crash the primary mid-run and show the
+                                                       fenced failover
     telemetry [--requests N] [--runtime threads|async] drive a small workload and pretty-print
                                                        the telemetry snapshot (instruments +
                                                        slowest requests with stage breakdowns)
@@ -58,6 +65,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> ExitCode {
         "keylen" => commands::keylen(rest, out),
         "capability" => commands::capability(rest, out),
         "gateway" => commands::gateway(rest, out),
+        "replica-status" => commands::replica_status(rest, out),
         "telemetry" => commands::telemetry(rest, out),
         "help" | "--help" | "-h" => {
             let _ = writeln!(out, "{USAGE}");
@@ -84,7 +92,7 @@ pub(crate) fn split_options(
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if let Some(name) = arg.strip_prefix("--") {
-            if name == "auth" || name == "full" {
+            if name == "auth" || name == "full" || name == "replicas" || name == "kill" {
                 options.insert(name.to_owned(), "true".to_owned());
             } else {
                 let value = it
@@ -142,6 +150,22 @@ mod tests {
         let (code, text) = run_to_string(&["frobnicate"]);
         assert_eq!(code, 1);
         assert!(text.contains("unknown command"));
+    }
+
+    #[test]
+    fn replica_status_reports_a_healthy_pair() {
+        let (code, text) = run_to_string(&["replica-status", "--shards", "2", "--writes", "4"]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("epoch 1 | promoted no"), "{text}");
+        assert!(text.contains("lag 0 B"), "{text}");
+        assert!(text.contains("attached"), "{text}");
+    }
+
+    #[test]
+    fn gateway_replicas_requires_a_data_dir() {
+        let (code, text) = run_to_string(&["gateway", "--replicas"]);
+        assert_eq!(code, 1);
+        assert!(text.contains("--replicas needs --data-dir"), "{text}");
     }
 
     #[test]

@@ -22,6 +22,11 @@
 //!   `medsen-store`: group-commit fsync batching, compaction snapshots,
 //!   and crash recovery that rebuilds the shards from disk
 //!   ([`CloudService::with_storage`]);
+//! * [`replica`] — warm-standby pairing over `medsen-replica`: every
+//!   WAL frame ships to a second full service after the local append,
+//!   snapshot transfers catch up lagging standbys, and an epoch-fenced
+//!   promotion path turns the standby into the serving primary
+//!   ([`ReplicatedCloud`]);
 //! * [`CloudService`] — the deployable request/response façade over the
 //!   JSON wire the phone relays;
 //! * [`adversary`] — the Sec. IV-A attacks: amplitude-signature grouping,
@@ -33,6 +38,7 @@ pub mod api;
 pub mod auth;
 pub mod cache;
 pub mod persist;
+pub mod replica;
 pub mod server;
 pub mod service;
 pub mod shard;
@@ -45,6 +51,7 @@ pub use api::{AnalyzedPeak, PeakReport};
 pub use auth::{AuthDecision, AuthService, BeadSignature};
 pub use cache::{trace_digest, CacheStats, ResponseCache, DEFAULT_CACHE_CAPACITY};
 pub use persist::{StorageConfig, StorageError, WalEntry};
+pub use replica::{ReplicaShardLag, ReplicaStatus, ReplicatedCloud};
 pub use server::AnalysisServer;
 pub use service::{CloudService, Request, Response, DEFAULT_SHARD_COUNT};
 pub use shard::{identity_hash, shard_index, EnrollJournal, ShardStats, ShardedAuth, MAX_SHARDS};

@@ -39,7 +39,7 @@ use medsen_store::{FlushPolicy, Wal, WalError, WalStats};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Frame kind for an enrollment entry.
 const KIND_ENROLL: u8 = 1;
@@ -202,6 +202,49 @@ impl StorageConfig {
     }
 }
 
+/// Hook the replication layer installs on the journal. Called *after*
+/// the local WAL append / snapshot install, inside a per-shard ship
+/// lock, so implementations observe every shard's frames in exact
+/// append order with offsets taken from the same log generation.
+/// Implementations must not call back into the owning service — they
+/// run under its shard locks.
+pub(crate) trait ReplicationHook: Send + Sync {
+    /// A frame spanning `start_offset..end_offset` of `shard`'s current
+    /// log generation was just appended locally.
+    fn frame_appended(
+        &self,
+        shard: u32,
+        kind: u8,
+        payload: &[u8],
+        start_offset: u64,
+        end_offset: u64,
+    );
+    /// `shard`'s snapshot was just installed, resetting its log
+    /// generation (the stream re-bases at offset zero).
+    fn snapshot_installed(&self, shard: u32, blob: &[u8]);
+    /// Whether a higher epoch has deposed this node. A fenced node must
+    /// stop serving (checked at the service's request entry point).
+    fn is_fenced(&self) -> bool;
+}
+
+/// Replication state attached to a [`CloudStore`]: the hook plus one
+/// ship lock per shard. The enroll path (auth shard lock) and the store
+/// path (record shard lock) can append to the *same WAL shard*
+/// concurrently under different locks, so the ship lock is what
+/// guarantees the hook sees frames in append order.
+struct ReplicationState {
+    hook: Arc<dyn ReplicationHook>,
+    ship_locks: Vec<Mutex<()>>,
+}
+
+impl std::fmt::Debug for ReplicationState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicationState")
+            .field("shards", &self.ship_locks.len())
+            .finish()
+    }
+}
+
 /// The cloud tier's handle on its WAL set: implements both journal
 /// traits (so it can be attached to [`ShardedAuth`] and [`RecordStore`])
 /// and tracks per-shard append counts for the compaction trigger.
@@ -209,10 +252,12 @@ impl StorageConfig {
 pub struct CloudStore {
     wal: Wal,
     appends_since_snapshot: Vec<AtomicU64>,
+    replication: OnceLock<ReplicationState>,
 }
 
 impl CloudStore {
-    /// Appends a typed entry to `shard`'s log.
+    /// Appends a typed entry to `shard`'s log, notifying the replication
+    /// hook (if attached) under the shard's ship lock.
     ///
     /// # Panics
     ///
@@ -221,12 +266,84 @@ impl CloudStore {
     fn append(&self, shard: u32, entry: &WalEntry) {
         let json = medsen_phone::to_json(entry)
             .unwrap_or_else(|e| panic!("WAL entry failed to encode: {e}"));
-        self.wal
+        let _ship_guard = self.replication.get().map(|r| {
+            r.ship_locks[shard as usize]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+        });
+        let frame = self
+            .wal
             .append(shard, entry.kind(), json.as_bytes())
             .unwrap_or_else(|e| {
                 panic!("cannot journal to shard {shard}'s WAL (failing stop): {e}")
             });
         self.appends_since_snapshot[shard as usize].fetch_add(1, Ordering::Relaxed);
+        if let Some(rep) = self.replication.get() {
+            let started = std::time::Instant::now();
+            rep.hook.frame_appended(
+                shard,
+                entry.kind(),
+                json.as_bytes(),
+                frame.start_offset,
+                frame.end_offset,
+            );
+            medsen_telemetry::record_since(medsen_telemetry::Stage::Replication, shard, started);
+        }
+    }
+
+    /// Attaches the replication hook. May be called at most once, before
+    /// the pair takes traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a second attach — two shippers racing one log would
+    /// interleave their streams.
+    pub(crate) fn attach_replication(&self, hook: Arc<dyn ReplicationHook>) {
+        let shards = self.appends_since_snapshot.len();
+        let state = ReplicationState {
+            hook,
+            ship_locks: (0..shards).map(|_| Mutex::new(())).collect(),
+        };
+        if self.replication.set(state).is_err() {
+            panic!("replication hook already attached to this store");
+        }
+    }
+
+    /// Whether the attached replication hook reports this node deposed.
+    pub(crate) fn is_fenced(&self) -> bool {
+        self.replication.get().is_some_and(|r| r.hook.is_fenced())
+    }
+
+    /// Appends an already-encoded replicated frame to `shard`'s log —
+    /// the standby's write-ahead step. Bypasses the replication hook
+    /// (the standby does not re-ship) but still feeds the compaction
+    /// counter, so a promoted standby compacts on the usual cadence.
+    pub(crate) fn append_replicated(
+        &self,
+        shard: u32,
+        kind: u8,
+        payload: &[u8],
+    ) -> Result<(), String> {
+        self.wal
+            .append(shard, kind, payload)
+            .map_err(|e| format!("standby WAL append failed: {e}"))?;
+        self.appends_since_snapshot[shard as usize].fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Installs a replicated snapshot blob durably (tmp + fsync + rename
+    /// via the store crate) and resets `shard`'s log generation — the
+    /// standby's half of a snapshot catch-up.
+    pub(crate) fn install_replicated_snapshot(
+        &self,
+        shard: u32,
+        blob: &[u8],
+    ) -> Result<(), String> {
+        self.wal
+            .install_snapshot(shard, blob)
+            .map_err(|e| format!("standby snapshot install failed: {e}"))?;
+        self.appends_since_snapshot[shard as usize].store(0, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Appends on a shard since its last compaction snapshot.
@@ -288,8 +405,9 @@ impl RecordJournal for CloudStore {
 
 /// Applies one recovered entry to the in-memory state through the
 /// journal-bypassing restore paths, validating that it belongs on
-/// `shard` under this layout.
-fn replay_entry(
+/// `shard` under this layout. Idempotent (restore-by-id, last-wins), so
+/// recovery replay and the standby's replicated-frame apply both use it.
+pub(crate) fn replay_entry(
     auth: &ShardedAuth,
     store: &RecordStore,
     shard: u32,
@@ -334,6 +452,57 @@ fn replay_entry(
     Ok(())
 }
 
+/// Decodes a [`ShardSnapshot`] blob and replays it into the in-memory
+/// state through the same idempotent restore paths as log frames.
+///
+/// Used at recovery (the on-disk snapshot) and by the standby when a
+/// snapshot catch-up arrives over the replication stream. The entries
+/// overwrite last-wins by identifier/id and nothing in the system ever
+/// deletes, so replaying a newer snapshot over older standby state
+/// converges to exactly the primary's state at snapshot time.
+pub(crate) fn replay_snapshot_blob(
+    auth: &ShardedAuth,
+    store: &RecordStore,
+    shard: u32,
+    shard_count: usize,
+    bytes: &[u8],
+) -> Result<(), StorageError> {
+    let json = std::str::from_utf8(bytes).map_err(|_| StorageError::Corrupt {
+        shard,
+        detail: "snapshot is not UTF-8".into(),
+    })?;
+    let snapshot: ShardSnapshot =
+        medsen_phone::from_json(json).map_err(|e| StorageError::Corrupt {
+            shard,
+            detail: format!("snapshot does not decode: {e}"),
+        })?;
+    for enrollment in snapshot.enrolled {
+        replay_entry(
+            auth,
+            store,
+            shard,
+            shard_count,
+            WalEntry::Enroll {
+                identifier: enrollment.identifier,
+                signature: enrollment.signature,
+            },
+        )?;
+    }
+    for snap_record in snapshot.records {
+        replay_entry(
+            auth,
+            store,
+            shard,
+            shard_count,
+            WalEntry::Store {
+                id: snap_record.id,
+                record: snap_record.record,
+            },
+        )?;
+    }
+    Ok(())
+}
+
 /// Opens (or creates) durable storage under `config.dir` for a
 /// `shard_count`-way layout, replays it, and returns the recovered
 /// state plus the journal handle — with the journal *already attached*,
@@ -354,39 +523,7 @@ pub(crate) fn open_storage(
     for recovery in recoveries {
         let shard = recovery.shard;
         if let Some(bytes) = &recovery.snapshot {
-            let json = std::str::from_utf8(bytes).map_err(|_| StorageError::Corrupt {
-                shard,
-                detail: "snapshot is not UTF-8".into(),
-            })?;
-            let snapshot: ShardSnapshot =
-                medsen_phone::from_json(json).map_err(|e| StorageError::Corrupt {
-                    shard,
-                    detail: format!("snapshot does not decode: {e}"),
-                })?;
-            for enrollment in snapshot.enrolled {
-                replay_entry(
-                    &auth,
-                    &store,
-                    shard,
-                    shard_count,
-                    WalEntry::Enroll {
-                        identifier: enrollment.identifier,
-                        signature: enrollment.signature,
-                    },
-                )?;
-            }
-            for snap_record in snapshot.records {
-                replay_entry(
-                    &auth,
-                    &store,
-                    shard,
-                    shard_count,
-                    WalEntry::Store {
-                        id: snap_record.id,
-                        record: snap_record.record,
-                    },
-                )?;
-            }
+            replay_snapshot_blob(&auth, &store, shard, shard_count, bytes)?;
         }
         for frame in recovery.frames {
             let json = std::str::from_utf8(&frame.payload).map_err(|_| StorageError::Corrupt {
@@ -415,6 +552,7 @@ pub(crate) fn open_storage(
     let cloud_store = Arc::new(CloudStore {
         wal,
         appends_since_snapshot: (0..shard_count).map(|_| AtomicU64::new(0)).collect(),
+        replication: OnceLock::new(),
     });
     auth.set_journal(cloud_store.clone());
     store.set_journal(cloud_store.clone());
@@ -462,6 +600,16 @@ pub(crate) fn compact_shard(
         .wal
         .install_snapshot(shard as u32, json.as_bytes())?;
     cloud_store.appends_since_snapshot[shard].store(0, Ordering::Relaxed);
+    // Compaction reset the shard's log generation, so the replication
+    // stream re-bases at offset zero: ship the same snapshot blob to the
+    // standby. The dual shard locks keep appends out; the ship lock keeps
+    // this ordered against the hook's view of other ships.
+    if let Some(rep) = cloud_store.replication.get() {
+        let _ship_guard = rep.ship_locks[shard]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        rep.hook.snapshot_installed(shard as u32, json.as_bytes());
+    }
     Ok(())
 }
 

@@ -187,9 +187,92 @@ impl CloudService {
         })
     }
 
+    /// Pairs this durable service (as primary) with a durable `standby`:
+    /// every journaled WAL frame ships to the standby after the local
+    /// append, snapshot transfers catch up lagging shards, and the
+    /// returned [`ReplicatedCloud`] owns the fenced promotion path. See
+    /// [`crate::replica`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the initial base snapshot transfer cannot be cut.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either service is memory-only or the shard layouts
+    /// disagree (wiring bugs, not runtime conditions).
+    pub fn with_replication(
+        self,
+        standby: CloudService,
+    ) -> Result<Arc<crate::replica::ReplicatedCloud>, StorageError> {
+        crate::replica::ReplicatedCloud::pair(self, standby)
+    }
+
     /// Whether the service journals to durable storage.
     pub fn is_durable(&self) -> bool {
         self.persist.is_some()
+    }
+
+    /// Whether replication has deposed this node: a ship was rejected
+    /// for carrying a stale epoch, so a promoted standby is serving and
+    /// this node's state can no longer be trusted. Always `false` for an
+    /// unreplicated service.
+    pub fn is_fenced(&self) -> bool {
+        self.persist.as_ref().is_some_and(|p| p.is_fenced())
+    }
+
+    /// The durable-storage handle, for the replication wiring.
+    pub(crate) fn cloud_store(&self) -> Option<&Arc<CloudStore>> {
+        self.persist.as_ref()
+    }
+
+    /// Compacts one shard immediately (snapshot + log reset). With a
+    /// replication hook attached this doubles as a snapshot transfer,
+    /// which is how detached shards catch up.
+    pub(crate) fn compact_shard_now(&self, shard: usize) -> Result<(), StorageError> {
+        if let Some(persist) = &self.persist {
+            persist::compact_shard(&self.auth, &self.store, persist, shard)?;
+        }
+        Ok(())
+    }
+
+    /// Applies one replicated WAL frame on a warm standby: decode,
+    /// append to this node's own WAL (write-ahead), then replay into the
+    /// in-memory shards through the idempotent restore paths.
+    pub(crate) fn apply_replicated_frame(
+        &self,
+        shard: u32,
+        kind: u8,
+        payload: &[u8],
+    ) -> Result<(), String> {
+        let persist = self.persist.as_ref().ok_or("standby is not durable")?;
+        let json = std::str::from_utf8(payload)
+            .map_err(|_| "replicated frame is not UTF-8".to_string())?;
+        let entry: persist::WalEntry = medsen_phone_json::from_json(json)
+            .map_err(|e| format!("replicated frame does not decode: {e}"))?;
+        if entry.kind() != kind {
+            return Err(format!(
+                "frame kind {kind} disagrees with its payload ({})",
+                entry.kind()
+            ));
+        }
+        persist.append_replicated(shard, kind, payload)?;
+        persist::replay_entry(&self.auth, &self.store, shard, self.shard_count(), entry)
+            .map_err(|e| e.to_string())
+    }
+
+    /// Installs a replicated snapshot on a warm standby: durable first
+    /// (tmp + fsync + rename, resetting this node's log generation),
+    /// then replayed wholesale into the in-memory shards.
+    pub(crate) fn install_replicated_snapshot(
+        &self,
+        shard: u32,
+        blob: &[u8],
+    ) -> Result<(), String> {
+        let persist = self.persist.as_ref().ok_or("standby is not durable")?;
+        persist.install_replicated_snapshot(shard, blob)?;
+        persist::replay_snapshot_blob(&self.auth, &self.store, shard, self.shard_count(), blob)
+            .map_err(|e| e.to_string())
     }
 
     /// Cumulative write-ahead-log counters, or `None` for a memory-only
@@ -276,6 +359,14 @@ impl CloudService {
     /// This is the entry point concurrent front-ends (the gateway worker
     /// pool) use; `handle` is the single-threaded convenience wrapper.
     pub fn handle_shared(&self, request: Request) -> Response {
+        // A deposed primary fails closed on everything, reads included:
+        // once a ship was rejected for a stale epoch, a promoted standby
+        // may have moved past this node's state.
+        if self.is_fenced() {
+            return Response::Error {
+                reason: "node deposed: a newer epoch is serving".into(),
+            };
+        }
         match request {
             Request::Ping => Response::Pong,
             Request::Enroll {

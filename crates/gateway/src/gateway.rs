@@ -39,6 +39,7 @@ use crate::metrics::{GatewayMetrics, MetricsSnapshot};
 use crate::wire;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use medsen_cloud::service::{CloudService, Response};
+use medsen_cloud::ReplicatedCloud;
 use medsen_runtime as runtime;
 use medsen_telemetry::{
     spans_json_lines, text_exposition, ActiveTrace, Exemplars, Registry, RegistrySnapshot,
@@ -279,6 +280,51 @@ impl PendingReply {
     }
 }
 
+/// Where worker requests go: one shared service, or a replicated pair
+/// routed through [`ReplicatedCloud::serving`] so traffic follows a
+/// promotion without the workers being told.
+#[derive(Clone)]
+enum ServiceRoute {
+    Single(Arc<CloudService>),
+    Replicated(Arc<ReplicatedCloud>),
+}
+
+impl ServiceRoute {
+    /// The node to dispatch the next request to. For a replicated pair
+    /// this consults the pair every call — the first dispatch after a
+    /// primary death (or deposition) promotes the standby and routes
+    /// there, which is the gateway's failover path.
+    fn serving(&self) -> Arc<CloudService> {
+        match self {
+            ServiceRoute::Single(service) => Arc::clone(service),
+            ServiceRoute::Replicated(pair) => pair.serving(),
+        }
+    }
+
+    /// Same routing decision, by reference (for snapshot paths that only
+    /// read stats off the current node).
+    fn serving_ref(&self) -> &Arc<CloudService> {
+        match self {
+            ServiceRoute::Single(service) => service,
+            ServiceRoute::Replicated(pair) => {
+                let _ = pair.serving(); // promote if the primary is gone
+                if pair.is_promoted() {
+                    pair.standby()
+                } else {
+                    pair.primary()
+                }
+            }
+        }
+    }
+
+    fn replicas(&self) -> Option<&Arc<ReplicatedCloud>> {
+        match self {
+            ServiceRoute::Single(_) => None,
+            ServiceRoute::Replicated(pair) => Some(pair),
+        }
+    }
+}
+
 struct WorkItem {
     upload: Vec<u8>,
     reply: Sender<String>,
@@ -343,7 +389,7 @@ enum Engine {
 
 /// The multi-session ingestion gateway.
 pub struct Gateway {
-    service: Arc<CloudService>,
+    route: ServiceRoute,
     metrics: Arc<GatewayMetrics>,
     /// The unified instrument registry every gateway counter/histogram is
     /// registered in; [`Gateway::registry_snapshot`] overlays the cloud
@@ -363,6 +409,10 @@ pub struct Gateway {
     /// [`SubmitError::Closed`] while the workers keep serving what is
     /// already queued.
     drained: AtomicBool,
+    /// Admin pause state: while set, workers hold admitted work (nothing
+    /// dequeues) but submissions are still accepted — the opposite half
+    /// of drain. Shared with the worker loops.
+    paused: Arc<AtomicBool>,
 }
 
 impl Gateway {
@@ -389,8 +439,39 @@ impl Gateway {
         runtime_kind: RuntimeKind,
         telemetry: TelemetryConfig,
     ) -> Self {
-        let service = Arc::new(service);
-        let lanes = lane_count_for(service.shard_count(), config.workers);
+        Self::build(
+            ServiceRoute::Single(Arc::new(service)),
+            config,
+            runtime_kind,
+            telemetry,
+        )
+    }
+
+    /// Spawns the worker pool in front of a replicated pair. Requests
+    /// route to the pair's current serving node on every dispatch, so a
+    /// primary death fails the fleet over to the promoted standby without
+    /// touching the sessions.
+    pub fn with_replicas(
+        replicas: Arc<ReplicatedCloud>,
+        config: GatewayConfig,
+        runtime_kind: RuntimeKind,
+        telemetry: TelemetryConfig,
+    ) -> Self {
+        Self::build(
+            ServiceRoute::Replicated(replicas),
+            config,
+            runtime_kind,
+            telemetry,
+        )
+    }
+
+    fn build(
+        route: ServiceRoute,
+        config: GatewayConfig,
+        runtime_kind: RuntimeKind,
+        telemetry: TelemetryConfig,
+    ) -> Self {
+        let lanes = lane_count_for(route.serving_ref().shard_count(), config.workers);
         // `queue_capacity` stays the *total* budget: splitting it across
         // lanes preserves the seed invariant that at most `queue_capacity`
         // items are queued gateway-wide.
@@ -403,6 +484,7 @@ impl Gateway {
                 exemplars: Exemplars::new(telemetry.exemplars),
             })
         });
+        let paused = Arc::new(AtomicBool::new(false));
         let engine = match runtime_kind {
             RuntimeKind::Threads => {
                 let mut txs = Vec::with_capacity(lanes);
@@ -415,12 +497,13 @@ impl Gateway {
                 let workers = (0..config.workers)
                     .map(|i| {
                         let rx = rxs[i % lanes].clone();
-                        let service = Arc::clone(&service);
+                        let route = route.clone();
                         let metrics = Arc::clone(&metrics);
                         let tracing = tracing.clone();
+                        let paused = Arc::clone(&paused);
                         thread::Builder::new()
                             .name(format!("gateway-worker-{i}"))
-                            .spawn(move || worker_loop(rx, service, metrics, tracing))
+                            .spawn(move || worker_loop(rx, route, metrics, tracing, paused))
                             .expect("spawn gateway worker")
                     })
                     .collect();
@@ -443,10 +526,11 @@ impl Gateway {
                 let tasks = (0..config.workers)
                     .map(|i| {
                         let rx = rxs[i % lanes].clone();
-                        let service = Arc::clone(&service);
+                        let route = route.clone();
                         let metrics = Arc::clone(&metrics);
                         let tracing = tracing.clone();
-                        executor.spawn(worker_task(rx, service, metrics, tracing))
+                        let paused = Arc::clone(&paused);
+                        executor.spawn(worker_task(rx, route, metrics, tracing, paused))
                     })
                     .collect();
                 Engine::Async(AsyncEngine {
@@ -458,7 +542,7 @@ impl Gateway {
             }
         };
         Self {
-            service,
+            route,
             metrics,
             registry,
             tracing,
@@ -468,6 +552,7 @@ impl Gateway {
             runtime_kind,
             next_session: AtomicU64::new(1),
             drained: AtomicBool::new(false),
+            paused,
         }
     }
 
@@ -476,10 +561,17 @@ impl Gateway {
         self.runtime_kind
     }
 
-    /// The shared cloud service (for fleet-level setup like classifier
-    /// installation checks or direct record-store access in tests).
+    /// The cloud service requests currently route to (for fleet-level
+    /// setup like classifier installation checks or direct record-store
+    /// access in tests). For a replicated gateway this follows the pair's
+    /// promotion state.
     pub fn service(&self) -> &CloudService {
-        &self.service
+        self.route.serving_ref()
+    }
+
+    /// The replicated pair behind this gateway, when it fronts one.
+    pub fn replicas(&self) -> Option<&Arc<ReplicatedCloud>> {
+        self.route.replicas()
     }
 
     /// A point-in-time copy of the gateway's metrics, including the cloud
@@ -487,7 +579,7 @@ impl Gateway {
     /// service) the write-ahead-log counters.
     pub fn metrics(&self) -> MetricsSnapshot {
         let mut snap = self.metrics.snapshot();
-        fill_service_snapshot(&mut snap, &self.service, self.is_drained());
+        fill_service_snapshot(&mut snap, self.route.serving_ref(), self.is_drained());
         snap
     }
 
@@ -505,10 +597,11 @@ impl Gateway {
     /// [`Gateway::telemetry_text`] renders.
     pub fn registry_snapshot(&self) -> RegistrySnapshot {
         let mut snap = self.registry.snapshot();
-        for (i, s) in self.service.shard_stats().iter().enumerate() {
+        let service = self.route.serving_ref();
+        for (i, s) in service.shard_stats().iter().enumerate() {
             snap.set_counter(&format!("cloud.shard.{i}.contention"), s.contended_writes);
         }
-        if let Some(wal) = self.service.storage_stats() {
+        if let Some(wal) = service.storage_stats() {
             snap.set_counter("wal.appends", wal.appends);
             snap.set_counter("wal.fsyncs", wal.fsyncs);
             snap.set_counter("wal.bytes_written", wal.bytes_written);
@@ -518,11 +611,26 @@ impl Gateway {
                 wal.recovered_truncated_bytes,
             );
         }
-        let cache = self.service.cache_stats();
+        let cache = service.cache_stats();
         snap.set_counter("cache.hits", cache.hits);
         snap.set_counter("cache.misses", cache.misses);
         snap.set_gauge("cache.entries", cache.entries as u64);
         snap.set_gauge("gateway.drained", u64::from(self.is_drained()));
+        snap.set_gauge("gateway.paused", u64::from(self.is_paused()));
+        if let Some(pair) = self.route.replicas() {
+            let status = pair.status();
+            snap.set_counter("replica.shipped_frames", status.shipper.shipped_frames);
+            snap.set_counter("replica.shipped_bytes", status.shipper.shipped_bytes);
+            snap.set_counter("replica.acked_bytes", status.shipper.acked_bytes);
+            snap.set_gauge("replica.lag_bytes", status.shipper.lag_bytes);
+            snap.set_counter("replica.snapshots", status.shipper.snapshots_shipped);
+            snap.set_counter("replica.ship_failures", status.shipper.ship_failures);
+            snap.set_counter("replica.applied_frames", status.standby.applied_frames);
+            snap.set_counter("replica.stale_rejected", status.standby.stale_rejected);
+            snap.set_counter("replica.promotions", status.standby.promotions);
+            snap.set_gauge("replica.epoch", status.epoch);
+            snap.set_gauge("replica.promoted", u64::from(status.promoted));
+        }
         if let Some(tracing) = &self.tracing {
             snap.set_counter("telemetry.spans_recorded", tracing.recorder.recorded());
         }
@@ -610,8 +718,11 @@ impl Gateway {
     ///
     /// Idempotent. With a zero-worker pool (test configurations) queued
     /// work can never finish, so the wait is skipped and only intake is
-    /// closed and the WAL flushed.
+    /// closed and the WAL flushed. A paused gateway is resumed first —
+    /// drain's contract is "everything admitted gets served", which held
+    /// work cannot satisfy.
     pub fn drain(&self) {
+        self.resume();
         self.drained.store(true, Ordering::SeqCst);
         if self.worker_count() > 0 {
             loop {
@@ -622,12 +733,33 @@ impl Gateway {
                 thread::sleep(Duration::from_millis(1));
             }
         }
-        self.service.flush_storage();
+        self.route.serving_ref().flush_storage();
     }
 
     /// Whether [`Gateway::drain`] has been called.
     pub fn is_drained(&self) -> bool {
         self.drained.load(Ordering::SeqCst)
+    }
+
+    /// Puts the gateway in the `Pause` admin state: workers stop
+    /// dequeuing, holding everything admitted, while new submissions are
+    /// still accepted into the queue (the shed policy applies once it
+    /// fills). The complement of [`Gateway::drain`] — drain refuses new
+    /// work and finishes the old; pause takes new work and sits on it.
+    /// Operators use it to hold traffic across a cloud-side intervention
+    /// (say, a replica promotion) without bouncing sessions.
+    pub fn pause(&self) {
+        self.paused.store(true, Ordering::SeqCst);
+    }
+
+    /// Lifts [`Gateway::pause`]; held work resumes draining immediately.
+    pub fn resume(&self) {
+        self.paused.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether the gateway is currently paused.
+    pub fn is_paused(&self) -> bool {
+        self.paused.load(Ordering::SeqCst)
     }
 
     /// Submits a framed upload to the lane selected by `route_key % lanes`.
@@ -737,8 +869,11 @@ impl Gateway {
     /// queued work still resolve; anything submitted afterwards fails with
     /// [`SubmitError::Closed`].
     pub fn shutdown(self) -> MetricsSnapshot {
+        // A paused pool would never drain its queues; shutdown implies
+        // resume for the same reason drain does.
+        self.resume();
         let Gateway {
-            service,
+            route,
             engine,
             metrics,
             drained,
@@ -757,9 +892,10 @@ impl Gateway {
         }
         // A durable service's unsynced tail goes to disk before the final
         // numbers are reported — shutdown is a graceful exit, not a crash.
+        let service = route.serving_ref();
         service.flush_storage();
         let mut snap = metrics.snapshot();
-        fill_service_snapshot(&mut snap, &service, drained.load(Ordering::SeqCst));
+        fill_service_snapshot(&mut snap, service, drained.load(Ordering::SeqCst));
         snap
     }
 
@@ -832,7 +968,7 @@ impl fmt::Debug for Gateway {
 /// spans to this request without any parameter threading.
 fn handle_item(
     item: WorkItem,
-    service: &CloudService,
+    route: &ServiceRoute,
     metrics: &GatewayMetrics,
     tracing: Option<&GatewayTracing>,
 ) {
@@ -848,7 +984,20 @@ fn handle_item(
     });
     let started = Instant::now();
     let response_json = match wire::decode_upload(&item.upload) {
-        Ok((_session_id, body)) => service.handle_json_shared(&body),
+        Ok((_session_id, body)) => {
+            let service = route.serving();
+            let mut json = service.handle_json_shared(&body);
+            // Failover on error: the node was deposed between the routing
+            // decision and the dispatch (a fenced node refuses everything
+            // and applied nothing, so the retry is safe). The next
+            // `serving()` call observes the fence and promotes.
+            if service.is_fenced() && json.contains("node deposed") {
+                if let Some(pair) = route.replicas() {
+                    json = pair.serving().handle_json_shared(&body);
+                }
+            }
+            json
+        }
         Err(e) => error_json(&format!("malformed upload: {e}")),
     };
     let finished = Instant::now();
@@ -870,12 +1019,18 @@ fn handle_item(
 
 fn worker_loop(
     rx: Receiver<WorkItem>,
-    service: Arc<CloudService>,
+    route: ServiceRoute,
     metrics: Arc<GatewayMetrics>,
     tracing: Option<Arc<GatewayTracing>>,
+    paused: Arc<AtomicBool>,
 ) {
     while let Ok(item) = rx.recv() {
-        handle_item(item, &service, &metrics, tracing.as_deref());
+        // An engaged pause holds the item right here — dequeued but not
+        // started — until an operator resumes (or drain/shutdown does).
+        while paused.load(Ordering::SeqCst) {
+            thread::sleep(Duration::from_millis(1));
+        }
+        handle_item(item, &route, &metrics, tracing.as_deref());
     }
 }
 
@@ -883,12 +1038,20 @@ fn worker_loop(
 /// sharing the executor thread get a turn between requests.
 async fn worker_task(
     rx: runtime::channel::Receiver<WorkItem>,
-    service: Arc<CloudService>,
+    route: ServiceRoute,
     metrics: Arc<GatewayMetrics>,
     tracing: Option<Arc<GatewayTracing>>,
+    paused: Arc<AtomicBool>,
 ) {
     while let Ok(item) = rx.recv().await {
-        handle_item(item, &service, &metrics, tracing.as_deref());
+        // Paused workers briefly park the executor thread between polls:
+        // every sibling task is paused too, so there is no useful work
+        // being starved, and the 1 ms nap keeps the wait from spinning.
+        while paused.load(Ordering::SeqCst) {
+            thread::sleep(Duration::from_millis(1));
+            runtime::yield_now().await;
+        }
+        handle_item(item, &route, &metrics, tracing.as_deref());
         runtime::yield_now().await;
     }
 }
@@ -1365,6 +1528,156 @@ mod tests {
         assert!(!text.contains("telemetry.spans_recorded"));
         let m = gw.shutdown();
         assert_eq!(m.completed, 1);
+    }
+
+    #[test]
+    fn pause_holds_admitted_work_without_rejecting_new_sessions() {
+        for kind in engines() {
+            let gw = Gateway::with_runtime(
+                CloudService::new(),
+                GatewayConfig {
+                    queue_capacity: 8,
+                    workers: 2,
+                    shed_policy: ShedPolicy::Block,
+                },
+                kind,
+            );
+            gw.pause();
+            assert!(gw.is_paused(), "{kind}");
+            // New sessions are still admitted — pause is not drain.
+            let replies: Vec<PendingReply> = (0..4)
+                .map(|i| gw.submit(ping_upload(i)).expect("admitted while paused"))
+                .collect();
+            // Give the pool a moment: nothing may complete while paused.
+            thread::sleep(Duration::from_millis(20));
+            let m = gw.metrics();
+            assert_eq!(m.accepted, 4, "{kind}");
+            assert_eq!(m.completed, 0, "paused workers must hold work: {kind}");
+            assert!(!m.drained, "{kind}");
+            gw.resume();
+            assert!(!gw.is_paused(), "{kind}");
+            for reply in replies {
+                assert_eq!(reply.wait().expect("served after resume"), Response::Pong);
+            }
+            assert_eq!(gw.metrics().completed, 4, "{kind}");
+            gw.shutdown();
+        }
+    }
+
+    #[test]
+    fn drain_implies_resume_so_held_work_still_finishes() {
+        let gw = Gateway::with_runtime(
+            CloudService::new(),
+            GatewayConfig {
+                queue_capacity: 8,
+                workers: 2,
+                shed_policy: ShedPolicy::Block,
+            },
+            RuntimeKind::Threads,
+        );
+        gw.pause();
+        let reply = gw.submit(ping_upload(1)).expect("admitted");
+        gw.drain(); // must not deadlock on the held item
+        assert!(!gw.is_paused());
+        assert_eq!(reply.wait().expect("served"), Response::Pong);
+        gw.shutdown();
+    }
+
+    #[test]
+    fn paused_gauge_lands_in_the_exposition() {
+        let gw = Gateway::new(CloudService::new(), GatewayConfig::clinic_default());
+        assert!(gw.telemetry_text().contains("gateway.paused 0"));
+        gw.pause();
+        let text = gw.telemetry_text();
+        medsen_telemetry::parse_text_exposition(&text).expect("grammar-clean");
+        assert!(text.contains("gateway.paused 1"));
+        gw.shutdown();
+    }
+
+    fn replica_pair(tag: &str) -> (Arc<medsen_cloud::ReplicatedCloud>, [std::path::PathBuf; 2]) {
+        use medsen_cloud::{FlushPolicy, StorageConfig};
+        let dirs = ["p", "s"].map(|side| {
+            let dir = std::env::temp_dir().join(format!(
+                "medsen-gateway-replica-{tag}-{side}-{}-{:?}",
+                std::process::id(),
+                thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            dir
+        });
+        let [primary, standby] = dirs.each_ref().map(|dir| {
+            CloudService::with_storage_config(
+                StorageConfig::new(dir).flush(FlushPolicy::EveryWrite),
+                2,
+            )
+            .expect("open")
+        });
+        (primary.with_replication(standby).expect("pair"), dirs)
+    }
+
+    #[test]
+    fn replicated_gateway_fails_over_to_the_promoted_standby() {
+        let (pair, dirs) = replica_pair("failover");
+        let gw = Gateway::with_replicas(
+            Arc::clone(&pair),
+            GatewayConfig {
+                queue_capacity: 8,
+                workers: 2,
+                shed_policy: ShedPolicy::Block,
+            },
+            RuntimeKind::Threads,
+            TelemetryConfig::default(),
+        );
+        let json = medsen_phone::to_json(&Request::Enroll {
+            identifier: "alice".into(),
+            signature: medsen_cloud::BeadSignature::from_counts(&[(
+                medsen_microfluidics::ParticleKind::Bead358,
+                40,
+            )]),
+        })
+        .expect("encodes");
+        let reply = gw.submit(wire::encode_upload(1, &json)).expect("accepted");
+        assert_eq!(reply.wait().expect("served"), Response::Enrolled);
+
+        pair.kill_primary();
+        // The next dispatch promotes and routes to the standby, which
+        // already holds the acknowledged enrollment.
+        let reply = gw.submit(ping_upload(2)).expect("accepted");
+        assert_eq!(reply.wait().expect("served"), Response::Pong);
+        assert!(pair.is_promoted());
+        assert!(Arc::ptr_eq(pair.standby(), &pair.serving()));
+        assert_eq!(
+            gw.service()
+                .shard_stats()
+                .iter()
+                .map(|s| s.enrolled)
+                .sum::<usize>(),
+            1,
+            "gateway accessors follow the promotion"
+        );
+
+        let text = gw.telemetry_text();
+        medsen_telemetry::parse_text_exposition(&text).expect("grammar-clean");
+        for name in [
+            "replica.shipped_frames",
+            "replica.shipped_bytes",
+            "replica.acked_bytes",
+            "replica.lag_bytes",
+            "replica.promotions",
+            "replica.stale_rejected",
+            "replica.epoch",
+        ] {
+            assert!(
+                text.lines().any(|l| l.starts_with(&format!("{name} "))),
+                "missing {name} in:\n{text}"
+            );
+        }
+        assert!(text.contains("replica.epoch 2"));
+        assert!(text.contains("replica.promotions 1"));
+        gw.shutdown();
+        for dir in dirs {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
     }
 
     /// The async engine multiplexes many more worker tasks than executor

@@ -20,7 +20,15 @@
 //!   `queue_capacity`): enrollments route by
 //!   [`identity_hash`](medsen_cloud::identity_hash) of the identifier so
 //!   same-shard writes serialize on one lane's worker group, other
-//!   traffic spreads by session id ([`Gateway::submit_keyed`]).
+//!   traffic spreads by session id ([`Gateway::submit_keyed`]). Admin
+//!   states: [`Gateway::drain`] (refuse new work, finish the old) and
+//!   [`Gateway::pause`] (admit new work, hold it until resume). A
+//!   gateway built with [`Gateway::with_replicas`] fronts a
+//!   warm-standby [`ReplicatedCloud`](medsen_cloud::ReplicatedCloud)
+//!   pair instead of a single service: every dispatch routes to the
+//!   pair's current serving node, so a primary death fails the fleet
+//!   over to the promoted standby mid-stream, and the `replica.*`
+//!   ship/lag/promotion counters join the exposition.
 //! * [`DongleSession`] (`session` module) — the per-device lifecycle
 //!   (connect → enroll/analyze stream → drain → close). Uploads ride the
 //!   phone's frame format ([`wire`]) across a simulated

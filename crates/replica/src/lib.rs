@@ -1,0 +1,836 @@
+//! # medsen-replica — epoch-fenced per-shard WAL stream replication
+//!
+//! `medsen-store` already writes exactly a replication stream: an
+//! ordered, CRC-framed, layout-stamped log per shard. This crate is the
+//! state machine that ships that stream to a warm standby and hands the
+//! standby the serving role when the primary dies — nothing more. Like
+//! `medsen-store` and `medsen-telemetry` it is **std-only with zero
+//! dependencies** (CI-enforced): failover correctness must not ride on
+//! vendored stubs, and the crate must stay linkable from any layer.
+//!
+//! The crate is deliberately ignorant of what a frame *means*. Frames
+//! are opaque `(kind: u8, payload)` pairs addressed by byte offsets into
+//! the primary's current log generation (`Wal::appended_offset`), and
+//! snapshots are opaque blobs; the typed codec and the actual shard
+//! state live with their owners in `medsen-cloud`, wired in through the
+//! [`ApplySink`] and [`ShipTransport`] traits.
+//!
+//! ## Protocol invariants
+//!
+//! - **Epoch fencing**: every shipped frame and snapshot carries the
+//!   shipping node's epoch. A [`Standby`] rejects anything below its
+//!   current epoch and adopts anything above it; [`Standby::promote`]
+//!   bumps the epoch, so a resurrected old primary's ships are rejected
+//!   ([`ReplicaError::StaleEpoch`]) and the old primary [`Shipper`]
+//!   fences itself closed on the first rejection.
+//! - **Contiguity**: frames apply only at the standby's acked offset.
+//!   A gap ([`ReplicaError::OffsetGap`]) — a freshly attached standby,
+//!   a missed frame, or a primary compaction resetting the stream —
+//!   detaches the shard until a snapshot transfer re-bases it
+//!   ([`Shipper::ship_snapshot`]), mirroring the store crate's
+//!   tmp+rename snapshot catch-up.
+//! - **Acks are offsets**: the standby acknowledges the byte offset it
+//!   has applied through, so primary-side lag is `produced - acked`
+//!   bytes per shard, observable without reaching into either node.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One WAL frame in flight from primary to standby.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameShip {
+    /// Epoch of the node that shipped the frame.
+    pub epoch: u64,
+    /// Shard the frame belongs to.
+    pub shard: u32,
+    /// Byte offset in the shard's log generation where the frame starts.
+    pub start_offset: u64,
+    /// Offset just past the frame (`start_offset` + encoded length).
+    pub end_offset: u64,
+    /// Opaque entry kind, as appended to the primary WAL.
+    pub kind: u8,
+    /// Opaque entry payload, as appended to the primary WAL.
+    pub payload: Vec<u8>,
+}
+
+/// A full-shard snapshot in flight, re-basing a lagging or freshly
+/// attached standby.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotShip {
+    /// Epoch of the node that shipped the snapshot.
+    pub epoch: u64,
+    /// Shard the snapshot covers.
+    pub shard: u32,
+    /// Stream offset the snapshot state covers through; the standby
+    /// resumes applying frames from here.
+    pub end_offset: u64,
+    /// Opaque serialized shard state.
+    pub blob: Vec<u8>,
+}
+
+/// Why a replication operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplicaError {
+    /// The shipping node's epoch is behind the receiver's: the shipper
+    /// was deposed and must fail closed.
+    StaleEpoch {
+        /// Epoch the shipper offered.
+        offered: u64,
+        /// Epoch the receiver is fenced at.
+        current: u64,
+    },
+    /// A frame did not start at the receiver's acked offset; the shard
+    /// needs a snapshot transfer before frames can resume.
+    OffsetGap {
+        /// Shard the gap was observed on.
+        shard: u32,
+        /// Offset the receiver expected the next frame at.
+        expected: u64,
+        /// Offset the frame actually started at.
+        got: u64,
+    },
+    /// The standby's sink failed to apply a frame or snapshot.
+    Apply {
+        /// Shard the failure occurred on.
+        shard: u32,
+        /// Sink-provided failure description.
+        detail: String,
+    },
+    /// The shard is detached (transport down or un-based); frames are
+    /// not being shipped until a snapshot transfer reattaches it.
+    Detached {
+        /// The detached shard.
+        shard: u32,
+    },
+    /// The transport could not deliver at all.
+    LinkDown,
+}
+
+impl std::fmt::Display for ReplicaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplicaError::StaleEpoch { offered, current } => {
+                write!(f, "stale epoch {offered} fenced at {current}")
+            }
+            ReplicaError::OffsetGap {
+                shard,
+                expected,
+                got,
+            } => write!(
+                f,
+                "shard {shard} offset gap: expected frame at {expected}, got {got}"
+            ),
+            ReplicaError::Apply { shard, detail } => {
+                write!(f, "shard {shard} apply failed: {detail}")
+            }
+            ReplicaError::Detached { shard } => write!(f, "shard {shard} detached"),
+            ReplicaError::LinkDown => write!(f, "replication link down"),
+        }
+    }
+}
+
+impl std::error::Error for ReplicaError {}
+
+/// Standby-side application of replicated state. Implemented in
+/// `medsen-cloud` over a warm `CloudService`; implemented over plain
+/// vectors in this crate's tests.
+pub trait ApplySink: Send + Sync {
+    /// Applies one WAL frame to `shard`'s state (durably first, then in
+    /// memory — the same write-ahead discipline the primary uses).
+    fn apply_frame(&self, shard: u32, kind: u8, payload: &[u8]) -> Result<(), String>;
+    /// Replaces `shard`'s state wholesale from a snapshot blob.
+    fn install_snapshot(&self, shard: u32, blob: &[u8]) -> Result<(), String>;
+}
+
+/// How the primary's frames reach the standby. The in-process
+/// [`DirectLink`] calls the standby directly; `medsen-cloud` wraps it
+/// with the simulated `NetworkLink` to model the wire.
+pub trait ShipTransport: Send + Sync {
+    /// Delivers one frame; returns the offset the standby acked through.
+    fn ship_frame(&self, frame: &FrameShip) -> Result<u64, ReplicaError>;
+    /// Delivers one snapshot; returns the offset the standby acked.
+    fn ship_snapshot(&self, snap: &SnapshotShip) -> Result<u64, ReplicaError>;
+}
+
+// A shared transport ships like the transport it shares — callers keep a
+// handle for out-of-band control (partitioning, accounting) while the
+// shipper owns its own.
+impl<T: ShipTransport + ?Sized> ShipTransport for std::sync::Arc<T> {
+    fn ship_frame(&self, frame: &FrameShip) -> Result<u64, ReplicaError> {
+        (**self).ship_frame(frame)
+    }
+
+    fn ship_snapshot(&self, snap: &SnapshotShip) -> Result<u64, ReplicaError> {
+        (**self).ship_snapshot(snap)
+    }
+}
+
+#[derive(Debug, Default)]
+struct StandbyCells {
+    applied_frames: AtomicU64,
+    applied_bytes: AtomicU64,
+    snapshots_installed: AtomicU64,
+    stale_rejected: AtomicU64,
+    promotions: AtomicU64,
+}
+
+/// Point-in-time standby-side counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StandbyStats {
+    /// Epoch the standby is fenced at.
+    pub epoch: u64,
+    /// Frames applied since attach.
+    pub applied_frames: u64,
+    /// Frame bytes applied since attach.
+    pub applied_bytes: u64,
+    /// Snapshot transfers installed (catch-ups).
+    pub snapshots_installed: u64,
+    /// Ships rejected for carrying a stale epoch.
+    pub stale_rejected: u64,
+    /// Times this node was promoted to primary.
+    pub promotions: u64,
+}
+
+/// The warm-standby state machine: an epoch fence plus one acked-offset
+/// cursor per shard, in front of an [`ApplySink`].
+pub struct Standby<S: ApplySink> {
+    sink: S,
+    epoch: AtomicU64,
+    cursors: Vec<Mutex<u64>>,
+    stats: StandbyCells,
+}
+
+impl<S: ApplySink> Standby<S> {
+    /// A standby for `shard_count` shards, fenced at `epoch`, with every
+    /// cursor at offset zero (un-based until a snapshot or a stream that
+    /// genuinely starts at zero arrives).
+    pub fn new(sink: S, shard_count: u32, epoch: u64) -> Self {
+        assert!(shard_count > 0, "a standby needs at least one shard");
+        Self {
+            sink,
+            epoch: AtomicU64::new(epoch),
+            cursors: (0..shard_count).map(|_| Mutex::new(0)).collect(),
+            stats: StandbyCells::default(),
+        }
+    }
+
+    /// The epoch this standby is fenced at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Number of shards the standby tracks.
+    pub fn shard_count(&self) -> u32 {
+        self.cursors.len() as u32
+    }
+
+    /// The stream offset `shard` has applied (and thus acked) through.
+    pub fn acked_offset(&self, shard: u32) -> u64 {
+        *self.cursors[shard as usize].lock().unwrap()
+    }
+
+    /// Checks the epoch fence: stale ships are rejected and counted,
+    /// newer epochs are adopted (a newly promoted peer is legitimate).
+    fn fence(&self, offered: u64) -> Result<(), ReplicaError> {
+        let current = self.epoch.fetch_max(offered, Ordering::SeqCst).max(offered);
+        if offered < current {
+            self.stats.stale_rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ReplicaError::StaleEpoch { offered, current });
+        }
+        Ok(())
+    }
+
+    /// Applies one frame at the shard's acked offset; returns the new
+    /// acked offset. Fails closed on a stale epoch and refuses frames
+    /// that do not start exactly at the cursor.
+    pub fn apply(&self, frame: &FrameShip) -> Result<u64, ReplicaError> {
+        self.fence(frame.epoch)?;
+        let mut cursor = self.cursors[frame.shard as usize].lock().unwrap();
+        if frame.start_offset != *cursor {
+            return Err(ReplicaError::OffsetGap {
+                shard: frame.shard,
+                expected: *cursor,
+                got: frame.start_offset,
+            });
+        }
+        self.sink
+            .apply_frame(frame.shard, frame.kind, &frame.payload)
+            .map_err(|detail| ReplicaError::Apply {
+                shard: frame.shard,
+                detail,
+            })?;
+        *cursor = frame.end_offset;
+        self.stats.applied_frames.fetch_add(1, Ordering::Relaxed);
+        self.stats.applied_bytes.fetch_add(
+            frame.end_offset.saturating_sub(frame.start_offset),
+            Ordering::Relaxed,
+        );
+        Ok(*cursor)
+    }
+
+    /// Installs a snapshot transfer, re-basing the shard's cursor at the
+    /// snapshot's end offset; returns the new acked offset.
+    pub fn install(&self, snap: &SnapshotShip) -> Result<u64, ReplicaError> {
+        self.fence(snap.epoch)?;
+        let mut cursor = self.cursors[snap.shard as usize].lock().unwrap();
+        self.sink
+            .install_snapshot(snap.shard, &snap.blob)
+            .map_err(|detail| ReplicaError::Apply {
+                shard: snap.shard,
+                detail,
+            })?;
+        *cursor = snap.end_offset;
+        self.stats
+            .snapshots_installed
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(*cursor)
+    }
+
+    /// Promotes this node: bumps the epoch past everything it has seen
+    /// and returns the new epoch. Ships from the deposed primary now
+    /// fail the fence, so a resurrected old primary fails closed.
+    pub fn promote(&self) -> u64 {
+        self.stats.promotions.fetch_add(1, Ordering::Relaxed);
+        self.epoch.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> StandbyStats {
+        StandbyStats {
+            epoch: self.epoch(),
+            applied_frames: self.stats.applied_frames.load(Ordering::Relaxed),
+            applied_bytes: self.stats.applied_bytes.load(Ordering::Relaxed),
+            snapshots_installed: self.stats.snapshots_installed.load(Ordering::Relaxed),
+            stale_rejected: self.stats.stale_rejected.load(Ordering::Relaxed),
+            promotions: self.stats.promotions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<S: ApplySink> std::fmt::Debug for Standby<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Standby")
+            .field("epoch", &self.epoch())
+            .field("shards", &self.cursors.len())
+            .finish()
+    }
+}
+
+/// The trivial in-process transport: ship straight into a [`Standby`].
+pub struct DirectLink<S: ApplySink>(pub std::sync::Arc<Standby<S>>);
+
+impl<S: ApplySink> ShipTransport for DirectLink<S> {
+    fn ship_frame(&self, frame: &FrameShip) -> Result<u64, ReplicaError> {
+        self.0.apply(frame)
+    }
+
+    fn ship_snapshot(&self, snap: &SnapshotShip) -> Result<u64, ReplicaError> {
+        self.0.install(snap)
+    }
+}
+
+struct ShipCursor {
+    /// Offset the primary's log has produced through (advances on every
+    /// local append, shipped or not).
+    produced: u64,
+    /// Offset the standby has acked through.
+    acked: u64,
+    /// Whether the stream is live. Detached shards skip shipping until a
+    /// snapshot transfer re-bases them.
+    attached: bool,
+}
+
+#[derive(Debug, Default)]
+struct ShipperCells {
+    shipped_frames: AtomicU64,
+    shipped_bytes: AtomicU64,
+    acked_bytes: AtomicU64,
+    snapshots_shipped: AtomicU64,
+    ship_failures: AtomicU64,
+}
+
+/// Point-in-time primary-side counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShipperStats {
+    /// Epoch this shipper ships under.
+    pub epoch: u64,
+    /// Whether the shipper has been fenced by a higher epoch (deposed).
+    pub fenced: bool,
+    /// Frames successfully shipped and acked.
+    pub shipped_frames: u64,
+    /// Frame bytes successfully shipped.
+    pub shipped_bytes: u64,
+    /// Bytes the standby has acked across all shards.
+    pub acked_bytes: u64,
+    /// Bytes produced but not yet acked, summed across shards.
+    pub lag_bytes: u64,
+    /// Snapshot transfers shipped (catch-ups).
+    pub snapshots_shipped: u64,
+    /// Ship attempts that failed and detached their shard.
+    pub ship_failures: u64,
+}
+
+/// The primary-side shipper: per-shard produced/acked cursors in front
+/// of a [`ShipTransport`], fencing itself closed when deposed.
+///
+/// Shards start **detached**: a fresh pair must be based by an initial
+/// snapshot transfer ([`Shipper::ship_snapshot`]), which also covers the
+/// freshly-attached-standby and post-compaction catch-up cases — there
+/// is deliberately exactly one way to (re)base a stream.
+pub struct Shipper<T: ShipTransport> {
+    transport: T,
+    epoch: AtomicU64,
+    fenced_at: AtomicU64,
+    fenced: AtomicBool,
+    cursors: Vec<Mutex<ShipCursor>>,
+    stats: ShipperCells,
+}
+
+impl<T: ShipTransport> Shipper<T> {
+    /// A shipper for `shard_count` shards, shipping under `epoch`, every
+    /// shard detached until based by a snapshot transfer.
+    pub fn new(transport: T, shard_count: u32, epoch: u64) -> Self {
+        assert!(shard_count > 0, "a shipper needs at least one shard");
+        Self {
+            transport,
+            epoch: AtomicU64::new(epoch),
+            fenced_at: AtomicU64::new(0),
+            fenced: AtomicBool::new(false),
+            cursors: (0..shard_count)
+                .map(|_| {
+                    Mutex::new(ShipCursor {
+                        produced: 0,
+                        acked: 0,
+                        attached: false,
+                    })
+                })
+                .collect(),
+            stats: ShipperCells::default(),
+        }
+    }
+
+    /// The epoch this shipper ships under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Whether a higher epoch has deposed this shipper. Once true, every
+    /// ship fails with [`ReplicaError::StaleEpoch`] — the owning node
+    /// must stop serving.
+    pub fn is_fenced(&self) -> bool {
+        self.fenced.load(Ordering::SeqCst)
+    }
+
+    /// Number of shards the shipper tracks.
+    pub fn shard_count(&self) -> u32 {
+        self.cursors.len() as u32
+    }
+
+    /// `(produced, acked)` stream offsets for `shard`.
+    pub fn offsets(&self, shard: u32) -> (u64, u64) {
+        let cur = self.cursors[shard as usize].lock().unwrap();
+        (cur.produced, cur.acked)
+    }
+
+    /// Whether `shard`'s stream is live (attached and not fenced).
+    pub fn is_attached(&self, shard: u32) -> bool {
+        !self.is_fenced() && self.cursors[shard as usize].lock().unwrap().attached
+    }
+
+    /// Shards currently needing a snapshot transfer before frames flow.
+    pub fn detached_shards(&self) -> Vec<u32> {
+        (0..self.shard_count())
+            .filter(|&s| !self.cursors[s as usize].lock().unwrap().attached)
+            .collect()
+    }
+
+    fn note_fenced(&self, err: &ReplicaError) {
+        if let ReplicaError::StaleEpoch { current, .. } = err {
+            self.fenced_at.fetch_max(*current, Ordering::SeqCst);
+            self.fenced.store(true, Ordering::SeqCst);
+        }
+    }
+
+    fn stale_error(&self) -> ReplicaError {
+        ReplicaError::StaleEpoch {
+            offered: self.epoch(),
+            current: self.fenced_at.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Ships one just-appended frame spanning `start_offset..end_offset`
+    /// of `shard`'s log generation. The caller must invoke this in
+    /// append order per shard (the cloud tier serializes append + ship
+    /// under one lock).
+    ///
+    /// The produced cursor advances whether or not the ship succeeds, so
+    /// lag accounts for every byte the standby is missing. A transport
+    /// or apply failure detaches the shard (warm-standby availability:
+    /// the primary keeps serving, lag grows until catch-up); a stale
+    /// epoch fences the whole shipper closed.
+    pub fn ship(
+        &self,
+        shard: u32,
+        kind: u8,
+        payload: &[u8],
+        start_offset: u64,
+        end_offset: u64,
+    ) -> Result<u64, ReplicaError> {
+        let mut cur = self.cursors[shard as usize].lock().unwrap();
+        let bytes = end_offset.saturating_sub(start_offset);
+        cur.produced = end_offset;
+        if self.is_fenced() {
+            return Err(self.stale_error());
+        }
+        if !cur.attached {
+            return Err(ReplicaError::Detached { shard });
+        }
+        if start_offset != cur.acked {
+            // Only reachable if the caller broke append-order shipping;
+            // detach defensively rather than corrupt the standby.
+            cur.attached = false;
+            self.stats.ship_failures.fetch_add(1, Ordering::Relaxed);
+            return Err(ReplicaError::OffsetGap {
+                shard,
+                expected: cur.acked,
+                got: start_offset,
+            });
+        }
+        let frame = FrameShip {
+            epoch: self.epoch(),
+            shard,
+            start_offset,
+            end_offset,
+            kind,
+            payload: payload.to_vec(),
+        };
+        match self.transport.ship_frame(&frame) {
+            Ok(acked) => {
+                cur.acked = acked;
+                self.stats.shipped_frames.fetch_add(1, Ordering::Relaxed);
+                self.stats.shipped_bytes.fetch_add(bytes, Ordering::Relaxed);
+                self.stats.acked_bytes.fetch_add(bytes, Ordering::Relaxed);
+                Ok(acked)
+            }
+            Err(err) => {
+                self.note_fenced(&err);
+                if !matches!(err, ReplicaError::StaleEpoch { .. }) {
+                    cur.attached = false;
+                    self.stats.ship_failures.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(err)
+            }
+        }
+    }
+
+    /// Ships a full-shard snapshot covering the stream through
+    /// `end_offset`, (re)attaching the shard on success. This is the
+    /// single catch-up path: initial base of a fresh pair, a lagging or
+    /// freshly attached standby, and a primary compaction that reset
+    /// the stream all land here.
+    pub fn ship_snapshot(
+        &self,
+        shard: u32,
+        blob: &[u8],
+        end_offset: u64,
+    ) -> Result<u64, ReplicaError> {
+        let mut cur = self.cursors[shard as usize].lock().unwrap();
+        cur.produced = end_offset;
+        if self.is_fenced() {
+            return Err(self.stale_error());
+        }
+        let snap = SnapshotShip {
+            epoch: self.epoch(),
+            shard,
+            end_offset,
+            blob: blob.to_vec(),
+        };
+        match self.transport.ship_snapshot(&snap) {
+            Ok(acked) => {
+                cur.acked = acked;
+                cur.attached = true;
+                self.stats.snapshots_shipped.fetch_add(1, Ordering::Relaxed);
+                Ok(acked)
+            }
+            Err(err) => {
+                self.note_fenced(&err);
+                if !matches!(err, ReplicaError::StaleEpoch { .. }) {
+                    cur.attached = false;
+                    self.stats.ship_failures.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(err)
+            }
+        }
+    }
+
+    /// Point-in-time counters. Lag is summed over per-shard cursors, so
+    /// it reflects detached shards' unshipped bytes too.
+    pub fn stats(&self) -> ShipperStats {
+        let mut lag = 0u64;
+        for cursor in &self.cursors {
+            let cur = cursor.lock().unwrap();
+            lag += cur.produced.saturating_sub(cur.acked);
+        }
+        ShipperStats {
+            epoch: self.epoch(),
+            fenced: self.is_fenced(),
+            shipped_frames: self.stats.shipped_frames.load(Ordering::Relaxed),
+            shipped_bytes: self.stats.shipped_bytes.load(Ordering::Relaxed),
+            acked_bytes: self.stats.acked_bytes.load(Ordering::Relaxed),
+            lag_bytes: lag,
+            snapshots_shipped: self.stats.snapshots_shipped.load(Ordering::Relaxed),
+            ship_failures: self.stats.ship_failures.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<T: ShipTransport> std::fmt::Debug for Shipper<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shipper")
+            .field("epoch", &self.epoch())
+            .field("fenced", &self.is_fenced())
+            .field("shards", &self.cursors.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// Test sink: remembers applied frames and installed snapshots per
+    /// shard, with an optional failure switch.
+    #[derive(Default)]
+    struct VecSink {
+        frames: StdMutex<Vec<(u32, u8, Vec<u8>)>>,
+        snapshots: StdMutex<Vec<(u32, Vec<u8>)>>,
+        fail: AtomicBool,
+    }
+
+    impl ApplySink for VecSink {
+        fn apply_frame(&self, shard: u32, kind: u8, payload: &[u8]) -> Result<(), String> {
+            if self.fail.load(Ordering::SeqCst) {
+                return Err("sink offline".into());
+            }
+            self.frames
+                .lock()
+                .unwrap()
+                .push((shard, kind, payload.to_vec()));
+            Ok(())
+        }
+
+        fn install_snapshot(&self, shard: u32, blob: &[u8]) -> Result<(), String> {
+            if self.fail.load(Ordering::SeqCst) {
+                return Err("sink offline".into());
+            }
+            self.snapshots.lock().unwrap().push((shard, blob.to_vec()));
+            Ok(())
+        }
+    }
+
+    type TestStandby = Arc<Standby<Arc<VecSink>>>;
+    type TestShipper = Shipper<DirectLink<Arc<VecSink>>>;
+
+    fn pair(shards: u32) -> (TestStandby, TestShipper) {
+        let sink = Arc::new(VecSink::default());
+        let standby = Arc::new(Standby::new(sink, shards, 1));
+        let shipper = Shipper::new(DirectLink(Arc::clone(&standby)), shards, 1);
+        (standby, shipper)
+    }
+
+    impl ApplySink for Arc<VecSink> {
+        fn apply_frame(&self, shard: u32, kind: u8, payload: &[u8]) -> Result<(), String> {
+            self.as_ref().apply_frame(shard, kind, payload)
+        }
+
+        fn install_snapshot(&self, shard: u32, blob: &[u8]) -> Result<(), String> {
+            self.as_ref().install_snapshot(shard, blob)
+        }
+    }
+
+    #[test]
+    fn frames_flow_after_an_initial_base_snapshot() {
+        let (standby, shipper) = pair(2);
+        assert_eq!(
+            shipper.ship(0, 1, b"lost", 0, 4).unwrap_err(),
+            ReplicaError::Detached { shard: 0 },
+            "fresh pairs must be based before frames flow"
+        );
+        shipper.ship_snapshot(0, b"", 4).expect("base");
+        assert_eq!(shipper.ship(0, 1, b"a", 4, 9).expect("ship"), 9);
+        assert_eq!(shipper.ship(0, 2, b"bc", 9, 15).expect("ship"), 15);
+        assert_eq!(standby.acked_offset(0), 15);
+        assert_eq!(shipper.offsets(0), (15, 15));
+        let stats = shipper.stats();
+        assert_eq!(stats.shipped_frames, 2);
+        assert_eq!(stats.shipped_bytes, 11);
+        assert_eq!(
+            stats.lag_bytes, 0,
+            "the base snapshot covered the pre-base frame"
+        );
+        assert_eq!(standby.stats().applied_frames, 2);
+    }
+
+    #[test]
+    fn offset_gap_at_the_standby_is_rejected() {
+        let (standby, _) = pair(1);
+        standby
+            .install(&SnapshotShip {
+                epoch: 1,
+                shard: 0,
+                end_offset: 10,
+                blob: vec![],
+            })
+            .expect("base");
+        let gap = standby
+            .apply(&FrameShip {
+                epoch: 1,
+                shard: 0,
+                start_offset: 99,
+                end_offset: 120,
+                kind: 1,
+                payload: vec![],
+            })
+            .unwrap_err();
+        assert_eq!(
+            gap,
+            ReplicaError::OffsetGap {
+                shard: 0,
+                expected: 10,
+                got: 99
+            }
+        );
+        assert_eq!(
+            standby.acked_offset(0),
+            10,
+            "a rejected frame moves nothing"
+        );
+    }
+
+    #[test]
+    fn promotion_fences_the_old_primary_closed() {
+        let (standby, shipper) = pair(1);
+        shipper.ship_snapshot(0, b"state", 0).expect("base");
+        shipper.ship(0, 1, b"acked", 0, 7).expect("ship");
+        let new_epoch = standby.promote();
+        assert_eq!(new_epoch, 2);
+        let err = shipper.ship(0, 1, b"after", 7, 14).unwrap_err();
+        assert_eq!(
+            err,
+            ReplicaError::StaleEpoch {
+                offered: 1,
+                current: 2
+            }
+        );
+        assert!(shipper.is_fenced(), "first rejection fences the shipper");
+        // Every later ship fails closed without touching the standby.
+        assert!(matches!(
+            shipper.ship(0, 1, b"again", 14, 21),
+            Err(ReplicaError::StaleEpoch { .. })
+        ));
+        assert!(matches!(
+            shipper.ship_snapshot(0, b"resurrect", 21),
+            Err(ReplicaError::StaleEpoch { .. })
+        ));
+        assert_eq!(standby.stats().stale_rejected, 1);
+        assert_eq!(standby.stats().promotions, 1);
+        assert_eq!(standby.acked_offset(0), 7, "acked history survives intact");
+    }
+
+    #[test]
+    fn newer_epochs_are_adopted_not_rejected() {
+        let (standby, _) = pair(1);
+        standby
+            .install(&SnapshotShip {
+                epoch: 5,
+                shard: 0,
+                end_offset: 0,
+                blob: vec![],
+            })
+            .expect("a newly promoted peer may ship");
+        assert_eq!(standby.epoch(), 5, "the higher epoch is adopted");
+    }
+
+    #[test]
+    fn sink_failure_detaches_and_snapshot_reattaches() {
+        let sink = Arc::new(VecSink::default());
+        let standby = Arc::new(Standby::new(Arc::clone(&sink), 1, 1));
+        let shipper = Shipper::new(DirectLink(Arc::clone(&standby)), 1, 1);
+        shipper.ship_snapshot(0, b"", 0).expect("base");
+        shipper.ship(0, 1, b"ok", 0, 6).expect("ship");
+
+        sink.fail.store(true, Ordering::SeqCst);
+        assert!(matches!(
+            shipper.ship(0, 1, b"boom", 6, 12),
+            Err(ReplicaError::Apply { .. })
+        ));
+        assert!(!shipper.is_attached(0));
+        // The primary kept serving while detached; lag grows.
+        assert!(matches!(
+            shipper.ship(0, 1, b"while-down", 12, 22),
+            Err(ReplicaError::Detached { .. })
+        ));
+        assert_eq!(shipper.stats().lag_bytes, 16);
+        assert_eq!(shipper.stats().ship_failures, 1);
+
+        // Catch-up: one snapshot re-bases the stream at the current tip.
+        sink.fail.store(false, Ordering::SeqCst);
+        shipper
+            .ship_snapshot(0, b"caught-up", 22)
+            .expect("catch up");
+        assert!(shipper.is_attached(0));
+        assert_eq!(shipper.stats().lag_bytes, 0);
+        assert_eq!(standby.acked_offset(0), 22);
+        shipper.ship(0, 1, b"resumed", 22, 33).expect("resume");
+        assert_eq!(standby.acked_offset(0), 33);
+    }
+
+    #[test]
+    fn out_of_order_ship_detaches_defensively() {
+        let (_, shipper) = pair(1);
+        shipper.ship_snapshot(0, b"", 0).expect("base");
+        shipper.ship(0, 1, b"a", 0, 5).expect("ship");
+        let err = shipper.ship(0, 1, b"skipped-ahead", 9, 20).unwrap_err();
+        assert_eq!(
+            err,
+            ReplicaError::OffsetGap {
+                shard: 0,
+                expected: 5,
+                got: 9
+            }
+        );
+        assert_eq!(shipper.detached_shards(), vec![0]);
+    }
+
+    #[test]
+    fn per_shard_cursors_are_independent() {
+        let (standby, shipper) = pair(4);
+        for shard in 0..4 {
+            shipper.ship_snapshot(shard, b"", 0).expect("base");
+        }
+        shipper.ship(2, 1, b"two", 0, 7).expect("ship");
+        shipper.ship(3, 1, b"three", 0, 9).expect("ship");
+        assert_eq!(standby.acked_offset(2), 7);
+        assert_eq!(standby.acked_offset(3), 9);
+        assert_eq!(standby.acked_offset(0), 0);
+        assert_eq!(shipper.offsets(2), (7, 7));
+        assert_eq!(shipper.offsets(0), (0, 0));
+    }
+
+    #[test]
+    fn stats_report_epoch_and_fencing() {
+        let (standby, shipper) = pair(1);
+        shipper.ship_snapshot(0, b"", 0).expect("base");
+        assert_eq!(shipper.stats().epoch, 1);
+        assert!(!shipper.stats().fenced);
+        standby.promote();
+        let _ = shipper.ship(0, 1, b"x", 0, 4);
+        let stats = shipper.stats();
+        assert!(stats.fenced);
+        assert_eq!(stats.snapshots_shipped, 1);
+        assert_eq!(standby.stats().epoch, 2);
+    }
+}

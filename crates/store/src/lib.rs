@@ -36,7 +36,7 @@ mod wal;
 pub use frame::{
     crc32, decode_log, encode_frame, DecodedLog, Frame, Torn, FRAME_OVERHEAD, MAX_FRAME_BYTES,
 };
-pub use set::{Wal, WalStats};
+pub use set::{AppendedFrame, Wal, WalStats};
 pub use wal::{ShardRecovery, WalError};
 
 use std::str::FromStr;

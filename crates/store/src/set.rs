@@ -45,6 +45,29 @@ pub struct WalStats {
     pub recovered_snapshots: u64,
     /// Torn-tail bytes discarded at open time.
     pub recovered_truncated_bytes: u64,
+    /// Bytes appended past the header, summed over every shard's current
+    /// log generation (snapshot installs reset a shard's contribution).
+    pub appended_bytes: u64,
+    /// Prefix of `appended_bytes` covered by an fsync. The gap between
+    /// the two is the in-memory loss window a crash would cost; replicas
+    /// measure their lag against these same offsets.
+    pub durable_bytes: u64,
+}
+
+/// Where one appended frame landed in its shard's current log
+/// generation. Replication ships the frame against exactly these
+/// offsets; a snapshot install resets the generation (and the offsets)
+/// to zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendedFrame {
+    /// Byte offset past the header where the frame starts.
+    pub start_offset: u64,
+    /// Offset just past the frame (`start_offset + bytes`).
+    pub end_offset: u64,
+    /// Encoded frame length, framing overhead included.
+    pub bytes: u64,
+    /// Whether this append's group-commit threshold issued an fsync.
+    pub synced: bool,
 }
 
 struct WalShared {
@@ -174,10 +197,11 @@ impl Wal {
     }
 
     /// Appends one frame to `shard`'s log, fsyncing per the policy.
+    /// Returns where the frame landed in the shard's log generation.
     ///
     /// # Panics
     /// Panics if `shard` is out of range for the layout.
-    pub fn append(&self, shard: u32, kind: u8, payload: &[u8]) -> Result<(), WalError> {
+    pub fn append(&self, shard: u32, kind: u8, payload: &[u8]) -> Result<AppendedFrame, WalError> {
         let wal = &self.shared.shards[shard as usize];
         let threshold = match self.policy {
             FlushPolicy::EveryWrite => Some(1),
@@ -209,7 +233,12 @@ impl Wal {
                 finished,
             );
         }
-        Ok(())
+        Ok(AppendedFrame {
+            start_offset: outcome.end_offset - outcome.bytes,
+            end_offset: outcome.end_offset,
+            bytes: outcome.bytes,
+            synced: outcome.synced,
+        })
     }
 
     /// Forces every shard's unsynced appends to disk, regardless of
@@ -239,6 +268,12 @@ impl Wal {
     /// open time).
     pub fn stats(&self) -> WalStats {
         let stats = &self.shared.stats;
+        let (mut appended, mut durable) = (0, 0);
+        for shard in &self.shared.shards {
+            let (a, d) = shard.offsets();
+            appended += a;
+            durable += d;
+        }
         WalStats {
             appends: stats.appends.load(Ordering::Relaxed),
             fsyncs: stats.fsyncs.load(Ordering::Relaxed),
@@ -247,7 +282,28 @@ impl Wal {
             recovered_entries: stats.recovered_entries.load(Ordering::Relaxed),
             recovered_snapshots: stats.recovered_snapshots.load(Ordering::Relaxed),
             recovered_truncated_bytes: stats.recovered_truncated_bytes.load(Ordering::Relaxed),
+            appended_bytes: appended,
+            durable_bytes: durable,
         }
+    }
+
+    /// Byte offset past the header that appends to `shard` have reached
+    /// in its current log generation. Replication ships frames against
+    /// exactly these offsets, so lag is observable without reaching into
+    /// file internals.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range for the layout.
+    pub fn appended_offset(&self, shard: u32) -> u64 {
+        self.shared.shards[shard as usize].offsets().0
+    }
+
+    /// Prefix of [`Wal::appended_offset`] made durable by an fsync.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range for the layout.
+    pub fn durable_offset(&self, shard: u32) -> u64 {
+        self.shared.shards[shard as usize].offsets().1
     }
 
     /// Current byte length of `shard`'s log file. Exposed for the
@@ -332,6 +388,25 @@ mod tests {
         assert_eq!(stats.fsyncs, 2, "10 appends at N=4 → syncs at 4 and 8");
         assert_eq!(wal.flush().expect("flush"), 1, "2 stragglers flushed");
         assert_eq!(wal.stats().fsyncs, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn offset_accessors_expose_replication_lag() {
+        let dir = temp_dir("offsets");
+        let (wal, _) = Wal::open(&dir, 2, FlushPolicy::EveryN(2)).expect("open");
+        let first = wal.append(0, 1, b"one").expect("append");
+        assert_eq!(first.start_offset, 0);
+        assert_eq!(first.end_offset, first.bytes);
+        assert!(!first.synced, "N=2 defers the fsync");
+        assert_eq!(wal.appended_offset(0), first.end_offset);
+        assert_eq!(wal.durable_offset(0), 0, "N=2 defers the fsync");
+        assert_eq!(wal.appended_offset(1), 0, "untouched shard stays at zero");
+        wal.append(0, 1, b"two").expect("append");
+        assert_eq!(wal.durable_offset(0), wal.appended_offset(0));
+        let stats = wal.stats();
+        assert_eq!(stats.appended_bytes, wal.appended_offset(0));
+        assert_eq!(stats.durable_bytes, stats.appended_bytes);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -118,17 +118,30 @@ pub(crate) struct AppendOutcome {
     /// Wall time the `sync_data` took when `synced`, else zero — lets the
     /// caller attribute the group-commit fsync separately from the write.
     pub sync_ns: u64,
+    /// Offset past the header the frame ends at in this log generation
+    /// (the frame spans `end_offset - bytes .. end_offset`).
+    pub end_offset: u64,
 }
 
 struct ShardFile {
     file: File,
     /// Appends not yet covered by an fsync.
     pending: u64,
+    /// Bytes appended past the header in the current log generation.
+    appended: u64,
+    /// Prefix of `appended` covered by an fsync (the durable offset).
+    durable: u64,
 }
 
 /// One shard's log file handle. All file access funnels through the
 /// inner mutex, so appends, flushes (including the background interval
 /// flusher), and snapshot installs never interleave mid-operation.
+///
+/// The handle also tracks two byte offsets past the header into the
+/// *current log generation*: how far appends have reached and how much
+/// of that prefix an fsync has covered. Replication keys its shipped /
+/// acked cursors off these offsets; a snapshot install starts a new
+/// generation and resets both to zero.
 pub(crate) struct ShardWal {
     shard: u32,
     shard_count: u32,
@@ -157,6 +170,7 @@ impl ShardWal {
         let len = file.metadata()?.len();
 
         let mut truncated = 0u64;
+        let mut recovered = 0u64;
         let frames = if len < LOG_HEADER_LEN {
             // Brand new (or hopelessly short) file: stamp a fresh header.
             // A file shorter than the header can only be a crash during
@@ -182,6 +196,7 @@ impl ShardWal {
                 file.sync_data()?;
             }
             file.seek(SeekFrom::Start(clean_end))?;
+            recovered = clean_end - LOG_HEADER_LEN;
             frames
         };
 
@@ -199,7 +214,13 @@ impl ShardWal {
                 shard_count,
                 log_path,
                 snap_path,
-                inner: Mutex::new(ShardFile { file, pending: 0 }),
+                inner: Mutex::new(ShardFile {
+                    file,
+                    pending: 0,
+                    // Whatever survived on disk is durable by definition.
+                    appended: recovered,
+                    durable: recovered,
+                }),
             },
             recovery,
         ))
@@ -219,11 +240,13 @@ impl ShardWal {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.file.write_all(&buf)?;
         inner.pending += 1;
+        inner.appended += buf.len() as u64;
         let (synced, sync_ns) = match sync_threshold {
             Some(n) if inner.pending >= n.max(1) => {
                 let sync_started = std::time::Instant::now();
                 inner.file.sync_data()?;
                 inner.pending = 0;
+                inner.durable = inner.appended;
                 let elapsed = sync_started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
                 (true, elapsed)
             }
@@ -233,6 +256,7 @@ impl ShardWal {
             bytes: buf.len() as u64,
             synced,
             sync_ns,
+            end_offset: inner.appended,
         })
     }
 
@@ -244,6 +268,7 @@ impl ShardWal {
         }
         inner.file.sync_data()?;
         inner.pending = 0;
+        inner.durable = inner.appended;
         Ok(true)
     }
 
@@ -271,7 +296,17 @@ impl ShardWal {
         inner.file.seek(SeekFrom::Start(LOG_HEADER_LEN))?;
         inner.file.sync_data()?;
         inner.pending = 0;
+        inner.appended = 0;
+        inner.durable = 0;
         Ok(())
+    }
+
+    /// `(appended, durable)` byte offsets past the header in the current
+    /// log generation. `durable ≤ appended` always; both reset to zero
+    /// when a snapshot install starts a new generation.
+    pub(crate) fn offsets(&self) -> (u64, u64) {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        (inner.appended, inner.durable)
     }
 
     /// Current log file length in bytes (header included). Test hook for
@@ -489,6 +524,44 @@ mod tests {
         assert_eq!(rec.snapshot.as_deref(), Some(&b"snapshot-state"[..]));
         assert_eq!(rec.frames.len(), 1);
         assert_eq!(rec.frames[0].payload, b"post-snapshot");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn offsets_track_appends_syncs_and_snapshot_resets() {
+        let dir = temp_dir("offsets");
+        let all;
+        {
+            let (wal, _) = ShardWal::open(&dir, 0, 1).expect("open");
+            assert_eq!(wal.offsets(), (0, 0));
+            let a = wal.append(1, b"abc", Some(2)).expect("append");
+            assert!(!a.synced);
+            assert_eq!(
+                wal.offsets(),
+                (a.bytes, 0),
+                "unsynced appends are not durable"
+            );
+            let b = wal.append(1, b"defg", Some(2)).expect("append");
+            assert!(b.synced);
+            assert_eq!(wal.offsets(), (a.bytes + b.bytes, a.bytes + b.bytes));
+            let c = wal.append(1, b"hi", None).expect("append");
+            assert_eq!(wal.offsets().1, a.bytes + b.bytes);
+            wal.flush().expect("flush");
+            all = a.bytes + b.bytes + c.bytes;
+            assert_eq!(
+                wal.offsets(),
+                (all, all),
+                "flush promotes the durable offset"
+            );
+        }
+        let (wal, _) = ShardWal::open(&dir, 0, 1).expect("reopen");
+        assert_eq!(
+            wal.offsets(),
+            (all, all),
+            "what survived on disk is durable"
+        );
+        wal.install_snapshot(b"snap").expect("snapshot");
+        assert_eq!(wal.offsets(), (0, 0), "snapshot starts a new generation");
         let _ = fs::remove_dir_all(&dir);
     }
 

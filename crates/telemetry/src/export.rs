@@ -12,11 +12,12 @@
 //! ```
 //!
 //! Histograms expand into derived scalar lines (`.count`, `.mean_us`,
-//! `.p50_us`, `.p99_us`, `.max_us`) so the whole exposition stays in the
-//! one-line-one-number grammar that line-oriented tooling (and the CI
-//! golden check) can parse without a schema. [`parse_text_exposition`] is
-//! that parser — exported so tests and CI validate real output against
-//! the real grammar instead of a drifting copy.
+//! `.p50_us`, `.p99_us`, `.max_us`) plus one `.bucket.<upper_us>` line
+//! per non-empty power-of-two bucket, so the whole exposition stays in
+//! the one-line-one-number grammar that line-oriented tooling (and the
+//! CI golden check) can parse without a schema. [`parse_text_exposition`]
+//! is that parser — exported so tests and CI validate real output
+//! against the real grammar instead of a drifting copy.
 
 use crate::registry::{MetricValue, RegistrySnapshot};
 use crate::span::SpanRecord;
@@ -37,6 +38,11 @@ pub fn text_exposition(snapshot: &RegistrySnapshot) -> String {
                 let _ = writeln!(out, "{name}.mean_us {:.1}", h.mean_us());
                 let _ = writeln!(out, "{name}.p50_us {}", h.percentile_us(0.50));
                 let _ = writeln!(out, "{name}.p99_us {}", h.percentile_us(0.99));
+                // Full distribution, sparsely: empty buckets are elided so
+                // an idle histogram stays five lines, not thirty-seven.
+                for (upper_us, n) in h.nonzero_buckets() {
+                    let _ = writeln!(out, "{name}.bucket.{upper_us} {n}");
+                }
             }
         }
     }
@@ -125,6 +131,38 @@ mod tests {
         assert_eq!(get("gateway.queue_wait.count"), Some(1.0));
         assert_eq!(get("gateway.queue_wait.p99_us"), Some(512.0));
         assert!(get("gateway.queue_wait.mean_us").is_some());
+        // The one 300 µs sample lands in the ≤512 µs bucket, and empty
+        // buckets emit no lines at all.
+        assert_eq!(get("gateway.queue_wait.bucket.512"), Some(1.0));
+        assert_eq!(
+            parsed
+                .iter()
+                .filter(|(name, _)| name.contains(".bucket."))
+                .count(),
+            1,
+            "only non-empty buckets are emitted"
+        );
+    }
+
+    #[test]
+    fn bucket_lines_cover_the_whole_distribution() {
+        let reg = Registry::new();
+        let h = reg.histogram("cloud.replication_ship");
+        for us in [1u64, 3, 3, 300] {
+            h.record(Duration::from_micros(us));
+        }
+        let text = text_exposition(&reg.snapshot());
+        let parsed = parse_text_exposition(&text).expect("own output parses");
+        let get = |n: &str| parsed.iter().find(|(name, _)| name == n).map(|&(_, v)| v);
+        assert_eq!(get("cloud.replication_ship.bucket.2"), Some(1.0));
+        assert_eq!(get("cloud.replication_ship.bucket.4"), Some(2.0));
+        assert_eq!(get("cloud.replication_ship.bucket.512"), Some(1.0));
+        let bucket_sum: f64 = parsed
+            .iter()
+            .filter(|(name, _)| name.starts_with("cloud.replication_ship.bucket."))
+            .map(|&(_, v)| v)
+            .sum();
+        assert_eq!(bucket_sum, 4.0, "bucket counts sum to the sample count");
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //! segments joined by dots: `gateway.queue_wait`, `gateway.lane.3.routed`,
 //! `cloud.shard.0.contention`, `wal.bytes_written`, `cache.hits`.
 //! Histograms expose derived `.count`/`.mean_us`/`.p50_us`/`.p99_us`/
-//! `.max_us` lines in the text exposition.
+//! `.max_us` lines plus sparse `.bucket.<upper_us>` distribution lines
+//! in the text exposition.
 
 use crate::metrics::{Counter, Gauge, LatencyHistogram, LatencySnapshot};
 use std::collections::BTreeMap;

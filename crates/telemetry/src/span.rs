@@ -84,10 +84,12 @@ pub enum Stage {
     WalFsync = 5,
     /// DSP analysis of the uploaded trace (cache misses only).
     Analysis = 6,
+    /// Shipping one WAL frame to the warm standby, through its ack.
+    Replication = 7,
 }
 
 /// Every stage, in pipeline order.
-pub const STAGES: [Stage; 7] = [
+pub const STAGES: [Stage; 8] = [
     Stage::Admission,
     Stage::Queue,
     Stage::Service,
@@ -95,6 +97,7 @@ pub const STAGES: [Stage; 7] = [
     Stage::WalAppend,
     Stage::WalFsync,
     Stage::Analysis,
+    Stage::Replication,
 ];
 
 impl Stage {
@@ -108,6 +111,7 @@ impl Stage {
             Stage::WalAppend => "wal_append",
             Stage::WalFsync => "wal_fsync",
             Stage::Analysis => "analysis",
+            Stage::Replication => "replication",
         }
     }
 

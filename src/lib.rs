@@ -15,6 +15,8 @@
 //!   multiplexing fleet-scale session counts over a fixed thread pool;
 //! * [`store`] — durable per-shard write-ahead log with group commit,
 //!   snapshots, and crash recovery backing the cloud tier;
+//! * [`replica`] — epoch-fenced WAL stream replication pairing each
+//!   shard with a warm standby and a fenced promotion path;
 //! * [`telemetry`] — request-scoped trace spans, the unified metrics
 //!   registry, and text/JSON exposition shared by every serving layer.
 //!
@@ -29,6 +31,7 @@ pub use medsen_gateway as gateway;
 pub use medsen_impedance as impedance;
 pub use medsen_microfluidics as microfluidics;
 pub use medsen_phone as phone;
+pub use medsen_replica as replica;
 pub use medsen_runtime as runtime;
 pub use medsen_sensor as sensor;
 pub use medsen_store as store;

@@ -1,0 +1,219 @@
+//! Property tests for warm-standby replication (vendored proptest).
+//!
+//! The invariant the failover battery spot-checks, stated as a law and
+//! fuzzed over arbitrary operation sequences and arbitrary cut points:
+//! **replaying any acked prefix of the shipped frame stream yields a
+//! node observationally equivalent to the primary at that offset.**
+//!
+//! * `standby_always_equals_the_acked_prefix_oracle` — partition the
+//!   link after a random prefix of a random op sequence. The standby
+//!   applied exactly the acked prefix, so it must match a memory-only
+//!   oracle that replayed only those ops; after healing and snapshot
+//!   catch-up it must match the full-sequence oracle, byte-for-byte of
+//!   observable behavior.
+//! * `promoted_standby_equals_the_oracle_at_any_kill_point` — kill the
+//!   primary after a random prefix instead; the promoted standby must
+//!   serve the prefix oracle's history and keep taking writes.
+
+use medsen::cloud::auth::BeadSignature;
+use medsen::cloud::service::{CloudService, Request, Response};
+use medsen::cloud::storage::StoredRecord;
+use medsen::cloud::{FlushPolicy, PeakReport, RecordId, ReplicatedCloud, StorageConfig};
+use medsen::microfluidics::ParticleKind;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const SHARDS: usize = 4;
+
+fn sig(n: u64) -> BeadSignature {
+    BeadSignature::from_counts(&[(ParticleKind::Bead358, n)])
+}
+
+fn record(user: &str, n: u64) -> StoredRecord {
+    StoredRecord {
+        user_id: user.to_string(),
+        report: PeakReport {
+            peaks: vec![],
+            carriers_hz: vec![5e5],
+            sample_rate_hz: 450.0,
+            duration_s: n as f64,
+            noise_sigma: 3.0e-4,
+        },
+        signature: sig(n),
+    }
+}
+
+/// The op vocabulary: enrolls and stores spread over a small user pool
+/// (so re-enrollment and multi-record users occur), plus tampers aimed
+/// at whatever records exist by then.
+#[derive(Clone, Debug)]
+enum Op {
+    Enroll(u8, u64),
+    Store(u8, u64),
+    Tamper(u8),
+}
+
+fn apply(svc: &CloudService, op: &Op, created: &mut Vec<RecordId>) {
+    match op {
+        Op::Enroll(user, n) => {
+            let response = svc.handle_shared(Request::Enroll {
+                identifier: format!("user-{user}"),
+                signature: sig(*n),
+            });
+            assert_eq!(response, Response::Enrolled);
+        }
+        Op::Store(user, n) => {
+            created.push(svc.store().store(record(&format!("user-{user}"), *n)));
+        }
+        Op::Tamper(k) => {
+            if let Some(id) = created.get(*k as usize) {
+                assert!(svc.store().tamper(*id, record("mallory", 666)));
+            }
+        }
+    }
+}
+
+fn total_enrolled(svc: &CloudService) -> usize {
+    svc.shard_stats().iter().map(|s| s.enrolled).sum()
+}
+
+/// Replays `ops` on a fresh memory-only service — the oracle.
+fn oracle_for(ops: &[Op]) -> (CloudService, Vec<RecordId>) {
+    let oracle = CloudService::with_shards(SHARDS);
+    let mut ids = Vec::new();
+    for op in ops {
+        apply(&oracle, op, &mut ids);
+    }
+    (oracle, ids)
+}
+
+/// Observational equivalence over every id either side allocated.
+fn check_equiv(
+    served: &CloudService,
+    oracle: &CloudService,
+    ids: &[RecordId],
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(served.store().len(), oracle.store().len(), "record count");
+    prop_assert_eq!(
+        total_enrolled(served),
+        total_enrolled(oracle),
+        "enrollments"
+    );
+    for id in ids {
+        let (a, b) = (served.store().fetch(*id), oracle.store().fetch(*id));
+        prop_assert_eq!(a, b, "record {:?} diverged", id);
+        prop_assert_eq!(
+            served.handle_shared(Request::VerifyIntegrity { record_id: *id }),
+            oracle.handle_shared(Request::VerifyIntegrity { record_id: *id }),
+            "integrity verdict for {:?} diverged",
+            id
+        );
+    }
+    Ok(())
+}
+
+/// Fresh on-disk pair per proptest case; the counter keeps concurrent
+/// cases (and shrink replays) from colliding on the same directories.
+fn replicated_pair() -> (Arc<ReplicatedCloud>, [PathBuf; 2]) {
+    static CASE: AtomicUsize = AtomicUsize::new(0);
+    let case = CASE.fetch_add(1, Ordering::Relaxed);
+    let dirs = ["p", "s"].map(|side| {
+        let dir = std::env::temp_dir().join(format!(
+            "medsen-replica-props-{side}-{case}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    });
+    let [primary, standby] = dirs.each_ref().map(|dir| {
+        CloudService::with_storage_config(
+            StorageConfig::new(dir).flush(FlushPolicy::EveryWrite),
+            SHARDS,
+        )
+        .expect("storage opens")
+    });
+    let pair = primary.with_replication(standby).expect("pair wires up");
+    (pair, dirs)
+}
+
+fn cleanup(dirs: [PathBuf; 2]) {
+    for dir in dirs {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Arbitrary op sequences plus a cut point somewhere in them.
+fn ops_and_cut() -> impl Strategy<Value = (Vec<Op>, usize)> {
+    // The vendored proptest has no `prop_oneof`; a discriminant field
+    // picks the variant instead.
+    let op = (0u8..3, 0u8..8, 3u64..60).prop_map(|(d, u, n)| match d {
+        0 => Op::Enroll(u % 4, n),
+        1 => Op::Store(u % 4, n),
+        _ => Op::Tamper(u),
+    });
+    proptest::collection::vec(op, 0..14)
+        .prop_flat_map(|ops| (0..=ops.len()).prop_map(move |cut| (ops.clone(), cut)))
+}
+
+proptest! {
+    // Each case opens four WALs on disk; 24 cases keeps the suite quick
+    // while still shrinking failures to a minimal op sequence.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn standby_always_equals_the_acked_prefix_oracle((ops, cut) in ops_and_cut()) {
+        let (pair, dirs) = replicated_pair();
+        let mut created = Vec::new();
+        for op in &ops[..cut] {
+            apply(&pair.serving(), op, &mut created);
+        }
+        // Partition: everything after the cut is acked by the primary
+        // but never shipped — the acked prefix of the stream is ops[..cut].
+        pair.partition_link();
+        for op in &ops[cut..] {
+            apply(&pair.serving(), op, &mut created);
+        }
+        prop_assert!(!pair.is_promoted(), "a partition alone must not fail over");
+        let (prefix_oracle, prefix_ids) = oracle_for(&ops[..cut]);
+        prop_assert_eq!(&created[..prefix_ids.len()], &prefix_ids[..], "id allocation");
+        check_equiv(pair.standby(), &prefix_oracle, &created)?;
+        // Heal and catch up: the standby must now equal the full oracle.
+        pair.heal_link();
+        pair.catch_up().expect("snapshot transfer");
+        prop_assert_eq!(pair.status().shipper.lag_bytes, 0, "catch-up drains all lag");
+        let (full_oracle, full_ids) = oracle_for(&ops);
+        prop_assert_eq!(&created, &full_ids, "id allocation");
+        check_equiv(pair.standby(), &full_oracle, &created)?;
+        cleanup(dirs);
+    }
+
+    #[test]
+    fn promoted_standby_equals_the_oracle_at_any_kill_point((ops, cut) in ops_and_cut()) {
+        let (pair, dirs) = replicated_pair();
+        let mut created = Vec::new();
+        for op in &ops[..cut] {
+            apply(&pair.serving(), op, &mut created);
+        }
+        pair.kill_primary();
+        let serving = pair.serving();
+        prop_assert!(pair.is_promoted(), "routing must promote after a kill");
+        prop_assert!(Arc::ptr_eq(&serving, pair.standby()), "the standby serves");
+        let (oracle, oracle_ids) = oracle_for(&ops[..cut]);
+        prop_assert_eq!(&created, &oracle_ids, "id allocation");
+        check_equiv(&serving, &oracle, &created)?;
+        // The promoted node is a live primary: the rest of the sequence
+        // runs against it and stays oracle-equivalent, ids included
+        // (replication advanced the standby's allocators to exactly the
+        // primary's high-water marks).
+        let mut oracle_created = created.clone();
+        for op in &ops[cut..] {
+            apply(&serving, op, &mut created);
+            apply(&oracle, op, &mut oracle_created);
+        }
+        prop_assert_eq!(&created, &oracle_created, "post-failover id allocation");
+        check_equiv(&serving, &oracle, &created)?;
+        cleanup(dirs);
+    }
+}
