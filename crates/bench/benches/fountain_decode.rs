@@ -1,0 +1,112 @@
+//! Benchmarks the fountain peeling decoder that reassembles one-way
+//! uploads at the gateway: decode throughput under symbol drop rates of
+//! 0/10/30/50%, and the reception-overhead cost of the LT code across
+//! block sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use medsen_fountain::{Decoder, Encoder};
+use std::hint::black_box;
+
+/// Deterministic per-symbol drop decision at `drop_pct` percent.
+fn dropped(symbol_id: u64, drop_pct: u64) -> bool {
+    let draw = symbol_id
+        .wrapping_add(0x5EED)
+        .wrapping_mul(0x2545_F491_4F6C_DD1D)
+        >> 32;
+    draw % 100 < drop_pct
+}
+
+fn block(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i * 131 + i / 251) as u8).collect()
+}
+
+/// Pre-rendered surviving symbol stream for one (block, drop) scenario.
+fn surviving_frames(
+    body: &[u8],
+    symbol_size: usize,
+    drop_pct: u64,
+) -> Vec<medsen_fountain::SymbolFrame> {
+    let mut encoder = Encoder::new(1, 0xF0, body, symbol_size).expect("encoder");
+    let k = encoder.source_symbols() as u64;
+    (0..k * 6 + 32)
+        .filter(|&id| !dropped(id, drop_pct))
+        .map(|id| encoder.symbol(id))
+        .collect()
+}
+
+/// Decode throughput (block bytes/sec) as the link drops 0/10/30/50% of
+/// the coded stream. Higher loss means later, higher-degree symbols do
+/// more of the work, so peeling cost rises with drop rate.
+fn decode_vs_drop(c: &mut Criterion) {
+    let symbol_size = 512;
+    let body = block(256 * 1024);
+    let mut group = c.benchmark_group("fountain_decode_vs_drop");
+    group.throughput(Throughput::Bytes(body.len() as u64));
+    for drop_pct in [0u64, 10, 30, 50] {
+        let frames = surviving_frames(&body, symbol_size, drop_pct);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{drop_pct}pct")),
+            &frames,
+            |b, frames| {
+                b.iter(|| {
+                    let mut decoder = Decoder::new(body.len(), symbol_size, 0xF0).expect("decoder");
+                    for frame in frames {
+                        if decoder.push_frame(black_box(frame)).expect("same stream") {
+                            break;
+                        }
+                    }
+                    assert!(decoder.is_complete(), "budget must cover {drop_pct}% drop");
+                    black_box(decoder.stats())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Reception overhead (symbols needed / k) across block sizes: LT
+/// overhead is proportionally worst for tiny blocks and amortizes as k
+/// grows. Reported as decode time per block; the overhead ratio itself
+/// is printed once per size so the trend is visible in bench logs.
+fn overhead_vs_block_size(c: &mut Criterion) {
+    let symbol_size = 512;
+    let mut group = c.benchmark_group("fountain_overhead_vs_block");
+    for size in [4 * 1024usize, 32 * 1024, 256 * 1024, 1024 * 1024] {
+        let body = block(size);
+        let frames = surviving_frames(&body, symbol_size, 0);
+        // One decode outside the timer to surface the overhead ratio.
+        let mut probe = Decoder::new(body.len(), symbol_size, 0xF0).expect("decoder");
+        for frame in &frames {
+            if probe.push_frame(frame).expect("same stream") {
+                break;
+            }
+        }
+        let stats = probe.stats();
+        println!(
+            "fountain_overhead: block={size}B k={} symbols_to_complete={} ratio={:.3}",
+            stats.source_symbols,
+            stats.symbols_to_complete,
+            stats.overhead_ratio()
+        );
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}KiB", size / 1024)),
+            &frames,
+            |b, frames| {
+                b.iter(|| {
+                    let mut decoder = Decoder::new(body.len(), symbol_size, 0xF0).expect("decoder");
+                    for frame in frames {
+                        if decoder.push_frame(black_box(frame)).expect("same stream") {
+                            break;
+                        }
+                    }
+                    black_box(decoder.is_complete())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, decode_vs_drop, overhead_vs_block_size);
+criterion_main!(benches);

@@ -360,6 +360,8 @@ pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
             "flush",
             "telemetry",
             "replicas",
+            "uplink",
+            "symbol-budget",
         ]
         .contains(&name.as_str())
         {
@@ -387,6 +389,30 @@ pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
                 "--telemetry got `{other}` (expected `text`, `json`, or `off`)"
             ))
         }
+    };
+    // `--uplink fountain` runs the fleet in one-way (data diode) mode:
+    // no retries, no ACKs, budgeted fountain symbols instead.
+    let fountain_uplink = match options.get("uplink").map(String::as_str) {
+        None | Some("retry") => false,
+        Some("fountain") => true,
+        Some(other) => {
+            return Err(format!(
+                "--uplink got `{other}` (expected `retry` or `fountain`)"
+            ))
+        }
+    };
+    let budget_factor: Option<f64> = match options.get("symbol-budget") {
+        Some(value) => {
+            if !fountain_uplink {
+                return Err("--symbol-budget needs --uplink fountain".into());
+            }
+            let factor: f64 = value.parse().map_err(|e| format!("--symbol-budget: {e}"))?;
+            if !(1.0..=64.0).contains(&factor) {
+                return Err("--symbol-budget must be in 1.0..=64.0".into());
+            }
+            Some(factor)
+        }
+        None => None,
     };
     let data_dir = options.get("data-dir").cloned();
     let replicas = options.contains_key("replicas");
@@ -529,9 +555,23 @@ pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
             .map_err(|e| format!("admin close failed: {e}"))?;
     }
 
-    // Connect deterministically, then run all sessions concurrently.
+    // Connect deterministically, then run all sessions concurrently. In
+    // fountain mode the budget defaults to the observed drop rate (plus
+    // LT margin); `--symbol-budget` overrides the factor directly.
+    let session_config = |i: usize| {
+        let seed = seed.wrapping_add(i as u64);
+        if fountain_uplink {
+            let budget = match budget_factor {
+                Some(factor) => medsen_phone::SymbolBudget { factor, floor: 24 },
+                None => medsen_phone::SymbolBudget::for_drop_rate(flaky),
+            };
+            SessionConfig::fountain(flaky, seed, budget)
+        } else {
+            SessionConfig::flaky(flaky, seed)
+        }
+    };
     let connected: Vec<_> = (0..sessions)
-        .map(|i| gateway.connect(SessionConfig::flaky(flaky, seed.wrapping_add(i as u64))))
+        .map(|i| gateway.connect(session_config(i)))
         .collect();
     let outcomes = std::sync::Mutex::new(Vec::new());
     std::thread::scope(|scope| {
@@ -551,9 +591,12 @@ pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
     outcomes.sort_by_key(|(i, ..)| *i);
     let (mut accepted, mut rejected, mut other, mut errors) = (0u64, 0u64, 0u64, 0u64);
     let (mut link_retries, mut shed_retries) = (0u64, 0u64);
+    let (mut symbols_emitted, mut symbols_dropped) = (0u64, 0u64);
     for (i, user, outcome, stats) in &outcomes {
         link_retries += stats.link_retries;
         shed_retries += stats.shed_retries;
+        symbols_emitted += stats.symbols_emitted;
+        symbols_dropped += stats.symbols_dropped;
         match outcome {
             Ok(Response::Analyzed {
                 auth: Some(AuthDecision::Accepted { user_id }),
@@ -570,8 +613,9 @@ pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
             }
         }
     }
+    let uplink_label = if fountain_uplink { "fountain" } else { "retry" };
     wl(out, format!(
-        "fleet: {sessions} sessions via {workers} workers (queue depth {queue}, {:.0}% flaky uplink, {runtime} runtime)",
+        "fleet: {sessions} sessions via {workers} workers (queue depth {queue}, {:.0}% flaky uplink, {uplink_label} uplink, {runtime} runtime)",
         flaky * 100.0
     ));
     wl(
@@ -584,10 +628,17 @@ pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
     wl(out, format!(
         "auth: {accepted} accepted as themselves, {rejected} rejected, {other} other, {errors} gave up"
     ));
-    wl(
-        out,
-        format!("client retries: {link_retries} link, {shed_retries} backpressure"),
-    );
+    if fountain_uplink {
+        wl(
+            out,
+            format!("one-way stream: {symbols_emitted} symbols emitted, {symbols_dropped} lost in transit"),
+        );
+    } else {
+        wl(
+            out,
+            format!("client retries: {link_retries} link, {shed_retries} backpressure"),
+        );
+    }
     if data_dir.is_some() {
         // Stop admitting, finish in-flight work, and force the final
         // group-commit flush before the process exits.

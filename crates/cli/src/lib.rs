@@ -31,6 +31,7 @@ COMMANDS:
               [--runtime threads|async] [--shards N]
               [--data-dir PATH] [--flush write|every:N|interval:MS]
               [--telemetry text|json|off] [--replicas]
+              [--uplink retry|fountain] [--symbol-budget FACTOR]
                                                        serve a clinic fleet concurrently;
                                                        with --data-dir, persist through a
                                                        per-shard WAL and recover on restart;
@@ -39,7 +40,11 @@ COMMANDS:
                                                        <data-dir>-standby) and routes through
                                                        the pair; --telemetry dumps the unified
                                                        metric exposition (text) or the span
-                                                       ring (json) after the fleet drains
+                                                       ring (json) after the fleet drains;
+                                                       --uplink fountain streams one-way
+                                                       (ACK-free) fountain symbols instead of
+                                                       retrying, with --symbol-budget coded
+                                                       symbols per source symbol (1.0..=64.0)
     replica-status [--shards N] [--writes N] [--kill]  run a demo replicated pair, print its
                                                        shipping/lag/epoch status; with --kill,
                                                        crash the primary mid-run and show the
@@ -166,6 +171,50 @@ mod tests {
         let (code, text) = run_to_string(&["gateway", "--replicas"]);
         assert_eq!(code, 1);
         assert!(text.contains("--replicas needs --data-dir"), "{text}");
+    }
+
+    #[test]
+    fn gateway_uplink_validates_its_arguments() {
+        let (code, text) = run_to_string(&["gateway", "--uplink", "carrier-pigeon"]);
+        assert_eq!(code, 1);
+        assert!(text.contains("expected `retry` or `fountain`"), "{text}");
+
+        let (code, text) = run_to_string(&["gateway", "--symbol-budget", "4"]);
+        assert_eq!(code, 1);
+        assert!(
+            text.contains("--symbol-budget needs --uplink fountain"),
+            "{text}"
+        );
+
+        let (code, text) =
+            run_to_string(&["gateway", "--uplink", "fountain", "--symbol-budget", "900"]);
+        assert_eq!(code, 1);
+        assert!(
+            text.contains("--symbol-budget must be in 1.0..=64.0"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn gateway_fountain_uplink_serves_the_fleet_one_way() {
+        let (code, text) = run_to_string(&[
+            "gateway",
+            "--sessions",
+            "4",
+            "--workers",
+            "2",
+            "--flaky",
+            "0.3",
+            "--uplink",
+            "fountain",
+            "--telemetry",
+            "text",
+        ]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("fountain uplink"), "{text}");
+        assert!(text.contains("one-way stream:"), "{text}");
+        assert!(text.contains("0 gave up"), "{text}");
+        assert!(text.contains("fountain.sessions_completed 4"), "{text}");
     }
 
     #[test]

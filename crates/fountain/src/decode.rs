@@ -1,0 +1,454 @@
+//! Peeling (belief-propagation) decoder.
+//!
+//! Each arriving symbol has its already-recovered neighbors XORed out
+//! immediately; if exactly one unknown neighbor remains the symbol
+//! *releases* it, and the release cascades through every buffered symbol
+//! that referenced the newly known source index. Buffered symbols keep
+//! only their unresolved neighbor lists, so memory is bounded by the
+//! number of not-yet-useful symbols — a figure the gateway caps per
+//! session.
+
+use std::collections::HashMap;
+
+use crate::frame::SymbolFrame;
+use crate::soliton::RobustSoliton;
+
+/// Why the decoder refused a symbol. None of these are fatal to the
+/// session — on a one-way link the only recourse is to wait for more
+/// symbols, so every error leaves the decoder usable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymbolRejected {
+    /// Payload length differs from the stream's symbol size.
+    SizeMismatch { expected: usize, actual: usize },
+    /// Frame parameters disagree with the stream this decoder was
+    /// bootstrapped from (a cross-wired or forged stream).
+    StreamMismatch,
+}
+
+impl std::fmt::Display for SymbolRejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::SizeMismatch { expected, actual } => {
+                write!(f, "symbol carries {actual} bytes, stream uses {expected}")
+            }
+            Self::StreamMismatch => write!(f, "symbol parameters do not match this stream"),
+        }
+    }
+}
+
+impl std::error::Error for SymbolRejected {}
+
+/// Counters describing a decode in progress (or finished).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecoderStats {
+    /// Source symbols in the block (`k`).
+    pub source_symbols: usize,
+    /// Symbols accepted, including ones that turned out redundant.
+    pub symbols_received: u64,
+    /// Symbols that contributed nothing new: duplicates, symbols whose
+    /// neighbors were all already recovered, or arrivals after
+    /// completion.
+    pub symbols_redundant: u64,
+    /// Individual peel steps (each one source symbol released).
+    pub peel_iterations: u64,
+    /// Symbols received at the moment the block completed; 0 while
+    /// decoding is still in progress.
+    pub symbols_to_complete: u64,
+}
+
+impl DecoderStats {
+    /// Decode overhead: symbols needed to complete divided by `k`.
+    /// 1.0 would be a perfect (non-rateless) transfer; LT codes land a
+    /// little above it. 0.0 until the block completes.
+    pub fn overhead_ratio(&self) -> f64 {
+        if self.source_symbols == 0 || self.symbols_to_complete == 0 {
+            0.0
+        } else {
+            self.symbols_to_complete as f64 / self.source_symbols as f64
+        }
+    }
+}
+
+/// A coded symbol still waiting for more of its neighbors.
+#[derive(Debug, Clone)]
+struct Held {
+    data: Vec<u8>,
+    /// Unresolved source indices; shrinks as peeling progresses.
+    remaining: Vec<u32>,
+    /// Consumed symbols keep their slot (stable ids) but drop their data.
+    consumed: bool,
+}
+
+/// A peeling LT decoder for one source block.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    block_len: usize,
+    symbol_size: usize,
+    seed: u64,
+    soliton: RobustSoliton,
+    /// Recovered source symbols, `k * symbol_size` bytes.
+    slab: Vec<u8>,
+    known: Vec<bool>,
+    known_count: usize,
+    held: Vec<Held>,
+    buffered: usize,
+    /// source index -> held-symbol slots still referencing it.
+    by_source: Vec<Vec<u32>>,
+    /// symbol id -> seen (duplicates carry no new information).
+    seen: HashMap<u64, ()>,
+    stats: DecoderStats,
+}
+
+impl Decoder {
+    /// A decoder for a block of `block_len` bytes in `symbol_size`-byte
+    /// symbols under stream seed `seed`. Usually bootstrapped from the
+    /// first surviving frame via [`Decoder::for_frame`].
+    pub fn new(block_len: usize, symbol_size: usize, seed: u64) -> Result<Self, crate::CodecError> {
+        if symbol_size == 0 {
+            return Err(crate::CodecError::ZeroSymbolSize);
+        }
+        if block_len > crate::MAX_BLOCK_BYTES {
+            return Err(crate::CodecError::BlockTooLarge { len: block_len });
+        }
+        let k = crate::source_symbol_count(block_len, symbol_size);
+        Ok(Self {
+            block_len,
+            symbol_size,
+            seed,
+            soliton: RobustSoliton::new(k),
+            slab: vec![0u8; k * symbol_size],
+            known: vec![false; k],
+            known_count: 0,
+            held: Vec::new(),
+            buffered: 0,
+            by_source: vec![Vec::new(); k],
+            seen: HashMap::new(),
+            stats: DecoderStats {
+                source_symbols: k,
+                ..DecoderStats::default()
+            },
+        })
+    }
+
+    /// A decoder bootstrapped from the stream parameters of `frame`.
+    /// The frame itself is *not* consumed — push it afterwards.
+    pub fn for_frame(frame: &SymbolFrame) -> Result<Self, crate::CodecError> {
+        Self::new(
+            frame.block_len as usize,
+            frame.symbol_size as usize,
+            frame.seed,
+        )
+    }
+
+    /// Number of source symbols (`k`).
+    pub fn source_symbols(&self) -> usize {
+        self.soliton.k()
+    }
+
+    /// Source symbols recovered so far.
+    pub fn recovered_symbols(&self) -> usize {
+        self.known_count
+    }
+
+    /// Whether the whole block has been recovered.
+    pub fn is_complete(&self) -> bool {
+        self.known_count == self.soliton.k()
+    }
+
+    /// Coded symbols currently buffered awaiting more neighbors.
+    pub fn buffered_symbols(&self) -> usize {
+        self.buffered
+    }
+
+    /// Approximate heap bytes held by buffered symbol payloads — the
+    /// figure the gateway bounds per session.
+    pub fn buffered_bytes(&self) -> usize {
+        self.buffered * self.symbol_size
+    }
+
+    /// Counters for the decode so far.
+    pub fn stats(&self) -> DecoderStats {
+        self.stats
+    }
+
+    /// Whether `frame` belongs to the stream this decoder was built for.
+    pub fn matches_stream(&self, frame: &SymbolFrame) -> bool {
+        frame.seed == self.seed
+            && frame.block_len as usize == self.block_len
+            && frame.symbol_size as usize == self.symbol_size
+    }
+
+    /// Feed one frame. Returns `Ok(true)` once the block is complete
+    /// (including for redundant symbols arriving afterwards).
+    pub fn push_frame(&mut self, frame: &SymbolFrame) -> Result<bool, SymbolRejected> {
+        if !self.matches_stream(frame) {
+            return Err(SymbolRejected::StreamMismatch);
+        }
+        self.push(frame.symbol_id, &frame.data)
+    }
+
+    /// Feed the XOR payload of symbol `symbol_id`.
+    pub fn push(&mut self, symbol_id: u64, data: &[u8]) -> Result<bool, SymbolRejected> {
+        if data.len() != self.symbol_size {
+            return Err(SymbolRejected::SizeMismatch {
+                expected: self.symbol_size,
+                actual: data.len(),
+            });
+        }
+        self.stats.symbols_received += 1;
+        if self.is_complete() || self.seen.insert(symbol_id, ()).is_some() {
+            self.stats.symbols_redundant += 1;
+            return Ok(self.is_complete());
+        }
+
+        let mut data = data.to_vec();
+        let mut remaining = Vec::new();
+        for neighbor in self.soliton.neighbors(self.seed, symbol_id) {
+            if self.known[neighbor as usize] {
+                Self::xor_chunk(&mut data, &self.slab, neighbor as usize, self.symbol_size);
+            } else {
+                remaining.push(neighbor);
+            }
+        }
+
+        match remaining.len() {
+            0 => {
+                // Everything it covered is already known.
+                self.stats.symbols_redundant += 1;
+            }
+            1 => {
+                let release = remaining[0];
+                self.recover(release, &data);
+                self.peel_from(release);
+            }
+            _ => {
+                let slot = self.held.len() as u32;
+                for &n in &remaining {
+                    self.by_source[n as usize].push(slot);
+                }
+                self.held.push(Held {
+                    data,
+                    remaining,
+                    consumed: false,
+                });
+                self.buffered += 1;
+            }
+        }
+
+        if self.is_complete() && self.stats.symbols_to_complete == 0 {
+            self.stats.symbols_to_complete = self.stats.symbols_received;
+        }
+        Ok(self.is_complete())
+    }
+
+    /// The recovered block, or `None` while incomplete.
+    pub fn block(&self) -> Option<Vec<u8>> {
+        self.is_complete()
+            .then(|| self.slab[..self.block_len].to_vec())
+    }
+
+    fn xor_chunk(data: &mut [u8], slab: &[u8], index: usize, size: usize) {
+        let chunk = &slab[index * size..(index + 1) * size];
+        for (d, s) in data.iter_mut().zip(chunk) {
+            *d ^= s;
+        }
+    }
+
+    /// Record source symbol `index` as known with payload `data`.
+    fn recover(&mut self, index: u32, data: &[u8]) {
+        debug_assert!(!self.known[index as usize]);
+        let start = index as usize * self.symbol_size;
+        self.slab[start..start + self.symbol_size].copy_from_slice(data);
+        self.known[index as usize] = true;
+        self.known_count += 1;
+        self.stats.peel_iterations += 1;
+    }
+
+    /// Cascade a newly known source symbol through the held symbols.
+    fn peel_from(&mut self, first: u32) {
+        let mut queue = vec![first];
+        while let Some(source) = queue.pop() {
+            let watchers = std::mem::take(&mut self.by_source[source as usize]);
+            for slot in watchers {
+                let held = &mut self.held[slot as usize];
+                if held.consumed {
+                    continue;
+                }
+                // XOR the now-known source chunk out of the held symbol
+                // and drop the reference.
+                Self::xor_chunk(
+                    &mut held.data,
+                    &self.slab,
+                    source as usize,
+                    self.symbol_size,
+                );
+                held.remaining.retain(|&n| n != source);
+                match held.remaining.len() {
+                    1 => {
+                        let release = held.remaining[0];
+                        held.consumed = true;
+                        let data = std::mem::take(&mut held.data);
+                        self.buffered -= 1;
+                        if !self.known[release as usize] {
+                            self.recover(release, &data);
+                            queue.push(release);
+                        }
+                    }
+                    0 => {
+                        // Fully explained by recovered symbols; free it.
+                        held.consumed = true;
+                        held.data = Vec::new();
+                        self.buffered -= 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::Encoder;
+    use crate::prng::XorShift64;
+
+    fn round_trip(block: &[u8], symbol_size: usize, seed: u64) -> DecoderStats {
+        let mut enc = Encoder::new(1, seed, block, symbol_size).expect("encoder");
+        let mut dec = Decoder::new(block.len(), symbol_size, seed).expect("decoder");
+        for id in 0..10_000u64 {
+            if dec.push(id, &enc.symbol(id).data).expect("push") {
+                break;
+            }
+        }
+        assert!(dec.is_complete(), "decoder starved after 10k symbols");
+        assert_eq!(dec.block().expect("block"), block);
+        dec.stats()
+    }
+
+    #[test]
+    fn round_trips_across_block_shapes() {
+        round_trip(b"", 8, 1);
+        round_trip(b"x", 8, 2);
+        round_trip(b"exactly sixteen!", 16, 3);
+        round_trip(b"exactly sixteen!", 4, 4);
+        let big: Vec<u8> = (0..10_000u32).map(|i| (i * 7 + 13) as u8).collect();
+        round_trip(&big, 64, 5);
+    }
+
+    #[test]
+    fn overhead_is_reasonable_for_a_midsize_block() {
+        let block: Vec<u8> = (0..4096u32).map(|i| (i * 31) as u8).collect();
+        let stats = round_trip(&block, 64, 7); // k = 64
+        assert_eq!(stats.source_symbols, 64);
+        let overhead = stats.overhead_ratio();
+        assert!(overhead >= 1.0);
+        assert!(overhead < 3.0, "overhead {overhead} is pathological");
+        assert_eq!(stats.peel_iterations, 64);
+    }
+
+    #[test]
+    fn decodes_from_a_lossy_shuffled_subset() {
+        let block: Vec<u8> = (0..2000u32).map(|i| (i ^ 0xA5) as u8).collect();
+        let symbol_size = 32; // k = 63
+        let mut enc = Encoder::new(1, 42, &block, symbol_size).expect("encoder");
+        // Emit 4k, drop 50% by parity of a seeded draw, deliver out of order.
+        let mut rng = XorShift64::new(99);
+        let mut delivered: Vec<(u64, Vec<u8>)> = (0..(4 * 63) as u64)
+            .filter(|_| rng.next_f64() >= 0.5)
+            .map(|id| (id, enc.symbol(id).data))
+            .collect();
+        // Seeded Fisher-Yates shuffle: arrival order must not matter.
+        for i in (1..delivered.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            delivered.swap(i, j);
+        }
+        let mut dec = Decoder::new(block.len(), symbol_size, 42).expect("decoder");
+        for (id, data) in delivered {
+            if dec.push(id, &data).expect("push") {
+                break;
+            }
+        }
+        assert!(dec.is_complete(), "subset should have sufficed");
+        assert_eq!(dec.block().expect("block"), block);
+    }
+
+    #[test]
+    fn duplicates_and_post_completion_symbols_count_redundant() {
+        let block = b"redundancy accounting";
+        let mut enc = Encoder::new(1, 6, block, 4).expect("encoder");
+        let mut dec = Decoder::new(block.len(), 4, 6).expect("decoder");
+        let first = enc.symbol(0).data;
+        dec.push(0, &first).expect("push");
+        dec.push(0, &first).expect("duplicate push");
+        assert!(dec.stats().symbols_redundant >= 1);
+        let mut id = 1;
+        while !dec.push(id, &enc.symbol(id).data).expect("push") {
+            id += 1;
+        }
+        let at_completion = dec.stats();
+        dec.push(id + 1, &enc.symbol(id + 1).data).expect("late");
+        let after = dec.stats();
+        assert_eq!(after.symbols_redundant, at_completion.symbols_redundant + 1);
+        assert_eq!(after.symbols_to_complete, at_completion.symbols_to_complete);
+        assert_eq!(dec.block().expect("block"), block);
+    }
+
+    #[test]
+    fn size_and_stream_mismatches_are_typed() {
+        let mut dec = Decoder::new(100, 10, 5).expect("decoder");
+        assert_eq!(
+            dec.push(0, &[0u8; 9]).unwrap_err(),
+            SymbolRejected::SizeMismatch {
+                expected: 10,
+                actual: 9
+            }
+        );
+        let frame = SymbolFrame {
+            session_id: 1,
+            symbol_id: 0,
+            seed: 6, // wrong stream seed
+            block_len: 100,
+            symbol_size: 10,
+            data: vec![0u8; 10],
+        };
+        assert_eq!(
+            dec.push_frame(&frame).unwrap_err(),
+            SymbolRejected::StreamMismatch
+        );
+    }
+
+    #[test]
+    fn garbage_symbols_never_panic_and_terminate() {
+        // Valid-shape but adversarial payloads under wrong ids: peeling
+        // must terminate and the decoder must stay usable. (Garbage data
+        // under a *correct* id is indistinguishable from data to an LT
+        // code — integrity is the frame CRC's job, which is why corrupt
+        // frames are dropped before reaching the decoder.)
+        let mut dec = Decoder::new(320, 32, 8).expect("decoder");
+        let mut rng = XorShift64::new(1234);
+        for id in 0..500u64 {
+            let data: Vec<u8> = (0..32).map(|_| rng.next_u64() as u8).collect();
+            let _ = dec.push(id, &data).expect("push");
+        }
+        assert!(dec.stats().symbols_received == 500);
+        assert!(dec.buffered_bytes() <= 500 * 32);
+    }
+
+    #[test]
+    fn buffered_memory_shrinks_as_peeling_consumes_symbols() {
+        let block: Vec<u8> = (0..1024u32).map(|i| i as u8).collect();
+        let mut enc = Encoder::new(1, 77, &block, 32).expect("encoder");
+        let mut dec = Decoder::new(block.len(), 32, 77).expect("decoder");
+        let mut peak = 0usize;
+        for id in 0..10_000u64 {
+            if dec.push(id, &enc.symbol(id).data).expect("push") {
+                break;
+            }
+            peak = peak.max(dec.buffered_symbols());
+        }
+        assert!(dec.is_complete());
+        assert_eq!(dec.buffered_symbols(), 0, "completion must free the buffer");
+        assert!(peak > 0, "a nontrivial decode buffers something");
+    }
+}

@@ -1,0 +1,438 @@
+//! Fountain symbol ingestion: per-session decoder state behind the
+//! gateway's one-way upload route.
+//!
+//! Symbols arrive individually off the lossy uplink with no ordering or
+//! delivery guarantee; this module keeps one peeling decoder per upload
+//! session and hands the gateway the reassembled block the moment a
+//! session completes. The table is bounded on three axes, because on a
+//! one-way link the *sender can never be told to stop*:
+//!
+//! - **session count** — at most `max_sessions` concurrent half-decoded
+//!   sessions; inserting past that evicts the stalest one (counted under
+//!   `fountain.sessions_evicted`, the shed signal for this route);
+//! - **per-session buffer** — a decoder holding more than
+//!   `max_buffered_symbols` not-yet-peelable symbols is evicted: that
+//!   shape means a corrupted or adversarial stream, not bad luck;
+//! - **idle time** — sessions silent for `session_timeout` of real time
+//!   are evicted on the next ingest (the phone either finished its
+//!   budget long ago or will never complete).
+//!
+//! Completed sessions leave a tombstone so late stragglers from the
+//! already-decoded stream count as redundant instead of restarting the
+//! session from scratch.
+//!
+//! Streams are keyed by `(session_id, seed)`, not session id alone: one
+//! dongle session uploads many requests over its lifetime, each as its
+//! own fountain stream with a distinct per-upload seed, and a completed
+//! upload's tombstone must not block the next one.
+
+use medsen_fountain::{Decoder, DecoderStats, SymbolFrame, SymbolRejected};
+use medsen_telemetry::{Counter, Gauge, Registry};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Bounds for the per-session decoder table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FountainConfig {
+    /// Concurrent half-decoded sessions held at once.
+    pub max_sessions: usize,
+    /// Buffered (not yet peelable) coded symbols per session.
+    pub max_buffered_symbols: usize,
+    /// Real-time inactivity eviction threshold.
+    pub session_timeout: Duration,
+}
+
+impl Default for FountainConfig {
+    fn default() -> Self {
+        Self {
+            max_sessions: 256,
+            max_buffered_symbols: 4096,
+            session_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// `fountain.*` registry instruments. Registered at gateway build so the
+/// exposition always carries the subsystem, active or not.
+#[derive(Debug)]
+pub(crate) struct FountainInstruments {
+    pub(crate) symbols_received: Arc<Counter>,
+    pub(crate) symbols_redundant: Arc<Counter>,
+    pub(crate) symbols_rejected: Arc<Counter>,
+    pub(crate) peel_iterations: Arc<Counter>,
+    pub(crate) sessions_started: Arc<Counter>,
+    pub(crate) sessions_completed: Arc<Counter>,
+    pub(crate) sessions_evicted: Arc<Counter>,
+    /// Decode overhead of the most recently completed session, in
+    /// permille (1000 = perfect `k` symbols, 1300 = 30% extra).
+    pub(crate) overhead_permille: Arc<Gauge>,
+    pub(crate) active_sessions: Arc<Gauge>,
+}
+
+impl FountainInstruments {
+    pub(crate) fn registered(registry: &Registry) -> Self {
+        Self {
+            symbols_received: registry.counter("fountain.symbols_received"),
+            symbols_redundant: registry.counter("fountain.symbols_redundant"),
+            symbols_rejected: registry.counter("fountain.symbols_rejected"),
+            peel_iterations: registry.counter("fountain.peel_iterations"),
+            sessions_started: registry.counter("fountain.sessions_started"),
+            sessions_completed: registry.counter("fountain.sessions_completed"),
+            sessions_evicted: registry.counter("fountain.sessions_evicted"),
+            overhead_permille: registry.gauge("fountain.overhead_permille"),
+            active_sessions: registry.gauge("fountain.active_sessions"),
+        }
+    }
+}
+
+/// What one accepted symbol did to its session.
+#[derive(Debug)]
+pub(crate) enum IngestStep {
+    /// Accepted; the session needs more symbols.
+    Progress { recovered: usize, total: usize },
+    /// Accepted but carried nothing new.
+    Redundant,
+    /// The session already completed and dispatched; straggler dropped.
+    AlreadyComplete,
+    /// This symbol finished the block.
+    Complete {
+        block: Vec<u8>,
+        stats: DecoderStats,
+        /// When the session's first symbol arrived (span start).
+        started: Instant,
+    },
+}
+
+/// Why a symbol was refused (the stream-level errors; frame parse errors
+/// are typed upstream by [`medsen_fountain::SymbolFrameError`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FountainIngestError {
+    /// The decoder rejected the symbol (size/stream mismatch).
+    Symbol(SymbolRejected),
+    /// The session exceeded `max_buffered_symbols` and was evicted.
+    BufferExceeded { buffered: usize },
+}
+
+impl std::fmt::Display for FountainIngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Symbol(e) => write!(f, "symbol rejected: {e}"),
+            Self::BufferExceeded { buffered } => {
+                write!(
+                    f,
+                    "session evicted with {buffered} undecodable symbols buffered"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FountainIngestError {}
+
+enum SessionState {
+    Decoding(Box<Decoder>),
+    /// Completed and dispatched; retained so stragglers are counted
+    /// as redundant rather than restarting the session.
+    Done,
+}
+
+struct SessionEntry {
+    state: SessionState,
+    first_seen: Instant,
+    last_seen: Instant,
+}
+
+/// One upload stream's identity: the dongle session plus the per-upload
+/// stream seed (frames carry both).
+type StreamKey = (u64, u64);
+
+/// The per-session decoder table. Lives behind a mutex in the gateway.
+pub(crate) struct FountainIngress {
+    config: FountainConfig,
+    sessions: HashMap<StreamKey, SessionEntry>,
+}
+
+impl FountainIngress {
+    pub(crate) fn new(config: FountainConfig) -> Self {
+        Self {
+            config,
+            sessions: HashMap::new(),
+        }
+    }
+
+    /// Sessions currently tracked (decoding or tombstoned).
+    pub(crate) fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Evict sessions idle past the timeout. Returns how many
+    /// *half-decoded* sessions were dropped (tombstones go silently).
+    pub(crate) fn evict_stale(&mut self, now: Instant) -> u64 {
+        let timeout = self.config.session_timeout;
+        let mut shed = 0;
+        self.sessions.retain(|_, entry| {
+            let stale = now.saturating_duration_since(entry.last_seen) > timeout;
+            if stale && matches!(entry.state, SessionState::Decoding(_)) {
+                shed += 1;
+            }
+            !stale
+        });
+        shed
+    }
+
+    /// Evict the stalest half-decoded session to make room. Returns
+    /// whether anything was evicted.
+    fn evict_one(&mut self) -> bool {
+        let victim = self
+            .sessions
+            .iter()
+            .filter(|(_, e)| matches!(e.state, SessionState::Decoding(_)))
+            .min_by_key(|(_, e)| e.last_seen)
+            .map(|(&id, _)| id);
+        match victim {
+            Some(id) => {
+                self.sessions.remove(&id);
+                true
+            }
+            None => {
+                // Nothing but tombstones: drop the stalest of those
+                // instead (never counted as shed).
+                let oldest = self
+                    .sessions
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_seen)
+                    .map(|(&id, _)| id);
+                if let Some(id) = oldest {
+                    self.sessions.remove(&id);
+                }
+                false
+            }
+        }
+    }
+
+    /// Feed one already-CRC-verified symbol frame. `evicted` reports how
+    /// many half-decoded sessions were shed to make room (capacity
+    /// pressure), for the caller's metrics.
+    pub(crate) fn ingest(
+        &mut self,
+        frame: &SymbolFrame,
+        now: Instant,
+        evicted: &mut u64,
+        started_new: &mut bool,
+    ) -> Result<IngestStep, FountainIngestError> {
+        let key: StreamKey = (frame.session_id, frame.seed);
+        if !self.sessions.contains_key(&key) {
+            while self.sessions.len() >= self.config.max_sessions {
+                if self.evict_one() {
+                    *evicted += 1;
+                }
+            }
+            let decoder = Decoder::for_frame(frame).map_err(|_| {
+                // Absurd stream parameters (zero symbol size is caught at
+                // frame decode; this is the >64MiB block guard).
+                FountainIngestError::Symbol(SymbolRejected::StreamMismatch)
+            })?;
+            self.sessions.insert(
+                key,
+                SessionEntry {
+                    state: SessionState::Decoding(Box::new(decoder)),
+                    first_seen: now,
+                    last_seen: now,
+                },
+            );
+            *started_new = true;
+        }
+
+        let entry = self.sessions.get_mut(&key).expect("inserted");
+        entry.last_seen = now;
+        let decoder = match &mut entry.state {
+            SessionState::Done => return Ok(IngestStep::AlreadyComplete),
+            SessionState::Decoding(d) => d,
+        };
+
+        let before = decoder.stats();
+        let complete = match decoder.push_frame(frame) {
+            Ok(c) => c,
+            Err(e) => return Err(FountainIngestError::Symbol(e)),
+        };
+
+        if complete {
+            let block = decoder.block().expect("complete decoder has a block");
+            let stats = decoder.stats();
+            let started = entry.first_seen;
+            entry.state = SessionState::Done;
+            return Ok(IngestStep::Complete {
+                block,
+                stats,
+                started,
+            });
+        }
+
+        if decoder.buffered_symbols() > self.config.max_buffered_symbols {
+            let buffered = decoder.buffered_symbols();
+            self.sessions.remove(&key);
+            return Err(FountainIngestError::BufferExceeded { buffered });
+        }
+
+        let after = decoder.stats();
+        if after.symbols_redundant > before.symbols_redundant {
+            Ok(IngestStep::Redundant)
+        } else {
+            Ok(IngestStep::Progress {
+                recovered: decoder.recovered_symbols(),
+                total: decoder.source_symbols(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medsen_fountain::Encoder;
+
+    fn frames(session: u64, body: &[u8], count: u64) -> Vec<SymbolFrame> {
+        let mut enc = Encoder::new(session, session ^ 99, body, 16).expect("encoder");
+        (0..count).map(|id| enc.symbol(id)).collect()
+    }
+
+    fn drive_to_completion(
+        ingress: &mut FountainIngress,
+        frames: &[SymbolFrame],
+        now: Instant,
+    ) -> Option<Vec<u8>> {
+        let (mut evicted, mut started) = (0, false);
+        for f in frames {
+            match ingress.ingest(f, now, &mut evicted, &mut started) {
+                Ok(IngestStep::Complete { block, .. }) => return Some(block),
+                Ok(_) => {}
+                Err(e) => panic!("unexpected ingest error: {e}"),
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn completes_a_session_and_tombstones_it() {
+        let mut ingress = FountainIngress::new(FountainConfig::default());
+        let body = b"fountain ingress end to end".repeat(4);
+        let fs = frames(9, &body, 64);
+        let now = Instant::now();
+        let block = drive_to_completion(&mut ingress, &fs, now).expect("decodes");
+        assert_eq!(block, body);
+        // A straggler from the same stream is AlreadyComplete, not a new
+        // session.
+        let (mut evicted, mut started) = (0, false);
+        let step = ingress
+            .ingest(&fs[0], now, &mut evicted, &mut started)
+            .expect("straggler ok");
+        assert!(matches!(step, IngestStep::AlreadyComplete));
+        assert!(!started);
+        assert_eq!(ingress.session_count(), 1);
+    }
+
+    #[test]
+    fn session_cap_evicts_the_stalest_half_decoded_session() {
+        let mut ingress = FountainIngress::new(FountainConfig {
+            max_sessions: 2,
+            ..FountainConfig::default()
+        });
+        let t0 = Instant::now();
+        let (mut evicted, mut started) = (0, false);
+        // Two sessions open with one symbol each (incomplete).
+        for (i, s) in [(1u64, 0u64), (2, 0)] {
+            let f = &frames(i, b"0123456789abcdef0123456789abcdef0123", 4)[s as usize];
+            ingress
+                .ingest(f, t0 + Duration::from_millis(i), &mut evicted, &mut started)
+                .expect("open");
+        }
+        assert_eq!(ingress.session_count(), 2);
+        // A third session forces out session 1 (stalest).
+        let f3 = &frames(3, b"0123456789abcdef0123456789abcdef0123", 4)[0];
+        ingress
+            .ingest(
+                f3,
+                t0 + Duration::from_millis(10),
+                &mut evicted,
+                &mut started,
+            )
+            .expect("third session");
+        assert_eq!(evicted, 1, "one half-decoded session shed");
+        assert_eq!(ingress.session_count(), 2);
+        assert!(ingress.sessions.keys().all(|k| k.0 != 1));
+    }
+
+    #[test]
+    fn idle_sessions_evict_on_timeout() {
+        let mut ingress = FountainIngress::new(FountainConfig {
+            session_timeout: Duration::from_millis(100),
+            ..FountainConfig::default()
+        });
+        let t0 = Instant::now();
+        let (mut evicted, mut started) = (0, false);
+        let f = &frames(5, b"a slow upload that stalls mid-stream....", 4)[0];
+        ingress
+            .ingest(f, t0, &mut evicted, &mut started)
+            .expect("open");
+        assert_eq!(ingress.evict_stale(t0 + Duration::from_millis(50)), 0);
+        assert_eq!(ingress.evict_stale(t0 + Duration::from_millis(200)), 1);
+        assert_eq!(ingress.session_count(), 0);
+    }
+
+    #[test]
+    fn mismatched_stream_parameters_are_rejected_not_fatal() {
+        let mut ingress = FountainIngress::new(FountainConfig::default());
+        let body = b"stream mismatch probe...........".repeat(2);
+        let fs = frames(6, &body, 40);
+        let now = Instant::now();
+        let (mut evicted, mut started) = (0, false);
+        ingress
+            .ingest(&fs[0], now, &mut evicted, &mut started)
+            .expect("open");
+        // Same session id and seed but a different declared block: a
+        // forged or corrupted stream that the CRC happened to miss.
+        let mut forged = fs[1].clone();
+        forged.block_len += 16;
+        let err = ingress
+            .ingest(&forged, now, &mut evicted, &mut started)
+            .expect_err("forged stream");
+        assert!(matches!(
+            err,
+            FountainIngestError::Symbol(SymbolRejected::StreamMismatch)
+        ));
+        // The genuine stream still completes afterwards.
+        assert_eq!(
+            drive_to_completion(&mut ingress, &fs[1..], now).expect("completes"),
+            body
+        );
+    }
+
+    #[test]
+    fn sequential_uploads_from_one_session_use_distinct_streams() {
+        // A dongle session's second request reuses its session id with a
+        // fresh per-upload seed; the first upload's tombstone must not
+        // swallow it.
+        let mut ingress = FountainIngress::new(FountainConfig::default());
+        let now = Instant::now();
+        let first = b"upload one: enroll request........".to_vec();
+        let second = b"upload two: analyze request.......".to_vec();
+        let fs1: Vec<SymbolFrame> = {
+            let mut e = Encoder::new(7, 1001, &first, 16).expect("encoder");
+            (0..64).map(|id| e.symbol(id)).collect()
+        };
+        let fs2: Vec<SymbolFrame> = {
+            let mut e = Encoder::new(7, 1002, &second, 16).expect("encoder");
+            (0..64).map(|id| e.symbol(id)).collect()
+        };
+        assert_eq!(
+            drive_to_completion(&mut ingress, &fs1, now).expect("first"),
+            first
+        );
+        assert_eq!(
+            drive_to_completion(&mut ingress, &fs2, now).expect("second"),
+            second
+        );
+        assert_eq!(ingress.session_count(), 2, "one tombstone per stream");
+    }
+}

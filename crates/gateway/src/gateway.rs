@@ -35,11 +35,16 @@
 //! (see [`Gateway::pace`]), so shed-heavy tests cost milliseconds of real
 //! time, not seconds.
 
+use crate::fountain::{
+    FountainConfig, FountainIngestError, FountainIngress, FountainInstruments, IngestStep,
+};
+use crate::limit::{RateLimitConfig, RateLimiter};
 use crate::metrics::{GatewayMetrics, MetricsSnapshot};
 use crate::wire;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use medsen_cloud::service::{CloudService, Response};
+use medsen_cloud::service::{CloudService, Request, Response};
 use medsen_cloud::ReplicatedCloud;
+use medsen_fountain::{decode_symbol_frame, DecoderStats, SymbolFrameError};
 use medsen_runtime as runtime;
 use medsen_telemetry::{
     spans_json_lines, text_exposition, ActiveTrace, Exemplars, Registry, RegistrySnapshot,
@@ -48,7 +53,7 @@ use medsen_telemetry::{
 use medsen_units::Seconds;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -236,6 +241,128 @@ impl fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// Bounded shed-retry budget for dispatching a reassembled one-way
+/// upload into the queue. The phone cannot retry (no downlink), so the
+/// gateway absorbs backpressure on its behalf — but a saturated queue
+/// must surface as [`SymbolSubmitError::Shed`], not a hang.
+const DISPATCH_ATTEMPTS: u32 = 32;
+
+/// What one fountain symbol did on the gateway's one-way upload route
+/// (see [`Gateway::ingest_symbol`]).
+#[derive(Debug)]
+pub enum SymbolIngest {
+    /// Accepted; the session needs more symbols.
+    Progress {
+        /// The upload session the symbol belongs to.
+        session_id: u64,
+        /// Source symbols recovered so far.
+        recovered: usize,
+        /// Source symbols in the block (`k`).
+        total: usize,
+    },
+    /// Accepted but linearly dependent on symbols already held.
+    Redundant {
+        /// The upload session the symbol belongs to.
+        session_id: u64,
+    },
+    /// Straggler for a session that already completed and dispatched.
+    AlreadyComplete {
+        /// The upload session the symbol belongs to.
+        session_id: u64,
+    },
+    /// This symbol finished the block: the reassembled request is now in
+    /// the queue and `reply` will produce its response.
+    Complete {
+        /// The upload session that completed.
+        session_id: u64,
+        /// The dispatched request's reply handle.
+        reply: PendingReply,
+        /// Decoder counters for the completed session.
+        stats: DecoderStats,
+    },
+}
+
+/// Why a symbol was refused by [`Gateway::ingest_symbol`].
+#[derive(Debug)]
+pub enum SymbolSubmitError {
+    /// The symbol frame failed to parse or verify (dropped before any
+    /// session state was touched).
+    Frame(SymbolFrameError),
+    /// The session is over its token-bucket rate; the symbol was dropped.
+    /// On a one-way link the phone never sees this — the hint sizes the
+    /// *gateway-side* expectation of when the stream is worth resuming.
+    RateLimited {
+        /// The offending session.
+        session_id: u64,
+        /// Real time until the bucket refills.
+        retry_after: Seconds,
+    },
+    /// The decoder refused the symbol (stream mismatch or buffer blowout).
+    Ingest(FountainIngestError),
+    /// The block decoded but its payload is not a valid request upload.
+    CorruptUpload {
+        /// The session whose block was bad.
+        session_id: u64,
+        /// What failed (decompression, UTF-8, or JSON decode).
+        detail: String,
+    },
+    /// The reassembled request could not enter the queue within the
+    /// bounded dispatch-retry budget; the decoded block is lost and the
+    /// phone's next full stream will retry the upload.
+    Shed {
+        /// The session whose dispatch was shed.
+        session_id: u64,
+        /// The queue's final retry-after hint.
+        retry_after: Seconds,
+    },
+    /// The gateway has shut down or been drained.
+    Closed,
+}
+
+impl fmt::Display for SymbolSubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymbolSubmitError::Frame(e) => write!(f, "bad symbol frame: {e}"),
+            SymbolSubmitError::RateLimited {
+                session_id,
+                retry_after,
+            } => write!(
+                f,
+                "session {session_id} rate limited, retry after {retry_after}"
+            ),
+            SymbolSubmitError::Ingest(e) => write!(f, "symbol refused: {e}"),
+            SymbolSubmitError::CorruptUpload { session_id, detail } => {
+                write!(
+                    f,
+                    "session {session_id} reassembled a corrupt upload: {detail}"
+                )
+            }
+            SymbolSubmitError::Shed {
+                session_id,
+                retry_after,
+            } => write!(
+                f,
+                "session {session_id} decoded but the queue shed it, retry after {retry_after}"
+            ),
+            SymbolSubmitError::Closed => write!(f, "gateway is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SymbolSubmitError {}
+
+impl From<SymbolFrameError> for SymbolSubmitError {
+    fn from(e: SymbolFrameError) -> Self {
+        SymbolSubmitError::Frame(e)
+    }
+}
+
+impl From<FountainIngestError> for SymbolSubmitError {
+    fn from(e: FountainIngestError) -> Self {
+        SymbolSubmitError::Ingest(e)
+    }
+}
+
 /// Why a reply never materialized.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ReplyError {
@@ -413,6 +540,13 @@ pub struct Gateway {
     /// dequeues) but submissions are still accepted — the opposite half
     /// of drain. Shared with the worker loops.
     paused: Arc<AtomicBool>,
+    /// Per-session fountain decoder table for the one-way upload route.
+    uplink: Mutex<FountainIngress>,
+    /// `fountain.*` registry instruments, registered at build so the
+    /// exposition always carries the subsystem.
+    fountain: FountainInstruments,
+    /// Optional per-session token-bucket limiter. `None` = unlimited.
+    limiter: Mutex<Option<RateLimiter>>,
 }
 
 impl Gateway {
@@ -478,6 +612,7 @@ impl Gateway {
         let per_lane_capacity = (config.queue_capacity / lanes).max(1);
         let registry = Arc::new(Registry::new());
         let metrics = Arc::new(GatewayMetrics::registered(lanes, &registry));
+        let fountain = FountainInstruments::registered(&registry);
         let tracing = telemetry.spans.then(|| {
             Arc::new(GatewayTracing {
                 recorder: Arc::new(SpanRecorder::with_capacity(telemetry.ring_capacity)),
@@ -553,6 +688,9 @@ impl Gateway {
             next_session: AtomicU64::new(1),
             drained: AtomicBool::new(false),
             paused,
+            uplink: Mutex::new(FountainIngress::new(FountainConfig::default())),
+            fountain,
+            limiter: Mutex::new(None),
         }
     }
 
@@ -771,6 +909,47 @@ impl Gateway {
         upload: Vec<u8>,
         route_key: u64,
     ) -> Result<PendingReply, SubmitError> {
+        // The rate limit keys on the session id, not the route key: an
+        // enrollment's route key is its identity hash, but the noisy
+        // *device* is what the limiter must recognize.
+        let session = wire::peek_session_id(&upload).unwrap_or(route_key);
+        if let Some(retry_after) = self.check_rate_limit(session) {
+            self.metrics.on_rate_limited();
+            return Err(SubmitError::Busy {
+                retry_after,
+                upload,
+            });
+        }
+        let trace = self.mint_trace();
+        self.submit_traced(upload, route_key, trace)
+    }
+
+    /// Mints a trace context when spans are on.
+    fn mint_trace(&self) -> Option<ActiveTrace> {
+        self.tracing.as_ref().map(|t| ActiveTrace {
+            id: TraceId::mint(),
+            recorder: Arc::clone(&t.recorder),
+        })
+    }
+
+    /// One token from `session`'s bucket, when a limiter is installed.
+    /// `Some(wait)` means the submission must be refused.
+    fn check_rate_limit(&self, session: u64) -> Option<Seconds> {
+        let mut guard = self.limiter.lock().expect("rate limiter lock");
+        let limiter = guard.as_mut()?;
+        limiter.try_take(session, Instant::now()).err()
+    }
+
+    /// The enqueue path shared by [`Gateway::submit_keyed`] and the
+    /// fountain dispatch: the caller supplies the trace so a reassembled
+    /// upload's `FountainDecode` span and its request spans join under
+    /// one [`TraceId`].
+    fn submit_traced(
+        &self,
+        upload: Vec<u8>,
+        route_key: u64,
+        trace: Option<ActiveTrace>,
+    ) -> Result<PendingReply, SubmitError> {
         let admitted = Instant::now();
         if self.is_drained() {
             // A drained gateway sheds exactly like a full one, and the
@@ -778,13 +957,6 @@ impl Gateway {
             self.metrics.on_rejected();
             return Err(SubmitError::Closed { upload });
         }
-        // Mint the request's trace before the enqueue so the admission
-        // span covers the shed-policy check and the lane send. A shed
-        // request's trace is simply dropped — no span, no ring slot.
-        let trace = self.tracing.as_ref().map(|t| ActiveTrace {
-            id: TraceId::mint(),
-            recorder: Arc::clone(&t.recorder),
-        });
         let lane = (route_key % self.lane_count() as u64) as usize;
         let (reply_tx, reply_rx) = bounded(1);
         let item = WorkItem {
@@ -862,6 +1034,194 @@ impl Gateway {
             );
         }
         Ok(PendingReply { rx: reply_rx })
+    }
+
+    /// Installs (or replaces) the per-session token-bucket rate limit.
+    /// Applies to both the two-way submit path and the fountain symbol
+    /// route; refusals count under `gateway.rate_limited`. A gateway
+    /// starts with no limit installed.
+    pub fn set_rate_limit(&self, config: RateLimitConfig) {
+        *self.limiter.lock().expect("rate limiter lock") = Some(RateLimiter::new(config));
+    }
+
+    /// Removes the rate limit installed by [`Gateway::set_rate_limit`].
+    pub fn clear_rate_limit(&self) {
+        *self.limiter.lock().expect("rate limiter lock") = None;
+    }
+
+    /// Replaces the fountain ingestion bounds (session cap, per-session
+    /// buffer cap, idle timeout). Drops all half-decoded session state —
+    /// call before traffic, not during it.
+    pub fn set_fountain_config(&self, config: FountainConfig) {
+        *self.uplink.lock().expect("fountain ingress lock") = FountainIngress::new(config);
+    }
+
+    /// Feeds one fountain symbol frame from a one-way (no-ACK) uplink.
+    ///
+    /// Each surviving symbol of a phone's rateless stream lands here
+    /// individually; the gateway accumulates them in a bounded
+    /// per-session peeling decoder and, the moment a session's block
+    /// completes, decompresses it, reconstructs the request upload, and
+    /// dispatches it into the same lane/shed/worker pipeline a two-way
+    /// submission takes. The returned [`SymbolIngest::Complete`] carries
+    /// the request's [`PendingReply`].
+    ///
+    /// Errors are per-symbol and non-fatal to the gateway: a corrupt
+    /// frame, a rate-limited session, or an evicted stream refuses that
+    /// symbol only. The sender, by design, is never told — overhead in
+    /// the symbol budget is the phone's only defense, which is the
+    /// fountain-coding bargain.
+    pub fn ingest_symbol(&self, bytes: &[u8]) -> Result<SymbolIngest, SymbolSubmitError> {
+        let frame = match decode_symbol_frame(bytes) {
+            Ok((frame, _)) => frame,
+            Err(e) => {
+                self.fountain.symbols_rejected.incr();
+                return Err(SymbolSubmitError::Frame(e));
+            }
+        };
+        if self.is_drained() {
+            self.metrics.on_rejected();
+            return Err(SymbolSubmitError::Closed);
+        }
+        // One token per symbol: a session spraying far past its budget
+        // stops consuming decoder memory and lock time at the door.
+        if let Some(retry_after) = self.check_rate_limit(frame.session_id) {
+            self.metrics.on_rate_limited();
+            return Err(SymbolSubmitError::RateLimited {
+                session_id: frame.session_id,
+                retry_after,
+            });
+        }
+        let now = Instant::now();
+        let step = {
+            let mut uplink = self.uplink.lock().expect("fountain ingress lock");
+            let stale = uplink.evict_stale(now);
+            let (mut evicted, mut started) = (0u64, false);
+            let step = uplink.ingest(&frame, now, &mut evicted, &mut started);
+            // Every half-decoded session dropped — idle timeout or
+            // capacity pressure — is this route's shed: the upload is
+            // lost and the phone must re-stream. Count it alongside the
+            // queue's own rejections so one counter answers "are we
+            // turning work away?".
+            let shed = stale + evicted;
+            if shed > 0 {
+                self.fountain.sessions_evicted.add(shed);
+                for _ in 0..shed {
+                    self.metrics.on_rejected();
+                }
+            }
+            if started {
+                self.fountain.sessions_started.incr();
+            }
+            self.fountain
+                .active_sessions
+                .set(uplink.session_count() as u64);
+            step
+        };
+        let step = match step {
+            Ok(step) => step,
+            Err(e) => {
+                self.fountain.symbols_rejected.incr();
+                return Err(SymbolSubmitError::Ingest(e));
+            }
+        };
+        self.fountain.symbols_received.incr();
+        match step {
+            IngestStep::Progress { recovered, total } => Ok(SymbolIngest::Progress {
+                session_id: frame.session_id,
+                recovered,
+                total,
+            }),
+            IngestStep::Redundant => {
+                self.fountain.symbols_redundant.incr();
+                Ok(SymbolIngest::Redundant {
+                    session_id: frame.session_id,
+                })
+            }
+            IngestStep::AlreadyComplete => {
+                self.fountain.symbols_redundant.incr();
+                Ok(SymbolIngest::AlreadyComplete {
+                    session_id: frame.session_id,
+                })
+            }
+            IngestStep::Complete {
+                block,
+                stats,
+                started,
+            } => {
+                self.fountain.sessions_completed.incr();
+                self.fountain.peel_iterations.add(stats.peel_iterations);
+                self.fountain
+                    .overhead_permille
+                    .set((stats.overhead_ratio() * 1000.0).round() as u64);
+                // The decode span and the request's admission/queue/service
+                // spans share one minted trace, so slow-trace reports show
+                // reassembly time next to pipeline time.
+                let trace = self.mint_trace();
+                if let Some(trace) = &trace {
+                    trace.recorder.record(
+                        trace.id,
+                        Stage::FountainDecode,
+                        frame.session_id as u32,
+                        started,
+                        now,
+                    );
+                }
+                let reply = self.dispatch_reassembled(frame.session_id, &block, trace)?;
+                Ok(SymbolIngest::Complete {
+                    session_id: frame.session_id,
+                    reply,
+                    stats,
+                })
+            }
+        }
+    }
+
+    /// Decompresses a completed fountain block, reconstructs the framed
+    /// upload, and pushes it into the queue with a bounded paced
+    /// shed-retry loop (the phone has no downlink, so the gateway does
+    /// the retrying a two-way session would do itself).
+    fn dispatch_reassembled(
+        &self,
+        session_id: u64,
+        block: &[u8],
+        trace: Option<ActiveTrace>,
+    ) -> Result<PendingReply, SymbolSubmitError> {
+        let corrupt = |detail: String| SymbolSubmitError::CorruptUpload { session_id, detail };
+        let body =
+            medsen_phone::decompress(block).map_err(|e| corrupt(format!("decompress: {e}")))?;
+        let body =
+            String::from_utf8(body).map_err(|_| corrupt("body is not valid UTF-8".to_string()))?;
+        // Reassembled enrollments route by the identifier's shard hash,
+        // exactly like two-way submissions; anything else (including a
+        // body the worker will reject anyway) routes by session id.
+        let route_key = match medsen_phone::from_json::<Request>(&body) {
+            Ok(Request::Enroll { ref identifier, .. }) => medsen_cloud::identity_hash(identifier),
+            Ok(_) => session_id,
+            Err(e) => return Err(corrupt(format!("request JSON: {e}"))),
+        };
+        let mut upload = wire::encode_upload(session_id, &body);
+        let mut last_hint = Seconds::ZERO;
+        for _ in 0..DISPATCH_ATTEMPTS {
+            match self.submit_traced(upload, route_key, trace.clone()) {
+                Ok(reply) => return Ok(reply),
+                Err(SubmitError::Busy {
+                    retry_after,
+                    upload: returned,
+                }) => {
+                    upload = returned;
+                    last_hint = retry_after;
+                    self.metrics.on_retried();
+                    self.pace(retry_after);
+                }
+                Err(SubmitError::Closed { .. }) => return Err(SymbolSubmitError::Closed),
+            }
+        }
+        self.metrics.on_failed();
+        Err(SymbolSubmitError::Shed {
+            session_id,
+            retry_after: last_hint,
+        })
     }
 
     /// Stops accepting work, drains the queue, joins the workers, and
@@ -1702,5 +2062,172 @@ mod tests {
         let m = gw.shutdown();
         assert_eq!(m.completed, 64);
         assert_eq!(m.lost(), 0);
+    }
+
+    /// One noisy session exhausts its bucket; a second session on the
+    /// same gateway is untouched — the satellite fairness guarantee.
+    #[test]
+    fn rate_limit_stops_one_session_without_starving_another() {
+        for kind in engines() {
+            let gw = Gateway::with_runtime(
+                CloudService::new(),
+                GatewayConfig {
+                    queue_capacity: 64,
+                    workers: 2,
+                    shed_policy: ShedPolicy::Block,
+                },
+                kind,
+            );
+            gw.set_rate_limit(RateLimitConfig::per_session(3.0, 0.0));
+            // Session 1 burns its burst, then gets refused.
+            let mut refused = 0;
+            let mut replies = Vec::new();
+            for _ in 0..5 {
+                match gw.submit(ping_upload(1)) {
+                    Ok(r) => replies.push(r),
+                    Err(SubmitError::Busy { retry_after, .. }) => {
+                        refused += 1;
+                        assert!(retry_after.value() > 0.0);
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            assert_eq!(refused, 2, "{kind}: burst of 3 admits exactly 3 of 5");
+            // Session 2 submits the same count and is never refused.
+            for _ in 0..3 {
+                replies.push(gw.submit(ping_upload(2)).expect("session 2 unaffected"));
+            }
+            for r in replies {
+                assert_eq!(r.wait().expect("reply"), Response::Pong);
+            }
+            let m = gw.metrics();
+            assert_eq!(m.rate_limited, 2, "{kind}");
+            assert_eq!(m.accepted, 6, "{kind}");
+            assert!(gw
+                .telemetry_text()
+                .contains(&format!("gateway.rate_limited {refused}")));
+            gw.shutdown();
+        }
+    }
+
+    /// Fountain symbols pushed one at a time reassemble the request and
+    /// dispatch it through the normal pipeline on both engines.
+    #[test]
+    fn fountain_symbols_reassemble_and_dispatch() {
+        use medsen_phone::OneWayUploader;
+        for kind in engines() {
+            let gw = Gateway::with_runtime(
+                CloudService::new(),
+                GatewayConfig {
+                    queue_capacity: 8,
+                    workers: 2,
+                    shed_policy: ShedPolicy::Block,
+                },
+                kind,
+            );
+            let body = medsen_phone::to_json(&Request::Ping).expect("encodes");
+            let session = 41;
+            let upload = OneWayUploader::default()
+                .encode(session, &body)
+                .expect("encodes");
+            let mut reply = None;
+            // Feed every third symbol — any sufficient subset decodes.
+            for wire in upload.frames.iter().step_by(3) {
+                match gw.ingest_symbol(wire).expect("symbol accepted") {
+                    SymbolIngest::Complete {
+                        session_id,
+                        reply: r,
+                        stats,
+                    } => {
+                        assert_eq!(session_id, session);
+                        assert!(stats.overhead_ratio() >= 1.0);
+                        reply = Some(r);
+                        break;
+                    }
+                    SymbolIngest::Progress { session_id, .. }
+                    | SymbolIngest::Redundant { session_id } => assert_eq!(session_id, session),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            let reply = reply.expect("stream completed within budget");
+            assert_eq!(reply.wait().expect("reply"), Response::Pong);
+            let text = gw.telemetry_text();
+            for name in [
+                "fountain.symbols_received",
+                "fountain.sessions_completed 1",
+                "fountain.overhead_permille 1",
+            ] {
+                assert!(text.contains(name), "{kind}: missing {name} in:\n{text}");
+            }
+            // The decode span joins the request's spans in the ring.
+            let spans = gw.spans_json();
+            assert!(
+                spans.contains("fountain_decode"),
+                "{kind}: no decode span in:\n{spans}"
+            );
+            let m = gw.shutdown();
+            assert_eq!(m.accepted, 1, "{kind}");
+            assert_eq!(m.completed, 1, "{kind}");
+        }
+    }
+
+    /// Stragglers after completion are redundant, never a second dispatch.
+    #[test]
+    fn straggler_symbols_after_completion_do_not_redispatch() {
+        let gw = Gateway::new(
+            CloudService::new(),
+            GatewayConfig {
+                queue_capacity: 8,
+                workers: 1,
+                shed_policy: ShedPolicy::Block,
+            },
+        );
+        let body = medsen_phone::to_json(&Request::Ping).expect("encodes");
+        let upload = medsen_phone::OneWayUploader::default()
+            .encode(11, &body)
+            .expect("encodes");
+        let mut completed = false;
+        for wire in &upload.frames {
+            match gw.ingest_symbol(wire).expect("accepted") {
+                SymbolIngest::Complete { reply, .. } => {
+                    assert!(!completed, "second Complete for one stream");
+                    completed = true;
+                    assert_eq!(reply.wait().expect("reply"), Response::Pong);
+                }
+                SymbolIngest::AlreadyComplete { .. } => assert!(completed),
+                _ => {}
+            }
+        }
+        assert!(completed);
+        let m = gw.shutdown();
+        assert_eq!(m.accepted, 1, "stragglers must not re-enqueue");
+    }
+
+    /// Frame-level garbage is typed and counted, and a drained gateway
+    /// refuses symbols like it refuses submissions.
+    #[test]
+    fn symbol_route_rejects_garbage_and_respects_drain() {
+        let gw = Gateway::new(
+            CloudService::new(),
+            GatewayConfig {
+                queue_capacity: 4,
+                workers: 1,
+                shed_policy: ShedPolicy::Block,
+            },
+        );
+        match gw.ingest_symbol(&[0xAB; 7]) {
+            Err(SymbolSubmitError::Frame(_)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(gw.telemetry_text().contains("fountain.symbols_rejected 1"));
+        let body = medsen_phone::to_json(&Request::Ping).expect("encodes");
+        let upload = medsen_phone::OneWayUploader::default()
+            .encode(12, &body)
+            .expect("encodes");
+        gw.drain();
+        match gw.ingest_symbol(&upload.frames[0]) {
+            Err(SymbolSubmitError::Closed) => {}
+            other => panic!("unexpected {other:?}"),
+        }
     }
 }

@@ -57,18 +57,22 @@
 //! decisions that N sequential direct calls produce, with zero accepted
 //! requests lost even when an undersized queue forces shedding.
 
+pub mod fountain;
 pub mod gateway;
+pub mod limit;
 pub mod metrics;
 pub mod session;
 pub mod wire;
 
+pub use fountain::{FountainConfig, FountainIngestError};
 pub use gateway::{
     Gateway, GatewayConfig, PendingReply, ReplyError, RuntimeKind, ShedPolicy, SubmitError,
-    TelemetryConfig,
+    SymbolIngest, SymbolSubmitError, TelemetryConfig,
 };
+pub use limit::RateLimitConfig;
 pub use metrics::{GatewayMetrics, LatencyHistogram, LatencySnapshot, MetricsSnapshot};
 pub use session::{
     DongleSession, RetryPolicy, SessionConfig, SessionError, SessionReport, SessionState,
-    SessionStats,
+    SessionStats, UplinkMode,
 };
 pub use wire::{decode_upload, encode_upload, UploadError};

@@ -1,0 +1,170 @@
+//! Per-session token-bucket rate limiting.
+//!
+//! One noisy dongle — a bug-looping app, or a fountain session spraying
+//! symbols far past its budget — must not starve every other session's
+//! place in the queue. Each session gets its own bucket: `burst` tokens
+//! of headroom, refilled at `refill_per_sec`. A submission (or symbol)
+//! that finds the bucket empty is refused with a retry-after hint and
+//! counted under `gateway.rate_limited`; well-behaved sessions never
+//! notice the limiter exists.
+//!
+//! Buckets are tracked in real time (not the compressed simulation
+//! clock) because the limiter protects the real queue from real arrival
+//! rates.
+
+use medsen_units::Seconds;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Cap on tracked buckets: beyond this, full (idle) buckets are pruned —
+/// a full bucket is indistinguishable from a fresh one.
+const MAX_TRACKED_SESSIONS: usize = 8192;
+
+/// Token-bucket parameters applied per session id.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimitConfig {
+    /// Tokens a silent session accumulates — the burst it may spend
+    /// instantly. Must be at least 1.0 to ever admit anything.
+    pub burst: f64,
+    /// Steady-state tokens per real second.
+    pub refill_per_sec: f64,
+}
+
+impl RateLimitConfig {
+    /// A limit of `refill_per_sec` sustained submissions per session with
+    /// `burst` of instantaneous headroom.
+    pub fn per_session(burst: f64, refill_per_sec: f64) -> Self {
+        Self {
+            burst: burst.max(1.0),
+            refill_per_sec: refill_per_sec.max(0.0),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    tokens: f64,
+    refilled: Instant,
+}
+
+/// The per-session bucket table. Lives behind the gateway's mutex; all
+/// methods take `&mut self`.
+#[derive(Debug)]
+pub(crate) struct RateLimiter {
+    config: RateLimitConfig,
+    buckets: HashMap<u64, Bucket>,
+}
+
+impl RateLimiter {
+    pub(crate) fn new(config: RateLimitConfig) -> Self {
+        Self {
+            config,
+            buckets: HashMap::new(),
+        }
+    }
+
+    /// Spend one token from `session`'s bucket. `Err` carries the real
+    /// time until a token will be available.
+    pub(crate) fn try_take(&mut self, session: u64, now: Instant) -> Result<(), Seconds> {
+        if self.buckets.len() >= MAX_TRACKED_SESSIONS && !self.buckets.contains_key(&session) {
+            let burst = self.config.burst;
+            let refill = self.config.refill_per_sec;
+            // Apply refill as of `now` before judging fullness: stored
+            // token counts are stale until a bucket's next access.
+            self.buckets.retain(|_, b| {
+                let idle = now.saturating_duration_since(b.refilled).as_secs_f64();
+                b.tokens + idle * refill < burst
+            });
+        }
+        let bucket = self.buckets.entry(session).or_insert(Bucket {
+            tokens: self.config.burst,
+            refilled: now,
+        });
+        let elapsed = now.saturating_duration_since(bucket.refilled).as_secs_f64();
+        bucket.tokens =
+            (bucket.tokens + elapsed * self.config.refill_per_sec).min(self.config.burst);
+        bucket.refilled = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            Ok(())
+        } else if self.config.refill_per_sec > 0.0 {
+            Err(Seconds::new(
+                (1.0 - bucket.tokens) / self.config.refill_per_sec,
+            ))
+        } else {
+            // No refill configured: the burst is a hard cap. Hint one
+            // second so paced retry loops stay bounded instead of spinning.
+            Err(Seconds::new(1.0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn burst_spends_then_refuses() {
+        let mut rl = RateLimiter::new(RateLimitConfig::per_session(3.0, 0.0));
+        let now = Instant::now();
+        for _ in 0..3 {
+            assert!(rl.try_take(1, now).is_ok());
+        }
+        let wait = rl.try_take(1, now).expect_err("bucket empty");
+        assert!(wait.value() > 0.0);
+    }
+
+    #[test]
+    fn refill_restores_tokens_over_time() {
+        let mut rl = RateLimiter::new(RateLimitConfig::per_session(1.0, 10.0));
+        let t0 = Instant::now();
+        assert!(rl.try_take(7, t0).is_ok());
+        let wait = rl.try_take(7, t0).expect_err("spent");
+        assert!(wait.value() <= 0.1 + 1e-9, "10/s refill → ≤100ms wait");
+        // 150ms later one token has accrued.
+        assert!(rl.try_take(7, t0 + Duration::from_millis(150)).is_ok());
+    }
+
+    #[test]
+    fn sessions_have_independent_buckets() {
+        let mut rl = RateLimiter::new(RateLimitConfig::per_session(2.0, 0.0));
+        let now = Instant::now();
+        assert!(rl.try_take(1, now).is_ok());
+        assert!(rl.try_take(1, now).is_ok());
+        assert!(rl.try_take(1, now).is_err(), "session 1 exhausted");
+        assert!(rl.try_take(2, now).is_ok(), "session 2 unaffected");
+    }
+
+    #[test]
+    fn tokens_never_exceed_burst() {
+        let mut rl = RateLimiter::new(RateLimitConfig::per_session(2.0, 100.0));
+        let t0 = Instant::now();
+        assert!(rl.try_take(5, t0).is_ok());
+        // A long idle period must not bank unlimited tokens.
+        let later = t0 + Duration::from_secs(60);
+        assert!(rl.try_take(5, later).is_ok());
+        assert!(rl.try_take(5, later).is_ok());
+        assert!(rl.try_take(5, later).is_err(), "capped at burst=2");
+    }
+
+    #[test]
+    fn bucket_table_prunes_idle_sessions_at_capacity() {
+        let mut rl = RateLimiter::new(RateLimitConfig::per_session(1.0, 1000.0));
+        let t0 = Instant::now();
+        for s in 0..MAX_TRACKED_SESSIONS as u64 {
+            let _ = rl.try_take(s, t0);
+        }
+        assert_eq!(rl.buckets.len(), MAX_TRACKED_SESSIONS);
+        // All buckets refill to full by +1s; the next new session prunes.
+        let _ = rl.try_take(u64::MAX, t0 + Duration::from_secs(1));
+        assert!(rl.buckets.len() < MAX_TRACKED_SESSIONS);
+    }
+
+    #[test]
+    fn config_clamps_degenerate_values() {
+        let c = RateLimitConfig::per_session(0.0, -5.0);
+        assert_eq!(c.burst, 1.0);
+        assert_eq!(c.refill_per_sec, 0.0);
+    }
+}

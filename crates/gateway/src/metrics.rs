@@ -45,6 +45,7 @@ impl LaneMetrics {
 pub struct GatewayMetrics {
     accepted: Arc<Counter>,
     rejected: Arc<Counter>,
+    rate_limited: Arc<Counter>,
     retried: Arc<Counter>,
     completed: Arc<Counter>,
     failed: Arc<Counter>,
@@ -76,6 +77,7 @@ impl GatewayMetrics {
         Self {
             accepted: Arc::new(Counter::new()),
             rejected: Arc::new(Counter::new()),
+            rate_limited: Arc::new(Counter::new()),
             retried: Arc::new(Counter::new()),
             completed: Arc::new(Counter::new()),
             failed: Arc::new(Counter::new()),
@@ -100,6 +102,7 @@ impl GatewayMetrics {
         Self {
             accepted: registry.counter("gateway.accepted"),
             rejected: registry.counter("gateway.rejected"),
+            rate_limited: registry.counter("gateway.rate_limited"),
             retried: registry.counter("gateway.retried"),
             completed: registry.counter("gateway.completed"),
             failed: registry.counter("gateway.failed"),
@@ -138,6 +141,12 @@ impl GatewayMetrics {
         self.rejected.incr();
     }
 
+    /// Counts a submission refused by the per-session token-bucket rate
+    /// limit (a noisy dongle being held back, not queue pressure).
+    pub fn on_rate_limited(&self) {
+        self.rate_limited.incr();
+    }
+
     /// Counts one retry (link failure backoff or resubmission after shed).
     pub fn on_retried(&self) {
         self.retried.incr();
@@ -158,6 +167,7 @@ impl GatewayMetrics {
         MetricsSnapshot {
             accepted: self.accepted.get(),
             rejected: self.rejected.get(),
+            rate_limited: self.rate_limited.get(),
             retried: self.retried.get(),
             completed: self.completed.get(),
             failed: self.failed.get(),
@@ -187,6 +197,10 @@ pub struct MetricsSnapshot {
     pub accepted: u64,
     /// Requests shed with retry-after by the backpressure policy.
     pub rejected: u64,
+    /// Submissions refused by the per-session token-bucket rate limit.
+    /// Distinct from `rejected`: this is one session being too loud, not
+    /// the queue being full.
+    pub rate_limited: u64,
     /// Retries: link-failure backoffs plus resubmissions after shed.
     pub retried: u64,
     /// Requests fully served by workers.
@@ -254,8 +268,13 @@ impl std::fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "accepted {} | rejected {} | retried {} | completed {} | failed {}",
-            self.accepted, self.rejected, self.retried, self.completed, self.failed
+            "accepted {} | rejected {} | rate-limited {} | retried {} | completed {} | failed {}",
+            self.accepted,
+            self.rejected,
+            self.rate_limited,
+            self.retried,
+            self.completed,
+            self.failed
         )?;
         writeln!(f, "queue high-water: {}", self.queue_high_water)?;
         writeln!(
@@ -318,6 +337,8 @@ mod tests {
         m.on_accepted(0, 7);
         m.on_accepted(0, 5);
         m.on_rejected();
+        m.on_rate_limited();
+        m.on_rate_limited();
         m.on_retried();
         m.on_completed();
         m.on_failed();
@@ -326,6 +347,7 @@ mod tests {
             (s.accepted, s.rejected, s.retried, s.completed, s.failed),
             (3, 1, 1, 1, 1)
         );
+        assert_eq!(s.rate_limited, 2);
         assert_eq!(s.queue_high_water, 7);
         assert_eq!(s.lost(), 2);
     }
@@ -411,6 +433,7 @@ mod tests {
         for name in [
             "gateway.accepted",
             "gateway.rejected",
+            "gateway.rate_limited",
             "gateway.retried",
             "gateway.completed",
             "gateway.failed",
@@ -431,7 +454,7 @@ mod tests {
         let m = GatewayMetrics::new();
         let empty = m.snapshot().to_string();
         for needle in [
-            "accepted 0 | rejected 0 | retried 0 | completed 0 | failed 0",
+            "accepted 0 | rejected 0 | rate-limited 0 | retried 0 | completed 0 | failed 0",
             "queue high-water: 0",
             "shard lanes: routed [0] depth-hw [0] | lock contention []",
             "wal: appends 0 | fsyncs 0 | bytes 0 | recovered 0 (truncated 0 B)",
@@ -447,6 +470,7 @@ mod tests {
         let mut s = m.snapshot();
         s.accepted = 5;
         s.rejected = 1;
+        s.rate_limited = 3;
         s.retried = 2;
         s.completed = 4;
         s.failed = 1;
@@ -462,7 +486,8 @@ mod tests {
         s.cache_hits = 6;
         s.cache_misses = 4;
         s.drained = true;
-        let golden = "accepted 5 | rejected 1 | retried 2 | completed 4 | failed 1\n\
+        let golden =
+            "accepted 5 | rejected 1 | rate-limited 3 | retried 2 | completed 4 | failed 1\n\
                       queue high-water: 3\n\
                       shard lanes: routed [3, 2] depth-hw [2, 3] | lock contention [0, 1]\n\
                       wal: appends 7 | fsyncs 2 | bytes 512 | recovered 1 (truncated 9 B)\n\

@@ -8,11 +8,13 @@
 //! gateway's hint — all against a per-request **simulated** deadline, so
 //! tests are deterministic regardless of host scheduling.
 
-use crate::gateway::{Gateway, PendingReply, ReplyError, SubmitError};
+use crate::gateway::{
+    Gateway, PendingReply, ReplyError, SubmitError, SymbolIngest, SymbolSubmitError,
+};
 use medsen_cloud::auth::BeadSignature;
 use medsen_cloud::service::{Request, Response};
 use medsen_impedance::SignalTrace;
-use medsen_phone::{LinkError, NetworkLink};
+use medsen_phone::{LinkError, NetworkLink, OneWayUploader, SymbolBudget};
 use medsen_units::Seconds;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -51,6 +53,22 @@ impl Default for RetryPolicy {
     }
 }
 
+/// How a session pushes requests across the uplink.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum UplinkMode {
+    /// Two-way: transmit the framed upload, retry on failure with
+    /// exponential backoff (requires a downlink for the implicit ACK).
+    #[default]
+    Retry,
+    /// One-way (data diode): compress and fountain-encode the request,
+    /// stream budgeted coded symbols with no retry and no ACK. Dropped
+    /// symbols are simply lost; the budget's redundancy covers them.
+    Fountain {
+        /// How much redundancy the phone front-loads.
+        budget: SymbolBudget,
+    },
+}
+
 /// Per-session link and deadline configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SessionConfig {
@@ -63,8 +81,10 @@ pub struct SessionConfig {
     /// Simulated time budget per request, covering transfer time, retry
     /// backoff, and shed retry-after waits.
     pub deadline: Seconds,
-    /// Flaky-link retry schedule.
+    /// Flaky-link retry schedule (two-way mode only).
     pub retry: RetryPolicy,
+    /// Two-way retry or one-way fountain streaming.
+    pub uplink: UplinkMode,
 }
 
 impl SessionConfig {
@@ -76,6 +96,7 @@ impl SessionConfig {
             seed: 0,
             deadline: Seconds::new(600.0),
             retry: RetryPolicy::paper_default(),
+            uplink: UplinkMode::Retry,
         }
     }
 
@@ -86,6 +107,15 @@ impl SessionConfig {
             link_failure_rate: rate,
             seed,
             ..Self::reliable()
+        }
+    }
+
+    /// A one-way session over the same flaky link: no retries, no ACKs —
+    /// each request streams as fountain symbols under `budget`.
+    pub fn fountain(rate: f64, seed: u64, budget: SymbolBudget) -> Self {
+        Self {
+            uplink: UplinkMode::Fountain { budget },
+            ..Self::flaky(rate, seed)
         }
     }
 }
@@ -125,6 +155,20 @@ pub enum SessionError {
         /// Attempts made.
         attempts: u32,
     },
+    /// A one-way stream emitted its whole symbol budget without the
+    /// gateway completing the block (symbol loss exceeded the budget's
+    /// redundancy).
+    SymbolBudgetExhausted {
+        /// Coded symbols emitted before giving up.
+        emitted: u64,
+    },
+    /// The gateway refused a one-way upload for a reason streaming more
+    /// symbols cannot fix (corrupt reassembly, stream mismatch, or a
+    /// shed dispatch).
+    OneWayRejected {
+        /// The gateway's diagnostic.
+        reason: String,
+    },
     /// The gateway has shut down.
     GatewayClosed,
     /// The gateway accepted the request but never replied.
@@ -143,6 +187,12 @@ impl fmt::Display for SessionError {
             }
             SessionError::RetriesExhausted { attempts } => {
                 write!(f, "uplink failed after {attempts} attempts")
+            }
+            SessionError::SymbolBudgetExhausted { emitted } => {
+                write!(f, "one-way upload incomplete after {emitted} symbols")
+            }
+            SessionError::OneWayRejected { reason } => {
+                write!(f, "one-way upload rejected: {reason}")
             }
             SessionError::GatewayClosed => write!(f, "gateway is shut down"),
             SessionError::Reply(e) => write!(f, "reply error: {e}"),
@@ -168,6 +218,10 @@ pub struct SessionStats {
     pub link_retries: u64,
     /// Resubmissions after a backpressure rejection.
     pub shed_retries: u64,
+    /// Fountain symbols pushed onto the link (one-way mode).
+    pub symbols_emitted: u64,
+    /// Fountain symbols the link (or the rate limiter) swallowed.
+    pub symbols_dropped: u64,
     /// Total simulated uplink time (transfers + backoffs + shed waits).
     pub sim_uplink: Seconds,
 }
@@ -192,6 +246,9 @@ pub struct DongleSession<'g> {
     state: SessionState,
     pending: VecDeque<PendingReply>,
     stats: SessionStats,
+    /// One-way uploads encoded so far; seeds each request's distinct
+    /// fountain stream (see [`medsen_phone::stream_seed_for`]).
+    upload_seq: u64,
 }
 
 impl<'g> DongleSession<'g> {
@@ -205,6 +262,7 @@ impl<'g> DongleSession<'g> {
             state: SessionState::Ready,
             pending: VecDeque::new(),
             stats: SessionStats::default(),
+            upload_seq: 0,
         }
     }
 
@@ -300,9 +358,11 @@ impl<'g> DongleSession<'g> {
         })
     }
 
-    /// Encodes, "transmits" across the simulated uplink (with flaky-link
-    /// retries), and submits to the gateway (with shed retries), all within
-    /// the per-request simulated deadline.
+    /// Encodes and transmits one request across the simulated uplink.
+    /// Two-way ([`UplinkMode::Retry`]) transmissions retry flaky-link
+    /// drops and shed rejections; one-way ([`UplinkMode::Fountain`])
+    /// transmissions stream budgeted coded symbols with no retry at all.
+    /// Both run against the per-request simulated deadline.
     fn transmit(&mut self, request: &Request) -> Result<PendingReply, SessionError> {
         if self.state == SessionState::Closed {
             return Err(SessionError::SessionClosed);
@@ -310,7 +370,20 @@ impl<'g> DongleSession<'g> {
         let body = medsen_phone::to_json(request).map_err(|e| SessionError::Encode {
             reason: e.to_string(),
         })?;
-        let mut upload = crate::wire::encode_upload(self.id, &body);
+        match self.config.uplink {
+            UplinkMode::Retry => self.transmit_retry(request, &body),
+            UplinkMode::Fountain { budget } => self.transmit_fountain(&body, budget),
+        }
+    }
+
+    /// The two-way path: framed upload, flaky-link retries with backoff,
+    /// then the gateway queue with shed retries.
+    fn transmit_retry(
+        &mut self,
+        request: &Request,
+        body: &str,
+    ) -> Result<PendingReply, SessionError> {
+        let mut upload = crate::wire::encode_upload(self.id, body);
         // Enrollments route by the identifier's shard hash so writes to
         // the same auth shard queue on the same lane (with lanes == shards
         // each lane's worker group owns one shard's write lock); all other
@@ -392,6 +465,81 @@ impl<'g> DongleSession<'g> {
                 }
             }
         }
+    }
+
+    /// The one-way path: compress + fountain-encode the body, then push
+    /// each coded symbol across the link exactly once. A dropped symbol
+    /// is gone — there is no ACK to miss and no retry. The stream ends
+    /// when the gateway reports the block complete or the budget runs
+    /// out. (A real diode phone emits its whole budget blind; stopping
+    /// at completion is an in-process shortcut that changes test time,
+    /// not semantics — the gateway treats stragglers as redundant.)
+    fn transmit_fountain(
+        &mut self,
+        body: &str,
+        budget: SymbolBudget,
+    ) -> Result<PendingReply, SessionError> {
+        let seq = self.upload_seq;
+        self.upload_seq += 1;
+        let upload = OneWayUploader::with_budget(budget)
+            .encode_numbered(self.id, seq, body)
+            .map_err(|e| SessionError::Encode {
+                reason: e.to_string(),
+            })?;
+        let metrics = self.gateway.metrics_handle();
+        let deadline = self.config.deadline;
+        let mut spent = Seconds::ZERO;
+        for wire in &upload.frames {
+            let transfer = self
+                .config
+                .link
+                .try_transfer_time(wire.len())
+                .map_err(SessionError::Link)?;
+            spent += transfer;
+            self.stats.symbols_emitted += 1;
+            if spent.value() > deadline.value() {
+                metrics.on_failed();
+                self.stats.sim_uplink += spent;
+                return Err(SessionError::DeadlineExceeded { spent, deadline });
+            }
+            let dropped = self.config.link_failure_rate > 0.0
+                && self.rng.random::<f64>() < self.config.link_failure_rate;
+            if dropped {
+                self.stats.symbols_dropped += 1;
+                continue;
+            }
+            match self.gateway.ingest_symbol(wire) {
+                Ok(SymbolIngest::Complete { reply, .. }) => {
+                    metrics.uplink_time.record_seconds(spent.value());
+                    self.stats.requests += 1;
+                    self.stats.sim_uplink += spent;
+                    return Ok(reply);
+                }
+                Ok(_) => {}
+                // A rate-limited symbol on a one-way link is just another
+                // lost symbol: the phone can't be told, the budget covers it.
+                Err(SymbolSubmitError::RateLimited { .. }) => {
+                    self.stats.symbols_dropped += 1;
+                }
+                Err(SymbolSubmitError::Closed) => {
+                    metrics.on_failed();
+                    self.stats.sim_uplink += spent;
+                    return Err(SessionError::GatewayClosed);
+                }
+                Err(e) => {
+                    metrics.on_failed();
+                    self.stats.sim_uplink += spent;
+                    return Err(SessionError::OneWayRejected {
+                        reason: e.to_string(),
+                    });
+                }
+            }
+        }
+        metrics.on_failed();
+        self.stats.sim_uplink += spent;
+        Err(SessionError::SymbolBudgetExhausted {
+            emitted: self.stats.symbols_emitted,
+        })
     }
 }
 

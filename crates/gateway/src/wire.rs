@@ -43,6 +43,21 @@ pub enum UploadError {
         /// Bytes actually received.
         received: usize,
     },
+    /// The frames carried *more* body bytes than the header declared.
+    /// Truncating to the declared length would silently drop data, so
+    /// the mismatch is rejected instead.
+    OversizedBody {
+        /// Declared body length in bytes.
+        declared: usize,
+        /// Bytes actually received.
+        received: usize,
+    },
+    /// Bytes remained on the wire after the declared body completed.
+    /// Accepting the upload would silently discard them.
+    TrailingData {
+        /// Unconsumed bytes after the final body chunk.
+        trailing: usize,
+    },
     /// The request body was not valid UTF-8 JSON.
     BodyNotUtf8,
 }
@@ -64,6 +79,15 @@ impl fmt::Display for UploadError {
                     f,
                     "body truncated: declared {declared} bytes, received {received}"
                 )
+            }
+            UploadError::OversizedBody { declared, received } => {
+                write!(
+                    f,
+                    "body overflow: declared {declared} bytes, received {received}"
+                )
+            }
+            UploadError::TrailingData { trailing } => {
+                write!(f, "{trailing} bytes of trailing data after the body")
             }
             UploadError::BodyNotUtf8 => write!(f, "request body is not valid UTF-8"),
         }
@@ -134,10 +158,19 @@ pub fn decode_upload(wire: &[u8]) -> Result<(u64, String), UploadError> {
         }
         body.extend_from_slice(&frame.payload);
     }
-    if body.len() != declared {
-        return Err(UploadError::ShortBody {
+    if body.len() > declared {
+        // A chunk ran past the declared length. Truncating here would
+        // silently drop the overflow, so the mismatch is typed instead.
+        return Err(UploadError::OversizedBody {
             declared,
             received: body.len(),
+        });
+    }
+    if offset < wire.len() {
+        // Leftover frames after the declared body completed; ignoring
+        // them would be a silent truncation of whatever they carried.
+        return Err(UploadError::TrailingData {
+            trailing: wire.len() - offset,
         });
     }
     let body = String::from_utf8(body).map_err(|_| UploadError::BodyNotUtf8)?;
@@ -215,5 +248,79 @@ mod tests {
             decode_upload(&wire),
             Err(UploadError::BodyTooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn rejects_malformed_headers() {
+        // StartTest with an 11-byte payload: right type, wrong size.
+        let wire = Frame::new(MessageType::StartTest, vec![0u8; 11])
+            .encode()
+            .to_vec();
+        assert_eq!(decode_upload(&wire), Err(UploadError::MalformedHeader));
+    }
+
+    #[test]
+    fn overflowing_chunks_are_typed_not_truncated() {
+        // Declare 5 bytes but ship a 9-byte chunk: accepting and cutting
+        // at 5 would silently drop "-extra".
+        let mut header = Vec::new();
+        header.extend_from_slice(&3u64.to_be_bytes());
+        header.extend_from_slice(&5u32.to_be_bytes());
+        let mut wire = Frame::new(MessageType::StartTest, header).encode().to_vec();
+        wire.extend_from_slice(&Frame::new(MessageType::DataChunk, b"abc-extra".to_vec()).encode());
+        assert_eq!(
+            decode_upload(&wire),
+            Err(UploadError::OversizedBody {
+                declared: 5,
+                received: 9
+            })
+        );
+    }
+
+    #[test]
+    fn trailing_frames_after_the_body_are_typed_not_dropped() {
+        let mut wire = encode_upload(4, "hello");
+        let extra = Frame::new(MessageType::DataChunk, b"late".to_vec()).encode();
+        wire.extend_from_slice(&extra);
+        assert_eq!(
+            decode_upload(&wire),
+            Err(UploadError::TrailingData {
+                trailing: extra.len()
+            })
+        );
+    }
+
+    #[test]
+    fn non_utf8_bodies_are_typed() {
+        let mut header = Vec::new();
+        header.extend_from_slice(&2u64.to_be_bytes());
+        header.extend_from_slice(&2u32.to_be_bytes());
+        let mut wire = Frame::new(MessageType::StartTest, header).encode().to_vec();
+        wire.extend_from_slice(&Frame::new(MessageType::DataChunk, vec![0xFF, 0xFE]).encode());
+        assert_eq!(decode_upload(&wire), Err(UploadError::BodyNotUtf8));
+    }
+
+    #[test]
+    fn every_variant_displays_distinctly() {
+        let variants: Vec<UploadError> = vec![
+            UploadError::Frame(FrameError::ChecksumMismatch),
+            UploadError::MissingHeader,
+            UploadError::MalformedHeader,
+            UploadError::BodyTooLarge { declared: 1 },
+            UploadError::ShortBody {
+                declared: 2,
+                received: 1,
+            },
+            UploadError::OversizedBody {
+                declared: 1,
+                received: 2,
+            },
+            UploadError::TrailingData { trailing: 4 },
+            UploadError::BodyNotUtf8,
+        ];
+        let mut rendered: Vec<String> = variants.iter().map(|v| v.to_string()).collect();
+        rendered.sort();
+        rendered.dedup();
+        assert_eq!(rendered.len(), variants.len());
     }
 }

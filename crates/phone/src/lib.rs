@@ -14,6 +14,8 @@
 //! * [`json`] — a from-scratch JSON codec (serde backend) for the
 //!   phone↔cloud request/response bodies;
 //! * [`network`] — 4G/USB link timing models;
+//! * [`oneway`] — ACK-free fountain-coded uploads for RF-restricted
+//!   clinics (compress → rateless symbol stream, no back-channel);
 //! * [`profile`] — the Fig. 14 computer-vs-smartphone performance model.
 
 pub mod app;
@@ -22,6 +24,7 @@ pub mod csv;
 pub mod frame;
 pub mod json;
 pub mod network;
+pub mod oneway;
 pub mod profile;
 
 pub use app::{AppEvent, AppState, PhoneApp};
@@ -30,4 +33,7 @@ pub use csv::{trace_from_csv, trace_to_csv};
 pub use frame::{Frame, FrameError, MessageType};
 pub use json::{from_json, to_json, JsonError};
 pub use network::{LinkError, NetworkLink};
+pub use oneway::{
+    stream_seed_for, OneWayStats, OneWayUpload, OneWayUploader, SymbolBudget, DEFAULT_SYMBOL_BYTES,
+};
 pub use profile::{DeviceProfile, PAPER_FIG14_SAMPLE_SIZES};

@@ -1,0 +1,241 @@
+//! One-way (ACK-free) upload encoding for RF-restricted clinics.
+//!
+//! Some deployment sites — EMI-sensitive wards, shielded labs — forbid
+//! any RF downlink into the clinic, so the retry-over-flaky-link path is
+//! structurally unavailable: there is nothing to carry an ACK back. This
+//! module is the phone side of the data-diode alternative: compress the
+//! request body with the same LZW codec the relay already uses, then
+//! fountain-encode it into a budgeted stream of self-describing coded
+//! symbols. Any sufficiently large subset that survives the link lets
+//! the gateway reassemble the upload; the phone never learns which
+//! symbols made it and never needs to.
+
+use medsen_fountain::{CodecError, Encoder, EncoderStats};
+
+use crate::compress::compress;
+
+/// Default coded-symbol payload size in bytes. Small enough that one
+/// symbol rides comfortably in a single link MTU, large enough that the
+/// 41-byte frame overhead stays under 10%.
+pub const DEFAULT_SYMBOL_BYTES: usize = 512;
+
+/// How many coded symbols to emit for a block of `k` source symbols.
+///
+/// The budget is the one-way substitute for retries: instead of
+/// reacting to loss, the phone front-loads redundancy. `factor` scales
+/// with `k`; `floor` keeps tiny blocks (small `k`) decodable, since LT
+/// overhead is proportionally largest there.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SymbolBudget {
+    /// Coded symbols per source symbol.
+    pub factor: f64,
+    /// Minimum extra symbols on top of `factor * k`.
+    pub floor: u32,
+}
+
+impl SymbolBudget {
+    /// The paper-scenario default: survives sustained 50% symbol drop
+    /// with margin (expected surviving symbols ≈ 2k + floor/2).
+    pub fn paper_default() -> Self {
+        Self {
+            factor: 4.0,
+            floor: 24,
+        }
+    }
+
+    /// A budget scaled for an expected worst-case drop rate: emits
+    /// enough that the *surviving* stream still carries ~2x the source
+    /// symbols.
+    pub fn for_drop_rate(drop_rate: f64) -> Self {
+        let survival = (1.0 - drop_rate.clamp(0.0, 0.95)).max(0.05);
+        Self {
+            factor: (2.0 / survival).max(2.0),
+            floor: 24,
+        }
+    }
+
+    /// Total symbols to emit for `k` source symbols.
+    pub fn symbols_for(&self, k: usize) -> u64 {
+        let scaled = (self.factor * k as f64).ceil() as u64;
+        scaled.max(k as u64) + self.floor as u64
+    }
+}
+
+/// Counters for one encoded one-way upload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OneWayStats {
+    /// Request body bytes before compression.
+    pub raw_bytes: usize,
+    /// Compressed block bytes actually fountain-coded.
+    pub compressed_bytes: usize,
+    /// Encoder-side counters (k, symbols emitted, wire bytes).
+    pub encoder: EncoderStats,
+}
+
+/// A fully encoded one-way upload: the budgeted symbol stream, in
+/// emission order, each element one wire-ready symbol frame.
+#[derive(Debug, Clone)]
+pub struct OneWayUpload {
+    /// Wire frames to emit, in order. A real diode phone sends them all;
+    /// simulations may stop early once the in-process decoder completes.
+    pub frames: Vec<Vec<u8>>,
+    /// What was encoded.
+    pub stats: OneWayStats,
+}
+
+/// The phone-side encoder for one-way uploads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OneWayUploader {
+    /// Coded-symbol payload size in bytes.
+    pub symbol_bytes: usize,
+    /// Redundancy budget.
+    pub budget: SymbolBudget,
+}
+
+impl Default for OneWayUploader {
+    fn default() -> Self {
+        Self {
+            symbol_bytes: DEFAULT_SYMBOL_BYTES,
+            budget: SymbolBudget::paper_default(),
+        }
+    }
+}
+
+impl OneWayUploader {
+    /// An uploader with an explicit budget and the default symbol size.
+    pub fn with_budget(budget: SymbolBudget) -> Self {
+        Self {
+            budget,
+            ..Self::default()
+        }
+    }
+
+    /// Compress `body` and encode it as the first upload (`seq` 0) of
+    /// session `session_id`. See [`OneWayUploader::encode_numbered`].
+    pub fn encode(&self, session_id: u64, body: &str) -> Result<OneWayUpload, CodecError> {
+        self.encode_numbered(session_id, 0, body)
+    }
+
+    /// Compress `body` and encode it into a budgeted symbol stream as
+    /// upload number `seq` of session `session_id`. The stream seed is
+    /// derived from both, so consecutive requests from one session are
+    /// distinct streams at the gateway (a completed upload's tombstone
+    /// must not swallow the next request), while re-encoding the *same*
+    /// upload re-emits the same stream. The gateway needs nothing beyond
+    /// the frames themselves — each carries the seed explicitly.
+    pub fn encode_numbered(
+        &self,
+        session_id: u64,
+        seq: u64,
+        body: &str,
+    ) -> Result<OneWayUpload, CodecError> {
+        let compressed = compress(body.as_bytes());
+        let mut encoder = Encoder::new(
+            session_id,
+            stream_seed_for(session_id, seq),
+            &compressed,
+            self.symbol_bytes,
+        )?;
+        let total = self.budget.symbols_for(encoder.source_symbols());
+        let mut frames = Vec::with_capacity(total as usize);
+        for id in 0..total {
+            frames.push(encoder.symbol_bytes(id));
+        }
+        Ok(OneWayUpload {
+            frames,
+            stats: OneWayStats {
+                raw_bytes: body.len(),
+                compressed_bytes: compressed.len(),
+                encoder: encoder.stats(),
+            },
+        })
+    }
+}
+
+/// The stream seed a phone derives for upload number `seq` of
+/// `session_id`. Deterministic so a resumed upload re-emits the *same*
+/// stream (symbol ids already sent stay valid), and distinct per upload
+/// so the gateway sees each request as its own stream — the frames still
+/// carry it, so the gateway never has to recompute this.
+pub fn stream_seed_for(session_id: u64, seq: u64) -> u64 {
+    (session_id ^ 0x0E1A_97F0_57E4_D10D).wrapping_add(seq.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::decompress;
+    use medsen_fountain::{decode_symbol_frame, Decoder};
+
+    fn decode_all(upload: &OneWayUpload, keep: impl Fn(usize) -> bool) -> Option<Vec<u8>> {
+        let mut dec: Option<Decoder> = None;
+        for (i, wire) in upload.frames.iter().enumerate() {
+            if !keep(i) {
+                continue;
+            }
+            let (frame, _) = decode_symbol_frame(wire).expect("well-formed frame");
+            let d = dec.get_or_insert_with(|| Decoder::for_frame(&frame).expect("bootstrap"));
+            if d.push_frame(&frame).expect("stream match") {
+                break;
+            }
+        }
+        dec.and_then(|d| d.block())
+    }
+
+    #[test]
+    fn budget_floors_protect_tiny_blocks() {
+        let b = SymbolBudget::paper_default();
+        assert_eq!(b.symbols_for(1), 28);
+        assert_eq!(b.symbols_for(10), 64);
+        let worst = SymbolBudget::for_drop_rate(0.5);
+        assert!(worst.factor >= 4.0);
+        assert!(SymbolBudget::for_drop_rate(2.0).factor <= 40.0 + 1e-9);
+    }
+
+    #[test]
+    fn lossless_stream_round_trips_to_the_original_body() {
+        let body = r#"{"Ping":{"sequence":42}}"#;
+        let upload = OneWayUploader::default().encode(7, body).expect("encode");
+        assert!(upload.frames.len() >= 28);
+        let block = decode_all(&upload, |_| true).expect("complete");
+        assert_eq!(decompress(&block).expect("lzw"), body.as_bytes());
+        assert_eq!(upload.stats.raw_bytes, body.len());
+    }
+
+    #[test]
+    fn every_other_symbol_dropped_still_round_trips() {
+        // 50% deterministic loss against the default budget.
+        let body: String = (0..200)
+            .map(|i| format!("{{\"sequence\":{i}}}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let upload = OneWayUploader::default().encode(9, &body).expect("encode");
+        let block = decode_all(&upload, |i| i % 2 == 0).expect("complete at 50% loss");
+        assert_eq!(decompress(&block).expect("lzw"), body.as_bytes());
+    }
+
+    #[test]
+    fn empty_body_is_encodable() {
+        let upload = OneWayUploader::default().encode(3, "").expect("encode");
+        let block = decode_all(&upload, |_| true).expect("complete");
+        assert_eq!(decompress(&block).expect("lzw"), b"");
+    }
+
+    #[test]
+    fn stream_seed_is_deterministic_per_upload() {
+        assert_eq!(stream_seed_for(5, 0), stream_seed_for(5, 0));
+        assert_ne!(stream_seed_for(5, 0), stream_seed_for(6, 0));
+        assert_ne!(
+            stream_seed_for(5, 0),
+            stream_seed_for(5, 1),
+            "consecutive uploads must be distinct streams"
+        );
+        let a = OneWayUploader::default().encode(5, "body").expect("encode");
+        let b = OneWayUploader::default().encode(5, "body").expect("encode");
+        assert_eq!(a.frames, b.frames, "re-encoding must re-emit the stream");
+        let c = OneWayUploader::default()
+            .encode_numbered(5, 1, "body")
+            .expect("encode");
+        assert_ne!(a.frames, c.frames, "next upload is a different stream");
+    }
+}

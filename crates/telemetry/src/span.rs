@@ -86,10 +86,13 @@ pub enum Stage {
     Analysis = 6,
     /// Shipping one WAL frame to the warm standby, through its ack.
     Replication = 7,
+    /// Fountain reassembly of a one-way upload: first surviving symbol
+    /// through peeling completion.
+    FountainDecode = 8,
 }
 
 /// Every stage, in pipeline order.
-pub const STAGES: [Stage; 8] = [
+pub const STAGES: [Stage; 9] = [
     Stage::Admission,
     Stage::Queue,
     Stage::Service,
@@ -98,6 +101,7 @@ pub const STAGES: [Stage; 8] = [
     Stage::WalFsync,
     Stage::Analysis,
     Stage::Replication,
+    Stage::FountainDecode,
 ];
 
 impl Stage {
@@ -112,6 +116,7 @@ impl Stage {
             Stage::WalFsync => "wal_fsync",
             Stage::Analysis => "analysis",
             Stage::Replication => "replication",
+            Stage::FountainDecode => "fountain_decode",
         }
     }
 

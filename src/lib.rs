@@ -17,6 +17,8 @@
 //!   snapshots, and crash recovery backing the cloud tier;
 //! * [`replica`] — epoch-fenced WAL stream replication pairing each
 //!   shard with a warm standby and a fenced promotion path;
+//! * [`fountain`] — rateless LT erasure codec for one-way phone→cloud
+//!   uploads in RF-restricted clinics (no ACK path);
 //! * [`telemetry`] — request-scoped trace spans, the unified metrics
 //!   registry, and text/JSON exposition shared by every serving layer.
 //!
@@ -27,6 +29,7 @@
 pub use medsen_cloud as cloud;
 pub use medsen_core as core;
 pub use medsen_dsp as dsp;
+pub use medsen_fountain as fountain;
 pub use medsen_gateway as gateway;
 pub use medsen_impedance as impedance;
 pub use medsen_microfluidics as microfluidics;

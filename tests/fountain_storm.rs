@@ -1,0 +1,268 @@
+//! Lossy-link storm for the fountain one-way uplink (ISSUE: rateless
+//! phone→cloud transfer for RF-restricted clinics).
+//!
+//! N dongle sessions run concurrently in one-way fountain mode across
+//! simulated links dropping 1%–50% of their symbols. Every enrollment
+//! and every authenticated analysis must complete with responses
+//! observationally equivalent to a lossless sequential oracle — zero
+//! lost enrollments, zero sessions giving up — at drop rates where the
+//! two-way retry path demonstrably collapses (shown in the same test:
+//! the retry path's bounded attempt budget fails sessions at 50% drop).
+
+use medsen::cloud::auth::{AuthDecision, BeadSignature};
+use medsen::cloud::service::{CloudService, Request, Response};
+use medsen::dsp::classify::Classifier;
+use medsen::dsp::FeatureVector;
+use medsen::gateway::{
+    Gateway, GatewayConfig, RetryPolicy, SessionConfig, SessionError, ShedPolicy,
+};
+use medsen::impedance::{PulseSpec, SignalTrace, TraceSynthesizer};
+use medsen::microfluidics::ParticleKind;
+use medsen::phone::SymbolBudget;
+use medsen::units::Seconds;
+use std::sync::{Barrier, Mutex};
+
+const SESSIONS: usize = 12;
+
+/// Clinic users with pairwise-disjoint ±30% bead-count bands.
+const USERS: [(&str, u64); 4] = [("ana", 3), ("bo", 6), ("cleo", 12), ("dee", 24)];
+
+fn user_for_session(i: usize) -> (&'static str, u64) {
+    USERS[i % USERS.len()]
+}
+
+/// Per-session symbol drop rate, spread over 1%..=50%.
+fn drop_rate(i: usize) -> f64 {
+    0.01 + 0.49 * (i as f64 / (SESSIONS - 1) as f64)
+}
+
+/// The session's redundancy budget, sized to its own worst-case drop
+/// rate with extra LT margin (the storm asserts *zero* failures, so the
+/// budget must cover unlucky seeds, not just the expectation).
+fn budget_for(i: usize) -> SymbolBudget {
+    let base = SymbolBudget::for_drop_rate(drop_rate(i));
+    SymbolBudget {
+        factor: base.factor * 1.5,
+        floor: base.floor * 2,
+    }
+}
+
+fn session_trace(session: usize, pulses: u64) -> SignalTrace {
+    let mut synth = TraceSynthesizer::clean(1);
+    let jitter = session as f64 * 1e-3;
+    let specs: Vec<PulseSpec> = (0..pulses)
+        .map(|j| {
+            PulseSpec::unipolar(
+                Seconds::new(0.5 + jitter + j as f64 * 0.25),
+                Seconds::new(0.02),
+                0.01,
+            )
+        })
+        .collect();
+    synth.render(
+        &specs,
+        Seconds::new(0.5 + jitter + pulses as f64 * 0.25 + 0.5),
+    )
+}
+
+fn storm_classifier() -> Classifier {
+    let svc = CloudService::new();
+    let Response::Analyzed { report, .. } = svc.handle_shared(Request::Analyze {
+        trace: session_trace(999, 8),
+        authenticate: false,
+    }) else {
+        panic!("reference analysis failed");
+    };
+    let vectors: Vec<FeatureVector> = report
+        .peaks
+        .iter()
+        .map(|p| FeatureVector {
+            index: 0,
+            amplitudes: p.features.clone(),
+        })
+        .collect();
+    Classifier::train(&[(ParticleKind::Bead358.label(), vectors)]).expect("classifier trains")
+}
+
+fn service_with_classifier() -> CloudService {
+    let mut svc = CloudService::new();
+    svc.install_classifier(storm_classifier());
+    svc
+}
+
+fn signature(count: u64) -> BeadSignature {
+    BeadSignature::from_counts(&[(ParticleKind::Bead358, count)])
+}
+
+fn essence(response: Response) -> (medsen::cloud::api::PeakReport, AuthDecision) {
+    match response {
+        Response::Analyzed {
+            report,
+            auth: Some(decision),
+            ..
+        } => (report, decision),
+        other => panic!("expected authenticated analysis, got {other:?}"),
+    }
+}
+
+#[test]
+fn fountain_storm_matches_lossless_oracle_where_retry_collapses() {
+    // --- Lossless sequential oracle: direct calls, no gateway. ---
+    let oracle_svc = service_with_classifier();
+    for (user, count) in USERS {
+        assert_eq!(
+            oracle_svc.handle_shared(Request::Enroll {
+                identifier: user.to_string(),
+                signature: signature(count),
+            }),
+            Response::Enrolled
+        );
+    }
+    let oracle: Vec<(medsen::cloud::api::PeakReport, AuthDecision)> = (0..SESSIONS)
+        .map(|i| {
+            let (_, count) = user_for_session(i);
+            essence(oracle_svc.handle_shared(Request::Analyze {
+                trace: session_trace(i, count),
+                authenticate: true,
+            }))
+        })
+        .collect();
+
+    // --- The storm: concurrent one-way sessions at 1%..50% drop. ---
+    let gateway = Gateway::new(
+        service_with_classifier(),
+        GatewayConfig {
+            queue_capacity: 8,
+            workers: 4,
+            shed_policy: ShedPolicy::Reject {
+                retry_after: Seconds::from_millis(50.0),
+            },
+        },
+    );
+    let results: Mutex<Vec<(usize, Response, Response)>> = Mutex::new(Vec::with_capacity(SESSIONS));
+    let barrier = Barrier::new(SESSIONS);
+    std::thread::scope(|scope| {
+        for i in 0..SESSIONS {
+            let gateway = &gateway;
+            let results = &results;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let (user, count) = user_for_session(i);
+                let trace = session_trace(i, count);
+                let mut session = gateway.connect(SessionConfig::fountain(
+                    drop_rate(i),
+                    0xF0_0D + i as u64,
+                    budget_for(i),
+                ));
+                barrier.wait(); // maximize symbol interleaving
+                                // Every session enrolls over the lossy one-way link —
+                                // re-enrolling an identical signature is idempotent, so
+                                // concurrent sessions sharing a user don't conflict.
+                let enrolled = session.enroll(user, signature(count)).unwrap_or_else(|e| {
+                    panic!(
+                        "session {i}: enroll lost at {:.0}% drop: {e}",
+                        drop_rate(i) * 100.0
+                    )
+                });
+                let analyzed = session.analyze(trace, true).unwrap_or_else(|e| {
+                    panic!(
+                        "session {i}: analysis lost at {:.0}% drop: {e}",
+                        drop_rate(i) * 100.0
+                    )
+                });
+                let stats = session.stats();
+                assert!(stats.symbols_emitted > 0, "session {i} streamed symbols");
+                if i == SESSIONS - 1 {
+                    // The worst link must actually be lossy for the claim
+                    // "decodes despite drops" to mean anything.
+                    assert!(stats.symbols_dropped > 0, "50% link dropped nothing");
+                }
+                results.lock().unwrap().push((i, enrolled, analyzed));
+            });
+        }
+    });
+
+    let mut results = results.into_inner().unwrap();
+    results.sort_by_key(|(i, ..)| *i);
+    assert_eq!(results.len(), SESSIONS, "zero sessions gave up");
+
+    // --- Equivalence with the lossless oracle, per session. ---
+    for (i, enrolled, analyzed) in results {
+        assert_eq!(enrolled, Response::Enrolled, "session {i}: enrollment lost");
+        let (report, decision) = essence(analyzed);
+        let (oracle_report, oracle_decision) = &oracle[i];
+        assert_eq!(report, *oracle_report, "session {i}: report diverged");
+        assert_eq!(decision, *oracle_decision, "session {i}: decision diverged");
+    }
+
+    // Every fountain stream that started also completed: nothing was
+    // evicted half-decoded, and redundancy/overhead are accounted.
+    let text = gateway.telemetry_text();
+    let counter = |name: &str| -> u64 {
+        text.lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")))
+            .unwrap_or_else(|| panic!("missing {name} in:\n{text}"))
+            .trim()
+            .parse()
+            .expect("counter parses")
+    };
+    assert_eq!(
+        counter("fountain.sessions_started"),
+        counter("fountain.sessions_completed"),
+        "half-decoded streams were abandoned"
+    );
+    assert_eq!(counter("fountain.sessions_evicted"), 0);
+    assert!(counter("fountain.overhead_permille") >= 1000);
+
+    let metrics = gateway.shutdown();
+    assert_eq!(metrics.lost(), 0, "accepted requests were lost");
+    assert_eq!(
+        metrics.completed,
+        2 * SESSIONS as u64,
+        "one enroll + one analysis per session"
+    );
+
+    // --- The same drop rate collapses the two-way retry path. ---
+    // 256 requests at 50% drop with the paper's 5-attempt budget: each
+    // request fails when all 5 tries drop (rate 0.5^5 ≈ 3.1%), so at
+    // least one failure is effectively certain (P[all 256 survive] ≈
+    // 3e-4), while the fountain fleet above completed everything at the
+    // same loss rate.
+    let retry_gateway = Gateway::new(
+        service_with_classifier(),
+        GatewayConfig {
+            queue_capacity: 8,
+            workers: 4,
+            shed_policy: ShedPolicy::Reject {
+                retry_after: Seconds::from_millis(50.0),
+            },
+        },
+    );
+    let mut retry_failures = 0u64;
+    for r in 0..256u64 {
+        // Multiply-mix the per-request seed: the session XORs it with its
+        // (incrementing) id, and additive seeds would cancel against that
+        // and correlate every session's failure draws.
+        let seed = (0xBAD_5EED ^ r).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut config = SessionConfig::flaky(0.5, seed);
+        config.retry = RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Seconds::from_millis(100.0),
+            multiplier: 2.0,
+        };
+        let mut session = retry_gateway.connect(config);
+        match session.enroll("retry-probe", signature(40)) {
+            Ok(_) => {}
+            Err(SessionError::RetriesExhausted { attempts }) => {
+                assert_eq!(attempts, 5);
+                retry_failures += 1;
+            }
+            Err(other) => panic!("unexpected retry-path error: {other}"),
+        }
+    }
+    retry_gateway.shutdown();
+    assert!(
+        retry_failures > 0,
+        "retry path should demonstrably shed requests at 50% drop"
+    );
+}
