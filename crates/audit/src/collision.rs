@@ -1,0 +1,170 @@
+//! Keyspace collision sweeps for the identity-hash routing tier.
+//!
+//! Every enrollment is routed by the stable 64-bit FNV-1a hash of its
+//! identifier (`medsen_cloud::identity_hash`), and record ids encode the
+//! resulting shard — so hash behaviour is part of the persistence
+//! contract. Two distinct failure modes matter at million-credential
+//! scale:
+//!
+//! * **hash collisions** — two identifiers with the same 64-bit hash are
+//!   fine for correctness (shards key the full string) but measure the
+//!   hash's health: observed collisions should track the birthday bound
+//!   `n(n−1)/2^65`, and FNV-1a over structured identifiers is exactly the
+//!   kind of non-cryptographic hash that could silently do worse;
+//! * **route imbalance** — a skewed `hash % shards` histogram turns the
+//!   sharded write path back into the single-lock path it replaced.
+//!
+//! The sweep takes a plain hash iterator so the audit crate never links
+//! the crate under test; `tests/security_audit.rs` pins this module's
+//! modulo routing bit-equal to `medsen_cloud::shard_index`.
+
+/// The expected number of colliding pairs when `n` values are drawn
+/// uniformly from a `2^space_bits` space (birthday bound, first-order).
+pub fn expected_birthday_collisions(n: u64, space_bits: u32) -> f64 {
+    let n = n as f64;
+    n * (n - 1.0) / 2.0 / 2f64.powi(space_bits as i32)
+}
+
+/// What one sweep over a hash stream found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollisionReport {
+    /// Hashes examined.
+    pub n: u64,
+    /// Colliding pairs observed (a k-way collision counts k·(k−1)/2).
+    pub colliding_pairs: u64,
+    /// Birthday-bound expectation for `n` draws from 2^64.
+    pub expected_pairs: f64,
+    /// Shard count the routing histogram was taken over.
+    pub shard_count: usize,
+    /// Heaviest shard's identifier count.
+    pub max_shard_load: u64,
+    /// Lightest shard's identifier count.
+    pub min_shard_load: u64,
+    /// `max_shard_load / (n / shards)` — 1.0 is perfect balance.
+    pub imbalance: f64,
+}
+
+impl CollisionReport {
+    /// Collision health: observed colliding pairs within `slack` pairs of
+    /// the birthday expectation (for 2^64 and n ≤ millions the
+    /// expectation is ≪ 1, so any slack ≥ 1 means "essentially zero
+    /// observed").
+    pub fn collisions_ok(&self, slack: u64) -> bool {
+        self.colliding_pairs as f64 <= self.expected_pairs + slack as f64
+    }
+}
+
+/// Sweeps a hash stream: counts 64-bit collisions and the `hash % shards`
+/// routing histogram.
+///
+/// # Panics
+///
+/// Panics if `shard_count` is zero.
+pub fn collision_sweep(
+    hashes: impl IntoIterator<Item = u64>,
+    shard_count: usize,
+) -> CollisionReport {
+    assert!(shard_count > 0, "need at least one shard");
+    let mut loads = vec![0u64; shard_count];
+    let mut all: Vec<u64> = Vec::new();
+    for hash in hashes {
+        loads[(hash % shard_count as u64) as usize] += 1;
+        all.push(hash);
+    }
+    all.sort_unstable();
+    let mut colliding_pairs = 0u64;
+    let mut run = 1u64;
+    for window in all.windows(2) {
+        if window[0] == window[1] {
+            run += 1;
+        } else {
+            colliding_pairs += run * (run - 1) / 2;
+            run = 1;
+        }
+    }
+    colliding_pairs += run * (run - 1) / 2;
+    let n = all.len() as u64;
+    let max_shard_load = loads.iter().copied().max().unwrap_or(0);
+    let min_shard_load = loads.iter().copied().min().unwrap_or(0);
+    let ideal = n as f64 / shard_count as f64;
+    CollisionReport {
+        n,
+        colliding_pairs,
+        expected_pairs: expected_birthday_collisions(n, 64),
+        shard_count,
+        max_shard_load,
+        min_shard_load,
+        imbalance: if ideal > 0.0 {
+            max_shard_load as f64 / ideal
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::AuditRng;
+
+    #[test]
+    fn uniform_hashes_have_no_collisions_and_balance() {
+        let mut rng = AuditRng::new(1);
+        let report = collision_sweep((0..100_000).map(|_| rng.next_u64()), 64);
+        assert_eq!(report.colliding_pairs, 0);
+        assert!(report.collisions_ok(0));
+        assert!(report.imbalance < 1.15, "imbalance {}", report.imbalance);
+        assert!(report.min_shard_load > 0);
+    }
+
+    #[test]
+    fn planted_collisions_are_counted_as_pairs() {
+        // 5 distinct values, one repeated 3 times and one twice:
+        // C(3,2) + C(2,2) = 3 + 1 pairs.
+        let stream = [7u64, 1, 7, 2, 9, 9, 7];
+        let report = collision_sweep(stream, 4);
+        assert_eq!(report.n, 7);
+        assert_eq!(report.colliding_pairs, 4);
+        assert!(!report.collisions_ok(3));
+        assert!(report.collisions_ok(4));
+    }
+
+    #[test]
+    fn birthday_expectation_orders_of_magnitude() {
+        // A million draws from 2^64: ~2.7e-8 expected pairs.
+        let e = expected_birthday_collisions(1_000_000, 64);
+        assert!(e > 1e-9 && e < 1e-7, "e = {e}");
+        // A million draws from 2^32: ~116 expected pairs.
+        let e32 = expected_birthday_collisions(1_000_000, 32);
+        assert!((e32 - 116.4).abs() < 1.0, "e32 = {e32}");
+    }
+
+    #[test]
+    fn truncated_hashes_show_birthday_scaling() {
+        // Truncate uniform hashes to 24 bits: expect ≈ n²/2^25 pairs.
+        let mut rng = AuditRng::new(2);
+        let n = 50_000u64;
+        let report = collision_sweep((0..n).map(|_| rng.next_u64() & 0xFF_FFFF), 8);
+        let expected = expected_birthday_collisions(n, 24);
+        let ratio = report.colliding_pairs as f64 / expected;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "observed {} vs expected {expected}",
+            report.colliding_pairs
+        );
+    }
+
+    #[test]
+    fn empty_stream_is_well_defined() {
+        let report = collision_sweep(std::iter::empty(), 4);
+        assert_eq!(report.n, 0);
+        assert_eq!(report.colliding_pairs, 0);
+        assert_eq!(report.imbalance, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = collision_sweep([1u64], 0);
+    }
+}

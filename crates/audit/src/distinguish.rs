@@ -1,0 +1,239 @@
+//! The curious-cloud distinguishing harness.
+//!
+//! The paper's privacy story for the auth path is that a bead signature
+//! is "just counts" — but counts are exactly what a curious cloud can
+//! accumulate across sessions. The operational question is not *whether*
+//! two credentials are distinguishable (any two distinct concentration
+//! vectors eventually are) but *how many observed sessions* it takes.
+//! This module measures that: a sequential two-sample test that watches
+//! per-session observation vectors from two credentials and reports the
+//! first sample count at which they separate above chance.
+//!
+//! The statistic is the largest per-dimension Welch z-score — the same
+//! test an unsophisticated but diligent adversary would run with a
+//! spreadsheet. Using a deliberately simple adversary keeps the measured
+//! sample count an *upper bound on safety*: a Bayesian adversary needs
+//! fewer samples, never more.
+
+/// Per-dimension running mean/variance (Welford) for one class.
+#[derive(Debug, Clone)]
+struct ClassStats {
+    n: u64,
+    mean: Vec<f64>,
+    m2: Vec<f64>,
+}
+
+impl ClassStats {
+    fn new(dims: usize) -> Self {
+        Self {
+            n: 0,
+            mean: vec![0.0; dims],
+            m2: vec![0.0; dims],
+        }
+    }
+
+    fn observe(&mut self, sample: &[f64]) {
+        self.n += 1;
+        let n = self.n as f64;
+        for (d, &x) in sample.iter().enumerate() {
+            let delta = x - self.mean[d];
+            self.mean[d] += delta / n;
+            self.m2[d] += delta * (x - self.mean[d]);
+        }
+    }
+
+    fn variance(&self, d: usize) -> f64 {
+        if self.n < 2 {
+            return f64::NAN;
+        }
+        self.m2[d] / (self.n - 1) as f64
+    }
+}
+
+/// A sequential two-sample distinguisher over fixed-dimension
+/// observation vectors.
+#[derive(Debug, Clone)]
+pub struct SequentialDistinguisher {
+    dims: usize,
+    a: ClassStats,
+    b: ClassStats,
+}
+
+impl SequentialDistinguisher {
+    /// A distinguisher over `dims`-dimensional observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is zero.
+    pub fn new(dims: usize) -> Self {
+        assert!(dims > 0, "observations need at least one dimension");
+        Self {
+            dims,
+            a: ClassStats::new(dims),
+            b: ClassStats::new(dims),
+        }
+    }
+
+    /// Feeds one observation of credential A.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn observe_a(&mut self, sample: &[f64]) {
+        assert_eq!(sample.len(), self.dims, "dimension mismatch");
+        self.a.observe(sample);
+    }
+
+    /// Feeds one observation of credential B.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn observe_b(&mut self, sample: &[f64]) {
+        assert_eq!(sample.len(), self.dims, "dimension mismatch");
+        self.b.observe(sample);
+    }
+
+    /// Observations seen per class `(n_a, n_b)`.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.a.n, self.b.n)
+    }
+
+    /// The largest per-dimension Welch z-score between the two classes.
+    /// `NaN` until both classes hold at least two observations. A
+    /// dimension with zero variance in both classes scores 0 when the
+    /// means agree and `INFINITY` when they differ (a constant separator
+    /// is a perfect distinguisher).
+    pub fn z_score(&self) -> f64 {
+        if self.a.n < 2 || self.b.n < 2 {
+            return f64::NAN;
+        }
+        let mut best = 0.0f64;
+        for d in 0..self.dims {
+            let gap = (self.a.mean[d] - self.b.mean[d]).abs();
+            let se = (self.a.variance(d) / self.a.n as f64 + self.b.variance(d) / self.b.n as f64)
+                .sqrt();
+            let z = if se > 0.0 {
+                gap / se
+            } else if gap > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            };
+            best = best.max(z);
+        }
+        best
+    }
+}
+
+/// Draws paired observations from the two generators until the
+/// distinguisher's z-score reaches `z_threshold`, returning the number of
+/// samples *per credential* that sufficed — or `None` if `max_samples`
+/// pairs never separated the classes (the desired outcome for identical
+/// credentials).
+///
+/// `z_threshold` must absorb the multiple looks a sequential test takes:
+/// 5.0 keeps the false-positive rate negligible over thousands of peeks
+/// while costing a distinguishable pair at most a few extra samples.
+pub fn samples_to_distinguish(
+    mut draw_a: impl FnMut() -> Vec<f64>,
+    mut draw_b: impl FnMut() -> Vec<f64>,
+    z_threshold: f64,
+    max_samples: u64,
+) -> Option<u64> {
+    let first = draw_a();
+    let mut dist = SequentialDistinguisher::new(first.len());
+    dist.observe_a(&first);
+    dist.observe_b(&draw_b());
+    for n in 2..=max_samples {
+        dist.observe_a(&draw_a());
+        dist.observe_b(&draw_b());
+        if dist.z_score() >= z_threshold {
+            return Some(n);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::AuditRng;
+
+    fn poisson_pair(rng: &mut AuditRng, l0: f64, l1: f64) -> Vec<f64> {
+        vec![rng.poisson(l0) as f64, rng.poisson(l1) as f64]
+    }
+
+    #[test]
+    fn identical_credentials_stay_at_chance() {
+        let rng = std::cell::RefCell::new(AuditRng::new(5));
+        let n = samples_to_distinguish(
+            || poisson_pair(&mut rng.borrow_mut(), 120.0, 240.0),
+            || poisson_pair(&mut rng.borrow_mut(), 120.0, 240.0),
+            5.0,
+            512,
+        );
+        assert_eq!(n, None, "identical credentials must not separate");
+    }
+
+    #[test]
+    fn distant_credentials_separate_fast() {
+        let rng = std::cell::RefCell::new(AuditRng::new(6));
+        let n = samples_to_distinguish(
+            || poisson_pair(&mut rng.borrow_mut(), 40.0, 40.0),
+            || poisson_pair(&mut rng.borrow_mut(), 320.0, 320.0),
+            5.0,
+            512,
+        )
+        .expect("8x concentration gap must separate");
+        assert!(n <= 8, "took {n} samples");
+    }
+
+    #[test]
+    fn adjacent_credentials_take_more_samples_than_distant() {
+        let rng = std::cell::RefCell::new(AuditRng::new(7));
+        let adjacent = samples_to_distinguish(
+            || poisson_pair(&mut rng.borrow_mut(), 120.0, 240.0),
+            || poisson_pair(&mut rng.borrow_mut(), 128.0, 240.0),
+            5.0,
+            4096,
+        )
+        .expect("adjacent levels separate eventually");
+        let distant = samples_to_distinguish(
+            || poisson_pair(&mut rng.borrow_mut(), 40.0, 40.0),
+            || poisson_pair(&mut rng.borrow_mut(), 320.0, 320.0),
+            5.0,
+            4096,
+        )
+        .expect("distant levels separate");
+        assert!(
+            adjacent > distant,
+            "adjacent {adjacent} vs distant {distant}"
+        );
+    }
+
+    #[test]
+    fn zero_variance_separator_is_infinite() {
+        let mut d = SequentialDistinguisher::new(1);
+        for _ in 0..3 {
+            d.observe_a(&[1.0]);
+            d.observe_b(&[2.0]);
+        }
+        assert_eq!(d.z_score(), f64::INFINITY);
+    }
+
+    #[test]
+    fn z_is_nan_until_two_per_class() {
+        let mut d = SequentialDistinguisher::new(2);
+        d.observe_a(&[1.0, 2.0]);
+        d.observe_b(&[1.0, 2.0]);
+        assert!(d.z_score().is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let mut d = SequentialDistinguisher::new(2);
+        d.observe_a(&[1.0]);
+    }
+}

@@ -1,0 +1,188 @@
+//! Empirical entropy estimators for encrypted peak streams.
+//!
+//! Eq. (2) counts *key material*: `N_elec` selection bits, `N_elec/2 ×
+//! R_gain` gain bits, `R_flow` flow bits per cell. What an eavesdropper
+//! actually faces is the *observable* projection of that key — peak
+//! multiplicities, quantized amplitudes, quantized widths — whose entropy
+//! is strictly smaller (selection bits are biased coins, only *selected*
+//! electrodes contribute a gain, and the observable collapses electrode
+//! identity). These estimators turn sampled observables into measured
+//! bits-per-cell so the scorecard can report the gap as a number instead
+//! of an analogy.
+//!
+//! Estimation is plug-in (maximum-likelihood) Shannon entropy over symbol
+//! histograms. The plug-in estimator is biased *low* by roughly
+//! `(distinct − 1) / (2N ln 2)` bits (Miller–Madow), which is the
+//! conservative direction for a security claim: we never over-credit the
+//! cipher. [`EntropyEstimate`] carries the correction term so callers can
+//! see how far from the asymptote they are sampling.
+
+use std::collections::BTreeMap;
+
+/// A histogram over arbitrary `u64` symbols.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolHistogram {
+    counts: BTreeMap<u64, u64>,
+    total: u64,
+}
+
+impl SymbolHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation of `symbol`.
+    pub fn record(&mut self, symbol: u64) {
+        *self.counts.entry(symbol).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct symbols seen.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The plug-in entropy estimate over this histogram.
+    pub fn estimate(&self) -> EntropyEstimate {
+        let shannon = shannon_bits(self.counts.values().copied(), self.total);
+        let min_entropy = self
+            .counts
+            .values()
+            .copied()
+            .max()
+            .filter(|_| self.total > 0)
+            .map_or(0.0, |max| -((max as f64 / self.total as f64).log2()));
+        EntropyEstimate {
+            shannon_bits: shannon,
+            min_entropy_bits: min_entropy,
+            samples: self.total,
+            distinct: self.counts.len(),
+        }
+    }
+}
+
+/// Plug-in Shannon entropy, in bits per symbol, of a count distribution.
+pub fn shannon_bits(counts: impl IntoIterator<Item = u64>, total: u64) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let n = total as f64;
+    counts
+        .into_iter()
+        .filter(|&c| c > 0)
+        .map(|c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// A measured entropy figure with its sampling context.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EntropyEstimate {
+    /// Plug-in Shannon entropy, bits per symbol.
+    pub shannon_bits: f64,
+    /// Min-entropy (−log2 of the modal probability), bits per symbol —
+    /// the figure that matters against an optimal guessing adversary.
+    pub min_entropy_bits: f64,
+    /// Observations the estimate rests on.
+    pub samples: u64,
+    /// Distinct symbols seen.
+    pub distinct: usize,
+}
+
+impl EntropyEstimate {
+    /// The Miller–Madow bias correction term, in bits: the plug-in
+    /// estimate undercounts by about this much at this sample size.
+    pub fn miller_madow_bits(&self) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        (self.distinct.saturating_sub(1)) as f64
+            / (2.0 * self.samples as f64 * core::f64::consts::LN_2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::AuditRng;
+
+    #[test]
+    fn uniform_symbols_approach_log2_n() {
+        let mut hist = SymbolHistogram::new();
+        let mut rng = AuditRng::new(1);
+        for _ in 0..200_000 {
+            hist.record(rng.below(16));
+        }
+        let est = hist.estimate();
+        assert!(
+            (est.shannon_bits - 4.0).abs() < 0.01,
+            "H = {}",
+            est.shannon_bits
+        );
+        assert!((est.min_entropy_bits - 4.0).abs() < 0.1);
+        assert_eq!(est.distinct, 16);
+    }
+
+    #[test]
+    fn constant_symbol_has_zero_entropy() {
+        let mut hist = SymbolHistogram::new();
+        for _ in 0..1000 {
+            hist.record(7);
+        }
+        let est = hist.estimate();
+        assert_eq!(est.shannon_bits, 0.0);
+        assert_eq!(est.min_entropy_bits, -0.0f64.max(0.0));
+    }
+
+    #[test]
+    fn empty_histogram_is_zero_not_nan() {
+        let est = SymbolHistogram::new().estimate();
+        assert_eq!(est.shannon_bits, 0.0);
+        assert_eq!(est.min_entropy_bits, 0.0);
+        assert_eq!(est.miller_madow_bits(), 0.0);
+    }
+
+    #[test]
+    fn biased_coin_entropy_matches_closed_form() {
+        // H(0.25) = 0.25·log2(4) + 0.75·log2(4/3) ≈ 0.8113.
+        let h = shannon_bits([250u64, 750], 1000);
+        assert!((h - 0.8113).abs() < 1e-3, "H = {h}");
+    }
+
+    #[test]
+    fn min_entropy_never_exceeds_shannon() {
+        let mut rng = AuditRng::new(3);
+        let mut hist = SymbolHistogram::new();
+        for _ in 0..10_000 {
+            // A skewed distribution.
+            let draw = if rng.chance(0.5) { 0 } else { rng.below(64) };
+            hist.record(draw);
+        }
+        let est = hist.estimate();
+        assert!(est.min_entropy_bits <= est.shannon_bits + 1e-12);
+        assert!(est.min_entropy_bits > 0.0);
+    }
+
+    #[test]
+    fn miller_madow_shrinks_with_samples() {
+        let mut small = SymbolHistogram::new();
+        let mut large = SymbolHistogram::new();
+        let mut rng = AuditRng::new(4);
+        for i in 0..50_000u64 {
+            let s = rng.below(256);
+            if i < 1000 {
+                small.record(s);
+            }
+            large.record(s);
+        }
+        assert!(small.estimate().miller_madow_bits() > large.estimate().miller_madow_bits());
+    }
+}

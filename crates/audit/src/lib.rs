@@ -1,0 +1,46 @@
+//! # medsen-audit — the system audits itself
+//!
+//! The paper's central security claim — that the bead-mixture "cyto-coded
+//! password" behaves like a one-time pad with key length
+//! `L = N_cells × (N_elec + N_elec/2 × R_gain + R_flow)` (Eq. 2) — is
+//! *asserted*, not measured. This crate supplies the measurement
+//! instruments, built in the paranoid posture of treating the system's own
+//! author as the adversary: every estimator is implemented from scratch,
+//! std-only, with zero dependencies on the crates it audits, so a bug in
+//! the system under test cannot silently vouch for itself.
+//!
+//! Four instruments, one scorecard:
+//!
+//! * [`entropy`] — bit-level empirical entropy estimators for encrypted
+//!   peak streams, compared against the Eq. 2 key-length accounting;
+//! * [`distinguish`] — a sequential distinguishing harness measuring how
+//!   many observed samples a curious cloud needs to tell two bead-mixture
+//!   credentials apart above chance;
+//! * [`timing`] — a paired-class timing-leak harness with outlier-robust
+//!   statistics, plus the branchless byte compare the auth path should use;
+//! * [`collision`] — keyspace collision sweeps (observed collisions vs the
+//!   birthday bound, shard-route balance).
+//!
+//! [`rng`] is the one shared seeded generator every battery draws from, so
+//! a whole audit run is reproducible from a single `--seed`.
+//!
+//! The glue that points these instruments at real keys, signatures, and
+//! shards lives in the facade crate (`medsen::selfaudit`) and the `audit`
+//! CLI subcommand; the assertions live in `tests/security_audit.rs`.
+
+pub mod collision;
+pub mod distinguish;
+pub mod entropy;
+pub mod rng;
+pub mod scorecard;
+pub mod timing;
+
+pub use collision::{collision_sweep, expected_birthday_collisions, CollisionReport};
+pub use distinguish::{samples_to_distinguish, SequentialDistinguisher};
+pub use entropy::{shannon_bits, EntropyEstimate, SymbolHistogram};
+pub use rng::{mix64, AuditRng};
+pub use scorecard::{
+    CollisionSection, DistinguisherSection, DistinguisherTrial, EntropyRow, EntropySection,
+    Scorecard, TimingSection,
+};
+pub use timing::{ct_eq, paired_verdict, TimingVerdict};

@@ -1,0 +1,204 @@
+//! The one seeded generator every audit battery draws from.
+//!
+//! Reproducibility is the audit's first obligation: a scorecard that
+//! cannot be regenerated from its `--seed` is an anecdote, not a
+//! measurement. This module is the single source of pseudo-randomness for
+//! every battery in the crate *and* for the workspace's deterministic test
+//! harnesses (kill-point sampling, shuffled arrival orders), which used to
+//! carry their own ad-hoc xorshift copies.
+//!
+//! The algorithm is xorshift64* seeded through a SplitMix64 finalizer —
+//! deliberately the same generator `medsen-fountain` pins as its wire
+//! contract in `crates/fountain/src/prng.rs`. The two crates cannot share
+//! code (both must stay dependency-free for the vendor-hygiene CI check,
+//! and the fountain copy is a frozen codec contract), so
+//! `tests/security_audit.rs` pins their streams bit-equal instead: any
+//! drift between the copies fails CI.
+
+/// SplitMix64 finalizer: a bijective avalanche over one 64-bit word.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// xorshift64* with SplitMix64 seeding: 3 shifts, 1 multiply, full
+/// 2^64−1 period, uncorrelated streams from adjacent seeds.
+#[derive(Debug, Clone)]
+pub struct AuditRng {
+    state: u64,
+}
+
+impl AuditRng {
+    /// A generator fully determined by `seed` (any value, including 0).
+    pub fn new(seed: u64) -> Self {
+        let mut state = mix64(seed);
+        if state == 0 {
+            // xorshift fixes the all-zero state; mix64(x) == 0 only for
+            // one input, which this constant displaces.
+            state = 0x9E37_79B9_7F4A_7C15;
+        }
+        Self { state }
+    }
+
+    /// A named sub-stream of `seed`: batteries derive one generator per
+    /// section (`derive(seed, b"entropy")`, `derive(seed, b"timing")`,
+    /// ...) so adding draws to one section never perturbs another.
+    pub fn derive(seed: u64, label: &[u8]) -> Self {
+        let mut tag = 0xF0E1_D2C3_B4A5_9687u64;
+        for &byte in label {
+            tag = mix64(tag ^ u64::from(byte));
+        }
+        Self::new(mix64(seed) ^ tag)
+    }
+
+    /// The next 64 uniform bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, n)`. `n` must be nonzero. Plain modulo: for the
+    /// ranges the batteries draw (well under 2^32) the bias is below
+    /// 2^-32, far under every scorecard tolerance.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "below(0) is meaningless");
+        self.next_u64() % n
+    }
+
+    /// A biased coin: true with probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// A Poisson draw with mean `lambda` — the arrival noise on bead
+    /// counts. Knuth's product method below λ = 30 (exact), with a
+    /// normal approximation above (the batteries' λ of dozens-to-hundreds
+    /// is insensitive to the tail shape).
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        assert!(lambda >= 0.0, "negative poisson mean");
+        if lambda == 0.0 {
+            return 0;
+        }
+        if lambda < 30.0 {
+            let limit = (-lambda).exp();
+            let mut product = self.next_f64();
+            let mut count = 0u64;
+            while product > limit {
+                count += 1;
+                product *= self.next_f64();
+            }
+            count
+        } else {
+            // Box–Muller normal, clamped at zero.
+            let u1 = self.next_f64().max(f64::MIN_POSITIVE);
+            let u2 = self.next_f64();
+            let z = (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos();
+            (lambda + lambda.sqrt() * z).round().max(0.0) as u64
+        }
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = AuditRng::new(42);
+        let mut b = AuditRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn adjacent_seeds_do_not_correlate() {
+        let mut a = AuditRng::new(1);
+        let mut b = AuditRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn derived_streams_differ_per_label_but_not_per_call() {
+        let mut e1 = AuditRng::derive(7, b"entropy");
+        let mut e2 = AuditRng::derive(7, b"entropy");
+        let mut t = AuditRng::derive(7, b"timing");
+        assert_eq!(e1.next_u64(), e2.next_u64());
+        assert_ne!(e1.next_u64(), t.next_u64());
+    }
+
+    #[test]
+    fn f64_and_below_stay_in_range() {
+        let mut rng = AuditRng::new(9);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            assert!(rng.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn poisson_mean_tracks_lambda() {
+        let mut rng = AuditRng::new(11);
+        for &lambda in &[2.0f64, 12.0, 80.0] {
+            let n = 4000u64;
+            let total: u64 = (0..n).map(|_| rng.poisson(lambda)).sum();
+            let mean = total as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < 4.0 * (lambda / n as f64).sqrt() + 0.5,
+                "lambda {lambda}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_zero_is_zero() {
+        assert_eq!(AuditRng::new(1).poisson(0.0), 0);
+    }
+
+    #[test]
+    fn shuffle_permutes_without_losing_elements() {
+        let mut rng = AuditRng::new(13);
+        let mut items: Vec<u32> = (0..64).collect();
+        rng.shuffle(&mut items);
+        assert_ne!(
+            items,
+            (0..64).collect::<Vec<u32>>(),
+            "shuffle moved nothing"
+        );
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn zero_seed_is_valid() {
+        let mut rng = AuditRng::new(0);
+        assert_ne!(rng.next_u64(), rng.next_u64());
+    }
+}

@@ -1,0 +1,461 @@
+//! The scorecard: four measured sections, one verdict.
+//!
+//! The scorecard is the audit's product. Each section owns its pass
+//! bound, the bound is printed next to the measurement it judges, and
+//! `Scorecard::pass` is the conjunction — `medsen audit` renders this
+//! structure and `tests/security_audit.rs` asserts on it, so the CLI and
+//! CI can never drift apart on what "passing" means.
+//!
+//! Determinism contract: for a fixed seed every line of [`Scorecard`]'s
+//! `Display` output is bit-identical across runs *except* lines prefixed
+//! `wall-clock:`, which carry nanosecond statistics from the live timing
+//! harness. Consumers that diff scorecards (the determinism test, log
+//! scrapers) filter on that prefix. The timing *verdict* is deliberately
+//! excluded from the nondeterministic lines: it comes from operation
+//! counting, not wall-clock, so it is as reproducible as the other three
+//! sections.
+
+use crate::collision::CollisionReport;
+use crate::timing::TimingVerdict;
+use std::fmt;
+
+/// One swept configuration in the entropy section: an Eq. 2 parameter
+/// point and the observable entropy measured at it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntropyRow {
+    /// N_cells: sensing cells in the array.
+    pub n_cells: u32,
+    /// N_elec: electrode outputs per cell.
+    pub n_electrodes: u32,
+    /// R_gain: bits of gain resolution.
+    pub r_gain_bits: u32,
+    /// R_flow: bits of flow resolution.
+    pub r_flow_bits: u32,
+    /// Eq. 2 key material for this configuration, bits.
+    pub eq2_bits: f64,
+    /// Measured observable entropy (component-wise upper bound), bits.
+    pub observable_bits: f64,
+    /// Keys sampled for the measurement.
+    pub samples: u64,
+}
+
+impl EntropyRow {
+    /// Key-material margin over the observable channel, in bits.
+    pub fn margin_bits(&self) -> f64 {
+        self.eq2_bits - self.observable_bits
+    }
+}
+
+/// Section 1: empirical entropy of the keying stream vs the Eq. 2 budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntropySection {
+    /// One row per swept (N_cells, N_elec, R_gain, R_flow) point.
+    pub rows: Vec<EntropyRow>,
+}
+
+impl EntropySection {
+    /// Passes when every configuration keeps a positive margin: the
+    /// observable projection never carries as many bits as Eq. 2 grants
+    /// the key, and the stream is not degenerate (observable > 0).
+    pub fn pass(&self) -> bool {
+        !self.rows.is_empty()
+            && self
+                .rows
+                .iter()
+                .all(|r| r.observable_bits > 0.0 && r.observable_bits < r.eq2_bits)
+    }
+}
+
+/// One distinguishing-attack trial between a pair of credentials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistinguisherTrial {
+    /// Human-readable pair description (printed verbatim).
+    pub label: String,
+    /// L1 distance between the two credentials' level vectors; 0 means
+    /// the control trial (same credential on both sides).
+    pub distance: u32,
+    /// Sessions per credential until separation, `None` if the budget
+    /// ran out first.
+    pub sessions_to_distinguish: Option<u64>,
+    /// The session budget the trial ran under.
+    pub max_sessions: u64,
+}
+
+/// Section 2: how many observed sessions a curious cloud needs to tell
+/// two bead-mixture credentials apart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistinguisherSection {
+    /// z-score the sequential test had to reach.
+    pub z_threshold: f64,
+    /// Control + distinct-pair trials.
+    pub trials: Vec<DistinguisherTrial>,
+}
+
+impl DistinguisherSection {
+    /// Passes when the statistics behave: every control trial (distance
+    /// 0) stays at chance for its whole budget, and every distinct pair
+    /// is eventually distinguished — confirming the harness has power,
+    /// so the control's silence means something.
+    pub fn pass(&self) -> bool {
+        let controls = self.trials.iter().filter(|t| t.distance == 0);
+        let distinct = self.trials.iter().filter(|t| t.distance > 0);
+        self.trials.iter().any(|t| t.distance == 0)
+            && self.trials.iter().any(|t| t.distance > 0)
+            && controls
+                .clone()
+                .all(|t| t.sessions_to_distinguish.is_none())
+            && distinct
+                .clone()
+                .all(|t| t.sessions_to_distinguish.is_some())
+    }
+
+    /// The fewest sessions that separated any distinct pair — the
+    /// headline exposure number.
+    pub fn fastest_separation(&self) -> Option<u64> {
+        self.trials
+            .iter()
+            .filter(|t| t.distance > 0)
+            .filter_map(|t| t.sessions_to_distinguish)
+            .min()
+    }
+}
+
+/// Section 3: the auth compare path's input-(in)dependence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingSection {
+    /// Bead-kind comparisons executed for a mismatch at the first kind.
+    pub ops_first_mismatch: u64,
+    /// Bead-kind comparisons executed for a mismatch at the last kind.
+    pub ops_last_mismatch: u64,
+    /// Wall-clock verdict from the paired harness (nondeterministic;
+    /// rendered only on `wall-clock:` lines).
+    pub wall_clock: TimingVerdict,
+}
+
+impl TimingSection {
+    /// Passes when the operation count is independent of mismatch
+    /// position — the deterministic statement of "constant-time". The
+    /// wall-clock verdict is corroborating evidence, not the gate: ns
+    /// medians on a shared CI runner are not reproducible, op counts
+    /// are.
+    pub fn pass(&self) -> bool {
+        self.ops_first_mismatch == self.ops_last_mismatch && self.ops_first_mismatch > 0
+    }
+}
+
+/// Section 4: million-credential keyspace sweep through the identity
+/// hash and shard router.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollisionSection {
+    /// The full-stream hash/routing sweep.
+    pub report: CollisionReport,
+    /// Credentials actually enrolled into a live `ShardedAuth` tier
+    /// (a subset of `report.n`, to bound memory).
+    pub enrolled: u64,
+    /// Whether every enrolled credential authenticated through the tier
+    /// and the tier's integrity check passed.
+    pub enrolled_verified: bool,
+    /// Routing-imbalance ceiling the sweep is judged against.
+    pub imbalance_limit: f64,
+}
+
+impl CollisionSection {
+    /// Passes when observed collisions sit at the birthday bound (within
+    /// one pair of slack), routing stays balanced, and the live tier
+    /// verified every enrolled credential.
+    pub fn pass(&self) -> bool {
+        self.report.collisions_ok(1)
+            && self.report.imbalance < self.imbalance_limit
+            && self.enrolled > 0
+            && self.enrolled_verified
+    }
+}
+
+/// The complete audit scorecard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scorecard {
+    /// Seed the whole battery ran under.
+    pub seed: u64,
+    /// Section 1: entropy vs Eq. 2.
+    pub entropy: EntropySection,
+    /// Section 2: distinguishing attack.
+    pub distinguisher: DistinguisherSection,
+    /// Section 3: auth-compare timing.
+    pub timing: TimingSection,
+    /// Section 4: keyspace collisions.
+    pub collision: CollisionSection,
+}
+
+impl Scorecard {
+    /// True when all four sections pass.
+    pub fn pass(&self) -> bool {
+        self.entropy.pass()
+            && self.distinguisher.pass()
+            && self.timing.pass()
+            && self.collision.pass()
+    }
+}
+
+fn verdict(pass: bool) -> &'static str {
+    if pass {
+        "PASS"
+    } else {
+        "FAIL"
+    }
+}
+
+impl fmt::Display for Scorecard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "medsen security audit — seed {}", self.seed)?;
+        writeln!(f)?;
+
+        writeln!(f, "[1/4] keying entropy vs Eq. 2")?;
+        for r in &self.entropy.rows {
+            writeln!(
+                f,
+                "  cells={} elec={} gain={}b flow={}b : Eq.2 {:.1} bits, observable <= {:.2} bits (margin {:.2}) [{} keys]",
+                r.n_cells,
+                r.n_electrodes,
+                r.r_gain_bits,
+                r.r_flow_bits,
+                r.eq2_bits,
+                r.observable_bits,
+                r.margin_bits(),
+                r.samples,
+            )?;
+        }
+        writeln!(
+            f,
+            "  verdict: {} (observable channel stays below the key budget)",
+            verdict(self.entropy.pass())
+        )?;
+        writeln!(f)?;
+
+        writeln!(
+            f,
+            "[2/4] distinguishing attack (sequential Welch test, z >= {:.1})",
+            self.distinguisher.z_threshold
+        )?;
+        for t in &self.distinguisher.trials {
+            match t.sessions_to_distinguish {
+                Some(n) => writeln!(
+                    f,
+                    "  {} (distance {}) : distinguished after {} sessions",
+                    t.label, t.distance, n
+                )?,
+                None => writeln!(
+                    f,
+                    "  {} (distance {}) : at chance through {} sessions",
+                    t.label, t.distance, t.max_sessions
+                )?,
+            }
+        }
+        match self.distinguisher.fastest_separation() {
+            Some(n) => writeln!(
+                f,
+                "  fastest separation of distinct credentials: {n} sessions"
+            )?,
+            None => writeln!(
+                f,
+                "  fastest separation of distinct credentials: none observed"
+            )?,
+        }
+        writeln!(
+            f,
+            "  verdict: {} (controls silent, distinct pairs eventually separate)",
+            verdict(self.distinguisher.pass())
+        )?;
+        writeln!(f)?;
+
+        writeln!(f, "[3/4] auth compare timing")?;
+        writeln!(
+            f,
+            "  op count, mismatch at first bead kind : {}",
+            self.timing.ops_first_mismatch
+        )?;
+        writeln!(
+            f,
+            "  op count, mismatch at last bead kind  : {}",
+            self.timing.ops_last_mismatch
+        )?;
+        let w = &self.timing.wall_clock;
+        writeln!(
+            f,
+            "  wall-clock: medians {:.0} ns vs {:.0} ns, pooled MAD {:.0} ns, effect {:.2}, {} ({} samples/class)",
+            w.median_a_ns,
+            w.median_b_ns,
+            w.pooled_mad_ns,
+            w.effect,
+            if w.leak { "LEAK" } else { "no leak" },
+            w.samples,
+        )?;
+        writeln!(
+            f,
+            "  verdict: {} (compare executes a position-independent op count)",
+            verdict(self.timing.pass())
+        )?;
+        writeln!(f)?;
+
+        writeln!(
+            f,
+            "[4/4] keyspace collisions (identity hash + shard routing)"
+        )?;
+        let c = &self.collision;
+        writeln!(
+            f,
+            "  {} identifiers : {} colliding pairs (birthday bound {:.2e})",
+            c.report.n, c.report.colliding_pairs, c.report.expected_pairs
+        )?;
+        writeln!(
+            f,
+            "  {} shards : loads {}..{}, imbalance {:.3} (limit {:.3})",
+            c.report.shard_count,
+            c.report.min_shard_load,
+            c.report.max_shard_load,
+            c.report.imbalance,
+            c.imbalance_limit,
+        )?;
+        writeln!(
+            f,
+            "  live tier : {} enrolled, round-trip {}",
+            c.enrolled,
+            if c.enrolled_verified {
+                "verified"
+            } else {
+                "FAILED"
+            }
+        )?;
+        writeln!(
+            f,
+            "  verdict: {} (collisions at birthday bound, routing balanced)",
+            verdict(c.pass())
+        )?;
+        writeln!(f)?;
+
+        writeln!(f, "overall: {}", verdict(self.pass()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collision::collision_sweep;
+    use crate::rng::AuditRng;
+
+    fn sample_card(pass: bool) -> Scorecard {
+        let mut rng = AuditRng::new(1);
+        let report = collision_sweep((0..10_000).map(|_| rng.next_u64()), 16);
+        Scorecard {
+            seed: 42,
+            entropy: EntropySection {
+                rows: vec![EntropyRow {
+                    n_cells: 1,
+                    n_electrodes: 9,
+                    r_gain_bits: 4,
+                    r_flow_bits: 4,
+                    eq2_bits: 85.0,
+                    observable_bits: if pass { 14.2 } else { 90.0 },
+                    samples: 20_000,
+                }],
+            },
+            distinguisher: DistinguisherSection {
+                z_threshold: 5.0,
+                trials: vec![
+                    DistinguisherTrial {
+                        label: "identical credentials".into(),
+                        distance: 0,
+                        sessions_to_distinguish: None,
+                        max_sessions: 512,
+                    },
+                    DistinguisherTrial {
+                        label: "adjacent pair".into(),
+                        distance: 1,
+                        sessions_to_distinguish: Some(37),
+                        max_sessions: 4096,
+                    },
+                ],
+            },
+            timing: TimingSection {
+                ops_first_mismatch: 2,
+                ops_last_mismatch: 2,
+                wall_clock: TimingVerdict {
+                    median_a_ns: 120.0,
+                    median_b_ns: 121.0,
+                    pooled_mad_ns: 9.0,
+                    effect: 0.11,
+                    samples: 401,
+                    leak: false,
+                },
+            },
+            collision: CollisionSection {
+                report,
+                enrolled: 4096,
+                enrolled_verified: true,
+                imbalance_limit: 1.15,
+            },
+        }
+    }
+
+    #[test]
+    fn passing_card_passes_and_prints_all_sections() {
+        let card = sample_card(true);
+        assert!(card.pass());
+        let text = card.to_string();
+        for needle in [
+            "[1/4] keying entropy vs Eq. 2",
+            "[2/4] distinguishing attack",
+            "[3/4] auth compare timing",
+            "[4/4] keyspace collisions",
+            "overall: PASS",
+            "seed 42",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn failing_section_fails_the_card() {
+        let card = sample_card(false);
+        assert!(!card.entropy.pass());
+        assert!(!card.pass());
+        assert!(card.to_string().contains("overall: FAIL"));
+    }
+
+    #[test]
+    fn nondeterministic_stats_live_only_on_wall_clock_lines() {
+        let mut a = sample_card(true);
+        let mut b = sample_card(true);
+        a.timing.wall_clock.median_a_ns = 500.0;
+        b.timing.wall_clock.median_a_ns = 900.0;
+        let strip = |card: &Scorecard| {
+            card.to_string()
+                .lines()
+                .filter(|l| !l.trim_start().starts_with("wall-clock:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&a), strip(&b));
+        assert_ne!(a.to_string(), b.to_string());
+    }
+
+    #[test]
+    fn distinguisher_requires_controls_and_power() {
+        let mut card = sample_card(true);
+        // A control that separated is a broken harness.
+        card.distinguisher.trials[0].sessions_to_distinguish = Some(3);
+        assert!(!card.distinguisher.pass());
+        // A distinct pair that never separated means no power.
+        card.distinguisher.trials[0].sessions_to_distinguish = None;
+        card.distinguisher.trials[1].sessions_to_distinguish = None;
+        assert!(!card.distinguisher.pass());
+    }
+
+    #[test]
+    fn timing_gate_is_the_op_count_not_wall_clock() {
+        let mut card = sample_card(true);
+        card.timing.wall_clock.leak = true;
+        assert!(card.timing.pass(), "wall-clock must not gate the verdict");
+        card.timing.ops_last_mismatch += 1;
+        assert!(!card.timing.pass());
+    }
+}

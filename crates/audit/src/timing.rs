@@ -1,0 +1,231 @@
+//! Paired-class timing-leak measurement, and the compare that passes it.
+//!
+//! A remote adversary cannot read the enrollment database, but it can
+//! time the server's answers. If the auth compare path exits early on the
+//! first mismatching symbol, response time encodes *where* a guess went
+//! wrong — the classic password-oracle leak. This module measures that
+//! channel the way dudect-style tools do, scaled down to CI realities:
+//!
+//! * two input classes (e.g. "mismatch at the first symbol" vs "mismatch
+//!   at the last") are executed in a seeded-random interleaving, so slow
+//!   drift (thermal, scheduler) decorrelates from class;
+//! * per-class distributions are summarized by median and MAD — outliers
+//!   from preemption land in the tails both statistics ignore;
+//! * the verdict is a robust effect size: a leak requires the median gap
+//!   to clear both an absolute floor (timer quantization) and a multiple
+//!   of the pooled MAD (machine noise).
+//!
+//! Wall-clock on shared runners is inherently jittery, so the *CI-stable*
+//! regression pin for the auth path is operation-count instrumentation
+//! (`BeadSignature::matches_counted` in `medsen-cloud`); the wall-clock
+//! harness here is the measurement that backs it and the self-test that
+//! proves the harness can still see a planted leak.
+
+use crate::rng::AuditRng;
+use std::time::Instant;
+
+/// Constant-time byte-slice equality: the execution trace depends only on
+/// the lengths, never on the contents or the position of a mismatch.
+/// (Length itself is public context everywhere this is used: credential
+/// encodings of one alphabet are fixed-width.)
+#[inline]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (&x, &y) in a.iter().zip(b) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+/// The harness's verdict on one paired-class measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingVerdict {
+    /// Median duration of class A, nanoseconds.
+    pub median_a_ns: f64,
+    /// Median duration of class B, nanoseconds.
+    pub median_b_ns: f64,
+    /// Pooled median absolute deviation, nanoseconds.
+    pub pooled_mad_ns: f64,
+    /// |median gap| / max(pooled MAD, 1 ns) — the robust effect size.
+    pub effect: f64,
+    /// Samples per class.
+    pub samples: usize,
+    /// True when the gap clears both the absolute floor and the noise
+    /// multiple: the classes are timing-distinguishable.
+    pub leak: bool,
+}
+
+/// Gap floor below which a difference is timer quantization, not signal.
+const ABS_FLOOR_NS: f64 = 75.0;
+/// Noise multiple the gap must clear.
+const EFFECT_THRESHOLD: f64 = 4.0;
+
+fn median(sorted: &[f64]) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let mid = sorted.len() / 2;
+    if sorted.len().is_multiple_of(2) {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    } else {
+        sorted[mid]
+    }
+}
+
+fn median_abs_deviation(samples: &[f64], center: f64) -> f64 {
+    let mut devs: Vec<f64> = samples.iter().map(|&x| (x - center).abs()).collect();
+    devs.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    median(&devs)
+}
+
+/// Computes the robust verdict over two classes of duration samples
+/// (nanoseconds).
+///
+/// # Panics
+///
+/// Panics if either class is empty.
+pub fn paired_verdict(class_a: &[u64], class_b: &[u64]) -> TimingVerdict {
+    assert!(
+        !class_a.is_empty() && !class_b.is_empty(),
+        "timing verdict needs samples in both classes"
+    );
+    let mut a: Vec<f64> = class_a.iter().map(|&x| x as f64).collect();
+    let mut b: Vec<f64> = class_b.iter().map(|&x| x as f64).collect();
+    a.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    b.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    let median_a = median(&a);
+    let median_b = median(&b);
+    let mad_a = median_abs_deviation(&a, median_a);
+    let mad_b = median_abs_deviation(&b, median_b);
+    let pooled = ((mad_a * mad_a + mad_b * mad_b) / 2.0).sqrt();
+    let gap = (median_a - median_b).abs();
+    let effect = gap / pooled.max(1.0);
+    TimingVerdict {
+        median_a_ns: median_a,
+        median_b_ns: median_b,
+        pooled_mad_ns: pooled,
+        effect,
+        samples: class_a.len().min(class_b.len()),
+        leak: gap > ABS_FLOOR_NS && effect > EFFECT_THRESHOLD,
+    }
+}
+
+/// Runs `operation` on the two classes in a seeded-random interleaving
+/// and returns the robust verdict. `operation` receives `true` for class
+/// A and `false` for class B; use [`std::hint::black_box`] inside it to
+/// keep the compiler from hoisting the work.
+pub fn measure_paired(
+    rng: &mut AuditRng,
+    samples_per_class: usize,
+    mut operation: impl FnMut(bool),
+) -> TimingVerdict {
+    assert!(samples_per_class > 0, "need at least one sample per class");
+    // Interleave: a shuffled deck with exactly `samples_per_class` of
+    // each class, preceded by a warmup that never gets recorded.
+    let mut deck: Vec<bool> = (0..samples_per_class * 2).map(|i| i % 2 == 0).collect();
+    rng.shuffle(&mut deck);
+    for _ in 0..(samples_per_class / 4).clamp(8, 256) {
+        operation(true);
+        operation(false);
+    }
+    let mut class_a = Vec::with_capacity(samples_per_class);
+    let mut class_b = Vec::with_capacity(samples_per_class);
+    for &is_a in &deck {
+        let started = Instant::now();
+        operation(is_a);
+        let elapsed = started.elapsed().as_nanos() as u64;
+        if is_a {
+            class_a.push(elapsed);
+        } else {
+            class_b.push(elapsed);
+        }
+    }
+    paired_verdict(&class_a, &class_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hint::black_box;
+
+    #[test]
+    fn ct_eq_agrees_with_slice_equality() {
+        let mut rng = AuditRng::new(1);
+        for len in [0usize, 1, 7, 64, 1000] {
+            let a: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
+            let mut b = a.clone();
+            assert!(ct_eq(&a, &b));
+            if len > 0 {
+                let at = rng.below(len as u64) as usize;
+                b[at] ^= 0x40;
+                assert!(!ct_eq(&a, &b));
+                assert!(!ct_eq(&a, &a[..len - 1]));
+            }
+        }
+    }
+
+    #[test]
+    fn planted_early_exit_leak_is_detected() {
+        // A deliberately leaky compare over 64 KiB: mismatch at byte 0
+        // (class A) exits immediately, mismatch at the last byte (class
+        // B) scans everything. The harness must see it.
+        let base = vec![0xABu8; 64 * 1024];
+        let mut first = base.clone();
+        first[0] ^= 1;
+        let mut last = base.clone();
+        *last.last_mut().unwrap() ^= 1;
+        let leaky_eq = |a: &[u8], b: &[u8]| a.iter().zip(b).all(|(x, y)| x == y);
+        let mut rng = AuditRng::new(2);
+        let verdict = measure_paired(&mut rng, 401, |is_a| {
+            let probe = if is_a { &first } else { &last };
+            black_box(leaky_eq(black_box(&base), black_box(probe)));
+        });
+        assert!(verdict.leak, "planted leak missed: {verdict:?}");
+    }
+
+    #[test]
+    fn constant_time_compare_shows_no_leak() {
+        let base = vec![0xABu8; 64 * 1024];
+        let mut first = base.clone();
+        first[0] ^= 1;
+        let mut last = base.clone();
+        *last.last_mut().unwrap() ^= 1;
+        let mut rng = AuditRng::new(3);
+        let verdict = measure_paired(&mut rng, 401, |is_a| {
+            let probe = if is_a { &first } else { &last };
+            black_box(ct_eq(black_box(&base), black_box(probe)));
+        });
+        assert!(!verdict.leak, "false positive on ct_eq: {verdict:?}");
+    }
+
+    #[test]
+    fn verdict_statistics_are_robust_to_outliers() {
+        // Two identical distributions, one polluted with huge outliers:
+        // medians/MADs must shrug them off.
+        let a: Vec<u64> = (0..101).map(|i| 1000 + (i % 7)).collect();
+        let mut b = a.clone();
+        b[7] = 1_000_000;
+        b[63] = 2_000_000;
+        let verdict = paired_verdict(&a, &b);
+        assert!(!verdict.leak, "{verdict:?}");
+        assert!(verdict.effect < 1.0);
+    }
+
+    #[test]
+    fn clearly_shifted_classes_are_flagged() {
+        let a: Vec<u64> = (0..101).map(|i| 1000 + (i % 9)).collect();
+        let b: Vec<u64> = (0..101).map(|i| 2000 + (i % 9)).collect();
+        let verdict = paired_verdict(&a, &b);
+        assert!(verdict.leak, "{verdict:?}");
+        assert!(verdict.effect > EFFECT_THRESHOLD);
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn empty_class_panics() {
+        let _ = paired_verdict(&[], &[1]);
+    }
+}

@@ -911,3 +911,26 @@ pub fn telemetry(args: &[String], out: Out) -> Result<(), String> {
     gateway.shutdown();
     Ok(())
 }
+
+/// `audit`: run the adversarial self-audit battery and print its
+/// scorecard. Exit status follows the overall verdict, so CI can gate on
+/// the command directly.
+pub fn audit(args: &[String], out: Out) -> Result<(), String> {
+    let (positional, options) = split_options(args)?;
+    if !positional.is_empty() {
+        return Err(format!("unexpected argument `{}`", positional[0]));
+    }
+    let seed: u64 = parse(&options, "seed", 2024)?;
+    let config = if options.contains_key("quick") {
+        medsen::selfaudit::AuditConfig::quick(seed)
+    } else {
+        medsen::selfaudit::AuditConfig::full(seed)
+    };
+    let scorecard = medsen::selfaudit::run(&config);
+    let _ = write!(out, "{scorecard}");
+    if scorecard.pass() {
+        Ok(())
+    } else {
+        Err("security audit FAILED (see scorecard above)".into())
+    }
+}

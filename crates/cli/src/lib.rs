@@ -52,6 +52,12 @@ COMMANDS:
     telemetry [--requests N] [--runtime threads|async] drive a small workload and pretty-print
                                                        the telemetry snapshot (instruments +
                                                        slowest requests with stage breakdowns)
+    audit     [--seed N] [--quick]                     run the adversarial self-audit battery
+                                                       (keying entropy vs Eq. 2, distinguishing
+                                                       attack, auth-compare timing, keyspace
+                                                       collisions) and print the scorecard;
+                                                       exits non-zero if any section fails;
+                                                       --quick runs the ~10x smaller preset
     help                                               show this text
 ";
 
@@ -72,6 +78,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> ExitCode {
         "gateway" => commands::gateway(rest, out),
         "replica-status" => commands::replica_status(rest, out),
         "telemetry" => commands::telemetry(rest, out),
+        "audit" => commands::audit(rest, out),
         "help" | "--help" | "-h" => {
             let _ = writeln!(out, "{USAGE}");
             Ok(())
@@ -97,7 +104,12 @@ pub(crate) fn split_options(
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if let Some(name) = arg.strip_prefix("--") {
-            if name == "auth" || name == "full" || name == "replicas" || name == "kill" {
+            if name == "auth"
+                || name == "full"
+                || name == "replicas"
+                || name == "kill"
+                || name == "quick"
+            {
                 options.insert(name.to_owned(), "true".to_owned());
             } else {
                 let value = it
@@ -215,6 +227,29 @@ mod tests {
         assert!(text.contains("one-way stream:"), "{text}");
         assert!(text.contains("0 gave up"), "{text}");
         assert!(text.contains("fountain.sessions_completed 4"), "{text}");
+    }
+
+    #[test]
+    fn audit_prints_a_passing_scorecard() {
+        let (code, text) = run_to_string(&["audit", "--quick", "--seed", "9"]);
+        assert_eq!(code, 0, "{text}");
+        for needle in [
+            "seed 9",
+            "[1/4] keying entropy vs Eq. 2",
+            "[2/4] distinguishing attack",
+            "[3/4] auth compare timing",
+            "[4/4] keyspace collisions",
+            "overall: PASS",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn audit_rejects_stray_arguments() {
+        let (code, text) = run_to_string(&["audit", "now"]);
+        assert_eq!(code, 1);
+        assert!(text.contains("unexpected argument"), "{text}");
     }
 
     #[test]

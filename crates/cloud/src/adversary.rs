@@ -20,6 +20,9 @@
 //! protocol already hands the cloud.
 
 use crate::api::PeakReport;
+use crate::auth::BeadSignature;
+use medsen_audit::SequentialDistinguisher;
+use medsen_microfluidics::ParticleKind;
 use serde::{Deserialize, Serialize};
 
 /// The result of one attack run.
@@ -202,6 +205,71 @@ impl Default for BurstClusteringAttack {
     }
 }
 
+/// Attack 4: credential linking. A curious cloud that *runs* the auth
+/// protocol sees a bead signature per session — counts it is entitled to,
+/// since counting is its job. Across many sessions of two users it can run
+/// a two-sample test per bead type and ask: are these the same credential?
+/// This wraps the audit crate's sequential Welch distinguisher over the
+/// password-bead count vector; the audit battery uses it to measure how
+/// many observed sessions separate adjacent credential pairs.
+#[derive(Debug, Clone)]
+pub struct SignatureDistinguisher {
+    inner: SequentialDistinguisher,
+}
+
+impl SignatureDistinguisher {
+    /// A distinguisher over the full password-bead alphabet.
+    pub fn new() -> Self {
+        let dims = ParticleKind::ALL
+            .into_iter()
+            .filter(|k| k.is_password_bead())
+            .count();
+        Self {
+            inner: SequentialDistinguisher::new(dims),
+        }
+    }
+
+    fn vectorize(sig: &BeadSignature) -> Vec<f64> {
+        ParticleKind::ALL
+            .into_iter()
+            .filter(|k| k.is_password_bead())
+            .map(|k| sig.count(k) as f64)
+            .collect()
+    }
+
+    /// Feeds one observed session of the first user.
+    pub fn observe_a(&mut self, sig: &BeadSignature) {
+        self.inner.observe_a(&Self::vectorize(sig));
+    }
+
+    /// Feeds one observed session of the second user.
+    pub fn observe_b(&mut self, sig: &BeadSignature) {
+        self.inner.observe_b(&Self::vectorize(sig));
+    }
+
+    /// Sessions observed per user `(n_a, n_b)`.
+    pub fn sessions(&self) -> (u64, u64) {
+        self.inner.counts()
+    }
+
+    /// The current separation statistic (largest per-bead-type Welch z).
+    pub fn z_score(&self) -> f64 {
+        self.inner.z_score()
+    }
+
+    /// Whether the accumulated sessions separate the two users above
+    /// `z_threshold`.
+    pub fn distinguished(&self, z_threshold: f64) -> bool {
+        self.z_score() >= z_threshold
+    }
+}
+
+impl Default for SignatureDistinguisher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,6 +389,29 @@ mod tests {
                 .relative_error(5)
                 > 0.99
         );
+    }
+
+    #[test]
+    fn signature_distinguisher_links_distinct_users_only() {
+        use medsen_audit::AuditRng;
+        let mut rng = AuditRng::new(17);
+        let mut same = SignatureDistinguisher::new();
+        let mut diff = SignatureDistinguisher::new();
+        for _ in 0..64 {
+            let draw = |rng: &mut AuditRng, l358: f64, l78: f64| {
+                let mut s = BeadSignature::new();
+                s.set(ParticleKind::Bead358, rng.poisson(l358));
+                s.set(ParticleKind::Bead78, rng.poisson(l78));
+                s
+            };
+            same.observe_a(&draw(&mut rng, 100.0, 200.0));
+            same.observe_b(&draw(&mut rng, 100.0, 200.0));
+            diff.observe_a(&draw(&mut rng, 100.0, 200.0));
+            diff.observe_b(&draw(&mut rng, 400.0, 50.0));
+        }
+        assert_eq!(same.sessions(), (64, 64));
+        assert!(!same.distinguished(5.0), "z = {}", same.z_score());
+        assert!(diff.distinguished(5.0), "z = {}", diff.z_score());
     }
 
     #[test]

@@ -85,24 +85,42 @@ impl BeadSignature {
     /// tolerance per bead type. Bead types enrolled at zero must measure at
     /// most the absolute slack (`max(2, tolerance × 10)` beads of
     /// contamination).
+    ///
+    /// The comparison is input-independent: every password-bead kind is
+    /// always examined and the verdict accumulated without early exit, so
+    /// the work done never encodes *which* bead count disagreed. An
+    /// earlier version returned on the first mismatching kind — a classic
+    /// password-oracle shape the audit battery's timing section measures
+    /// and pins (see [`Self::matches_counted`]).
     pub fn matches(&self, measured: &BeadSignature, rel_tolerance: f64) -> bool {
-        let kinds: Vec<ParticleKind> = ParticleKind::ALL
-            .into_iter()
-            .filter(|k| k.is_password_bead())
-            .collect();
-        for kind in kinds {
+        self.matches_counted(measured, rel_tolerance).0
+    }
+
+    /// [`Self::matches`] plus the number of per-kind comparisons executed.
+    ///
+    /// The count is the deterministic witness the security audit asserts
+    /// on: a mismatch at the first bead kind and a mismatch at the last
+    /// must report the same op count, which wall-clock measurements on a
+    /// noisy CI runner cannot pin reliably.
+    pub fn matches_counted(&self, measured: &BeadSignature, rel_tolerance: f64) -> (bool, u32) {
+        let slack = (rel_tolerance * 10.0).max(2.0);
+        let mut mismatches = 0u32;
+        let mut ops = 0u32;
+        for kind in ParticleKind::ALL {
+            if !kind.is_password_bead() {
+                continue;
+            }
+            ops += 1;
             let enrolled = self.count(kind) as f64;
             let got = measured.count(kind) as f64;
-            if enrolled == 0.0 {
-                let slack = (rel_tolerance * 10.0).max(2.0);
-                if got > slack {
-                    return false;
-                }
-            } else if (got - enrolled).abs() > rel_tolerance * enrolled {
-                return false;
-            }
+            // Evaluate both arms unconditionally and select arithmetically:
+            // no data-dependent branch, no early exit.
+            let zero_arm = u32::from(got > slack);
+            let nonzero_arm = u32::from((got - enrolled).abs() > rel_tolerance * enrolled);
+            let is_zero = u32::from(enrolled == 0.0);
+            mismatches += is_zero * zero_arm + (1 - is_zero) * nonzero_arm;
         }
-        true
+        (mismatches == 0, ops)
     }
 }
 
@@ -279,6 +297,24 @@ mod tests {
     fn blood_cells_cannot_be_signature_symbols() {
         let mut s = BeadSignature::new();
         s.set(ParticleKind::RedBloodCell, 10);
+    }
+
+    #[test]
+    fn compare_op_count_is_mismatch_position_independent() {
+        let kinds: Vec<ParticleKind> = ParticleKind::ALL
+            .into_iter()
+            .filter(|k| k.is_password_bead())
+            .collect();
+        let enrolled = sig(100, 100);
+        // Mismatch at the first kind vs the last kind vs a full match:
+        // identical op counts in all three cases.
+        let (ok_first, ops_first) = enrolled.matches_counted(&sig(500, 100), 0.2);
+        let (ok_last, ops_last) = enrolled.matches_counted(&sig(100, 500), 0.2);
+        let (ok_match, ops_match) = enrolled.matches_counted(&sig(100, 100), 0.2);
+        assert!(!ok_first && !ok_last && ok_match);
+        assert_eq!(ops_first, kinds.len() as u32);
+        assert_eq!(ops_first, ops_last);
+        assert_eq!(ops_first, ops_match);
     }
 
     #[test]

@@ -45,7 +45,8 @@ pub mod shard;
 pub mod storage;
 
 pub use adversary::{
-    AmplitudeGroupingAttack, AttackOutcome, BurstClusteringAttack, WidthGroupingAttack,
+    AmplitudeGroupingAttack, AttackOutcome, BurstClusteringAttack, SignatureDistinguisher,
+    WidthGroupingAttack,
 };
 pub use api::{AnalyzedPeak, PeakReport};
 pub use auth::{AuthDecision, AuthService, BeadSignature};

@@ -25,6 +25,8 @@ pub mod threat;
 
 pub use diagnostics::{DiagnosticRule, Verdict};
 pub use enrollment::{IdentifierScope, PipetteBatch, ScopedProvision, UserRegistry};
-pub use password::{CytoPassword, PasswordAlphabet, PasswordError};
+pub use password::{
+    CredentialDecodeError, CytoPassword, PasswordAlphabet, PasswordError, CREDENTIAL_FORMAT_VERSION,
+};
 pub use pipeline::{Pipeline, PipelineConfig, SessionMode, SessionReport, TimingBreakdown};
 pub use sharing::{DecryptionCapability, SealedCapability};

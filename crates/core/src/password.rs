@@ -54,6 +54,104 @@ impl core::fmt::Display for PasswordError {
 
 impl std::error::Error for PasswordError {}
 
+/// Errors decoding a wire-encoded credential.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CredentialDecodeError {
+    /// Fewer bytes than the header + payload + checksum require.
+    Truncated {
+        /// Bytes the encoding needs (`usize::MAX` when even the header is
+        /// missing, so the arity is unknown).
+        expected: usize,
+        /// Bytes provided.
+        got: usize,
+    },
+    /// The version byte names a format this decoder does not speak.
+    UnsupportedVersion(u8),
+    /// The trailing CRC32 does not match the header + payload.
+    ChecksumMismatch {
+        /// Checksum recomputed from the bytes.
+        computed: u32,
+        /// Checksum stored in the encoding.
+        stored: u32,
+    },
+    /// The encoding was made for a different alphabet geometry.
+    AlphabetMismatch {
+        /// `max_level` recorded in the encoding.
+        encoded_max_level: u8,
+        /// `max_level` of the alphabet decoding it.
+        alphabet_max_level: u8,
+    },
+    /// The checksum held but the levels are not a valid password for the
+    /// alphabet (wrong arity, out-of-range level, all-zero).
+    Invalid(PasswordError),
+}
+
+impl core::fmt::Display for CredentialDecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CredentialDecodeError::Truncated { expected, got } => {
+                if *expected == usize::MAX {
+                    write!(f, "credential truncated: {got} bytes is shorter than the header")
+                } else {
+                    write!(f, "credential truncated: need {expected} bytes, got {got}")
+                }
+            }
+            CredentialDecodeError::UnsupportedVersion(v) => {
+                write!(f, "unsupported credential format version {v}")
+            }
+            CredentialDecodeError::ChecksumMismatch { computed, stored } => {
+                write!(f, "credential checksum mismatch: computed {computed:#010x}, stored {stored:#010x}")
+            }
+            CredentialDecodeError::AlphabetMismatch {
+                encoded_max_level,
+                alphabet_max_level,
+            } => write!(
+                f,
+                "credential encoded for max level {encoded_max_level}, alphabet has {alphabet_max_level}"
+            ),
+            CredentialDecodeError::Invalid(e) => write!(f, "decoded levels invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CredentialDecodeError {}
+
+/// Version byte leading every encoded credential.
+pub const CREDENTIAL_FORMAT_VERSION: u8 = 1;
+
+// CRC32 (IEEE, reflected) over the header + payload. `medsen-store` frames
+// its WAL with the same polynomial, but core sits below store in the crate
+// graph, so the 1 KiB table lives here rather than inverting the layering.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[usize::from((c ^ u32::from(b)) as u8)] ^ (c >> 8);
+    }
+    !c
+}
+
 /// The password alphabet: which bead types exist and how concentration
 /// levels map to physical doses.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -285,6 +383,72 @@ impl CytoPassword {
         sig
     }
 
+    /// Encodes the credential for the wire / enrollment records:
+    ///
+    /// ```text
+    /// [version:1][arity:1][max_level:1][levels:arity][crc32:4 LE]
+    /// ```
+    ///
+    /// The CRC covers everything before it, so truncation, bit flips, and
+    /// splices are rejected by [`CytoPassword::decode`] before the levels
+    /// are even looked at. The alphabet's `max_level` is carried so an
+    /// encoding cannot be silently re-interpreted under a different
+    /// geometry.
+    pub fn encode(&self, alphabet: &PasswordAlphabet) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(3 + self.levels.len() + 4);
+        bytes.push(CREDENTIAL_FORMAT_VERSION);
+        bytes.push(self.levels.len() as u8);
+        bytes.push(alphabet.max_level);
+        bytes.extend_from_slice(&self.levels);
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        bytes
+    }
+
+    /// Decodes a credential produced by [`CytoPassword::encode`],
+    /// validating version, length, checksum, alphabet geometry, and
+    /// finally the levels themselves.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CredentialDecodeError`] naming the first check that
+    /// failed. Never panics, for any input bytes.
+    pub fn decode(
+        alphabet: &PasswordAlphabet,
+        bytes: &[u8],
+    ) -> Result<Self, CredentialDecodeError> {
+        if bytes.len() < 3 {
+            return Err(CredentialDecodeError::Truncated {
+                expected: usize::MAX,
+                got: bytes.len(),
+            });
+        }
+        if bytes[0] != CREDENTIAL_FORMAT_VERSION {
+            return Err(CredentialDecodeError::UnsupportedVersion(bytes[0]));
+        }
+        let arity = usize::from(bytes[1]);
+        let expected = 3 + arity + 4;
+        if bytes.len() != expected {
+            return Err(CredentialDecodeError::Truncated {
+                expected,
+                got: bytes.len(),
+            });
+        }
+        let (body, crc_bytes) = bytes.split_at(expected - 4);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().expect("split at 4"));
+        let computed = crc32(body);
+        if computed != stored {
+            return Err(CredentialDecodeError::ChecksumMismatch { computed, stored });
+        }
+        if bytes[2] != alphabet.max_level {
+            return Err(CredentialDecodeError::AlphabetMismatch {
+                encoded_max_level: bytes[2],
+                alphabet_max_level: alphabet.max_level,
+            });
+        }
+        CytoPassword::new(alphabet, body[3..].to_vec()).map_err(CredentialDecodeError::Invalid)
+    }
+
     /// L∞ distance between two passwords' level vectors.
     ///
     /// # Panics
@@ -427,6 +591,53 @@ mod tests {
         assert_eq!(
             a.collision_free_dictionary(1).len() as u64,
             a.password_space()
+        );
+    }
+
+    #[test]
+    fn credential_round_trips_through_the_codec() {
+        let a = alphabet();
+        for levels in [vec![2, 6], vec![0, 1], vec![8, 8]] {
+            let pw = CytoPassword::new(&a, levels).unwrap();
+            let bytes = pw.encode(&a);
+            assert_eq!(bytes.len(), 3 + 2 + 4);
+            assert_eq!(CytoPassword::decode(&a, &bytes).unwrap(), pw);
+        }
+    }
+
+    #[test]
+    fn codec_rejects_truncation_and_bit_flips() {
+        let a = alphabet();
+        let bytes = CytoPassword::new(&a, vec![2, 6]).unwrap().encode(&a);
+        for len in 0..bytes.len() {
+            assert!(
+                CytoPassword::decode(&a, &bytes[..len]).is_err(),
+                "accepted {len}-byte prefix"
+            );
+        }
+        for bit in 0..bytes.len() * 8 {
+            let mut flipped = bytes.clone();
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                CytoPassword::decode(&a, &flipped).is_err(),
+                "accepted flip of bit {bit}"
+            );
+        }
+    }
+
+    #[test]
+    fn codec_rejects_foreign_alphabet_geometry() {
+        let a = alphabet();
+        let other = PasswordAlphabet::new(a.bead_types().to_vec(), a.level_step, 4).unwrap();
+        let bytes = CytoPassword::new(&other, vec![2, 3])
+            .unwrap()
+            .encode(&other);
+        assert_eq!(
+            CytoPassword::decode(&a, &bytes),
+            Err(CredentialDecodeError::AlphabetMismatch {
+                encoded_max_level: 4,
+                alphabet_max_level: 8,
+            })
         );
     }
 

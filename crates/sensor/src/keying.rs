@@ -227,6 +227,25 @@ impl CipherKey {
         let n_elec = usize::from(self.selection_outputs());
         n_elec + n_elec / 2 * 4 + 4
     }
+
+    /// What an eavesdropper on the encrypted stream can actually extract
+    /// from one cell keyed by this key: the peak multiplicity, the gain
+    /// levels of the *selected* electrodes in arrival (id) order, and the
+    /// flow level (from quantized peak widths). Electrode *identity* is
+    /// not observable — two selections with the same multiplicity and
+    /// gain sequence are indistinguishable on the wire — which is exactly
+    /// why the observable entropy the audit measures sits far below the
+    /// Eq. (2) key budget.
+    pub fn observable_projection(&self, array: &ElectrodeArray) -> Vec<u8> {
+        let ids = self.selection.ids();
+        let mut observed = Vec::with_capacity(ids.len() + 2);
+        observed.push(self.multiplicity(array) as u8);
+        for id in &ids {
+            observed.push(self.gains[usize::from(id.0) - 1].level());
+        }
+        observed.push(self.flow.level());
+        observed
+    }
 }
 
 /// Eq. (2): the total key length, in bits, of the ideal per-cell scheme.
@@ -402,6 +421,35 @@ mod tests {
         assert_eq!(key.multiplicity(&a), 3);
         // 9 + 4·4 + 4 = 29 bits for a 9-output device.
         assert_eq!(key.bits(), 9 + 4 * 4 + 4);
+    }
+
+    #[test]
+    fn observable_projection_hides_electrode_identity() {
+        let a = array();
+        let mut gains = vec![GainLevel::unity(); 9];
+        gains[1] = GainLevel::new(3).unwrap();
+        gains[6] = GainLevel::new(3).unwrap();
+        let key_a = CipherKey {
+            selection: ElectrodeSelection::new(&a, &[ElectrodeId(2)]).unwrap(),
+            gains: gains.clone(),
+            flow: FlowLevel::nominal(),
+        };
+        let key_b = CipherKey {
+            selection: ElectrodeSelection::new(&a, &[ElectrodeId(7)]).unwrap(),
+            gains,
+            flow: FlowLevel::nominal(),
+        };
+        // Different keys (different electrodes), identical wire view.
+        assert_ne!(key_a, key_b);
+        assert_eq!(
+            key_a.observable_projection(&a),
+            key_b.observable_projection(&a)
+        );
+        // Layout: multiplicity, one gain per selected electrode, flow.
+        let view = key_a.observable_projection(&a);
+        assert_eq!(view.len(), 1 + key_a.selection.len() + 1);
+        assert_eq!(view[1], 3);
+        assert_eq!(*view.last().unwrap(), FlowLevel::nominal().level());
     }
 
     #[test]

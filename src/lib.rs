@@ -20,12 +20,18 @@
 //! * [`fountain`] — rateless LT erasure codec for one-way phone→cloud
 //!   uploads in RF-restricted clinics (no ACK path);
 //! * [`telemetry`] — request-scoped trace spans, the unified metrics
-//!   registry, and text/JSON exposition shared by every serving layer.
+//!   registry, and text/JSON exposition shared by every serving layer;
+//! * [`audit`] — the zero-dependency measurement instruments (entropy
+//!   estimators, sequential distinguisher, timing harness, collision
+//!   sweep) behind the adversarial self-audit;
+//! * [`selfaudit`] — the battery driver wiring those instruments to the
+//!   real subsystems and producing the `medsen audit` scorecard.
 //!
 //! # Quickstart
 //!
 //! See `examples/quickstart.rs` for a complete encrypted diagnostic session.
 
+pub use medsen_audit as audit;
 pub use medsen_cloud as cloud;
 pub use medsen_core as core;
 pub use medsen_dsp as dsp;
@@ -40,3 +46,5 @@ pub use medsen_sensor as sensor;
 pub use medsen_store as store;
 pub use medsen_telemetry as telemetry;
 pub use medsen_units as units;
+
+pub mod selfaudit;

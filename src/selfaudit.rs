@@ -1,0 +1,356 @@
+//! The adversarial self-audit battery: drives the `medsen-audit`
+//! instruments against the real subsystems and assembles the scorecard.
+//!
+//! `medsen-audit` deliberately links nothing it measures — its estimators
+//! and harnesses must not share code with the system under test. The
+//! facade crate is the one place that depends on everything, so the glue
+//! lives here: each section below feeds a real subsystem (the sensor's
+//! key generator, the cloud's auth compare and shard router, the core's
+//! credential model) into the audit crate's instruments.
+//!
+//! Every section draws from its own [`AuditRng::derive`] sub-stream of
+//! the battery seed, so the scorecard is bit-reproducible for a fixed
+//! `--seed` (wall-clock nanoseconds excepted — see the determinism
+//! contract on [`Scorecard`]).
+
+use medsen_audit::{
+    collision_sweep, AuditRng, CollisionSection, DistinguisherSection, DistinguisherTrial,
+    EntropyRow, EntropySection, Scorecard, SymbolHistogram, TimingSection,
+};
+use medsen_cloud::{identity_hash, BeadSignature, ShardedAuth, SignatureDistinguisher};
+use medsen_core::{CytoPassword, PasswordAlphabet};
+use medsen_sensor::{
+    ideal_key_length_bits, Controller, ControllerConfig, ElectrodeArray, KeySchedule,
+};
+use medsen_units::{Microliters, Seconds};
+use std::hint::black_box;
+
+/// Battery sizing. The measurements are identical between presets; only
+/// sample counts change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditConfig {
+    /// Master seed; every section derives its own sub-stream from it.
+    pub seed: u64,
+    /// Keys sampled per entropy-sweep configuration.
+    pub entropy_keys: u64,
+    /// Session budget per distinguishing trial.
+    pub distinguisher_budget: u64,
+    /// Wall-clock samples per timing class.
+    pub timing_samples: usize,
+    /// Identifiers swept through the identity hash.
+    pub keyspace_size: u64,
+    /// Subset of the keyspace enrolled into a live sharded tier.
+    pub enroll_subset: u64,
+    /// Shards in the sweep and the live tier.
+    pub shard_count: usize,
+}
+
+impl AuditConfig {
+    /// The full battery: the million-credential sweep the issue calls
+    /// for, fleet-scale sharding, tight statistics. Seconds of runtime.
+    pub fn full(seed: u64) -> Self {
+        Self {
+            seed,
+            entropy_keys: 20_000,
+            distinguisher_budget: 2_048,
+            timing_samples: 301,
+            keyspace_size: 1_000_000,
+            enroll_subset: 4_096,
+            shard_count: 64,
+        }
+    }
+
+    /// A reduced battery for quick local iteration: same sections, same
+    /// pass logic, ~10× smaller samples.
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            seed,
+            entropy_keys: 2_000,
+            distinguisher_budget: 512,
+            timing_samples: 101,
+            keyspace_size: 100_000,
+            enroll_subset: 512,
+            shard_count: 16,
+        }
+    }
+}
+
+/// Runs the four-section battery and returns the scorecard.
+pub fn run(config: &AuditConfig) -> Scorecard {
+    Scorecard {
+        seed: config.seed,
+        entropy: entropy_section(config),
+        distinguisher: distinguisher_section(config),
+        timing: timing_section(config),
+        collision: collision_section(config),
+    }
+}
+
+// --- section 1: keying entropy vs Eq. 2 ---------------------------------
+
+/// The swept Eq. 2 parameter points: the paper prototype (9 electrodes),
+/// the deployed design (16), the coarse-gain ablation, and a multi-cell
+/// point exercising the linear scaling.
+const ENTROPY_SWEEP: [(u64, u8, u8); 4] = [
+    // (n_cells, n_electrodes, r_gain_bits); r_flow is the 4-bit hardware.
+    (1, 9, 4),
+    (1, 16, 4),
+    (1, 9, 1),
+    (4, 9, 4),
+];
+
+fn entropy_section(config: &AuditConfig) -> EntropySection {
+    let rows = ENTROPY_SWEEP
+        .iter()
+        .map(|&(n_cells, n_elec, gain_bits)| {
+            let mut seeds = AuditRng::derive(
+                config.seed,
+                &[b"entropy-" as &[u8], &[n_cells as u8, n_elec, gain_bits]].concat(),
+            );
+            entropy_row(
+                seeds.next_u64(),
+                n_cells,
+                n_elec,
+                gain_bits,
+                config.entropy_keys,
+            )
+        })
+        .collect();
+    EntropySection { rows }
+}
+
+/// Measures the observable entropy of `keys` generated keys at one
+/// configuration. The estimate is the component-wise sum — multiplicity
+/// entropy + E[#selected] × per-peak gain entropy + flow entropy — an
+/// upper bound on the joint observable entropy (components are treated
+/// as independent), which is the conservative direction: even the upper
+/// bound must sit below the Eq. 2 key budget.
+fn entropy_row(
+    controller_seed: u64,
+    n_cells: u64,
+    n_elec: u8,
+    gain_bits: u8,
+    keys: u64,
+) -> EntropyRow {
+    let array = ElectrodeArray::new(n_elec).expect("swept sizes are within the mux limit");
+    let controller_config = ControllerConfig {
+        gain_bits,
+        ..ControllerConfig::paper_default()
+    };
+    let mut controller = Controller::new(array, controller_config, controller_seed);
+    let duration = Seconds::new(keys as f64 * controller_config.key_period.value());
+    let schedule = controller.generate_schedule(duration);
+    let KeySchedule::Periodic {
+        keys: cipher_keys, ..
+    } = schedule
+    else {
+        unreachable!("generate_schedule always installs a periodic schedule");
+    };
+    let mut multiplicity = SymbolHistogram::new();
+    let mut gain = SymbolHistogram::new();
+    let mut flow = SymbolHistogram::new();
+    let mut selected_total = 0u64;
+    for key in cipher_keys {
+        let view = key.observable_projection(&array);
+        multiplicity.record(u64::from(view[0]));
+        for &level in &view[1..view.len() - 1] {
+            gain.record(u64::from(level));
+        }
+        flow.record(u64::from(view[view.len() - 1]));
+        selected_total += (view.len() - 2) as u64;
+    }
+    let samples = cipher_keys.len() as u64;
+    let mean_selected = selected_total as f64 / samples as f64;
+    let per_cell = multiplicity.estimate().shannon_bits
+        + mean_selected * gain.estimate().shannon_bits
+        + flow.estimate().shannon_bits;
+    EntropyRow {
+        n_cells: n_cells as u32,
+        n_electrodes: u32::from(n_elec),
+        r_gain_bits: u32::from(gain_bits),
+        r_flow_bits: 4,
+        eq2_bits: ideal_key_length_bits(n_cells, u64::from(n_elec), u64::from(gain_bits), 4) as f64,
+        observable_bits: per_cell * n_cells as f64,
+        samples,
+    }
+}
+
+// --- section 2: distinguishing attack ------------------------------------
+
+fn distinguisher_section(config: &AuditConfig) -> DistinguisherSection {
+    let alphabet = PasswordAlphabet::paper_default();
+    // One minute of acquisition processes ≈ 0.08 µL — about 40 beads per
+    // concentration level, the paper's operating point.
+    let volume = Microliters::new(0.08);
+    let z_threshold = 5.0;
+    let pairs: [(&str, [u8; 2], [u8; 2]); 3] = [
+        ("same credential (control)", [2, 6], [2, 6]),
+        ("adjacent credentials", [2, 6], [3, 6]),
+        ("distant credentials", [1, 1], [8, 8]),
+    ];
+    let trials = pairs
+        .iter()
+        .map(|&(label, levels_a, levels_b)| {
+            let a = CytoPassword::new(&alphabet, levels_a.to_vec()).expect("valid levels");
+            let b = CytoPassword::new(&alphabet, levels_b.to_vec()).expect("valid levels");
+            let expected_a = a.expected_signature(&alphabet, volume);
+            let expected_b = b.expected_signature(&alphabet, volume);
+            let mut rng = AuditRng::derive(config.seed, label.as_bytes());
+            let mut adversary = SignatureDistinguisher::new();
+            let mut separated = None;
+            for session in 1..=config.distinguisher_budget {
+                adversary.observe_a(&noisy_session(&mut rng, &expected_a));
+                adversary.observe_b(&noisy_session(&mut rng, &expected_b));
+                if session >= 2 && adversary.distinguished(z_threshold) {
+                    separated = Some(session);
+                    break;
+                }
+            }
+            DistinguisherTrial {
+                label: label.to_owned(),
+                distance: u32::from(a.distance(&b)),
+                sessions_to_distinguish: separated,
+                max_sessions: config.distinguisher_budget,
+            }
+        })
+        .collect();
+    DistinguisherSection {
+        z_threshold,
+        trials,
+    }
+}
+
+/// One observed auth session: Poisson arrival noise on each expected bead
+/// count — what the cloud's classifier hands it after a real acquisition.
+fn noisy_session(rng: &mut AuditRng, expected: &BeadSignature) -> BeadSignature {
+    let mut measured = BeadSignature::new();
+    for (kind, count) in expected.entries() {
+        measured.set(kind, rng.poisson(count as f64));
+    }
+    measured
+}
+
+// --- section 3: auth compare timing --------------------------------------
+
+fn timing_section(config: &AuditConfig) -> TimingSection {
+    use medsen_microfluidics::ParticleKind;
+    let enrolled =
+        BeadSignature::from_counts(&[(ParticleKind::Bead358, 100), (ParticleKind::Bead78, 100)]);
+    // The two classes a password oracle would distinguish: a guess wrong
+    // in the first bead kind vs wrong only in the last.
+    let first_mismatch =
+        BeadSignature::from_counts(&[(ParticleKind::Bead358, 500), (ParticleKind::Bead78, 100)]);
+    let last_mismatch =
+        BeadSignature::from_counts(&[(ParticleKind::Bead358, 100), (ParticleKind::Bead78, 500)]);
+    let tolerance = 0.30;
+    let (ok_first, ops_first) = enrolled.matches_counted(&first_mismatch, tolerance);
+    let (ok_last, ops_last) = enrolled.matches_counted(&last_mismatch, tolerance);
+    debug_assert!(!ok_first && !ok_last, "both probes must mismatch");
+    let mut rng = AuditRng::derive(config.seed, b"timing");
+    let wall_clock =
+        medsen_audit::timing::measure_paired(&mut rng, config.timing_samples, |is_first| {
+            let probe = if is_first {
+                &first_mismatch
+            } else {
+                &last_mismatch
+            };
+            black_box(enrolled.matches(black_box(probe), tolerance));
+        });
+    TimingSection {
+        ops_first_mismatch: u64::from(ops_first),
+        ops_last_mismatch: u64::from(ops_last),
+        wall_clock,
+    }
+}
+
+// --- section 4: keyspace collisions --------------------------------------
+
+fn collision_section(config: &AuditConfig) -> CollisionSection {
+    use medsen_microfluidics::ParticleKind;
+    let mut rng = AuditRng::derive(config.seed, b"collision");
+    // A per-seed namespace tag: different seeds sweep disjoint identifier
+    // populations, so the sweep itself is seed-sensitive.
+    let tag = rng.next_u64();
+    let identifier = |i: u64| format!("cred-{tag:016x}-{i:08}");
+
+    let report = collision_sweep(
+        (0..config.keyspace_size).map(|i| identity_hash(&identifier(i))),
+        config.shard_count,
+    );
+
+    // Enroll a subset into a live sharded tier and round-trip every
+    // credential through the integrity check, cross-checking the tier's
+    // per-shard occupancy against this module's own modulo routing (the
+    // shard-route equivalence the record-id contract depends on).
+    let tier = ShardedAuth::new(config.shard_count);
+    let signature_of = |i: u64| {
+        BeadSignature::from_counts(&[
+            (ParticleKind::Bead358, 40 + (i * 7) % 400),
+            (ParticleKind::Bead78, 40 + (i * 13) % 400),
+        ])
+    };
+    let mut predicted_loads = vec![0usize; config.shard_count];
+    for i in 0..config.enroll_subset {
+        let id = identifier(i);
+        predicted_loads[(identity_hash(&id) % config.shard_count as u64) as usize] += 1;
+        tier.enroll(id, signature_of(i));
+    }
+    let mut verified = tier.enrolled_count() as u64 == config.enroll_subset;
+    for i in 0..config.enroll_subset {
+        verified &= tier.verify_integrity(&identifier(i), &signature_of(i));
+    }
+    let actual_loads: Vec<usize> = tier.stats().iter().map(|s| s.enrolled).collect();
+    verified &= actual_loads == predicted_loads;
+
+    // 6σ of the binomial occupancy spread: ideal load n/s with relative
+    // deviation ≈ sqrt(s/n) per shard.
+    let imbalance_limit =
+        1.0 + 6.0 * (config.shard_count as f64 / config.keyspace_size as f64).sqrt();
+    CollisionSection {
+        report,
+        enrolled: config.enroll_subset,
+        enrolled_verified: verified,
+        imbalance_limit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_battery_passes_and_reproduces() {
+        let config = AuditConfig::quick(7);
+        let first = run(&config);
+        assert!(first.pass(), "quick battery failed:\n{first}");
+        let second = run(&config);
+        // Everything except the wall-clock timing stats is bit-equal.
+        assert_eq!(first.entropy, second.entropy);
+        assert_eq!(first.distinguisher, second.distinguisher);
+        assert_eq!(first.collision, second.collision);
+        assert_eq!(
+            first.timing.ops_first_mismatch,
+            second.timing.ops_first_mismatch
+        );
+    }
+
+    #[test]
+    fn different_seeds_sweep_different_populations() {
+        let a = run(&AuditConfig::quick(1));
+        let b = run(&AuditConfig::quick(2));
+        assert_ne!(a.collision.report, b.collision.report);
+    }
+
+    #[test]
+    fn entropy_rows_cover_the_sweep_and_scale_linearly() {
+        let card = run(&AuditConfig::quick(3));
+        assert_eq!(card.entropy.rows.len(), ENTROPY_SWEEP.len());
+        let one_cell = &card.entropy.rows[0];
+        let four_cells = &card.entropy.rows[3];
+        assert_eq!(four_cells.eq2_bits, 4.0 * one_cell.eq2_bits);
+        // Coarser gains shrink both the key budget and the observable.
+        let coarse = &card.entropy.rows[2];
+        assert!(coarse.eq2_bits < one_cell.eq2_bits);
+        assert!(coarse.observable_bits < one_cell.observable_bits);
+    }
+}

@@ -17,16 +17,11 @@ use medsen::fountain::{
 use proptest::prelude::*;
 
 /// A deterministic index-shuffle so arrival order is arbitrary without
-/// an RNG in the test body.
+/// proptest having to generate a permutation.
 fn shuffled(count: u64, salt: u64) -> Vec<u64> {
     let mut ids: Vec<u64> = (0..count).collect();
-    for i in (1..ids.len()).rev() {
-        let j = (salt
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add((i as u64).wrapping_mul(0x2545_F491_4F6C_DD1D))
-            % (i as u64 + 1)) as usize;
-        ids.swap(i, j);
-    }
+    let mut rng = medsen::audit::AuditRng::derive(salt, b"arrival-order");
+    rng.shuffle(&mut ids);
     ids
 }
 

@@ -1,0 +1,146 @@
+//! Property tests for the cyto-coded credential wire format (vendored
+//! proptest), mirroring `tests/fountain_props.rs`:
+//!
+//! * **round-trip** — any valid password under any alphabet geometry
+//!   encodes to a frame that decodes back to the same password;
+//! * **the decoder never accepts damage** — every truncation, extension,
+//!   and single-bit flip of a genuine frame is rejected with a typed
+//!   error (CRC32 catches all single-bit errors, and the header carries
+//!   arity + geometry for the rest);
+//! * **the decoder never panics** — arbitrary byte soup produces typed
+//!   errors, and anything it *does* accept re-encodes to the exact input
+//!   (the format has one canonical encoding per credential).
+
+use medsen::core::{CytoPassword, PasswordAlphabet, CREDENTIAL_FORMAT_VERSION};
+use medsen::microfluidics::ParticleKind;
+use medsen::units::Concentration;
+use proptest::prelude::*;
+
+/// An alphabet with one or both of the paper's password bead types and a
+/// fuzzed level count; the dose step does not appear on the wire.
+fn alphabet(arity_two: bool, max_level: u8) -> PasswordAlphabet {
+    let beads = if arity_two {
+        vec![ParticleKind::Bead358, ParticleKind::Bead78]
+    } else {
+        vec![ParticleKind::Bead358]
+    };
+    PasswordAlphabet::new(beads, Concentration::new(500.0), max_level).expect("valid alphabet")
+}
+
+/// Folds arbitrary bytes into a valid password for `alphabet`: one level
+/// per bead type, clamped into range, all-zero displaced to the first
+/// non-trivial credential.
+fn password(alphabet: &PasswordAlphabet, raw: &[u8]) -> CytoPassword {
+    let span = u16::from(alphabet.max_level) + 1;
+    let mut levels: Vec<u8> = (0..alphabet.bead_types().len())
+        .map(|i| (u16::from(raw.get(i).copied().unwrap_or(0)) % span) as u8)
+        .collect();
+    if levels.iter().all(|&l| l == 0) {
+        levels[0] = 1;
+    }
+    CytoPassword::new(alphabet, levels).expect("valid password")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Encode/decode is the identity on valid credentials, for every
+    /// arity and level geometry.
+    #[test]
+    fn encode_decode_round_trips(
+        arity_two in any::<bool>(),
+        max_level in 1u8..=200,
+        raw in proptest::collection::vec(any::<u8>(), 2),
+    ) {
+        let alphabet = alphabet(arity_two, max_level);
+        let pw = password(&alphabet, &raw);
+        let wire = pw.encode(&alphabet);
+        prop_assert_eq!(wire.len(), 3 + pw.levels().len() + 4);
+        prop_assert_eq!(wire[0], CREDENTIAL_FORMAT_VERSION);
+        let decoded = CytoPassword::decode(&alphabet, &wire).expect("round-trip");
+        prop_assert_eq!(decoded, pw);
+    }
+
+    /// Every proper prefix and every one-byte extension of a genuine
+    /// frame is rejected — length is part of the contract, so a frame
+    /// cut by a dropped packet or spliced onto trailing garbage never
+    /// yields a credential.
+    #[test]
+    fn truncations_and_extensions_are_rejected(
+        arity_two in any::<bool>(),
+        max_level in 1u8..=200,
+        raw in proptest::collection::vec(any::<u8>(), 2),
+        pad in any::<u8>(),
+    ) {
+        let alphabet = alphabet(arity_two, max_level);
+        let wire = password(&alphabet, &raw).encode(&alphabet);
+        for len in 0..wire.len() {
+            prop_assert!(
+                CytoPassword::decode(&alphabet, &wire[..len]).is_err(),
+                "accepted a {len}-byte prefix of a {}-byte frame",
+                wire.len()
+            );
+        }
+        let mut extended = wire;
+        extended.push(pad);
+        prop_assert!(CytoPassword::decode(&alphabet, &extended).is_err());
+    }
+
+    /// Any single flipped bit anywhere in the frame — header, levels, or
+    /// checksum — is rejected (CRC32 detects all single-bit errors at
+    /// these lengths, and the pre-CRC header checks cover the rest).
+    #[test]
+    fn any_single_bit_flip_is_rejected(
+        arity_two in any::<bool>(),
+        max_level in 1u8..=200,
+        raw in proptest::collection::vec(any::<u8>(), 2),
+        flip_at in any::<usize>(),
+        flip_bit in 0u32..8,
+    ) {
+        let alphabet = alphabet(arity_two, max_level);
+        let mut wire = password(&alphabet, &raw).encode(&alphabet);
+        let at = flip_at % wire.len();
+        wire[at] ^= 1 << flip_bit;
+        prop_assert!(
+            CytoPassword::decode(&alphabet, &wire).is_err(),
+            "accepted a frame with bit {flip_bit} of byte {at} flipped"
+        );
+    }
+
+    /// Arbitrary byte soup never panics the decoder, and the rare inputs
+    /// it accepts are exactly canonical encodings: re-encoding the
+    /// decoded credential reproduces the input byte-for-byte.
+    #[test]
+    fn decode_never_panics_and_accepts_only_canonical_frames(
+        arity_two in any::<bool>(),
+        max_level in 1u8..=200,
+        bytes in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let alphabet = alphabet(arity_two, max_level);
+        match CytoPassword::decode(&alphabet, &bytes) {
+            Ok(pw) => prop_assert_eq!(pw.encode(&alphabet), bytes),
+            Err(error) => prop_assert!(!error.to_string().is_empty()),
+        }
+    }
+
+    /// A credential enrolled under one level geometry cannot be silently
+    /// re-interpreted under another: the frame pins `max_level`, so a
+    /// mismatched alphabet is rejected before the levels are read.
+    #[test]
+    fn a_foreign_geometry_cannot_reinterpret_a_credential(
+        arity_two in any::<bool>(),
+        max_level in 2u8..=200,
+        other_level in 1u8..=200,
+        raw in proptest::collection::vec(any::<u8>(), 2),
+    ) {
+        prop_assume!(max_level != other_level);
+        let home = alphabet(arity_two, max_level);
+        let wire = password(&home, &raw).encode(&home);
+        let foreign = alphabet(arity_two, other_level);
+        let geometry_rejected = matches!(
+            CytoPassword::decode(&foreign, &wire),
+            Err(medsen::core::CredentialDecodeError::AlphabetMismatch { .. })
+        );
+        prop_assert!(geometry_rejected);
+    }
+}

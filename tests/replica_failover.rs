@@ -157,14 +157,12 @@ fn replicated_pair(tag: &str) -> (Arc<ReplicatedCloud>, [PathBuf; 2]) {
 #[test]
 fn promoted_standby_at_every_sampled_kill_point_serves_the_prefix_oracle() {
     let ops = op_log(40);
-    // Deterministic xorshift picks ~1/3 of the write boundaries.
+    // The workspace's shared seeded RNG picks ~1/3 of the write
+    // boundaries (deterministically — same sample every run).
     let mut kill_points = Vec::new();
-    let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut rng = medsen::audit::AuditRng::derive(40, b"failover-kill-points");
     for k in 0..ops.len() {
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        if x.is_multiple_of(3) || k + 1 == ops.len() {
+        if rng.next_u64().is_multiple_of(3) || k + 1 == ops.len() {
             kill_points.push(k);
         }
     }
@@ -210,14 +208,12 @@ fn promoted_standby_at_every_sampled_kill_point_serves_the_prefix_oracle() {
 fn concurrent_storm_with_a_mid_storm_kill_loses_no_acknowledged_write() {
     const THREADS: usize = 8;
     const PER_THREAD: usize = 24;
-    // Sampled kill points across the storm's progress, xorshift-spread.
+    // Sampled kill points spread across the storm's progress by the
+    // workspace's shared seeded RNG.
     let mut kill_at = Vec::new();
-    let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut rng = medsen::audit::AuditRng::derive(0, b"storm-kill-points");
     for _ in 0..3 {
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        kill_at.push(8 + (x % (THREADS * PER_THREAD - 40) as u64) as usize);
+        kill_at.push(8 + rng.below((THREADS * PER_THREAD - 40) as u64) as usize);
     }
     for (round, kill_threshold) in kill_at.into_iter().enumerate() {
         let (pair, dirs) = replicated_pair(&format!("storm-{round}"));

@@ -194,14 +194,12 @@ fn recovery_at_every_sampled_kill_point_matches_the_prefix_oracle() {
     let svc = durable(&dir, FlushPolicy::EveryWrite);
     let mut created = Vec::new();
     let mut kill_points = Vec::new();
-    // Deterministic xorshift picks ~1/3 of the write boundaries.
-    let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+    // The workspace's shared seeded RNG picks ~1/3 of the write
+    // boundaries (deterministically — same sample every run).
+    let mut rng = medsen::audit::AuditRng::derive(40, b"recovery-kill-points");
     for (k, op) in ops.iter().enumerate() {
         apply(&svc, op, &mut created);
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        if x.is_multiple_of(3) || k + 1 == ops.len() {
+        if rng.next_u64().is_multiple_of(3) || k + 1 == ops.len() {
             let copy = temp_dir(&format!("killpoint-{k}"));
             copy_dir(&dir, &copy);
             kill_points.push((k, copy));
