@@ -1,0 +1,137 @@
+//! The wire codec alone: encode/decode cost per message, binary vs
+//! JSON, over the deterministic golden corpus (the same fixtures the
+//! byte-exact golden-frame tests pin).
+//!
+//! This isolates what `gateway_throughput`'s json/binary delta buys:
+//! the end-to-end sweep includes queueing and analysis, while these
+//! numbers are the codec in a tight loop. Throughput is bytes of
+//! encoded output, so the binary series also shows the size win, not
+//! just the cycles win. A final group prices the frame primitives
+//! (CRC-32 and framing) that both formats share.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use medsen_cloud::wire::{
+    decode_request, decode_response, encode_request, encode_response, golden,
+};
+use medsen_wire::WireFormat;
+use std::hint::black_box;
+
+const FORMATS: [WireFormat; 2] = [WireFormat::Json, WireFormat::Binary];
+
+/// Encode every corpus request, per format.
+fn encode_requests(c: &mut Criterion) {
+    let corpus = golden::requests();
+    let mut group = c.benchmark_group("wire_codec_encode_requests");
+    for format in FORMATS {
+        let bytes: usize = corpus
+            .iter()
+            .map(|(_, r)| encode_request(format, r).expect("encodes").len())
+            .sum();
+        group.throughput(Throughput::Bytes(bytes as u64));
+        group.bench_function(BenchmarkId::from_parameter(format), |b| {
+            b.iter(|| {
+                for (_, request) in &corpus {
+                    black_box(encode_request(format, black_box(request)).expect("encodes"));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Decode every corpus request from its pre-encoded frame, per format.
+fn decode_requests(c: &mut Criterion) {
+    let corpus = golden::requests();
+    let mut group = c.benchmark_group("wire_codec_decode_requests");
+    for format in FORMATS {
+        let frames: Vec<Vec<u8>> = corpus
+            .iter()
+            .map(|(_, r)| encode_request(format, r).expect("encodes"))
+            .collect();
+        let bytes: usize = frames.iter().map(Vec::len).sum();
+        group.throughput(Throughput::Bytes(bytes as u64));
+        group.bench_function(BenchmarkId::from_parameter(format), |b| {
+            b.iter(|| {
+                for frame in &frames {
+                    black_box(decode_request(format, black_box(frame)).expect("decodes"));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Encode every corpus response, per format.
+fn encode_responses(c: &mut Criterion) {
+    let corpus = golden::responses();
+    let mut group = c.benchmark_group("wire_codec_encode_responses");
+    for format in FORMATS {
+        let bytes: usize = corpus
+            .iter()
+            .map(|(_, r)| encode_response(format, r).expect("encodes").len())
+            .sum();
+        group.throughput(Throughput::Bytes(bytes as u64));
+        group.bench_function(BenchmarkId::from_parameter(format), |b| {
+            b.iter(|| {
+                for (_, response) in &corpus {
+                    black_box(encode_response(format, black_box(response)).expect("encodes"));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Decode every corpus response from its pre-encoded frame, per format.
+fn decode_responses(c: &mut Criterion) {
+    let corpus = golden::responses();
+    let mut group = c.benchmark_group("wire_codec_decode_responses");
+    for format in FORMATS {
+        let frames: Vec<Vec<u8>> = corpus
+            .iter()
+            .map(|(_, r)| encode_response(format, r).expect("encodes"))
+            .collect();
+        let bytes: usize = frames.iter().map(Vec::len).sum();
+        group.throughput(Throughput::Bytes(bytes as u64));
+        group.bench_function(BenchmarkId::from_parameter(format), |b| {
+            b.iter(|| {
+                for frame in &frames {
+                    black_box(decode_response(format, black_box(frame)).expect("decodes"));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The shared frame primitives underneath both formats: CRC-32 over a
+/// payload-sized buffer, and full frame round-trips.
+fn frame_primitives(c: &mut Criterion) {
+    let payload: Vec<u8> = (0..4096u32)
+        .map(|i| (i.wrapping_mul(0x9E37_79B9) >> 24) as u8)
+        .collect();
+
+    let mut group = c.benchmark_group("wire_frame_primitives");
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    group.bench_function("crc32_4k", |b| {
+        b.iter(|| black_box(medsen_wire::crc32(black_box(&payload))));
+    });
+    group.bench_function("frame_roundtrip_4k", |b| {
+        b.iter(|| {
+            let framed = medsen_wire::frame_to_vec(0x21, black_box(&payload));
+            let (kind, payload) = medsen_wire::decode_frame(&framed).expect("decodes");
+            black_box((kind, payload.len()));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    encode_requests,
+    decode_requests,
+    encode_responses,
+    decode_responses,
+    frame_primitives
+);
+criterion_main!(benches);

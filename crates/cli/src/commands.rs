@@ -362,6 +362,7 @@ pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
             "replicas",
             "uplink",
             "symbol-budget",
+            "wire",
         ]
         .contains(&name.as_str())
         {
@@ -400,6 +401,12 @@ pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
                 "--uplink got `{other}` (expected `retry` or `fountain`)"
             ))
         }
+    };
+    // `--wire json` switches the fleet to the JSON debug encoding; the
+    // default is the compact binary wire format.
+    let wire_format: medsen::wire::WireFormat = match options.get("wire") {
+        Some(value) => value.parse().map_err(|e| format!("--wire: {e}"))?,
+        None => medsen::wire::WireFormat::default(),
     };
     let budget_factor: Option<f64> = match options.get("symbol-budget") {
         Some(value) => {
@@ -538,7 +545,7 @@ pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
 
     // Enroll through the gateway itself.
     {
-        let mut admin = gateway.connect(SessionConfig::reliable());
+        let mut admin = gateway.connect(SessionConfig::reliable().with_wire(wire_format));
         for (user, count) in users {
             let response = admin
                 .enroll(
@@ -565,9 +572,9 @@ pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
                 Some(factor) => medsen_phone::SymbolBudget { factor, floor: 24 },
                 None => medsen_phone::SymbolBudget::for_drop_rate(flaky),
             };
-            SessionConfig::fountain(flaky, seed, budget)
+            SessionConfig::fountain(flaky, seed, budget).with_wire(wire_format)
         } else {
-            SessionConfig::flaky(flaky, seed)
+            SessionConfig::flaky(flaky, seed).with_wire(wire_format)
         }
     };
     let connected: Vec<_> = (0..sessions)
@@ -615,7 +622,7 @@ pub fn gateway(args: &[String], out: Out) -> Result<(), String> {
     }
     let uplink_label = if fountain_uplink { "fountain" } else { "retry" };
     wl(out, format!(
-        "fleet: {sessions} sessions via {workers} workers (queue depth {queue}, {:.0}% flaky uplink, {uplink_label} uplink, {runtime} runtime)",
+        "fleet: {sessions} sessions via {workers} workers (queue depth {queue}, {:.0}% flaky uplink, {uplink_label} uplink, {wire_format} wire, {runtime} runtime)",
         flaky * 100.0
     ));
     wl(
@@ -933,4 +940,109 @@ pub fn audit(args: &[String], out: Out) -> Result<(), String> {
     } else {
         Err("security audit FAILED (see scorecard above)".into())
     }
+}
+
+/// `wire-golden`: verify the checked-in golden wire frames against the
+/// deterministic fixture corpus — or, with `--write`, regenerate them.
+///
+/// Verification is the wire-format tripwire: each `<name>.bin` must
+/// decode (with the *built* binary decoder) to exactly the corpus value
+/// and re-encode to exactly the committed bytes, and each `<name>.json`
+/// sidecar must decode to the same value, proving the two formats stay
+/// observationally equivalent. Any codec change that shifts a byte
+/// fails here before it can silently strand deployed dongles.
+pub fn wire_golden(args: &[String], out: Out) -> Result<(), String> {
+    use medsen::wire::WireFormat;
+    use medsen_cloud::wire::{
+        decode_request, decode_response, encode_request, encode_response, golden,
+    };
+
+    let (positional, options) = split_options(args)?;
+    let [dir] = positional.as_slice() else {
+        return Err("wire-golden needs: <fixture-dir> [--write]".into());
+    };
+    for name in options.keys() {
+        if name != "write" {
+            return Err(format!("unknown option --{name}"));
+        }
+    }
+    let write = options.contains_key("write");
+    let dir = std::path::Path::new(dir);
+    if write {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    }
+
+    // One closure per side so the request and response corpora share the
+    // identical read/decode/re-encode discipline.
+    fn process<T: PartialEq + std::fmt::Debug>(
+        dir: &std::path::Path,
+        write: bool,
+        name: &str,
+        value: &T,
+        encode: impl Fn(WireFormat, &T) -> Result<Vec<u8>, String>,
+        decode: impl Fn(WireFormat, &[u8]) -> Result<T, String>,
+    ) -> Result<(), String> {
+        for (format, ext) in [(WireFormat::Binary, "bin"), (WireFormat::Json, "json")] {
+            let path = dir.join(format!("{name}.{ext}"));
+            let encoded = encode(format, value).map_err(|e| format!("{name}: encode: {e}"))?;
+            if write {
+                std::fs::write(&path, &encoded)
+                    .map_err(|e| format!("write {}: {e}", path.display()))?;
+                continue;
+            }
+            let committed = std::fs::read(&path).map_err(|e| {
+                format!("read {} (run with --write to create): {e}", path.display())
+            })?;
+            let decoded =
+                decode(format, &committed).map_err(|e| format!("{name}.{ext}: decode: {e}"))?;
+            if decoded != *value {
+                return Err(format!(
+                    "{name}.{ext}: decoded value drifted from the fixture corpus"
+                ));
+            }
+            // Byte-exactness only for the binary frames: JSON field order
+            // is the serializer's business, equality above is its check.
+            if format == WireFormat::Binary && committed != encoded {
+                return Err(format!(
+                    "{name}.{ext}: re-encoding produced different bytes ({} committed vs {} built) — binary wire format drifted",
+                    committed.len(),
+                    encoded.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    let mut count = 0usize;
+    for (name, request) in golden::requests() {
+        process(
+            dir,
+            write,
+            name,
+            &request,
+            |f, v| encode_request(f, v).map_err(|e| e.to_string()),
+            |f, b| decode_request(f, b).map_err(|e| e.to_string()),
+        )?;
+        count += 1;
+    }
+    for (name, response) in golden::responses() {
+        process(
+            dir,
+            write,
+            name,
+            &response,
+            |f, v| encode_response(f, v).map_err(|e| e.to_string()),
+            |f, b| decode_response(f, b).map_err(|e| e.to_string()),
+        )?;
+        count += 1;
+    }
+    let action = if write { "wrote" } else { "verified" };
+    wl(
+        out,
+        format!(
+            "golden frames: {action} {count} fixtures (binary + JSON) in {}",
+            dir.display()
+        ),
+    );
+    Ok(())
 }

@@ -32,6 +32,7 @@ COMMANDS:
               [--data-dir PATH] [--flush write|every:N|interval:MS]
               [--telemetry text|json|off] [--replicas]
               [--uplink retry|fountain] [--symbol-budget FACTOR]
+              [--wire binary|json]
                                                        serve a clinic fleet concurrently;
                                                        with --data-dir, persist through a
                                                        per-shard WAL and recover on restart;
@@ -44,7 +45,14 @@ COMMANDS:
                                                        --uplink fountain streams one-way
                                                        (ACK-free) fountain symbols instead of
                                                        retrying, with --symbol-budget coded
-                                                       symbols per source symbol (1.0..=64.0)
+                                                       symbols per source symbol (1.0..=64.0);
+                                                       --wire selects the request encoding
+                                                       (compact binary by default, json for
+                                                       debugging and legacy clients)
+    wire-golden <dir> [--write]                        verify the checked-in golden wire frames
+                                                       against the fixture corpus (byte-exact
+                                                       binary + JSON equivalence); --write
+                                                       regenerates them
     replica-status [--shards N] [--writes N] [--kill]  run a demo replicated pair, print its
                                                        shipping/lag/epoch status; with --kill,
                                                        crash the primary mid-run and show the
@@ -79,6 +87,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> ExitCode {
         "replica-status" => commands::replica_status(rest, out),
         "telemetry" => commands::telemetry(rest, out),
         "audit" => commands::audit(rest, out),
+        "wire-golden" => commands::wire_golden(rest, out),
         "help" | "--help" | "-h" => {
             let _ = writeln!(out, "{USAGE}");
             Ok(())
@@ -109,6 +118,7 @@ pub(crate) fn split_options(
                 || name == "replicas"
                 || name == "kill"
                 || name == "quick"
+                || name == "write"
             {
                 options.insert(name.to_owned(), "true".to_owned());
             } else {

@@ -4,6 +4,7 @@
 //! the absence of any key material, electrode identity, or plaintext count —
 //! the server can only ever hand back peak statistics.
 
+use medsen_wire::{Reader, Wire, WireError, Writer};
 use serde::{Deserialize, Serialize};
 
 /// One peak as analyzed by the server: timing, shape, and per-carrier
@@ -72,6 +73,42 @@ impl PeakReport {
                     .expect("finite carriers")
             })
             .map(|(i, _)| i)
+    }
+}
+
+impl Wire for AnalyzedPeak {
+    fn wire_encode(&self, w: &mut Writer) {
+        w.put_f64(self.time_s);
+        w.put_f64(self.amplitude);
+        w.put_f64(self.width_s);
+        self.features.wire_encode(w);
+    }
+    fn wire_decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(AnalyzedPeak {
+            time_s: r.get_f64()?,
+            amplitude: r.get_f64()?,
+            width_s: r.get_f64()?,
+            features: Vec::wire_decode(r)?,
+        })
+    }
+}
+
+impl Wire for PeakReport {
+    fn wire_encode(&self, w: &mut Writer) {
+        self.peaks.wire_encode(w);
+        self.carriers_hz.wire_encode(w);
+        w.put_f64(self.sample_rate_hz);
+        w.put_f64(self.duration_s);
+        w.put_f64(self.noise_sigma);
+    }
+    fn wire_decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(PeakReport {
+            peaks: Vec::wire_decode(r)?,
+            carriers_hz: Vec::wire_decode(r)?,
+            sample_rate_hz: r.get_f64()?,
+            duration_s: r.get_f64()?,
+            noise_sigma: r.get_f64()?,
+        })
     }
 }
 

@@ -12,6 +12,7 @@ use crate::api::PeakReport;
 use medsen_dsp::classify::Classifier;
 use medsen_dsp::features::FeatureVector;
 use medsen_microfluidics::ParticleKind;
+use medsen_wire::{Reader, Wire, WireError, Writer};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -124,6 +125,31 @@ impl BeadSignature {
     }
 }
 
+impl Wire for BeadSignature {
+    fn wire_encode(&self, w: &mut Writer) {
+        let len = u32::try_from(self.counts.len()).expect("bead-kind count fits u32");
+        w.put_u32(len);
+        for (&kind, &count) in &self.counts {
+            kind.wire_encode(w);
+            w.put_u64(count);
+        }
+    }
+    fn wire_decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let entries = r.get_count()?;
+        let mut counts = BTreeMap::new();
+        for _ in 0..entries {
+            let kind = ParticleKind::wire_decode(r)?;
+            // `set` panics on non-bead species; these bytes cross a trust
+            // boundary, so reject instead of asserting.
+            if !kind.is_password_bead() {
+                return Err(WireError::Invalid("non-bead species in bead signature"));
+            }
+            counts.insert(kind, r.get_u64()?);
+        }
+        Ok(Self { counts })
+    }
+}
+
 /// The server's authentication verdict.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AuthDecision {
@@ -140,6 +166,37 @@ pub enum AuthDecision {
         /// All matching users.
         candidates: Vec<String>,
     },
+}
+
+impl Wire for AuthDecision {
+    fn wire_encode(&self, w: &mut Writer) {
+        match self {
+            AuthDecision::Accepted { user_id } => {
+                w.put_u8(0);
+                user_id.wire_encode(w);
+            }
+            AuthDecision::Rejected => w.put_u8(1),
+            AuthDecision::Ambiguous { candidates } => {
+                w.put_u8(2);
+                candidates.wire_encode(w);
+            }
+        }
+    }
+    fn wire_decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(AuthDecision::Accepted {
+                user_id: String::wire_decode(r)?,
+            }),
+            1 => Ok(AuthDecision::Rejected),
+            2 => Ok(AuthDecision::Ambiguous {
+                candidates: Vec::wire_decode(r)?,
+            }),
+            tag => Err(WireError::BadTag {
+                what: "auth decision",
+                tag,
+            }),
+        }
+    }
 }
 
 /// Server-side enrollment database + authentication logic.

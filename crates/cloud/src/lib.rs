@@ -43,6 +43,7 @@ pub mod server;
 pub mod service;
 pub mod shard;
 pub mod storage;
+pub mod wire;
 
 pub use adversary::{
     AmplitudeGroupingAttack, AttackOutcome, BurstClusteringAttack, SignatureDistinguisher,
@@ -57,6 +58,10 @@ pub use server::AnalysisServer;
 pub use service::{CloudService, Request, Response, DEFAULT_SHARD_COUNT};
 pub use shard::{identity_hash, shard_index, EnrollJournal, ShardStats, ShardedAuth, MAX_SHARDS};
 pub use storage::{RecordId, RecordJournal, RecordStore, StoredRecord};
+pub use wire::{
+    decode_request, decode_response, encode_error, encode_request, encode_response,
+    reply_is_deposed, REQUEST_KIND, RESPONSE_KIND,
+};
 
 // Durability knobs come from medsen-store; re-exported so front-ends
 // (gateway, CLI) configure persistence without a direct dependency.

@@ -474,6 +474,21 @@ impl CloudService {
         medsen_phone_json::to_json(&response)
             .unwrap_or_else(|e| format!("{{\"Error\":{{\"reason\":\"encode failure: {e}\"}}}}"))
     }
+
+    /// Handles one encoded request body in the selected wire format,
+    /// returning the reply in the same format — the byte-level service
+    /// entry the gateway drives. Total: a malformed body becomes an
+    /// encoded `Error` reply, never a panic.
+    pub fn handle_wire_shared(&self, format: medsen_wire::WireFormat, body: &[u8]) -> Vec<u8> {
+        let response = match crate::wire::decode_request(format, body) {
+            Ok(request) => self.handle_shared(request),
+            Err(e) => Response::Error {
+                reason: format!("malformed request: {e}"),
+            },
+        };
+        crate::wire::encode_response(format, &response)
+            .unwrap_or_else(|e| crate::wire::encode_error(format, &format!("encode failure: {e}")))
+    }
 }
 
 impl Default for CloudService {

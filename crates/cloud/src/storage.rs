@@ -17,6 +17,7 @@
 use crate::api::PeakReport;
 use crate::auth::BeadSignature;
 use crate::shard::{shard_index, MAX_SHARDS};
+use medsen_wire::{Reader, Wire, WireError, Writer};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -90,6 +91,30 @@ pub struct StoredRecord {
     pub report: PeakReport,
     /// The bead signature recovered at submission time (integrity anchor).
     pub signature: BeadSignature,
+}
+
+impl Wire for RecordId {
+    fn wire_encode(&self, w: &mut Writer) {
+        w.put_u64(self.0);
+    }
+    fn wire_decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(RecordId(r.get_u64()?))
+    }
+}
+
+impl Wire for StoredRecord {
+    fn wire_encode(&self, w: &mut Writer) {
+        self.user_id.wire_encode(w);
+        self.report.wire_encode(w);
+        self.signature.wire_encode(w);
+    }
+    fn wire_decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(StoredRecord {
+            user_id: String::wire_decode(r)?,
+            report: PeakReport::wire_decode(r)?,
+            signature: BeadSignature::wire_decode(r)?,
+        })
+    }
 }
 
 /// Write-ahead hook for record mutations.

@@ -1,0 +1,477 @@
+//! Binary wire encodings for the cross-tier message types, plus the
+//! format-dispatch helpers every transport hop shares.
+//!
+//! [`Request`] and [`Response`] are the two root messages of the
+//! phone↔gateway↔cloud protocol. Their [`Wire`] impls live here (orphan
+//! rules put them next to the types, not in `medsen-wire`), each under a
+//! frozen frame kind tag; the per-field encodings of the payload types
+//! (traces, reports, signatures, records) live in their owning modules
+//! and crates.
+//!
+//! The free functions at the bottom are the one place the
+//! binary-vs-JSON choice is made: every encoder/decoder in the gateway
+//! and cloud goes through [`encode_request`]/[`decode_request`]/
+//! [`encode_response`]/[`decode_response`] with a [`WireFormat`], so no
+//! call site can hardcode a format and drift from its peer.
+
+use crate::service::{Request, Response};
+use medsen_phone::JsonWire;
+use medsen_wire::{
+    decode_message, encode_message, BinaryWire, Reader, Wire, WireCodec, WireError, WireFormat,
+    WireMessage, Writer, WIRE_VERSION,
+};
+
+/// Frame kind tag for [`Request`] messages. Frozen: chosen clear of the
+/// WAL entry kinds, the AOAP frame types (`0x10..=0x13`), and the
+/// fountain symbol magic (`0xF7`), so a misrouted buffer fails on its
+/// kind byte instead of half-decoding.
+pub const REQUEST_KIND: u8 = 0x21;
+
+/// Frame kind tag for [`Response`] messages.
+pub const RESPONSE_KIND: u8 = 0x22;
+
+/// Variant tags for [`Request`]. Frozen wire contract.
+const REQ_ANALYZE: u8 = 0;
+const REQ_ENROLL: u8 = 1;
+const REQ_FETCH: u8 = 2;
+const REQ_VERIFY_INTEGRITY: u8 = 3;
+const REQ_PING: u8 = 4;
+
+/// Variant tags for [`Response`]. Frozen wire contract.
+const RESP_ANALYZED: u8 = 0;
+const RESP_ENROLLED: u8 = 1;
+const RESP_RECORD: u8 = 2;
+const RESP_INTEGRITY: u8 = 3;
+const RESP_PONG: u8 = 4;
+const RESP_ERROR: u8 = 5;
+
+impl Wire for Request {
+    fn wire_encode(&self, w: &mut Writer) {
+        match self {
+            Request::Analyze {
+                trace,
+                authenticate,
+            } => {
+                w.put_u8(REQ_ANALYZE);
+                trace.wire_encode(w);
+                w.put_bool(*authenticate);
+            }
+            Request::Enroll {
+                identifier,
+                signature,
+            } => {
+                w.put_u8(REQ_ENROLL);
+                identifier.wire_encode(w);
+                signature.wire_encode(w);
+            }
+            Request::Fetch { record_id } => {
+                w.put_u8(REQ_FETCH);
+                record_id.wire_encode(w);
+            }
+            Request::VerifyIntegrity { record_id } => {
+                w.put_u8(REQ_VERIFY_INTEGRITY);
+                record_id.wire_encode(w);
+            }
+            Request::Ping => w.put_u8(REQ_PING),
+        }
+    }
+    fn wire_decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            REQ_ANALYZE => Ok(Request::Analyze {
+                trace: Wire::wire_decode(r)?,
+                authenticate: r.get_bool()?,
+            }),
+            REQ_ENROLL => Ok(Request::Enroll {
+                identifier: String::wire_decode(r)?,
+                signature: Wire::wire_decode(r)?,
+            }),
+            REQ_FETCH => Ok(Request::Fetch {
+                record_id: Wire::wire_decode(r)?,
+            }),
+            REQ_VERIFY_INTEGRITY => Ok(Request::VerifyIntegrity {
+                record_id: Wire::wire_decode(r)?,
+            }),
+            REQ_PING => Ok(Request::Ping),
+            tag => Err(WireError::BadTag {
+                what: "request",
+                tag,
+            }),
+        }
+    }
+}
+
+impl WireMessage for Request {
+    const KIND: u8 = REQUEST_KIND;
+}
+
+impl Wire for Response {
+    fn wire_encode(&self, w: &mut Writer) {
+        match self {
+            Response::Analyzed {
+                report,
+                auth,
+                stored_as,
+            } => {
+                w.put_u8(RESP_ANALYZED);
+                report.wire_encode(w);
+                auth.wire_encode(w);
+                stored_as.wire_encode(w);
+            }
+            Response::Enrolled => w.put_u8(RESP_ENROLLED),
+            Response::Record(record) => {
+                w.put_u8(RESP_RECORD);
+                record.wire_encode(w);
+            }
+            Response::Integrity { intact } => {
+                w.put_u8(RESP_INTEGRITY);
+                w.put_bool(*intact);
+            }
+            Response::Pong => w.put_u8(RESP_PONG),
+            Response::Error { reason } => {
+                w.put_u8(RESP_ERROR);
+                reason.wire_encode(w);
+            }
+        }
+    }
+    fn wire_decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            RESP_ANALYZED => Ok(Response::Analyzed {
+                report: Wire::wire_decode(r)?,
+                auth: Option::wire_decode(r)?,
+                stored_as: Option::wire_decode(r)?,
+            }),
+            RESP_ENROLLED => Ok(Response::Enrolled),
+            RESP_RECORD => Ok(Response::Record(Wire::wire_decode(r)?)),
+            RESP_INTEGRITY => Ok(Response::Integrity {
+                intact: r.get_bool()?,
+            }),
+            RESP_PONG => Ok(Response::Pong),
+            RESP_ERROR => Ok(Response::Error {
+                reason: String::wire_decode(r)?,
+            }),
+            tag => Err(WireError::BadTag {
+                what: "response",
+                tag,
+            }),
+        }
+    }
+}
+
+impl WireMessage for Response {
+    const KIND: u8 = RESPONSE_KIND;
+}
+
+/// Encodes a [`Request`] body in the selected format.
+pub fn encode_request(format: WireFormat, request: &Request) -> Result<Vec<u8>, WireError> {
+    match format {
+        WireFormat::Binary => BinaryWire.encode(request),
+        WireFormat::Json => JsonWire.encode(request),
+    }
+}
+
+/// Decodes a [`Request`] body in the selected format. Total: malformed
+/// bytes return an error, never panic.
+pub fn decode_request(format: WireFormat, bytes: &[u8]) -> Result<Request, WireError> {
+    match format {
+        WireFormat::Binary => BinaryWire.decode(bytes),
+        WireFormat::Json => JsonWire.decode(bytes),
+    }
+}
+
+/// Encodes a [`Response`] body in the selected format.
+pub fn encode_response(format: WireFormat, response: &Response) -> Result<Vec<u8>, WireError> {
+    match format {
+        WireFormat::Binary => BinaryWire.encode(response),
+        WireFormat::Json => JsonWire.encode(response),
+    }
+}
+
+/// Decodes a [`Response`] body in the selected format.
+pub fn decode_response(format: WireFormat, bytes: &[u8]) -> Result<Response, WireError> {
+    match format {
+        WireFormat::Binary => BinaryWire.decode(bytes),
+        WireFormat::Json => JsonWire.decode(bytes),
+    }
+}
+
+/// Encodes an error reply in the selected format. Infallible by design:
+/// the gateway's reply channel must never starve because an *error*
+/// could not be encoded.
+pub fn encode_error(format: WireFormat, reason: &str) -> Vec<u8> {
+    let response = Response::Error {
+        reason: reason.to_string(),
+    };
+    encode_response(format, &response)
+        .unwrap_or_else(|_| b"{\"Error\":{\"reason\":\"reply encoding failed\"}}".to_vec())
+}
+
+/// Whether an encoded reply is the standby's "node deposed" fencing
+/// error, which tells the gateway to re-route to the promoted primary.
+///
+/// This runs on *every* reply on the submit path, so the binary arm
+/// peeks the variant tag behind the version byte and only pays for a
+/// full decode when the reply really is an error frame.
+pub fn reply_is_deposed(format: WireFormat, bytes: &[u8]) -> bool {
+    let deposed = |reason: &str| reason.contains("node deposed");
+    match format {
+        WireFormat::Json => std::str::from_utf8(bytes).is_ok_and(deposed),
+        WireFormat::Binary => match medsen_wire::decode_frame(bytes) {
+            Ok((RESPONSE_KIND, payload))
+                if payload.first() == Some(&WIRE_VERSION)
+                    && payload.get(1) == Some(&RESP_ERROR) =>
+            {
+                matches!(
+                    decode_response(WireFormat::Binary, bytes),
+                    Ok(Response::Error { reason }) if deposed(&reason)
+                )
+            }
+            _ => false,
+        },
+    }
+}
+
+/// Binary convenience used by tests and fixtures: one framed request.
+pub fn request_to_bytes(request: &Request) -> Vec<u8> {
+    encode_message(request)
+}
+
+/// Binary convenience used by tests and fixtures: one framed response.
+pub fn response_to_bytes(response: &Response) -> Vec<u8> {
+    encode_message(response)
+}
+
+/// Binary convenience: decodes one framed request.
+pub fn request_from_bytes(bytes: &[u8]) -> Result<Request, WireError> {
+    decode_message(bytes)
+}
+
+/// Binary convenience: decodes one framed response.
+pub fn response_from_bytes(bytes: &[u8]) -> Result<Response, WireError> {
+    decode_message(bytes)
+}
+
+/// The deterministic fixture corpus behind the checked-in golden frames.
+///
+/// Every value is built from fixed literal data, so re-encoding it must
+/// reproduce the committed `tests/golden/*.bin` bytes byte-for-byte —
+/// that is the CI tripwire against silent wire-format drift. The corpus
+/// covers every [`Request`] and [`Response`] variant, including
+/// non-ASCII identifiers and the deposed-node error the failover path
+/// string-matches on.
+pub mod golden {
+    use super::{Request, Response};
+    use crate::api::{AnalyzedPeak, PeakReport};
+    use crate::auth::{AuthDecision, BeadSignature};
+    use crate::storage::{RecordId, StoredRecord};
+    use medsen_impedance::{Channel, SignalComponent, SignalTrace};
+    use medsen_microfluidics::ParticleKind;
+    use medsen_units::Hertz;
+
+    /// A small two-channel trace with fixed literal samples.
+    pub fn trace() -> SignalTrace {
+        let mut ch = Channel::new(Hertz::from_khz(500.0));
+        ch.samples = vec![1.0, 0.97, 0.99];
+        let mut quad = Channel::new(Hertz::from_khz(2000.0));
+        quad.samples = vec![0.01, 0.02, 0.015];
+        quad.component = SignalComponent::Quadrature;
+        SignalTrace::new(Hertz::new(450.0), vec![ch, quad])
+    }
+
+    /// A one-peak analysis report with fixed literal statistics.
+    pub fn report() -> PeakReport {
+        PeakReport {
+            peaks: vec![AnalyzedPeak {
+                time_s: 0.5,
+                amplitude: 0.03,
+                width_s: 0.002,
+                features: vec![0.03, 0.01],
+            }],
+            carriers_hz: vec![500_000.0, 2_000_000.0],
+            sample_rate_hz: 450.0,
+            duration_s: 2.0,
+            noise_sigma: 0.001,
+        }
+    }
+
+    /// One named fixture per [`Request`] variant.
+    pub fn requests() -> Vec<(&'static str, Request)> {
+        vec![
+            (
+                "req_analyze",
+                Request::Analyze {
+                    trace: trace(),
+                    authenticate: true,
+                },
+            ),
+            (
+                "req_enroll",
+                Request::Enroll {
+                    identifier: "patient-α".into(),
+                    signature: BeadSignature::from_counts(&[
+                        (ParticleKind::Bead358, 40),
+                        (ParticleKind::Bead78, 12),
+                    ]),
+                },
+            ),
+            (
+                "req_fetch",
+                Request::Fetch {
+                    record_id: RecordId::compose(3, 8, 77),
+                },
+            ),
+            (
+                "req_verify",
+                Request::VerifyIntegrity {
+                    record_id: RecordId(u64::MAX >> 1),
+                },
+            ),
+            ("req_ping", Request::Ping),
+        ]
+    }
+
+    /// One named fixture per [`Response`] variant (two for `Analyzed`,
+    /// covering both the accepted and the ambiguous auth arms).
+    pub fn responses() -> Vec<(&'static str, Response)> {
+        vec![
+            (
+                "resp_analyzed_accepted",
+                Response::Analyzed {
+                    report: report(),
+                    auth: Some(AuthDecision::Accepted {
+                        user_id: "patient-α".into(),
+                    }),
+                    stored_as: Some(RecordId::compose(0, 1, 0)),
+                },
+            ),
+            (
+                "resp_analyzed_ambiguous",
+                Response::Analyzed {
+                    report: report(),
+                    auth: Some(AuthDecision::Ambiguous {
+                        candidates: vec!["a".into(), "b".into()],
+                    }),
+                    stored_as: None,
+                },
+            ),
+            ("resp_enrolled", Response::Enrolled),
+            (
+                "resp_record",
+                Response::Record(StoredRecord {
+                    user_id: "patient-α".into(),
+                    report: report(),
+                    signature: BeadSignature::from_counts(&[(ParticleKind::Bead78, 9)]),
+                }),
+            ),
+            ("resp_integrity", Response::Integrity { intact: false }),
+            ("resp_pong", Response::Pong),
+            (
+                "resp_error_deposed",
+                Response::Error {
+                    reason: "node deposed: a newer epoch is serving".into(),
+                },
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> medsen_impedance::SignalTrace {
+        golden::trace()
+    }
+
+    fn every_request() -> Vec<Request> {
+        golden::requests().into_iter().map(|(_, r)| r).collect()
+    }
+
+    fn every_response() -> Vec<Response> {
+        golden::responses().into_iter().map(|(_, r)| r).collect()
+    }
+
+    #[test]
+    fn every_request_round_trips_in_both_formats() {
+        for request in every_request() {
+            for format in [WireFormat::Binary, WireFormat::Json] {
+                let bytes = encode_request(format, &request).expect("encodes");
+                let back = decode_request(format, &bytes).expect("decodes");
+                assert_eq!(back, request, "{format}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_response_round_trips_in_both_formats() {
+        for response in every_response() {
+            for format in [WireFormat::Binary, WireFormat::Json] {
+                let bytes = encode_response(format, &response).expect("encodes");
+                let back = decode_response(format, &bytes).expect("decodes");
+                assert_eq!(back, response, "{format}");
+            }
+        }
+    }
+
+    #[test]
+    fn request_and_response_kinds_do_not_cross_decode() {
+        let req_bytes = request_to_bytes(&Request::Ping);
+        assert!(matches!(
+            response_from_bytes(&req_bytes),
+            Err(WireError::WrongKind { .. })
+        ));
+        let resp_bytes = response_to_bytes(&Response::Pong);
+        assert!(matches!(
+            request_from_bytes(&resp_bytes),
+            Err(WireError::WrongKind { .. })
+        ));
+    }
+
+    #[test]
+    fn deposed_detection_works_in_both_formats() {
+        let deposed = Response::Error {
+            reason: "node deposed: a newer epoch is serving".into(),
+        };
+        let healthy = Response::Pong;
+        let plain_error = Response::Error {
+            reason: "trace has no channels".into(),
+        };
+        for format in [WireFormat::Binary, WireFormat::Json] {
+            let bytes = encode_response(format, &deposed).expect("encodes");
+            assert!(reply_is_deposed(format, &bytes), "{format}");
+            let bytes = encode_response(format, &healthy).expect("encodes");
+            assert!(!reply_is_deposed(format, &bytes), "{format}");
+            let bytes = encode_response(format, &plain_error).expect("encodes");
+            assert!(!reply_is_deposed(format, &bytes), "{format}");
+        }
+        // Garbage is not deposed either.
+        assert!(!reply_is_deposed(WireFormat::Binary, b"junk"));
+        assert!(!reply_is_deposed(WireFormat::Json, &[0xFF, 0xFE]));
+    }
+
+    #[test]
+    fn error_reply_encoding_is_infallible_and_decodable() {
+        for format in [WireFormat::Binary, WireFormat::Json] {
+            let bytes = encode_error(format, "queue full");
+            match decode_response(format, &bytes).expect("decodes") {
+                Response::Error { reason } => assert_eq!(reason, "queue full"),
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn binary_bodies_are_much_smaller_than_json() {
+        let request = Request::Analyze {
+            trace: sample_trace(),
+            authenticate: false,
+        };
+        let json = encode_request(WireFormat::Json, &request).expect("json");
+        let binary = encode_request(WireFormat::Binary, &request).expect("binary");
+        assert!(
+            binary.len() < json.len(),
+            "binary ({}) should undercut JSON ({})",
+            binary.len(),
+            json.len()
+        );
+    }
+}

@@ -119,38 +119,10 @@ impl std::error::Error for CredentialDecodeError {}
 /// Version byte leading every encoded credential.
 pub const CREDENTIAL_FORMAT_VERSION: u8 = 1;
 
-// CRC32 (IEEE, reflected) over the header + payload. `medsen-store` frames
-// its WAL with the same polynomial, but core sits below store in the crate
-// graph, so the 1 KiB table lives here rather than inverting the layering.
-const fn crc32_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-            k += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-}
-
-static CRC32_TABLE: [u32; 256] = crc32_table();
-
-fn crc32(bytes: &[u8]) -> u32 {
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        c = CRC32_TABLE[usize::from((c ^ u32::from(b)) as u8)] ^ (c >> 8);
-    }
-    !c
-}
+// CRC32 (IEEE, reflected) over the header + payload — the workspace's
+// single implementation in `medsen-wire`, shared with the WAL frames and
+// the cross-tier message envelope so the three checksums cannot drift.
+use medsen_wire::crc32;
 
 /// The password alphabet: which bead types exist and how concentration
 /// levels map to physical doses.

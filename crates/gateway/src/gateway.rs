@@ -1,10 +1,11 @@
 //! The bounded work-queue executor behind the gateway.
 //!
 //! [`Gateway`] fronts one shared [`CloudService`] with a bounded queue
-//! and a pool of workers. Sessions submit framed uploads; a worker
-//! reassembles each upload, drives the service through
-//! [`CloudService::handle_json_shared`], and posts the JSON response back
-//! on a per-request reply channel ([`PendingReply`]).
+//! and a pool of workers. Sessions submit framed uploads tagged with a
+//! [`WireFormat`]; a worker reassembles each upload, drives the service
+//! through [`CloudService::handle_wire_shared`] in that format, and
+//! posts the encoded response back on a per-request reply channel
+//! ([`PendingReply`]).
 //!
 //! The queue is split into **lanes** aligned with the cloud tier's
 //! identifier-hash shards: `lanes = shards.min(workers).max(1)`, each
@@ -51,6 +52,7 @@ use medsen_telemetry::{
     SlowTrace, SpanRecorder, Stage, TraceId, DEFAULT_EXEMPLARS, DEFAULT_RING_CAPACITY,
 };
 use medsen_units::Seconds;
+use medsen_wire::WireFormat;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -368,7 +370,8 @@ impl From<FountainIngestError> for SymbolSubmitError {
 pub enum ReplyError {
     /// The gateway shut down before serving the request.
     Lost,
-    /// The worker's response was not decodable JSON.
+    /// The worker's response was not decodable in the reply's wire
+    /// format.
     Malformed {
         /// Decoder diagnostics.
         reason: String,
@@ -389,19 +392,30 @@ impl std::error::Error for ReplyError {}
 /// A handle to one in-flight request's eventual response.
 #[derive(Debug)]
 pub struct PendingReply {
-    rx: Receiver<String>,
+    rx: Receiver<Vec<u8>>,
+    /// The wire format the reply is encoded in — peeked off the upload
+    /// header at submit time, so `wait` knows which decoder to run
+    /// without sniffing bytes.
+    format: WireFormat,
 }
 
 impl PendingReply {
-    /// Blocks until the worker replies, returning the raw response JSON.
-    pub fn wait_raw(self) -> Result<String, ReplyError> {
+    /// Blocks until the worker replies, returning the raw response bytes
+    /// (JSON text or a binary wire frame, per [`PendingReply::format`]).
+    pub fn wait_raw(self) -> Result<Vec<u8>, ReplyError> {
         self.rx.recv().map_err(|_| ReplyError::Lost)
+    }
+
+    /// The wire format the reply will arrive in.
+    pub fn format(&self) -> WireFormat {
+        self.format
     }
 
     /// Blocks until the worker replies and decodes the [`Response`].
     pub fn wait(self) -> Result<Response, ReplyError> {
-        let json = self.wait_raw()?;
-        medsen_phone::from_json(&json).map_err(|e| ReplyError::Malformed {
+        let format = self.format;
+        let bytes = self.wait_raw()?;
+        medsen_cloud::wire::decode_response(format, &bytes).map_err(|e| ReplyError::Malformed {
             reason: e.to_string(),
         })
     }
@@ -454,7 +468,7 @@ impl ServiceRoute {
 
 struct WorkItem {
     upload: Vec<u8>,
-    reply: Sender<String>,
+    reply: Sender<Vec<u8>>,
     /// When the submitter entered `submit_keyed` — the start of the
     /// request's end-to-end latency (exemplar total).
     admitted: Instant,
@@ -958,6 +972,11 @@ impl Gateway {
             return Err(SubmitError::Closed { upload });
         }
         let lane = (route_key % self.lane_count() as u64) as usize;
+        // Remember the upload's wire format so `wait` runs the matching
+        // decoder. An upload too mangled to peek falls back to JSON —
+        // the same fallback the worker's error path uses, so the reply
+        // and the handle always agree on the encoding.
+        let format = wire::peek_format(&upload).unwrap_or(WireFormat::Json);
         let (reply_tx, reply_rx) = bounded(1);
         let item = WorkItem {
             upload,
@@ -1033,7 +1052,10 @@ impl Gateway {
                 Instant::now(),
             );
         }
-        Ok(PendingReply { rx: reply_rx })
+        Ok(PendingReply {
+            rx: reply_rx,
+            format,
+        })
     }
 
     /// Installs (or replaces) the per-session token-bucket rate limit.
@@ -1177,8 +1199,9 @@ impl Gateway {
         }
     }
 
-    /// Decompresses a completed fountain block, reconstructs the framed
-    /// upload, and pushes it into the queue with a bounded paced
+    /// Decompresses a completed fountain block — which carries the full
+    /// framed upload, wire-format tag and all — derives the route key,
+    /// and pushes the upload into the queue with a bounded paced
     /// shed-retry loop (the phone has no downlink, so the gateway does
     /// the retrying a two-way session would do itself).
     fn dispatch_reassembled(
@@ -1188,19 +1211,22 @@ impl Gateway {
         trace: Option<ActiveTrace>,
     ) -> Result<PendingReply, SymbolSubmitError> {
         let corrupt = |detail: String| SymbolSubmitError::CorruptUpload { session_id, detail };
-        let body =
+        // The fountain block carries the *complete framed upload* the
+        // session would have submitted over a two-way link, so one-way
+        // traffic rides the same format-tagged ingest path as everything
+        // else. Decode it here only to derive the route key.
+        let mut upload =
             medsen_phone::decompress(block).map_err(|e| corrupt(format!("decompress: {e}")))?;
-        let body =
-            String::from_utf8(body).map_err(|_| corrupt("body is not valid UTF-8".to_string()))?;
+        let (_, format, body) =
+            wire::decode_upload(&upload).map_err(|e| corrupt(format!("upload: {e}")))?;
         // Reassembled enrollments route by the identifier's shard hash,
         // exactly like two-way submissions; anything else (including a
         // body the worker will reject anyway) routes by session id.
-        let route_key = match medsen_phone::from_json::<Request>(&body) {
+        let route_key = match medsen_cloud::wire::decode_request(format, &body) {
             Ok(Request::Enroll { ref identifier, .. }) => medsen_cloud::identity_hash(identifier),
             Ok(_) => session_id,
-            Err(e) => return Err(corrupt(format!("request JSON: {e}"))),
+            Err(e) => return Err(corrupt(format!("request decode: {e}"))),
         };
-        let mut upload = wire::encode_upload(session_id, &body);
         let mut last_hint = Seconds::ZERO;
         for _ in 0..DISPATCH_ATTEMPTS {
             match self.submit_traced(upload, route_key, trace.clone()) {
@@ -1343,22 +1369,28 @@ fn handle_item(
         medsen_telemetry::install(trace)
     });
     let started = Instant::now();
-    let response_json = match wire::decode_upload(&item.upload) {
-        Ok((_session_id, body)) => {
+    let response = match wire::decode_upload(&item.upload) {
+        Ok((_session_id, format, body)) => {
             let service = route.serving();
-            let mut json = service.handle_json_shared(&body);
+            let mut bytes = service.handle_wire_shared(format, &body);
             // Failover on error: the node was deposed between the routing
             // decision and the dispatch (a fenced node refuses everything
             // and applied nothing, so the retry is safe). The next
             // `serving()` call observes the fence and promotes.
-            if service.is_fenced() && json.contains("node deposed") {
+            if service.is_fenced() && medsen_cloud::wire::reply_is_deposed(format, &bytes) {
                 if let Some(pair) = route.replicas() {
-                    json = pair.serving().handle_json_shared(&body);
+                    bytes = pair.serving().handle_wire_shared(format, &body);
                 }
             }
-            json
+            bytes
         }
-        Err(e) => error_json(&format!("malformed upload: {e}")),
+        Err(e) => {
+            // An undecodable upload still gets a well-formed refusal, in
+            // whatever format its header claimed (JSON when even the
+            // header is gone — matching the submit-side peek fallback).
+            let format = wire::peek_format(&item.upload).unwrap_or(WireFormat::Json);
+            medsen_cloud::wire::encode_error(format, &format!("malformed upload: {e}"))
+        }
     };
     let finished = Instant::now();
     metrics
@@ -1374,7 +1406,7 @@ fn handle_item(
         tracing.exemplars.offer(trace.id, total_ns);
     }
     // A session that gave up on the reply is not an error.
-    let _ = item.reply.send(response_json);
+    let _ = item.reply.send(response);
 }
 
 fn worker_loop(
@@ -1416,13 +1448,6 @@ async fn worker_task(
     }
 }
 
-fn error_json(reason: &str) -> String {
-    medsen_phone::to_json(&Response::Error {
-        reason: reason.into(),
-    })
-    .unwrap_or_else(|_| "{\"Error\":{\"reason\":\"encode failure\"}}".to_string())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1431,6 +1456,12 @@ mod tests {
     fn ping_upload(session: u64) -> Vec<u8> {
         let json = medsen_phone::to_json(&Request::Ping).expect("encodes");
         wire::encode_upload(session, &json)
+    }
+
+    fn ping_upload_binary(session: u64) -> Vec<u8> {
+        let body = medsen_cloud::wire::encode_request(WireFormat::Binary, &Request::Ping)
+            .expect("encodes");
+        wire::encode_upload_wire(session, WireFormat::Binary, &body)
     }
 
     fn engines() -> [RuntimeKind; 2] {
@@ -1471,6 +1502,26 @@ mod tests {
             assert_eq!(m.accepted, 1, "{kind}");
             assert_eq!(m.completed, 1, "{kind}");
             assert_eq!(m.lost(), 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn serves_a_binary_ping_through_the_pool() {
+        for kind in engines() {
+            let gw = Gateway::with_runtime(
+                CloudService::new(),
+                GatewayConfig {
+                    queue_capacity: 4,
+                    workers: 2,
+                    shed_policy: ShedPolicy::Block,
+                },
+                kind,
+            );
+            let reply = gw.submit(ping_upload_binary(1)).expect("accepted");
+            assert_eq!(reply.format(), WireFormat::Binary);
+            assert_eq!(reply.wait().expect("reply"), Response::Pong);
+            let m = gw.shutdown();
+            assert_eq!(m.completed, 1, "{kind}");
         }
     }
 
@@ -2125,10 +2176,9 @@ mod tests {
                 },
                 kind,
             );
-            let body = medsen_phone::to_json(&Request::Ping).expect("encodes");
             let session = 41;
             let upload = OneWayUploader::default()
-                .encode(session, &body)
+                .encode(session, &ping_upload(session))
                 .expect("encodes");
             let mut reply = None;
             // Feed every third symbol — any sufficient subset decodes.
@@ -2182,9 +2232,8 @@ mod tests {
                 shed_policy: ShedPolicy::Block,
             },
         );
-        let body = medsen_phone::to_json(&Request::Ping).expect("encodes");
         let upload = medsen_phone::OneWayUploader::default()
-            .encode(11, &body)
+            .encode(11, &ping_upload(11))
             .expect("encodes");
         let mut completed = false;
         for wire in &upload.frames {
@@ -2220,9 +2269,8 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(gw.telemetry_text().contains("fountain.symbols_rejected 1"));
-        let body = medsen_phone::to_json(&Request::Ping).expect("encodes");
         let upload = medsen_phone::OneWayUploader::default()
-            .encode(12, &body)
+            .encode(12, &ping_upload(12))
             .expect("encodes");
         gw.drain();
         match gw.ingest_symbol(&upload.frames[0]) {

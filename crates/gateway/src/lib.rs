@@ -10,7 +10,9 @@
 //! * [`Gateway`] (`gateway` module) — a bounded work queue in front of a
 //!   worker pool, each worker driving the shared
 //!   [`CloudService`](medsen_cloud::service::CloudService) through its
-//!   thread-safe `handle_json_shared` entry point. When the queue fills,
+//!   thread-safe `handle_wire_shared` entry point in whichever
+//!   [`WireFormat`](medsen_wire::WireFormat) the upload's header names
+//!   (compact binary by default, JSON for debugging). When the queue fills,
 //!   an explicit [`ShedPolicy`] either blocks the submitter or rejects
 //!   with a retry-after hint. Two engines implement the pool, selected by
 //!   [`RuntimeKind`]: worker *tasks* on the `medsen-runtime` async
@@ -75,4 +77,4 @@ pub use session::{
     DongleSession, RetryPolicy, SessionConfig, SessionError, SessionReport, SessionState,
     SessionStats, UplinkMode,
 };
-pub use wire::{decode_upload, encode_upload, UploadError};
+pub use wire::{decode_upload, encode_upload, encode_upload_wire, peek_format, UploadError};

@@ -1,8 +1,10 @@
 //! Per-dongle session lifecycle: connect → stream → drain → close.
 //!
 //! A [`DongleSession`] models one point-of-care dongle+phone pair talking
-//! to the clinic gateway. Each request is JSON-encoded, framed by
-//! [`crate::wire`], and pushed across a simulated phone uplink
+//! to the clinic gateway. Each request is encoded in the session's
+//! [`WireFormat`] (compact binary by default, JSON for debugging and
+//! legacy clients), framed by [`crate::wire`], and pushed across a
+//! simulated phone uplink
 //! ([`NetworkLink`]) that can be made flaky; transmission failures retry
 //! with exponential backoff, and backpressure sheds retry after the
 //! gateway's hint — all against a per-request **simulated** deadline, so
@@ -16,6 +18,7 @@ use medsen_cloud::service::{Request, Response};
 use medsen_impedance::SignalTrace;
 use medsen_phone::{LinkError, NetworkLink, OneWayUploader, SymbolBudget};
 use medsen_units::Seconds;
+use medsen_wire::WireFormat;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 use std::fmt;
@@ -85,6 +88,10 @@ pub struct SessionConfig {
     pub retry: RetryPolicy,
     /// Two-way retry or one-way fountain streaming.
     pub uplink: UplinkMode,
+    /// How request bodies are encoded on the wire: compact binary
+    /// (default) or JSON for debugging and legacy clients. The gateway
+    /// replies in kind.
+    pub wire: WireFormat,
 }
 
 impl SessionConfig {
@@ -97,7 +104,13 @@ impl SessionConfig {
             deadline: Seconds::new(600.0),
             retry: RetryPolicy::paper_default(),
             uplink: UplinkMode::Retry,
+            wire: WireFormat::Binary,
         }
+    }
+
+    /// The same configuration with an explicit wire format.
+    pub fn with_wire(self, wire: WireFormat) -> Self {
+        Self { wire, ..self }
     }
 
     /// A flaky uplink: each transmission attempt fails with probability
@@ -138,7 +151,7 @@ pub enum SessionState {
 pub enum SessionError {
     /// The session's link cannot model a transfer at all.
     Link(LinkError),
-    /// The request could not be JSON-encoded.
+    /// The request could not be encoded in the session's wire format.
     Encode {
         /// Encoder diagnostics.
         reason: String,
@@ -367,12 +380,15 @@ impl<'g> DongleSession<'g> {
         if self.state == SessionState::Closed {
             return Err(SessionError::SessionClosed);
         }
-        let body = medsen_phone::to_json(request).map_err(|e| SessionError::Encode {
-            reason: e.to_string(),
+        let body = medsen_cloud::wire::encode_request(self.config.wire, request).map_err(|e| {
+            SessionError::Encode {
+                reason: e.to_string(),
+            }
         })?;
+        let upload = crate::wire::encode_upload_wire(self.id, self.config.wire, &body);
         match self.config.uplink {
-            UplinkMode::Retry => self.transmit_retry(request, &body),
-            UplinkMode::Fountain { budget } => self.transmit_fountain(&body, budget),
+            UplinkMode::Retry => self.transmit_retry(request, upload),
+            UplinkMode::Fountain { budget } => self.transmit_fountain(&upload, budget),
         }
     }
 
@@ -381,9 +397,8 @@ impl<'g> DongleSession<'g> {
     fn transmit_retry(
         &mut self,
         request: &Request,
-        body: &str,
+        mut upload: Vec<u8>,
     ) -> Result<PendingReply, SessionError> {
-        let mut upload = crate::wire::encode_upload(self.id, body);
         // Enrollments route by the identifier's shard hash so writes to
         // the same auth shard queue on the same lane (with lanes == shards
         // each lane's worker group owns one shard's write lock); all other
@@ -467,22 +482,23 @@ impl<'g> DongleSession<'g> {
         }
     }
 
-    /// The one-way path: compress + fountain-encode the body, then push
-    /// each coded symbol across the link exactly once. A dropped symbol
-    /// is gone — there is no ACK to miss and no retry. The stream ends
-    /// when the gateway reports the block complete or the budget runs
-    /// out. (A real diode phone emits its whole budget blind; stopping
-    /// at completion is an in-process shortcut that changes test time,
-    /// not semantics — the gateway treats stragglers as redundant.)
+    /// The one-way path: compress + fountain-encode the complete framed
+    /// upload, then push each coded symbol across the link exactly once.
+    /// A dropped symbol is gone — there is no ACK to miss and no retry.
+    /// The stream ends when the gateway reports the block complete or
+    /// the budget runs out. (A real diode phone emits its whole budget
+    /// blind; stopping at completion is an in-process shortcut that
+    /// changes test time, not semantics — the gateway treats stragglers
+    /// as redundant.)
     fn transmit_fountain(
         &mut self,
-        body: &str,
+        framed: &[u8],
         budget: SymbolBudget,
     ) -> Result<PendingReply, SessionError> {
         let seq = self.upload_seq;
         self.upload_seq += 1;
         let upload = OneWayUploader::with_budget(budget)
-            .encode_numbered(self.id, seq, body)
+            .encode_numbered(self.id, seq, framed)
             .map_err(|e| SessionError::Encode {
                 reason: e.to_string(),
             })?;
@@ -689,6 +705,20 @@ mod tests {
         let report = session.close().expect("closes clean");
         assert_eq!(report.stats.requests, 0);
         assert!(report.responses.is_empty());
+        gw.shutdown();
+    }
+
+    #[test]
+    fn json_wire_sessions_round_trip_like_binary() {
+        let gw = gateway(1, 8);
+        for format in [WireFormat::Binary, WireFormat::Json] {
+            let mut session = gw.connect(SessionConfig::reliable().with_wire(format));
+            assert_eq!(
+                session.request(&Request::Ping).expect("pong"),
+                Response::Pong,
+                "{format}"
+            );
+        }
         gw.shutdown();
     }
 

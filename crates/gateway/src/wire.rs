@@ -4,15 +4,20 @@
 //! (the same [`medsen_phone::frame`] encoding the accessory link uses):
 //!
 //! ```text
-//! StartTest  { session_id: u64 BE, body_len: u32 BE }
+//! StartTest  { session_id: u64 BE, body_len: u32 BE, format: u8 }
 //! DataChunk  { body bytes ... }          (repeated)
 //! ```
 //!
 //! The `StartTest` header declares exactly how many body bytes follow, so
 //! the gateway can reassemble without an end-of-stream sentinel and can
-//! reject short or oversized uploads before touching the JSON layer.
+//! reject short or oversized uploads before touching the codec layer.
+//! The trailing `format` byte is the [`WireFormat`] tag: it names the
+//! encoding of the body (binary frame or JSON text), so one gateway can
+//! serve a mixed fleet of binary-speaking dongles and JSON debug clients
+//! on the same ingest path.
 
 use medsen_phone::frame::{chunk_data, Frame, FrameError, MessageType};
+use medsen_wire::WireFormat;
 use std::fmt;
 
 /// Frame payload cap per chunk — small enough to exercise reassembly in
@@ -21,6 +26,10 @@ pub const CHUNK_SIZE: usize = 4096;
 
 /// Hard cap on a declared upload body, guarding the reassembly buffer.
 pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// Size of the `StartTest` header payload: session id + body length +
+/// wire-format tag.
+pub const HEADER_BYTES: usize = 13;
 
 /// Why an upload could not be reassembled.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,6 +40,11 @@ pub enum UploadError {
     MissingHeader,
     /// The header payload had the wrong size.
     MalformedHeader,
+    /// The header's wire-format tag named no known encoding.
+    UnknownFormat {
+        /// The unrecognized format byte.
+        tag: u8,
+    },
     /// The declared body length exceeds [`MAX_BODY_BYTES`].
     BodyTooLarge {
         /// Declared body length in bytes.
@@ -58,7 +72,7 @@ pub enum UploadError {
         /// Unconsumed bytes after the final body chunk.
         trailing: usize,
     },
-    /// The request body was not valid UTF-8 JSON.
+    /// A JSON-format request body was not valid UTF-8.
     BodyNotUtf8,
 }
 
@@ -68,6 +82,9 @@ impl fmt::Display for UploadError {
             UploadError::Frame(e) => write!(f, "frame error: {e:?}"),
             UploadError::MissingHeader => write!(f, "upload does not start with a StartTest frame"),
             UploadError::MalformedHeader => write!(f, "StartTest header has the wrong size"),
+            UploadError::UnknownFormat { tag } => {
+                write!(f, "unknown wire-format tag {tag:#04x} in upload header")
+            }
             UploadError::BodyTooLarge { declared } => {
                 write!(
                     f,
@@ -89,7 +106,7 @@ impl fmt::Display for UploadError {
             UploadError::TrailingData { trailing } => {
                 write!(f, "{trailing} bytes of trailing data after the body")
             }
-            UploadError::BodyNotUtf8 => write!(f, "request body is not valid UTF-8"),
+            UploadError::BodyNotUtf8 => write!(f, "JSON request body is not valid UTF-8"),
         }
     }
 }
@@ -102,17 +119,35 @@ impl From<FrameError> for UploadError {
     }
 }
 
-/// Encodes one JSON request body as a framed upload for `session_id`.
-pub fn encode_upload(session_id: u64, body: &str) -> Vec<u8> {
-    let bytes = body.as_bytes();
-    let mut header = Vec::with_capacity(12);
+/// Encodes one request body as a framed upload for `session_id`, in the
+/// given wire format.
+pub fn encode_upload_wire(session_id: u64, format: WireFormat, body: &[u8]) -> Vec<u8> {
+    let mut header = Vec::with_capacity(HEADER_BYTES);
     header.extend_from_slice(&session_id.to_be_bytes());
-    header.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    header.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    header.push(format.tag());
     let mut out = Frame::new(MessageType::StartTest, header).encode().to_vec();
-    for frame in chunk_data(bytes, CHUNK_SIZE) {
+    for frame in chunk_data(body, CHUNK_SIZE) {
         out.extend_from_slice(&frame.encode());
     }
     out
+}
+
+/// Encodes one JSON request body as a framed upload for `session_id`.
+/// Convenience wrapper over [`encode_upload_wire`] for the debug/compat
+/// path and the many tests that speak JSON directly.
+pub fn encode_upload(session_id: u64, body: &str) -> Vec<u8> {
+    encode_upload_wire(session_id, WireFormat::Json, body.as_bytes())
+}
+
+fn peek_header(wire: &[u8]) -> Option<(u64, WireFormat)> {
+    let (header, _) = Frame::decode(wire).ok()?;
+    if header.msg_type != MessageType::StartTest || header.payload.len() != HEADER_BYTES {
+        return None;
+    }
+    let session_id = u64::from_be_bytes(header.payload[..8].try_into().ok()?);
+    let format = WireFormat::from_tag(header.payload[12])?;
+    Some((session_id, format))
 }
 
 /// Reads just the session id from a framed upload's `StartTest` header
@@ -121,24 +156,34 @@ pub fn encode_upload(session_id: u64, body: &str) -> Vec<u8> {
 /// the caller falls back to a default lane (the full decode on the worker
 /// side still reports the precise [`UploadError`]).
 pub fn peek_session_id(wire: &[u8]) -> Option<u64> {
-    let (header, _) = Frame::decode(wire).ok()?;
-    if header.msg_type != MessageType::StartTest || header.payload.len() != 12 {
-        return None;
-    }
-    Some(u64::from_be_bytes(header.payload[..8].try_into().ok()?))
+    peek_header(wire).map(|(session_id, _)| session_id)
 }
 
-/// Reassembles a framed upload back into `(session_id, json_body)`.
-pub fn decode_upload(wire: &[u8]) -> Result<(u64, String), UploadError> {
+/// Reads just the wire format from a framed upload's `StartTest` header.
+/// The gateway uses this at submit time to know what encoding the reply
+/// must carry; malformed uploads yield `None` and the reply falls back
+/// to JSON (matching the worker-side error path).
+pub fn peek_format(wire: &[u8]) -> Option<WireFormat> {
+    peek_header(wire).map(|(_, format)| format)
+}
+
+/// Reassembles a framed upload back into
+/// `(session_id, wire_format, body)`. JSON-format bodies are verified
+/// to be UTF-8 here (the typed [`UploadError::BodyNotUtf8`]); binary
+/// bodies are opaque at this layer and validated by the message codec.
+pub fn decode_upload(wire: &[u8]) -> Result<(u64, WireFormat, Vec<u8>), UploadError> {
     let (header, mut offset) = Frame::decode(wire)?;
     if header.msg_type != MessageType::StartTest {
         return Err(UploadError::MissingHeader);
     }
-    if header.payload.len() != 12 {
+    if header.payload.len() != HEADER_BYTES {
         return Err(UploadError::MalformedHeader);
     }
     let session_id = u64::from_be_bytes(header.payload[..8].try_into().unwrap());
     let declared = u32::from_be_bytes(header.payload[8..12].try_into().unwrap()) as usize;
+    let format_tag = header.payload[12];
+    let format =
+        WireFormat::from_tag(format_tag).ok_or(UploadError::UnknownFormat { tag: format_tag })?;
     if declared > MAX_BODY_BYTES {
         return Err(UploadError::BodyTooLarge { declared });
     }
@@ -173,8 +218,10 @@ pub fn decode_upload(wire: &[u8]) -> Result<(u64, String), UploadError> {
             trailing: wire.len() - offset,
         });
     }
-    let body = String::from_utf8(body).map_err(|_| UploadError::BodyNotUtf8)?;
-    Ok((session_id, body))
+    if format == WireFormat::Json && std::str::from_utf8(&body).is_err() {
+        return Err(UploadError::BodyNotUtf8);
+    }
+    Ok((session_id, format, body))
 }
 
 #[cfg(test)]
@@ -189,18 +236,33 @@ mod tests {
             "y".repeat(CHUNK_SIZE * 3 + 17),
         ] {
             let wire = encode_upload(42, &body);
-            let (session, decoded) = decode_upload(&wire).expect("decodes");
+            let (session, format, decoded) = decode_upload(&wire).expect("decodes");
             assert_eq!(session, 42);
-            assert_eq!(decoded, body);
+            assert_eq!(format, WireFormat::Json);
+            assert_eq!(decoded, body.as_bytes());
         }
     }
 
     #[test]
-    fn peeks_the_session_id_without_a_full_decode() {
+    fn binary_bodies_round_trip_with_their_format_tag() {
+        let body: Vec<u8> = (0..=255u8).cycle().take(CHUNK_SIZE + 99).collect();
+        let wire = encode_upload_wire(7, WireFormat::Binary, &body);
+        let (session, format, decoded) = decode_upload(&wire).expect("decodes");
+        assert_eq!(session, 7);
+        assert_eq!(format, WireFormat::Binary);
+        assert_eq!(decoded, body);
+    }
+
+    #[test]
+    fn peeks_the_session_id_and_format_without_a_full_decode() {
         let wire = encode_upload(0xDEAD_BEEF, "{}");
         assert_eq!(peek_session_id(&wire), Some(0xDEAD_BEEF));
+        assert_eq!(peek_format(&wire), Some(WireFormat::Json));
+        let wire = encode_upload_wire(9, WireFormat::Binary, b"\x01\x02");
+        assert_eq!(peek_format(&wire), Some(WireFormat::Binary));
         // Malformed inputs peek to None, never an error.
         assert_eq!(peek_session_id(&[0xFF, 0x00]), None);
+        assert_eq!(peek_format(&[0xFF, 0x00]), None);
         let frame = Frame::new(MessageType::DataChunk, b"oops".to_vec()).encode();
         assert_eq!(peek_session_id(&frame), None);
     }
@@ -209,6 +271,20 @@ mod tests {
     fn rejects_uploads_without_a_header() {
         let frame = Frame::new(MessageType::DataChunk, b"oops".to_vec()).encode();
         assert_eq!(decode_upload(&frame), Err(UploadError::MissingHeader));
+    }
+
+    #[test]
+    fn rejects_unknown_format_tags() {
+        let mut header = Vec::new();
+        header.extend_from_slice(&1u64.to_be_bytes());
+        header.extend_from_slice(&0u32.to_be_bytes());
+        header.push(0x7F);
+        let wire = Frame::new(MessageType::StartTest, header).encode().to_vec();
+        assert_eq!(
+            decode_upload(&wire),
+            Err(UploadError::UnknownFormat { tag: 0x7F })
+        );
+        assert_eq!(peek_format(&wire), None);
     }
 
     #[test]
@@ -243,6 +319,7 @@ mod tests {
         let mut header = Vec::new();
         header.extend_from_slice(&1u64.to_be_bytes());
         header.extend_from_slice(&(u32::MAX).to_be_bytes());
+        header.push(WireFormat::Json.tag());
         let wire = Frame::new(MessageType::StartTest, header).encode().to_vec();
         assert!(matches!(
             decode_upload(&wire),
@@ -252,8 +329,9 @@ mod tests {
 
     #[test]
     fn rejects_malformed_headers() {
-        // StartTest with an 11-byte payload: right type, wrong size.
-        let wire = Frame::new(MessageType::StartTest, vec![0u8; 11])
+        // StartTest with the legacy 12-byte payload: right type, wrong
+        // size — a pre-format-tag peer fails typed, not garbled.
+        let wire = Frame::new(MessageType::StartTest, vec![0u8; 12])
             .encode()
             .to_vec();
         assert_eq!(decode_upload(&wire), Err(UploadError::MalformedHeader));
@@ -266,6 +344,7 @@ mod tests {
         let mut header = Vec::new();
         header.extend_from_slice(&3u64.to_be_bytes());
         header.extend_from_slice(&5u32.to_be_bytes());
+        header.push(WireFormat::Json.tag());
         let mut wire = Frame::new(MessageType::StartTest, header).encode().to_vec();
         wire.extend_from_slice(&Frame::new(MessageType::DataChunk, b"abc-extra".to_vec()).encode());
         assert_eq!(
@@ -291,13 +370,21 @@ mod tests {
     }
 
     #[test]
-    fn non_utf8_bodies_are_typed() {
+    fn non_utf8_bodies_are_typed_for_json_only() {
         let mut header = Vec::new();
         header.extend_from_slice(&2u64.to_be_bytes());
         header.extend_from_slice(&2u32.to_be_bytes());
+        header.push(WireFormat::Json.tag());
         let mut wire = Frame::new(MessageType::StartTest, header).encode().to_vec();
         wire.extend_from_slice(&Frame::new(MessageType::DataChunk, vec![0xFF, 0xFE]).encode());
         assert_eq!(decode_upload(&wire), Err(UploadError::BodyNotUtf8));
+
+        // The same bytes under the binary tag are opaque and legal here;
+        // the message codec downstream is what validates them.
+        let wire = encode_upload_wire(2, WireFormat::Binary, &[0xFF, 0xFE]);
+        let (_, format, body) = decode_upload(&wire).expect("binary body is opaque");
+        assert_eq!(format, WireFormat::Binary);
+        assert_eq!(body, vec![0xFF, 0xFE]);
     }
 
     #[test]
@@ -306,6 +393,7 @@ mod tests {
             UploadError::Frame(FrameError::ChecksumMismatch),
             UploadError::MissingHeader,
             UploadError::MalformedHeader,
+            UploadError::UnknownFormat { tag: 3 },
             UploadError::BodyTooLarge { declared: 1 },
             UploadError::ShortBody {
                 declared: 2,

@@ -44,4 +44,4 @@ pub use lockin::LockInAmplifier;
 pub use noise::{BaselineDrift, NoiseModel};
 pub use pulse::{Polarity, PulseSpec};
 pub use synth::TraceSynthesizer;
-pub use trace::{Channel, SignalTrace};
+pub use trace::{Channel, SignalComponent, SignalTrace};

@@ -6,6 +6,7 @@
 //! normalized amplitudes: baseline ≈ 1.0, with particles producing dips.
 
 use medsen_units::{Hertz, Seconds};
+use medsen_wire::{Reader, Wire, WireError, Writer};
 use serde::{Deserialize, Serialize};
 
 /// Which lock-in output a channel carries. The single-channel (magnitude)
@@ -197,6 +198,65 @@ impl SignalTrace {
     }
 }
 
+impl Wire for SignalComponent {
+    fn wire_encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            SignalComponent::InPhase => 0,
+            SignalComponent::Quadrature => 1,
+        });
+    }
+    fn wire_decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(SignalComponent::InPhase),
+            1 => Ok(SignalComponent::Quadrature),
+            tag => Err(WireError::BadTag {
+                what: "signal component",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for Channel {
+    fn wire_encode(&self, w: &mut Writer) {
+        w.put_f64(self.carrier.value());
+        self.samples.wire_encode(w);
+        self.component.wire_encode(w);
+    }
+    fn wire_decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Channel {
+            carrier: Hertz::new(r.get_f64()?),
+            samples: Vec::wire_decode(r)?,
+            component: SignalComponent::wire_decode(r)?,
+        })
+    }
+}
+
+impl Wire for SignalTrace {
+    fn wire_encode(&self, w: &mut Writer) {
+        w.put_f64(self.sample_rate.value());
+        self.channels.wire_encode(w);
+    }
+    fn wire_decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let sample_rate = Hertz::new(r.get_f64()?);
+        let channels = Vec::<Channel>::wire_decode(r)?;
+        // `SignalTrace::new` panics on ragged channels; a decoder must
+        // reject them instead, because these bytes cross a trust boundary.
+        if let Some(first) = channels.first() {
+            if channels
+                .iter()
+                .any(|c| c.samples.len() != first.samples.len())
+            {
+                return Err(WireError::Invalid("trace channels have unequal lengths"));
+            }
+        }
+        Ok(SignalTrace {
+            sample_rate,
+            channels,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,6 +268,41 @@ mod tests {
             component: SignalComponent::InPhase,
         };
         SignalTrace::new(Hertz::new(450.0), vec![mk(500.0), mk(2000.0)])
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_the_trace() {
+        let t = trace(64);
+        let mut w = Writer::new();
+        t.wire_encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = SignalTrace::wire_decode(&mut r).expect("decodes");
+        r.finish().expect("fully consumed");
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn wire_decode_rejects_ragged_channels_without_panicking() {
+        // Hand-encode a trace whose channels disagree on length — the
+        // constructor would panic on this, the decoder must error.
+        let mut w = Writer::new();
+        w.put_f64(450.0);
+        w.put_u32(2);
+        for samples in [2u32, 3u32] {
+            w.put_f64(500_000.0);
+            w.put_u32(samples);
+            for _ in 0..samples {
+                w.put_f64(1.0);
+            }
+            w.put_u8(0);
+        }
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(
+            SignalTrace::wire_decode(&mut r),
+            Err(WireError::Invalid("trace channels have unequal lengths"))
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! cells produce roughly 2× its amplitude and 7.8 µm beads roughly 4×.
 
 use medsen_units::Micrometers;
+use medsen_wire::{Reader, Wire, WireError, Writer};
 use serde::{Deserialize, Serialize};
 
 /// Coarse particle classes used by server-side classification (Fig. 16).
@@ -176,6 +177,33 @@ impl core::fmt::Display for ParticleKind {
     }
 }
 
+impl Wire for ParticleKind {
+    fn wire_encode(&self, w: &mut Writer) {
+        // Tags follow the `ALL` order and are frozen: they are part of
+        // the cross-tier wire contract, not an implementation detail.
+        w.put_u8(match self {
+            ParticleKind::Bead358 => 0,
+            ParticleKind::Bead78 => 1,
+            ParticleKind::RedBloodCell => 2,
+            ParticleKind::WhiteBloodCell => 3,
+            ParticleKind::Platelet => 4,
+        });
+    }
+    fn wire_decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(ParticleKind::Bead358),
+            1 => Ok(ParticleKind::Bead78),
+            2 => Ok(ParticleKind::RedBloodCell),
+            3 => Ok(ParticleKind::WhiteBloodCell),
+            4 => Ok(ParticleKind::Platelet),
+            tag => Err(WireError::BadTag {
+                what: "particle kind",
+                tag,
+            }),
+        }
+    }
+}
+
 /// One concrete particle instance flowing through the channel.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Particle {
@@ -207,6 +235,20 @@ impl Particle {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wire_tags_are_frozen_and_round_trip() {
+        for (tag, kind) in ParticleKind::ALL.iter().enumerate() {
+            let mut w = Writer::new();
+            kind.wire_encode(&mut w);
+            let bytes = w.into_bytes();
+            assert_eq!(bytes, [tag as u8], "{kind}: tag drifted");
+            let mut r = Reader::new(&bytes);
+            assert_eq!(ParticleKind::wire_decode(&mut r), Ok(*kind));
+        }
+        let mut r = Reader::new(&[5]);
+        assert!(ParticleKind::wire_decode(&mut r).is_err());
+    }
 
     #[test]
     fn amplitude_ordering_matches_paper_calibration() {

@@ -10,6 +10,7 @@
 //! Not supported (and not used by any wire type): non-string map keys,
 //! byte strings, and `i128`/`u128`.
 
+use medsen_wire::{WireCodec, WireError, WireFormat};
 use serde::de::{self, DeserializeOwned, Visitor};
 use serde::ser::{self, Serialize};
 use std::fmt::Write as _;
@@ -72,6 +73,34 @@ pub fn from_json<T: DeserializeOwned>(text: &str) -> Result<T, JsonError> {
         return Err(JsonError::new("trailing characters after value"));
     }
     Ok(value)
+}
+
+/// The JSON backend of the wire-format selector (`--wire json`).
+///
+/// Implements [`medsen_wire::WireCodec`] for every serde-capable message
+/// type by delegating to this module's codec; the binary backend
+/// ([`medsen_wire::BinaryWire`]) lives next to the frame layout it owns.
+/// JSON stays available end to end as the debug/compat path: bodies are
+/// human-readable on the wire, and peers that predate the binary format
+/// can still be served.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JsonWire;
+
+impl<T: Serialize + DeserializeOwned> WireCodec<T> for JsonWire {
+    fn format(&self) -> WireFormat {
+        WireFormat::Json
+    }
+
+    fn encode(&self, value: &T) -> Result<Vec<u8>, WireError> {
+        to_json(value)
+            .map(String::into_bytes)
+            .map_err(|e| WireError::Codec(e.to_string()))
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<T, WireError> {
+        let text = std::str::from_utf8(bytes).map_err(|_| WireError::NotUtf8)?;
+        from_json(text).map_err(|e| WireError::Codec(e.to_string()))
+    }
 }
 
 // ───────────────────────── serialization ─────────────────────────
@@ -521,6 +550,12 @@ impl<'de> Parser<'de> {
     /// interpretation is left to the caller: 64-bit record ids exceed
     /// `f64`'s 53-bit mantissa, so integers must never detour through a
     /// float.
+    ///
+    /// The token must match the RFC 8259 grammar exactly. An earlier
+    /// version lexed greedily and let Rust's `f64` parser decide, which
+    /// silently accepted non-JSON spellings like `+1` and `.5` — so a
+    /// forged body could differ byte-wise from every canonical
+    /// re-encoding while decoding to the same value.
     fn parse_number_text(&mut self) -> Result<&'de str, JsonError> {
         self.skip_ws();
         let start = self.pos;
@@ -539,8 +574,53 @@ impl<'de> Parser<'de> {
             }
             self.pos += 1;
         }
-        Ok(&self.input[start..self.pos])
+        let text = &self.input[start..self.pos];
+        if !is_canonical_number(text) {
+            return Err(JsonError::new(format!("non-canonical number `{text}`")));
+        }
+        Ok(text)
     }
+}
+
+/// RFC 8259 `number` grammar: `-? int frac? exp?`, where `int` is `0` or
+/// a digit run without a leading zero, `frac` is `.` plus at least one
+/// digit, and `exp` is `e`/`E`, an optional sign, and at least one digit.
+/// Leading `+`, bare `.5`, trailing-dot `5.`, zero-led `01`, and a
+/// digitless exponent `1e` all fail.
+fn is_canonical_number(text: &str) -> bool {
+    let b = text.as_bytes();
+    let mut i = usize::from(b.first() == Some(&b'-'));
+    let int_start = i;
+    while i < b.len() && b[i].is_ascii_digit() {
+        i += 1;
+    }
+    if i == int_start || (b[int_start] == b'0' && i - int_start > 1) {
+        return false;
+    }
+    if i < b.len() && b[i] == b'.' {
+        i += 1;
+        let frac_start = i;
+        while i < b.len() && b[i].is_ascii_digit() {
+            i += 1;
+        }
+        if i == frac_start {
+            return false;
+        }
+    }
+    if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+        i += 1;
+        if i < b.len() && (b[i] == b'+' || b[i] == b'-') {
+            i += 1;
+        }
+        let exp_start = i;
+        while i < b.len() && b[i].is_ascii_digit() {
+            i += 1;
+        }
+        if i == exp_start {
+            return false;
+        }
+    }
+    i == b.len()
 }
 
 impl<'de> de::Deserializer<'de> for &mut Parser<'de> {
@@ -856,6 +936,83 @@ mod tests {
         roundtrip(&"hello \"quoted\" \n line".to_owned());
         roundtrip(&Option::<u8>::None);
         roundtrip(&Some(9u8));
+    }
+
+    #[test]
+    fn leading_plus_is_rejected_per_variant() {
+        // `+1` is not an RFC 8259 number; the old lexer let f64's parser
+        // coerce it silently. Every numeric target must now reject it.
+        assert!(from_json::<u64>("+1").is_err());
+        assert!(from_json::<i64>("+1").is_err());
+        assert!(from_json::<f64>("+1.5").is_err());
+        assert!(from_json::<u32>("+0").is_err());
+        assert!(from_json::<Vec<f64>>("[1.0, +2.0]").is_err());
+    }
+
+    #[test]
+    fn bare_fraction_is_rejected_per_variant() {
+        // `.5` (digitless integer part) likewise coerced before.
+        assert!(from_json::<f64>(".5").is_err());
+        assert!(from_json::<f64>("-.5").is_err());
+        assert!(from_json::<f32>(".5").is_err());
+        assert!(from_json::<Vec<f64>>("[.25]").is_err());
+    }
+
+    #[test]
+    fn trailing_dot_and_digitless_exponent_are_rejected() {
+        assert!(from_json::<f64>("5.").is_err());
+        assert!(from_json::<f64>("1e").is_err());
+        assert!(from_json::<f64>("1e+").is_err());
+        assert!(from_json::<f64>("1.e3").is_err());
+    }
+
+    #[test]
+    fn zero_led_integers_are_rejected() {
+        assert!(from_json::<u64>("01").is_err());
+        assert!(from_json::<f64>("00.5").is_err());
+        // A lone `0` (and a `0.x` fraction) stays legal.
+        assert_eq!(from_json::<u64>("0").expect("zero"), 0);
+        assert_eq!(from_json::<f64>("0.5").expect("half"), 0.5);
+        assert_eq!(from_json::<f64>("-0.5").expect("neg half"), -0.5);
+    }
+
+    #[test]
+    fn canonical_numbers_still_parse() {
+        assert_eq!(
+            from_json::<u64>("18446744073709551615").expect("u64 max"),
+            u64::MAX
+        );
+        assert_eq!(
+            from_json::<i64>("-9223372036854775808").expect("i64 min"),
+            i64::MIN
+        );
+        assert_eq!(from_json::<f64>("1.5e-3").expect("sci"), 1.5e-3);
+        assert_eq!(from_json::<f64>("2E+8").expect("sci plus"), 2e8);
+    }
+
+    #[test]
+    fn json_wire_backend_round_trips() {
+        let value = Nested {
+            name: "wire".into(),
+            values: vec![0.25, -1.0],
+            kind: Kind::Struct {
+                a: 2.5,
+                b: Some(false),
+            },
+            table: BTreeMap::new(),
+            opt: None,
+        };
+        let codec = JsonWire;
+        assert_eq!(WireCodec::<Nested>::format(&codec), WireFormat::Json);
+        let bytes = codec.encode(&value).expect("encodes");
+        assert_eq!(bytes, to_json(&value).expect("json").into_bytes());
+        let back: Nested = codec.decode(&bytes).expect("decodes");
+        assert_eq!(back, value);
+        assert!(codec
+            .decode(&bytes[..bytes.len() - 1])
+            .map(|v: Nested| v)
+            .is_err());
+        assert!(codec.decode(&[0xFF, 0xFE]).map(|v: Nested| v).is_err());
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub use app::{AppEvent, AppState, PhoneApp};
 pub use compress::{compress, decompress, CompressionStats};
 pub use csv::{trace_from_csv, trace_to_csv};
 pub use frame::{Frame, FrameError, MessageType};
-pub use json::{from_json, to_json, JsonError};
+pub use json::{from_json, to_json, JsonError, JsonWire};
 pub use network::{LinkError, NetworkLink};
 pub use oneway::{
     stream_seed_for, OneWayStats, OneWayUpload, OneWayUploader, SymbolBudget, DEFAULT_SYMBOL_BYTES,

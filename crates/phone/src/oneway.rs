@@ -112,13 +112,16 @@ impl OneWayUploader {
 
     /// Compress `body` and encode it as the first upload (`seq` 0) of
     /// session `session_id`. See [`OneWayUploader::encode_numbered`].
-    pub fn encode(&self, session_id: u64, body: &str) -> Result<OneWayUpload, CodecError> {
+    pub fn encode(&self, session_id: u64, body: &[u8]) -> Result<OneWayUpload, CodecError> {
         self.encode_numbered(session_id, 0, body)
     }
 
     /// Compress `body` and encode it into a budgeted symbol stream as
-    /// upload number `seq` of session `session_id`. The stream seed is
-    /// derived from both, so consecutive requests from one session are
+    /// upload number `seq` of session `session_id`. The body is opaque
+    /// bytes — in practice the complete framed upload (wire-format tag
+    /// and all), so one-way traffic arrives at the gateway looking
+    /// exactly like a two-way submission. The stream seed is derived
+    /// from both ids, so consecutive requests from one session are
     /// distinct streams at the gateway (a completed upload's tombstone
     /// must not swallow the next request), while re-encoding the *same*
     /// upload re-emits the same stream. The gateway needs nothing beyond
@@ -127,9 +130,9 @@ impl OneWayUploader {
         &self,
         session_id: u64,
         seq: u64,
-        body: &str,
+        body: &[u8],
     ) -> Result<OneWayUpload, CodecError> {
-        let compressed = compress(body.as_bytes());
+        let compressed = compress(body);
         let mut encoder = Encoder::new(
             session_id,
             stream_seed_for(session_id, seq),
@@ -195,7 +198,9 @@ mod tests {
     #[test]
     fn lossless_stream_round_trips_to_the_original_body() {
         let body = r#"{"Ping":{"sequence":42}}"#;
-        let upload = OneWayUploader::default().encode(7, body).expect("encode");
+        let upload = OneWayUploader::default()
+            .encode(7, body.as_bytes())
+            .expect("encode");
         assert!(upload.frames.len() >= 28);
         let block = decode_all(&upload, |_| true).expect("complete");
         assert_eq!(decompress(&block).expect("lzw"), body.as_bytes());
@@ -209,14 +214,16 @@ mod tests {
             .map(|i| format!("{{\"sequence\":{i}}}"))
             .collect::<Vec<_>>()
             .join(",");
-        let upload = OneWayUploader::default().encode(9, &body).expect("encode");
+        let upload = OneWayUploader::default()
+            .encode(9, body.as_bytes())
+            .expect("encode");
         let block = decode_all(&upload, |i| i % 2 == 0).expect("complete at 50% loss");
         assert_eq!(decompress(&block).expect("lzw"), body.as_bytes());
     }
 
     #[test]
     fn empty_body_is_encodable() {
-        let upload = OneWayUploader::default().encode(3, "").expect("encode");
+        let upload = OneWayUploader::default().encode(3, b"").expect("encode");
         let block = decode_all(&upload, |_| true).expect("complete");
         assert_eq!(decompress(&block).expect("lzw"), b"");
     }
@@ -230,11 +237,15 @@ mod tests {
             stream_seed_for(5, 1),
             "consecutive uploads must be distinct streams"
         );
-        let a = OneWayUploader::default().encode(5, "body").expect("encode");
-        let b = OneWayUploader::default().encode(5, "body").expect("encode");
+        let a = OneWayUploader::default()
+            .encode(5, b"body")
+            .expect("encode");
+        let b = OneWayUploader::default()
+            .encode(5, b"body")
+            .expect("encode");
         assert_eq!(a.frames, b.frames, "re-encoding must re-emit the stream");
         let c = OneWayUploader::default()
-            .encode_numbered(5, 1, "body")
+            .encode_numbered(5, 1, b"body")
             .expect("encode");
         assert_ne!(a.frames, c.frames, "next upload is a different stream");
     }

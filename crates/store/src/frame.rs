@@ -35,36 +35,11 @@ pub struct Frame {
 
 /// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) of `bytes`.
 ///
-/// Implemented here rather than vendored: the checksum is part of the
-/// persistence contract and must never drift with a dependency.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    const TABLE: [u32; 256] = crc_table();
-    let mut crc = !0u32;
-    for &b in bytes {
-        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
-    }
-    !crc
-}
-
-const fn crc_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut crc = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            crc = if crc & 1 != 0 {
-                (crc >> 1) ^ 0xEDB8_8320
-            } else {
-                crc >> 1
-            };
-            bit += 1;
-        }
-        table[i] = crc;
-        i += 1;
-    }
-    table
-}
+/// Re-exported from `medsen-wire`, the workspace's single CRC-32: the
+/// checksum is part of the persistence contract and must never drift
+/// with a dependency — and must stay bit-equal to the one the wire
+/// frames use, since replication ships WAL frames over that codec.
+pub use medsen_wire::crc32;
 
 /// Appends one encoded frame to `out`.
 ///

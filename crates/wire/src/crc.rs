@@ -1,0 +1,79 @@
+//! The workspace's one CRC-32 implementation.
+//!
+//! CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) guards three
+//! independent durability/wire contracts in this codebase: the WAL frame
+//! stream (`medsen-store`), the credential blob (`CytoPassword` in
+//! `medsen-core`), and the cross-tier message frames defined here. All
+//! three used to carry their own copy of the same const-fn table; this
+//! module is now the single source the others delegate to.
+//!
+//! One deliberate exception: `medsen-fountain` keeps a frozen private
+//! copy, because the fountain symbol frame is a wire contract with
+//! embedded senders that must build the crate with zero dependencies.
+//! A workspace-level test pins that copy bit-equal to this one, the same
+//! way the PR 8 PRNG pin works.
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) of `bytes`.
+///
+/// Implemented here rather than vendored: the checksum is part of both
+/// the persistence and the wire contract and must never drift with a
+/// dependency.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// The 256-entry lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn is_sensitive_to_single_bit_flips() {
+        let base = crc32(b"wire frame body");
+        let mut flipped = b"wire frame body".to_vec();
+        for byte in 0..flipped.len() {
+            for bit in 0..8 {
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip at {byte}:{bit} undetected");
+                flipped[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

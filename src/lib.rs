@@ -24,6 +24,9 @@
 //! * [`audit`] — the zero-dependency measurement instruments (entropy
 //!   estimators, sequential distinguisher, timing harness, collision
 //!   sweep) behind the adversarial self-audit;
+//! * [`wire`] — the shared cross-tier wire protocol: the workspace's
+//!   one CRC-32, the zero-copy transport frame, and the binary/JSON
+//!   codec backends every tier links so the formats cannot drift;
 //! * [`selfaudit`] — the battery driver wiring those instruments to the
 //!   real subsystems and producing the `medsen audit` scorecard.
 //!
@@ -46,5 +49,6 @@ pub use medsen_sensor as sensor;
 pub use medsen_store as store;
 pub use medsen_telemetry as telemetry;
 pub use medsen_units as units;
+pub use medsen_wire as wire;
 
 pub mod selfaudit;

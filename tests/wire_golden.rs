@@ -1,0 +1,104 @@
+//! Golden-frame pin for the binary wire protocol.
+//!
+//! `tests/golden/` holds one committed binary frame and one JSON sidecar
+//! per message variant, generated from the deterministic fixture corpus
+//! (`medsen-cli wire-golden tests/golden --write`). This test re-derives
+//! each fixture from the corpus and requires:
+//!
+//! * the committed binary bytes decode to exactly the corpus value,
+//! * re-encoding the corpus value reproduces the committed bytes
+//!   byte-for-byte (any codec change that shifts a byte fails here
+//!   before it can strand deployed dongles), and
+//! * the JSON sidecar decodes to the same value, pinning the two
+//!   formats observationally equivalent on real persisted artifacts,
+//!   not just in-memory round-trips.
+
+use medsen::cloud::wire::{
+    decode_request, decode_response, encode_request, encode_response, golden,
+};
+use medsen::wire::WireFormat;
+use std::path::{Path, PathBuf};
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+fn read(name: &str, ext: &str) -> Vec<u8> {
+    let path = golden_dir().join(format!("{name}.{ext}"));
+    std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); regenerate with `medsen-cli wire-golden tests/golden --write`",
+            path.display()
+        )
+    })
+}
+
+#[test]
+fn request_golden_frames_are_byte_exact_and_equivalent() {
+    for (name, expected) in golden::requests() {
+        let committed = read(name, "bin");
+        let decoded = decode_request(WireFormat::Binary, &committed)
+            .unwrap_or_else(|e| panic!("{name}.bin no longer decodes: {e}"));
+        assert_eq!(decoded, expected, "{name}.bin decoded to a drifted value");
+        let rebuilt = encode_request(WireFormat::Binary, &expected).expect("encodes");
+        assert_eq!(rebuilt, committed, "{name}.bin: binary wire format drifted");
+
+        let sidecar = read(name, "json");
+        let from_json = decode_request(WireFormat::Json, &sidecar)
+            .unwrap_or_else(|e| panic!("{name}.json no longer decodes: {e}"));
+        assert_eq!(from_json, expected, "{name}: JSON/binary equivalence broke");
+    }
+}
+
+#[test]
+fn response_golden_frames_are_byte_exact_and_equivalent() {
+    for (name, expected) in golden::responses() {
+        let committed = read(name, "bin");
+        let decoded = decode_response(WireFormat::Binary, &committed)
+            .unwrap_or_else(|e| panic!("{name}.bin no longer decodes: {e}"));
+        assert_eq!(decoded, expected, "{name}.bin decoded to a drifted value");
+        let rebuilt = encode_response(WireFormat::Binary, &expected).expect("encodes");
+        assert_eq!(rebuilt, committed, "{name}.bin: binary wire format drifted");
+
+        let sidecar = read(name, "json");
+        let from_json = decode_response(WireFormat::Json, &sidecar)
+            .unwrap_or_else(|e| panic!("{name}.json no longer decodes: {e}"));
+        assert_eq!(from_json, expected, "{name}: JSON/binary equivalence broke");
+    }
+}
+
+/// The corpus covers every variant of both enums — a new variant must
+/// grow the corpus (and the committed fixtures) or fail here.
+#[test]
+fn golden_corpus_covers_every_variant() {
+    let request_variants: std::collections::BTreeSet<&str> = golden::requests()
+        .iter()
+        .map(|(_, r)| match r {
+            medsen::cloud::Request::Analyze { .. } => "Analyze",
+            medsen::cloud::Request::Enroll { .. } => "Enroll",
+            medsen::cloud::Request::Fetch { .. } => "Fetch",
+            medsen::cloud::Request::VerifyIntegrity { .. } => "VerifyIntegrity",
+            medsen::cloud::Request::Ping => "Ping",
+        })
+        .collect();
+    assert_eq!(request_variants.len(), 5, "corpus misses a request variant");
+
+    let response_variants: std::collections::BTreeSet<&str> = golden::responses()
+        .iter()
+        .map(|(_, r)| match r {
+            medsen::cloud::Response::Analyzed { .. } => "Analyzed",
+            medsen::cloud::Response::Enrolled => "Enrolled",
+            medsen::cloud::Response::Record(_) => "Record",
+            medsen::cloud::Response::Integrity { .. } => "Integrity",
+            medsen::cloud::Response::Pong => "Pong",
+            medsen::cloud::Response::Error { .. } => "Error",
+        })
+        .collect();
+    assert_eq!(
+        response_variants.len(),
+        6,
+        "corpus misses a response variant"
+    );
+}

@@ -56,6 +56,15 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     }
 }
 
+// Upstream's `BoxedStrategy` equivalent: lets `prop_flat_map` arms with
+// different strategy types erase to `Box<dyn Strategy<Value = T>>`.
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
 /// Strategy produced by [`Strategy::prop_map`].
 pub struct Map<S, F> {
     base: S,
