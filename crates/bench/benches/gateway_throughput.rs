@@ -13,7 +13,8 @@ use medsen_cloud::auth::BeadSignature;
 use medsen_cloud::identity_hash;
 use medsen_cloud::service::{CloudService, Request, Response};
 use medsen_gateway::{
-    wire, Gateway, GatewayConfig, PendingReply, RuntimeKind, ShedPolicy, TelemetryConfig,
+    wire, Gateway, GatewayConfig, PendingReply, RuntimeKind, SamplerMode, ShedPolicy,
+    TelemetryConfig,
 };
 use medsen_impedance::{PulseSpec, SignalTrace, TraceSynthesizer};
 use medsen_microfluidics::ParticleKind;
@@ -236,6 +237,18 @@ fn telemetry_overhead(c: &mut Criterion) {
     for (label, telemetry) in [
         ("spans_on", TelemetryConfig::default()),
         ("spans_off", TelemetryConfig::disabled()),
+        // The sampler sweep: a fixed 100% head sampler (funnel price with
+        // zero drops), and the adaptive AIMD controller (what production
+        // runs). Both should hug the spans_on curve — sampling is meant
+        // to cheapen *storage*, not cost admission throughput.
+        (
+            "sampler_100",
+            TelemetryConfig {
+                sampling: SamplerMode::Fixed(1000),
+                ..TelemetryConfig::default()
+            },
+        ),
+        ("sampler_adaptive", TelemetryConfig::adaptive()),
     ] {
         group.bench_function(BenchmarkId::new("enroll_8x128", label), |b| {
             let gateway = Gateway::with_telemetry(

@@ -942,6 +942,37 @@ pub fn audit(args: &[String], out: Out) -> Result<(), String> {
     }
 }
 
+/// `soak`: run the reconciling overload soak and print its report.
+///
+/// The soak storms every refusal path the gateway has — queue shed,
+/// per-session rate limiting, fountain session eviction, one primary
+/// failover — through an adaptively-sampled gateway, then checks the
+/// exposition's overload counters against the driver's own attempt
+/// ledger. Any reconciliation violation (a lost attempt, a counter that
+/// drifted, a sampler ledger leak) exits non-zero, which is what makes
+/// this runnable as a CI gate rather than a demo.
+pub fn soak(args: &[String], out: Out) -> Result<(), String> {
+    let (positional, options) = split_options(args)?;
+    if !positional.is_empty() {
+        return Err(format!("unexpected argument `{}`", positional[0]));
+    }
+    for name in options.keys() {
+        if name != "quick" {
+            return Err(format!("unknown option --{name}"));
+        }
+    }
+    let config = if options.contains_key("quick") {
+        medsen::gateway::SoakConfig::quick()
+    } else {
+        medsen::gateway::SoakConfig::standard()
+    };
+    let report = medsen::gateway::soak::run(&config);
+    let _ = writeln!(out, "{report}");
+    report
+        .reconcile()
+        .map_err(|errors| format!("soak reconciliation FAILED:\n{}", errors.join("\n")))
+}
+
 /// `wire-golden`: verify the checked-in golden wire frames against the
 /// deterministic fixture corpus — or, with `--write`, regenerate them.
 ///
@@ -954,7 +985,8 @@ pub fn audit(args: &[String], out: Out) -> Result<(), String> {
 pub fn wire_golden(args: &[String], out: Out) -> Result<(), String> {
     use medsen::wire::WireFormat;
     use medsen_cloud::wire::{
-        decode_request, decode_response, encode_request, encode_response, golden,
+        decode_request, decode_request_traced, decode_response, decode_response_traced,
+        encode_request, encode_request_traced, encode_response, encode_response_traced, golden,
     };
 
     let (positional, options) = split_options(args)?;
@@ -1033,6 +1065,50 @@ pub fn wire_golden(args: &[String], out: Out) -> Result<(), String> {
             &response,
             |f, v| encode_response(f, v).map_err(|e| e.to_string()),
             |f, b| decode_response(f, b).map_err(|e| e.to_string()),
+        )?;
+        count += 1;
+    }
+    // Trace-context fixtures: the traced twin frame kinds must stay as
+    // stable as the plain ones, and the pinned trace id must survive the
+    // round trip — a decoder that strips or shifts the trace field fails
+    // here, not in a clinic's trace backend.
+    let expect_trace = |trace: Option<u64>| -> Result<(), String> {
+        match trace {
+            Some(t) if t == golden::TRACE_ID => Ok(()),
+            Some(t) => Err(format!(
+                "trace id drifted: expected {:#018x}, decoded {t:#018x}",
+                golden::TRACE_ID
+            )),
+            None => Err("traced fixture decoded without a trace id".into()),
+        }
+    };
+    for (name, request) in golden::traced_requests() {
+        process(
+            dir,
+            write,
+            name,
+            &request,
+            |f, v| encode_request_traced(f, v, golden::TRACE_ID).map_err(|e| e.to_string()),
+            |f, b| {
+                let (value, trace) = decode_request_traced(f, b).map_err(|e| e.to_string())?;
+                expect_trace(trace)?;
+                Ok(value)
+            },
+        )?;
+        count += 1;
+    }
+    for (name, response) in golden::traced_responses() {
+        process(
+            dir,
+            write,
+            name,
+            &response,
+            |f, v| encode_response_traced(f, v, golden::TRACE_ID).map_err(|e| e.to_string()),
+            |f, b| {
+                let (value, trace) = decode_response_traced(f, b).map_err(|e| e.to_string())?;
+                expect_trace(trace)?;
+                Ok(value)
+            },
         )?;
         count += 1;
     }

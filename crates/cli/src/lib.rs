@@ -60,6 +60,15 @@ COMMANDS:
     telemetry [--requests N] [--runtime threads|async] drive a small workload and pretty-print
                                                        the telemetry snapshot (instruments +
                                                        slowest requests with stage breakdowns)
+    soak      [--quick]                                 run the reconciling overload soak: a
+                                                       scaled-clock storm (≥10⁶ attempts at
+                                                       full size) through queue shed, rate
+                                                       limiting, fountain eviction, and one
+                                                       failover, then check every exposition
+                                                       overload counter against the driver's
+                                                       ledger; exits non-zero on any
+                                                       reconciliation violation; --quick runs
+                                                       the seconds-scale CI preset
     audit     [--seed N] [--quick]                     run the adversarial self-audit battery
                                                        (keying entropy vs Eq. 2, distinguishing
                                                        attack, auth-compare timing, keyspace
@@ -87,6 +96,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> ExitCode {
         "replica-status" => commands::replica_status(rest, out),
         "telemetry" => commands::telemetry(rest, out),
         "audit" => commands::audit(rest, out),
+        "soak" => commands::soak(rest, out),
         "wire-golden" => commands::wire_golden(rest, out),
         "help" | "--help" | "-h" => {
             let _ = writeln!(out, "{USAGE}");
@@ -253,6 +263,22 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn soak_quick_reconciles_and_prints_the_report() {
+        let (code, text) = run_to_string(&["soak", "--quick"]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("reconciled exactly"), "{text}");
+        assert!(text.contains("ledger"), "{text}");
+        assert!(text.contains("sampler"), "{text}");
+    }
+
+    #[test]
+    fn soak_rejects_stray_arguments() {
+        let (code, text) = run_to_string(&["soak", "now"]);
+        assert_eq!(code, 1);
+        assert!(text.contains("unexpected argument"), "{text}");
     }
 
     #[test]

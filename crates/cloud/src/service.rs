@@ -479,14 +479,21 @@ impl CloudService {
     /// returning the reply in the same format — the byte-level service
     /// entry the gateway drives. Total: a malformed body becomes an
     /// encoded `Error` reply, never a panic.
+    ///
+    /// Trace context is transparent end to end: a request carrying a
+    /// trace id gets a reply carrying the same id, and an untraced
+    /// request gets the byte-identical pre-trace-context reply.
     pub fn handle_wire_shared(&self, format: medsen_wire::WireFormat, body: &[u8]) -> Vec<u8> {
-        let response = match crate::wire::decode_request(format, body) {
-            Ok(request) => self.handle_shared(request),
-            Err(e) => Response::Error {
-                reason: format!("malformed request: {e}"),
-            },
+        let (response, trace) = match crate::wire::decode_request_traced(format, body) {
+            Ok((request, trace)) => (self.handle_shared(request), trace.unwrap_or(0)),
+            Err(e) => (
+                Response::Error {
+                    reason: format!("malformed request: {e}"),
+                },
+                0,
+            ),
         };
-        crate::wire::encode_response(format, &response)
+        crate::wire::encode_response_traced(format, &response, trace)
             .unwrap_or_else(|e| crate::wire::encode_error(format, &format!("encode failure: {e}")))
     }
 }

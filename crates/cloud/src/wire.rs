@@ -17,8 +17,9 @@
 use crate::service::{Request, Response};
 use medsen_phone::JsonWire;
 use medsen_wire::{
-    decode_message, encode_message, BinaryWire, Reader, Wire, WireCodec, WireError, WireFormat,
-    WireMessage, Writer, WIRE_VERSION,
+    decode_message, decode_message_traced, encode_message, encode_message_traced, BinaryWire,
+    Reader, Wire, WireCodec, WireError, WireFormat, WireMessage, Writer, TRACED_KIND_BIT,
+    WIRE_VERSION,
 };
 
 /// Frame kind tag for [`Request`] messages. Frozen: chosen clear of the
@@ -194,6 +195,109 @@ pub fn decode_response(format: WireFormat, bytes: &[u8]) -> Result<Response, Wir
     }
 }
 
+/// Encodes a [`Request`] body with trace context in the selected
+/// format. Binary rides the traced twin frame kind
+/// (`REQUEST_KIND | TRACED_KIND_BIT`); JSON mirrors the same optional
+/// field as a `{"trace":N,"body":...}` wrapper object. A zero `trace`
+/// falls back to the plain, byte-identical untraced encoding in both
+/// formats.
+pub fn encode_request_traced(
+    format: WireFormat,
+    request: &Request,
+    trace: u64,
+) -> Result<Vec<u8>, WireError> {
+    match format {
+        WireFormat::Binary => Ok(encode_message_traced(request, trace)),
+        WireFormat::Json => Ok(json_wrap(JsonWire.encode(request)?, trace)),
+    }
+}
+
+/// Decodes a [`Request`] body that may or may not carry trace context;
+/// pre-trace-context bodies decode as `(request, None)` in both
+/// formats.
+pub fn decode_request_traced(
+    format: WireFormat,
+    bytes: &[u8],
+) -> Result<(Request, Option<u64>), WireError> {
+    match format {
+        WireFormat::Binary => decode_message_traced(bytes),
+        WireFormat::Json => {
+            let (inner, trace) = json_unwrap(bytes)?;
+            Ok((JsonWire.decode(inner)?, trace))
+        }
+    }
+}
+
+/// Encodes a [`Response`] body with trace context — the reply half of
+/// [`encode_request_traced`], so a traced request's reply carries the
+/// same trace id back to the phone.
+pub fn encode_response_traced(
+    format: WireFormat,
+    response: &Response,
+    trace: u64,
+) -> Result<Vec<u8>, WireError> {
+    match format {
+        WireFormat::Binary => Ok(encode_message_traced(response, trace)),
+        WireFormat::Json => Ok(json_wrap(JsonWire.encode(response)?, trace)),
+    }
+}
+
+/// Decodes a [`Response`] body that may or may not carry trace context.
+pub fn decode_response_traced(
+    format: WireFormat,
+    bytes: &[u8],
+) -> Result<(Response, Option<u64>), WireError> {
+    match format {
+        WireFormat::Binary => decode_message_traced(bytes),
+        WireFormat::Json => {
+            let (inner, trace) = json_unwrap(bytes)?;
+            Ok((JsonWire.decode(inner)?, trace))
+        }
+    }
+}
+
+/// The JSON mirror of the binary trace-context prefix: wraps a
+/// canonical body in `{"trace":N,"body":...}`. Zero trace → the body
+/// itself, unchanged.
+fn json_wrap(body: Vec<u8>, trace: u64) -> Vec<u8> {
+    if trace == 0 {
+        return body;
+    }
+    let mut out = Vec::with_capacity(body.len() + 24);
+    out.extend_from_slice(b"{\"trace\":");
+    out.extend_from_slice(trace.to_string().as_bytes());
+    out.extend_from_slice(b",\"body\":");
+    out.extend_from_slice(&body);
+    out.push(b'}');
+    out
+}
+
+/// Splits a possibly-wrapped JSON body into `(inner, trace)`. The
+/// wrapper prefix cannot collide with a real message: every root
+/// message serializes as `{"<VariantName>":...}` or a bare string, so
+/// `{"trace":` is unambiguous.
+fn json_unwrap(bytes: &[u8]) -> Result<(&[u8], Option<u64>), WireError> {
+    let Some(rest) = bytes.strip_prefix(b"{\"trace\":".as_slice()) else {
+        return Ok((bytes, None));
+    };
+    let comma = rest
+        .iter()
+        .position(|&b| b == b',')
+        .ok_or(WireError::Invalid("traced json wrapper missing body"))?;
+    let trace: u64 = std::str::from_utf8(&rest[..comma])
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or(WireError::Invalid("traced json wrapper has a bad trace id"))?;
+    if trace == 0 {
+        return Err(WireError::Invalid("traced json wrapper with zero trace id"));
+    }
+    let inner = rest[comma + 1..]
+        .strip_prefix(b"\"body\":".as_slice())
+        .and_then(|r| r.strip_suffix(b"}".as_slice()))
+        .ok_or(WireError::Invalid("traced json wrapper missing body"))?;
+    Ok((inner, Some(trace)))
+}
+
 /// Encodes an error reply in the selected format. Infallible by design:
 /// the gateway's reply channel must never starve because an *error*
 /// could not be encoded.
@@ -209,21 +313,26 @@ pub fn encode_error(format: WireFormat, reason: &str) -> Vec<u8> {
 /// error, which tells the gateway to re-route to the promoted primary.
 ///
 /// This runs on *every* reply on the submit path, so the binary arm
-/// peeks the variant tag behind the version byte and only pays for a
-/// full decode when the reply really is an error frame.
+/// peeks the variant tag behind the version byte (and behind the trace
+/// prefix on a traced frame) and only pays for a full decode when the
+/// reply really is an error frame.
 pub fn reply_is_deposed(format: WireFormat, bytes: &[u8]) -> bool {
     let deposed = |reason: &str| reason.contains("node deposed");
     match format {
         WireFormat::Json => std::str::from_utf8(bytes).is_ok_and(deposed),
         WireFormat::Binary => match medsen_wire::decode_frame(bytes) {
-            Ok((RESPONSE_KIND, payload))
-                if payload.first() == Some(&WIRE_VERSION)
-                    && payload.get(1) == Some(&RESP_ERROR) =>
+            Ok((kind, payload))
+                if kind == RESPONSE_KIND || kind == (RESPONSE_KIND | TRACED_KIND_BIT) =>
             {
-                matches!(
-                    decode_response(WireFormat::Binary, bytes),
-                    Ok(Response::Error { reason }) if deposed(&reason)
-                )
+                // The variant tag sits after the version byte, plus the
+                // 8-byte trace id on a traced frame.
+                let tag_at = if kind & TRACED_KIND_BIT != 0 { 9 } else { 1 };
+                payload.first() == Some(&WIRE_VERSION)
+                    && payload.get(tag_at) == Some(&RESP_ERROR)
+                    && matches!(
+                        decode_response_traced(WireFormat::Binary, bytes),
+                        Ok((Response::Error { reason }, _)) if deposed(&reason)
+                    )
             }
             _ => false,
         },
@@ -372,6 +481,45 @@ pub mod golden {
             ),
         ]
     }
+
+    /// The fixed trace id every trace-context-bearing golden frame
+    /// carries. Arbitrary but frozen: regenerated fixtures must
+    /// reproduce the committed bytes.
+    pub const TRACE_ID: u64 = 0x0000_BEEF_CAFE_0042;
+
+    /// Trace-context-bearing fixtures: representative request variants
+    /// under the traced twin frame kind (binary) / wrapper object
+    /// (JSON), all carrying [`TRACE_ID`].
+    pub fn traced_requests() -> Vec<(&'static str, Request)> {
+        vec![
+            (
+                "req_enroll_traced",
+                Request::Enroll {
+                    identifier: "patient-α".into(),
+                    signature: BeadSignature::from_counts(&[
+                        (ParticleKind::Bead358, 40),
+                        (ParticleKind::Bead78, 12),
+                    ]),
+                },
+            ),
+            ("req_ping_traced", Request::Ping),
+        ]
+    }
+
+    /// Trace-context-bearing response fixtures, including the deposed
+    /// fencing error (the failover path must see through the trace
+    /// prefix).
+    pub fn traced_responses() -> Vec<(&'static str, Response)> {
+        vec![
+            ("resp_pong_traced", Response::Pong),
+            (
+                "resp_error_deposed_traced",
+                Response::Error {
+                    reason: "node deposed: a newer epoch is serving".into(),
+                },
+            ),
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -456,6 +604,84 @@ mod tests {
                 Response::Error { reason } => assert_eq!(reason, "queue full"),
                 other => panic!("unexpected reply {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn traced_bodies_round_trip_in_both_formats() {
+        for request in every_request() {
+            for format in [WireFormat::Binary, WireFormat::Json] {
+                let bytes = encode_request_traced(format, &request, 0xFACE).expect("encodes");
+                let (back, trace) = decode_request_traced(format, &bytes).expect("decodes");
+                assert_eq!(back, request, "{format}");
+                assert_eq!(trace, Some(0xFACE), "{format}");
+            }
+        }
+        for response in every_response() {
+            for format in [WireFormat::Binary, WireFormat::Json] {
+                let bytes = encode_response_traced(format, &response, 0xFACE).expect("encodes");
+                let (back, trace) = decode_response_traced(format, &bytes).expect("decodes");
+                assert_eq!(back, response, "{format}");
+                assert_eq!(trace, Some(0xFACE), "{format}");
+            }
+        }
+    }
+
+    #[test]
+    fn untraced_bodies_decode_through_the_traced_decoders() {
+        // Backward compatibility: a pre-trace-context peer's bytes give
+        // (value, None), and a zero trace encodes the identical bytes.
+        for request in every_request() {
+            for format in [WireFormat::Binary, WireFormat::Json] {
+                let plain = encode_request(format, &request).expect("encodes");
+                assert_eq!(
+                    encode_request_traced(format, &request, 0).expect("encodes"),
+                    plain,
+                    "zero trace must be byte-identical ({format})"
+                );
+                let (back, trace) = decode_request_traced(format, &plain).expect("decodes");
+                assert_eq!(back, request, "{format}");
+                assert_eq!(trace, None, "{format}");
+            }
+        }
+    }
+
+    #[test]
+    fn traced_json_wrapper_is_the_documented_shape() {
+        let bytes = encode_request_traced(WireFormat::Json, &Request::Ping, 7).expect("encodes");
+        assert_eq!(
+            std::str::from_utf8(&bytes).expect("utf8"),
+            "{\"trace\":7,\"body\":\"Ping\"}"
+        );
+    }
+
+    #[test]
+    fn malformed_traced_json_wrappers_are_rejected() {
+        for bad in [
+            &b"{\"trace\":"[..],
+            b"{\"trace\":abc,\"body\":\"Ping\"}",
+            b"{\"trace\":0,\"body\":\"Ping\"}",
+            b"{\"trace\":7,\"payload\":\"Ping\"}",
+            b"{\"trace\":7,\"body\":\"Ping\"",
+        ] {
+            assert!(
+                decode_request_traced(WireFormat::Json, bad).is_err(),
+                "{:?}",
+                std::str::from_utf8(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn deposed_detection_sees_through_the_trace_prefix() {
+        let deposed = Response::Error {
+            reason: "node deposed: a newer epoch is serving".into(),
+        };
+        for format in [WireFormat::Binary, WireFormat::Json] {
+            let bytes = encode_response_traced(format, &deposed, 0xAB).expect("encodes");
+            assert!(reply_is_deposed(format, &bytes), "{format}");
+            let bytes = encode_response_traced(format, &Response::Pong, 0xAB).expect("encodes");
+            assert!(!reply_is_deposed(format, &bytes), "{format}");
         }
     }
 

@@ -48,8 +48,9 @@ use medsen_cloud::ReplicatedCloud;
 use medsen_fountain::{decode_symbol_frame, DecoderStats, SymbolFrameError};
 use medsen_runtime as runtime;
 use medsen_telemetry::{
-    spans_json_lines, text_exposition, ActiveTrace, Exemplars, Registry, RegistrySnapshot,
-    SlowTrace, SpanRecorder, Stage, TraceId, DEFAULT_EXEMPLARS, DEFAULT_RING_CAPACITY,
+    spans_json_lines, text_exposition, ActiveTrace, Exemplars, OverloadSignal, Registry,
+    RegistrySnapshot, Sampler, SamplerMode, SlowTrace, SpanRecorder, Stage, TraceId,
+    DEFAULT_EXEMPLARS, DEFAULT_RING_CAPACITY,
 };
 use medsen_units::Seconds;
 use medsen_wire::WireFormat;
@@ -68,6 +69,11 @@ const TIME_COMPRESSION: f64 = 50.0;
 /// Upper bound on executor threads for the async engine; worker *tasks*
 /// scale independently of this.
 const MAX_EXECUTOR_THREADS: usize = 8;
+
+/// One adaptive-sampler feedback observation per this many arrivals
+/// (submissions + fountain symbols). Power of two so the stride check is
+/// a mask, not a modulo.
+const SAMPLER_OBSERVE_STRIDE: u64 = 1024;
 
 /// Which concurrency engine drives the worker pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -163,6 +169,11 @@ pub struct TelemetryConfig {
     pub ring_capacity: usize,
     /// How many worst end-to-end traces to retain as exemplars.
     pub exemplars: usize,
+    /// Head-sampling policy for spans. [`SamplerMode::Always`] (the
+    /// default) records everything with zero sampling machinery in the
+    /// path; the other modes route every span through a [`Sampler`]
+    /// funnel so `recorded + sampled_out == admitted` holds exactly.
+    pub sampling: SamplerMode,
 }
 
 impl Default for TelemetryConfig {
@@ -171,6 +182,7 @@ impl Default for TelemetryConfig {
             spans: true,
             ring_capacity: DEFAULT_RING_CAPACITY,
             exemplars: DEFAULT_EXEMPLARS,
+            sampling: SamplerMode::Always,
         }
     }
 }
@@ -183,6 +195,16 @@ impl TelemetryConfig {
             ..Self::default()
         }
     }
+
+    /// Spans on with the overload-adaptive head sampler: keep
+    /// probability starts at 100% and the AIMD controller halves it
+    /// whenever the gateway sheds, rate-limits, or churns the span ring.
+    pub fn adaptive() -> Self {
+        Self {
+            sampling: SamplerMode::Adaptive,
+            ..Self::default()
+        }
+    }
 }
 
 /// The span-tracing half of the gateway's telemetry: the shared ring the
@@ -192,6 +214,9 @@ impl TelemetryConfig {
 struct GatewayTracing {
     recorder: Arc<SpanRecorder>,
     exemplars: Exemplars,
+    /// The head-sampling funnel; `None` under [`SamplerMode::Always`]
+    /// (the zero-overhead record-everything path).
+    sampler: Option<Arc<Sampler>>,
 }
 
 /// A submission that did not enter the queue. Carries the upload back so
@@ -202,6 +227,16 @@ pub enum SubmitError {
         /// How long the client should (simulated-)wait before retrying.
         retry_after: Seconds,
         /// The rejected upload, returned for resubmission.
+        upload: Vec<u8>,
+    },
+    /// The session is over its token-bucket rate. Distinct from
+    /// [`SubmitError::Busy`] so callers (and the soak harness's exact
+    /// reconciliation ledger) can tell "the gateway is full" from "this
+    /// device is too loud" without consulting counters.
+    RateLimited {
+        /// Real time until the session's bucket refills.
+        retry_after: Seconds,
+        /// The refused upload, returned for resubmission.
         upload: Vec<u8>,
     },
     /// The gateway has shut down or been drained.
@@ -222,6 +257,14 @@ impl fmt::Debug for SubmitError {
                 .field("retry_after", retry_after)
                 .field("upload_bytes", &upload.len())
                 .finish(),
+            SubmitError::RateLimited {
+                retry_after,
+                upload,
+            } => f
+                .debug_struct("RateLimited")
+                .field("retry_after", retry_after)
+                .field("upload_bytes", &upload.len())
+                .finish(),
             SubmitError::Closed { upload } => f
                 .debug_struct("Closed")
                 .field("upload_bytes", &upload.len())
@@ -235,6 +278,9 @@ impl fmt::Display for SubmitError {
         match self {
             SubmitError::Busy { retry_after, .. } => {
                 write!(f, "gateway queue full, retry after {retry_after}")
+            }
+            SubmitError::RateLimited { retry_after, .. } => {
+                write!(f, "session rate limited, retry after {retry_after}")
             }
             SubmitError::Closed { .. } => write!(f, "gateway is shut down"),
         }
@@ -397,6 +443,10 @@ pub struct PendingReply {
     /// header at submit time, so `wait` knows which decoder to run
     /// without sniffing bytes.
     format: WireFormat,
+    /// The request's trace context, so [`PendingReply::wait`] can close
+    /// the chain with a phone-side `ReplyDecode` span. `None` when spans
+    /// are off.
+    trace: Option<ActiveTrace>,
 }
 
 impl PendingReply {
@@ -411,13 +461,28 @@ impl PendingReply {
         self.format
     }
 
-    /// Blocks until the worker replies and decodes the [`Response`].
+    /// The trace id this reply will decode under, when spans are on.
+    pub fn trace_id(&self) -> Option<TraceId> {
+        self.trace.as_ref().map(|t| t.id)
+    }
+
+    /// Blocks until the worker replies and decodes the [`Response`] —
+    /// the phone-side terminus of the trace chain, recorded as a
+    /// `ReplyDecode` span around the decode itself.
     pub fn wait(self) -> Result<Response, ReplyError> {
         let format = self.format;
+        let trace = self.trace.clone();
         let bytes = self.wait_raw()?;
-        medsen_cloud::wire::decode_response(format, &bytes).map_err(|e| ReplyError::Malformed {
-            reason: e.to_string(),
-        })
+        let started = Instant::now();
+        let decoded = medsen_cloud::wire::decode_response_traced(format, &bytes)
+            .map(|(response, _)| response)
+            .map_err(|e| ReplyError::Malformed {
+                reason: e.to_string(),
+            });
+        if let Some(trace) = &trace {
+            trace.record(Stage::ReplyDecode, 0, started, Instant::now());
+        }
+        decoded
     }
 }
 
@@ -561,6 +626,11 @@ pub struct Gateway {
     fountain: FountainInstruments,
     /// Optional per-session token-bucket limiter. `None` = unlimited.
     limiter: Mutex<Option<RateLimiter>>,
+    /// Submission counter striding the adaptive sampler's feedback
+    /// observations: every [`SAMPLER_OBSERVE_STRIDE`]-th arrival feeds the
+    /// controller one [`OverloadSignal`], keeping the control loop off the
+    /// per-request hot path.
+    sampler_tick: AtomicU64,
 }
 
 impl Gateway {
@@ -628,9 +698,16 @@ impl Gateway {
         let metrics = Arc::new(GatewayMetrics::registered(lanes, &registry));
         let fountain = FountainInstruments::registered(&registry);
         let tracing = telemetry.spans.then(|| {
+            // `Always` keeps the seed fast path: no sampler object, no
+            // per-span funnel, every record goes straight to the ring.
+            let sampler = match telemetry.sampling {
+                SamplerMode::Always => None,
+                mode => Some(Arc::new(Sampler::new(mode))),
+            };
             Arc::new(GatewayTracing {
                 recorder: Arc::new(SpanRecorder::with_capacity(telemetry.ring_capacity)),
                 exemplars: Exemplars::new(telemetry.exemplars),
+                sampler,
             })
         });
         let paused = Arc::new(AtomicBool::new(false));
@@ -705,6 +782,7 @@ impl Gateway {
             uplink: Mutex::new(FountainIngress::new(FountainConfig::default())),
             fountain,
             limiter: Mutex::new(None),
+            sampler_tick: AtomicU64::new(0),
         }
     }
 
@@ -785,6 +863,14 @@ impl Gateway {
         }
         if let Some(tracing) = &self.tracing {
             snap.set_counter("telemetry.spans_recorded", tracing.recorder.recorded());
+            if let Some(sampler) = &tracing.sampler {
+                snap.set_counter("telemetry.spans_admitted", sampler.admitted());
+                snap.set_counter("telemetry.spans_sampled_out", sampler.sampled_out());
+                snap.set_gauge(
+                    "telemetry.sampler_permille",
+                    u64::from(sampler.keep_permille()),
+                );
+            }
         }
         snap
     }
@@ -927,23 +1013,61 @@ impl Gateway {
         // enrollment's route key is its identity hash, but the noisy
         // *device* is what the limiter must recognize.
         let session = wire::peek_session_id(&upload).unwrap_or(route_key);
+        self.observe_sampler();
         if let Some(retry_after) = self.check_rate_limit(session) {
             self.metrics.on_rate_limited();
-            return Err(SubmitError::Busy {
+            return Err(SubmitError::RateLimited {
                 retry_after,
                 upload,
             });
         }
-        let trace = self.mint_trace();
+        let trace = self.trace_for_upload(&upload);
         self.submit_traced(upload, route_key, trace)
     }
 
-    /// Mints a trace context when spans are on.
-    fn mint_trace(&self) -> Option<ActiveTrace> {
-        self.tracing.as_ref().map(|t| ActiveTrace {
-            id: TraceId::mint(),
-            recorder: Arc::clone(&t.recorder),
+    /// Mints the phone-side trace context for a session about to encode
+    /// a request — the origin of the cross-tier chain. `None` when spans
+    /// are off.
+    pub(crate) fn phone_trace(&self) -> Option<ActiveTrace> {
+        self.trace_with_id(TraceId::mint())
+    }
+
+    /// A trace context for an upload: joins the trace id embedded in the
+    /// upload header (a phone that minted the trace at encode time), or
+    /// mints a fresh one for legacy untraced frames. `None` when spans
+    /// are off.
+    fn trace_for_upload(&self, upload: &[u8]) -> Option<ActiveTrace> {
+        let joined = wire::peek_trace(upload).and_then(TraceId::from_raw);
+        self.trace_with_id(joined.unwrap_or_else(TraceId::mint))
+    }
+
+    /// Builds the context for `id` — through the sampler's head-verdict
+    /// draw when one is installed, so every tier holding this id reaches
+    /// the same keep/drop decision without coordination.
+    fn trace_with_id(&self, id: TraceId) -> Option<ActiveTrace> {
+        self.tracing.as_ref().map(|t| match &t.sampler {
+            Some(sampler) => ActiveTrace::sampled(id, Arc::clone(&t.recorder), Arc::clone(sampler)),
+            None => ActiveTrace::unsampled(id, Arc::clone(&t.recorder)),
         })
+    }
+
+    /// Every [`SAMPLER_OBSERVE_STRIDE`]-th arrival feeds the adaptive
+    /// controller one overload observation: ring churn from the recorder,
+    /// refusal pressure from the shed + rate-limit counters.
+    fn observe_sampler(&self) {
+        let Some(tracing) = &self.tracing else { return };
+        let Some(sampler) = &tracing.sampler else {
+            return;
+        };
+        let tick = self.sampler_tick.fetch_add(1, Ordering::Relaxed);
+        if !tick.is_multiple_of(SAMPLER_OBSERVE_STRIDE) {
+            return;
+        }
+        sampler.observe(OverloadSignal {
+            recorded_total: tracing.recorder.recorded(),
+            refused_total: self.metrics.refusals(),
+            ring_capacity: tracing.recorder.capacity() as u64,
+        });
     }
 
     /// One token from `session`'s bucket, when a limiter is installed.
@@ -1044,17 +1168,12 @@ impl Gateway {
         // O(1) in the lane count instead of summing every lane's queue.
         self.metrics.on_accepted(lane, lane_depth);
         if let Some(trace) = &trace {
-            trace.recorder.record(
-                trace.id,
-                Stage::Admission,
-                lane as u32,
-                admitted,
-                Instant::now(),
-            );
+            trace.record(Stage::Admission, lane as u32, admitted, Instant::now());
         }
         Ok(PendingReply {
             rx: reply_rx,
             format,
+            trace,
         })
     }
 
@@ -1105,6 +1224,7 @@ impl Gateway {
             self.metrics.on_rejected();
             return Err(SymbolSubmitError::Closed);
         }
+        self.observe_sampler();
         // One token per symbol: a session spraying far past its budget
         // stops consuming decoder memory and lock time at the door.
         if let Some(retry_after) = self.check_rate_limit(frame.session_id) {
@@ -1176,20 +1296,7 @@ impl Gateway {
                 self.fountain
                     .overhead_permille
                     .set((stats.overhead_ratio() * 1000.0).round() as u64);
-                // The decode span and the request's admission/queue/service
-                // spans share one minted trace, so slow-trace reports show
-                // reassembly time next to pipeline time.
-                let trace = self.mint_trace();
-                if let Some(trace) = &trace {
-                    trace.recorder.record(
-                        trace.id,
-                        Stage::FountainDecode,
-                        frame.session_id as u32,
-                        started,
-                        now,
-                    );
-                }
-                let reply = self.dispatch_reassembled(frame.session_id, &block, trace)?;
+                let reply = self.dispatch_reassembled(frame.session_id, &block, started, now)?;
                 Ok(SymbolIngest::Complete {
                     session_id: frame.session_id,
                     reply,
@@ -1208,7 +1315,8 @@ impl Gateway {
         &self,
         session_id: u64,
         block: &[u8],
-        trace: Option<ActiveTrace>,
+        decode_started: Instant,
+        decode_finished: Instant,
     ) -> Result<PendingReply, SymbolSubmitError> {
         let corrupt = |detail: String| SymbolSubmitError::CorruptUpload { session_id, detail };
         // The fountain block carries the *complete framed upload* the
@@ -1217,24 +1325,49 @@ impl Gateway {
         // else. Decode it here only to derive the route key.
         let mut upload =
             medsen_phone::decompress(block).map_err(|e| corrupt(format!("decompress: {e}")))?;
-        let (_, format, body) =
-            wire::decode_upload(&upload).map_err(|e| corrupt(format!("upload: {e}")))?;
+        let (_, format, body, trace_raw) =
+            wire::decode_upload_traced(&upload).map_err(|e| corrupt(format!("upload: {e}")))?;
         // Reassembled enrollments route by the identifier's shard hash,
         // exactly like two-way submissions; anything else (including a
         // body the worker will reject anyway) routes by session id.
-        let route_key = match medsen_cloud::wire::decode_request(format, &body) {
-            Ok(Request::Enroll { ref identifier, .. }) => medsen_cloud::identity_hash(identifier),
+        let route_key = match medsen_cloud::wire::decode_request_traced(format, &body) {
+            Ok((Request::Enroll { ref identifier, .. }, _)) => {
+                medsen_cloud::identity_hash(identifier)
+            }
             Ok(_) => session_id,
             Err(e) => return Err(corrupt(format!("request decode: {e}"))),
         };
+        // Join the trace the *phone* minted at encode time (carried
+        // through the fountain stream inside the reassembled upload's
+        // header) rather than minting a second one — a one-way request is
+        // one trace, reassembly included. Legacy untraced uploads still
+        // get a fresh id.
+        let trace = self.trace_with_id(TraceId::from_raw(trace_raw).unwrap_or_else(TraceId::mint));
+        if let Some(trace) = &trace {
+            // The decode span and the request's admission/queue/service
+            // spans share that one trace, so slow-trace reports show
+            // reassembly time next to pipeline time.
+            trace.record(
+                Stage::FountainDecode,
+                session_id as u32,
+                decode_started,
+                decode_finished,
+            );
+        }
         let mut last_hint = Seconds::ZERO;
         for _ in 0..DISPATCH_ATTEMPTS {
             match self.submit_traced(upload, route_key, trace.clone()) {
                 Ok(reply) => return Ok(reply),
-                Err(SubmitError::Busy {
-                    retry_after,
-                    upload: returned,
-                }) => {
+                Err(
+                    SubmitError::Busy {
+                        retry_after,
+                        upload: returned,
+                    }
+                    | SubmitError::RateLimited {
+                        retry_after,
+                        upload: returned,
+                    },
+                ) => {
                     upload = returned;
                     last_hint = retry_after;
                     self.metrics.on_retried();
@@ -1363,9 +1496,7 @@ fn handle_item(
         .queue_wait
         .record(dequeued.saturating_duration_since(item.enqueued));
     let _context = item.trace.clone().map(|trace| {
-        trace
-            .recorder
-            .record(trace.id, Stage::Queue, item.lane, item.enqueued, dequeued);
+        trace.record(Stage::Queue, item.lane, item.enqueued, dequeued);
         medsen_telemetry::install(trace)
     });
     let started = Instant::now();
@@ -2136,7 +2267,7 @@ mod tests {
             for _ in 0..5 {
                 match gw.submit(ping_upload(1)) {
                     Ok(r) => replies.push(r),
-                    Err(SubmitError::Busy { retry_after, .. }) => {
+                    Err(SubmitError::RateLimited { retry_after, .. }) => {
                         refused += 1;
                         assert!(retry_after.value() > 0.0);
                     }

@@ -64,6 +64,7 @@ pub mod gateway;
 pub mod limit;
 pub mod metrics;
 pub mod session;
+pub mod soak;
 pub mod wire;
 
 pub use fountain::{FountainConfig, FountainIngestError};
@@ -77,4 +78,8 @@ pub use session::{
     DongleSession, RetryPolicy, SessionConfig, SessionError, SessionReport, SessionState,
     SessionStats, UplinkMode,
 };
+pub use soak::{SoakConfig, SoakReport};
+// The sampler mode is `TelemetryConfig`'s vocabulary; re-export it so
+// gateway embedders configure sampling without a telemetry dependency.
+pub use medsen_telemetry::SamplerMode;
 pub use wire::{decode_upload, encode_upload, encode_upload_wire, peek_format, UploadError};

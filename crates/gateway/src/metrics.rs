@@ -147,6 +147,13 @@ impl GatewayMetrics {
         self.rate_limited.incr();
     }
 
+    /// Total refusals so far — shed plus rate-limited. The adaptive span
+    /// sampler's overload signal: any growth here means the gateway is
+    /// turning work away and span volume should back off.
+    pub fn refusals(&self) -> u64 {
+        self.rejected.get() + self.rate_limited.get()
+    }
+
     /// Counts one retry (link failure backoff or resubmission after shed).
     pub fn on_retried(&self) {
         self.retried.incr();

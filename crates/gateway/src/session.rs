@@ -17,11 +17,13 @@ use medsen_cloud::auth::BeadSignature;
 use medsen_cloud::service::{Request, Response};
 use medsen_impedance::SignalTrace;
 use medsen_phone::{LinkError, NetworkLink, OneWayUploader, SymbolBudget};
+use medsen_telemetry::{ActiveTrace, Stage};
 use medsen_units::Seconds;
 use medsen_wire::WireFormat;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 use std::fmt;
+use std::time::Instant;
 
 /// Exponential backoff schedule for flaky-link retries.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -380,15 +382,29 @@ impl<'g> DongleSession<'g> {
         if self.state == SessionState::Closed {
             return Err(SessionError::SessionClosed);
         }
-        let body = medsen_cloud::wire::encode_request(self.config.wire, request).map_err(|e| {
-            SessionError::Encode {
+        // The *phone* mints the trace: the id rides both inside the
+        // request body's traced envelope and in the upload header, so
+        // every tier downstream — admission, queue, shards, WAL,
+        // replication — joins this chain instead of starting its own.
+        let trace = self.gateway.phone_trace();
+        let trace_raw = trace.as_ref().map_or(0, |t| t.id.get());
+        let encode_started = Instant::now();
+        let body = medsen_cloud::wire::encode_request_traced(self.config.wire, request, trace_raw)
+            .map_err(|e| SessionError::Encode {
                 reason: e.to_string(),
-            }
-        })?;
-        let upload = crate::wire::encode_upload_wire(self.id, self.config.wire, &body);
+            })?;
+        let upload = crate::wire::encode_upload_traced(self.id, self.config.wire, &body, trace_raw);
+        if let Some(trace) = &trace {
+            trace.record(
+                Stage::PhoneEncode,
+                self.id as u32,
+                encode_started,
+                Instant::now(),
+            );
+        }
         match self.config.uplink {
-            UplinkMode::Retry => self.transmit_retry(request, upload),
-            UplinkMode::Fountain { budget } => self.transmit_fountain(&upload, budget),
+            UplinkMode::Retry => self.transmit_retry(request, upload, trace),
+            UplinkMode::Fountain { budget } => self.transmit_fountain(&upload, budget, trace),
         }
     }
 
@@ -398,6 +414,7 @@ impl<'g> DongleSession<'g> {
         &mut self,
         request: &Request,
         mut upload: Vec<u8>,
+        trace: Option<ActiveTrace>,
     ) -> Result<PendingReply, SessionError> {
         // Enrollments route by the identifier's shard hash so writes to
         // the same auth shard queue on the same lane (with lanes == shards
@@ -412,6 +429,7 @@ impl<'g> DongleSession<'g> {
         let mut spent = Seconds::ZERO;
 
         // Phase 1: push the bytes across the flaky uplink.
+        let uplink_started = Instant::now();
         let mut attempts = 0u32;
         loop {
             let transfer = self
@@ -445,6 +463,14 @@ impl<'g> DongleSession<'g> {
             self.gateway.pace(backoff);
         }
         metrics.uplink_time.record_seconds(spent.value());
+        if let Some(trace) = &trace {
+            trace.record(
+                Stage::Uplink,
+                self.id as u32,
+                uplink_started,
+                Instant::now(),
+            );
+        }
 
         // Phase 2: enter the gateway queue, honoring the shed policy.
         loop {
@@ -454,10 +480,16 @@ impl<'g> DongleSession<'g> {
                     self.stats.sim_uplink += spent;
                     return Ok(reply);
                 }
-                Err(SubmitError::Busy {
-                    retry_after,
-                    upload: returned,
-                }) => {
+                Err(
+                    SubmitError::Busy {
+                        retry_after,
+                        upload: returned,
+                    }
+                    | SubmitError::RateLimited {
+                        retry_after,
+                        upload: returned,
+                    },
+                ) => {
                     upload = returned;
                     spent += retry_after;
                     if spent.value() > deadline.value() {
@@ -494,6 +526,7 @@ impl<'g> DongleSession<'g> {
         &mut self,
         framed: &[u8],
         budget: SymbolBudget,
+        trace: Option<ActiveTrace>,
     ) -> Result<PendingReply, SessionError> {
         let seq = self.upload_seq;
         self.upload_seq += 1;
@@ -505,6 +538,7 @@ impl<'g> DongleSession<'g> {
         let metrics = self.gateway.metrics_handle();
         let deadline = self.config.deadline;
         let mut spent = Seconds::ZERO;
+        let uplink_started = Instant::now();
         for wire in &upload.frames {
             let transfer = self
                 .config
@@ -527,6 +561,14 @@ impl<'g> DongleSession<'g> {
             match self.gateway.ingest_symbol(wire) {
                 Ok(SymbolIngest::Complete { reply, .. }) => {
                     metrics.uplink_time.record_seconds(spent.value());
+                    if let Some(trace) = &trace {
+                        trace.record(
+                            Stage::Uplink,
+                            self.id as u32,
+                            uplink_started,
+                            Instant::now(),
+                        );
+                    }
                     self.stats.requests += 1;
                     self.stats.sim_uplink += spent;
                     return Ok(reply);

@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! StartTest  { session_id: u64 BE, body_len: u32 BE, format: u8 }
+//! StartTest  { session_id: u64 BE, body_len: u32 BE, format: u8, trace: u64 BE }
 //! DataChunk  { body bytes ... }          (repeated)
 //! ```
 //!
@@ -15,6 +16,13 @@
 //! encoding of the body (binary frame or JSON text), so one gateway can
 //! serve a mixed fleet of binary-speaking dongles and JSON debug clients
 //! on the same ingest path.
+//!
+//! Two header sizes are legal: the original 13-byte header, and the
+//! 21-byte traced header that appends the phone-minted trace id after
+//! the existing fields (their offsets are unchanged). The 13-byte form
+//! is what every pre-trace-context dongle sends — the gateway accepts
+//! it forever and simply mints a gateway-local trace. Any *other*
+//! header size is still [`UploadError::MalformedHeader`].
 
 use medsen_phone::frame::{chunk_data, Frame, FrameError, MessageType};
 use medsen_wire::WireFormat;
@@ -30,6 +38,10 @@ pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
 /// Size of the `StartTest` header payload: session id + body length +
 /// wire-format tag.
 pub const HEADER_BYTES: usize = 13;
+
+/// Size of a trace-context-bearing `StartTest` header payload:
+/// [`HEADER_BYTES`] plus the appended trace id (u64 BE).
+pub const TRACED_HEADER_BYTES: usize = HEADER_BYTES + 8;
 
 /// Why an upload could not be reassembled.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -122,10 +134,26 @@ impl From<FrameError> for UploadError {
 /// Encodes one request body as a framed upload for `session_id`, in the
 /// given wire format.
 pub fn encode_upload_wire(session_id: u64, format: WireFormat, body: &[u8]) -> Vec<u8> {
-    let mut header = Vec::with_capacity(HEADER_BYTES);
+    encode_upload_traced(session_id, format, body, 0)
+}
+
+/// Encodes one request body as a framed upload carrying the
+/// phone-minted trace id in the 21-byte header. A zero `trace` (the
+/// reserved "no trace" value) produces the legacy 13-byte header,
+/// byte-identical to every pre-trace-context release.
+pub fn encode_upload_traced(
+    session_id: u64,
+    format: WireFormat,
+    body: &[u8],
+    trace: u64,
+) -> Vec<u8> {
+    let mut header = Vec::with_capacity(TRACED_HEADER_BYTES);
     header.extend_from_slice(&session_id.to_be_bytes());
     header.extend_from_slice(&(body.len() as u32).to_be_bytes());
     header.push(format.tag());
+    if trace != 0 {
+        header.extend_from_slice(&trace.to_be_bytes());
+    }
     let mut out = Frame::new(MessageType::StartTest, header).encode().to_vec();
     for frame in chunk_data(body, CHUNK_SIZE) {
         out.extend_from_slice(&frame.encode());
@@ -140,14 +168,20 @@ pub fn encode_upload(session_id: u64, body: &str) -> Vec<u8> {
     encode_upload_wire(session_id, WireFormat::Json, body.as_bytes())
 }
 
-fn peek_header(wire: &[u8]) -> Option<(u64, WireFormat)> {
+fn peek_header(wire: &[u8]) -> Option<(u64, WireFormat, u64)> {
     let (header, _) = Frame::decode(wire).ok()?;
-    if header.msg_type != MessageType::StartTest || header.payload.len() != HEADER_BYTES {
+    if header.msg_type != MessageType::StartTest
+        || !matches!(header.payload.len(), HEADER_BYTES | TRACED_HEADER_BYTES)
+    {
         return None;
     }
     let session_id = u64::from_be_bytes(header.payload[..8].try_into().ok()?);
     let format = WireFormat::from_tag(header.payload[12])?;
-    Some((session_id, format))
+    let trace = match header.payload.get(HEADER_BYTES..TRACED_HEADER_BYTES) {
+        Some(raw) => u64::from_be_bytes(raw.try_into().ok()?),
+        None => 0,
+    };
+    Some((session_id, format, trace))
 }
 
 /// Reads just the session id from a framed upload's `StartTest` header
@@ -156,7 +190,7 @@ fn peek_header(wire: &[u8]) -> Option<(u64, WireFormat)> {
 /// the caller falls back to a default lane (the full decode on the worker
 /// side still reports the precise [`UploadError`]).
 pub fn peek_session_id(wire: &[u8]) -> Option<u64> {
-    peek_header(wire).map(|(session_id, _)| session_id)
+    peek_header(wire).map(|(session_id, _, _)| session_id)
 }
 
 /// Reads just the wire format from a framed upload's `StartTest` header.
@@ -164,7 +198,14 @@ pub fn peek_session_id(wire: &[u8]) -> Option<u64> {
 /// must carry; malformed uploads yield `None` and the reply falls back
 /// to JSON (matching the worker-side error path).
 pub fn peek_format(wire: &[u8]) -> Option<WireFormat> {
-    peek_header(wire).map(|(_, format)| format)
+    peek_header(wire).map(|(_, format, _)| format)
+}
+
+/// Reads the phone-minted trace id from a framed upload's traced
+/// `StartTest` header. `None` for malformed uploads *and* for legacy
+/// 13-byte headers — either way the gateway mints its own trace.
+pub fn peek_trace(wire: &[u8]) -> Option<u64> {
+    peek_header(wire).and_then(|(_, _, trace)| (trace != 0).then_some(trace))
 }
 
 /// Reassembles a framed upload back into
@@ -172,16 +213,28 @@ pub fn peek_format(wire: &[u8]) -> Option<WireFormat> {
 /// to be UTF-8 here (the typed [`UploadError::BodyNotUtf8`]); binary
 /// bodies are opaque at this layer and validated by the message codec.
 pub fn decode_upload(wire: &[u8]) -> Result<(u64, WireFormat, Vec<u8>), UploadError> {
+    decode_upload_traced(wire).map(|(session_id, format, body, _)| (session_id, format, body))
+}
+
+/// Reassembles a framed upload into
+/// `(session_id, wire_format, body, trace)`, where `trace` is the
+/// phone-minted trace id from a 21-byte traced header, or 0 for a
+/// legacy 13-byte header.
+pub fn decode_upload_traced(wire: &[u8]) -> Result<(u64, WireFormat, Vec<u8>, u64), UploadError> {
     let (header, mut offset) = Frame::decode(wire)?;
     if header.msg_type != MessageType::StartTest {
         return Err(UploadError::MissingHeader);
     }
-    if header.payload.len() != HEADER_BYTES {
+    if !matches!(header.payload.len(), HEADER_BYTES | TRACED_HEADER_BYTES) {
         return Err(UploadError::MalformedHeader);
     }
     let session_id = u64::from_be_bytes(header.payload[..8].try_into().unwrap());
     let declared = u32::from_be_bytes(header.payload[8..12].try_into().unwrap()) as usize;
     let format_tag = header.payload[12];
+    let trace = match header.payload.get(HEADER_BYTES..TRACED_HEADER_BYTES) {
+        Some(raw) => u64::from_be_bytes(raw.try_into().unwrap()),
+        None => 0,
+    };
     let format =
         WireFormat::from_tag(format_tag).ok_or(UploadError::UnknownFormat { tag: format_tag })?;
     if declared > MAX_BODY_BYTES {
@@ -221,7 +274,7 @@ pub fn decode_upload(wire: &[u8]) -> Result<(u64, WireFormat, Vec<u8>), UploadEr
     if format == WireFormat::Json && std::str::from_utf8(&body).is_err() {
         return Err(UploadError::BodyNotUtf8);
     }
-    Ok((session_id, format, body))
+    Ok((session_id, format, body, trace))
 }
 
 #[cfg(test)]
@@ -335,6 +388,45 @@ mod tests {
             .encode()
             .to_vec();
         assert_eq!(decode_upload(&wire), Err(UploadError::MalformedHeader));
+        // Between the two legal sizes is malformed too: a truncated
+        // trace id must not half-decode.
+        for size in (HEADER_BYTES + 1)..TRACED_HEADER_BYTES {
+            let wire = Frame::new(MessageType::StartTest, vec![0u8; size])
+                .encode()
+                .to_vec();
+            assert_eq!(
+                decode_upload(&wire),
+                Err(UploadError::MalformedHeader),
+                "{size}-byte header"
+            );
+        }
+    }
+
+    #[test]
+    fn traced_uploads_round_trip_and_untraced_stay_byte_identical() {
+        let body = b"hello";
+        let traced = encode_upload_traced(42, WireFormat::Binary, body, 0xFEED_F00D);
+        let (session, format, decoded, trace) = decode_upload_traced(&traced).expect("decodes");
+        assert_eq!(
+            (session, format, decoded.as_slice(), trace),
+            (42, WireFormat::Binary, &body[..], 0xFEED_F00D)
+        );
+        assert_eq!(peek_trace(&traced), Some(0xFEED_F00D));
+        assert_eq!(peek_session_id(&traced), Some(42));
+        assert_eq!(peek_format(&traced), Some(WireFormat::Binary));
+        // A zero trace encodes the legacy header, byte for byte.
+        assert_eq!(
+            encode_upload_traced(42, WireFormat::Binary, body, 0),
+            encode_upload_wire(42, WireFormat::Binary, body)
+        );
+    }
+
+    #[test]
+    fn legacy_headers_decode_with_no_trace() {
+        let wire = encode_upload_wire(7, WireFormat::Json, b"{}");
+        let (_, _, _, trace) = decode_upload_traced(&wire).expect("decodes");
+        assert_eq!(trace, 0, "legacy header carries no trace");
+        assert_eq!(peek_trace(&wire), None);
     }
 
     #[test]

@@ -273,10 +273,10 @@ mod tests {
                 let recorder = Arc::clone(&recorder);
                 executor.spawn(async move {
                     let id = TraceId::mint();
-                    let _guard = medsen_telemetry::install(ActiveTrace {
+                    let _guard = medsen_telemetry::install(ActiveTrace::unsampled(
                         id,
-                        recorder: Arc::clone(&recorder),
-                    });
+                        Arc::clone(&recorder),
+                    ));
                     for _ in 0..4 {
                         crate::yield_now().await;
                         // After every yield this thread has interleaved

@@ -15,18 +15,69 @@
 //! back out after. Context installed inside the task then genuinely
 //! follows the task, not the thread.
 
+use crate::sampler::Sampler;
 use crate::span::{SpanRecorder, Stage, TraceId};
 use std::cell::RefCell;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// The trace identity + recorder pair a piece of code records spans into.
+///
+/// When a [`Sampler`] is attached, every span goes through its funnel:
+/// the trace-level head verdict (`sampled_in`, decided once at
+/// construction) plus the always-keep-slow override decide whether the
+/// span reaches the ring, and the attempt is counted either way so the
+/// `recorded + sampled_out == admitted` ledger stays exact.
 #[derive(Debug, Clone)]
 pub struct ActiveTrace {
     /// The request this code is running on behalf of.
     pub id: TraceId,
     /// Where its spans go.
     pub recorder: Arc<SpanRecorder>,
+    /// The sampling funnel; `None` records unconditionally.
+    pub sampler: Option<Arc<Sampler>>,
+    /// This trace's head-sampling verdict, decided at mint/join time.
+    pub sampled_in: bool,
+}
+
+impl ActiveTrace {
+    /// A context that records every span — the no-sampler fast path.
+    pub fn unsampled(id: TraceId, recorder: Arc<SpanRecorder>) -> Self {
+        Self {
+            id,
+            recorder,
+            sampler: None,
+            sampled_in: true,
+        }
+    }
+
+    /// A context routed through `sampler`'s funnel; the whole-trace head
+    /// verdict is drawn here, deterministically in `id`, so every tier
+    /// that joins the same trace reaches the same verdict.
+    pub fn sampled(id: TraceId, recorder: Arc<SpanRecorder>, sampler: Arc<Sampler>) -> Self {
+        let sampled_in = sampler.admit_trace(id);
+        Self {
+            id,
+            recorder,
+            sampler: Some(sampler),
+            sampled_in,
+        }
+    }
+
+    /// Records one completed span through the sampling funnel (or
+    /// straight to the ring when no sampler is attached).
+    pub fn record(&self, stage: Stage, tag: u32, start: Instant, end: Instant) {
+        if let Some(sampler) = &self.sampler {
+            let duration_ns = end
+                .saturating_duration_since(start)
+                .as_nanos()
+                .min(u128::from(u64::MAX)) as u64;
+            if !sampler.offer(self.sampled_in, duration_ns) {
+                return;
+            }
+        }
+        self.recorder.record(self.id, stage, tag, start, end);
+    }
 }
 
 thread_local! {
@@ -46,11 +97,12 @@ pub fn current() -> Option<ActiveTrace> {
     CURRENT.with(|c| c.borrow().clone())
 }
 
-/// Records a completed span against the active context; no-op without one.
+/// Records a completed span against the active context (through its
+/// sampling funnel, if any); no-op without a context.
 pub fn record(stage: Stage, tag: u32, start: Instant, end: Instant) {
     CURRENT.with(|c| {
         if let Some(active) = c.borrow().as_ref() {
-            active.recorder.record(active.id, stage, tag, start, end);
+            active.record(stage, tag, start, end);
         }
     });
 }
@@ -139,10 +191,31 @@ mod tests {
     use std::time::Duration;
 
     fn trace_on(recorder: &Arc<SpanRecorder>) -> ActiveTrace {
-        ActiveTrace {
-            id: TraceId::mint(),
-            recorder: Arc::clone(recorder),
-        }
+        ActiveTrace::unsampled(TraceId::mint(), Arc::clone(recorder))
+    }
+
+    #[test]
+    fn sampled_context_funnels_and_balances_the_ledger() {
+        use crate::sampler::{Sampler, SamplerMode};
+        let recorder = Arc::new(SpanRecorder::with_capacity(8));
+        let sampler = Arc::new(Sampler::new(SamplerMode::Fixed(0)));
+        let t = ActiveTrace::sampled(TraceId::mint(), Arc::clone(&recorder), Arc::clone(&sampler));
+        assert!(!t.sampled_in, "permille 0 loses the head draw");
+        let _g = install(t.clone());
+        let now = Instant::now();
+        record(Stage::Service, 0, now, now); // fast: sampled out
+        record(Stage::Analysis, 0, now, now + Duration::from_secs(1)); // slow: kept
+        assert_eq!(
+            recorder.recorded(),
+            1,
+            "only the slow span reached the ring"
+        );
+        assert_eq!(sampler.admitted(), 2);
+        assert_eq!(sampler.sampled_out(), 1);
+        assert_eq!(
+            recorder.recorded() + sampler.sampled_out(),
+            sampler.admitted()
+        );
     }
 
     #[test]

@@ -166,6 +166,98 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_instrument_names_collapse_to_one_line() {
+        let reg = Registry::new();
+        // Re-registering a name hands back the same instrument, so both
+        // call sites feed one counter — the exposition must carry one
+        // line with the combined value, never two conflicting lines.
+        reg.counter("gateway.accepted").add(3);
+        reg.counter("gateway.accepted").add(4);
+        let mut snap = reg.snapshot();
+        let text = text_exposition(&snap);
+        let accepted: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("gateway.accepted "))
+            .collect();
+        assert_eq!(accepted, vec!["gateway.accepted 7"]);
+
+        // An overlay (`set_counter`) on an already-registered name
+        // replaces the value rather than adding a second line.
+        snap.set_counter("gateway.accepted", 99);
+        let text = text_exposition(&snap);
+        let accepted: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("gateway.accepted "))
+            .collect();
+        assert_eq!(accepted, vec!["gateway.accepted 99"]);
+
+        // The *parser* is a grammar check, not a uniqueness check: text
+        // with a repeated name still parses, surfacing both pairs so the
+        // caller can detect the duplication.
+        let parsed = parse_text_exposition("a.b 1\na.b 2\n").expect("grammar allows repeats");
+        assert_eq!(
+            parsed,
+            vec![("a.b".to_string(), 1.0), ("a.b".to_string(), 2.0)]
+        );
+    }
+
+    #[test]
+    fn empty_histogram_emits_derived_scalars_and_no_buckets() {
+        let reg = Registry::new();
+        reg.histogram("gateway.queue_wait"); // registered, never recorded
+        let text = text_exposition(&reg.snapshot());
+        let parsed = parse_text_exposition(&text).expect("own output parses");
+        let get = |n: &str| parsed.iter().find(|(name, _)| name == n).map(|&(_, v)| v);
+        assert_eq!(get("gateway.queue_wait.count"), Some(0.0));
+        assert_eq!(get("gateway.queue_wait.max_us"), Some(0.0));
+        assert_eq!(get("gateway.queue_wait.p50_us"), Some(0.0));
+        assert_eq!(get("gateway.queue_wait.p99_us"), Some(0.0));
+        assert!(
+            !parsed.iter().any(|(name, _)| name.contains(".bucket.")),
+            "an idle histogram emits no bucket lines:\n{text}"
+        );
+    }
+
+    #[test]
+    fn sampler_instrument_lines_round_trip_through_the_parser() {
+        // The adaptive-sampler instruments the gateway overlays must ride
+        // the same grammar as everything else: render → parse → re-render
+        // reproduces the exact text.
+        let reg = Registry::new();
+        let mut snap = reg.snapshot();
+        snap.set_counter("telemetry.spans_admitted", 1436);
+        snap.set_counter("telemetry.spans_recorded", 1046);
+        snap.set_counter("telemetry.spans_sampled_out", 390);
+        snap.set_gauge("telemetry.sampler_permille", 8);
+        let text = text_exposition(&snap);
+        let parsed = parse_text_exposition(&text).expect("sampler lines obey the grammar");
+        assert_eq!(
+            parsed,
+            vec![
+                ("telemetry.sampler_permille".to_string(), 8.0),
+                ("telemetry.spans_admitted".to_string(), 1436.0),
+                ("telemetry.spans_recorded".to_string(), 1046.0),
+                ("telemetry.spans_sampled_out".to_string(), 390.0),
+            ]
+        );
+        // Re-render from the parsed pairs: byte-identical for a
+        // scalar-only exposition, proving nothing is lost either way.
+        let reg2 = Registry::new();
+        let mut snap2 = reg2.snapshot();
+        for (name, value) in &parsed {
+            snap2.set_counter(name, *value as u64);
+        }
+        assert_eq!(text_exposition(&snap2), text);
+        // The soak's exactness invariant is checkable straight off the
+        // parsed pairs — the form the CI gate consumes.
+        let get = |n: &str| parsed.iter().find(|(name, _)| name == n).map(|&(_, v)| v);
+        assert_eq!(
+            get("telemetry.spans_recorded").unwrap() + get("telemetry.spans_sampled_out").unwrap(),
+            get("telemetry.spans_admitted").unwrap()
+        );
+    }
+
+    #[test]
     fn parser_rejects_grammar_violations() {
         assert!(parse_text_exposition("no_value_here\n").is_err());
         assert!(parse_text_exposition("Upper.case 1\n").is_err());

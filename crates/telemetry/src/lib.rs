@@ -7,10 +7,12 @@
 //!
 //! Three pieces, deliberately decoupled:
 //!
-//! - **Spans** ([`span`], [`context`]): a [`TraceId`] minted per admitted
-//!   request, propagated via thread-local context (and a [`TaskSlot`] for
-//!   async tasks), recorded per [`Stage`] into the lock-free
-//!   [`SpanRecorder`] ring. The recording path is wait-free and
+//! - **Spans** ([`span`], [`context`], [`sampler`]): a [`TraceId`]
+//!   minted once per request on the phone, carried across the wire, and
+//!   propagated via thread-local context (and a [`TaskSlot`] for async
+//!   tasks), recorded per [`Stage`] into the lock-free [`SpanRecorder`]
+//!   ring — optionally through a head-sampling [`Sampler`] whose keep
+//!   probability adapts to overload. The recording path is wait-free and
 //!   allocation-free — see the module docs for the seqlock protocol.
 //! - **Metrics** ([`metrics`], [`registry`]): [`Counter`]/[`Gauge`]/
 //!   [`LatencyHistogram`] instruments registered under stable dotted
@@ -26,6 +28,7 @@ pub mod exemplar;
 pub mod export;
 pub mod metrics;
 pub mod registry;
+pub mod sampler;
 pub mod span;
 
 pub use context::{current, install, record, record_since, ActiveTrace, ContextGuard, TaskSlot};
@@ -33,4 +36,5 @@ pub use exemplar::{Exemplar, Exemplars, SlowTrace, DEFAULT_EXEMPLARS};
 pub use export::{parse_text_exposition, spans_json_lines, text_exposition};
 pub use metrics::{Counter, Gauge, LatencyHistogram, LatencySnapshot};
 pub use registry::{MetricValue, Registry, RegistrySnapshot};
+pub use sampler::{OverloadSignal, Sampler, SamplerMode, MIN_KEEP_PERMILLE};
 pub use span::{SpanRecord, SpanRecorder, Stage, TraceId, DEFAULT_RING_CAPACITY, STAGES};

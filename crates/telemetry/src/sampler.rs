@@ -1,0 +1,342 @@
+//! Head sampling with an overload-driven feedback controller.
+//!
+//! At million-user simulated load the span ring laps itself between
+//! scrapes and every record is a (cheap but nonzero) `fetch_add` plus
+//! five stores on the request hot path. The [`Sampler`] keeps the ring
+//! useful under that load by deciding **once per trace, at mint time**
+//! whether the whole request records spans — so a sampled-out request
+//! pays one hash per span attempt and nothing else — while a slow-span
+//! override still captures the tail outliers the exemplar reservoir
+//! cares about even when their trace lost the head draw.
+//!
+//! # The exact reconciliation invariant
+//!
+//! Every span attempt in the process funnels through
+//! [`Sampler::offer`], which atomically counts the attempt as
+//! `admitted` and then either lets it reach the ring (`recorded`) or
+//! counts it `sampled_out`. Because the funnel is the only path to the
+//! ring, the ledger
+//!
+//! ```text
+//! telemetry.spans_recorded + telemetry.spans_sampled_out
+//!     == telemetry.spans_admitted
+//! ```
+//!
+//! holds **exactly** at any quiescent point — not approximately, not
+//! eventually. The soak harness asserts it after a million-request
+//! overload storm.
+//!
+//! # The control loop
+//!
+//! [`Sampler::observe`] is an AIMD (additive-increase,
+//! multiplicative-decrease) controller fed two overload signals the
+//! gateway already measures:
+//!
+//! - **ring churn** — spans claimed since the last observation relative
+//!   to ring capacity. Churn ≥ ½ means a scrape cadence this long loses
+//!   history: halve the keep probability.
+//! - **refusals** — shed + rate-limited submissions since the last
+//!   observation. Any refusal means the gateway is past saturation and
+//!   tracing throughput should yield: halve.
+//!
+//! Otherwise the keep probability recovers by a fixed additive step per
+//! observation, up to keep-everything. The decision is deterministic in
+//! the trace id (a splitmix64 draw), so every tier that sees the same
+//! trace — phone, gateway, fountain reassembly, workers — reaches the
+//! same verdict without coordination.
+
+use crate::span::TraceId;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// How the gateway samples spans. `Always` is the zero-overhead
+/// PR 5 behaviour (no sampler in the path at all); `Fixed` pins the
+/// keep probability; `Adaptive` lets the AIMD controller drive it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplerMode {
+    /// Record every span of every trace; no funnel, no counters.
+    Always,
+    /// Head-sample at a fixed keep probability in permille (0..=1000).
+    Fixed(u32),
+    /// Feedback-controlled keep probability: AIMD on overload signals.
+    Adaptive,
+}
+
+/// Keep probability ceiling (and the `Always`-equivalent fixed setting).
+pub const KEEP_ALL_PERMILLE: u32 = 1000;
+
+/// Adaptive floor: never sample below 1-in-125 so a storm still leaves
+/// a statistically useful trickle of complete traces in the ring.
+pub const MIN_KEEP_PERMILLE: u32 = 8;
+
+/// Additive recovery step per calm observation window.
+pub const RECOVERY_STEP_PERMILLE: u32 = 64;
+
+/// Ring-churn fraction (per observation window) above which the
+/// controller treats the ring as lapping and halves the keep rate.
+pub const CHURN_DECREASE_THRESHOLD: f64 = 0.5;
+
+/// Spans at least this long are always recorded, even when their trace
+/// lost the head draw — the p99 tail is exactly what overload debugging
+/// needs and exactly what uniform head sampling would starve.
+pub const DEFAULT_SLOW_KEEP: Duration = Duration::from_millis(2);
+
+/// One overload observation handed to the feedback controller:
+/// deltas are computed internally against the previous observation.
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadSignal {
+    /// Total spans ever claimed by the ring (monotonic).
+    pub recorded_total: u64,
+    /// Total shed + rate-limited refusals (monotonic).
+    pub refused_total: u64,
+    /// Ring capacity in slots.
+    pub ring_capacity: u64,
+}
+
+/// Head sampler + feedback controller + reconciliation ledger.
+///
+/// All state is atomics; every operation is wait-free and the type is
+/// `Sync` — one instance is shared by every tier of a gateway.
+#[derive(Debug)]
+pub struct Sampler {
+    mode: SamplerMode,
+    keep_permille: AtomicU32,
+    slow_keep_ns: AtomicU64,
+    admitted: AtomicU64,
+    sampled_out: AtomicU64,
+    last_recorded: AtomicU64,
+    last_refused: AtomicU64,
+}
+
+impl Sampler {
+    /// A sampler in the given mode. `Fixed` clamps to 0..=1000;
+    /// `Adaptive` starts at keep-everything and lets observations
+    /// pull it down.
+    pub fn new(mode: SamplerMode) -> Self {
+        let initial = match mode {
+            SamplerMode::Always => KEEP_ALL_PERMILLE,
+            SamplerMode::Fixed(p) => p.min(KEEP_ALL_PERMILLE),
+            SamplerMode::Adaptive => KEEP_ALL_PERMILLE,
+        };
+        Self {
+            mode,
+            keep_permille: AtomicU32::new(initial),
+            slow_keep_ns: AtomicU64::new(DEFAULT_SLOW_KEEP.as_nanos() as u64),
+            admitted: AtomicU64::new(0),
+            sampled_out: AtomicU64::new(0),
+            last_recorded: AtomicU64::new(0),
+            last_refused: AtomicU64::new(0),
+        }
+    }
+
+    /// Overrides the always-keep slow-span floor (`None` disables it).
+    pub fn set_slow_keep(&self, floor: Option<Duration>) {
+        let ns = floor.map_or(u64::MAX, |d| d.as_nanos().min(u128::from(u64::MAX)) as u64);
+        self.slow_keep_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// The mode this sampler was built with.
+    pub fn mode(&self) -> SamplerMode {
+        self.mode
+    }
+
+    /// Current keep probability in permille.
+    pub fn keep_permille(&self) -> u32 {
+        self.keep_permille.load(Ordering::Relaxed)
+    }
+
+    /// Span attempts that reached the funnel.
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Span attempts the head decision dropped.
+    pub fn sampled_out(&self) -> u64 {
+        self.sampled_out.load(Ordering::Relaxed)
+    }
+
+    /// The whole-trace head decision: deterministic in the trace id, so
+    /// every tier that joins this trace independently agrees. Does not
+    /// touch the ledger — only [`Sampler::offer`] does.
+    pub fn admit_trace(&self, trace: TraceId) -> bool {
+        let keep = self.keep_permille.load(Ordering::Relaxed);
+        if keep >= KEEP_ALL_PERMILLE {
+            return true;
+        }
+        trace_draw(trace) < keep
+    }
+
+    /// The per-span funnel: counts the attempt, then returns whether it
+    /// may reach the ring. `sampled_in` is the trace's head verdict;
+    /// a span at or above the slow floor is kept regardless.
+    pub fn offer(&self, sampled_in: bool, duration_ns: u64) -> bool {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        let keep = sampled_in || duration_ns >= self.slow_keep_ns.load(Ordering::Relaxed);
+        if !keep {
+            self.sampled_out.fetch_add(1, Ordering::Relaxed);
+        }
+        keep
+    }
+
+    /// Feeds the AIMD controller one observation of the monotonic
+    /// overload totals; a no-op except in `Adaptive` mode. Returns the
+    /// keep probability in force after the observation.
+    pub fn observe(&self, signal: OverloadSignal) -> u32 {
+        if self.mode != SamplerMode::Adaptive {
+            return self.keep_permille();
+        }
+        let recorded_delta = signal.recorded_total.saturating_sub(
+            self.last_recorded
+                .swap(signal.recorded_total, Ordering::Relaxed),
+        );
+        let refused_delta = signal.refused_total.saturating_sub(
+            self.last_refused
+                .swap(signal.refused_total, Ordering::Relaxed),
+        );
+        let churn = recorded_delta as f64 / signal.ring_capacity.max(1) as f64;
+        let current = self.keep_permille.load(Ordering::Relaxed);
+        let next = if refused_delta > 0 || churn >= CHURN_DECREASE_THRESHOLD {
+            (current / 2).max(MIN_KEEP_PERMILLE)
+        } else {
+            current
+                .saturating_add(RECOVERY_STEP_PERMILLE)
+                .min(KEEP_ALL_PERMILLE)
+        };
+        self.keep_permille.store(next, Ordering::Relaxed);
+        next
+    }
+}
+
+/// splitmix64 finalizer over the trace id, reduced to 0..1000. Uniform
+/// enough that the kept fraction tracks `keep_permille`, and — unlike
+/// `id % 1000` — uncorrelated with the sequential mint counter.
+fn trace_draw(trace: TraceId) -> u32 {
+    let mut z = trace.get().wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z % 1000) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signal(recorded: u64, refused: u64) -> OverloadSignal {
+        OverloadSignal {
+            recorded_total: recorded,
+            refused_total: refused,
+            ring_capacity: 4096,
+        }
+    }
+
+    #[test]
+    fn always_mode_keeps_every_trace_and_span() {
+        let s = Sampler::new(SamplerMode::Always);
+        for _ in 0..100 {
+            assert!(s.admit_trace(TraceId::mint()));
+        }
+        assert!(s.offer(true, 0));
+        assert_eq!(s.admitted(), 1);
+        assert_eq!(s.sampled_out(), 0);
+    }
+
+    #[test]
+    fn fixed_zero_drops_every_fast_span_but_ledger_balances() {
+        let s = Sampler::new(SamplerMode::Fixed(0));
+        let mut recorded = 0u64;
+        for _ in 0..1000 {
+            let t = TraceId::mint();
+            assert!(!s.admit_trace(t), "permille 0 admits no trace");
+            if s.offer(false, 0) {
+                recorded += 1;
+            }
+        }
+        assert_eq!(recorded, 0);
+        assert_eq!(s.admitted(), 1000);
+        assert_eq!(s.sampled_out(), 1000);
+        assert_eq!(recorded + s.sampled_out(), s.admitted());
+    }
+
+    #[test]
+    fn fixed_fraction_tracks_permille_within_tolerance() {
+        let s = Sampler::new(SamplerMode::Fixed(250));
+        let kept = (0..20_000)
+            .filter(|_| s.admit_trace(TraceId::mint()))
+            .count();
+        let fraction = kept as f64 / 20_000.0;
+        assert!(
+            (fraction - 0.25).abs() < 0.02,
+            "kept {fraction} of traces at permille 250"
+        );
+    }
+
+    #[test]
+    fn head_decision_is_deterministic_per_trace() {
+        let s = Sampler::new(SamplerMode::Fixed(500));
+        for _ in 0..100 {
+            let t = TraceId::mint();
+            let first = s.admit_trace(t);
+            for _ in 0..5 {
+                assert_eq!(s.admit_trace(t), first, "same trace, same verdict");
+            }
+        }
+    }
+
+    #[test]
+    fn slow_spans_survive_a_lost_head_draw() {
+        let s = Sampler::new(SamplerMode::Fixed(0));
+        let slow = DEFAULT_SLOW_KEEP.as_nanos() as u64;
+        assert!(!s.offer(false, slow - 1), "fast span of a dropped trace");
+        assert!(s.offer(false, slow), "slow span is always kept");
+        assert_eq!(s.admitted(), 2);
+        assert_eq!(s.sampled_out(), 1);
+    }
+
+    #[test]
+    fn adaptive_halves_on_refusals_and_recovers_additively() {
+        let s = Sampler::new(SamplerMode::Adaptive);
+        assert_eq!(s.keep_permille(), KEEP_ALL_PERMILLE);
+        // Refusals appear: multiplicative decrease.
+        assert_eq!(s.observe(signal(0, 10)), 500);
+        assert_eq!(s.observe(signal(0, 20)), 250);
+        // Calm window: additive recovery.
+        assert_eq!(s.observe(signal(0, 20)), 250 + RECOVERY_STEP_PERMILLE);
+        // Full recovery is capped at keep-everything.
+        for _ in 0..32 {
+            s.observe(signal(0, 20));
+        }
+        assert_eq!(s.keep_permille(), KEEP_ALL_PERMILLE);
+    }
+
+    #[test]
+    fn adaptive_halves_on_ring_churn_and_respects_the_floor() {
+        let s = Sampler::new(SamplerMode::Adaptive);
+        let mut recorded = 0u64;
+        for _ in 0..16 {
+            recorded += 4096; // a full ring lap per window
+            s.observe(signal(recorded, 0));
+        }
+        assert_eq!(
+            s.keep_permille(),
+            MIN_KEEP_PERMILLE,
+            "sustained churn bottoms out at the floor, not zero"
+        );
+        // Sub-threshold churn counts as calm.
+        recorded += 100;
+        assert_eq!(
+            s.observe(signal(recorded, 0)),
+            MIN_KEEP_PERMILLE + RECOVERY_STEP_PERMILLE
+        );
+    }
+
+    #[test]
+    fn fixed_and_always_ignore_observations() {
+        for mode in [SamplerMode::Always, SamplerMode::Fixed(300)] {
+            let s = Sampler::new(mode);
+            let before = s.keep_permille();
+            s.observe(signal(1 << 20, 1 << 20));
+            assert_eq!(s.keep_permille(), before, "{mode:?} is not adaptive");
+        }
+    }
+}

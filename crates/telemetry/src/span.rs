@@ -67,32 +67,48 @@ impl std::fmt::Display for TraceId {
 }
 
 /// The pipeline stage a span measures, in canonical pipeline order.
+///
+/// Discriminants are in-process only (ring slots, sort keys) — they are
+/// never serialized across a wire or into a file, so the ordering may be
+/// re-derived when the pipeline grows. Sorting spans by `stage as usize`
+/// yields canonical phone → gateway → cloud → standby → phone order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[repr(u8)]
 pub enum Stage {
-    /// Gateway admission: shed-policy check plus lane enqueue.
-    Admission = 0,
-    /// Time spent parked in a gateway queue lane.
-    Queue = 1,
-    /// Worker service: decode + cloud round trip, end to end.
-    Service = 2,
-    /// Cloud shard lock: acquire through release of the write guard.
-    ShardLock = 3,
-    /// One WAL append (frame encode + write, including any fsync).
-    WalAppend = 4,
-    /// The fsync portion of a group commit, when this append paid it.
-    WalFsync = 5,
-    /// DSP analysis of the uploaded trace (cache misses only).
-    Analysis = 6,
-    /// Shipping one WAL frame to the warm standby, through its ack.
-    Replication = 7,
+    /// Phone-side request encode: serialize + frame (+ compress and
+    /// fountain-encode on the one-way path).
+    PhoneEncode = 0,
+    /// The simulated uplink: first transmit attempt through gateway
+    /// acceptance, including link retries or symbol emission.
+    Uplink = 1,
     /// Fountain reassembly of a one-way upload: first surviving symbol
     /// through peeling completion.
-    FountainDecode = 8,
+    FountainDecode = 2,
+    /// Gateway admission: shed-policy check plus lane enqueue.
+    Admission = 3,
+    /// Time spent parked in a gateway queue lane.
+    Queue = 4,
+    /// Worker service: decode + cloud round trip, end to end.
+    Service = 5,
+    /// Cloud shard lock: acquire through release of the write guard.
+    ShardLock = 6,
+    /// One WAL append (frame encode + write, including any fsync).
+    WalAppend = 7,
+    /// The fsync portion of a group commit, when this append paid it.
+    WalFsync = 8,
+    /// DSP analysis of the uploaded trace (cache misses only).
+    Analysis = 9,
+    /// Shipping one WAL frame to the warm standby, through its ack.
+    Replication = 10,
+    /// Phone-side decode of the reply envelope.
+    ReplyDecode = 11,
 }
 
 /// Every stage, in pipeline order.
-pub const STAGES: [Stage; 9] = [
+pub const STAGES: [Stage; 12] = [
+    Stage::PhoneEncode,
+    Stage::Uplink,
+    Stage::FountainDecode,
     Stage::Admission,
     Stage::Queue,
     Stage::Service,
@@ -101,13 +117,16 @@ pub const STAGES: [Stage; 9] = [
     Stage::WalFsync,
     Stage::Analysis,
     Stage::Replication,
-    Stage::FountainDecode,
+    Stage::ReplyDecode,
 ];
 
 impl Stage {
     /// Stable snake_case name used in JSON dumps and pretty-printing.
     pub fn name(self) -> &'static str {
         match self {
+            Stage::PhoneEncode => "phone_encode",
+            Stage::Uplink => "uplink",
+            Stage::FountainDecode => "fountain_decode",
             Stage::Admission => "admission",
             Stage::Queue => "queue",
             Stage::Service => "service",
@@ -116,7 +135,7 @@ impl Stage {
             Stage::WalFsync => "wal_fsync",
             Stage::Analysis => "analysis",
             Stage::Replication => "replication",
-            Stage::FountainDecode => "fountain_decode",
+            Stage::ReplyDecode => "reply_decode",
         }
     }
 
@@ -171,7 +190,7 @@ impl Slot {
     }
 }
 
-/// Default ring capacity: 4096 spans ≈ 585 complete 7-stage requests,
+/// Default ring capacity: 4096 spans ≈ 400 complete 10-stage requests,
 /// comfortably more than a full fleet run of in-flight work between
 /// snapshot reads, at 40 B/slot ≈ 160 KiB resident.
 pub const DEFAULT_RING_CAPACITY: usize = 4096;

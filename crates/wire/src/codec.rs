@@ -368,6 +368,62 @@ pub fn decode_message<T: WireMessage>(bytes: &[u8]) -> Result<T, WireError> {
     Ok(value)
 }
 
+/// Kind-space bit marking a frame whose payload carries a trace-context
+/// prefix: `[version u8][trace u64 LE][root value]` instead of
+/// `[version u8][root value]`.
+///
+/// Per the evolution policy, an optional field cannot be spliced into an
+/// existing payload (that changes field order under a frozen version),
+/// but a **new message kind** is backward compatible: a pre-trace peer
+/// sees `kind | TRACED_KIND_BIT` as an unknown kind and rejects the
+/// frame cleanly with [`WireError::WrongKind`] instead of mis-decoding
+/// it. Untraced frames stay byte-identical to every release since v1.
+pub const TRACED_KIND_BIT: u8 = 0x80;
+
+/// Encodes a root message with a trace-context prefix under the traced
+/// twin kind (`T::KIND | TRACED_KIND_BIT`). A zero `trace` means "no
+/// trace" ([`crate::codec`] reserves 0) and falls back to the plain,
+/// byte-identical [`encode_message`] envelope.
+pub fn encode_message_traced<T: WireMessage>(value: &T, trace: u64) -> Vec<u8> {
+    if trace == 0 {
+        return encode_message(value);
+    }
+    let mut w = Writer::new();
+    w.put_u8(WIRE_VERSION);
+    w.put_u64(trace);
+    value.wire_encode(&mut w);
+    frame::frame_to_vec(T::KIND | TRACED_KIND_BIT, &w.into_bytes())
+}
+
+/// Decodes a root message that may or may not carry trace context:
+/// accepts both the plain kind (→ `None`) and its traced twin
+/// (→ `Some(trace)`). Total, like [`decode_message`].
+pub fn decode_message_traced<T: WireMessage>(bytes: &[u8]) -> Result<(T, Option<u64>), WireError> {
+    let (kind, payload) = frame::decode_frame(bytes)?;
+    if kind != T::KIND && kind != (T::KIND | TRACED_KIND_BIT) {
+        return Err(WireError::WrongKind {
+            expected: T::KIND,
+            found: kind,
+        });
+    }
+    let mut r = Reader::new(payload);
+    let version = r.get_u8()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion { version });
+    }
+    let trace = if kind & TRACED_KIND_BIT != 0 {
+        match r.get_u64()? {
+            0 => return Err(WireError::Invalid("traced frame with zero trace id")),
+            t => Some(t),
+        }
+    } else {
+        None
+    };
+    let value = T::wire_decode(&mut r)?;
+    r.finish()?;
+    Ok((value, trace))
+}
+
 /// Which end-to-end encoding a session, gateway, and cloud agree on.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum WireFormat {
@@ -527,6 +583,72 @@ mod tests {
 
     impl WireMessage for u64 {
         const KIND: u8 = 0x7F;
+    }
+
+    #[test]
+    fn traced_message_round_trips_with_its_trace() {
+        let encoded = encode_message_traced(&probe(), 0xDEAD_BEEF);
+        let (decoded, trace) = decode_message_traced::<Probe>(&encoded).expect("decodes");
+        assert_eq!(decoded, probe());
+        assert_eq!(trace, Some(0xDEAD_BEEF));
+    }
+
+    #[test]
+    fn traced_layout_is_pinned_byte_for_byte() {
+        // The traced twin kind carries `[version][trace u64 LE][value]`.
+        let encoded = encode_message_traced(&42u64, 0x0102_0304_0506_0708);
+        let mut body = vec![0x7Fu8 | TRACED_KIND_BIT, WIRE_VERSION];
+        body.extend_from_slice(&0x0102_0304_0506_0708u64.to_le_bytes());
+        body.extend_from_slice(&42u64.to_le_bytes());
+        let mut expected = Vec::new();
+        expected.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        expected.extend_from_slice(&crc32(&body).to_le_bytes());
+        expected.extend_from_slice(&body);
+        assert_eq!(encoded, expected);
+    }
+
+    #[test]
+    fn zero_trace_encodes_the_plain_byte_identical_envelope() {
+        assert_eq!(encode_message_traced(&probe(), 0), encode_message(&probe()));
+    }
+
+    #[test]
+    fn traced_decoder_accepts_pre_trace_context_frames() {
+        // Envelope backward compatibility: a frame from a peer that has
+        // never heard of trace context decodes as (value, None).
+        let legacy = encode_message(&probe());
+        let (decoded, trace) = decode_message_traced::<Probe>(&legacy).expect("decodes");
+        assert_eq!(decoded, probe());
+        assert_eq!(trace, None);
+    }
+
+    #[test]
+    fn plain_decoder_rejects_traced_frames_as_an_unknown_kind() {
+        // Forward direction of the evolution policy: an old peer sees a
+        // clean WrongKind, never a mis-decoded value.
+        let traced = encode_message_traced(&probe(), 9);
+        let err = decode_message::<Probe>(&traced).expect_err("unknown kind to old peers");
+        assert_eq!(
+            err,
+            WireError::WrongKind {
+                expected: Probe::KIND,
+                found: Probe::KIND | TRACED_KIND_BIT,
+            }
+        );
+    }
+
+    #[test]
+    fn traced_frame_with_zero_trace_id_is_invalid() {
+        // Hand-frame a traced-kind payload claiming trace 0 (reserved).
+        let mut w = Writer::new();
+        w.put_u8(WIRE_VERSION);
+        w.put_u64(0);
+        42u64.wire_encode(&mut w);
+        let bytes = frame::frame_to_vec(u64::KIND | TRACED_KIND_BIT, &w.into_bytes());
+        assert!(matches!(
+            decode_message_traced::<u64>(&bytes),
+            Err(WireError::Invalid(_))
+        ));
     }
 
     #[test]

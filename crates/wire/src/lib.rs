@@ -33,8 +33,9 @@ pub mod crc;
 pub mod frame;
 
 pub use codec::{
-    decode_message, encode_message, BinaryWire, Reader, Wire, WireCodec, WireError, WireFormat,
-    WireMessage, Writer, WIRE_VERSION,
+    decode_message, decode_message_traced, encode_message, encode_message_traced, BinaryWire,
+    Reader, Wire, WireCodec, WireError, WireFormat, WireMessage, Writer, TRACED_KIND_BIT,
+    WIRE_VERSION,
 };
 pub use crc::crc32;
 pub use frame::{

@@ -1,0 +1,65 @@
+//! Overload soak acceptance (ISSUE 10): a scaled-clock storm of more
+//! than 10⁶ submission attempts drives queue shed, per-session rate
+//! limiting, fountain session eviction, and one primary failover through
+//! an adaptively-sampled gateway — and every overload counter in the
+//! exposition must reconcile *exactly* against the driver's own ledger.
+//!
+//! The two load-bearing identities:
+//!
+//! * `completed + shed + rate_limited + evicted == submitted` — no
+//!   attempt is lost or double-counted anywhere in the stack;
+//! * `telemetry.spans_recorded + telemetry.spans_sampled_out ==
+//!   telemetry.spans_admitted` — the adaptive sampler sheds *telemetry*,
+//!   never *accounting*, even while the AIMD controller is actively
+//!   clamping the keep probability under storm pressure.
+
+use medsen::gateway::soak::{run, SoakConfig};
+
+#[test]
+fn million_request_soak_reconciles_exactly() {
+    let config = SoakConfig::standard();
+    let report = run(&config);
+    println!("{report}");
+
+    if let Err(errors) = report.reconcile() {
+        panic!("soak failed to reconcile:\n{}", errors.join("\n"));
+    }
+
+    // Scale: the acceptance floor is a million-attempt storm.
+    assert!(
+        report.submitted >= 1_000_000,
+        "soak must drive ≥10⁶ attempts, drove {}",
+        report.submitted
+    );
+
+    // Every overload path actually fired.
+    assert!(report.rate_limited >= 999_000, "rate-limit storm refused");
+    assert!(
+        report.shed >= config.shed_storm - config.workers as u64,
+        "queue shed fired, got {}",
+        report.shed
+    );
+    assert_eq!(
+        report.evicted, config.fountain_capacity as u64,
+        "every stranded fountain stream was capacity-evicted"
+    );
+    assert_eq!(report.promotions, 1, "exactly one failover");
+    assert!(report.completed > 0, "traffic survived the storm");
+
+    // The controller visibly reacted: a million refusals must drag the
+    // keep probability off its 100% ceiling, and spans must actually
+    // have been dropped (not just counted).
+    assert!(
+        report.sampler_permille < 1000,
+        "overload must clamp the sampler, keep is still {}‰",
+        report.sampler_permille
+    );
+    assert!(
+        report.spans_sampled_out > 0,
+        "adaptive sampling must shed some spans under storm pressure"
+    );
+    assert!(
+        report.spans_recorded > 0,
+        "slow-exemplar keep means the ring never goes fully dark"
+    );
+}

@@ -2,20 +2,24 @@
 //!
 //! 64 concurrent dongle sessions enroll through the *async* gateway with
 //! durable storage enabled. Every completed request must leave a complete
-//! span chain in the recorder ring — admission → queue → service →
-//! shard lock → WAL append → WAL fsync — with per-stage start timestamps
-//! that never run backwards, and the text exposition must surface every
-//! legacy counter under its stable dotted name while round-tripping
-//! through the grammar parser.
+//! span chain in the recorder ring — phone encode → uplink → admission →
+//! queue → service → shard lock → WAL append → WAL fsync → reply decode —
+//! with per-stage start timestamps that never run backwards, and the text
+//! exposition must surface every legacy counter under its stable dotted
+//! name while round-tripping through the grammar parser. A second battery
+//! pins the cross-tier propagation contract: one trace id spans phone
+//! encode through replica ship for both uplink modes and both wire
+//! formats.
 
 use medsen::cloud::auth::BeadSignature;
 use medsen::cloud::service::{CloudService, Response};
 use medsen::cloud::FlushPolicy;
 use medsen::gateway::{
-    Gateway, GatewayConfig, RuntimeKind, SessionConfig, ShedPolicy, TelemetryConfig,
+    Gateway, GatewayConfig, RuntimeKind, SessionConfig, ShedPolicy, TelemetryConfig, UplinkMode,
 };
 use medsen::microfluidics::ParticleKind;
-use medsen::telemetry::{parse_text_exposition, SpanRecord, Stage};
+use medsen::telemetry::{parse_text_exposition, SamplerMode, SpanRecord, Stage};
+use medsen::wire::WireFormat;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::Barrier;
@@ -61,6 +65,7 @@ fn every_completed_request_yields_a_full_span_chain() {
             // ring cannot lap a slow reader mid-test.
             ring_capacity: 8192,
             exemplars: 4,
+            sampling: SamplerMode::Always,
         },
     );
 
@@ -95,13 +100,16 @@ fn every_completed_request_yields_a_full_span_chain() {
         spans.len()
     );
 
-    const CHAIN: [Stage; 6] = [
+    const CHAIN: [Stage; 9] = [
+        Stage::PhoneEncode,
+        Stage::Uplink,
         Stage::Admission,
         Stage::Queue,
         Stage::Service,
         Stage::ShardLock,
         Stage::WalAppend,
         Stage::WalFsync, // FlushPolicy::EveryWrite syncs every append
+        Stage::ReplyDecode,
     ];
     for (trace, group) in &groups {
         let mut chain = group.clone();
@@ -200,4 +208,114 @@ fn every_completed_request_yields_a_full_span_chain() {
     assert_eq!(metrics.completed, SESSIONS as u64);
     assert_eq!(metrics.lost(), 0);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The cross-tier propagation contract: the trace id the *phone* mints at
+/// encode time is the one every downstream tier records against — across
+/// both uplink modes (two-way retry and one-way fountain) and both wire
+/// formats (binary and JSON), all the way to the replica ship. Exactly
+/// one trace exists per request; the fountain route in particular must
+/// *join* the originating stream's trace, not mint a second one for the
+/// reassembled upload (the pre-fix behavior split every one-way request
+/// into two disconnected traces).
+#[test]
+fn one_trace_id_spans_phone_encode_through_replica_ship() {
+    use medsen::cloud::StorageConfig;
+    use medsen::phone::SymbolBudget;
+    use std::sync::Arc;
+
+    let combos = [
+        (UplinkMode::Retry, WireFormat::Binary, "retry-bin"),
+        (UplinkMode::Retry, WireFormat::Json, "retry-json"),
+        (
+            UplinkMode::Fountain {
+                budget: SymbolBudget::paper_default(),
+            },
+            WireFormat::Binary,
+            "fountain-bin",
+        ),
+        (
+            UplinkMode::Fountain {
+                budget: SymbolBudget::paper_default(),
+            },
+            WireFormat::Json,
+            "fountain-json",
+        ),
+    ];
+    for (uplink, wire, tag) in combos {
+        let dirs = [
+            temp_dir(&format!("chain-{tag}-p")),
+            temp_dir(&format!("chain-{tag}-s")),
+        ];
+        let [primary, standby] = dirs.each_ref().map(|dir| {
+            CloudService::with_storage_config(
+                StorageConfig::new(dir).flush(FlushPolicy::EveryWrite),
+                SHARDS,
+            )
+            .expect("storage opens")
+        });
+        let pair = primary.with_replication(standby).expect("pair wires up");
+        let gateway = Gateway::with_replicas(
+            Arc::clone(&pair),
+            GatewayConfig {
+                queue_capacity: 32,
+                workers: 2,
+                shed_policy: ShedPolicy::Block,
+            },
+            RuntimeKind::Async,
+            TelemetryConfig::default(),
+        );
+
+        let mut session = gateway.connect(SessionConfig {
+            uplink,
+            ..SessionConfig::reliable().with_wire(wire)
+        });
+        let response = session
+            .enroll(&format!("chain-{tag}"), sig(3))
+            .expect("enrollment completes");
+        assert_eq!(response, Response::Enrolled, "{tag}");
+        session.close().expect("session closes");
+
+        let recorder = gateway.span_recorder().expect("telemetry on").clone();
+        let groups = by_trace(&recorder.snapshot());
+        assert_eq!(
+            groups.len(),
+            1,
+            "{tag}: one request must leave exactly one trace, got {:?}",
+            groups.keys().collect::<Vec<_>>()
+        );
+        let (trace, spans) = groups.into_iter().next().expect("one trace");
+        let mut stages: Vec<Stage> = spans.iter().map(|s| s.stage).collect();
+        stages.sort_by_key(|s| *s as usize);
+        // The ship is synchronous in the primary's write path, so the
+        // standby's own WAL append + fsync run on the worker thread and
+        // join the same trace — the WAL stages appear once per node.
+        let mut expected = vec![
+            Stage::PhoneEncode,
+            Stage::Uplink,
+            Stage::Admission,
+            Stage::Queue,
+            Stage::Service,
+            Stage::ShardLock,
+            Stage::WalAppend,
+            Stage::WalAppend,
+            Stage::WalFsync,
+            Stage::WalFsync,
+            Stage::Replication,
+            Stage::ReplyDecode,
+        ];
+        if matches!(uplink, UplinkMode::Fountain { .. }) {
+            expected.insert(2, Stage::FountainDecode);
+        }
+        assert_eq!(
+            stages, expected,
+            "{tag}: trace {trace:#010x} must cover phone encode → replica ship"
+        );
+
+        gateway.shutdown();
+        drop(pair);
+        for dir in dirs {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
 }

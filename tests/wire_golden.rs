@@ -14,7 +14,8 @@
 //!   not just in-memory round-trips.
 
 use medsen::cloud::wire::{
-    decode_request, decode_response, encode_request, encode_response, golden,
+    decode_request, decode_request_traced, decode_response, decode_response_traced, encode_request,
+    encode_request_traced, encode_response, encode_response_traced, golden,
 };
 use medsen::wire::WireFormat;
 use std::path::{Path, PathBuf};
@@ -66,6 +67,98 @@ fn response_golden_frames_are_byte_exact_and_equivalent() {
         let from_json = decode_response(WireFormat::Json, &sidecar)
             .unwrap_or_else(|e| panic!("{name}.json no longer decodes: {e}"));
         assert_eq!(from_json, expected, "{name}: JSON/binary equivalence broke");
+    }
+}
+
+/// Trace-context fixtures pin the traced twin frame layout: the 0x80
+/// twin kinds (binary) and the `{"trace":…,"body":…}` wrapper (JSON)
+/// must stay byte-exact, and the pinned trace id must survive the round
+/// trip through the *built* decoder.
+#[test]
+fn traced_golden_frames_pin_the_trace_context_layout() {
+    for (name, expected) in golden::traced_requests() {
+        let committed = read(name, "bin");
+        let (decoded, trace) = decode_request_traced(WireFormat::Binary, &committed)
+            .unwrap_or_else(|e| panic!("{name}.bin no longer decodes: {e}"));
+        assert_eq!(decoded, expected, "{name}.bin decoded to a drifted value");
+        assert_eq!(
+            trace,
+            Some(golden::TRACE_ID),
+            "{name}.bin: trace id drifted"
+        );
+        let rebuilt = encode_request_traced(WireFormat::Binary, &expected, golden::TRACE_ID)
+            .expect("encodes");
+        assert_eq!(rebuilt, committed, "{name}.bin: traced wire format drifted");
+
+        let sidecar = read(name, "json");
+        let (from_json, json_trace) = decode_request_traced(WireFormat::Json, &sidecar)
+            .unwrap_or_else(|e| panic!("{name}.json no longer decodes: {e}"));
+        assert_eq!(from_json, expected, "{name}: JSON/binary equivalence broke");
+        assert_eq!(
+            json_trace,
+            Some(golden::TRACE_ID),
+            "{name}.json trace drifted"
+        );
+    }
+    for (name, expected) in golden::traced_responses() {
+        let committed = read(name, "bin");
+        let (decoded, trace) = decode_response_traced(WireFormat::Binary, &committed)
+            .unwrap_or_else(|e| panic!("{name}.bin no longer decodes: {e}"));
+        assert_eq!(decoded, expected, "{name}.bin decoded to a drifted value");
+        assert_eq!(
+            trace,
+            Some(golden::TRACE_ID),
+            "{name}.bin: trace id drifted"
+        );
+        let rebuilt = encode_response_traced(WireFormat::Binary, &expected, golden::TRACE_ID)
+            .expect("encodes");
+        assert_eq!(rebuilt, committed, "{name}.bin: traced wire format drifted");
+
+        let sidecar = read(name, "json");
+        let (from_json, json_trace) = decode_response_traced(WireFormat::Json, &sidecar)
+            .unwrap_or_else(|e| panic!("{name}.json no longer decodes: {e}"));
+        assert_eq!(from_json, expected, "{name}: JSON/binary equivalence broke");
+        assert_eq!(
+            json_trace,
+            Some(golden::TRACE_ID),
+            "{name}.json trace drifted"
+        );
+    }
+}
+
+/// A pre-trace-context frame — plain kind byte, no trace field — must
+/// keep decoding through the *traced* entry points, reporting "no trace"
+/// rather than an error: deployed dongles that never learned the traced
+/// twins stay first-class citizens.
+#[test]
+fn pre_trace_context_frames_decode_through_the_traced_entry_points() {
+    for (name, expected) in golden::requests() {
+        for format in [WireFormat::Binary, WireFormat::Json] {
+            let ext = if format == WireFormat::Binary {
+                "bin"
+            } else {
+                "json"
+            };
+            let committed = read(name, ext);
+            let (decoded, trace) = decode_request_traced(format, &committed)
+                .unwrap_or_else(|e| panic!("{name}.{ext}: traced decoder rejects legacy: {e}"));
+            assert_eq!(decoded, expected, "{name}.{ext} drifted via traced decode");
+            assert_eq!(trace, None, "{name}.{ext}: legacy frame grew a trace id");
+        }
+    }
+    for (name, expected) in golden::responses() {
+        for format in [WireFormat::Binary, WireFormat::Json] {
+            let ext = if format == WireFormat::Binary {
+                "bin"
+            } else {
+                "json"
+            };
+            let committed = read(name, ext);
+            let (decoded, trace) = decode_response_traced(format, &committed)
+                .unwrap_or_else(|e| panic!("{name}.{ext}: traced decoder rejects legacy: {e}"));
+            assert_eq!(decoded, expected, "{name}.{ext} drifted via traced decode");
+            assert_eq!(trace, None, "{name}.{ext}: legacy frame grew a trace id");
+        }
     }
 }
 
